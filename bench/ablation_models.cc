@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Related-work ablation (paper Section 8): SBRP vs Gope et al.'s scoped
+ * persist barriers, on both system designs, normalized to the epoch
+ * model of each design.
+ *
+ * The scoped-barrier model stalls the issuing thread and drains the
+ * buffer at *every* ordering operation; SBRP's buffers let intra- and
+ * inter-thread PMO proceed without global synchronization. Expected
+ * shape: SBRP >= scoped-barrier everywhere, with the largest gaps for
+ * ordering-dense applications (gpKVS, HM, Scan, Red).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+struct Config
+{
+    const char *label;
+    ModelKind model;
+    SystemDesign design;
+};
+
+const std::vector<Config> kConfigs = {
+    {"epoch-far", ModelKind::Epoch, SystemDesign::PmFar},
+    {"barrier-far", ModelKind::ScopedBarrier, SystemDesign::PmFar},
+    {"SBRP-far", ModelKind::Sbrp, SystemDesign::PmFar},
+    {"epoch-near", ModelKind::Epoch, SystemDesign::PmNear},
+    {"barrier-near", ModelKind::ScopedBarrier, SystemDesign::PmNear},
+    {"SBRP-near", ModelKind::Sbrp, SystemDesign::PmNear},
+};
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        for (const auto &c : kConfigs) {
+            std::string key = app + "/" + c.label;
+            registerSim("ablation/" + key, [app, c, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(c.model,
+                                                              c.design);
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.forwardCycles;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Ablation: SBRP vs scoped persist barriers "
+                 "(Gope et al.), speedup over the same design's epoch",
+                 SystemConfig::paperDefault());
+    printHeader("app", {"bar-far", "SBRP-far", "bar-near", "SBRP-near"});
+
+    std::map<std::string, std::vector<double>> agg;
+    for (const auto &app : kApps) {
+        double far_base = static_cast<double>(
+            g_store.get(app + "/epoch-far").forwardCycles);
+        double near_base = static_cast<double>(
+            g_store.get(app + "/epoch-near").forwardCycles);
+        std::vector<double> row = {
+            far_base / static_cast<double>(
+                g_store.get(app + "/barrier-far").forwardCycles),
+            far_base / static_cast<double>(
+                g_store.get(app + "/SBRP-far").forwardCycles),
+            near_base / static_cast<double>(
+                g_store.get(app + "/barrier-near").forwardCycles),
+            near_base / static_cast<double>(
+                g_store.get(app + "/SBRP-near").forwardCycles),
+        };
+        printRow(app, row);
+        agg["bf"].push_back(row[0]);
+        agg["sf"].push_back(row[1]);
+        agg["bn"].push_back(row[2]);
+        agg["sn"].push_back(row[3]);
+    }
+    printRow("GMean", {geomean(agg["bf"]), geomean(agg["sf"]),
+                       geomean(agg["bn"]), geomean(agg["sn"])});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benchmarks.
+ *
+ * Each bench binary registers one google-benchmark item per simulated
+ * configuration (Iterations(1): a simulation is deterministic), collects
+ * results in a ResultStore, and prints the corresponding paper figure's
+ * series after the benchmark run.
+ */
+
+#ifndef SBRP_BENCH_COMMON_HH
+#define SBRP_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/hashmap.hh"
+#include "apps/kvs.hh"
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+#include "apps/srad.hh"
+
+namespace sbrp_bench
+{
+
+using namespace sbrp;
+
+inline const std::vector<std::string> kApps =
+    {"gpKVS", "HM", "SRAD", "Red", "MQ", "Scan"};
+
+/** Builds an application at paper-shaped bench scale. */
+inline std::unique_ptr<PmApp>
+makeApp(const std::string &name, ModelKind model)
+{
+    if (name == "gpKVS")
+        return std::make_unique<KvsApp>(model, KvsParams::bench());
+    if (name == "HM")
+        return std::make_unique<HashmapApp>(model, HashmapParams::bench());
+    if (name == "SRAD")
+        return std::make_unique<SradApp>(model, SradParams::bench());
+    if (name == "Red")
+        return std::make_unique<ReductionApp>(model,
+                                              ReductionParams::bench());
+    if (name == "MQ")
+        return std::make_unique<MultiqueueApp>(model,
+                                               MultiqueueParams::bench());
+    if (name == "Scan")
+        return std::make_unique<ScanApp>(model, ScanParams::bench());
+    std::fprintf(stderr, "unknown app %s\n", name.c_str());
+    std::abort();
+}
+
+/** Result of one simulated configuration, keyed by a config string. */
+class ResultStore
+{
+  public:
+    void
+    put(const std::string &key, const AppRunResult &r)
+    {
+        results_[key] = r;
+    }
+
+    const AppRunResult &
+    get(const std::string &key) const
+    {
+        auto it = results_.find(key);
+        if (it == results_.end()) {
+            std::fprintf(stderr, "missing bench result '%s'\n",
+                         key.c_str());
+            std::abort();
+        }
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    { return results_.count(key) != 0; }
+
+  private:
+    std::map<std::string, AppRunResult> results_;
+};
+
+/** Runs one crash-free simulation; fills counters on the state. */
+inline AppRunResult
+runConfig(const std::string &app, const SystemConfig &cfg)
+{
+    auto a = makeApp(app, cfg.model);
+    AppRunResult r = AppHarness::runCrashFree(*a, cfg);
+    if (!r.consistent) {
+        std::fprintf(stderr, "BENCH BUG: %s inconsistent under %s\n",
+                     app.c_str(), cfg.describe().c_str());
+        std::abort();
+    }
+    return r;
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Registers a 1-iteration benchmark that runs `fn` and stores results. */
+template <typename Fn>
+void
+registerSim(const std::string &name, Fn fn)
+{
+    benchmark::RegisterBenchmark(name.c_str(),
+        [fn](benchmark::State &state) {
+            std::uint64_t cycles = 0;
+            for (auto _ : state)
+                cycles = fn();
+            state.counters["sim_cycles"] =
+                static_cast<double>(cycles);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+/** Prints a separator + figure heading. */
+inline void
+printHeading(const std::string &title, const SystemConfig &reference)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Table 1 config: %s\n", reference.describe().c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** Prints one CSV row (also human-readable with fixed columns). */
+inline void
+printRow(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-8s", label.c_str());
+    for (double v : values)
+        std::printf(",%8.3f", v);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &label, const std::vector<std::string> &cols)
+{
+    std::printf("%-8s", label.c_str());
+    for (const auto &c : cols)
+        std::printf(",%8s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace sbrp_bench
+
+#endif // SBRP_BENCH_COMMON_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 10(a): sensitivity of SBRP-near's speedup over epoch-near to
+ * the persist-buffer size, expressed as the fraction of L1 lines the PB
+ * covers (12.5/25/50/100%; 50% is the default).
+ *
+ * Expected shape: 50% within ~1% of 100%; very small buffers hurt
+ * (gpKVS); occasional anomalies where smaller buffers win by flushing
+ * eagerly off the critical path (HM in the paper).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+const std::vector<double> kCoverage = {0.125, 0.25, 0.5, 1.0};
+
+std::string
+covLabel(double c)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g%%", c * 100.0);
+    return buf;
+}
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        registerSim("figure10a/" + app + "/epoch-near", [app]() {
+            SystemConfig cfg = SystemConfig::paperDefault(
+                ModelKind::Epoch, SystemDesign::PmNear);
+            AppRunResult r = runConfig(app, cfg);
+            g_store.put(app + "/epoch", r);
+            return r.forwardCycles;
+        });
+        for (double c : kCoverage) {
+            std::string key = app + "/" + covLabel(c);
+            registerSim("figure10a/" + key, [app, c, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    ModelKind::Sbrp, SystemDesign::PmNear);
+                cfg.pbCoverage = c;
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.forwardCycles;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Figure 10(a): SBRP-near speedup over epoch-near, "
+                 "varying L1 coverage of the persist buffer",
+                 SystemConfig::paperDefault());
+    std::vector<std::string> cols;
+    for (double c : kCoverage)
+        cols.push_back(covLabel(c));
+    printHeader("app", cols);
+
+    std::map<std::string, std::vector<double>> per_cov;
+    for (const auto &app : kApps) {
+        double epoch = static_cast<double>(
+            g_store.get(app + "/epoch").forwardCycles);
+        std::vector<double> row;
+        for (double c : kCoverage) {
+            double s = epoch / static_cast<double>(
+                g_store.get(app + "/" + covLabel(c)).forwardCycles);
+            row.push_back(s);
+            per_cov[covLabel(c)].push_back(s);
+        }
+        printRow(app, row);
+    }
+    std::vector<double> mean;
+    for (double c : kCoverage)
+        mean.push_back(geomean(per_cov[covLabel(c)]));
+    printRow("GMean", mean);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 10(b): sensitivity of SBRP-near's speedup over epoch-near to
+ * the NVM bandwidth (50/100/200% of Table 1's 84 GB/s read, 42 GB/s
+ * write). Both models are re-run at each bandwidth.
+ *
+ * Expected shape: noticeable SBRP speedups at every point (the paper
+ * reports ~15/15/12% means): more bandwidth moderates the buffering
+ * advantage for log-heavy apps but helps bursty ones.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+const std::vector<double> kScale = {0.5, 1.0, 2.0};
+
+std::string
+bwLabel(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g%%", s * 100.0);
+    return buf;
+}
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        for (double s : kScale) {
+            for (ModelKind m : {ModelKind::Epoch, ModelKind::Sbrp}) {
+                std::string key = app + "/" + bwLabel(s) + "/" +
+                                  toString(m);
+                registerSim("figure10b/" + key, [app, s, m, key]() {
+                    SystemConfig cfg = SystemConfig::paperDefault(
+                        m, SystemDesign::PmNear);
+                    cfg.nvmBwScale = s;
+                    AppRunResult r = runConfig(app, cfg);
+                    g_store.put(key, r);
+                    return r.forwardCycles;
+                });
+            }
+        }
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Figure 10(b): SBRP-near speedup over epoch-near, "
+                 "varying NVM bandwidth", SystemConfig::paperDefault());
+    std::vector<std::string> cols;
+    for (double s : kScale)
+        cols.push_back(bwLabel(s));
+    printHeader("app", cols);
+
+    std::map<std::string, std::vector<double>> per_bw;
+    for (const auto &app : kApps) {
+        std::vector<double> row;
+        for (double s : kScale) {
+            double epoch = static_cast<double>(
+                g_store.get(app + "/" + bwLabel(s) + "/epoch")
+                    .forwardCycles);
+            double sbrp = static_cast<double>(
+                g_store.get(app + "/" + bwLabel(s) + "/SBRP")
+                    .forwardCycles);
+            row.push_back(epoch / sbrp);
+            per_bw[bwLabel(s)].push_back(epoch / sbrp);
+        }
+        printRow(app, row);
+    }
+    std::vector<double> mean;
+    for (double s : kScale)
+        mean.push_back(geomean(per_bw[bwLabel(s)]));
+    printRow("GMean", mean);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Figure 10(c): sensitivity of SBRP-near's speedup over epoch-near to
+ * the window size (outstanding persists per SM): 2/4/6/8/10.
+ *
+ * Expected shape: 6 (the default) near the sweet spot — small windows
+ * under-utilize the NVM, large ones congest it.
+ *
+ * The binary also prints two DESIGN.md ablations:
+ *  - flush policies: eager vs lazy vs window (Section 6.2), and
+ *  - FSM hazard precision: the paper's single-ACTR quiesce vs the
+ *    per-warp flush-sequence barrier this implementation defaults to.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+const std::vector<std::uint32_t> kWindows = {2, 4, 6, 8, 10};
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        registerSim("figure10c/" + app + "/epoch-near", [app]() {
+            SystemConfig cfg = SystemConfig::paperDefault(
+                ModelKind::Epoch, SystemDesign::PmNear);
+            AppRunResult r = runConfig(app, cfg);
+            g_store.put(app + "/epoch", r);
+            return r.forwardCycles;
+        });
+        for (std::uint32_t w : kWindows) {
+            std::string key = app + "/w" + std::to_string(w);
+            registerSim("figure10c/" + key, [app, w, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    ModelKind::Sbrp, SystemDesign::PmNear);
+                cfg.window = w;
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.forwardCycles;
+            });
+        }
+        // Ablations: policies and FSM precision at the default window.
+        for (FlushPolicy p : {FlushPolicy::Eager, FlushPolicy::Lazy}) {
+            std::string key = app + "/" + toString(p);
+            registerSim("figure10c/ablate/" + key, [app, p, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    ModelKind::Sbrp, SystemDesign::PmNear);
+                cfg.flushPolicy = p;
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.forwardCycles;
+            });
+        }
+        registerSim("figure10c/ablate/" + app + "/actr", [app]() {
+            SystemConfig cfg = SystemConfig::paperDefault(
+                ModelKind::Sbrp, SystemDesign::PmNear);
+            cfg.preciseFsm = false;   // Paper's single-ACTR quiesce.
+            AppRunResult r = runConfig(app, cfg);
+            g_store.put(app + "/actr", r);
+            return r.forwardCycles;
+        });
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Figure 10(c): SBRP-near speedup over epoch-near, "
+                 "varying window sizes", SystemConfig::paperDefault());
+    std::vector<std::string> cols;
+    for (std::uint32_t w : kWindows)
+        cols.push_back("w" + std::to_string(w));
+    printHeader("app", cols);
+
+    std::map<std::string, std::vector<double>> per_w;
+    for (const auto &app : kApps) {
+        double epoch = static_cast<double>(
+            g_store.get(app + "/epoch").forwardCycles);
+        std::vector<double> row;
+        for (std::uint32_t w : kWindows) {
+            double s = epoch / static_cast<double>(
+                g_store.get(app + "/w" + std::to_string(w))
+                    .forwardCycles);
+            row.push_back(s);
+            per_w["w" + std::to_string(w)].push_back(s);
+        }
+        printRow(app, row);
+    }
+    std::vector<double> mean;
+    for (std::uint32_t w : kWindows)
+        mean.push_back(geomean(per_w["w" + std::to_string(w)]));
+    printRow("GMean", mean);
+
+    printHeading("Ablation: flush policy and FSM precision "
+                 "(speedup over epoch-near; window policy = figure "
+                 "above at w6)", SystemConfig::paperDefault());
+    printHeader("app", {"eager", "lazy", "actr"});
+    for (const auto &app : kApps) {
+        double epoch = static_cast<double>(
+            g_store.get(app + "/epoch").forwardCycles);
+        printRow(app, {
+            epoch / static_cast<double>(
+                g_store.get(app + "/eager").forwardCycles),
+            epoch / static_cast<double>(
+                g_store.get(app + "/lazy").forwardCycles),
+            epoch / static_cast<double>(
+                g_store.get(app + "/actr").forwardCycles),
+        });
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

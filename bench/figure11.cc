@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 11: recovery-kernel runtime under epoch-near vs SBRP-near,
+ * normalized to epoch-near (lower is better), with the crash injected
+ * mid-run — the steady state where the most transactions are in flight
+ * (maximum undo-log contents / unfinished native state).
+ *
+ * Expected shape: averages within a few percent; gpKVS slightly slower
+ * under SBRP (its recovery bulk-persists through a buffered dFence,
+ * while the epoch barrier flushes eagerly). Also reports the worst-case
+ * recovery time as a fraction of crash-free execution (paper: 0.7-42%).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        for (ModelKind m : {ModelKind::Epoch, ModelKind::Sbrp}) {
+            std::string key = app + "/" + toString(m);
+            registerSim("figure11/" + key, [app, m, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    m, SystemDesign::PmNear);
+                // Worst-case crash: measure the crash-free runtime,
+                // then crash right before completion.
+                Cycle total;
+                {
+                    auto probe = makeApp(app, m);
+                    total = AppHarness::runCrashFree(*probe, cfg)
+                                .forwardCycles;
+                }
+                auto a = makeApp(app, m);
+                Cycle at = std::max<Cycle>(1, total / 2);
+                AppRunResult r = AppHarness::runCrashRecover(*a, cfg, at);
+                if (!r.consistent) {
+                    std::fprintf(stderr,
+                                 "BENCH BUG: %s unrecoverable (%s)\n",
+                                 app.c_str(), toString(m));
+                    std::abort();
+                }
+                r.forwardCycles = total;   // Keep crash-free for ratio.
+                g_store.put(key, r);
+                return r.recoveryCycles;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Figure 11: Normalized runtime of the recovery kernel "
+                 "(SBRP-near vs epoch-near; lower is better)",
+                 SystemConfig::paperDefault());
+    printHeader("app", {"epoch", "SBRP", "rec/fwd%"});
+
+    std::vector<double> ratios;
+    for (const auto &app : kApps) {
+        const AppRunResult &e = g_store.get(app + "/epoch");
+        const AppRunResult &s = g_store.get(app + "/SBRP");
+        double norm = static_cast<double>(s.recoveryCycles) /
+                      static_cast<double>(e.recoveryCycles);
+        ratios.push_back(norm);
+        double frac = 100.0 * static_cast<double>(s.recoveryCycles) /
+                      static_cast<double>(s.forwardCycles);
+        printRow(app, {1.0, norm, frac});
+    }
+    printRow("GMean", {1.0, geomean(ratios), 0.0});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 6: speedup of each persistency model over epoch-far, for all
+ * six applications plus the geometric mean.
+ *
+ * Series (paper order): GPM, Epoch-far, SBRP-far, Epoch-near, SBRP-near.
+ * Expected shape: epoch-far modestly beats GPM (~6% mean); SBRP-far
+ * beats epoch-far (~14% mean, up to ~90% on Reduction); PM-near roughly
+ * doubles PM-far; SBRP-near beats epoch-near (~15% mean).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+struct Config
+{
+    const char *label;
+    ModelKind model;
+    SystemDesign design;
+};
+
+const std::vector<Config> kConfigs = {
+    {"GPM", ModelKind::Gpm, SystemDesign::PmFar},
+    {"epoch-far", ModelKind::Epoch, SystemDesign::PmFar},
+    {"SBRP-far", ModelKind::Sbrp, SystemDesign::PmFar},
+    {"epoch-near", ModelKind::Epoch, SystemDesign::PmNear},
+    {"SBRP-near", ModelKind::Sbrp, SystemDesign::PmNear},
+};
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        for (const auto &c : kConfigs) {
+            std::string key = app + "/" + c.label;
+            registerSim("figure6/" + key, [app, c, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(c.model,
+                                                              c.design);
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.forwardCycles;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    SystemConfig ref = SystemConfig::paperDefault();
+    printHeading("Figure 6: Speedup over epoch-far of different models",
+                 ref);
+
+    std::vector<std::string> cols;
+    for (const auto &c : kConfigs)
+        cols.push_back(c.label);
+    printHeader("app", cols);
+
+    std::map<std::string, std::vector<double>> per_config;
+    for (const auto &app : kApps) {
+        double base = static_cast<double>(
+            g_store.get(app + "/epoch-far").forwardCycles);
+        std::vector<double> row;
+        for (const auto &c : kConfigs) {
+            double cyc = static_cast<double>(
+                g_store.get(app + "/" + c.label).forwardCycles);
+            double speedup = base / cyc;
+            row.push_back(speedup);
+            per_config[c.label].push_back(speedup);
+        }
+        printRow(app, row);
+    }
+    std::vector<double> mean;
+    for (const auto &c : kConfigs)
+        mean.push_back(geomean(per_config[c.label]));
+    printRow("Mean", mean);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Figure 7: breakdown of SBRP's speedup into the contribution of
+ * buffers vs scopes, for the applications with intra-threadblock PMO
+ * (Red, MQ, Scan) on PM-far and PM-near.
+ *
+ * Methodology (paper Section 7.2): convert all block-scope operations to
+ * device scope — the resulting "buffers only" configuration keeps the
+ * persist buffer but loses scoped ordering. The scope contribution is
+ * the share of the full SBRP speedup the buffers-only variant does not
+ * deliver. Expected shape: scopes dominate (~77% average), except MQ on
+ * PM-far where buffering is everything.
+ */
+
+#include "bench_common.hh"
+
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+const std::vector<std::string> kScopedApps = {"Red", "MQ", "Scan"};
+const std::vector<SystemDesign> kDesigns = {SystemDesign::PmFar,
+                                            SystemDesign::PmNear};
+
+std::unique_ptr<PmApp>
+makeScopedApp(const std::string &name, ModelKind model, bool device_only)
+{
+    if (name == "Red") {
+        auto a = std::make_unique<ReductionApp>(model,
+                                                ReductionParams::bench());
+        a->setForceDeviceScope(device_only);
+        return a;
+    }
+    if (name == "MQ") {
+        auto a = std::make_unique<MultiqueueApp>(
+            model, MultiqueueParams::bench());
+        a->setForceDeviceScope(device_only);
+        return a;
+    }
+    auto a = std::make_unique<ScanApp>(model, ScanParams::bench());
+    a->setForceDeviceScope(device_only);
+    return a;
+}
+
+void
+registerAll()
+{
+    for (const auto &app : kScopedApps) {
+        for (SystemDesign d : kDesigns) {
+            std::string base = app + "/" + toString(d);
+            registerSim("figure7/" + base + "/epoch", [app, d, base]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    ModelKind::Epoch, d);
+                auto a = makeScopedApp(app, ModelKind::Epoch, false);
+                AppRunResult r = AppHarness::runCrashFree(*a, cfg);
+                g_store.put(base + "/epoch", r);
+                return r.forwardCycles;
+            });
+            registerSim("figure7/" + base + "/sbrp", [app, d, base]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    ModelKind::Sbrp, d);
+                auto a = makeScopedApp(app, ModelKind::Sbrp, false);
+                AppRunResult r = AppHarness::runCrashFree(*a, cfg);
+                g_store.put(base + "/sbrp", r);
+                return r.forwardCycles;
+            });
+            registerSim("figure7/" + base + "/buffers_only",
+                        [app, d, base]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    ModelKind::Sbrp, d);
+                auto a = makeScopedApp(app, ModelKind::Sbrp, true);
+                AppRunResult r = AppHarness::runCrashFree(*a, cfg);
+                g_store.put(base + "/buffers_only", r);
+                return r.forwardCycles;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Figure 7: Speedup breakdown (buffers vs scopes)",
+                 SystemConfig::paperDefault());
+    printHeader("config", {"buffers%", "scopes%", "full_spd", "buf_spd"});
+
+    for (const auto &app : kScopedApps) {
+        for (SystemDesign d : kDesigns) {
+            std::string base = app + "/" + toString(d);
+            double epoch = static_cast<double>(
+                g_store.get(base + "/epoch").forwardCycles);
+            double full = epoch / static_cast<double>(
+                g_store.get(base + "/sbrp").forwardCycles);
+            double buffers = epoch / static_cast<double>(
+                g_store.get(base + "/buffers_only").forwardCycles);
+
+            // Contribution split of the SBRP gain over epoch.
+            double gain_full = full - 1.0;
+            double gain_buf = buffers - 1.0;
+            double buf_share, scope_share;
+            if (gain_full <= 0.0) {
+                buf_share = scope_share = 0.0;
+            } else {
+                buf_share = std::min(1.0, std::max(0.0,
+                    gain_buf / gain_full));
+                scope_share = 1.0 - buf_share;
+            }
+            printRow("SBRP-" + std::string(toString(d)) + "/" + app,
+                     {buf_share * 100.0, scope_share * 100.0, full,
+                      buffers});
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8: L1 read misses for NVM data, normalized to epoch-far
+ * (lower is better).
+ *
+ * Expected shape: SBRP dramatically reduces NVM-data L1 read misses for
+ * gpKVS/HM (oFence does not invalidate the L1) and for Red/Scan (block
+ * scope keeps PM data cached); SRAD persists at the end and MQ's logging
+ * limits the benefit.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+struct Config
+{
+    const char *label;
+    ModelKind model;
+    SystemDesign design;
+};
+
+const std::vector<Config> kConfigs = {
+    {"epoch-far", ModelKind::Epoch, SystemDesign::PmFar},
+    {"SBRP-far", ModelKind::Sbrp, SystemDesign::PmFar},
+    {"epoch-near", ModelKind::Epoch, SystemDesign::PmNear},
+    {"SBRP-near", ModelKind::Sbrp, SystemDesign::PmNear},
+};
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        for (const auto &c : kConfigs) {
+            std::string key = app + "/" + c.label;
+            registerSim("figure8/" + key, [app, c, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(c.model,
+                                                              c.design);
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.l1NvmReadMisses;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    printHeading("Figure 8: L1 read misses for NVM data "
+                 "(normalized to epoch-far; lower is better)",
+                 SystemConfig::paperDefault());
+    std::vector<std::string> cols;
+    for (const auto &c : kConfigs)
+        cols.push_back(c.label);
+    printHeader("app", cols);
+
+    for (const auto &app : kApps) {
+        double base = static_cast<double>(
+            g_store.get(app + "/epoch-far").l1NvmReadMisses);
+        if (base == 0)
+            base = 1;
+        std::vector<double> row;
+        for (const auto &c : kConfigs) {
+            row.push_back(static_cast<double>(
+                g_store.get(app + "/" + c.label).l1NvmReadMisses) / base);
+        }
+        printRow(app, row);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

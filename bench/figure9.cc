@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 9: SBRP-far speedup over epoch-far when the PM-far system
+ * supports eADR (persists become durable at the battery-backed host LLC
+ * rather than the NVM controller's WPQ).
+ *
+ * Expected shape: close to the no-eADR speedups — eADR removes persist
+ * latency but not the PCIe bandwidth bottleneck, and SBRP's scopes and
+ * buffering still cut PCIe traversals.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace sbrp_bench;
+
+ResultStore g_store;
+
+void
+registerAll()
+{
+    for (const auto &app : kApps) {
+        for (ModelKind m : {ModelKind::Epoch, ModelKind::Sbrp}) {
+            std::string key = app + "/" + toString(m);
+            registerSim("figure9/" + key, [app, m, key]() {
+                SystemConfig cfg = SystemConfig::paperDefault(
+                    m, SystemDesign::PmFar);
+                cfg.persistPoint = PersistPoint::Eadr;
+                AppRunResult r = runConfig(app, cfg);
+                g_store.put(key, r);
+                return r.forwardCycles;
+            });
+        }
+    }
+}
+
+void
+printFigure()
+{
+    SystemConfig ref = SystemConfig::paperDefault(ModelKind::Sbrp,
+                                                  SystemDesign::PmFar);
+    ref.persistPoint = PersistPoint::Eadr;
+    printHeading("Figure 9: SBRP-far speedup over epoch-far with eADR",
+                 ref);
+    printHeader("app", {"SBRP-far"});
+
+    std::vector<double> all;
+    for (const auto &app : kApps) {
+        double epoch = static_cast<double>(
+            g_store.get(app + "/epoch").forwardCycles);
+        double sbrp = static_cast<double>(
+            g_store.get(app + "/SBRP").forwardCycles);
+        double speedup = epoch / sbrp;
+        all.push_back(speedup);
+        printRow(app, {speedup});
+    }
+    printRow("GMean", {geomean(all)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    benchmark::Shutdown();
+    return 0;
+}

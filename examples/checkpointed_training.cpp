@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Checkpointed long-running kernel — the paper's DNN-training
+ * motivation (Section 1): partial results checkpoint to PM every K
+ * iterations so a power failure costs at most one epoch of work, and
+ * the checkpoint itself can never be torn.
+ *
+ * The example pulls the plug at many points and shows, for each, which
+ * epoch survived and that the surviving snapshot is bit-exact.
+ *
+ * Run: ./build/examples/checkpointed_training
+ */
+
+#include <cstdio>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/checkpoint.hh"
+
+using namespace sbrp;
+
+int
+main()
+{
+    CheckpointParams params;
+    params.blocks = 8;
+    params.threadsPerBlock = 128;
+    params.itersPerEpoch = 6;
+    params.epochs = 5;
+
+    SystemConfig cfg = SystemConfig::paperDefault(ModelKind::Sbrp,
+                                                  SystemDesign::PmNear);
+
+    Cycle total;
+    {
+        CheckpointApp app(ModelKind::Sbrp, params);
+        NvmDevice nvm;
+        app.setupNvm(nvm);
+        GpuSystem gpu(cfg, nvm);
+        app.setupGpu(gpu);
+        total = gpu.launch(app.forward()).cycles;
+        std::printf("crash-free run: %llu cycles, %u epochs of %u "
+                    "iterations checkpointed\n",
+                    static_cast<unsigned long long>(total),
+                    params.epochs, params.itersPerEpoch);
+    }
+
+    std::printf("\n%-12s %-22s %s\n", "crash point",
+                "committed epochs/block", "snapshot integrity");
+    for (double frac : {0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.97}) {
+        CheckpointApp app(ModelKind::Sbrp, params);
+        NvmDevice nvm;
+        app.setupNvm(nvm);
+        {
+            GpuSystem gpu(cfg, nvm);
+            app.setupGpu(gpu);
+            gpu.launch(app.forward(),
+                       std::max<Cycle>(1, static_cast<Cycle>(
+                           total * frac)));
+        }   // Power failure.
+
+        // Which epoch did each block commit?
+        std::uint32_t lo = ~0u, hi = 0;
+        Addr ctr = nvm.open("ckpt.epoch").base;
+        for (std::uint32_t b = 0; b < params.blocks; ++b) {
+            std::uint32_t c = nvm.durable().read32(ctr + 128ull * b);
+            lo = std::min(lo, c);
+            hi = std::max(hi, c);
+        }
+        bool ok = app.checkpointInvariant(nvm);
+        std::printf("%9.0f%%   %10u..%-10u %s\n", frac * 100.0, lo, hi,
+                    ok ? "complete (never torn)" : "TORN CHECKPOINT");
+        if (!ok)
+            return 1;
+    }
+
+    std::printf("\nThe committed epoch counter is ordered after the "
+                "checkpoint data by the\nblock-scoped release/acquire "
+                "chain plus an oFence — a crash can lose the\nnewest "
+                "snapshot, never corrupt one. Restarting resumes from "
+                "epoch*K\niterations instead of zero.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Litmus explorer: small two-thread persistency litmus tests run under
+ * every model with a crash sweep, validated against the formal SBRP
+ * model (PmoChecker). Also demonstrates the paper's *scoped persistency
+ * bug* (Section 5.3): using a narrower scope than the program needs
+ * removes the formal ordering edge entirely.
+ *
+ * Run: ./build/examples/litmus_explorer
+ */
+
+#include <cstdio>
+
+#include "api/sbrp.hh"
+
+using namespace sbrp;
+
+namespace
+{
+
+/** Message-passing litmus: Wx -> pRel f / pAcq f -> Wy. */
+LitmusScenario
+messagePassing(Scope scope, std::uint32_t blocks)
+{
+    return LitmusScenario(
+        "message-passing",
+        [](NvmDevice &nvm) {
+            nvm.allocate("mp.x", 128);
+            nvm.allocate("mp.y", 128);
+            nvm.allocate("mp.flag", 128);
+        },
+        [scope, blocks](NvmDevice &nvm) {
+            Addr x = nvm.open("mp.x").base;
+            Addr y = nvm.open("mp.y").base;
+            Addr flag = nvm.open("mp.flag").base;
+
+            KernelProgram k("mp", blocks, 32);
+            // Producer: thread 0 of block 0.
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 41; },
+                          mask::lane(0))
+                .prel([&](std::uint32_t) { return flag; }, 1, scope,
+                      mask::lane(0));
+            // Consumer: thread 0 of the last block.
+            WarpBuilder(k.warp(blocks - 1, 0), 32)
+                .pacq([&](std::uint32_t) { return flag; }, 1, scope,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return y; },
+                          [](std::uint32_t) { return 42; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            // The recoverability invariant: y durable implies x durable.
+            std::uint32_t x = nvm.durable().read32(nvm.open("mp.x").base);
+            std::uint32_t y = nvm.durable().read32(nvm.open("mp.y").base);
+            return y == 0 || x == 41;
+        });
+}
+
+void
+run(const char *title, const LitmusScenario &scenario,
+    const SystemConfig &cfg)
+{
+    LitmusReport rep = scenario.run(
+        cfg, {0.05, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9});
+    std::printf("%-46s crash-free=%llu cycles, runs=%zu, "
+                "PMO violations=%llu, durable-state %s\n",
+                title,
+                static_cast<unsigned long long>(rep.crashFreeCycles),
+                rep.runs.size(),
+                static_cast<unsigned long long>(rep.totalViolations()),
+                rep.allOk() ? "OK" : "BROKEN");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Message-passing litmus (Wx ; pRel f || pAcq f ; Wy), "
+                "crash-swept:\n\n");
+
+    // Same-block producer/consumer: block scope suffices.
+    SystemConfig near_cfg = SystemConfig::testDefault(
+        ModelKind::Sbrp, SystemDesign::PmNear);
+    run("SBRP-near, same block, block scope",
+        messagePassing(Scope::Block, 1), near_cfg);
+
+    SystemConfig far_cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                     SystemDesign::PmFar);
+    run("SBRP-far,  same block, block scope",
+        messagePassing(Scope::Block, 1), far_cfg);
+
+    // Cross-block: device scope is required...
+    run("SBRP-near, cross block, device scope",
+        messagePassing(Scope::Device, 2), near_cfg);
+
+    // ...and this is the scoped persistency bug of Section 5.3: block
+    // scope across threadblocks. The formal model imposes NO ordering
+    // edge (the scope does not cover both threads), so the checker has
+    // nothing to verify — but the recoverability invariant can break:
+    // hardware may persist y before x.
+    std::printf("\nScoped persistency bug (Section 5.3): block-scoped "
+                "release used across blocks -\n");
+    run("SBRP-near, cross block, BLOCK scope (bug)",
+        messagePassing(Scope::Block, 2), near_cfg);
+    std::printf("\n(The bug run reports zero PMO violations because the "
+                "too-narrow scope\nremoves the formal edge; whether the "
+                "durable state survives is luck, not\na guarantee — "
+                "exactly why the paper calls these bugs insidious.)\n");
+    return 0;
+}

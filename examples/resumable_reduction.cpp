@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A crash-resumable tree reduction (the paper's running example,
+ * Figures 2-3): partial sums live in persistent memory, published with
+ * scoped releases, so after a power failure the computation resumes
+ * from the last persisted state instead of restarting.
+ *
+ * This example crashes the kernel at several points and shows how much
+ * of the re-run the embedded recovery check (`if (pArr[tid] != EMPTY)
+ * return;`) skips each time.
+ *
+ * Run: ./build/examples/resumable_reduction
+ */
+
+#include <cstdio>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/reduction.hh"
+
+using namespace sbrp;
+
+int
+main()
+{
+    ReductionParams params;
+    params.blocks = 16;
+    params.threadsPerBlock = 128;
+    params.elemsPerThread = 8;
+
+    SystemConfig cfg = SystemConfig::paperDefault(ModelKind::Sbrp,
+                                                  SystemDesign::PmNear);
+
+    Cycle total;
+    {
+        ReductionApp app(ModelKind::Sbrp, params);
+        AppRunResult r = AppHarness::runCrashFree(app, cfg);
+        total = r.forwardCycles;
+        std::printf("crash-free reduction: %llu cycles, total=%llu "
+                    "(verified: %s)\n",
+                    static_cast<unsigned long long>(r.forwardCycles),
+                    static_cast<unsigned long long>(
+                        app.expectedTotal()),
+                    r.consistent ? "yes" : "NO");
+    }
+
+    std::printf("\n%-12s %-14s %-18s %s\n", "crash point",
+                "resume cycles", "work (warp instr)", "result");
+    for (double frac : {0.15, 0.35, 0.55, 0.75, 0.95}) {
+        ReductionApp app(ModelKind::Sbrp, params);
+        auto at = static_cast<Cycle>(static_cast<double>(total) * frac);
+        AppRunResult r = AppHarness::runCrashRecover(app, cfg, at);
+        std::printf("%9.0f%%   %10llu    %14llu     %s\n", frac * 100.0,
+                    static_cast<unsigned long long>(r.recoveryCycles),
+                    static_cast<unsigned long long>(
+                        r.recoveryInstructions),
+                    r.consistent ? "correct total" : "WRONG TOTAL");
+    }
+
+    std::printf("\nLater crashes leave more subtree sums durable, so "
+                "the resume run skips\nmore threads via the pArr[tid] "
+                "!= EMPTY check (Figure 3, line 3) - watch\nthe "
+                "executed-work column collapse. (Wall time is bounded "
+                "below by the\nfinal block's serial accumulation, which "
+                "only the durable total skips.)\n");
+    return 0;
+}

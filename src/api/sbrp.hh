@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Umbrella header: the public API of the SBRP library.
+ *
+ * Typical use:
+ * @code
+ *   #include "api/sbrp.hh"
+ *
+ *   sbrp::SystemConfig cfg = sbrp::SystemConfig::paperDefault(
+ *       sbrp::ModelKind::Sbrp, sbrp::SystemDesign::PmNear);
+ *   sbrp::NvmDevice nvm;
+ *   sbrp::Addr data = nvm.allocate("my-data", 4096);
+ *   sbrp::GpuSystem gpu(cfg, nvm);
+ *
+ *   sbrp::KernelProgram k("hello", 1, 32);
+ *   sbrp::WarpBuilder(k.warp(0, 0), 32)
+ *       .storeImm([&](auto l) { return data + 4 * l; },
+ *                 [](auto l) { return l; })
+ *       .dfence();
+ *   gpu.launch(k);
+ *   // nvm.durable() now holds the data, crash-proof.
+ * @endcode
+ */
+
+#ifndef SBRP_API_SBRP_HH
+#define SBRP_API_SBRP_HH
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+#include "formal/checker.hh"
+#include "formal/litmus.hh"
+#include "formal/trace.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/isa.hh"
+#include "gpu/kernel.hh"
+#include "mem/address_map.hh"
+#include "mem/nvm_device.hh"
+
+#endif // SBRP_API_SBRP_HH

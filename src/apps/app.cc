@@ -1,0 +1,69 @@
+#include "apps/app.hh"
+
+#include "formal/checker.hh"
+#include "formal/trace.hh"
+
+namespace sbrp
+{
+
+AppRunResult
+AppHarness::runCrashFree(PmApp &app, const SystemConfig &cfg, bool traced)
+{
+    NvmDevice nvm;
+    app.setupNvm(nvm);
+
+    ExecutionTrace trace;
+    AppRunResult r;
+    {
+        GpuSystem gpu(cfg, nvm, traced ? &trace : nullptr);
+        app.setupGpu(gpu);
+        auto res = gpu.launch(app.forward());
+        r.forwardCycles = res.execCycles;
+        r.forwardDrainTail = res.cycles - res.execCycles;
+        r.l1NvmReadMisses = gpu.sumSmStat("read_miss_nvm");
+    }
+    r.nvmCommits = nvm.commitCount();
+    r.consistent = app.verify(nvm);
+    if (traced) {
+        PmoChecker checker(trace);
+        r.pmoViolations = checker.check().size();
+    }
+    return r;
+}
+
+AppRunResult
+AppHarness::runCrashRecover(PmApp &app, const SystemConfig &cfg,
+                            Cycle crash_at, bool traced)
+{
+    NvmDevice nvm;
+    app.setupNvm(nvm);
+
+    ExecutionTrace trace;
+    AppRunResult r;
+    {
+        GpuSystem gpu(cfg, nvm, traced ? &trace : nullptr);
+        app.setupGpu(gpu);
+        auto res = gpu.launch(app.forward(), crash_at);
+        r.forwardCycles = res.execCycles;
+        r.crashed = res.crashed;
+    }   // Power failure: volatile state is gone.
+
+    if (traced) {
+        PmoChecker checker(trace);
+        r.pmoViolations = checker.check().size();
+    }
+
+    {
+        // Power-up: fresh GPU over the surviving durable image.
+        GpuSystem gpu(cfg, nvm);
+        app.setupGpu(gpu);
+        auto res = gpu.launch(app.recovery());
+        r.recoveryCycles = res.execCycles;
+        r.recoveryInstructions = gpu.sumSmStat("instructions");
+    }
+    r.nvmCommits = nvm.commitCount();
+    r.consistent = app.verifyRecovered(nvm);
+    return r;
+}
+
+} // namespace sbrp

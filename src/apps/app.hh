@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Framework for the paper's six PM-aware GPU applications (Table 2).
+ *
+ * Each application builds model-specific kernels: under SBRP it uses
+ * oFence / dFence / scoped pAcq / pRel; under the epoch models (GPM and
+ * 'Epoch') it uses system-scope fences as epoch barriers with volatile
+ * flag spins. The harness runs crash-free executions, crash injections
+ * and recovery, and collects the statistics the figures need.
+ */
+
+#ifndef SBRP_APPS_APP_HH
+#define SBRP_APPS_APP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "gpu/gpu_system.hh"
+#include "gpu/kernel.hh"
+#include "mem/nvm_device.hh"
+
+namespace sbrp
+{
+
+/** Base class for PM-aware applications. */
+class PmApp
+{
+  public:
+    explicit PmApp(ModelKind model) : model_(model) {}
+    virtual ~PmApp() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocates named NVM regions and initial durable contents. */
+    virtual void setupNvm(NvmDevice &nvm) = 0;
+
+    /** Loads volatile inputs into GDDR (re-done after a power cycle). */
+    virtual void setupGpu(GpuSystem &gpu) = 0;
+
+    /** The forward kernel (includes any embedded recovery checks). */
+    virtual KernelProgram forward() const = 0;
+
+    /** True when recovery runs a dedicated kernel (logging recovery). */
+    virtual bool hasRecoveryKernel() const { return false; }
+
+    /**
+     * Recovery kernel after a crash. Native-recovery apps re-run the
+     * forward kernel (its embedded checks skip completed work).
+     */
+    virtual KernelProgram recovery() const { return forward(); }
+
+    /** Durable state is complete and correct (after a clean run). */
+    virtual bool verify(const NvmDevice &nvm) const = 0;
+
+    /**
+     * Durable state is *consistent* after crash + recovery. Native apps
+     * are fully complete after their recovery re-run, so the default
+     * delegates to verify().
+     */
+    virtual bool verifyRecovered(const NvmDevice &nvm) const
+    { return verify(nvm); }
+
+    ModelKind model() const { return model_; }
+
+  protected:
+    /** True when the kernel should use the scoped ops (oFence / dFence /
+        pAcq / pRel) — SBRP and the related-work scoped-barrier model
+        share the ISA surface; the epoch models use fences + spins. */
+    bool
+    sbrp() const
+    {
+        return model_ == ModelKind::Sbrp ||
+               model_ == ModelKind::ScopedBarrier;
+    }
+
+    /** Intra-thread ordering point: oFence, or the epoch barrier. */
+    void
+    orderPoint(WarpBuilder &b, std::uint32_t active = 0) const
+    {
+        if (sbrp())
+            b.ofence(active);
+        else
+            b.fence(Scope::System, active);
+    }
+
+    /** Durability point: dFence, or the epoch barrier. */
+    void
+    durabilityPoint(WarpBuilder &b, std::uint32_t active = 0) const
+    {
+        if (sbrp())
+            b.dfence(active);
+        else
+            b.fence(Scope::System, active);
+    }
+
+    ModelKind model_;
+};
+
+/** Result of one harness run. */
+struct AppRunResult
+{
+    /**
+     * Kernel runtime (cycles until the last warp retires) — what
+     * GPGPU-Sim reports and the paper's figures measure. Persists still
+     * buffered at kernel end drain afterwards; recoverability does not
+     * require them to be durable (that is the point of buffering).
+     */
+    Cycle forwardCycles = 0;
+    /** Post-retire drain tail of the forward kernel. */
+    Cycle forwardDrainTail = 0;
+    Cycle recoveryCycles = 0;
+    /** Warp instructions the recovery run issued (skipped work shows
+        up here: native-recovery checks exit completed threads). */
+    std::uint64_t recoveryInstructions = 0;
+    bool crashed = false;
+    bool consistent = false;
+    std::uint64_t l1NvmReadMisses = 0;
+    std::uint64_t nvmCommits = 0;
+    std::uint64_t pmoViolations = 0;   ///< Only populated when traced.
+};
+
+/** Drives apps through crash-free and crash/recovery executions. */
+class AppHarness
+{
+  public:
+    /** Runs to completion; verifies the durable end state. */
+    static AppRunResult runCrashFree(PmApp &app, const SystemConfig &cfg,
+                                     bool traced = false);
+
+    /**
+     * Runs the forward kernel, crashes it `crash_at` cycles in, power
+     * cycles, runs recovery on a fresh GpuSystem, and verifies the
+     * recovered durable state.
+     */
+    static AppRunResult runCrashRecover(PmApp &app,
+                                        const SystemConfig &cfg,
+                                        Cycle crash_at,
+                                        bool traced = false);
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_APP_HH

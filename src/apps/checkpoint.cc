@@ -1,0 +1,183 @@
+#include "apps/checkpoint.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+CheckpointApp::CheckpointApp(ModelKind model,
+                             const CheckpointParams &params)
+    : PmApp(model), p_(params)
+{
+    // Host replay: state[g] starts at g+1; each iteration adds the left
+    // neighbour (clamped at the block edge) plus the iteration number.
+    std::uint32_t T = p_.threadsPerBlock;
+    std::uint32_t n = p_.blocks * T;
+    std::uint32_t total = p_.itersPerEpoch * p_.epochs;
+
+    replay_.resize(total + 1);
+    replay_[0].resize(n);
+    for (std::uint32_t g = 0; g < n; ++g)
+        replay_[0][g] = g + 1;
+    for (std::uint32_t it = 1; it <= total; ++it) {
+        replay_[it].resize(n);
+        for (std::uint32_t g = 0; g < n; ++g) {
+            std::uint32_t tid = g % T;
+            std::uint32_t left = tid == 0 ? g : g - 1;
+            replay_[it][g] =
+                replay_[it - 1][g] + replay_[it - 1][left] + it;
+        }
+    }
+}
+
+std::uint32_t
+CheckpointApp::expectedState(std::uint32_t iters, std::uint32_t g) const
+{
+    return replay_[iters][g];
+}
+
+Addr
+CheckpointApp::bufAddr(std::uint32_t buf, std::uint32_t g) const
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    return ckpt_ + (std::uint64_t(buf) * n + g) * 4;
+}
+
+void
+CheckpointApp::setupNvm(NvmDevice &nvm)
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    ckpt_ = nvm.allocate("ckpt.buffers", 2ull * n * 4);
+    ctr_ = nvm.allocate("ckpt.epoch", std::uint64_t(p_.blocks) *
+                                          kCtrStride);
+}
+
+void
+CheckpointApp::setupGpu(GpuSystem &gpu)
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    state_ = gpu.gddrAlloc(std::uint64_t(n) * 4);
+    for (std::uint32_t g = 0; g < n; ++g)
+        gpu.mem().write32(state_ + 4ull * g, g + 1);
+    std::uint32_t warps = (p_.threadsPerBlock + 31) / 32;
+    done_ = gpu.gddrAlloc(std::uint64_t(p_.blocks) * p_.epochs *
+                          warps * 4);
+}
+
+KernelProgram
+CheckpointApp::forward() const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    KernelProgram k("checkpoint", p_.blocks, T);
+    std::uint32_t W = k.warpsPerBlock();
+
+    auto done_addr = [&](std::uint32_t b, std::uint32_t e,
+                         std::uint32_t w) {
+        return done_ + ((std::uint64_t(b) * p_.epochs + e) * W + w) * 4;
+    };
+
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < W; ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto g = [&](std::uint32_t l) { return b * T + w * 32 + l; };
+            auto tid = [&](std::uint32_t l) { return w * 32 + l; };
+            auto left = [&](std::uint32_t l) {
+                return tid(l) == 0 ? g(l) : g(l) - 1;
+            };
+
+            std::uint32_t it = 0;
+            for (std::uint32_t e = 0; e < p_.epochs; ++e) {
+                for (std::uint32_t i = 0; i < p_.itersPerEpoch; ++i) {
+                    ++it;
+                    // state[g] += state[left] + it  (volatile compute).
+                    wb.load(0, [&](std::uint32_t l) {
+                        return state_ + 4ull * g(l);
+                    });
+                    wb.load(1, [&](std::uint32_t l) {
+                        return state_ + 4ull * left(l);
+                    });
+                    wb.addReg(0, 1);
+                    wb.addImm(0, it);
+                    wb.store([&](std::uint32_t l) {
+                        return state_ + 4ull * g(l);
+                    }, 0);
+                    wb.barrier();   // Neighbour consistency.
+                }
+
+                // Checkpoint: persist the slice into buffer e % 2...
+                wb.store([&, e](std::uint32_t l) {
+                    return bufAddr(e % 2, g(l));
+                }, 0);
+                std::uint32_t lane0 = mask::lane(0);
+                if (sbrp()) {
+                    wb.prel([&, e](std::uint32_t) {
+                        return done_addr(b, e, w);
+                    }, 1, Scope::Block, lane0);
+                } else {
+                    wb.fence(Scope::System, lane0);
+                    wb.storeImm([&, e](std::uint32_t) {
+                        return done_addr(b, e, w);
+                    }, [](std::uint32_t) { return 1; }, lane0);
+                }
+
+                // ...then the leader commits the epoch counter, ordered
+                // after every warp's checkpoint data.
+                if (w == 0) {
+                    for (std::uint32_t w2 = 0; w2 < W; ++w2) {
+                        auto flag = [&, e, w2](std::uint32_t) {
+                            return done_addr(b, e, w2);
+                        };
+                        if (sbrp())
+                            wb.pacq(flag, 1, Scope::Block, lane0);
+                        else
+                            wb.spinLoad(flag, 1, lane0);
+                    }
+                    if (sbrp())
+                        wb.ofence(lane0);
+                    wb.storeImm([&](std::uint32_t) { return ctrAddr(b); },
+                                [e](std::uint32_t) { return e + 1; },
+                                lane0);
+                    if (!sbrp())
+                        wb.fence(Scope::System, lane0);
+                }
+                wb.barrier();   // Epochs stay in lockstep.
+            }
+        }
+    }
+    return k;
+}
+
+bool
+CheckpointApp::checkpointInvariant(const NvmDevice &nvm) const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        std::uint32_t c = nvm.durable().read32(ctrAddr(b));
+        if (c > p_.epochs)
+            return false;
+        if (c == 0)
+            continue;   // Nothing committed: nothing to check.
+        std::uint32_t iters = c * p_.itersPerEpoch;
+        std::uint32_t buf = (c - 1) % 2;
+        for (std::uint32_t t = 0; t < T; ++t) {
+            std::uint32_t g = b * T + t;
+            if (nvm.durable().read32(bufAddr(buf, g)) !=
+                    expectedState(iters, g)) {
+                return false;   // Torn or stale checkpoint.
+            }
+        }
+    }
+    return true;
+}
+
+bool
+CheckpointApp::verify(const NvmDevice &nvm) const
+{
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        if (nvm.durable().read32(ctrAddr(b)) != p_.epochs)
+            return false;
+    }
+    return checkpointInvariant(nvm);
+}
+
+} // namespace sbrp

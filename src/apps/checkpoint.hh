@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Checkpoint: a long-running iterative kernel that periodically
+ * checkpoints partial results to PM — the paper's motivating use case
+ * for "long-running GPU kernels, such as DNN training, that checkpoint
+ * partial results for recoverability and early termination" (Section 1).
+ *
+ * The working state lives in GDDR; every K iterations each block
+ * persists its slice into a double-buffered checkpoint area and then
+ * commits by persisting a per-block epoch counter, ordered by the
+ * intra-block release/acquire chain plus an oFence (or epoch barriers
+ * under the epoch models).
+ *
+ * Crash invariant (checkpoint atomicity): a durable epoch counter of c
+ * implies the buffer it names holds the *complete* state after c*K
+ * iterations — a crash can lose the newest checkpoint, never tear one.
+ */
+
+#ifndef SBRP_APPS_CHECKPOINT_HH
+#define SBRP_APPS_CHECKPOINT_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace sbrp
+{
+
+struct CheckpointParams
+{
+    std::uint32_t blocks = 4;
+    std::uint32_t threadsPerBlock = 64;
+    std::uint32_t itersPerEpoch = 4;
+    std::uint32_t epochs = 3;
+
+    static CheckpointParams test() { return CheckpointParams{}; }
+
+    static CheckpointParams
+    bench()
+    {
+        CheckpointParams p;
+        p.blocks = 60;
+        p.threadsPerBlock = 256;
+        p.itersPerEpoch = 8;
+        p.epochs = 6;
+        return p;
+    }
+};
+
+class CheckpointApp : public PmApp
+{
+  public:
+    CheckpointApp(ModelKind model, const CheckpointParams &params);
+
+    std::string name() const override { return "Ckpt"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool verify(const NvmDevice &nvm) const override;
+
+    /**
+     * The checkpoint-atomicity invariant, checkable on *any* durable
+     * image (including mid-crash, before recovery): every block's
+     * committed epoch names a complete, correct snapshot.
+     */
+    bool checkpointInvariant(const NvmDevice &nvm) const;
+
+    std::uint32_t expectedState(std::uint32_t iters,
+                                std::uint32_t g) const;
+
+  private:
+    static constexpr std::uint64_t kCtrStride = 128;
+
+    Addr bufAddr(std::uint32_t buf, std::uint32_t g) const;
+    Addr ctrAddr(std::uint32_t b) const { return ctr_ + kCtrStride * b; }
+
+    CheckpointParams p_;
+    /** state_[iters][g]: host replay of the working state. */
+    std::vector<std::vector<std::uint32_t>> replay_;
+    Addr ckpt_ = 0;
+    Addr ctr_ = 0;
+    Addr state_ = 0;    ///< Volatile working state (GDDR).
+    Addr done_ = 0;     ///< Volatile per (block, epoch, warp) flags.
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_CHECKPOINT_HH

@@ -1,0 +1,266 @@
+#include "apps/hashmap.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+std::uint32_t
+hash1(std::uint32_t key)
+{
+    key ^= key >> 16;
+    key *= 0x45d9f3bu;
+    return key;
+}
+
+std::uint32_t
+hash2(std::uint32_t key)
+{
+    key ^= key >> 13;
+    key *= 0x2c1b3c6du;
+    return key;
+}
+
+} // namespace
+
+HashmapApp::HashmapApp(ModelKind model, const HashmapParams &params)
+    : PmApp(model), p_(params)
+{
+    // Build the cuckoo plan: simulate each thread's insertions within
+    // its own stripe of the two tables, recording every slot write.
+    Rng rng(p_.seed);
+    std::uint32_t S = p_.stripeSlots;
+    planned_.resize(p_.threads());
+
+    for (std::uint32_t t = 0; t < p_.threads(); ++t) {
+        // Stripe-local occupancy: (key, val) per table slot.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> tab(
+            2 * S, {0, 0});
+        auto &steps = planned_[t];
+        for (std::uint32_t i = 0; i < p_.insertsPerThread; ++i) {
+            std::uint32_t key = 1 + (rng.next32() & 0x7fffffff);
+            std::uint32_t val = 1 + (rng.next32() & 0x7fffffff);
+            std::uint32_t table_sel = 0;
+            for (std::uint32_t kick = 0; kick <= p_.maxKicks; ++kick) {
+                std::uint32_t pos = (table_sel == 0 ? hash1(key)
+                                                    : hash2(key)) % S;
+                std::uint32_t local = table_sel * S + pos;
+
+                Step step;
+                step.gslot = t * 2 * S + local;
+                step.key = key;
+                step.val = val;
+                steps.push_back(step);
+
+                auto displaced = tab[local];
+                tab[local] = {key, val};
+                if (displaced.first == 0)
+                    break;   // Empty slot: chain resolved.
+                key = displaced.first;
+                val = displaced.second;
+                table_sel ^= 1;
+            }
+        }
+    }
+}
+
+Addr
+HashmapApp::slotAddr(std::uint32_t gslot) const
+{
+    return table_ + std::uint64_t(gslot) * 8;
+}
+
+Addr
+HashmapApp::logAddr(std::uint32_t thread, std::uint32_t word) const
+{
+    return log_ + std::uint64_t(thread) * 16 + 4 * word;
+}
+
+void
+HashmapApp::setupNvm(NvmDevice &nvm)
+{
+    std::uint64_t slots =
+        std::uint64_t(p_.threads()) * 2 * p_.stripeSlots;
+    table_ = nvm.allocate("hm.table", slots * 8);
+    log_ = nvm.allocate("hm.log", std::uint64_t(p_.threads()) * 16);
+}
+
+void
+HashmapApp::setupGpu(GpuSystem &gpu)
+{
+    // Volatile staging for the in-flight cuckoo chain entry.
+    scratch_ = gpu.gddrAlloc(std::uint64_t(p_.threads()) * 8);
+}
+
+KernelProgram
+HashmapApp::forward() const
+{
+    KernelProgram k("hashmap_insert", p_.blocks, p_.threadsPerBlock);
+    std::uint32_t max_steps = 0;
+    for (const auto &s : planned_)
+        max_steps = std::max<std::uint32_t>(max_steps,
+                                            std::uint32_t(s.size()));
+
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto tid = [&](std::uint32_t l) {
+                return b * p_.threadsPerBlock + w * 32 + l;
+            };
+
+            // Chains have different lengths; lanes drop out of later
+            // steps via the active mask.
+            for (std::uint32_t s = 0; s < max_steps; ++s) {
+                std::uint32_t active = 0;
+                for (std::uint32_t l = 0; l < 32; ++l) {
+                    if (s < planned_[tid(l)].size())
+                        active |= mask::lane(l);
+                }
+                if (!active)
+                    break;
+                auto step = [&, s](std::uint32_t l) -> const Step & {
+                    return planned_[tid(l)][s];
+                };
+                // Stage the entry being placed (volatile).
+                wb.storeImm([&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8;
+                }, [&](std::uint32_t l) { return step(l).key; }, active);
+                wb.storeImm([&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8 + 4;
+                }, [&](std::uint32_t l) { return step(l).val; }, active);
+                // Read the entry this step displaces.
+                wb.load(0, [&](std::uint32_t l) {
+                    return slotAddr(step(l).gslot);
+                }, active);
+                wb.load(1, [&](std::uint32_t l) {
+                    return slotAddr(step(l).gslot) + 4;
+                }, active);
+                // Undo-log it.
+                wb.storeImm([&](std::uint32_t l) {
+                    return logAddr(tid(l), 0);
+                }, [&](std::uint32_t l) { return step(l).gslot; },
+                   active);
+                wb.store([&](std::uint32_t l) {
+                    return logAddr(tid(l), 1);
+                }, 0, active);
+                wb.store([&](std::uint32_t l) {
+                    return logAddr(tid(l), 2);
+                }, 1, active);
+                wb.storeImm([&](std::uint32_t l) {
+                    return logAddr(tid(l), 3);
+                }, [](std::uint32_t) { return kLogValid; }, active);
+                orderPoint(wb, active);
+                // Write the new occupant, reloading the staged entry
+                // (GPM's fence invalidated the scratch line).
+                wb.load(3, [&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8;
+                }, active);
+                wb.load(4, [&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8 + 4;
+                }, active);
+                wb.store([&](std::uint32_t l) {
+                    return slotAddr(step(l).gslot);
+                }, 3, active);
+                wb.store([&](std::uint32_t l) {
+                    return slotAddr(step(l).gslot) + 4;
+                }, 4, active);
+                orderPoint(wb, active);
+                // Commit.
+                wb.storeImm([&](std::uint32_t l) {
+                    return logAddr(tid(l), 3);
+                }, [](std::uint32_t) { return kLogCommitted; }, active);
+                orderPoint(wb, active);
+            }
+        }
+    }
+    return k;
+}
+
+KernelProgram
+HashmapApp::recovery() const
+{
+    KernelProgram k("hashmap_recover", p_.blocks, p_.threadsPerBlock);
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto tid = [&](std::uint32_t l) {
+                return b * p_.threadsPerBlock + w * 32 + l;
+            };
+            wb.exitIfNe([&](std::uint32_t l) {
+                return logAddr(tid(l), 3);
+            }, kLogValid);
+            wb.load(0, [&](std::uint32_t l) { return logAddr(tid(l), 0); });
+            wb.load(1, [&](std::uint32_t l) { return logAddr(tid(l), 1); });
+            wb.load(2, [&](std::uint32_t l) { return logAddr(tid(l), 2); });
+            wb.storeIdx([&](std::uint32_t) { return table_; }, 1, 0, 8);
+            wb.storeIdx([&](std::uint32_t) { return table_ + 4; }, 2, 0,
+                        8);
+            durabilityPoint(wb);
+            wb.storeImm([&](std::uint32_t l) {
+                return logAddr(tid(l), 3);
+            }, [](std::uint32_t) { return kLogIdle; });
+        }
+    }
+    return k;
+}
+
+bool
+HashmapApp::verify(const NvmDevice &nvm) const
+{
+    for (std::uint32_t t = 0; t < p_.threads(); ++t) {
+        std::uint32_t S = p_.stripeSlots;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> tab(
+            2 * S, {0, 0});
+        for (const Step &s : planned_[t])
+            tab[s.gslot - t * 2 * S] = {s.key, s.val};
+        for (std::uint32_t i = 0; i < 2 * S; ++i) {
+            std::uint32_t gslot = t * 2 * S + i;
+            if (nvm.durable().read32(slotAddr(gslot)) != tab[i].first ||
+                    nvm.durable().read32(slotAddr(gslot) + 4) !=
+                        tab[i].second) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+HashmapApp::verifyRecovered(const NvmDevice &nvm) const
+{
+    // Each thread's stripe must equal the state after some prefix of
+    // its planned chain steps (the last in-flight step rolled back).
+    for (std::uint32_t t = 0; t < p_.threads(); ++t) {
+        std::uint32_t S = p_.stripeSlots;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> tab(
+            2 * S, {0, 0});
+
+        auto stripe_matches = [&]() {
+            for (std::uint32_t i = 0; i < 2 * S; ++i) {
+                std::uint32_t gslot = t * 2 * S + i;
+                if (nvm.durable().read32(slotAddr(gslot)) !=
+                        tab[i].first ||
+                    nvm.durable().read32(slotAddr(gslot) + 4) !=
+                        tab[i].second) {
+                    return false;
+                }
+            }
+            return true;
+        };
+
+        bool matched = stripe_matches();
+        for (std::size_t s = 0; s < planned_[t].size() && !matched; ++s) {
+            const Step &st = planned_[t][s];
+            tab[st.gslot - t * 2 * S] = {st.key, st.val};
+            matched = stripe_matches();
+        }
+        if (!matched)
+            return false;
+    }
+    return true;
+}
+
+} // namespace sbrp

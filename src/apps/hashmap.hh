@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hashmap (paper Section 7.1): cuckoo-hash insertion of value batches.
+ * Before a slot is (over)written — either by a fresh insert or by a
+ * displacement along the cuckoo chain — the old entry is undo-logged to
+ * PM (intra-thread PMO: log -> ofence -> write -> ofence -> commit).
+ * Recovery restores the logged in-flight entry, as in gpKVS.
+ *
+ * Displacement chains are resolved at build time into a per-thread
+ * sequence of slot writes; each thread hashes into its own slot stripe
+ * (a partitioned batch), keeping the final table deterministic.
+ */
+
+#ifndef SBRP_APPS_HASHMAP_HH
+#define SBRP_APPS_HASHMAP_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/rng.hh"
+
+namespace sbrp
+{
+
+struct HashmapParams
+{
+    std::uint32_t blocks = 4;
+    std::uint32_t threadsPerBlock = 64;
+    std::uint32_t insertsPerThread = 2;
+    std::uint32_t stripeSlots = 8;     ///< Per thread, per table.
+    std::uint32_t maxKicks = 4;
+    std::uint64_t seed = 0xcafe;
+
+    std::uint32_t threads() const { return blocks * threadsPerBlock; }
+
+    static HashmapParams test() { return HashmapParams{}; }
+
+    static HashmapParams
+    bench()
+    {
+        // ~31K inserts (paper: ~50K entries; trimmed for sim speed).
+        HashmapParams p;
+        p.blocks = 60;
+        p.threadsPerBlock = 256;
+        p.insertsPerThread = 2;
+        return p;
+    }
+};
+
+class HashmapApp : public PmApp
+{
+  public:
+    static constexpr std::uint32_t kLogIdle = 0;
+    static constexpr std::uint32_t kLogValid = 1;
+    static constexpr std::uint32_t kLogCommitted = 2;
+
+    HashmapApp(ModelKind model, const HashmapParams &params);
+
+    std::string name() const override { return "HM"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool hasRecoveryKernel() const override { return true; }
+    KernelProgram recovery() const override;
+    bool verify(const NvmDevice &nvm) const override;
+    bool verifyRecovered(const NvmDevice &nvm) const override;
+
+  private:
+    /** One planned slot write (a chain step). */
+    struct Step
+    {
+        std::uint32_t gslot;   ///< Global slot index across both tables.
+        std::uint32_t key;
+        std::uint32_t val;
+    };
+
+    Addr slotAddr(std::uint32_t gslot) const;
+    Addr logAddr(std::uint32_t thread, std::uint32_t word) const;
+
+    HashmapParams p_;
+    /** Per-thread chain-step sequences (flattened, with offsets). */
+    std::vector<std::vector<Step>> planned_;
+    Addr table_ = 0;
+    Addr log_ = 0;
+    Addr scratch_ = 0;   ///< Volatile staging buffer (GDDR).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_HASHMAP_HH

@@ -1,0 +1,215 @@
+#include "apps/kvs.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+KvsApp::KvsApp(ModelKind model, const KvsParams &params)
+    : PmApp(model), p_(params)
+{
+    // Plan the batch: keys/values are random but each thread inserts
+    // into its own slot stripe (a partitioned KVS batch), so the final
+    // table is deterministic under any thread interleaving.
+    Rng rng(p_.seed);
+    plan_.reserve(std::size_t(p_.threads()) * p_.pairsPerThread);
+    for (std::uint32_t t = 0; t < p_.threads(); ++t) {
+        for (std::uint32_t i = 0; i < p_.pairsPerThread; ++i) {
+            Insert ins;
+            ins.key = 1 + (rng.next32() & 0x7fffffff);
+            ins.val = 1 + (rng.next32() & 0x7fffffff);
+            ins.slot = t * p_.slotsPerThread +
+                       ins.key % p_.slotsPerThread;
+            plan_.push_back(ins);
+        }
+    }
+}
+
+Addr
+KvsApp::slotAddr(std::uint32_t slot) const
+{
+    return table_ + std::uint64_t(slot) * 8;
+}
+
+Addr
+KvsApp::logAddr(std::uint32_t thread, std::uint32_t word) const
+{
+    return log_ + std::uint64_t(thread) * 16 + word * 4;
+}
+
+void
+KvsApp::setupNvm(NvmDevice &nvm)
+{
+    std::uint64_t slots = std::uint64_t(p_.threads()) * p_.slotsPerThread;
+    table_ = nvm.allocate("kvs.table", slots * 8);
+    log_ = nvm.allocate("kvs.log", std::uint64_t(p_.threads()) * 16);
+    // Durable images start zeroed: empty table, idle log.
+}
+
+void
+KvsApp::setupGpu(GpuSystem &gpu)
+{
+    // Volatile staging area: threads assemble the pair here before the
+    // PM insertion (GPM's system-scope fence must flush these too).
+    scratch_ = gpu.gddrAlloc(std::uint64_t(p_.threads()) * 8);
+}
+
+KernelProgram
+KvsApp::forward() const
+{
+    KernelProgram k("gpkvs_insert", p_.blocks, p_.threadsPerBlock);
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto tid = [&](std::uint32_t l) {
+                return b * p_.threadsPerBlock + w * 32 + l;
+            };
+            for (std::uint32_t i = 0; i < p_.pairsPerThread; ++i) {
+                auto ins = [&](std::uint32_t l) -> const Insert & {
+                    return plan_[std::size_t(tid(l)) * p_.pairsPerThread +
+                                 i];
+                };
+                // Stage the new pair in volatile scratch.
+                wb.storeImm([&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8;
+                }, [&](std::uint32_t l) { return ins(l).key; });
+                wb.storeImm([&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8 + 4;
+                }, [&](std::uint32_t l) { return ins(l).val; });
+                // Read the old pair.
+                wb.load(0, [&](std::uint32_t l) {
+                    return slotAddr(ins(l).slot);
+                });
+                wb.load(1, [&](std::uint32_t l) {
+                    return slotAddr(ins(l).slot) + 4;
+                });
+                // insert_into_log: slot, old pair, VALID marker.
+                wb.storeImm([&](std::uint32_t l) {
+                    return logAddr(tid(l), 0);
+                }, [&](std::uint32_t l) { return ins(l).slot; });
+                wb.store([&](std::uint32_t l) {
+                    return logAddr(tid(l), 1);
+                }, 0);
+                wb.store([&](std::uint32_t l) {
+                    return logAddr(tid(l), 2);
+                }, 1);
+                wb.storeImm([&](std::uint32_t l) {
+                    return logAddr(tid(l), 3);
+                }, [](std::uint32_t) { return kLogValid; });
+                orderPoint(wb);
+                // insert_pair: reload the staged pair (a register
+                // spill-reload; GPM's fence invalidated the scratch
+                // line, the PM-only epoch barrier and SBRP kept it).
+                wb.load(2, [&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8;
+                });
+                wb.load(3, [&](std::uint32_t l) {
+                    return scratch_ + std::uint64_t(tid(l)) * 8 + 4;
+                });
+                wb.store([&](std::uint32_t l) {
+                    return slotAddr(ins(l).slot);
+                }, 2);
+                wb.store([&](std::uint32_t l) {
+                    return slotAddr(ins(l).slot) + 4;
+                }, 3);
+                orderPoint(wb);
+                // commit_log.
+                wb.storeImm([&](std::uint32_t l) {
+                    return logAddr(tid(l), 3);
+                }, [](std::uint32_t) { return kLogCommitted; });
+                orderPoint(wb);
+            }
+        }
+    }
+    return k;
+}
+
+KernelProgram
+KvsApp::recovery() const
+{
+    KernelProgram k("gpkvs_recover", p_.blocks, p_.threadsPerBlock);
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto tid = [&](std::uint32_t l) {
+                return b * p_.threadsPerBlock + w * 32 + l;
+            };
+            // Only in-flight (VALID) log entries need restoring.
+            wb.exitIfNe([&](std::uint32_t l) {
+                return logAddr(tid(l), 3);
+            }, kLogValid);
+            // read_from_log.
+            wb.load(0, [&](std::uint32_t l) { return logAddr(tid(l), 0); });
+            wb.load(1, [&](std::uint32_t l) { return logAddr(tid(l), 1); });
+            wb.load(2, [&](std::uint32_t l) { return logAddr(tid(l), 2); });
+            // restore_pair (slot index is data-dependent).
+            wb.storeIdx([&](std::uint32_t) { return table_; }, 1, 0, 8);
+            wb.storeIdx([&](std::uint32_t) { return table_ + 4; }, 2, 0, 8);
+            durabilityPoint(wb);
+            // remove_log.
+            wb.storeImm([&](std::uint32_t l) {
+                return logAddr(tid(l), 3);
+            }, [](std::uint32_t) { return kLogIdle; });
+        }
+    }
+    return k;
+}
+
+bool
+KvsApp::verify(const NvmDevice &nvm) const
+{
+    // Replay the whole plan; the table must match exactly.
+    std::uint64_t slots = std::uint64_t(p_.threads()) * p_.slotsPerThread;
+    std::vector<std::uint32_t> key(slots, 0), val(slots, 0);
+    for (const Insert &ins : plan_) {
+        key[ins.slot] = ins.key;
+        val[ins.slot] = ins.val;
+    }
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        if (nvm.durable().read32(slotAddr(static_cast<std::uint32_t>(s)))
+                != key[s] ||
+            nvm.durable().read32(
+                slotAddr(static_cast<std::uint32_t>(s)) + 4) != val[s]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+KvsApp::verifyRecovered(const NvmDevice &nvm) const
+{
+    // After crash + recovery every thread's slot stripe must equal the
+    // state after applying some prefix of its planned inserts: no torn
+    // pairs, no gaps.
+    for (std::uint32_t t = 0; t < p_.threads(); ++t) {
+        std::uint32_t base = t * p_.slotsPerThread;
+        std::vector<std::uint32_t> key(p_.slotsPerThread, 0);
+        std::vector<std::uint32_t> val(p_.slotsPerThread, 0);
+
+        bool matched = false;
+        for (std::uint32_t prefix = 0; prefix <= p_.pairsPerThread &&
+                !matched; ++prefix) {
+            if (prefix > 0) {
+                const Insert &ins =
+                    plan_[std::size_t(t) * p_.pairsPerThread + prefix - 1];
+                key[ins.slot - base] = ins.key;
+                val[ins.slot - base] = ins.val;
+            }
+            bool eq = true;
+            for (std::uint32_t s = 0; s < p_.slotsPerThread && eq; ++s) {
+                if (nvm.durable().read32(slotAddr(base + s)) != key[s] ||
+                        nvm.durable().read32(slotAddr(base + s) + 4) !=
+                            val[s]) {
+                    eq = false;
+                }
+            }
+            matched = eq;
+        }
+        if (!matched)
+            return false;
+    }
+    return true;
+}
+
+} // namespace sbrp

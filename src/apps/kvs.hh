@@ -1,0 +1,93 @@
+/**
+ * @file
+ * gpKVS: GPU-accelerated persistent key-value store (paper Section 7.1,
+ * Figure 4). A batch of key-value pairs is inserted in parallel; each
+ * thread write-ahead undo-logs the old pair before overwriting it
+ * (intra-thread PMO), and commits the log entry afterwards. Recovery
+ * runs a dedicated kernel that restores logged in-flight pairs.
+ */
+
+#ifndef SBRP_APPS_KVS_HH
+#define SBRP_APPS_KVS_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/rng.hh"
+
+namespace sbrp
+{
+
+struct KvsParams
+{
+    std::uint32_t blocks = 4;
+    std::uint32_t threadsPerBlock = 64;
+    std::uint32_t pairsPerThread = 2;
+    std::uint32_t slotsPerThread = 4;
+    std::uint64_t seed = 0x5eed;
+
+    std::uint32_t
+    threads() const
+    {
+        return blocks * threadsPerBlock;
+    }
+
+    /** Small configuration for unit tests. */
+    static KvsParams test() { return KvsParams{}; }
+
+    /** Paper-shaped workload, scaled to simulator speed (~16K pairs). */
+    static KvsParams
+    bench()
+    {
+        // ~61K pairs (paper: ~64K), with a table footprint well past
+        // the L1/persist-buffer capacity of each SM.
+        KvsParams p;
+        p.blocks = 60;
+        p.threadsPerBlock = 256;
+        p.pairsPerThread = 4;
+        p.slotsPerThread = 8;
+        return p;
+    }
+};
+
+class KvsApp : public PmApp
+{
+  public:
+    /** Log entry states. */
+    static constexpr std::uint32_t kLogIdle = 0;
+    static constexpr std::uint32_t kLogValid = 1;
+    static constexpr std::uint32_t kLogCommitted = 2;
+
+    KvsApp(ModelKind model, const KvsParams &params);
+
+    std::string name() const override { return "gpKVS"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool hasRecoveryKernel() const override { return true; }
+    KernelProgram recovery() const override;
+    bool verify(const NvmDevice &nvm) const override;
+    bool verifyRecovered(const NvmDevice &nvm) const override;
+
+  private:
+    /** A planned insertion. */
+    struct Insert
+    {
+        std::uint32_t slot;   ///< Global slot index.
+        std::uint32_t key;
+        std::uint32_t val;
+    };
+
+    Addr slotAddr(std::uint32_t slot) const;
+    Addr logAddr(std::uint32_t thread, std::uint32_t word) const;
+
+    KvsParams p_;
+    std::vector<Insert> plan_;   ///< threads() * pairsPerThread entries.
+    Addr table_ = 0;
+    Addr log_ = 0;
+    Addr scratch_ = 0;   ///< Volatile staging buffer (GDDR).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_KVS_HH

@@ -1,0 +1,201 @@
+#include "apps/multiqueue.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+MultiqueueApp::MultiqueueApp(ModelKind model,
+                             const MultiqueueParams &params)
+    : PmApp(model), p_(params)
+{
+    if (p_.batches == 0 || p_.batches > 32)
+        sbrp_fatal("multiqueue supports 1..32 batches, got %s",
+                   p_.batches);
+}
+
+Addr
+MultiqueueApp::entryAddr(std::uint32_t b, std::uint32_t idx) const
+{
+    std::uint64_t per_block =
+        std::uint64_t(p_.batches) * p_.threadsPerBlock;
+    return queue_ + (std::uint64_t(b) * per_block + idx) * 4;
+}
+
+void
+MultiqueueApp::setupNvm(NvmDevice &nvm)
+{
+    std::uint64_t per_block =
+        std::uint64_t(p_.batches) * p_.threadsPerBlock;
+    queue_ = nvm.allocate("mq.entries", p_.blocks * per_block * 4);
+    tail_ = nvm.allocate("mq.tail", std::uint64_t(p_.blocks) * kStride);
+    log_ = nvm.allocate("mq.log", std::uint64_t(p_.blocks) *
+                                      p_.batches * kStride);
+}
+
+void
+MultiqueueApp::setupGpu(GpuSystem &gpu)
+{
+    std::uint32_t warps = (p_.threadsPerBlock + 31) / 32;
+    done_ = gpu.gddrAlloc(std::uint64_t(p_.blocks) * p_.batches *
+                          warps * 4);
+    pace_ = gpu.gddrAlloc(std::uint64_t(p_.blocks) * 4);
+    scratch_ = gpu.gddrAlloc(
+        std::uint64_t(p_.blocks) * p_.threadsPerBlock * 4);
+}
+
+KernelProgram
+MultiqueueApp::forward() const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    KernelProgram k("multiqueue", p_.blocks, T);
+    std::uint32_t W = k.warpsPerBlock();
+
+    auto done_addr = [&](std::uint32_t b, std::uint32_t batch,
+                         std::uint32_t w) {
+        return done_ +
+               ((std::uint64_t(b) * p_.batches + batch) * W + w) * 4;
+    };
+
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < W; ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto tid = [&](std::uint32_t l) { return w * 32 + l; };
+
+            auto pace_addr = [&](std::uint32_t) {
+                return pace_ + std::uint64_t(b) * 4;
+            };
+
+            for (std::uint32_t batch = 0; batch < p_.batches; ++batch) {
+                // Batches are sequential transactions: wait (volatile
+                // scheduling sync, not a PMO edge) until the previous
+                // batch committed before producing the next.
+                if (batch > 0)
+                    wb.spinLoad(pace_addr, batch);
+                // Stage the entry in volatile scratch, then persist it.
+                wb.storeImm([&](std::uint32_t l) {
+                    return scratch_ +
+                           (std::uint64_t(b) * T + tid(l)) * 4;
+                }, [&, batch](std::uint32_t l) {
+                    return entryValue(b, batch * T + tid(l));
+                });
+                wb.storeImm([&, batch](std::uint32_t l) {
+                    return entryAddr(b, batch * T + tid(l));
+                }, [&, batch](std::uint32_t l) {
+                    return entryValue(b, batch * T + tid(l));
+                });
+
+                // Lane 0 signals this warp's entries are ordered-done.
+                std::uint32_t lane0 = mask::lane(0);
+                if (sbrp()) {
+                    wb.prel([&, batch](std::uint32_t) {
+                        return done_addr(b, batch, w);
+                    }, 1, blockScope(), lane0);
+                } else {
+                    // Epoch: make the entries durable, then raise the
+                    // volatile flag.
+                    wb.fence(Scope::System, lane0);
+                    wb.storeImm([&, batch](std::uint32_t) {
+                        return done_addr(b, batch, w);
+                    }, [](std::uint32_t) { return 1; }, lane0);
+                }
+
+                // The block leader (warp 0, lane 0) commits the txn:
+                // advance the tail (ordered after every entry via the
+                // acquire chain), then log the commit snapshot.
+                if (w == 0) {
+                    for (std::uint32_t w2 = 0; w2 < W; ++w2) {
+                        auto flag = [&, batch, w2](std::uint32_t) {
+                            return done_addr(b, batch, w2);
+                        };
+                        if (sbrp())
+                            wb.pacq(flag, 1, blockScope(), lane0);
+                        else
+                            wb.spinLoad(flag, 1, lane0);
+                    }
+                    wb.storeImm([&](std::uint32_t) {
+                        return tailAddr(b);
+                    }, [&, batch](std::uint32_t) {
+                        return (batch + 1) * T;
+                    }, lane0);
+                    orderPoint(wb, lane0);
+                    wb.storeImm([&, batch](std::uint32_t) {
+                        return logAddr(b, batch);
+                    }, [&, batch](std::uint32_t) {
+                        return (batch + 1) * T;
+                    }, lane0);
+                    // Release the next batch (volatile pacing flag).
+                    wb.storeImm(pace_addr, [batch](std::uint32_t) {
+                        return batch + 1;
+                    }, lane0);
+                }
+            }
+        }
+    }
+    return k;
+}
+
+KernelProgram
+MultiqueueApp::recovery() const
+{
+    // Lane k reads batch k's commit snapshot; the restored tail is the
+    // maximum committed snapshot (0 if none committed).
+    KernelProgram k("multiqueue_recover", p_.blocks, 32);
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        WarpBuilder wb(k.warp(b, 0), 32);
+        std::uint32_t lanes = mask::firstN(p_.batches);
+        std::uint32_t lane0 = mask::lane(0);
+        wb.mov(0, 0);
+        wb.load(0, [&](std::uint32_t l) { return logAddr(b, l); },
+                lanes);
+        wb.laneMax(0);
+        wb.store([&](std::uint32_t) { return tailAddr(b); }, 0, lane0);
+        durabilityPoint(wb, lane0);
+    }
+    return k;
+}
+
+bool
+MultiqueueApp::verify(const NvmDevice &nvm) const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        if (nvm.durable().read32(tailAddr(b)) != p_.batches * T)
+            return false;
+        for (std::uint32_t i = 0; i < p_.batches * T; ++i) {
+            if (nvm.durable().read32(entryAddr(b, i)) != entryValue(b, i))
+                return false;
+        }
+        for (std::uint32_t k2 = 0; k2 < p_.batches; ++k2) {
+            if (nvm.durable().read32(logAddr(b, k2)) != (k2 + 1) * T)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+MultiqueueApp::verifyRecovered(const NvmDevice &nvm) const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        // The restored tail must be the latest committed snapshot...
+        std::uint32_t expect_tail = 0;
+        for (std::uint32_t k2 = 0; k2 < p_.batches; ++k2) {
+            std::uint32_t snap = nvm.durable().read32(logAddr(b, k2));
+            if (snap != 0 && snap != (k2 + 1) * T)
+                return false;   // Corrupt snapshot.
+            expect_tail = std::max(expect_tail, snap);
+        }
+        if (nvm.durable().read32(tailAddr(b)) != expect_tail)
+            return false;
+        // ...and every entry below it must be durable and correct.
+        for (std::uint32_t i = 0; i < expect_tail; ++i) {
+            if (nvm.durable().read32(entryAddr(b, i)) != entryValue(b, i))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace sbrp

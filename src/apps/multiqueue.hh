@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multiqueue (paper Section 7.1): each threadblock owns a persistent
+ * queue; batches of entries are inserted transactionally. Worker warps
+ * persist their entries and release per-warp done flags (intra-block
+ * PMO); the block leader acquires them, advances the persistent tail,
+ * and then logs a commit snapshot of the tail (intra-thread PMO).
+ * Recovery restores each queue's tail from its latest committed
+ * snapshot, discarding in-flight transactions.
+ */
+
+#ifndef SBRP_APPS_MULTIQUEUE_HH
+#define SBRP_APPS_MULTIQUEUE_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace sbrp
+{
+
+struct MultiqueueParams
+{
+    std::uint32_t blocks = 4;
+    std::uint32_t threadsPerBlock = 64;
+    std::uint32_t batches = 4;   ///< <= 32 (recovery is lane-parallel).
+
+    static MultiqueueParams test() { return MultiqueueParams{}; }
+
+    static MultiqueueParams
+    bench()
+    {
+        MultiqueueParams p;
+        p.blocks = 60;
+        p.threadsPerBlock = 256;
+        p.batches = 12;
+        return p;
+    }
+};
+
+class MultiqueueApp : public PmApp
+{
+  public:
+    MultiqueueApp(ModelKind model, const MultiqueueParams &params);
+
+    std::string name() const override { return "MQ"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool hasRecoveryKernel() const override { return true; }
+    KernelProgram recovery() const override;
+    bool verify(const NvmDevice &nvm) const override;
+    bool verifyRecovered(const NvmDevice &nvm) const override;
+
+    /** Figure 7: emit block-scoped ops at device scope instead. */
+    void setForceDeviceScope(bool v) { forceDeviceScope_ = v; }
+
+  private:
+    Scope blockScope() const
+    { return forceDeviceScope_ ? Scope::Device : Scope::Block; }
+
+    std::uint32_t entryValue(std::uint32_t b, std::uint32_t idx) const
+    { return 1 + (b * 131 + idx * 7) % 100000; }
+
+    /** PM metadata is line-padded: tails/log slots of different blocks
+        (and different batches) must not share lines — GPU L1s are
+        incoherent, and slot reuse would stall every transaction. */
+    static constexpr std::uint64_t kStride = 128;
+
+    Addr entryAddr(std::uint32_t b, std::uint32_t idx) const;
+    Addr tailAddr(std::uint32_t b) const { return tail_ + kStride * b; }
+    /** Commit snapshot of batch `k` (nonzero == committed). */
+    Addr logAddr(std::uint32_t b, std::uint32_t batch) const
+    {
+        return log_ + kStride * (std::uint64_t(b) * p_.batches + batch);
+    }
+
+    MultiqueueParams p_;
+    bool forceDeviceScope_ = false;
+    Addr queue_ = 0;
+    Addr tail_ = 0;
+    Addr log_ = 0;
+    Addr done_ = 0;      ///< Volatile per (block, batch, warp) flags.
+    Addr pace_ = 0;      ///< Volatile per-block batch pacing flag.
+    Addr scratch_ = 0;   ///< Volatile entry staging (GDDR).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_MULTIQUEUE_HH

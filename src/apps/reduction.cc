@@ -1,0 +1,226 @@
+#include "apps/reduction.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** Lanes of warp `w` whose block-local tid falls in [lo, hi). */
+std::uint32_t
+laneRange(std::uint32_t w, std::uint32_t lo, std::uint32_t hi)
+{
+    std::uint32_t wbase = w * 32;
+    std::uint32_t a = lo > wbase ? lo - wbase : 0;
+    std::uint32_t b = hi > wbase ? hi - wbase : 0;
+    a = std::min(a, 32u);
+    b = std::min(b, 32u);
+    return a < b ? mask::range(a, b) : 0;
+}
+
+} // namespace
+
+ReductionApp::ReductionApp(ModelKind model, const ReductionParams &params)
+    : PmApp(model), p_(params)
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    if (T < 32 || (T & (T - 1)) != 0)
+        sbrp_fatal("reduction needs a power-of-two block size >= 32");
+
+    std::uint32_t n = p_.blocks * T;
+    Rng rng(p_.seed);
+    input_.resize(std::size_t(n) * p_.elemsPerThread);
+    for (auto &v : input_)
+        v = 1 + static_cast<std::uint32_t>(rng.below(9));
+
+    // Host replay: per-thread local sums, then the in-block tree.
+    std::vector<std::uint32_t> s(n);
+    for (std::uint32_t g = 0; g < n; ++g) {
+        std::uint32_t sum = 0;
+        for (std::uint32_t e = 0; e < p_.elemsPerThread; ++e)
+            sum += input_[std::size_t(g) * p_.elemsPerThread + e];
+        s[g] = sum;
+    }
+    subtree_.assign(n, 0);
+    blockSum_.assign(p_.blocks, 0);
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        std::uint32_t base = b * T;
+        std::vector<std::uint32_t> acc(s.begin() + base,
+                                       s.begin() + base + T);
+        for (std::uint32_t half = T / 2; half >= 1; half /= 2) {
+            for (std::uint32_t tid = half; tid < 2 * half; ++tid)
+                subtree_[base + tid] = acc[tid];
+            for (std::uint32_t tid = 0; tid < half; ++tid)
+                acc[tid] += acc[tid + half];
+        }
+        blockSum_[b] = acc[0];
+        expectedTotal_ += acc[0];
+    }
+}
+
+void
+ReductionApp::setupNvm(NvmDevice &nvm)
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    pArr_ = nvm.allocate("red.parr", std::uint64_t(n) * 4);
+    // Partial sums are padded to a line each: different SMs persist
+    // them, and GPU L1s are incoherent (false sharing on PM lines).
+    psum_ = nvm.allocate("red.psum", std::uint64_t(p_.blocks) * 128);
+    out_ = nvm.allocate("red.out", 4);
+}
+
+void
+ReductionApp::setupGpu(GpuSystem &gpu)
+{
+    Addr in = gpu.gddrAlloc(input_.size() * 4);
+    for (std::size_t i = 0; i < input_.size(); ++i)
+        gpu.mem().write32(in + 4 * i, input_[i]);
+    input_addr_ = in;
+    scratch_ = gpu.gddrAlloc(
+        std::uint64_t(p_.blocks) * p_.threadsPerBlock * 4);
+}
+
+KernelProgram
+ReductionApp::forward() const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    std::uint32_t B = p_.blocks;
+    std::uint32_t E = p_.elemsPerThread;
+    Addr in = input_addr_;
+
+    KernelProgram k("reduction", B, T);
+    for (BlockId b = 0; b < B; ++b) {
+        bool final_block = (b == B - 1);
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto g = [&](std::uint32_t l) { return b * T + w * 32 + l; };
+            auto tid = [&](std::uint32_t l) { return w * 32 + l; };
+
+            // Figure 3 line 3: return early if already persisted. The
+            // final block's first warp re-runs unconditionally unless
+            // the total is durable (it performs the cross-block sum).
+            wb.exitIfNe([&](std::uint32_t l) -> Addr {
+                if (final_block && w == 0)
+                    return out_;
+                if (tid(l) > 0)
+                    return pArr_ + 4 * g(l);
+                return psum_ + 128 * std::uint64_t(b);
+            }, 0);
+
+            // Grid-stride local sum over the GDDR input.
+            wb.load(0, [&](std::uint32_t l) {
+                return in + 4 * (std::uint64_t(g(l)) * E);
+            });
+            for (std::uint32_t e = 1; e < E; ++e) {
+                wb.load(1, [&, e](std::uint32_t l) {
+                    return in + 4 * (std::uint64_t(g(l)) * E + e);
+                });
+                wb.addReg(0, 1);
+            }
+
+            // Tree iterations: upper half retires (publishes pArr[g]);
+            // lower half acquires the partner element and accumulates.
+            for (std::uint32_t half = T / 2; half >= 1; half /= 2) {
+                std::uint32_t upper = laneRange(w, half, 2 * half);
+                std::uint32_t lower = laneRange(w, 0, half);
+                if (upper) {
+                    // Spill the local sum (volatile staging).
+                    wb.store([&](std::uint32_t l) {
+                        return scratch_ + 4 * g(l);
+                    }, 0, upper);
+                    if (sbrp()) {
+                        wb.prelReg([&](std::uint32_t l) {
+                            return pArr_ + 4 * g(l);
+                        }, 0, blockScope(), upper);
+                    } else {
+                        // Epoch release: earlier persists must be durable
+                        // before the published value becomes visible, so
+                        // the epoch barrier sits on the critical path.
+                        wb.fence(Scope::System, upper);
+                        wb.store([&](std::uint32_t l) {
+                            return pArr_ + 4 * g(l);
+                        }, 0, upper);
+                    }
+                }
+                if (lower) {
+                    auto partner = [&, half](std::uint32_t l) {
+                        return pArr_ + 4 * (b * T + tid(l) + half);
+                    };
+                    if (sbrp())
+                        wb.pacqNe(partner, 0, blockScope(), lower);
+                    else
+                        wb.spinLoadNe(partner, 0, lower);
+                    wb.load(1, partner, lower);
+                    wb.addReg(0, 1, lower);
+                }
+            }
+
+            // Block leader publishes the block sum at device scope
+            // (Figure 3 lines 22-24).
+            if (w == 0) {
+                std::uint32_t lane0 = mask::lane(0);
+                if (sbrp()) {
+                    wb.prelReg([&](std::uint32_t) { return psum_ + 128 * std::uint64_t(b); },
+                               0, Scope::Device, lane0);
+                } else {
+                    wb.fence(Scope::System, lane0);
+                    wb.store([&](std::uint32_t) { return psum_ + 128 * std::uint64_t(b); },
+                             0, lane0);
+                    wb.fence(Scope::System, lane0);
+                }
+
+                if (final_block) {
+                    // Cross-block sum: warp 0 handles 32 partial sums
+                    // per chunk (lane-parallel acquire + load, then a
+                    // warp-shuffle reduction), accumulating into r2.
+                    wb.mov(2, 0);
+                    for (std::uint32_t c = 0; c < B; c += 32) {
+                        std::uint32_t lanes = std::min(32u, B - c);
+                        std::uint32_t m = mask::firstN(lanes);
+                        auto sum_addr = [&, c](std::uint32_t l) {
+                            return psum_ + 128 * std::uint64_t(c + l);
+                        };
+                        if (sbrp())
+                            wb.pacqNe(sum_addr, 0, Scope::Device, m);
+                        else
+                            wb.spinLoadNe(sum_addr, 0, m);
+                        wb.load(1, sum_addr, m);
+                        wb.laneSum(1, m);
+                        wb.addReg(2, 1, lane0);
+                    }
+                    wb.store([&](std::uint32_t) { return out_; }, 2,
+                             lane0);
+                    durabilityPoint(wb, lane0);
+                }
+            }
+        }
+    }
+    return k;
+}
+
+bool
+ReductionApp::verify(const NvmDevice &nvm) const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    sbrp_assert(expectedTotal_ <= 0xffffffffull,
+                "reduction total overflows the 32-bit element type");
+    if (nvm.durable().read32(out_) !=
+            static_cast<std::uint32_t>(expectedTotal_)) {
+        return false;
+    }
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        if (nvm.durable().read32(psum_ + 128 * std::uint64_t(b)) != blockSum_[b])
+            return false;
+    }
+    for (std::uint32_t g = 0; g < p_.blocks * T; ++g) {
+        if (g % T == 0)
+            continue;   // Thread 0 of each block never writes pArr.
+        if (nvm.durable().read32(pArr_ + 4 * g) != subtree_[g])
+            return false;
+    }
+    return true;
+}
+
+} // namespace sbrp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reduction (paper Sections 4-5, Figures 2-3): a tree reduction whose
+ * partial sums live in NVM so computation can resume after a crash.
+ *
+ * Threads retire in halves; a retiring thread publishes its subtree sum
+ * with a block-scoped release *on the PM array element itself*
+ * (pRel_block(&pArr[g], sum)); waiting threads acquire the partner
+ * element. Block leaders publish the block sum with a device-scoped
+ * release, and the final block device-acquires every partial sum before
+ * persisting the total. Recovery is native: each thread returns early
+ * when its PM element is already non-EMPTY (Figure 3, line 3).
+ */
+
+#ifndef SBRP_APPS_REDUCTION_HH
+#define SBRP_APPS_REDUCTION_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/rng.hh"
+
+namespace sbrp
+{
+
+struct ReductionParams
+{
+    std::uint32_t blocks = 4;
+    std::uint32_t threadsPerBlock = 64;   ///< Power of two, >= 32.
+    std::uint32_t elemsPerThread = 4;     ///< Grid-stride pre-sum width.
+    std::uint64_t seed = 0xabcd;
+
+    static ReductionParams test() { return ReductionParams{}; }
+
+    static ReductionParams
+    bench()
+    {
+        // The paper reduces ~4M ints; scaled so the persist traffic
+        // still exceeds the L1/PB by a wide margin (block waves churn
+        // through every SM).
+        ReductionParams p;
+        p.blocks = 480;
+        p.threadsPerBlock = 256;
+        p.elemsPerThread = 4;
+        return p;
+    }
+};
+
+class ReductionApp : public PmApp
+{
+  public:
+    ReductionApp(ModelKind model, const ReductionParams &params);
+
+    std::string name() const override { return "Red"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool verify(const NvmDevice &nvm) const override;
+
+    /**
+     * When set, block-scoped operations are emitted device-scoped —
+     * the "buffers only" configuration of Figure 7's breakdown.
+     */
+    void setForceDeviceScope(bool v) { forceDeviceScope_ = v; }
+
+    std::uint64_t expectedTotal() const { return expectedTotal_; }
+
+  private:
+    Scope blockScope() const
+    { return forceDeviceScope_ ? Scope::Device : Scope::Block; }
+
+    ReductionParams p_;
+    bool forceDeviceScope_ = false;
+    std::vector<std::uint32_t> input_;
+    std::vector<std::uint32_t> subtree_;   ///< Expected pArr values.
+    std::vector<std::uint32_t> blockSum_;
+    std::uint64_t expectedTotal_ = 0;
+
+    Addr pArr_ = 0;
+    Addr psum_ = 0;
+    Addr out_ = 0;
+    Addr input_addr_ = 0;
+    Addr scratch_ = 0;   ///< Volatile per-thread spill slot (GDDR).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_REDUCTION_HH

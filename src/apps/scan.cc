@@ -1,0 +1,168 @@
+#include "apps/scan.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+ScanApp::ScanApp(ModelKind model, const ScanParams &params)
+    : PmApp(model), p_(params)
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    if (T < 32 || (T & (T - 1)) != 0)
+        sbrp_fatal("scan needs a power-of-two block size >= 32");
+
+    std::uint32_t n = p_.blocks * T * p_.arraysPerBlock;
+    Rng rng(p_.seed);
+    input_.resize(n);
+    for (auto &v : input_)
+        v = 1 + static_cast<std::uint32_t>(rng.below(9));
+
+    // Expected inclusive prefix sums, per (array, block).
+    expected_.resize(n);
+    for (std::uint32_t a = 0; a < p_.arraysPerBlock; ++a) {
+        for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+            std::uint32_t base = a * p_.blocks * T + b * T;
+            std::uint32_t acc = 0;
+            for (std::uint32_t t = 0; t < T; ++t) {
+                acc += input_[base + t];
+                expected_[base + t] = acc;
+            }
+        }
+    }
+}
+
+std::uint32_t
+ScanApp::iterations() const
+{
+    return static_cast<std::uint32_t>(
+        std::countr_zero(p_.threadsPerBlock));
+}
+
+Addr
+ScanApp::bufAddr(std::uint32_t array, std::uint32_t iter,
+                 std::uint32_t g) const
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    std::uint64_t per_array = std::uint64_t(iterations() + 1) * n;
+    return buf_ + (per_array * array + std::uint64_t(iter) * n + g) * 4;
+}
+
+Addr
+ScanApp::inAddr(std::uint32_t array, std::uint32_t g) const
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    return input_addr_ + (std::uint64_t(array) * n + g) * 4;
+}
+
+void
+ScanApp::setupNvm(NvmDevice &nvm)
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    buf_ = nvm.allocate("scan.buf",
+                        std::uint64_t(p_.arraysPerBlock) *
+                            (iterations() + 1) * n * 4);
+}
+
+void
+ScanApp::setupGpu(GpuSystem &gpu)
+{
+    input_addr_ = gpu.gddrAlloc(input_.size() * 4);
+    for (std::size_t i = 0; i < input_.size(); ++i)
+        gpu.mem().write32(input_addr_ + 4 * i, input_[i]);
+    scratch_ = gpu.gddrAlloc(
+        std::uint64_t(p_.blocks) * p_.threadsPerBlock * 4);
+}
+
+KernelProgram
+ScanApp::forward() const
+{
+    std::uint32_t T = p_.threadsPerBlock;
+    std::uint32_t K = iterations();
+    std::uint32_t A = p_.arraysPerBlock;
+
+    KernelProgram k("scan", p_.blocks, T);
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto g = [&](std::uint32_t l) { return b * T + w * 32 + l; };
+            auto tid = [&](std::uint32_t l) { return w * 32 + l; };
+
+            // Native recovery: fully done once the last array's final
+            // iteration persisted (earlier arrays are recomputed
+            // deterministically when a crash interrupts the sequence).
+            wb.exitIfNe([&](std::uint32_t l) {
+                return bufAddr(A - 1, K, g(l));
+            }, 0);
+
+            for (std::uint32_t a = 0; a < A; ++a) {
+                wb.load(0, [&, a](std::uint32_t l) {
+                    return inAddr(a, g(l));
+                });
+
+                auto publish = [&](std::uint32_t iter,
+                                   std::uint32_t active) {
+                    // Spill the running sum (volatile staging).
+                    wb.store([&](std::uint32_t l) {
+                        return scratch_ + 4 * g(l);
+                    }, 0, active);
+                    if (sbrp()) {
+                        wb.prelReg([&, a, iter](std::uint32_t l) {
+                            return bufAddr(a, iter, g(l));
+                        }, 0, blockScope(), active);
+                    } else {
+                        // Epoch release: barrier first, then publish, so
+                        // the released value is never visible before the
+                        // prior iteration's persists are durable.
+                        wb.fence(Scope::System, active);
+                        wb.store([&, a, iter](std::uint32_t l) {
+                            return bufAddr(a, iter, g(l));
+                        }, 0, active);
+                    }
+                };
+
+                publish(0, 0);
+                for (std::uint32_t iter = 1; iter <= K; ++iter) {
+                    std::uint32_t d = 1u << (iter - 1);
+                    // Lanes with tid >= d add the neighbour to the left.
+                    std::uint32_t lo = w * 32 >= d ? 0
+                                      : std::min(32u, d - w * 32);
+                    std::uint32_t need = mask::range(lo, 32);
+                    if (need) {
+                        auto neigh = [&, a, iter, d](std::uint32_t l) {
+                            return bufAddr(a, iter - 1,
+                                           b * T + tid(l) - d);
+                        };
+                        if (sbrp())
+                            wb.pacqNe(neigh, 0, blockScope(), need);
+                        else
+                            wb.spinLoadNe(neigh, 0, need);
+                        wb.load(1, neigh, need);
+                        wb.addReg(0, 1, need);
+                    }
+                    publish(iter, 0);
+                }
+            }
+        }
+    }
+    return k;
+}
+
+bool
+ScanApp::verify(const NvmDevice &nvm) const
+{
+    std::uint32_t n = p_.blocks * p_.threadsPerBlock;
+    for (std::uint32_t a = 0; a < p_.arraysPerBlock; ++a) {
+        for (std::uint32_t g = 0; g < n; ++g) {
+            if (nvm.durable().read32(bufAddr(a, iterations(), g)) !=
+                    expected_[a * n + g]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace sbrp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scan (paper Section 7.1): per-threadblock Hillis-Steele inclusive
+ * prefix sums over many arrays. Each iteration's outputs are published
+ * to NVM with block-scoped releases; threads acquire the neighbour
+ * element from the previous iteration (intra-threadblock PMO). Recovery
+ * is native: computation resumes from the persisted array contents.
+ */
+
+#ifndef SBRP_APPS_SCAN_HH
+#define SBRP_APPS_SCAN_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/rng.hh"
+
+namespace sbrp
+{
+
+struct ScanParams
+{
+    std::uint32_t blocks = 4;
+    std::uint32_t threadsPerBlock = 64;   ///< Power of two, >= 32.
+    std::uint32_t arraysPerBlock = 2;     ///< "Many data arrays" (7.1).
+    std::uint64_t seed = 0x5ca9;
+
+    static ScanParams test() { return ScanParams{}; }
+
+    static ScanParams
+    bench()
+    {
+        ScanParams p;
+        p.blocks = 60;
+        p.threadsPerBlock = 256;
+        p.arraysPerBlock = 4;
+        return p;
+    }
+};
+
+class ScanApp : public PmApp
+{
+  public:
+    ScanApp(ModelKind model, const ScanParams &params);
+
+    std::string name() const override { return "Scan"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool verify(const NvmDevice &nvm) const override;
+
+    /** Figure 7: emit block-scoped ops at device scope instead. */
+    void setForceDeviceScope(bool v) { forceDeviceScope_ = v; }
+
+  private:
+    Scope blockScope() const
+    { return forceDeviceScope_ ? Scope::Device : Scope::Block; }
+
+    std::uint32_t iterations() const;
+    Addr bufAddr(std::uint32_t array, std::uint32_t iter,
+                 std::uint32_t g) const;
+    Addr inAddr(std::uint32_t array, std::uint32_t g) const;
+
+    ScanParams p_;
+    bool forceDeviceScope_ = false;
+    std::vector<std::uint32_t> input_;
+    std::vector<std::uint32_t> expected_;   ///< Final prefix sums.
+    Addr buf_ = 0;
+    Addr input_addr_ = 0;
+    Addr scratch_ = 0;   ///< Volatile per-thread spill slot (GDDR).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_SCAN_HH

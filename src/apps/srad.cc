@@ -1,0 +1,150 @@
+#include "apps/srad.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+SradApp::SradApp(ModelKind model, const SradParams &params)
+    : PmApp(model), p_(params)
+{
+    if (p_.tileCols % 32 != 0)
+        sbrp_fatal("SRAD tileCols must be a multiple of the warp size");
+
+    Rng rng(p_.seed);
+    input_.resize(p_.pixels());
+    for (auto &v : input_)
+        v = 1 + static_cast<std::uint32_t>(rng.below(255));
+
+    // Host replay. Step 1: noise = self + N + S neighbours.
+    // Step 2: out = noise + W + E neighbour noise values.
+    noiseExpected_.resize(p_.pixels());
+    outExpected_.resize(p_.pixels());
+    std::uint32_t T = p_.threadsPerBlock();
+    for (std::uint32_t b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t t = 0; t < T; ++t) {
+            int row = static_cast<int>(t / p_.tileCols);
+            int col = static_cast<int>(t % p_.tileCols);
+            std::uint32_t g = b * T + t;
+            noiseExpected_[g] = input_[g] +
+                input_[clampedIdx(b, row - 1, col)] +
+                input_[clampedIdx(b, row + 1, col)];
+        }
+        for (std::uint32_t t = 0; t < T; ++t) {
+            int row = static_cast<int>(t / p_.tileCols);
+            int col = static_cast<int>(t % p_.tileCols);
+            std::uint32_t g = b * T + t;
+            outExpected_[g] = noiseExpected_[g] +
+                noiseExpected_[clampedIdx(b, row, col - 1)] +
+                noiseExpected_[clampedIdx(b, row, col + 1)];
+        }
+    }
+}
+
+std::uint32_t
+SradApp::clampedIdx(std::uint32_t b, int row, int col) const
+{
+    int rows = static_cast<int>(p_.tileRows);
+    int cols = static_cast<int>(p_.tileCols);
+    row = std::max(0, std::min(rows - 1, row));
+    col = std::max(0, std::min(cols - 1, col));
+    return b * p_.threadsPerBlock() +
+           static_cast<std::uint32_t>(row) * p_.tileCols +
+           static_cast<std::uint32_t>(col);
+}
+
+void
+SradApp::setupNvm(NvmDevice &nvm)
+{
+    noise_ = nvm.allocate("srad.noise", std::uint64_t(p_.pixels()) * 4);
+    out_ = nvm.allocate("srad.out", std::uint64_t(p_.pixels()) * 4);
+}
+
+void
+SradApp::setupGpu(GpuSystem &gpu)
+{
+    input_addr_ = gpu.gddrAlloc(input_.size() * 4);
+    for (std::size_t i = 0; i < input_.size(); ++i)
+        gpu.mem().write32(input_addr_ + 4 * i, input_[i]);
+    scratch_ = gpu.gddrAlloc(std::uint64_t(p_.pixels()) * 4);
+}
+
+KernelProgram
+SradApp::forward() const
+{
+    std::uint32_t T = p_.threadsPerBlock();
+    KernelProgram k("srad", p_.blocks, T);
+    for (BlockId b = 0; b < p_.blocks; ++b) {
+        for (std::uint32_t w = 0; w < k.warpsPerBlock(); ++w) {
+            WarpBuilder wb(k.warp(b, w), 32);
+            auto g = [&](std::uint32_t l) { return b * T + w * 32 + l; };
+            auto rc = [&](std::uint32_t l, int dr, int dc) {
+                std::uint32_t t = w * 32 + l;
+                int row = static_cast<int>(t / p_.tileCols) + dr;
+                int col = static_cast<int>(t % p_.tileCols) + dc;
+                return clampedIdx(b, row, col);
+            };
+
+            // Native recovery: skip pixels already persisted.
+            wb.exitIfNe([&](std::uint32_t l) {
+                return out_ + 4 * g(l);
+            }, 0);
+
+            // Step 1: noise coefficient from the input image (GDDR).
+            wb.load(0, [&](std::uint32_t l) {
+                return input_addr_ + 4 * g(l);
+            });
+            wb.load(1, [&](std::uint32_t l) {
+                return input_addr_ + 4 * rc(l, -1, 0);
+            });
+            wb.addReg(0, 1);
+            wb.load(1, [&](std::uint32_t l) {
+                return input_addr_ + 4 * rc(l, 1, 0);
+            });
+            wb.addReg(0, 1);
+            // Directional derivatives spill to volatile scratch.
+            wb.store([&](std::uint32_t l) {
+                return scratch_ + 4 * g(l);
+            }, 0);
+            wb.compute(p_.computeCycles);
+            wb.store([&](std::uint32_t l) { return noise_ + 4 * g(l); },
+                     0);
+            // The pixel must persist only after its noise value.
+            orderPoint(wb);
+
+            // Step 2 reads neighbour noise (NVM) after the whole tile
+            // finished step 1, starting from the spilled derivative
+            // (GPM's fence invalidated the scratch line).
+            wb.barrier();
+            wb.load(0, [&](std::uint32_t l) {
+                return scratch_ + 4 * g(l);
+            });
+            wb.load(1, [&](std::uint32_t l) {
+                return noise_ + 4 * rc(l, 0, -1);
+            });
+            wb.addReg(0, 1);
+            wb.load(1, [&](std::uint32_t l) {
+                return noise_ + 4 * rc(l, 0, 1);
+            });
+            wb.addReg(0, 1);
+            wb.compute(p_.computeCycles);
+            wb.store([&](std::uint32_t l) { return out_ + 4 * g(l); }, 0);
+            orderPoint(wb);
+        }
+    }
+    return k;
+}
+
+bool
+SradApp::verify(const NvmDevice &nvm) const
+{
+    for (std::uint32_t g = 0; g < p_.pixels(); ++g) {
+        if (nvm.durable().read32(noise_ + 4 * g) != noiseExpected_[g])
+            return false;
+        if (nvm.durable().read32(out_ + 4 * g) != outExpected_[g])
+            return false;
+    }
+    return true;
+}
+
+} // namespace sbrp

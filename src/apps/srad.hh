@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SRAD (paper Section 7.1): speckle-reducing anisotropic diffusion.
+ * Each thread denoises one pixel in two steps: it computes and persists
+ * a noise coefficient, then (after a block barrier) combines neighbour
+ * coefficients and persists the output pixel. Recovery is native: the
+ * pixel must persist only after its own noise value (intra-thread PMO),
+ * so threads whose output pixel is non-EMPTY return early and the rest
+ * resume from the persisted values.
+ *
+ * Each threadblock owns a tile; neighbour indices clamp at tile edges
+ * (the paper's halo exchange is irrelevant to the persistency study).
+ */
+
+#ifndef SBRP_APPS_SRAD_HH
+#define SBRP_APPS_SRAD_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/rng.hh"
+
+namespace sbrp
+{
+
+struct SradParams
+{
+    std::uint32_t blocks = 4;           ///< Tiles.
+    std::uint32_t tileCols = 32;
+    std::uint32_t tileRows = 2;         ///< threads = tileCols * tileRows.
+    std::uint16_t computeCycles = 30;   ///< Diffusion math per step.
+    std::uint64_t seed = 0x54ad;
+
+    std::uint32_t threadsPerBlock() const { return tileCols * tileRows; }
+    std::uint32_t pixels() const { return blocks * threadsPerBlock(); }
+
+    static SradParams test() { return SradParams{}; }
+
+    /** Paper uses a 512x512 image; scaled to ~61K pixels so block
+        waves keep churning every SM's L1 and persist buffer. */
+    static SradParams
+    bench()
+    {
+        SradParams p;
+        p.blocks = 720;
+        p.tileCols = 32;
+        p.tileRows = 8;
+        return p;
+    }
+};
+
+class SradApp : public PmApp
+{
+  public:
+    SradApp(ModelKind model, const SradParams &params);
+
+    std::string name() const override { return "SRAD"; }
+    void setupNvm(NvmDevice &nvm) override;
+    void setupGpu(GpuSystem &gpu) override;
+    KernelProgram forward() const override;
+    bool verify(const NvmDevice &nvm) const override;
+
+  private:
+    /** Pixel index of (row, col) clamped inside block b's tile. */
+    std::uint32_t clampedIdx(std::uint32_t b, int row, int col) const;
+
+    SradParams p_;
+    std::vector<std::uint32_t> input_;
+    std::vector<std::uint32_t> noiseExpected_;
+    std::vector<std::uint32_t> outExpected_;
+    Addr noise_ = 0;
+    Addr out_ = 0;
+    Addr input_addr_ = 0;
+    Addr scratch_ = 0;   ///< Volatile derivative staging (GDDR).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_SRAD_HH

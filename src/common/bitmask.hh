@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A 32-bit warp bitmask, the unit of PMO tracking in SBRP hardware.
+ *
+ * The paper's persist buffer tags every entry with a "Warp BM" naming the
+ * warps that issued the tracked operation; the per-SM ODM/EDM/FSM masks use
+ * the same width (one bit per resident warp slot, Section 6).
+ */
+
+#ifndef SBRP_COMMON_BITMASK_HH
+#define SBRP_COMMON_BITMASK_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+/** A set of resident-warp slots, at most 32 per SM. */
+class WarpMask
+{
+  public:
+    constexpr WarpMask() = default;
+    constexpr explicit WarpMask(std::uint32_t bits) : bits_(bits) {}
+
+    /** A mask with exactly one warp slot set. */
+    static WarpMask
+    single(std::uint32_t slot)
+    {
+        sbrp_assert(slot < 32, "warp slot %s out of range", slot);
+        return WarpMask(1u << slot);
+    }
+
+    constexpr std::uint32_t raw() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool test(std::uint32_t slot) const
+    { return (bits_ >> slot) & 1u; }
+    constexpr int count() const { return std::popcount(bits_); }
+
+    void set(std::uint32_t slot) { bits_ |= (1u << slot); }
+    void clear(std::uint32_t slot) { bits_ &= ~(1u << slot); }
+    void clearAll() { bits_ = 0; }
+
+    constexpr bool overlaps(WarpMask o) const
+    { return (bits_ & o.bits_) != 0; }
+
+    constexpr WarpMask operator|(WarpMask o) const
+    { return WarpMask(bits_ | o.bits_); }
+    constexpr WarpMask operator&(WarpMask o) const
+    { return WarpMask(bits_ & o.bits_); }
+    constexpr WarpMask operator~() const { return WarpMask(~bits_); }
+    WarpMask &operator|=(WarpMask o) { bits_ |= o.bits_; return *this; }
+    WarpMask &operator&=(WarpMask o) { bits_ &= o.bits_; return *this; }
+    constexpr bool operator==(const WarpMask &) const = default;
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_BITMASK_HH

@@ -1,0 +1,87 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+std::uint32_t
+SystemConfig::pbEntries() const
+{
+    auto n = static_cast<std::uint32_t>(l1Lines() * pbCoverage);
+    return std::max(n, 1u);
+}
+
+SystemConfig
+SystemConfig::paperDefault(ModelKind model, SystemDesign design)
+{
+    SystemConfig cfg;
+    cfg.model = model;
+    cfg.design = design;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::testDefault(ModelKind model, SystemDesign design)
+{
+    SystemConfig cfg;
+    cfg.model = model;
+    cfg.design = design;
+    cfg.numSms = 4;
+    cfg.l1Bytes = 16 * 1024;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.memChannels = 4;
+    cfg.watchdogCycles = 2'000'000;
+    return cfg;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (warpSize != 32)
+        sbrp_fatal("warpSize must be 32 (WarpMask width), got %s", warpSize);
+    if (maxWarpsPerSm == 0 || maxWarpsPerSm > 32)
+        sbrp_fatal("maxWarpsPerSm must be in [1,32], got %s", maxWarpsPerSm);
+    if (numSms == 0)
+        sbrp_fatal("numSms must be positive");
+    if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+        sbrp_fatal("lineBytes must be a power of two, got %s", lineBytes);
+    if (l1Bytes % (lineBytes * l1Assoc) != 0)
+        sbrp_fatal("L1 geometry does not divide into sets");
+    if (l2Bytes % (lineBytes * l2Assoc) != 0)
+        sbrp_fatal("L2 geometry does not divide into sets");
+    if (window == 0)
+        sbrp_fatal("window must be positive");
+    if (pbCoverage <= 0.0 || pbCoverage > 1.0)
+        sbrp_fatal("pbCoverage must be in (0,1], got %s", pbCoverage);
+    if (nvmBwScale <= 0.0)
+        sbrp_fatal("nvmBwScale must be positive");
+    if (persistPoint == PersistPoint::Eadr &&
+            design != SystemDesign::PmFar) {
+        sbrp_fatal("eADR only applies to PM-far systems (paper Sec. 7.2)");
+    }
+    if (model == ModelKind::Gpm && design != SystemDesign::PmFar)
+        sbrp_fatal("GPM avoids hardware changes and only works on PM-far");
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "model=" << toString(model)
+        << " design=PM-" << toString(design)
+        << " persist=" << toString(persistPoint)
+        << " policy=" << toString(flushPolicy)
+        << " window=" << window
+        << " SMs=" << numSms
+        << " L1=" << l1Bytes / 1024 << "KB"
+        << " L2=" << l2Bytes / 1024 << "KB"
+        << " PB=" << pbEntries() << " entries"
+        << " nvmBW=" << nvmBwScale * 100 << "%";
+    return oss.str();
+}
+
+} // namespace sbrp

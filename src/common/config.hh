@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Simulated hardware configuration (Table 1 of the paper) plus the
+ * persistency-model and system-design knobs swept by the evaluation.
+ */
+
+#ifndef SBRP_COMMON_CONFIG_HH
+#define SBRP_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/**
+ * Full configuration of a simulated GPU+NVM system.
+ *
+ * Bandwidths are expressed in bytes per GPU core cycle and latencies in
+ * cycles; paperDefault() derives them from Table 1's GB/s and ns figures
+ * at the 1365 MHz core clock.
+ */
+struct SystemConfig
+{
+    // --- Execution resources (Table 1) ---
+    std::uint32_t numSms = 30;
+    double clockGhz = 1.365;
+    std::uint32_t warpSize = 32;
+    std::uint32_t maxWarpsPerSm = 32;
+    std::uint32_t maxThreadsPerBlock = 1024;
+    std::uint32_t issueWidth = 4;  ///< Instructions issued per SM cycle.
+    Cycle watchdogCycles = 50'000'000;  ///< Deadlock detector.
+
+    // --- Caches ---
+    std::uint32_t lineBytes = 128;
+    std::uint32_t l1Bytes = 64 * 1024;
+    std::uint32_t l1Assoc = 8;
+    std::uint32_t l2Bytes = 3 * 1024 * 1024;
+    std::uint32_t l2Assoc = 16;
+    Cycle l1HitLatency = 30;
+    Cycle l2Latency = 90;          ///< Interconnect + L2 access.
+
+    // --- Memory system ---
+    Cycle gddrLatency = 137;       ///< 100 ns at 1.365 GHz.
+    double gddrBytesPerCycle = 246.0;   ///< 336 GB/s.
+    Cycle nvmLatency = 410;        ///< 300 ns.
+    double nvmReadBytesPerCycle = 61.5; ///< 84 GB/s.
+    double nvmWriteBytesPerCycle = 30.8;///< 42 GB/s.
+    Cycle pcieLatency = 410;       ///< 300 ns.
+    double pcieBytesPerCycle = 20.5;    ///< 28 GB/s.
+    std::uint32_t memChannels = 8; ///< Channels per memory kind.
+
+    // --- Persistency configuration ---
+    SystemDesign design = SystemDesign::PmNear;
+    ModelKind model = ModelKind::Sbrp;
+    PersistPoint persistPoint = PersistPoint::Adr;
+    FlushPolicy flushPolicy = FlushPolicy::Window;
+    std::uint32_t window = 6;      ///< Outstanding persists per SM.
+    /**
+     * Precise FSM hazard tracking: a persist blocked by the FSM waits
+     * only for flushes issued before the blocking warp's ordering point
+     * (tracked by flush sequence numbers) instead of a full ACTR==0
+     * quiesce. The paper's 8-bit ACTR is the conservative variant
+     * (false); see the figure10c ablation.
+     */
+    bool preciseFsm = true;
+    double pbCoverage = 0.5;       ///< PB entries / L1 lines (Fig 10a).
+    double nvmBwScale = 1.0;       ///< Fig 10b sweep knob.
+
+    // --- Derived helpers ---
+    std::uint32_t l1Lines() const { return l1Bytes / lineBytes; }
+    std::uint32_t l1Sets() const { return l1Lines() / l1Assoc; }
+    std::uint32_t l2Lines() const { return l2Bytes / lineBytes; }
+    std::uint32_t l2Sets() const { return l2Lines() / l2Assoc; }
+    std::uint32_t pbEntries() const;
+
+    /** True when NVM traffic crosses PCIe (PM-far). */
+    bool nvmBehindPcie() const { return design == SystemDesign::PmFar; }
+
+    /** Table 1 configuration with the given model/design. */
+    static SystemConfig paperDefault(ModelKind model = ModelKind::Sbrp,
+                                     SystemDesign design =
+                                         SystemDesign::PmNear);
+
+    /**
+     * A reduced configuration (fewer SMs, smaller caches) used by unit
+     * tests to keep individual simulations fast and digestible.
+     */
+    static SystemConfig testDefault(ModelKind model = ModelKind::Sbrp,
+                                    SystemDesign design =
+                                        SystemDesign::PmNear);
+
+    /** Validates internal consistency; throws FatalError on bad configs. */
+    void validate() const;
+
+    /** Multi-line human-readable dump (bench headers print this). */
+    std::string describe() const;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_CONFIG_HH

@@ -1,0 +1,63 @@
+#include "common/log.hh"
+
+#include <iostream>
+
+namespace sbrp
+{
+namespace log_detail
+{
+
+namespace
+{
+int g_verbosity = 1;
+} // namespace
+
+std::string
+format(const char *fmt)
+{
+    return std::string(fmt);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " [" << file << ":" << line << "]";
+    throw PanicError(oss.str());
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " [" << file << ":" << line << "]";
+    throw FatalError(oss.str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbosity > 0)
+        std::cout << "info: " << msg << "\n";
+}
+
+void
+setVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
+int
+verbosity()
+{
+    return g_verbosity;
+}
+
+} // namespace log_detail
+} // namespace sbrp

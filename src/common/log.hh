@@ -1,0 +1,102 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug).
+ * fatal()  — the user supplied an impossible configuration.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — normal operational status.
+ *
+ * Unlike gem5, panic/fatal throw typed exceptions (PanicError/FatalError)
+ * rather than aborting, so library users and tests can observe them.
+ */
+
+#ifndef SBRP_COMMON_LOG_HH
+#define SBRP_COMMON_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sbrp
+{
+
+/** Thrown on violated internal invariants (simulator bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown on impossible user configurations. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace log_detail
+{
+
+/** Formats a printf-free "%s"-style message into a std::string. */
+std::string format(const char *fmt);
+
+template <typename T, typename... Args>
+std::string
+format(const char *fmt, T &&first, Args &&...rest)
+{
+    std::string out;
+    for (const char *p = fmt; *p; ++p) {
+        if (p[0] == '%' && p[1] == 's') {
+            std::ostringstream oss;
+            oss << first;
+            out += oss.str();
+            out += format(p + 2, std::forward<Args>(rest)...);
+            return out;
+        }
+        out.push_back(*p);
+    }
+    return out;
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Global verbosity: 0 silences inform(), 1 (default) prints it. */
+void setVerbosity(int level);
+int verbosity();
+
+} // namespace log_detail
+
+#define sbrp_panic(...)                                                     \
+    ::sbrp::log_detail::panicImpl(__FILE__, __LINE__,                       \
+        ::sbrp::log_detail::format(__VA_ARGS__))
+
+#define sbrp_fatal(...)                                                     \
+    ::sbrp::log_detail::fatalImpl(__FILE__, __LINE__,                       \
+        ::sbrp::log_detail::format(__VA_ARGS__))
+
+#define sbrp_warn(...)                                                      \
+    ::sbrp::log_detail::warnImpl(::sbrp::log_detail::format(__VA_ARGS__))
+
+#define sbrp_inform(...)                                                    \
+    ::sbrp::log_detail::informImpl(::sbrp::log_detail::format(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define sbrp_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sbrp::log_detail::panicImpl(__FILE__, __LINE__,               \
+                std::string("assertion failed: " #cond " -- ") +            \
+                ::sbrp::log_detail::format(__VA_ARGS__));                   \
+        }                                                                   \
+    } while (0)
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_LOG_HH

@@ -1,0 +1,65 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace sbrp
+{
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+Stat &
+StatGroup::stat(const std::string &name)
+{
+    return stats_[name];
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : stats_)
+        kv.second.reset();
+}
+
+std::uint64_t
+StatRegistry::sum(const std::string &prefix, const std::string &counter) const
+{
+    std::uint64_t total = 0;
+    for (const auto *g : groups_) {
+        if (g->name().rfind(prefix, 0) == 0)
+            total += g->value(counter);
+    }
+    return total;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream oss;
+    for (const auto *g : groups_) {
+        for (const auto &kv : g->all()) {
+            if (kv.second.value() != 0) {
+                oss << g->name() << "." << kv.first << " "
+                    << kv.second.value() << "\n";
+            }
+        }
+    }
+    return oss.str();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto *g : groups_)
+        g->resetAll();
+}
+
+} // namespace sbrp

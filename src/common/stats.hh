@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight statistics registry for simulator components.
+ *
+ * Components register named scalar counters in a StatGroup; the GpuSystem
+ * aggregates all groups for end-of-run reporting and the bench harness
+ * queries individual counters (e.g. L1 NVM read misses for Figure 8).
+ */
+
+#ifndef SBRP_COMMON_STATS_HH
+#define SBRP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbrp
+{
+
+/** A named 64-bit counter. */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters belonging to one component instance
+ * (e.g. "sm3.l1"). Groups own their stats; lookup is by name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    /** Registers (or returns the existing) counter with this name. */
+    Stat &stat(const std::string &name);
+
+    /** Read-only lookup; returns 0 for unknown counters. */
+    std::uint64_t value(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Stat> &all() const { return stats_; }
+
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::map<std::string, Stat> stats_;
+};
+
+/**
+ * Aggregates the stat groups of a whole simulated system.
+ * Non-owning: groups live inside their components.
+ */
+class StatRegistry
+{
+  public:
+    void add(StatGroup *group) { groups_.push_back(group); }
+
+    /** Sums "<counter>" across all groups whose name starts with prefix. */
+    std::uint64_t sum(const std::string &prefix,
+                      const std::string &counter) const;
+
+    /** Dumps all non-zero counters as "group.counter value" lines. */
+    std::string dump() const;
+
+    void resetAll();
+
+  private:
+    std::vector<StatGroup *> groups_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_STATS_HH

@@ -1,0 +1,70 @@
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+const char *
+toString(Space s)
+{
+    switch (s) {
+      case Space::Gddr: return "gddr";
+      case Space::Nvm: return "nvm";
+    }
+    return "?";
+}
+
+const char *
+toString(Scope s)
+{
+    switch (s) {
+      case Scope::Block: return "block";
+      case Scope::Device: return "device";
+      case Scope::System: return "system";
+    }
+    return "?";
+}
+
+const char *
+toString(SystemDesign d)
+{
+    switch (d) {
+      case SystemDesign::PmFar: return "far";
+      case SystemDesign::PmNear: return "near";
+    }
+    return "?";
+}
+
+const char *
+toString(ModelKind m)
+{
+    switch (m) {
+      case ModelKind::Gpm: return "GPM";
+      case ModelKind::Epoch: return "epoch";
+      case ModelKind::Sbrp: return "SBRP";
+      case ModelKind::ScopedBarrier: return "scoped-barrier";
+    }
+    return "?";
+}
+
+const char *
+toString(PersistPoint p)
+{
+    switch (p) {
+      case PersistPoint::Adr: return "ADR";
+      case PersistPoint::Eadr: return "eADR";
+    }
+    return "?";
+}
+
+const char *
+toString(FlushPolicy p)
+{
+    switch (p) {
+      case FlushPolicy::Eager: return "eager";
+      case FlushPolicy::Lazy: return "lazy";
+      case FlushPolicy::Window: return "window";
+    }
+    return "?";
+}
+
+} // namespace sbrp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared across the SBRP simulator.
+ */
+
+#ifndef SBRP_COMMON_TYPES_HH
+#define SBRP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sbrp
+{
+
+/** Simulation time in GPU core cycles. */
+using Cycle = std::uint64_t;
+
+/** A (virtual) memory address in the GPU's unified address space. */
+using Addr = std::uint64_t;
+
+/** Identifier types for the GPU execution hierarchy. */
+using SmId = std::uint32_t;
+using WarpSlot = std::uint32_t;   ///< Resident warp slot within an SM.
+using BlockId = std::uint32_t;    ///< Threadblock id within a grid.
+using ThreadId = std::uint32_t;   ///< Global thread id within a grid.
+
+/** Memory space a datum lives in. */
+enum class Space : std::uint8_t
+{
+    Gddr,   ///< Volatile on-board GDDR/HBM.
+    Nvm,    ///< Persistent memory (NVM).
+};
+
+/** Scope of a synchronization / persist operation. */
+enum class Scope : std::uint8_t
+{
+    Block,   ///< Threads of the same threadblock (CTA).
+    Device,  ///< All threads on the GPU.
+    System,  ///< GPU + CPU (used by GPM's __threadfence_system).
+};
+
+/** Where the NVM physically sits (Section 3 of the paper). */
+enum class SystemDesign : std::uint8_t
+{
+    PmFar,   ///< NVM attached to the host, reached over PCIe.
+    PmNear,  ///< NVM onboard the GPU behind ADR memory controllers.
+};
+
+/** Which persistency model the GPU enforces. */
+enum class ModelKind : std::uint8_t
+{
+    Gpm,    ///< GPM's implicit model: system-scope fence epoch barriers
+            ///< flushing both volatile and PM writes.
+    Epoch,  ///< Enhanced epoch model: barriers affect only PM writes.
+    Sbrp,   ///< Scoped Buffered Release Persistency (this paper).
+    ScopedBarrier,  ///< Scoped persist barriers (Gope et al., the
+                    ///< related-work comparator of Section 8): every
+                    ///< ordering op stalls and drains.
+};
+
+/** Point at which a persist is considered durable. */
+enum class PersistPoint : std::uint8_t
+{
+    Adr,    ///< Durable when accepted by the (ADR) memory controller.
+    Eadr,   ///< Durable when reaching the host LLC (PM-far only).
+};
+
+/** Flush scheduling policy for SBRP's persist buffer (Section 6.2). */
+enum class FlushPolicy : std::uint8_t
+{
+    Eager,   ///< Flush as soon as ordering constraints allow.
+    Lazy,    ///< Flush only at ordering operations.
+    Window,  ///< Maintain a fixed number of outstanding persists.
+};
+
+/** Human-readable names, primarily for bench/report output. */
+const char *toString(Space s);
+const char *toString(Scope s);
+const char *toString(SystemDesign d);
+const char *toString(ModelKind m);
+const char *toString(PersistPoint p);
+const char *toString(FlushPolicy p);
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_TYPES_HH

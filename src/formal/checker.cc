@@ -1,0 +1,258 @@
+#include "formal/checker.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** Per-thread view of the logical trace. */
+struct ThreadOps
+{
+    std::vector<const TraceOp *> ops;
+};
+
+bool
+scopeSufficient(const TraceOp &rel, const TraceOp &acq)
+{
+    if (rel.scope == Scope::Block || acq.scope == Scope::Block)
+        return rel.block == acq.block;
+    return true;   // Device/system scope covers any two GPU threads.
+}
+
+} // namespace
+
+PmoChecker::PmoChecker(const ExecutionTrace &trace) : trace_(trace)
+{
+}
+
+void
+PmoChecker::indexCommits()
+{
+    std::uint64_t max_id = 0;
+    for (const TraceOp &op : trace_.ops())
+        max_id = std::max(max_id, op.id);
+    commitOf_.assign(max_id + 1, kNever);
+
+    std::uint64_t batch = 0;
+    for (const auto &ids : trace_.commits()) {
+        for (std::uint64_t id : ids) {
+            if (id <= max_id) {
+                commitOf_[id] = batch;
+                ++stats_.committedPersists;
+            }
+        }
+        ++batch;
+    }
+}
+
+std::uint64_t
+PmoChecker::commitIdx(std::uint64_t store_id) const
+{
+    if (store_id >= commitOf_.size())
+        return kNever;
+    return commitOf_[store_id];
+}
+
+std::vector<PmoViolation>
+PmoChecker::check()
+{
+    std::vector<PmoViolation> out;
+    indexCommits();
+    checkFenceRule(out);
+    checkRelAcqRule(out);
+    return out;
+}
+
+void
+PmoChecker::checkFenceRule(std::vector<PmoViolation> &out)
+{
+    // Group ops per thread (trace order preserves per-thread po).
+    std::map<ThreadId, ThreadOps> threads;
+    for (const TraceOp &op : trace_.ops())
+        threads[op.tid].ops.push_back(&op);
+
+    for (auto &[tid, t] : threads) {
+        (void)tid;
+        // Epoch number = count of ordering fences seen so far. dFence
+        // implies oFence ordering; epoch barriers (Fence) do too.
+        std::uint64_t epoch = 0;
+        // (epoch, store) pairs in po order.
+        std::vector<std::pair<std::uint64_t, const TraceOp *>> persists;
+        for (const TraceOp *op : t.ops) {
+            switch (op->kind) {
+              case TraceOp::Kind::Persist:
+                persists.emplace_back(epoch, op);
+                ++stats_.persists;
+                break;
+              case TraceOp::Kind::OFence:
+              case TraceOp::Kind::DFence:
+              case TraceOp::Kind::Fence:
+                ++epoch;
+                break;
+              default:
+                break;
+            }
+        }
+        if (persists.empty())
+            continue;
+
+        // Walk epochs in order: the running max commit index of all
+        // earlier epochs must not exceed any later epoch's commit index.
+        std::uint64_t prev_epoch_max = 0;
+        bool have_prev = false;
+        const TraceOp *prev_max_op = nullptr;
+        std::size_t i = 0;
+        while (i < persists.size()) {
+            std::uint64_t e = persists[i].first;
+            std::uint64_t cur_max = 0;
+            const TraceOp *cur_max_op = nullptr;
+            std::size_t j = i;
+            for (; j < persists.size() && persists[j].first == e; ++j) {
+                std::uint64_t c = commitIdx(persists[j].second->id);
+                // prev_epoch_max > c: an earlier-epoch persist became
+                // durable after (or never, while) this one did.
+                if (have_prev && prev_epoch_max > c) {
+                    PmoViolation v;
+                    v.w1 = prev_max_op->id;
+                    v.w2 = persists[j].second->id;
+                    v.rule = "ofence";
+                    std::ostringstream oss;
+                    oss << "thread " << persists[j].second->tid
+                        << ": store " << v.w1 << " (epoch < " << e
+                        << ") committed at " << prev_epoch_max
+                        << " after store " << v.w2 << " (epoch " << e
+                        << ") committed at " << c;
+                    v.detail = oss.str();
+                    out.push_back(std::move(v));
+                }
+                if (cur_max_op == nullptr || c > cur_max) {
+                    cur_max = c;
+                    cur_max_op = persists[j].second;
+                }
+            }
+            if (!have_prev || cur_max > prev_epoch_max) {
+                prev_epoch_max = cur_max;
+                prev_max_op = cur_max_op;
+            }
+            have_prev = true;
+            ++stats_.fenceEpochsChecked;
+            i = j;
+        }
+    }
+}
+
+void
+PmoChecker::checkRelAcqRule(std::vector<PmoViolation> &out)
+{
+    std::map<ThreadId, ThreadOps> threads;
+    std::map<std::uint64_t, const TraceOp *> byId;
+    for (const TraceOp &op : trace_.ops()) {
+        threads[op.tid].ops.push_back(&op);
+        byId[op.id] = &op;
+    }
+
+    // Per-thread prefix max / suffix min of persist commit indices, by
+    // op position within the thread.
+    struct Profile
+    {
+        // prefixMax[k]: max commit of persists among first k ops;
+        // the op *and* id realizing it, for diagnostics.
+        std::vector<std::uint64_t> prefixMax;
+        std::vector<std::uint64_t> prefixMaxId;
+        std::vector<std::uint64_t> suffixMin;
+        std::vector<std::uint64_t> suffixMinId;
+        std::map<std::uint64_t, std::size_t> posOf;   // op id -> position.
+    };
+    std::map<ThreadId, Profile> profiles;
+
+    for (auto &[tid, t] : threads) {
+        Profile &p = profiles[tid];
+        std::size_t n = t.ops.size();
+        p.prefixMax.assign(n + 1, 0);
+        p.prefixMaxId.assign(n + 1, 0);
+        p.suffixMin.assign(n + 1, kNever);
+        p.suffixMinId.assign(n + 1, 0);
+
+        std::uint64_t run_max = 0;
+        std::uint64_t run_max_id = 0;
+        bool any = false;
+        for (std::size_t k = 0; k < n; ++k) {
+            p.posOf[t.ops[k]->id] = k;
+            p.prefixMax[k] = any ? run_max : 0;
+            p.prefixMaxId[k] = run_max_id;
+            if (t.ops[k]->kind == TraceOp::Kind::Persist) {
+                std::uint64_t c = commitIdx(t.ops[k]->id);
+                if (!any || c > run_max) {
+                    run_max = c;
+                    run_max_id = t.ops[k]->id;
+                }
+                any = true;
+            }
+        }
+        p.prefixMax[n] = any ? run_max : 0;
+        p.prefixMaxId[n] = run_max_id;
+
+        std::uint64_t run_min = kNever;
+        std::uint64_t run_min_id = 0;
+        for (std::size_t k = n; k-- > 0;) {
+            p.suffixMin[k + 1] = run_min;
+            p.suffixMinId[k + 1] = run_min_id;
+            if (t.ops[k]->kind == TraceOp::Kind::Persist) {
+                std::uint64_t c = commitIdx(t.ops[k]->id);
+                if (c < run_min) {
+                    run_min = c;
+                    run_min_id = t.ops[k]->id;
+                }
+            }
+        }
+        p.suffixMin[0] = run_min;
+        p.suffixMinId[0] = run_min_id;
+    }
+
+    for (const TraceOp &acq : trace_.ops()) {
+        if (acq.kind != TraceOp::Kind::PAcq || acq.matchedRel == 0)
+            continue;
+        auto rel_it = byId.find(acq.matchedRel);
+        sbrp_assert(rel_it != byId.end(), "acquire matched unknown rel %s",
+                    acq.matchedRel);
+        const TraceOp &rel = *rel_it->second;
+        if (!scopeSufficient(rel, acq))
+            continue;   // The formal model imposes no edge.
+        ++stats_.relAcqEdgesChecked;
+
+        const Profile &pr = profiles.at(rel.tid);
+        const Profile &pa = profiles.at(acq.tid);
+        std::size_t rel_pos = pr.posOf.at(rel.id);
+        std::size_t acq_pos = pa.posOf.at(acq.id);
+
+        std::uint64_t before_max = pr.prefixMax[rel_pos];
+        std::uint64_t before_id = pr.prefixMaxId[rel_pos];
+        std::uint64_t after_min = pa.suffixMin[acq_pos + 1];
+        std::uint64_t after_id = pa.suffixMinId[acq_pos + 1];
+
+        if (before_id != 0 && after_id != 0 && before_max > after_min) {
+            PmoViolation v;
+            v.w1 = before_id;
+            v.w2 = after_id;
+            v.rule = "rel-acq";
+            std::ostringstream oss;
+            oss << "store " << v.w1 << " (thread " << rel.tid
+                << ", before pRel " << rel.id << ") committed at "
+                << (before_max == kNever ? -1 : (long long)before_max)
+                << " but store " << v.w2 << " (thread " << acq.tid
+                << ", after pAcq " << acq.id << ") committed at "
+                << (long long)after_min;
+            v.detail = oss.str();
+            out.push_back(std::move(v));
+        }
+    }
+}
+
+} // namespace sbrp

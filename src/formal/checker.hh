@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The persist-memory-order (PMO) checker: validates a simulated
+ * execution's physical commit order against the formal SBRP model.
+ *
+ * Box 2 of the paper defines two direct ordering rules:
+ *
+ *   Intra-thread:  W^t_i  -po->  OF^t  -po->  W^t_j   =>  W_i -pmo-> W_j
+ *   Inter-thread:  W^t1_i -po-> pRel_{X,S} -vmo-> pAcq_{X,S} -po-> W^t2_j
+ *                  =>  W_i -pmo-> W_j   (S must include both threads)
+ *
+ * plus transitivity. Because the commit stream is totally ordered,
+ * validating every *direct* rule edge against commit indices implies the
+ * transitive closure holds, and implies the durable set at every crash
+ * prefix is downward-closed under PMO.
+ */
+
+#ifndef SBRP_FORMAL_CHECKER_HH
+#define SBRP_FORMAL_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formal/trace.hh"
+
+namespace sbrp
+{
+
+/** One violated PMO edge. */
+struct PmoViolation
+{
+    std::uint64_t w1 = 0;   ///< Store id required to persist first.
+    std::uint64_t w2 = 0;   ///< Store id that persisted too early.
+    std::string rule;       ///< "ofence" or "rel-acq".
+    std::string detail;
+};
+
+/** Summary statistics of a check (for test assertions). */
+struct PmoCheckStats
+{
+    std::uint64_t persists = 0;
+    std::uint64_t fenceEpochsChecked = 0;
+    std::uint64_t relAcqEdgesChecked = 0;
+    std::uint64_t committedPersists = 0;
+};
+
+class PmoChecker
+{
+  public:
+    explicit PmoChecker(const ExecutionTrace &trace);
+
+    /** Runs all checks; an empty vector means the execution is valid. */
+    std::vector<PmoViolation> check();
+
+    const PmoCheckStats &stats() const { return stats_; }
+
+  private:
+    static constexpr std::uint64_t kNever = ~0ull;
+
+    void indexCommits();
+    void checkFenceRule(std::vector<PmoViolation> &out);
+    void checkRelAcqRule(std::vector<PmoViolation> &out);
+
+    /** Commit batch index of a store; kNever if not durable. */
+    std::uint64_t commitIdx(std::uint64_t store_id) const;
+
+    const ExecutionTrace &trace_;
+    PmoCheckStats stats_;
+    std::vector<std::uint64_t> commitOf_;  // store id -> batch (dense).
+};
+
+} // namespace sbrp
+
+#endif // SBRP_FORMAL_CHECKER_HH

@@ -1,0 +1,74 @@
+#include "formal/litmus.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+std::uint64_t
+LitmusReport::totalViolations() const
+{
+    std::uint64_t n = 0;
+    for (const LitmusRun &r : runs)
+        n += r.violations.size();
+    return n;
+}
+
+LitmusScenario::LitmusScenario(std::string name, Setup setup, Build build,
+                               Judge judge)
+    : name_(std::move(name)),
+      setup_(std::move(setup)),
+      build_(std::move(build)),
+      judge_(std::move(judge))
+{
+}
+
+LitmusRun
+LitmusScenario::runOnce(const SystemConfig &cfg, Cycle crash_at) const
+{
+    NvmDevice nvm;
+    if (setup_)
+        setup_(nvm);
+
+    ExecutionTrace trace;
+    LitmusRun run;
+    run.crashAt = crash_at;
+    {
+        GpuSystem gpu(cfg, nvm, &trace);
+        KernelProgram kernel = build_(nvm);
+        auto res = gpu.launch(kernel, crash_at);
+        run.cycles = res.cycles;
+        run.crashed = res.crashed;
+    }   // Crash: volatile state (caches, PB, in-flight writes) is gone.
+
+    PmoChecker checker(trace);
+    run.violations = checker.check();
+    if (judge_)
+        run.durableStateOk = judge_(nvm, run.crashed);
+    return run;
+}
+
+LitmusReport
+LitmusScenario::run(const SystemConfig &cfg,
+                    const std::vector<double> &crash_fractions) const
+{
+    LitmusReport report;
+    report.name = name_;
+
+    LitmusRun clean = runOnce(cfg, GpuSystem::kNoCrash);
+    report.crashFreeCycles = clean.cycles;
+    report.runs.push_back(clean);
+
+    for (double f : crash_fractions) {
+        auto at = static_cast<Cycle>(
+            static_cast<double>(report.crashFreeCycles) * f);
+        at = std::max<Cycle>(at, 1);
+        report.runs.push_back(runOnce(cfg, at));
+    }
+    return report;
+}
+
+} // namespace sbrp

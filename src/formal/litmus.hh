@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Litmus / crash-sweep harness.
+ *
+ * Runs a small kernel under a given configuration, crash-free and at a
+ * sweep of crash points. Every run is validated against the formal model
+ * with PmoChecker, and a user-supplied predicate inspects the durable NVM
+ * image (the recoverable state) after each crash.
+ *
+ * This is both the litmus-test driver for the formal model and the
+ * crash-consistency harness the application tests reuse.
+ */
+
+#ifndef SBRP_FORMAL_LITMUS_HH
+#define SBRP_FORMAL_LITMUS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "formal/checker.hh"
+#include "formal/trace.hh"
+#include "gpu/gpu_system.hh"
+#include "mem/nvm_device.hh"
+
+namespace sbrp
+{
+
+/** Outcome of one litmus run (crash-free or crashed). */
+struct LitmusRun
+{
+    Cycle crashAt = 0;        ///< 0 = ran to completion.
+    Cycle cycles = 0;
+    bool crashed = false;
+    std::vector<PmoViolation> violations;
+    bool durableStateOk = true;
+};
+
+/** Aggregate outcome of a sweep. */
+struct LitmusReport
+{
+    std::string name;
+    std::vector<LitmusRun> runs;
+    Cycle crashFreeCycles = 0;
+
+    bool
+    allOk() const
+    {
+        for (const LitmusRun &r : runs) {
+            if (!r.violations.empty() || !r.durableStateOk)
+                return false;
+        }
+        return true;
+    }
+
+    std::uint64_t totalViolations() const;
+};
+
+/**
+ * A litmus scenario: how to set up persistent state, how to build the
+ * kernel, and how to judge a durable image.
+ */
+class LitmusScenario
+{
+  public:
+    /** Prepares named NVM regions and initial durable contents. */
+    using Setup = std::function<void(NvmDevice &nvm)>;
+
+    /** Builds the kernel (may read region addresses from the device). */
+    using Build = std::function<KernelProgram(NvmDevice &nvm)>;
+
+    /**
+     * Judges the durable image after a (possibly crashed) run. Returns
+     * true when the state is consistent/recoverable. `crashed` tells the
+     * predicate whether the run completed.
+     */
+    using Judge = std::function<bool(const NvmDevice &nvm, bool crashed)>;
+
+    LitmusScenario(std::string name, Setup setup, Build build,
+                   Judge judge = nullptr);
+
+    /**
+     * Runs crash-free once (recording its cycle count), then once per
+     * crash fraction (of the crash-free cycle count, e.g. 0.25 = a
+     * quarter of the way through).
+     */
+    LitmusReport run(const SystemConfig &cfg,
+                     const std::vector<double> &crash_fractions = {}) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    LitmusRun runOnce(const SystemConfig &cfg, Cycle crash_at) const;
+
+    std::string name_;
+    Setup setup_;
+    Build build_;
+    Judge judge_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_FORMAL_LITMUS_HH

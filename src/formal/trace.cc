@@ -1,0 +1,106 @@
+#include "formal/trace.hh"
+
+#include <utility>
+
+namespace sbrp
+{
+
+std::uint64_t
+ExecutionTrace::recordPersist(ThreadId tid, BlockId block, Addr addr)
+{
+    TraceOp op;
+    op.kind = TraceOp::Kind::Persist;
+    op.tid = tid;
+    op.block = block;
+    op.id = nextId_++;
+    op.addr = addr;
+    ops_.push_back(op);
+    return op.id;
+}
+
+std::uint64_t
+ExecutionTrace::recordFence(TraceOp::Kind kind, ThreadId tid, BlockId block,
+                            Scope scope)
+{
+    TraceOp op;
+    op.kind = kind;
+    op.tid = tid;
+    op.block = block;
+    op.id = nextId_++;
+    op.scope = scope;
+    ops_.push_back(op);
+    return op.id;
+}
+
+std::uint64_t
+ExecutionTrace::recordRel(ThreadId tid, BlockId block, Addr flag,
+                          Scope scope)
+{
+    TraceOp op;
+    op.kind = TraceOp::Kind::PRel;
+    op.tid = tid;
+    op.block = block;
+    op.id = nextId_++;
+    op.addr = flag;
+    op.scope = scope;
+    ops_.push_back(op);
+    return op.id;
+}
+
+void
+ExecutionTrace::publishRel(Addr flag, std::uint64_t rel_id)
+{
+    publishedRel_[flag] = rel_id;
+}
+
+std::uint64_t
+ExecutionTrace::recordAcq(ThreadId tid, BlockId block, Addr flag,
+                          Scope scope)
+{
+    TraceOp op;
+    op.kind = TraceOp::Kind::PAcq;
+    op.tid = tid;
+    op.block = block;
+    op.id = nextId_++;
+    op.addr = flag;
+    op.scope = scope;
+    auto it = publishedRel_.find(flag);
+    op.matchedRel = it == publishedRel_.end() ? 0 : it->second;
+    ops_.push_back(op);
+    return op.id;
+}
+
+void
+ExecutionTrace::notePendingStore(Addr line_addr, std::uint64_t store_id)
+{
+    pending_[line_addr].push_back(store_id);
+}
+
+std::vector<std::uint64_t>
+ExecutionTrace::takePending(Addr line_addr)
+{
+    auto it = pending_.find(line_addr);
+    if (it == pending_.end())
+        return {};
+    std::vector<std::uint64_t> ids = std::move(it->second);
+    pending_.erase(it);
+    return ids;
+}
+
+void
+ExecutionTrace::recordCommit(std::vector<std::uint64_t> store_ids)
+{
+    commits_.push_back(std::move(store_ids));
+}
+
+void
+ExecutionTrace::clear()
+{
+    nextId_ = 1;
+    ops_.clear();
+    commits_.clear();
+    pending_.clear();
+    publishedRel_.clear();
+}
+
+} // namespace sbrp

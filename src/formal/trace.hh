@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Execution tracing for the formal SBRP model.
+ *
+ * When a trace is attached to a GpuSystem, every persist store, fence,
+ * acquire and release is logged per *thread* (the granularity of the
+ * formal model in Box 2 of the paper), and every line commit into the
+ * persistence domain is logged in commit order. The PmoChecker then
+ * verifies that the microarchitecture's commit order respects every
+ * persist-memory-order edge the formal model requires — at every prefix,
+ * i.e. for every possible crash point.
+ */
+
+#ifndef SBRP_FORMAL_TRACE_HH
+#define SBRP_FORMAL_TRACE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/** One logical operation in the formal model. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Persist,  ///< A write to NVM (W^t_i in the paper).
+        OFence,   ///< Ordering fence (OF^t).
+        DFence,   ///< Durability fence (DF^t).
+        PAcq,     ///< Scoped persist acquire (recorded at spin success).
+        PRel,     ///< Scoped persist release (recorded at issue).
+        Fence,    ///< Epoch barrier (GPM/epoch models).
+    };
+
+    Kind kind;
+    ThreadId tid = 0;          ///< Global thread id.
+    BlockId block = 0;         ///< Threadblock of the thread.
+    std::uint64_t id = 0;      ///< Global op id; doubles as store id.
+    Addr addr = 0;             ///< Persist target or flag address.
+    Scope scope = Scope::Block;
+    /** For PAcq: op id of the matched release (0 if none observed). */
+    std::uint64_t matchedRel = 0;
+};
+
+/**
+ * Collects the logical operation stream and the physical commit stream
+ * of one simulation. Attachable to a GpuSystem; ignored when null.
+ */
+class ExecutionTrace
+{
+  public:
+    // --- Logical operations (called from the SM at execute time) ---
+
+    /** Logs a persist store; the returned id tags the pending line. */
+    std::uint64_t recordPersist(ThreadId tid, BlockId block, Addr addr);
+
+    std::uint64_t recordFence(TraceOp::Kind kind, ThreadId tid,
+                              BlockId block, Scope scope);
+
+    /** Logs a release at issue time. */
+    std::uint64_t recordRel(ThreadId tid, BlockId block, Addr flag,
+                            Scope scope);
+
+    /**
+     * Marks a release's flag value as published (visible to acquirers);
+     * called by the persistency model when the flag store is performed.
+     */
+    void publishRel(Addr flag, std::uint64_t rel_id);
+
+    /** Logs an acquire at spin-success time; matches the published rel. */
+    std::uint64_t recordAcq(ThreadId tid, BlockId block, Addr flag,
+                            Scope scope);
+
+    // --- Physical persist tracking (called from the persist machinery) ---
+
+    /** Associates a just-executed store id with its (pending) L1 line. */
+    void notePendingStore(Addr line_addr, std::uint64_t store_id);
+
+    /** Steals the pending store ids of a line at flush-snapshot time. */
+    std::vector<std::uint64_t> takePending(Addr line_addr);
+
+    /** Logs a commit (persistence-domain accept) of the given store ids. */
+    void recordCommit(std::vector<std::uint64_t> store_ids);
+
+    // --- Results ---
+
+    const std::vector<TraceOp> &ops() const { return ops_; }
+    const std::vector<std::vector<std::uint64_t>> &commits() const
+    { return commits_; }
+
+    /** Total logical ops recorded. */
+    std::size_t size() const { return ops_.size(); }
+
+    void clear();
+
+  private:
+    std::uint64_t nextId_ = 1;   // 0 means "no op".
+    std::vector<TraceOp> ops_;
+    std::vector<std::vector<std::uint64_t>> commits_;
+    std::unordered_map<Addr, std::vector<std::uint64_t>> pending_;
+    std::unordered_map<Addr, std::uint64_t> publishedRel_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_FORMAL_TRACE_HH

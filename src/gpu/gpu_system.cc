@@ -1,0 +1,143 @@
+#include "gpu/gpu_system.hh"
+
+#include <deque>
+
+#include "common/log.hh"
+#include "formal/trace.hh"
+#include "mem/address_map.hh"
+
+namespace sbrp
+{
+
+GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
+                     ExecutionTrace *trace)
+    : cfg_(cfg),
+      nvm_(nvm),
+      trace_(trace),
+      gddrBump_(addr_map::kGddrBase)
+{
+    cfg_.validate();
+
+    // Power-up: the volatile view of NVM reads through to the durable
+    // image; writes stay volatile until the persistence domain commits.
+    mem_.setBacking(&nvm_.durable());
+
+    fabric_ = std::make_unique<MemoryFabric>(cfg_, events_, nvm_, mem_,
+                                             trace_);
+    stats_.add(&fabric_->stats());
+    for (SmId i = 0; i < cfg_.numSms; ++i) {
+        sms_.push_back(std::make_unique<Sm>(i, cfg_, *fabric_, mem_,
+                                            events_, trace_));
+        stats_.add(&sms_.back()->stats());
+        stats_.add(&sms_.back()->l1Stats());
+    }
+}
+
+GpuSystem::~GpuSystem() = default;
+
+Addr
+GpuSystem::gddrAlloc(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        sbrp_fatal("zero-byte GDDR allocation");
+    Addr base = gddrBump_;
+    gddrBump_ += (bytes + 255) / 256 * 256;
+    if (gddrBump_ >= addr_map::kNvmBase)
+        sbrp_fatal("GDDR window exhausted");
+    return base;
+}
+
+bool
+GpuSystem::allIdle() const
+{
+    for (const auto &sm : sms_) {
+        if (!sm->idle())
+            return false;
+    }
+    return true;
+}
+
+bool
+GpuSystem::allDrained() const
+{
+    for (const auto &sm : sms_) {
+        if (!sm->drained())
+            return false;
+    }
+    return true;
+}
+
+GpuSystem::LaunchResult
+GpuSystem::launch(const KernelProgram &kernel, Cycle crash_at)
+{
+    if (crashed_)
+        sbrp_fatal("launch on a crashed GpuSystem; power-cycle instead");
+    if (kernel.warpsPerBlock() > cfg_.maxWarpsPerSm) {
+        sbrp_fatal("kernel '%s': block needs %s warps but an SM holds %s",
+                   kernel.name(), kernel.warpsPerBlock(),
+                   cfg_.maxWarpsPerSm);
+    }
+
+    Cycle start = cycle_;
+    std::deque<BlockId> pending;
+    for (BlockId b = 0; b < kernel.numBlocks(); ++b)
+        pending.push_back(b);
+
+    bool draining = false;
+    Cycle exec_end = 0;
+    while (true) {
+        ++cycle_;
+        events_.runUntil(cycle_);
+
+        // Dispatch blocks round-robin onto SMs with room.
+        while (!pending.empty()) {
+            Sm *target = nullptr;
+            for (auto &sm : sms_) {
+                if (sm->canAccept(kernel.warpsPerBlock()) &&
+                        (!target ||
+                         sm->freeSlots() > target->freeSlots())) {
+                    target = sm.get();
+                }
+            }
+            if (!target)
+                break;
+            target->launchBlock(kernel, pending.front());
+            pending.pop_front();
+        }
+
+        for (auto &sm : sms_)
+            sm->tick(cycle_);
+
+        if (crash_at != kNoCrash && cycle_ - start >= crash_at) {
+            crashed_ = true;
+            return LaunchResult{cycle_ - start, cycle_ - start, true};
+        }
+
+        if (pending.empty() && allIdle()) {
+            if (!draining) {
+                draining = true;
+                exec_end = cycle_ - start;
+                for (auto &sm : sms_)
+                    sm->beginDrain();
+            }
+            if (allDrained() && fabric_->idle() && events_.empty())
+                break;
+        }
+
+        if (cycle_ - start > cfg_.watchdogCycles) {
+            sbrp_panic("watchdog: kernel '%s' made no progress in %s "
+                       "cycles (deadlock or unsatisfiable spin?)",
+                       kernel.name(), cfg_.watchdogCycles);
+        }
+    }
+
+    return LaunchResult{cycle_ - start, exec_end, false};
+}
+
+std::uint64_t
+GpuSystem::sumSmStat(const std::string &counter) const
+{
+    return stats_.sum("sm", counter);
+}
+
+} // namespace sbrp

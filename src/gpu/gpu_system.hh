@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The top-level simulated system: SMs + memory fabric + volatile view of
+ * memory, attached to an NvmDevice that outlives it.
+ *
+ * Crash/recovery workflow:
+ * @code
+ *   NvmDevice nvm;                          // The physical NVM.
+ *   {
+ *       GpuSystem gpu(cfg, nvm);
+ *       gpu.launch(kernel, 12345);          // Power fails at cycle 12345.
+ *   }                                       // Caches, PBs, WPQs: gone.
+ *   GpuSystem gpu2(cfg, nvm);               // Power-up; durable data only.
+ *   gpu2.launch(recovery_kernel);
+ * @endcode
+ */
+
+#ifndef SBRP_GPU_GPU_SYSTEM_HH
+#define SBRP_GPU_GPU_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/kernel.hh"
+#include "gpu/mem_ctrl.hh"
+#include "gpu/sm.hh"
+#include "mem/functional_mem.hh"
+#include "mem/nvm_device.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+
+class ExecutionTrace;
+
+class GpuSystem
+{
+  public:
+    /** Sentinel: run to completion. */
+    static constexpr Cycle kNoCrash = 0;
+
+    struct LaunchResult
+    {
+        Cycle cycles = 0;    ///< Cycles this launch took (or ran until).
+        Cycle execCycles = 0;  ///< Cycles until the last warp retired
+                               ///< (the rest is the persist drain tail).
+        bool crashed = false;
+    };
+
+    /**
+     * @param cfg    Hardware + model configuration (validated).
+     * @param nvm    The persistent device; must outlive this object.
+     * @param trace  Optional formal-model trace sink (tests).
+     */
+    GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
+              ExecutionTrace *trace = nullptr);
+    ~GpuSystem();
+
+    GpuSystem(const GpuSystem &) = delete;
+    GpuSystem &operator=(const GpuSystem &) = delete;
+
+    /** Allocates volatile GDDR memory (bump allocator). */
+    Addr gddrAlloc(std::uint64_t bytes);
+
+    /** The GPU's (volatile) functional view of all memory. */
+    FunctionalMemory &mem() { return mem_; }
+    const FunctionalMemory &mem() const { return mem_; }
+
+    NvmDevice &nvm() { return nvm_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /**
+     * Runs a kernel to completion — including the end-of-kernel drain of
+     * buffered persists — or until `crash_at` cycles into the launch.
+     * A crashed system refuses further launches (destroy it and attach a
+     * fresh GpuSystem to the NvmDevice instead).
+     */
+    LaunchResult launch(const KernelProgram &kernel,
+                        Cycle crash_at = kNoCrash);
+
+    StatRegistry &stats() { return stats_; }
+    MemoryFabric &fabric() { return *fabric_; }
+    Sm &sm(SmId id) { return *sms_[id]; }
+    Cycle nowCycle() const { return cycle_; }
+
+    /** Sum of a counter across all SM stat groups (e.g. Figure 8). */
+    std::uint64_t sumSmStat(const std::string &counter) const;
+
+  private:
+    bool allIdle() const;
+    bool allDrained() const;
+
+    SystemConfig cfg_;
+    NvmDevice &nvm_;
+    ExecutionTrace *trace_;
+
+    FunctionalMemory mem_;
+    EventQueue events_;
+    std::unique_ptr<MemoryFabric> fabric_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    StatRegistry stats_;
+
+    Addr gddrBump_;
+    Cycle cycle_ = 0;
+    bool crashed_ = false;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_GPU_SYSTEM_HH

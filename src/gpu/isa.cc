@@ -1,0 +1,80 @@
+#include "gpu/isa.hh"
+
+#include <sstream>
+
+namespace sbrp
+{
+
+bool
+isMemOp(Op op)
+{
+    switch (op) {
+      case Op::Load:
+      case Op::Store:
+      case Op::AtomicAdd:
+      case Op::PAcq:
+      case Op::PRel:
+      case Op::SpinLoad:
+      case Op::ExitIf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isPersistOp(Op op)
+{
+    switch (op) {
+      case Op::OFence:
+      case Op::DFence:
+      case Op::PAcq:
+      case Op::PRel:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+toString(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::LaneSum: return "lane_sum";
+      case Op::LaneMax: return "lane_max";
+      case Op::Compute: return "compute";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::AtomicAdd: return "atomic_add";
+      case Op::Barrier: return "barrier";
+      case Op::Fence: return "fence";
+      case Op::OFence: return "ofence";
+      case Op::DFence: return "dfence";
+      case Op::PAcq: return "pacq";
+      case Op::PRel: return "prel";
+      case Op::SpinLoad: return "spin_load";
+      case Op::ExitIf: return "exit_if";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+WarpInstr::describe() const
+{
+    std::ostringstream oss;
+    oss << toString(op) << " scope=" << toString(scope)
+        << " active=0x" << std::hex << active << std::dec;
+    if (!laneAddrs.empty())
+        oss << " addr[0]=0x" << std::hex << laneAddrs[0] << std::dec;
+    if (src == kImmOperand)
+        oss << " imm=" << imm;
+    else
+        oss << " src=r" << int(src);
+    return oss.str();
+}
+
+} // namespace sbrp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The device instruction set executed by simulated warps.
+ *
+ * Kernels are expressed as per-warp instruction streams (SIMT: one
+ * instruction, up to 32 active lanes with per-lane addresses/operands).
+ * This mirrors how the paper's CUDA kernels behave on GPGPU-Sim after
+ * coalescing while keeping the execution engine small. Control flow is
+ * resolved at trace-generation time — all six evaluated applications have
+ * statically computable per-thread address streams; only *values* are
+ * data-dependent, and those flow through per-lane registers at simulation
+ * time (so spin-based pAcq/pRel interactions are emergent, not scripted).
+ */
+
+#ifndef SBRP_GPU_ISA_HH
+#define SBRP_GPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/** Number of per-lane general-purpose registers. */
+constexpr std::uint32_t kNumRegs = 8;
+
+/** Marker: operand comes from the immediate, not a register. */
+constexpr std::uint8_t kImmOperand = 0xff;
+
+/** Device opcodes. */
+enum class Op : std::uint8_t
+{
+    Nop,        ///< No effect; 1 cycle.
+    Mov,        ///< reg[dst] = imm (per-lane imm if provided).
+    Add,        ///< reg[dst] += operand.
+    LaneSum,    ///< reg[dst] = sum of reg[dst] over active lanes (a
+                ///< warp-shuffle reduction, __reduce_add_sync).
+    LaneMax,    ///< reg[dst] = max of reg[dst] over active lanes.
+    Compute,    ///< Busy the warp for `computeCycles` cycles.
+    Load,       ///< reg[dst] = mem32[addr[lane]]; timed through L1/L2/MC.
+    Store,      ///< mem32[addr[lane]] = operand. NVM stores are persists.
+    AtomicAdd,  ///< reg[dst] = old; mem32[addr] += operand (L2-adjacent).
+    Barrier,    ///< Block-wide __syncthreads().
+    Fence,      ///< Scoped memory fence; GPM/epoch use it as the epoch
+                ///< barrier (Fence{System} == __threadfence_system).
+    OFence,     ///< SBRP ordering fence (intra-thread PMO).
+    DFence,     ///< SBRP durability fence.
+    PAcq,       ///< Scoped persist acquire: spin until mem32[addr] == imm.
+    PRel,       ///< Scoped persist release: publish imm to addr once
+                ///< ordering allows (buffered under SBRP).
+    SpinLoad,   ///< Volatile acquire spin (epoch-model flag wait);
+                ///< bypasses L1 like a CUDA volatile/atomic read.
+    ExitIf,     ///< Lane exits the kernel when mem32[addr] matches the
+                ///< spin condition — the paper's `if (pArr[tid] !=
+                ///< EMPTY) return;` native-recovery idiom (Figure 3).
+    Halt,       ///< Warp (lane set) finished.
+};
+
+/** True for opcodes that carry per-lane memory addresses. */
+bool isMemOp(Op op);
+
+/** True for persistency-model operations (routed to the model). */
+bool isPersistOp(Op op);
+
+const char *toString(Op op);
+
+/**
+ * One SIMT instruction for a warp.
+ *
+ * `active` selects participating lanes. Memory ops read per-lane addresses
+ * from `laneAddrs` (size == warpSize, ignored entries for inactive lanes).
+ * The value operand is reg[src] unless src == kImmOperand, in which case it
+ * is the per-lane immediate from `laneImms` (or the scalar `imm` when
+ * `laneImms` is empty).
+ */
+struct WarpInstr
+{
+    Op op = Op::Nop;
+    Scope scope = Scope::Block;
+    std::uint32_t active = 0xffffffffu;
+    std::uint8_t dst = 0;
+    std::uint8_t src = kImmOperand;
+    /** Optional index register: effective address = laneAddr + reg*scale
+        (register-indirect addressing, e.g. restoring a logged slot). */
+    std::uint8_t idxReg = kImmOperand;
+    std::uint8_t idxScale = 1;
+    /** Spin/exit condition: false = trigger on ==imm, true = on !=imm. */
+    bool negate = false;
+    std::uint32_t imm = 0;
+    std::uint16_t computeCycles = 1;
+    std::vector<Addr> laneAddrs;
+    std::vector<std::uint32_t> laneImms;
+
+    /** Debug pretty-printer. */
+    std::string describe() const;
+};
+
+/** Whether GPM-style fences should also flush volatile (GDDR) lines. */
+enum class FenceSemantics : std::uint8_t
+{
+    PmOnly,        ///< Enhanced epoch barrier ('Epoch' in figures).
+    PmAndVolatile, ///< GPM's __threadfence_system behaviour.
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_ISA_HH

@@ -1,0 +1,337 @@
+#include "gpu/kernel.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+KernelProgram::KernelProgram(std::string name, std::uint32_t num_blocks,
+                             std::uint32_t threads_per_block)
+    : name_(std::move(name)),
+      numBlocks_(num_blocks),
+      threadsPerBlock_(threads_per_block),
+      warpsPerBlock_((threads_per_block + 31) / 32)
+{
+    if (num_blocks == 0 || threads_per_block == 0)
+        sbrp_fatal("kernel '%s' has an empty grid", name_);
+    if (threads_per_block > 1024)
+        sbrp_fatal("kernel '%s': threadsPerBlock %s exceeds 1024",
+                   name_, threads_per_block);
+    programs_.resize(std::size_t(numBlocks_) * warpsPerBlock_);
+}
+
+WarpProgram &
+KernelProgram::warp(BlockId block, std::uint32_t warp_in_block)
+{
+    sbrp_assert(block < numBlocks_ && warp_in_block < warpsPerBlock_,
+                "warp (%s, %s) out of range", block, warp_in_block);
+    return programs_[std::size_t(block) * warpsPerBlock_ + warp_in_block];
+}
+
+const WarpProgram &
+KernelProgram::warp(BlockId block, std::uint32_t warp_in_block) const
+{
+    sbrp_assert(block < numBlocks_ && warp_in_block < warpsPerBlock_,
+                "warp (%s, %s) out of range", block, warp_in_block);
+    return programs_[std::size_t(block) * warpsPerBlock_ + warp_in_block];
+}
+
+std::uint64_t
+KernelProgram::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : programs_)
+        n += p.code.size();
+    return n;
+}
+
+WarpBuilder::WarpBuilder(WarpProgram &prog, std::uint32_t lanes)
+    : prog_(prog), lanes_(lanes), defaultMask_(mask::firstN(lanes))
+{
+    sbrp_assert(lanes >= 1 && lanes <= 32, "bad lane count %s", lanes);
+}
+
+WarpInstr &
+WarpBuilder::emit(Op op, std::uint32_t active)
+{
+    WarpInstr in;
+    in.op = op;
+    in.active = active ? (active & defaultMask_) : defaultMask_;
+    prog_.code.push_back(std::move(in));
+    return prog_.code.back();
+}
+
+void
+WarpBuilder::fillAddrs(WarpInstr &in, const AddrFn &addrs)
+{
+    in.laneAddrs.resize(32, 0);
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (in.active & (1u << l))
+            in.laneAddrs[l] = addrs(l);
+    }
+}
+
+void
+WarpBuilder::fillVals(WarpInstr &in, const ValFn &vals)
+{
+    in.laneImms.resize(32, 0);
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (in.active & (1u << l))
+            in.laneImms[l] = vals(l);
+    }
+}
+
+WarpBuilder &
+WarpBuilder::mov(std::uint8_t dst, std::uint32_t imm, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Mov, active);
+    in.dst = dst;
+    in.imm = imm;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::movLane(std::uint8_t dst, const ValFn &vals,
+                     std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Mov, active);
+    in.dst = dst;
+    fillVals(in, vals);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::addImm(std::uint8_t dst, std::uint32_t imm,
+                    std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Add, active);
+    in.dst = dst;
+    in.imm = imm;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::addReg(std::uint8_t dst, std::uint8_t src, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Add, active);
+    in.dst = dst;
+    in.src = src;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::laneSum(std::uint8_t dst, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::LaneSum, active);
+    in.dst = dst;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::laneMax(std::uint8_t dst, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::LaneMax, active);
+    in.dst = dst;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::compute(std::uint16_t cycles, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Compute, active);
+    in.computeCycles = cycles;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::load(std::uint8_t dst, const AddrFn &addrs,
+                  std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Load, active);
+    in.dst = dst;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::loadIdx(std::uint8_t dst, const AddrFn &base,
+                     std::uint8_t idx_reg, std::uint8_t scale,
+                     std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Load, active);
+    in.dst = dst;
+    in.idxReg = idx_reg;
+    in.idxScale = scale;
+    fillAddrs(in, base);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::store(const AddrFn &addrs, std::uint8_t src,
+                   std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Store, active);
+    in.src = src;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::storeIdx(const AddrFn &base, std::uint8_t src,
+                      std::uint8_t idx_reg, std::uint8_t scale,
+                      std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Store, active);
+    in.src = src;
+    in.idxReg = idx_reg;
+    in.idxScale = scale;
+    fillAddrs(in, base);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::storeImm(const AddrFn &addrs, const ValFn &vals,
+                      std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Store, active);
+    in.src = kImmOperand;
+    fillAddrs(in, addrs);
+    fillVals(in, vals);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::atomicAdd(std::uint8_t dst, Addr addr, std::uint32_t imm,
+                       std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::AtomicAdd, active);
+    in.dst = dst;
+    in.imm = imm;
+    fillAddrs(in, [addr](std::uint32_t) { return addr; });
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::barrier()
+{
+    emit(Op::Barrier, 0);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::fence(Scope scope, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::Fence, active);
+    in.scope = scope;
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::ofence(std::uint32_t active)
+{
+    emit(Op::OFence, active);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::dfence(std::uint32_t active)
+{
+    emit(Op::DFence, active);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::pacq(const AddrFn &addrs, std::uint32_t expect, Scope scope,
+                  std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::PAcq, active);
+    in.scope = scope;
+    in.imm = expect;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::pacqNe(const AddrFn &addrs, std::uint32_t sentinel,
+                    Scope scope, std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::PAcq, active);
+    in.scope = scope;
+    in.imm = sentinel;
+    in.negate = true;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::prel(const AddrFn &addrs, std::uint32_t value, Scope scope,
+                  std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::PRel, active);
+    in.scope = scope;
+    in.imm = value;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::prelReg(const AddrFn &addrs, std::uint8_t src, Scope scope,
+                     std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::PRel, active);
+    in.scope = scope;
+    in.src = src;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::spinLoad(const AddrFn &addrs, std::uint32_t expect,
+                      std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::SpinLoad, active);
+    in.imm = expect;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::spinLoadNe(const AddrFn &addrs, std::uint32_t sentinel,
+                        std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::SpinLoad, active);
+    in.imm = sentinel;
+    in.negate = true;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::exitIfEq(const AddrFn &addrs, std::uint32_t value,
+                      std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::ExitIf, active);
+    in.imm = value;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::exitIfNe(const AddrFn &addrs, std::uint32_t sentinel,
+                      std::uint32_t active)
+{
+    WarpInstr &in = emit(Op::ExitIf, active);
+    in.imm = sentinel;
+    in.negate = true;
+    fillAddrs(in, addrs);
+    return *this;
+}
+
+WarpBuilder &
+WarpBuilder::halt(std::uint32_t active)
+{
+    emit(Op::Halt, active);
+    return *this;
+}
+
+} // namespace sbrp

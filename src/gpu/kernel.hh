@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Kernel programs (per-warp instruction streams) and the builder API
+ * applications use to generate them.
+ */
+
+#ifndef SBRP_GPU_KERNEL_HH
+#define SBRP_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/isa.hh"
+
+namespace sbrp
+{
+
+/** The instruction stream of one warp. Execution ends past the last op. */
+struct WarpProgram
+{
+    std::vector<WarpInstr> code;
+};
+
+/**
+ * A launchable grid: numBlocks threadblocks of threadsPerBlock threads,
+ * each block split into warps of 32 threads with their own programs.
+ */
+class KernelProgram
+{
+  public:
+    KernelProgram(std::string name, std::uint32_t num_blocks,
+                  std::uint32_t threads_per_block);
+
+    const std::string &name() const { return name_; }
+    std::uint32_t numBlocks() const { return numBlocks_; }
+    std::uint32_t threadsPerBlock() const { return threadsPerBlock_; }
+    std::uint32_t warpsPerBlock() const { return warpsPerBlock_; }
+
+    WarpProgram &warp(BlockId block, std::uint32_t warp_in_block);
+    const WarpProgram &warp(BlockId block,
+                            std::uint32_t warp_in_block) const;
+
+    /** Global thread id of (block, warpInBlock, lane). */
+    ThreadId
+    threadOf(BlockId block, std::uint32_t warp_in_block,
+             std::uint32_t lane) const
+    {
+        return block * threadsPerBlock_ + warp_in_block * 32 + lane;
+    }
+
+    /** Total instructions across all warps (sanity/report helper). */
+    std::uint64_t totalInstructions() const;
+
+  private:
+    std::string name_;
+    std::uint32_t numBlocks_;
+    std::uint32_t threadsPerBlock_;
+    std::uint32_t warpsPerBlock_;
+    std::vector<WarpProgram> programs_;
+};
+
+/**
+ * Fluent builder appending instructions to one warp's program.
+ *
+ * Per-lane addresses are supplied by a lane->Addr function evaluated at
+ * build time; `active` masks select participating lanes (default: all
+ * lanes up to the builder's lane count).
+ */
+class WarpBuilder
+{
+  public:
+    using AddrFn = std::function<Addr(std::uint32_t lane)>;
+    using ValFn = std::function<std::uint32_t(std::uint32_t lane)>;
+
+    /**
+     * @param prog   Warp program to append to.
+     * @param lanes  Number of live lanes (threads) in this warp, <= 32;
+     *               the default active mask covers exactly these.
+     */
+    WarpBuilder(WarpProgram &prog, std::uint32_t lanes = 32);
+
+    std::uint32_t defaultMask() const { return defaultMask_; }
+
+    WarpBuilder &mov(std::uint8_t dst, std::uint32_t imm,
+                     std::uint32_t active = 0);
+    WarpBuilder &movLane(std::uint8_t dst, const ValFn &vals,
+                         std::uint32_t active = 0);
+    WarpBuilder &addImm(std::uint8_t dst, std::uint32_t imm,
+                        std::uint32_t active = 0);
+    WarpBuilder &addReg(std::uint8_t dst, std::uint8_t src,
+                        std::uint32_t active = 0);
+    /** Warp-wide sum of reg[dst] into reg[dst] of every active lane. */
+    WarpBuilder &laneSum(std::uint8_t dst, std::uint32_t active = 0);
+    /** Warp-wide max of reg[dst] into reg[dst] of every active lane. */
+    WarpBuilder &laneMax(std::uint8_t dst, std::uint32_t active = 0);
+    WarpBuilder &compute(std::uint16_t cycles, std::uint32_t active = 0);
+
+    WarpBuilder &load(std::uint8_t dst, const AddrFn &addrs,
+                      std::uint32_t active = 0);
+    /** Register-indexed load: reg[dst] = mem32[addr + reg[idx]*scale]. */
+    WarpBuilder &loadIdx(std::uint8_t dst, const AddrFn &base,
+                         std::uint8_t idx_reg, std::uint8_t scale,
+                         std::uint32_t active = 0);
+    /** Store a register. */
+    WarpBuilder &store(const AddrFn &addrs, std::uint8_t src,
+                       std::uint32_t active = 0);
+    /** Register-indexed store: mem32[addr + reg[idx]*scale] = reg[src]. */
+    WarpBuilder &storeIdx(const AddrFn &base, std::uint8_t src,
+                          std::uint8_t idx_reg, std::uint8_t scale,
+                          std::uint32_t active = 0);
+    /** Store per-lane immediates. */
+    WarpBuilder &storeImm(const AddrFn &addrs, const ValFn &vals,
+                          std::uint32_t active = 0);
+    WarpBuilder &atomicAdd(std::uint8_t dst, Addr addr, std::uint32_t imm,
+                           std::uint32_t active = 0);
+
+    WarpBuilder &barrier();
+    WarpBuilder &fence(Scope scope, std::uint32_t active = 0);
+    WarpBuilder &ofence(std::uint32_t active = 0);
+    WarpBuilder &dfence(std::uint32_t active = 0);
+    /** Spin until mem32[addr(lane)] == expect, then acquire. */
+    WarpBuilder &pacq(const AddrFn &addrs, std::uint32_t expect,
+                      Scope scope, std::uint32_t active = 0);
+    /** Spin until mem32[addr(lane)] != sentinel, then acquire. */
+    WarpBuilder &pacqNe(const AddrFn &addrs, std::uint32_t sentinel,
+                        Scope scope, std::uint32_t active = 0);
+    WarpBuilder &prel(const AddrFn &addrs, std::uint32_t value, Scope scope,
+                      std::uint32_t active = 0);
+    /** Release publishing a register value (pRel(&x, sum) in Fig. 3). */
+    WarpBuilder &prelReg(const AddrFn &addrs, std::uint8_t src, Scope scope,
+                         std::uint32_t active = 0);
+    WarpBuilder &spinLoad(const AddrFn &addrs, std::uint32_t expect,
+                          std::uint32_t active = 0);
+    WarpBuilder &spinLoadNe(const AddrFn &addrs, std::uint32_t sentinel,
+                            std::uint32_t active = 0);
+    /** Lane returns early when mem32[addr] == value. */
+    WarpBuilder &exitIfEq(const AddrFn &addrs, std::uint32_t value,
+                          std::uint32_t active = 0);
+    /** Lane returns early when mem32[addr] != sentinel (Figure 3). */
+    WarpBuilder &exitIfNe(const AddrFn &addrs, std::uint32_t sentinel,
+                          std::uint32_t active = 0);
+    WarpBuilder &halt(std::uint32_t active = 0);
+
+  private:
+    WarpInstr &emit(Op op, std::uint32_t active);
+    void fillAddrs(WarpInstr &in, const AddrFn &addrs);
+    void fillVals(WarpInstr &in, const ValFn &vals);
+
+    WarpProgram &prog_;
+    std::uint32_t lanes_;
+    std::uint32_t defaultMask_;
+};
+
+/** Mask helpers for divergent code. */
+namespace mask
+{
+
+/** Lanes [0, n). */
+inline std::uint32_t
+firstN(std::uint32_t n)
+{
+    return n >= 32 ? 0xffffffffu : ((1u << n) - 1u);
+}
+
+/** Exactly one lane. */
+inline std::uint32_t
+lane(std::uint32_t l)
+{
+    return 1u << l;
+}
+
+/** Lanes [lo, hi). */
+inline std::uint32_t
+range(std::uint32_t lo, std::uint32_t hi)
+{
+    return firstN(hi) & ~firstN(lo);
+}
+
+} // namespace mask
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_KERNEL_HH

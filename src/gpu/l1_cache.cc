@@ -1,0 +1,117 @@
+#include "gpu/l1_cache.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+L1Cache::L1Cache(const SystemConfig &cfg, StatGroup &stats)
+    : sets_(cfg.l1Sets()),
+      assoc_(cfg.l1Assoc),
+      lineBytes_(cfg.lineBytes),
+      lines_(std::size_t(cfg.l1Sets()) * cfg.l1Assoc),
+      stats_(stats)
+{
+}
+
+std::uint32_t
+L1Cache::setOf(Addr line_addr) const
+{
+    return (line_addr / lineBytes_) % sets_;
+}
+
+L1Cache::Line *
+L1Cache::lookup(Addr line_addr, Cycle now)
+{
+    Line *line = probe(line_addr);
+    if (line)
+        line->lastUse = now;
+    return line;
+}
+
+L1Cache::Line *
+L1Cache::probe(Addr line_addr)
+{
+    std::uint32_t set = setOf(line_addr);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &l = lines_[std::size_t(set) * assoc_ + w];
+        if (l.valid && l.lineAddr == line_addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+L1Cache::Line *
+L1Cache::victimFor(Addr line_addr)
+{
+    std::uint32_t set = setOf(line_addr);
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &l = lines_[std::size_t(set) * assoc_ + w];
+        if (!l.valid)
+            return nullptr;   // Free way available; no eviction needed.
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    return victim;
+}
+
+L1Cache::Line *
+L1Cache::allocate(Addr line_addr, Cycle now, Eviction *ev)
+{
+    if (ev)
+        *ev = Eviction{};
+
+    if (Line *hit = probe(line_addr)) {
+        hit->lastUse = now;
+        return hit;
+    }
+
+    std::uint32_t set = setOf(line_addr);
+    Line *slot = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &l = lines_[std::size_t(set) * assoc_ + w];
+        if (!l.valid) {
+            slot = &l;
+            break;
+        }
+        if (!slot || l.lastUse < slot->lastUse)
+            slot = &l;
+    }
+    sbrp_assert(slot, "no way in set %s", set);
+
+    if (slot->valid && ev) {
+        ev->happened = true;
+        ev->lineAddr = slot->lineAddr;
+        ev->dirty = slot->dirty;
+        ev->isPm = slot->isPm;
+        ev->pbEntry = slot->pbEntry;
+        stats_.stat("evictions").inc();
+    }
+
+    slot->lineAddr = line_addr;
+    slot->valid = true;
+    slot->dirty = false;
+    slot->isPm = false;
+    slot->pbEntry = kNoPbEntry;
+    slot->lastUse = now;
+    return slot;
+}
+
+void
+L1Cache::invalidate(Addr line_addr)
+{
+    if (Line *l = probe(line_addr))
+        l->valid = false;
+}
+
+void
+L1Cache::forEachLine(const std::function<void(Line &)> &fn)
+{
+    for (Line &l : lines_) {
+        if (l.valid)
+            fn(l);
+    }
+}
+
+} // namespace sbrp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-SM L1 data cache (timing + persist metadata; values are functional).
+ *
+ * As in the paper (Section 6), every line carries a PM bit and a persist
+ * buffer index so the SBRP machinery can find the PB entry tracking a
+ * dirty PM line. GPUs keep L1s incoherent; nothing here snoops.
+ */
+
+#ifndef SBRP_GPU_L1_CACHE_HH
+#define SBRP_GPU_L1_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/** Sentinel for "no persist-buffer entry". */
+constexpr std::uint64_t kNoPbEntry = ~0ull;
+
+/** Set-associative, LRU, write-back tag array. */
+class L1Cache
+{
+  public:
+    struct Line
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool isPm = false;
+        std::uint64_t pbEntry = kNoPbEntry;
+        Cycle lastUse = 0;
+    };
+
+    /** What fell out of a set on allocation. */
+    struct Eviction
+    {
+        bool happened = false;
+        Addr lineAddr = 0;
+        bool dirty = false;
+        bool isPm = false;
+        std::uint64_t pbEntry = kNoPbEntry;
+    };
+
+    L1Cache(const SystemConfig &cfg, StatGroup &stats);
+
+    /** Finds a valid line; updates LRU on hit. Null on miss. */
+    Line *lookup(Addr line_addr, Cycle now);
+
+    /** Finds a valid line without touching LRU state. */
+    Line *probe(Addr line_addr);
+
+    /**
+     * The line that allocate() would evict for this address, or null if
+     * a free/invalid way exists. Lets the persistency model veto PM
+     * evictions before any state changes.
+     */
+    Line *victimFor(Addr line_addr);
+
+    /**
+     * Allocates (or refreshes) a line. The previous occupant, if any, is
+     * reported through `ev` — the caller must handle writebacks/flushes.
+     */
+    Line *allocate(Addr line_addr, Cycle now, Eviction *ev);
+
+    /** Drops a line if present. */
+    void invalidate(Addr line_addr);
+
+    /** Runs fn on every valid line (flush scans, invalidation sweeps). */
+    void forEachLine(const std::function<void(Line &)> &fn);
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+  private:
+    std::uint32_t setOf(Addr line_addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::vector<Line> lines_;   // sets_ * assoc_, set-major.
+    StatGroup &stats_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_L1_CACHE_HH

@@ -1,0 +1,85 @@
+#include "gpu/l2_cache.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+L2Cache::L2Cache(const SystemConfig &cfg, StatGroup &stats)
+    : sets_(cfg.l2Sets()),
+      assoc_(cfg.l2Assoc),
+      lineBytes_(cfg.lineBytes),
+      lines_(std::size_t(cfg.l2Sets()) * cfg.l2Assoc),
+      stats_(stats)
+{
+}
+
+std::uint32_t
+L2Cache::setOf(Addr line_addr) const
+{
+    return (line_addr / lineBytes_) % sets_;
+}
+
+bool
+L2Cache::lookup(Addr line_addr, Cycle now)
+{
+    std::uint32_t set = setOf(line_addr);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &l = lines_[std::size_t(set) * assoc_ + w];
+        if (l.valid && l.lineAddr == line_addr) {
+            l.lastUse = now;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+L2Cache::allocate(Addr line_addr, bool dirty, Cycle now, Eviction *ev)
+{
+    if (ev)
+        *ev = Eviction{};
+
+    std::uint32_t set = setOf(line_addr);
+    Line *slot = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &l = lines_[std::size_t(set) * assoc_ + w];
+        if (l.valid && l.lineAddr == line_addr) {
+            l.dirty = l.dirty || dirty;
+            l.lastUse = now;
+            return;
+        }
+        if (!l.valid) {
+            if (!slot || slot->valid)
+                slot = &l;
+        } else if (!slot || (slot->valid && l.lastUse < slot->lastUse)) {
+            slot = &l;
+        }
+    }
+    sbrp_assert(slot, "no way in L2 set %s", set);
+
+    if (slot->valid && ev) {
+        ev->happened = true;
+        ev->lineAddr = slot->lineAddr;
+        ev->dirty = slot->dirty;
+        stats_.stat("evictions").inc();
+    }
+
+    slot->lineAddr = line_addr;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->lastUse = now;
+}
+
+void
+L2Cache::invalidate(Addr line_addr)
+{
+    std::uint32_t set = setOf(line_addr);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &l = lines_[std::size_t(set) * assoc_ + w];
+        if (l.valid && l.lineAddr == line_addr)
+            l.valid = false;
+    }
+}
+
+} // namespace sbrp

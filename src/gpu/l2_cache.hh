@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared L2 cache (tag-only timing state).
+ *
+ * Persists write through the L2 (paper Section 6: no persist buffer at the
+ * L2); volatile writebacks from L1s land dirty and are written to GDDR on
+ * eviction.
+ */
+
+#ifndef SBRP_GPU_L2_CACHE_HH
+#define SBRP_GPU_L2_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+class L2Cache
+{
+  public:
+    struct Line
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+        Cycle lastUse = 0;
+    };
+
+    struct Eviction
+    {
+        bool happened = false;
+        Addr lineAddr = 0;
+        bool dirty = false;
+    };
+
+    L2Cache(const SystemConfig &cfg, StatGroup &stats);
+
+    /** True if the line is present (updates LRU). */
+    bool lookup(Addr line_addr, Cycle now);
+
+    /**
+     * Allocates a line (clean or dirty); reports the victim so the
+     * fabric can write dirty volatile data back to GDDR.
+     */
+    void allocate(Addr line_addr, bool dirty, Cycle now, Eviction *ev);
+
+    void invalidate(Addr line_addr);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    std::uint32_t setOf(Addr line_addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::vector<Line> lines_;
+    StatGroup &stats_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_L2_CACHE_HH

@@ -1,0 +1,284 @@
+#include "gpu/mem_ctrl.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "common/log.hh"
+#include "formal/trace.hh"
+#include "mem/address_map.hh"
+
+namespace sbrp
+{
+
+MemoryFabric::MemoryFabric(const SystemConfig &cfg, EventQueue &events,
+                           NvmDevice &nvm, FunctionalMemory &volatile_mem,
+                           ExecutionTrace *trace)
+    : cfg_(cfg),
+      events_(events),
+      nvm_(nvm),
+      volatileMem_(volatile_mem),
+      trace_(trace),
+      stats_("fabric"),
+      l2_(std::make_unique<L2Cache>(cfg, stats_)),
+      pcieToHost_(cfg.pcieBytesPerCycle),
+      pcieFromHost_(cfg.pcieBytesPerCycle)
+{
+    double per = 1.0 / cfg.memChannels;
+    for (std::uint32_t c = 0; c < cfg.memChannels; ++c) {
+        gddr_.emplace_back(cfg.gddrBytesPerCycle * per);
+        nvmRead_.emplace_back(cfg.nvmReadBytesPerCycle * cfg.nvmBwScale *
+                              per);
+        nvmWrite_.emplace_back(cfg.nvmWriteBytesPerCycle * cfg.nvmBwScale *
+                               per);
+    }
+}
+
+Channel &
+MemoryFabric::gddrChannel(Addr line_addr)
+{
+    return gddr_[(line_addr / cfg_.lineBytes) % gddr_.size()];
+}
+
+Channel &
+MemoryFabric::nvmReadChannel(Addr line_addr)
+{
+    return nvmRead_[(line_addr / cfg_.lineBytes) % nvmRead_.size()];
+}
+
+Channel &
+MemoryFabric::nvmWriteChannel(Addr line_addr)
+{
+    return nvmWrite_[(line_addr / cfg_.lineBytes) % nvmWrite_.size()];
+}
+
+void
+MemoryFabric::finish(std::function<void()> cb, Cycle when)
+{
+    ++inflight_;
+    events_.schedule(when, [this, cb = std::move(cb)]() {
+        --inflight_;
+        if (cb)
+            cb();
+    });
+}
+
+void
+MemoryFabric::handleL2Eviction(const L2Cache::Eviction &ev, Cycle now)
+{
+    if (!ev.happened || !ev.dirty)
+        return;
+    // Dirty L2 lines are always volatile (persists write through clean).
+    sbrp_assert(!addr_map::isNvm(ev.lineAddr),
+                "dirty NVM line %s in L2", ev.lineAddr);
+    Cycle done = gddrChannel(ev.lineAddr).acquire(now, cfg_.lineBytes);
+    stats_.stat("gddr_writes").inc();
+    finish(nullptr, done);
+}
+
+void
+MemoryFabric::l2AllocateClean(Addr line_addr, Cycle now)
+{
+    L2Cache::Eviction ev;
+    l2_->allocate(line_addr, false, now, &ev);
+    handleL2Eviction(ev, now);
+}
+
+void
+MemoryFabric::l2AllocateDirty(Addr line_addr, Cycle now)
+{
+    L2Cache::Eviction ev;
+    l2_->allocate(line_addr, true, now, &ev);
+    handleL2Eviction(ev, now);
+}
+
+void
+MemoryFabric::readLine(Addr line_addr, Cycle now,
+                       std::function<void()> on_complete)
+{
+    Cycle t = now + cfg_.l2Latency;
+    if (l2_->lookup(line_addr, now)) {
+        stats_.stat("l2_read_hits").inc();
+        finish(std::move(on_complete), t);
+        return;
+    }
+    stats_.stat("l2_read_misses").inc();
+
+    Cycle done;
+    if (!addr_map::isNvm(line_addr)) {
+        done = gddrChannel(line_addr).acquire(t, cfg_.lineBytes) +
+               cfg_.gddrLatency;
+        stats_.stat("gddr_reads").inc();
+    } else if (!cfg_.nvmBehindPcie()) {
+        done = nvmReadChannel(line_addr).acquire(t, cfg_.lineBytes) +
+               cfg_.nvmLatency;
+        stats_.stat("nvm_reads").inc();
+    } else {
+        // Request crosses PCIe, is served by the host-side NVM, and the
+        // data returns over PCIe.
+        Cycle at_host = t + cfg_.pcieLatency;
+        Cycle read_done =
+            nvmReadChannel(line_addr).acquire(at_host, cfg_.lineBytes) +
+            cfg_.nvmLatency;
+        done = pcieFromHost_.acquire(read_done, cfg_.lineBytes) +
+               cfg_.pcieLatency;
+        stats_.stat("nvm_reads").inc();
+        stats_.stat("pcie_read_bytes").inc(cfg_.lineBytes);
+    }
+
+    finish([this, line_addr, done, cb = std::move(on_complete)]() {
+        l2AllocateClean(line_addr, done);
+        if (cb)
+            cb();
+    }, done);
+}
+
+void
+MemoryFabric::persistWrite(Addr line_addr, Cycle now,
+                           std::function<void()> on_ack)
+{
+    // Snapshot the line at flush time: this is the data leaving the L1.
+    std::vector<std::uint8_t> payload(cfg_.lineBytes);
+    volatileMem_.readBlock(line_addr, payload.data(), cfg_.lineBytes);
+    std::vector<std::uint64_t> ids;
+    if (trace_)
+        ids = trace_->takePending(line_addr);
+    persistWritePayload(line_addr, std::move(payload), std::move(ids),
+                        now, std::move(on_ack));
+}
+
+void
+MemoryFabric::persistWritePayload(Addr line_addr,
+                                  std::vector<std::uint8_t> payload,
+                                  std::vector<std::uint64_t> ids,
+                                  Cycle now, std::function<void()> on_ack)
+{
+    sbrp_assert(addr_map::isNvm(line_addr),
+                "persist write to non-NVM line %s", line_addr);
+    stats_.stat("persist_writes").inc();
+
+    // Write through the L2 so later reads from any SM see the data.
+    Cycle t = now + cfg_.l2Latency;
+    l2AllocateClean(line_addr, now);
+
+    auto commit = [this, line_addr, payload = std::move(payload),
+                   ids = std::move(ids)]() mutable {
+        nvm_.commitLine(line_addr, payload.data(),
+                        static_cast<std::uint32_t>(payload.size()));
+        if (trace_ && !ids.empty())
+            trace_->recordCommit(std::move(ids));
+    };
+
+    if (!cfg_.nvmBehindPcie()) {
+        // PM-near: durable when the ADR memory controller's WPQ accepts
+        // the write (transfer complete); the 300 ns media latency hides
+        // behind the WPQ and shows up only as write bandwidth.
+        Cycle accept = nvmWriteChannel(line_addr).acquire(t,
+                                                          cfg_.lineBytes);
+        finish([commit = std::move(commit),
+                ack = std::move(on_ack)]() mutable {
+            commit();
+            if (ack)
+                ack();
+        }, accept);
+        return;
+    }
+
+    // PM-far: cross PCIe to the host; the acknowledgement travels back
+    // over PCIe before the SM's ACTR can drop.
+    Cycle at_host = pcieToHost_.acquire(t, cfg_.lineBytes) +
+                    cfg_.pcieLatency;
+    stats_.stat("pcie_write_bytes").inc(cfg_.lineBytes);
+    Cycle mc_accept = nvmWriteChannel(line_addr).acquire(at_host,
+                                                         cfg_.lineBytes);
+
+    if (cfg_.persistPoint == PersistPoint::Eadr) {
+        // eADR: durable on reaching the battery-backed host LLC; the NVM
+        // write still drains behind it, consuming write bandwidth.
+        finish([commit = std::move(commit),
+                ack = std::move(on_ack)]() mutable {
+            commit();
+            if (ack)
+                ack();
+        }, at_host + cfg_.pcieLatency);
+        finish(nullptr, mc_accept);
+    } else {
+        finish([commit = std::move(commit),
+                ack = std::move(on_ack)]() mutable {
+            commit();
+            if (ack)
+                ack();
+        }, mc_accept + cfg_.pcieLatency);
+    }
+}
+
+void
+MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
+                               std::vector<std::uint64_t> ids,
+                               Cycle now, std::function<void()> on_ack)
+{
+    sbrp_assert(addr_map::isNvm(addr),
+                "persist word write to non-NVM address %s", addr);
+    stats_.stat("persist_writes").inc();
+
+    Addr line = addr_map::lineBase(addr, cfg_.lineBytes);
+    constexpr std::uint32_t kSectorBytes = 32;
+
+    Cycle t = now + cfg_.l2Latency;
+    l2AllocateClean(line, now);
+
+    auto commit = [this, addr, value, ids = std::move(ids)]() mutable {
+        std::uint8_t bytes[4];
+        std::memcpy(bytes, &value, 4);
+        nvm_.commitLine(addr, bytes, 4);
+        if (trace_ && !ids.empty())
+            trace_->recordCommit(std::move(ids));
+    };
+
+    Cycle accept;
+    if (!cfg_.nvmBehindPcie()) {
+        accept = nvmWriteChannel(line).acquire(t, kSectorBytes);
+    } else {
+        Cycle at_host = pcieToHost_.acquire(t, kSectorBytes) +
+                        cfg_.pcieLatency;
+        stats_.stat("pcie_write_bytes").inc(kSectorBytes);
+        Cycle mc_accept = nvmWriteChannel(line).acquire(at_host,
+                                                        kSectorBytes);
+        // The acknowledgement crosses PCIe back to the GPU.
+        accept = (cfg_.persistPoint == PersistPoint::Eadr ? at_host
+                                                          : mc_accept) +
+                 cfg_.pcieLatency;
+        if (cfg_.persistPoint == PersistPoint::Eadr)
+            finish(nullptr, mc_accept);
+    }
+
+    finish([commit = std::move(commit), ack = std::move(on_ack)]() mutable {
+        commit();
+        if (ack)
+            ack();
+    }, accept);
+}
+
+void
+MemoryFabric::volatileWriteback(Addr line_addr, Cycle now)
+{
+    sbrp_assert(!addr_map::isNvm(line_addr),
+                "volatile writeback of NVM line %s", line_addr);
+    stats_.stat("l1_writebacks").inc();
+    l2AllocateDirty(line_addr, now + cfg_.l2Latency);
+}
+
+void
+MemoryFabric::volatileFlush(Addr line_addr, Cycle now,
+                            std::function<void()> on_ack)
+{
+    sbrp_assert(!addr_map::isNvm(line_addr),
+                "volatile flush of NVM line %s", line_addr);
+    stats_.stat("volatile_flushes").inc();
+    Cycle t = now + cfg_.l2Latency;
+    l2AllocateClean(line_addr, now);
+    Cycle accept = gddrChannel(line_addr).acquire(t, cfg_.lineBytes);
+    stats_.stat("gddr_writes").inc();
+    finish(std::move(on_ack), accept);
+}
+
+} // namespace sbrp

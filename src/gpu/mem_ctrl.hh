@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The memory fabric: interconnect + L2 + memory-controller channels +
+ * (for PM-far) the PCIe link, and the persistence-domain commit point.
+ *
+ * Latency/bandwidth model: each channel serializes transfers at its
+ * bytes-per-cycle rate (queueing emerges from the channel's next-free
+ * cycle); fixed access latencies are added on top. Persist writes are
+ * snapshotted from the functional volatile view at flush time; they are
+ * committed to the NvmDevice exactly when the persistence domain accepts
+ * them — at the ADR memory controller (WPQ) or, under eADR, at the host
+ * LLC after crossing PCIe.
+ */
+
+#ifndef SBRP_GPU_MEM_CTRL_HH
+#define SBRP_GPU_MEM_CTRL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/l2_cache.hh"
+#include "mem/functional_mem.hh"
+#include "mem/nvm_device.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+
+class ExecutionTrace;
+
+/** A bandwidth-limited resource (MC channel, PCIe direction). */
+class Channel
+{
+  public:
+    Channel() = default;
+    explicit Channel(double bytes_per_cycle)
+        : bytesPerCycle_(bytes_per_cycle)
+    {}
+
+    /**
+     * Reserves the channel for a transfer starting no earlier than `now`;
+     * returns the cycle the transfer completes.
+     */
+    Cycle
+    acquire(Cycle now, std::uint32_t bytes)
+    {
+        Cycle start = std::max(now, nextFree_);
+        auto cycles = static_cast<Cycle>(bytes / bytesPerCycle_ + 0.999);
+        if (cycles == 0)
+            cycles = 1;
+        nextFree_ = start + cycles;
+        return nextFree_;
+    }
+
+    Cycle nextFree() const { return nextFree_; }
+    void reset() { nextFree_ = 0; }
+
+  private:
+    double bytesPerCycle_ = 1.0;
+    Cycle nextFree_ = 0;
+};
+
+/**
+ * Routes line-granularity requests from the SMs to L2, GDDR, NVM and
+ * across PCIe, and owns the persistence-domain commit logic.
+ */
+class MemoryFabric
+{
+  public:
+    MemoryFabric(const SystemConfig &cfg, EventQueue &events,
+                 NvmDevice &nvm, FunctionalMemory &volatile_mem,
+                 ExecutionTrace *trace);
+
+    /**
+     * Reads a line (space derived from the address); `on_complete` fires
+     * when the data would arrive back at the requesting L1.
+     */
+    void readLine(Addr line_addr, Cycle now,
+                  std::function<void()> on_complete);
+
+    /**
+     * Persist write-through of a dirty PM line: snapshots the payload
+     * now, updates the L2, routes to the NVM controller, and commits to
+     * the durable image at the persistence-domain accept point. `on_ack`
+     * fires at the accept point (the SM decrements its ACTR on it).
+     */
+    void persistWrite(Addr line_addr, Cycle now,
+                      std::function<void()> on_ack);
+
+    /**
+     * Persist write with an explicit payload and store-id set; used for
+     * deferred release publications whose value must become durable
+     * before it becomes visible (device-scoped pRel to a PM variable).
+     */
+    void persistWritePayload(Addr line_addr,
+                             std::vector<std::uint8_t> payload,
+                             std::vector<std::uint64_t> store_ids,
+                             Cycle now, std::function<void()> on_ack);
+
+    /**
+     * Word-granularity persist used for PM release-variable publishes:
+     * commits exactly 4 bytes (a sector write on the wire), so
+     * concurrent publishes from different SMs to flags sharing a line
+     * cannot clobber one another with stale line snapshots.
+     */
+    void persistWriteWord(Addr addr, std::uint32_t value,
+                          std::vector<std::uint64_t> store_ids,
+                          Cycle now, std::function<void()> on_ack);
+
+    /** Volatile L1 writeback: lands dirty in L2 (GDDR on L2 eviction). */
+    void volatileWriteback(Addr line_addr, Cycle now);
+
+    /**
+     * GPM's system-scope fence flushes volatile lines all the way to
+     * memory; `on_ack` fires when GDDR accepts the write.
+     */
+    void volatileFlush(Addr line_addr, Cycle now,
+                       std::function<void()> on_ack);
+
+    /** Latency charged to an L2-adjacent atomic operation. */
+    Cycle atomicLatency() const { return cfg_.l2Latency; }
+
+    /** True when no request is in flight anywhere in the fabric. */
+    bool idle() const { return inflight_ == 0; }
+
+    StatGroup &stats() { return stats_; }
+    L2Cache &l2() { return *l2_; }
+
+  private:
+    Channel &gddrChannel(Addr line_addr);
+    Channel &nvmReadChannel(Addr line_addr);
+    Channel &nvmWriteChannel(Addr line_addr);
+
+    void finish(std::function<void()> cb, Cycle when);
+    void l2AllocateClean(Addr line_addr, Cycle now);
+    void l2AllocateDirty(Addr line_addr, Cycle now);
+    void handleL2Eviction(const L2Cache::Eviction &ev, Cycle now);
+
+    const SystemConfig &cfg_;
+    EventQueue &events_;
+    NvmDevice &nvm_;
+    FunctionalMemory &volatileMem_;
+    ExecutionTrace *trace_;
+
+    StatGroup stats_;
+    std::unique_ptr<L2Cache> l2_;
+
+    std::vector<Channel> gddr_;
+    std::vector<Channel> nvmRead_;
+    std::vector<Channel> nvmWrite_;
+    Channel pcieToHost_;
+    Channel pcieFromHost_;
+
+    std::uint64_t inflight_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_MEM_CTRL_HH

@@ -1,0 +1,658 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+#include "formal/trace.hh"
+#include "gpu/mem_ctrl.hh"
+#include "mem/address_map.hh"
+#include "mem/functional_mem.hh"
+
+namespace sbrp
+{
+
+Sm::Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
+       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace)
+    : id_(id),
+      cfg_(cfg),
+      fabric_(fabric),
+      mem_(mem),
+      events_(events),
+      trace_(trace),
+      stats_("sm" + std::to_string(id)),
+      l1Stats_("sm" + std::to_string(id) + ".l1"),
+      l1_(std::make_unique<L1Cache>(cfg, l1Stats_)),
+      slots_(cfg.maxWarpsPerSm)
+{
+    model_ = makePersistencyModel(cfg, *this, stats_);
+    stInstructions_ = &stats_.stat("instructions");
+    stReadHits_ = &l1Stats_.stat("read_hits");
+    stReadMisses_ = &l1Stats_.stat("read_misses");
+    stReadHitNvm_ = &l1Stats_.stat("read_hit_nvm");
+    stReadMissNvm_ = &l1Stats_.stat("read_miss_nvm");
+    stPersistStores_ = &l1Stats_.stat("persist_stores");
+    stVolatileStores_ = &l1Stats_.stat("volatile_stores");
+    stSpinPolls_ = &stats_.stat("spin_polls");
+    stModelRetries_ = &stats_.stat("model_retries");
+}
+
+Sm::~Sm() = default;
+
+void
+Sm::resumeWarp(WarpSlot slot)
+{
+    Warp *w = slots_[slot].get();
+    sbrp_assert(w, "resume of empty slot %s", slot);
+    if (w->state() == WarpState::WaitModel)
+        w->setState(WarpState::Ready);
+}
+
+std::uint32_t
+Sm::freeSlots() const
+{
+    return cfg_.maxWarpsPerSm - residentWarps_;
+}
+
+bool
+Sm::canAccept(std::uint32_t warps_needed) const
+{
+    return freeSlots() >= warps_needed;
+}
+
+void
+Sm::launchBlock(const KernelProgram &kernel, BlockId block)
+{
+    std::uint32_t warps = kernel.warpsPerBlock();
+    sbrp_assert(canAccept(warps), "SM %s cannot accept block %s",
+                id_, block);
+
+    BlockCtx ctx;
+    ctx.warps = warps;
+    std::uint32_t placed = 0;
+    for (WarpSlot s = 0; s < cfg_.maxWarpsPerSm && placed < warps; ++s) {
+        if (slots_[s])
+            continue;
+        ThreadId first = kernel.threadOf(block, placed, 0);
+        slots_[s] = std::make_unique<Warp>(&kernel.warp(block, placed),
+                                           block, placed, s, id_, first);
+        ctx.slots.push_back(s);
+        ++placed;
+        ++residentWarps_;
+    }
+    blocks_[block] = std::move(ctx);
+    stats_.stat("blocks_launched").inc();
+}
+
+bool
+Sm::idle() const
+{
+    return residentWarps_ == 0;
+}
+
+void
+Sm::beginDrain()
+{
+    model_->drainAll();
+}
+
+bool
+Sm::drained() const
+{
+    return model_->drained();
+}
+
+void
+Sm::tick(Cycle now)
+{
+    now_ = now;
+    model_->tick(now);
+
+    // Scheduling census (sampled): how warps spend their cycles.
+    if ((now & 0xf) == 0)
+    for (auto &slot : slots_) {
+        Warp *w = slot.get();
+        if (!w)
+            continue;
+        switch (w->state()) {
+          case WarpState::Ready: stats_.stat("cy_ready").inc(16); break;
+          case WarpState::Busy: stats_.stat("cy_busy").inc(16); break;
+          case WarpState::WaitMem: stats_.stat("cy_mem").inc(16); break;
+          case WarpState::WaitBarrier:
+            stats_.stat("cy_barrier").inc(16);
+            break;
+          case WarpState::WaitSpin:
+            stats_.stat("cy_spin").inc(16);
+            break;
+          case WarpState::WaitModel:
+            stats_.stat("cy_model").inc(16);
+            break;
+          case WarpState::ModelRetry:
+            stats_.stat("cy_retry").inc(16);
+            break;
+          case WarpState::Finished: break;
+        }
+    }
+
+    // Poll spinning warps whose recheck interval elapsed.
+    for (auto &slot : slots_) {
+        Warp *w = slot.get();
+        if (w && w->state() == WarpState::WaitSpin && now >= w->nextPoll())
+            pollSpin(*w);
+    }
+
+    // Issue up to issueWidth instructions, loose round-robin over slots.
+    std::uint32_t n = cfg_.maxWarpsPerSm;
+    std::uint32_t issued = 0;
+    for (std::uint32_t i = 1; i <= n && issued < cfg_.issueWidth; ++i) {
+        std::uint32_t s = (lastIssued_ + i) % n;
+        Warp *w = slots_[s].get();
+        if (!w || !w->issuable(now))
+            continue;
+        lastIssued_ = s;
+        ++issued;
+        executeWarp(*w);
+    }
+}
+
+void
+Sm::finishWarp(Warp &warp)
+{
+    warp.setState(WarpState::Finished);
+    BlockCtx &ctx = blocks_.at(warp.block());
+    ++ctx.finished;
+
+    if (ctx.finished == ctx.warps) {
+        for (WarpSlot s : ctx.slots) {
+            slots_[s].reset();
+            --residentWarps_;
+        }
+        blocks_.erase(warp.block());
+        stats_.stat("blocks_finished").inc();
+        return;
+    }
+
+    // A finished warp no longer participates in block barriers; release
+    // peers if this was the last arrival they were waiting on.
+    if (ctx.atBarrier > 0 && ctx.atBarrier == ctx.warps - ctx.finished) {
+        ctx.atBarrier = 0;
+        for (WarpSlot s : ctx.slots) {
+            Warp *w = slots_[s].get();
+            if (w && w->state() == WarpState::WaitBarrier)
+                w->setState(WarpState::Ready);
+        }
+    }
+}
+
+const std::vector<Addr> &
+Sm::gatherLines(const Warp &warp, const WarpInstr &in)
+{
+    std::uint32_t eff = warp.effActive(in);
+    lineScratch_.clear();
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        Addr line = addr_map::lineBase(warp.effAddr(in, l),
+                                       cfg_.lineBytes);
+        if (std::find(lineScratch_.begin(), lineScratch_.end(), line) ==
+                lineScratch_.end()) {
+            lineScratch_.push_back(line);
+        }
+    }
+    return lineScratch_;
+}
+
+bool
+Sm::validateVictims(Warp &warp, const std::vector<Addr> &lines)
+{
+    for (Addr line : lines) {
+        if (l1_->probe(line))
+            continue;
+        L1Cache::Line *victim = l1_->victimFor(line);
+        if (victim && victim->dirty && victim->isPm &&
+                !model_->mayEvictPm(warp, *victim)) {
+            stats_.stat("evict_stalls").inc();
+            return false;
+        }
+    }
+    return true;
+}
+
+L1Cache::Line *
+Sm::performAllocate(Warp &warp, Addr line_addr)
+{
+    if (L1Cache::Line *hit = l1_->lookup(line_addr, now_))
+        return hit;
+
+    L1Cache::Line *victim = l1_->victimFor(line_addr);
+    if (victim && victim->dirty) {
+        if (victim->isPm) {
+            // Pre-validated (or an intra-instruction set conflict the
+            // validate pass could not see; flush unconditionally).
+            if (!model_->mayEvictPm(warp, *victim))
+                sbrp_warn("forced PM eviction past a PMO ordering point");
+            model_->evictPmNow(*victim);
+        } else {
+            fabric_.volatileWriteback(victim->lineAddr, now_);
+        }
+    }
+
+    L1Cache::Eviction ev;
+    return l1_->allocate(line_addr, now_, &ev);
+}
+
+void
+Sm::executeWarp(Warp &warp)
+{
+    if (warp.atEnd() || warp.live() == 0) {
+        finishWarp(warp);
+        return;
+    }
+
+    const WarpInstr &in = warp.instr();
+    stInstructions_->inc();
+
+    // Instructions whose selected lanes have all returned are skipped —
+    // except barriers, which are warp-granular arrival points.
+    if (warp.effActive(in) == 0 && in.op != Op::Barrier &&
+            in.op != Op::Halt && in.op != Op::Nop) {
+        warp.advance();
+        warp.setState(WarpState::Ready);
+        if (warp.atEnd())
+            finishWarp(warp);
+        return;
+    }
+
+    bool advance = true;
+    switch (in.op) {
+      case Op::Nop:
+        break;
+      case Op::Mov:
+      case Op::Add:
+      case Op::LaneSum:
+      case Op::LaneMax:
+      case Op::Compute:
+        advance = execAlu(warp, in);
+        break;
+      case Op::Load:
+        advance = execLoad(warp, in, nullptr);
+        break;
+      case Op::ExitIf:
+        advance = execExitIf(warp, in);
+        break;
+      case Op::Store:
+        advance = execStore(warp, in);
+        break;
+      case Op::AtomicAdd:
+        advance = execAtomic(warp, in);
+        break;
+      case Op::Barrier:
+        advance = execBarrier(warp);
+        break;
+      case Op::Fence:
+      case Op::OFence:
+      case Op::DFence:
+        advance = execFenceLike(warp, in);
+        break;
+      case Op::PRel:
+        advance = execRelease(warp, in);
+        break;
+      case Op::PAcq:
+      case Op::SpinLoad:
+        beginSpin(warp);
+        return;   // PC advances at spin success.
+      case Op::Halt:
+        finishWarp(warp);
+        return;
+    }
+
+    if (advance) {
+        warp.advance();
+        if (warp.state() == WarpState::ModelRetry)
+            warp.setState(WarpState::Ready);
+        if (warp.state() == WarpState::Ready &&
+                (warp.atEnd() || warp.live() == 0)) {
+            finishWarp(warp);
+        }
+    } else {
+        // Re-issue after a short backoff: model stalls resolve on the
+        // order of a persist acknowledgement, so polling every cycle
+        // only burns simulation time.
+        warp.setState(WarpState::ModelRetry);
+        warp.setBusyUntil(now_ + 8);
+        stModelRetries_->inc();
+    }
+}
+
+bool
+Sm::execAlu(Warp &warp, const WarpInstr &in)
+{
+    std::uint32_t eff = warp.effActive(in);
+    if (in.op == Op::LaneSum || in.op == Op::LaneMax) {
+        std::uint32_t acc = 0;
+        for (std::uint32_t l = 0; l < 32; ++l) {
+            if (!(eff & (1u << l)))
+                continue;
+            std::uint32_t v = warp.reg(l, in.dst);
+            acc = in.op == Op::LaneSum ? acc + v : std::max(acc, v);
+        }
+        for (std::uint32_t l = 0; l < 32; ++l) {
+            if (eff & (1u << l))
+                warp.setReg(l, in.dst, acc);
+        }
+    }
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        if (in.op == Op::Mov) {
+            std::uint32_t v = in.laneImms.empty() ? in.imm
+                                                  : in.laneImms[l];
+            warp.setReg(l, in.dst, v);
+        } else if (in.op == Op::Add) {
+            warp.setReg(l, in.dst,
+                        warp.reg(l, in.dst) + warp.operand(in, l));
+        }
+    }
+    if (in.op == Op::Compute && in.computeCycles > 1) {
+        warp.setBusyUntil(now_ + in.computeCycles);
+        warp.setState(WarpState::Busy);
+    } else {
+        warp.setState(WarpState::Ready);
+    }
+    return true;
+}
+
+bool
+Sm::execLoad(Warp &warp, const WarpInstr &in, const std::uint32_t *no_reg)
+{
+    // Copy: performAllocate below may recurse into gatherLines users.
+    std::vector<Addr> lines = gatherLines(warp, in);
+    if (!validateVictims(warp, lines))
+        return false;
+
+    // Functional: registers get their values at issue.
+    if (!no_reg) {
+        std::uint32_t eff = warp.effActive(in);
+        for (std::uint32_t l = 0; l < 32; ++l) {
+            if (eff & (1u << l))
+                warp.setReg(l, in.dst, mem_.read32(warp.effAddr(in, l)));
+        }
+    }
+
+    bool anyHit = false;
+    for (Addr line : lines) {
+        bool nvm = addr_map::isNvm(line);
+        if (l1_->lookup(line, now_)) {
+            stReadHits_->inc();
+            if (nvm)
+                stReadHitNvm_->inc();
+            anyHit = true;
+            continue;
+        }
+        stReadMisses_->inc();
+        if (nvm)
+            stReadMissNvm_->inc();
+
+        warp.addOutstanding();
+        auto it = mshr_.find(line);
+        if (it != mshr_.end()) {
+            it->second.push_back(&warp);
+            continue;
+        }
+        performAllocate(warp, line);
+        mshr_[line].push_back(&warp);
+        fabric_.readLine(line, now_, [this, line]() {
+            auto node = mshr_.extract(line);
+            sbrp_assert(!node.empty(), "spurious read response for %s",
+                        line);
+            for (Warp *w : node.mapped()) {
+                if (w->completeOne() &&
+                        w->state() == WarpState::WaitMem) {
+                    w->setState(WarpState::Ready);
+                }
+            }
+        });
+    }
+
+    if (anyHit) {
+        warp.addOutstanding();
+        Warp *wp = &warp;
+        events_.schedule(now_ + cfg_.l1HitLatency, [wp]() {
+            if (wp->completeOne() && wp->state() == WarpState::WaitMem)
+                wp->setState(WarpState::Ready);
+        });
+    }
+
+    if (warp.outstanding() > 0)
+        warp.setState(WarpState::WaitMem);
+    else
+        warp.setState(WarpState::Ready);
+    return true;
+}
+
+bool
+Sm::execExitIf(Warp &warp, const WarpInstr &in)
+{
+    // Evaluate the condition functionally, then bill load timing for the
+    // check (it reads memory exactly like the `if (pArr[tid] != EMPTY)
+    // return;` prologue in Figure 3).
+    std::uint32_t eff = warp.effActive(in);
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        bool match = mem_.read32(warp.effAddr(in, l)) == in.imm;
+        if (match != in.negate)
+            warp.deactivate(l);
+    }
+    static const std::uint32_t kNoReg = 0;
+    return execLoad(warp, in, &kNoReg);
+}
+
+bool
+Sm::execStore(Warp &warp, const WarpInstr &in)
+{
+    const std::vector<Addr> &lines = gatherLines(warp, in);
+    std::uint32_t eff = warp.effActive(in);
+    std::uint32_t first = std::countr_zero(eff);
+    bool nvm = addr_map::isNvm(warp.effAddr(in, first));
+
+    if (nvm) {
+        // The model owns the whole persist-store: L1/PB state plus the
+        // functional writes and trace records, per line.
+        HookResult r = model_->persistStore(warp, in, lines);
+        if (r == HookResult::StallRetry)
+            return false;
+        stPersistStores_->inc();
+        warp.setState(WarpState::Ready);
+        return true;
+    }
+
+    if (!validateVictims(warp, lines))
+        return false;
+    for (Addr line : lines) {
+        L1Cache::Line *l = performAllocate(warp, line);
+        l->dirty = true;
+        l->isPm = false;
+    }
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (eff & (1u << l))
+            mem_.write32(warp.effAddr(in, l), warp.operand(in, l));
+    }
+    stVolatileStores_->inc();
+    warp.setState(WarpState::Ready);
+    return true;
+}
+
+bool
+Sm::execAtomic(Warp &warp, const WarpInstr &in)
+{
+    // Atomics execute at the L2; lanes serialize functionally in lane
+    // order (each sees the previous lane's update).
+    std::uint32_t eff = warp.effActive(in);
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        Addr a = warp.effAddr(in, l);
+        std::uint32_t old = mem_.read32(a);
+        warp.setReg(l, in.dst, old);
+        mem_.write32(a, old + warp.operand(in, l));
+    }
+    stats_.stat("atomics").inc();
+    warp.addOutstanding();
+    Warp *wp = &warp;
+    events_.schedule(now_ + fabric_.atomicLatency(), [wp]() {
+        if (wp->completeOne() && wp->state() == WarpState::WaitMem)
+            wp->setState(WarpState::Ready);
+    });
+    warp.setState(WarpState::WaitMem);
+    return true;
+}
+
+bool
+Sm::execBarrier(Warp &warp)
+{
+    BlockCtx &ctx = blocks_.at(warp.block());
+    ++ctx.atBarrier;
+    if (ctx.atBarrier == ctx.warps - ctx.finished) {
+        ctx.atBarrier = 0;
+        for (WarpSlot s : ctx.slots) {
+            Warp *w = slots_[s].get();
+            if (w && w->state() == WarpState::WaitBarrier)
+                w->setState(WarpState::Ready);
+        }
+        warp.setState(WarpState::Ready);
+    } else {
+        warp.setState(WarpState::WaitBarrier);
+    }
+    return true;
+}
+
+bool
+Sm::execFenceLike(Warp &warp, const WarpInstr &in)
+{
+    std::uint32_t eff = warp.effActive(in);
+    if (trace_) {
+        TraceOp::Kind kind = in.op == Op::OFence ? TraceOp::Kind::OFence
+                           : in.op == Op::DFence ? TraceOp::Kind::DFence
+                                                 : TraceOp::Kind::Fence;
+        for (std::uint32_t l = 0; l < 32; ++l) {
+            if (eff & (1u << l)) {
+                trace_->recordFence(kind, warp.thread(l), warp.block(),
+                                    in.scope);
+            }
+        }
+    }
+
+    HookResult r;
+    if (in.op == Op::OFence)
+        r = model_->oFence(warp);
+    else if (in.op == Op::DFence)
+        r = model_->dFence(warp);
+    else
+        r = model_->fence(warp, in.scope);
+
+    sbrp_assert(r != HookResult::StallRetry,
+                "fence-like ops never retry");
+    warp.setState(r == HookResult::StallComplete ? WarpState::WaitModel
+                                                 : WarpState::Ready);
+    stats_.stat("fence_ops").inc();
+    return true;
+}
+
+bool
+Sm::execRelease(Warp &warp, const WarpInstr &in)
+{
+    std::uint32_t eff = warp.effActive(in);
+    bool block_scope = (in.scope == Scope::Block) &&
+                       cfg_.model == ModelKind::Sbrp;
+
+    std::vector<ReleaseFlag> flags;
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        ReleaseFlag f;
+        f.addr = warp.effAddr(in, l);
+        f.value = warp.operand(in, l);
+        f.tid = warp.thread(l);
+        f.block = warp.block();
+        if (trace_ && !block_scope) {
+            // Device scope defers publication into the model, so the
+            // trace ids travel with the flags. A release to a PM
+            // variable is also a persist of that variable (Figure 3's
+            // pRel(&pArr[tid], sum)); record it in program order before
+            // the release itself.
+            if (addr_map::isNvm(f.addr)) {
+                f.persistId = trace_->recordPersist(warp.thread(l),
+                                                    warp.block(), f.addr);
+            }
+            f.relId = trace_->recordRel(warp.thread(l), warp.block(),
+                                        f.addr, in.scope);
+        }
+        flags.push_back(f);
+    }
+
+    HookResult r = model_->pRel(warp, std::move(flags), in.scope);
+    if (r == HookResult::StallRetry) {
+        sbrp_assert(block_scope, "only block-scoped pRel may retry");
+        return false;
+    }
+
+    // Block-scoped releases publish and trace inside the model (the
+    // writes must land per line, interleaved with the allocations).
+    warp.setState(r == HookResult::StallComplete ? WarpState::WaitModel
+                                                 : WarpState::Ready);
+    stats_.stat("release_ops").inc();
+    return true;
+}
+
+void
+Sm::beginSpin(Warp &warp)
+{
+    warp.setState(WarpState::WaitSpin);
+    warp.setNextPoll(now_);
+    pollSpin(warp);
+}
+
+void
+Sm::pollSpin(Warp &warp)
+{
+    const WarpInstr &in = warp.instr();
+    std::uint32_t eff = warp.effActive(in);
+    bool satisfied = true;
+    for (std::uint32_t l = 0; l < 32 && satisfied; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        bool match = mem_.read32(warp.effAddr(in, l)) == in.imm;
+        if ((match != in.negate) == false)
+            satisfied = false;
+    }
+
+    if (!satisfied) {
+        Cycle interval = (in.op == Op::PAcq && in.scope == Scope::Block)
+                             ? cfg_.l1HitLatency
+                             : cfg_.l2Latency;
+        warp.setNextPoll(now_ + interval);
+        stSpinPolls_->inc();
+        return;
+    }
+
+    if (in.op == Op::PAcq) {
+        if (trace_) {
+            for (std::uint32_t l = 0; l < 32; ++l) {
+                if (eff & (1u << l)) {
+                    trace_->recordAcq(warp.thread(l), warp.block(),
+                                      warp.effAddr(in, l), in.scope);
+                }
+            }
+        }
+        model_->pAcqSuccess(warp, in);
+        stats_.stat("acquire_ops").inc();
+    }
+
+    warp.advance();
+    warp.setState(WarpState::Ready);
+    if (warp.atEnd())
+        finishWarp(warp);
+}
+
+} // namespace sbrp

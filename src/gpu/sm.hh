@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A streaming multiprocessor: resident warps, scheduler, L1 cache and
+ * the per-SM persistency model instance.
+ */
+
+#ifndef SBRP_GPU_SM_HH
+#define SBRP_GPU_SM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/kernel.hh"
+#include "gpu/l1_cache.hh"
+#include "gpu/warp.hh"
+#include "persist/model.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+
+class MemoryFabric;
+class FunctionalMemory;
+class ExecutionTrace;
+
+/** One SM. Owned by the GpuSystem; ticked once per cycle. */
+class Sm : public SmServices
+{
+  public:
+    Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
+       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace);
+    ~Sm() override;
+
+    Sm(const Sm &) = delete;
+    Sm &operator=(const Sm &) = delete;
+
+    // --- SmServices (used by the persistency model) ---
+    L1Cache &l1() override { return *l1_; }
+    MemoryFabric &fabric() override { return fabric_; }
+    FunctionalMemory &mem() override { return mem_; }
+    ExecutionTrace *trace() override { return trace_; }
+    Cycle now() const override { return now_; }
+    void resumeWarp(WarpSlot slot) override;
+
+    // --- Block management ---
+    std::uint32_t freeSlots() const;
+    bool canAccept(std::uint32_t warps_needed) const;
+    void launchBlock(const KernelProgram &kernel, BlockId block);
+    bool idle() const;   ///< No resident warps.
+
+    // --- Simulation ---
+    void tick(Cycle now);
+
+    /** Kernel end: ask the model to flush everything buffered. */
+    void beginDrain();
+    bool drained() const;
+
+    PersistencyModel &model() { return *model_; }
+    StatGroup &stats() { return stats_; }
+    StatGroup &l1Stats() { return l1Stats_; }
+    SmId id() const { return id_; }
+
+  private:
+    struct BlockCtx
+    {
+        std::uint32_t warps = 0;
+        std::uint32_t finished = 0;
+        std::uint32_t atBarrier = 0;
+        std::vector<WarpSlot> slots;
+    };
+
+    void executeWarp(Warp &warp);
+    void finishWarp(Warp &warp);
+    void pollSpin(Warp &warp);
+
+    /** Unique cache-line addresses referenced by an instruction.
+        Returns a reference to a per-SM scratch buffer (valid until the
+        next call). */
+    const std::vector<Addr> &gatherLines(const Warp &warp,
+                                         const WarpInstr &in);
+
+    /** Validate-then-perform allocation used by loads/volatile stores. */
+    bool validateVictims(Warp &warp, const std::vector<Addr> &lines);
+    L1Cache::Line *performAllocate(Warp &warp, Addr line_addr);
+
+    // Op handlers; return true when the instruction completed issue
+    // (PC should advance), false for a retry stall.
+    bool execAlu(Warp &warp, const WarpInstr &in);
+    /** no_reg non-null suppresses register writeback (ExitIf timing). */
+    bool execLoad(Warp &warp, const WarpInstr &in,
+                  const std::uint32_t *no_reg);
+    bool execExitIf(Warp &warp, const WarpInstr &in);
+    bool execStore(Warp &warp, const WarpInstr &in);
+    bool execAtomic(Warp &warp, const WarpInstr &in);
+    bool execBarrier(Warp &warp);
+    bool execFenceLike(Warp &warp, const WarpInstr &in);
+    bool execRelease(Warp &warp, const WarpInstr &in);
+    void beginSpin(Warp &warp);
+
+    SmId id_;
+    const SystemConfig &cfg_;
+    MemoryFabric &fabric_;
+    FunctionalMemory &mem_;
+    EventQueue &events_;
+    ExecutionTrace *trace_;
+
+    StatGroup stats_;
+    StatGroup l1Stats_;
+    std::unique_ptr<L1Cache> l1_;
+    std::unique_ptr<PersistencyModel> model_;
+
+    std::vector<std::unique_ptr<Warp>> slots_;
+    std::map<BlockId, BlockCtx> blocks_;
+    std::unordered_map<Addr, std::vector<Warp *>> mshr_;
+
+    Cycle now_ = 0;
+    std::uint32_t lastIssued_ = 0;
+    std::uint32_t residentWarps_ = 0;
+    std::vector<Addr> lineScratch_;
+
+    // Cached hot counters (StatGroup lookups are string-keyed).
+    Stat *stInstructions_ = nullptr;
+    Stat *stReadHits_ = nullptr;
+    Stat *stReadMisses_ = nullptr;
+    Stat *stReadHitNvm_ = nullptr;
+    Stat *stReadMissNvm_ = nullptr;
+    Stat *stPersistStores_ = nullptr;
+    Stat *stVolatileStores_ = nullptr;
+    Stat *stSpinPolls_ = nullptr;
+    Stat *stModelRetries_ = nullptr;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_SM_HH

@@ -1,0 +1,18 @@
+#include "gpu/warp.hh"
+
+namespace sbrp
+{
+
+Warp::Warp(const WarpProgram *program, BlockId block,
+           std::uint32_t warp_in_block, WarpSlot slot, SmId sm,
+           ThreadId first_thread)
+    : program_(program),
+      block_(block),
+      warpInBlock_(warp_in_block),
+      slot_(slot),
+      sm_(sm),
+      firstThread_(first_thread)
+{
+}
+
+} // namespace sbrp

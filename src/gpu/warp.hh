@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Runtime state of a resident warp: program counter, per-lane registers,
+ * scheduling state and stall bookkeeping.
+ */
+
+#ifndef SBRP_GPU_WARP_HH
+#define SBRP_GPU_WARP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/isa.hh"
+#include "gpu/kernel.hh"
+
+namespace sbrp
+{
+
+/** Why a warp is not ready to issue. */
+enum class WarpState : std::uint8_t
+{
+    Ready,        ///< Can issue its next instruction.
+    Busy,         ///< Executing a multi-cycle Compute op.
+    WaitMem,      ///< Outstanding load/atomic responses pending.
+    WaitBarrier,  ///< Parked at a block-wide barrier.
+    WaitSpin,     ///< Spinning on a PAcq/SpinLoad flag.
+    WaitModel,    ///< Parked by the persistency model until resumeWarp().
+    ModelRetry,   ///< Stalled by the model; re-issues the instruction.
+    Finished,     ///< Ran past the end of its program.
+};
+
+/** A resident warp. Owned by its SM for the lifetime of its block. */
+class Warp
+{
+  public:
+    Warp(const WarpProgram *program, BlockId block,
+         std::uint32_t warp_in_block, WarpSlot slot, SmId sm,
+         ThreadId first_thread);
+
+    // --- Identity ---
+    BlockId block() const { return block_; }
+    std::uint32_t warpInBlock() const { return warpInBlock_; }
+    WarpSlot slot() const { return slot_; }
+    SmId sm() const { return sm_; }
+    /** Global thread id of a lane. */
+    ThreadId thread(std::uint32_t lane) const { return firstThread_ + lane; }
+
+    // --- Program access ---
+    bool atEnd() const { return pc_ >= program_->code.size(); }
+    const WarpInstr &instr() const { return program_->code[pc_]; }
+    std::uint32_t pc() const { return pc_; }
+    void advance() { ++pc_; }
+
+    // --- Scheduling state ---
+    WarpState state() const { return state_; }
+    void setState(WarpState s) { state_ = s; }
+    bool finished() const { return state_ == WarpState::Finished; }
+
+    /** Ready to issue at `now` (accounts for Busy wake-up and retries). */
+    bool
+    issuable(Cycle now) const
+    {
+        if (state_ == WarpState::Ready)
+            return true;
+        if (state_ == WarpState::ModelRetry || state_ == WarpState::Busy)
+            return busyUntil_ <= now;
+        return false;
+    }
+
+    Cycle busyUntil() const { return busyUntil_; }
+    void setBusyUntil(Cycle c) { busyUntil_ = c; }
+
+    std::uint32_t outstanding() const { return outstanding_; }
+    void addOutstanding(std::uint32_t n = 1) { outstanding_ += n; }
+
+    /** One memory response arrived; returns true if none remain. */
+    bool
+    completeOne()
+    {
+        if (outstanding_ > 0)
+            --outstanding_;
+        return outstanding_ == 0;
+    }
+
+    Cycle nextPoll() const { return nextPoll_; }
+    void setNextPoll(Cycle c) { nextPoll_ = c; }
+
+    // --- Lane liveness (ExitIf early returns) ---
+    std::uint32_t live() const { return live_; }
+    void deactivate(std::uint32_t lane) { live_ &= ~(1u << lane); }
+
+    /** Lanes that are both selected by the instruction and still live. */
+    std::uint32_t effActive(const WarpInstr &in) const
+    { return in.active & live_; }
+
+    /** Effective per-lane address (base + optional register index). */
+    Addr
+    effAddr(const WarpInstr &in, std::uint32_t lane) const
+    {
+        Addr a = in.laneAddrs[lane];
+        if (in.idxReg != kImmOperand)
+            a += static_cast<Addr>(regs_[lane][in.idxReg]) * in.idxScale;
+        return a;
+    }
+
+    // --- Registers ---
+    std::uint32_t reg(std::uint32_t lane, std::uint32_t r) const
+    { return regs_[lane][r]; }
+    void setReg(std::uint32_t lane, std::uint32_t r, std::uint32_t v)
+    { regs_[lane][r] = v; }
+
+    /** Value operand of `in` for a lane (register or immediate). */
+    std::uint32_t
+    operand(const WarpInstr &in, std::uint32_t lane) const
+    {
+        if (in.src != kImmOperand)
+            return regs_[lane][in.src];
+        if (!in.laneImms.empty())
+            return in.laneImms[lane];
+        return in.imm;
+    }
+
+  private:
+    const WarpProgram *program_;
+    BlockId block_;
+    std::uint32_t warpInBlock_;
+    WarpSlot slot_;
+    SmId sm_;
+    ThreadId firstThread_;
+
+    std::uint32_t pc_ = 0;
+    WarpState state_ = WarpState::Ready;
+    Cycle busyUntil_ = 0;
+    Cycle nextPoll_ = 0;
+    std::uint32_t outstanding_ = 0;
+    std::uint32_t live_ = 0xffffffffu;
+    std::array<std::array<std::uint32_t, kNumRegs>, 32> regs_{};
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_WARP_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The unified virtual address space layout shared by GDDR and NVM.
+ *
+ * Mirrors the paper's software model (Section 3): both memories are
+ * load/store accessible at byte granularity from the GPU; applications
+ * choose placement. We carve the flat 64-bit space into a GDDR window and
+ * an NVM window so Space can be recovered from an address.
+ */
+
+#ifndef SBRP_MEM_ADDRESS_MAP_HH
+#define SBRP_MEM_ADDRESS_MAP_HH
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+namespace addr_map
+{
+
+/** GDDR allocations start here (page 1; address 0 stays invalid). */
+constexpr Addr kGddrBase = 0x0000'0000'0000'1000ull;
+
+/** NVM window base: everything at or above this address is persistent. */
+constexpr Addr kNvmBase = 0x0000'0001'0000'0000ull;
+
+/** Size limit of each window (plenty for scaled workloads). */
+constexpr Addr kWindowSize = 0x0000'0001'0000'0000ull - 0x1000ull;
+
+inline Space
+spaceOf(Addr a)
+{
+    return a >= kNvmBase ? Space::Nvm : Space::Gddr;
+}
+
+inline bool
+isNvm(Addr a)
+{
+    return spaceOf(a) == Space::Nvm;
+}
+
+/** Offset of an NVM address within the NVM window. */
+inline Addr
+nvmOffset(Addr a)
+{
+    sbrp_assert(isNvm(a), "address %s is not in the NVM window", a);
+    return a - kNvmBase;
+}
+
+/** Aligns an address down to its cache-line base. */
+inline Addr
+lineBase(Addr a, std::uint32_t line_bytes)
+{
+    return a & ~static_cast<Addr>(line_bytes - 1);
+}
+
+} // namespace addr_map
+
+} // namespace sbrp
+
+#endif // SBRP_MEM_ADDRESS_MAP_HH

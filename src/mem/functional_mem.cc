@@ -1,0 +1,113 @@
+#include "mem/functional_mem.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+const FunctionalMemory::Page *
+FunctionalMemory::findPage(Addr a) const
+{
+    auto it = pages_.find(a / kPageBytes);
+    if (it != pages_.end())
+        return it->second.get();
+    return backing_ ? backing_->findPage(a) : nullptr;
+}
+
+FunctionalMemory::Page &
+FunctionalMemory::touchPage(Addr a)
+{
+    auto &slot = pages_[a / kPageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        if (const Page *backed = backing_ ? backing_->findPage(a)
+                                          : nullptr) {
+            *slot = *backed;   // Copy-on-write from the backing image.
+        } else {
+            slot->fill(0);
+        }
+    }
+    return *slot;
+}
+
+std::uint8_t
+FunctionalMemory::read8(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? (*p)[a % kPageBytes] : 0;
+}
+
+void
+FunctionalMemory::write8(Addr a, std::uint8_t v)
+{
+    touchPage(a)[a % kPageBytes] = v;
+}
+
+std::uint32_t
+FunctionalMemory::read32(Addr a) const
+{
+    sbrp_assert(a % 4 == 0, "unaligned 32-bit read at %s", a);
+    std::uint32_t v = 0;
+    readBlock(a, reinterpret_cast<std::uint8_t *>(&v), 4);
+    return v;
+}
+
+void
+FunctionalMemory::write32(Addr a, std::uint32_t v)
+{
+    sbrp_assert(a % 4 == 0, "unaligned 32-bit write at %s", a);
+    writeBlock(a, reinterpret_cast<const std::uint8_t *>(&v), 4);
+}
+
+std::uint64_t
+FunctionalMemory::read64(Addr a) const
+{
+    sbrp_assert(a % 8 == 0, "unaligned 64-bit read at %s", a);
+    std::uint64_t v = 0;
+    readBlock(a, reinterpret_cast<std::uint8_t *>(&v), 8);
+    return v;
+}
+
+void
+FunctionalMemory::write64(Addr a, std::uint64_t v)
+{
+    sbrp_assert(a % 8 == 0, "unaligned 64-bit write at %s", a);
+    writeBlock(a, reinterpret_cast<const std::uint8_t *>(&v), 8);
+}
+
+void
+FunctionalMemory::readBlock(Addr a, std::uint8_t *out,
+                            std::uint32_t len) const
+{
+    while (len > 0) {
+        Addr off = a % kPageBytes;
+        std::uint32_t chunk = std::min<std::uint32_t>(len, kPageBytes - off);
+        const Page *p = findPage(a);
+        if (p)
+            std::memcpy(out, p->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        a += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+FunctionalMemory::writeBlock(Addr a, const std::uint8_t *src,
+                             std::uint32_t len)
+{
+    while (len > 0) {
+        Addr off = a % kPageBytes;
+        std::uint32_t chunk = std::min<std::uint32_t>(len, kPageBytes - off);
+        std::memcpy(touchPage(a).data() + off, src, chunk);
+        a += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace sbrp

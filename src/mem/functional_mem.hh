@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse byte-addressable functional memory.
+ *
+ * The simulator follows the standard functional-first / timing-directed
+ * split: values live here, while caches and buffers only model timing and
+ * ordering. Both the GPU's volatile view and the NVM's durable image are
+ * instances of this class.
+ */
+
+#ifndef SBRP_MEM_FUNCTIONAL_MEM_HH
+#define SBRP_MEM_FUNCTIONAL_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/**
+ * Flat sparse memory backed by demand-allocated 4 KiB pages.
+ *
+ * An optional read-only backing memory supplies contents for pages never
+ * written here (copy-on-write). The GPU's volatile view of NVM is backed
+ * by the NvmDevice's durable image: at power-up the GPU reads the durable
+ * contents, while its writes stay volatile until explicitly committed.
+ */
+class FunctionalMemory
+{
+  public:
+    static constexpr std::uint32_t kPageBytes = 4096;
+
+    /** Attaches a read-through/copy-on-write backing memory. */
+    void setBacking(const FunctionalMemory *backing) { backing_ = backing; }
+
+    std::uint32_t read32(Addr a) const;
+    void write32(Addr a, std::uint32_t v);
+
+    std::uint64_t read64(Addr a) const;
+    void write64(Addr a, std::uint64_t v);
+
+    std::uint8_t read8(Addr a) const;
+    void write8(Addr a, std::uint8_t v);
+
+    /** Bulk copy out of memory (zero-filled for untouched pages). */
+    void readBlock(Addr a, std::uint8_t *out, std::uint32_t len) const;
+
+    /** Bulk copy into memory. */
+    void writeBlock(Addr a, const std::uint8_t *src, std::uint32_t len);
+
+    /** Number of demand-allocated pages (for tests / footprint checks). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Drops all contents (the backing, if any, is untouched). */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    const Page *findPage(Addr a) const;
+    Page &touchPage(Addr a);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    const FunctionalMemory *backing_ = nullptr;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_MEM_FUNCTIONAL_MEM_HH

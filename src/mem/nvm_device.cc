@@ -1,0 +1,63 @@
+#include "mem/nvm_device.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+constexpr Addr kAlign = 256;
+} // namespace
+
+Addr
+NvmDevice::allocate(const std::string &name, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        sbrp_fatal("zero-byte NVM allocation '%s'", name);
+    if (names_.count(name))
+        sbrp_fatal("NVM region '%s' already exists; open() it instead",
+                   name);
+
+    Addr base = bump_;
+    bump_ += (bytes + kAlign - 1) / kAlign * kAlign;
+    if (bump_ - addr_map::kNvmBase > addr_map::kWindowSize)
+        sbrp_fatal("NVM window exhausted allocating '%s'", name);
+
+    names_[name] = Region{base, bytes};
+    return base;
+}
+
+NvmDevice::Region
+NvmDevice::open(const std::string &name) const
+{
+    auto it = names_.find(name);
+    if (it == names_.end())
+        sbrp_fatal("NVM region '%s' does not exist", name);
+    return it->second;
+}
+
+bool
+NvmDevice::exists(const std::string &name) const
+{
+    return names_.count(name) != 0;
+}
+
+void
+NvmDevice::remove(const std::string &name)
+{
+    if (!names_.erase(name))
+        sbrp_fatal("cannot remove unknown NVM region '%s'", name);
+}
+
+void
+NvmDevice::commitLine(Addr line_addr, const std::uint8_t *data,
+                      std::uint32_t len)
+{
+    sbrp_assert(addr_map::isNvm(line_addr),
+                "commit of non-NVM line %s", line_addr);
+    durable_.writeBlock(line_addr, data, len);
+    ++commit_count_;
+}
+
+} // namespace sbrp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The physical NVM device: durable image, ADR commit point, and the
+ * persistent namespace table of the paper's PM-near software model.
+ *
+ * An NvmDevice deliberately outlives GpuSystem instances: a crash is
+ * modeled by destroying the GpuSystem (losing caches, persist buffers and
+ * in-flight writes) while the NvmDevice — and only it — survives. Recovery
+ * kernels run on a fresh GpuSystem attached to the same device.
+ */
+
+#ifndef SBRP_MEM_NVM_DEVICE_HH
+#define SBRP_MEM_NVM_DEVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/address_map.hh"
+#include "mem/functional_mem.hh"
+
+namespace sbrp
+{
+
+/**
+ * Byte-addressable persistent memory with a name-based allocation table.
+ *
+ * The namespace table mirrors Section 3: allocations are named, the table
+ * maps names to (address, size), and after a "power cycle" previously
+ * allocated structures are re-opened by name. On PM-far the paper uses
+ * files on PM for the same purpose; both reduce to this table here.
+ */
+class NvmDevice
+{
+  public:
+    /** A named persistent allocation. */
+    struct Region
+    {
+        Addr base = 0;
+        std::uint64_t size = 0;
+    };
+
+    /**
+     * Allocates a fresh named region; throws FatalError if the name is
+     * taken. Addresses are line-aligned and never reused.
+     *
+     * @param name   Persistent name used to re-open after a crash.
+     * @param bytes  Size of the region.
+     * @return Base address inside the NVM window.
+     */
+    Addr allocate(const std::string &name, std::uint64_t bytes);
+
+    /** Opens an existing region; throws FatalError if missing. */
+    Region open(const std::string &name) const;
+
+    bool exists(const std::string &name) const;
+
+    /** Removes the name mapping (contents become unreachable). */
+    void remove(const std::string &name);
+
+    /** All named regions (for tooling / examples). */
+    const std::map<std::string, Region> &table() const { return names_; }
+
+    /**
+     * Commits a flushed cache line into the durable image. Called by the
+     * persistence domain when a write is accepted (ADR WPQ / eADR LLC).
+     */
+    void commitLine(Addr line_addr, const std::uint8_t *data,
+                    std::uint32_t len);
+
+    /** Durable contents, readable at any time (e.g. post-crash). */
+    const FunctionalMemory &durable() const { return durable_; }
+    FunctionalMemory &durable() { return durable_; }
+
+    /** Total line commits accepted since construction. */
+    std::uint64_t commitCount() const { return commit_count_; }
+
+    /** Bytes handed out by the allocator so far. */
+    std::uint64_t allocatedBytes() const
+    { return bump_ - addr_map::kNvmBase; }
+
+  private:
+    FunctionalMemory durable_;
+    std::map<std::string, Region> names_;
+    Addr bump_ = addr_map::kNvmBase;
+    std::uint64_t commit_count_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_MEM_NVM_DEVICE_HH

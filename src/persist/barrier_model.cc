@@ -1,0 +1,263 @@
+#include "persist/barrier_model.hh"
+
+#include "common/log.hh"
+#include "formal/trace.hh"
+#include "gpu/mem_ctrl.hh"
+#include "gpu/warp.hh"
+#include "mem/address_map.hh"
+#include "mem/functional_mem.hh"
+
+namespace sbrp
+{
+
+ScopedBarrierModel::ScopedBarrierModel(const SystemConfig &cfg,
+                                       SmServices &sm, StatGroup &stats)
+    : PersistencyModel(cfg, sm, stats)
+{
+}
+
+std::uint64_t
+ScopedBarrierModel::minOutstanding() const
+{
+    if (outstanding_.empty())
+        return ~0ull;
+    return *outstanding_.begin();
+}
+
+void
+ScopedBarrierModel::flushPmTracked(Addr line_addr)
+{
+    std::uint64_t seq = ++flushSeq_;
+    outstanding_.insert(seq);
+    sm_.l1().invalidate(line_addr);
+    ++actr_;
+    stats_.stat("flushes").inc();
+    sm_.fabric().persistWrite(line_addr, sm_.now(), [this, seq]() {
+        sbrp_assert(actr_ > 0, "ack with ACTR already zero");
+        --actr_;
+        outstanding_.erase(seq);
+        onAck();
+    });
+}
+
+std::uint64_t
+ScopedBarrierModel::barrier()
+{
+    std::vector<Addr> dirty;
+    sm_.l1().forEachLine([&](L1Cache::Line &l) {
+        if (l.isPm && l.dirty)
+            dirty.push_back(l.lineAddr);
+    });
+    for (Addr a : dirty)
+        flushPmTracked(a);
+    stats_.stat("persist_barriers").inc();
+    return flushSeq_;
+}
+
+HookResult
+ScopedBarrierModel::persistStore(Warp &warp, const WarpInstr &in,
+                                 const std::vector<Addr> &lines)
+{
+    for (Addr line : lines) {
+        L1Cache::Line *l = sm_.l1().probe(line);
+        if (!l) {
+            L1Cache::Line *victim = sm_.l1().victimFor(line);
+            if (victim && victim->dirty) {
+                if (victim->isPm)
+                    evictPmNow(*victim);
+                else
+                    sm_.fabric().volatileWriteback(victim->lineAddr,
+                                                   sm_.now());
+            }
+            L1Cache::Eviction ev;
+            l = sm_.l1().allocate(line, sm_.now(), &ev);
+        } else {
+            sm_.l1().lookup(line, sm_.now());
+        }
+        l->dirty = true;
+        l->isPm = true;
+
+        std::uint32_t eff = warp.effActive(in);
+        for (std::uint32_t ln = 0; ln < 32; ++ln) {
+            if (!(eff & (1u << ln)))
+                continue;
+            Addr a = warp.effAddr(in, ln);
+            if (addr_map::lineBase(a, cfg_.lineBytes) != line)
+                continue;
+            sm_.mem().write32(a, warp.operand(in, ln));
+            if (sm_.trace()) {
+                std::uint64_t id = sm_.trace()->recordPersist(
+                    warp.thread(ln), warp.block(), a);
+                sm_.trace()->notePendingStore(line, id);
+            }
+        }
+    }
+    return HookResult::Proceed;
+}
+
+HookResult
+ScopedBarrierModel::fence(Warp &warp, Scope scope)
+{
+    (void)scope;
+    return dFence(warp);
+}
+
+HookResult
+ScopedBarrierModel::oFence(Warp &warp)
+{
+    // Every ordering point is a full stalling barrier: this is the
+    // model's defining weakness relative to SBRP.
+    return dFence(warp);
+}
+
+HookResult
+ScopedBarrierModel::dFence(Warp &warp)
+{
+    std::uint64_t seq = barrier();
+    if (outstanding_.empty())
+        return HookResult::Proceed;
+    waiters_.push_back(Waiter{warp.slot(), seq, {}});
+    return HookResult::StallComplete;
+}
+
+void
+ScopedBarrierModel::publishFlags(const std::vector<ReleaseFlag> &flags,
+                                 WarpSlot slot)
+{
+    // Volatile flags publish now; a release to a PM variable must be
+    // durable before it becomes visible (an acquirer's post-acquire
+    // persists may flush at its own next barrier, before this line
+    // would ever be re-flushed here). The releasing warp resumes once
+    // every PM flag acknowledged.
+    auto wait = std::make_shared<std::uint32_t>(0);
+    for (const ReleaseFlag &f : flags) {
+        if (!addr_map::isNvm(f.addr)) {
+            if (sm_.trace() && f.relId != 0)
+                sm_.trace()->publishRel(f.addr, f.relId);
+            sm_.mem().write32(f.addr, f.value);
+            continue;
+        }
+        ++*wait;
+        std::vector<std::uint64_t> ids;
+        if (sm_.trace() && f.persistId != 0)
+            ids.push_back(f.persistId);
+        std::uint64_t seq = ++flushSeq_;
+        outstanding_.insert(seq);
+        ++actr_;
+        sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
+                                      sm_.now(),
+                                      [this, f, wait, slot, seq]() {
+            if (sm_.trace() && f.relId != 0)
+                sm_.trace()->publishRel(f.addr, f.relId);
+            sm_.mem().write32(f.addr, f.value);
+            sbrp_assert(actr_ > 0, "flag ack underflow");
+            --actr_;
+            outstanding_.erase(seq);
+            if (--*wait == 0)
+                sm_.resumeWarp(slot);
+            onAck();
+        });
+    }
+    if (*wait == 0)
+        sm_.resumeWarp(slot);
+}
+
+HookResult
+ScopedBarrierModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags,
+                         Scope scope)
+{
+    (void)scope;
+    // Barrier first; the released value publishes when it completes, so
+    // acquirers never observe a value whose predecessors are volatile.
+    std::uint64_t seq = barrier();
+    bool pm_flags = false;
+    for (const ReleaseFlag &f : flags)
+        pm_flags |= addr_map::isNvm(f.addr);
+
+    if (outstanding_.empty() && !pm_flags) {
+        // Nothing to wait for: publish the volatile flags inline.
+        for (const ReleaseFlag &f : flags) {
+            if (sm_.trace() && f.relId != 0)
+                sm_.trace()->publishRel(f.addr, f.relId);
+            sm_.mem().write32(f.addr, f.value);
+        }
+        return HookResult::Proceed;
+    }
+
+    waiters_.push_back(Waiter{warp.slot(), seq, std::move(flags)});
+    if (outstanding_.empty())
+        onAck();   // Starts the PM flag persists right away.
+    return HookResult::StallComplete;
+}
+
+void
+ScopedBarrierModel::pAcqSuccess(Warp &warp, const WarpInstr &in)
+{
+    (void)warp;
+    // The barrier model communicates globally: invalidate cached PM so
+    // post-acquire reads cannot be stale, regardless of scope.
+    if (in.scope != Scope::Block) {
+        std::vector<Addr> clean;
+        sm_.l1().forEachLine([&](L1Cache::Line &l) {
+            if (l.isPm && !l.dirty)
+                clean.push_back(l.lineAddr);
+        });
+        for (Addr a : clean)
+            sm_.l1().invalidate(a);
+    }
+}
+
+bool
+ScopedBarrierModel::mayEvictPm(Warp &warp, const L1Cache::Line &victim)
+{
+    (void)warp;
+    (void)victim;
+    return true;   // No cross-line ordering is ever buffered.
+}
+
+void
+ScopedBarrierModel::evictPmNow(const L1Cache::Line &victim)
+{
+    flushPmTracked(victim.lineAddr);
+}
+
+void
+ScopedBarrierModel::tick(Cycle now)
+{
+    (void)now;
+}
+
+void
+ScopedBarrierModel::drainAll()
+{
+    barrier();
+}
+
+bool
+ScopedBarrierModel::drained() const
+{
+    return outstanding_.empty();
+}
+
+void
+ScopedBarrierModel::onAck()
+{
+    std::uint64_t min_seq = minOutstanding();
+    std::vector<Waiter> ready;
+    std::vector<Waiter> keep;
+    for (Waiter &w : waiters_) {
+        if (min_seq > w.barrierSeq)
+            ready.push_back(std::move(w));
+        else
+            keep.push_back(std::move(w));
+    }
+    waiters_ = std::move(keep);
+    for (Waiter &w : ready) {
+        if (w.flags.empty())
+            sm_.resumeWarp(w.slot);
+        else
+            publishFlags(w.flags, w.slot);
+    }
+}
+
+} // namespace sbrp

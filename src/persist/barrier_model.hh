@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scoped persist barriers (Gope et al. [14], discussed in the paper's
+ * Section 8): the closest prior GPU persistency proposal and this
+ * library's related-work comparator.
+ *
+ * Under this model every SBRP ordering operation degenerates to a
+ * persist *barrier*: the issuing warp stalls, its SM's buffered persists
+ * drain, and execution resumes only when the writes reached the
+ * persistence domain. There is no distinction between intra- and
+ * inter-thread PMO and no deferred buffering across ordering points —
+ * which is exactly the contrast the paper draws: "A persist barrier
+ * simply stalls the issuing thread, drains the buffer, and waits for
+ * the writes to reach PM. In SBRP, the buffers allow intra- and
+ * inter-thread PMO to proceed without global synchronization."
+ *
+ * Applications written for SBRP run unmodified: oFence, dFence, pAcq
+ * and pRel all map onto the barrier (releases publish their value after
+ * the barrier completes, so acquire/release sequencing still works).
+ */
+
+#ifndef SBRP_PERSIST_BARRIER_MODEL_HH
+#define SBRP_PERSIST_BARRIER_MODEL_HH
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "persist/model.hh"
+
+namespace sbrp
+{
+
+class ScopedBarrierModel : public PersistencyModel
+{
+  public:
+    ScopedBarrierModel(const SystemConfig &cfg, SmServices &sm,
+                       StatGroup &stats);
+
+    HookResult persistStore(Warp &warp, const WarpInstr &in,
+                            const std::vector<Addr> &lines) override;
+    HookResult fence(Warp &warp, Scope scope) override;
+    HookResult oFence(Warp &warp) override;
+    HookResult dFence(Warp &warp) override;
+    HookResult pRel(Warp &warp, std::vector<ReleaseFlag> flags,
+                    Scope scope) override;
+    void pAcqSuccess(Warp &warp, const WarpInstr &in) override;
+    bool mayEvictPm(Warp &warp, const L1Cache::Line &victim) override;
+    void evictPmNow(const L1Cache::Line &victim) override;
+    void tick(Cycle now) override;
+    void drainAll() override;
+    bool drained() const override;
+
+  protected:
+    void onAck() override;
+
+  private:
+    struct Waiter
+    {
+        WarpSlot slot;
+        std::uint64_t barrierSeq;
+        std::vector<ReleaseFlag> flags;   ///< Published on completion.
+    };
+
+    /** Flushes every dirty PM line; returns the barrier sequence. */
+    std::uint64_t barrier();
+
+    /** Publishes released values; PM flags persist before visibility,
+        and the warp resumes once they acknowledge. */
+    void publishFlags(const std::vector<ReleaseFlag> &flags,
+                      WarpSlot slot);
+
+    void flushPmTracked(Addr line_addr);
+    std::uint64_t minOutstanding() const;
+
+    std::vector<Waiter> waiters_;
+    std::uint64_t flushSeq_ = 0;
+    std::set<std::uint64_t> outstanding_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_PERSIST_BARRIER_MODEL_HH

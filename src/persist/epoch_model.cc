@@ -1,0 +1,227 @@
+#include "persist/epoch_model.hh"
+
+#include "common/log.hh"
+#include "formal/trace.hh"
+#include "gpu/mem_ctrl.hh"
+#include "gpu/warp.hh"
+#include "mem/address_map.hh"
+#include "mem/functional_mem.hh"
+
+namespace sbrp
+{
+
+EpochModel::EpochModel(const SystemConfig &cfg, SmServices &sm,
+                       StatGroup &stats, FenceSemantics semantics)
+    : PersistencyModel(cfg, sm, stats), semantics_(semantics)
+{
+}
+
+HookResult
+EpochModel::persistStore(Warp &warp, const WarpInstr &in,
+                         const std::vector<Addr> &lines)
+{
+    // Unbuffered epoch model: persists simply dirty the L1; ordering is
+    // only enforced at barriers. Each line's data is written as soon as
+    // the line is allocated so intra-instruction capacity evictions
+    // flush real values.
+    for (Addr line : lines) {
+        L1Cache::Line *l = sm_.l1().probe(line);
+        if (!l) {
+            L1Cache::Line *victim = sm_.l1().victimFor(line);
+            if (victim && victim->dirty) {
+                if (victim->isPm)
+                    evictPmNow(*victim);
+                else
+                    sm_.fabric().volatileWriteback(victim->lineAddr,
+                                                   sm_.now());
+            }
+            L1Cache::Eviction ev;
+            l = sm_.l1().allocate(line, sm_.now(), &ev);
+        } else {
+            sm_.l1().lookup(line, sm_.now());
+        }
+        l->dirty = true;
+        l->isPm = true;
+
+        std::uint32_t eff = warp.effActive(in);
+        for (std::uint32_t ln = 0; ln < 32; ++ln) {
+            if (!(eff & (1u << ln)))
+                continue;
+            Addr a = warp.effAddr(in, ln);
+            if (addr_map::lineBase(a, cfg_.lineBytes) != line)
+                continue;
+            sm_.mem().write32(a, warp.operand(in, ln));
+            if (sm_.trace()) {
+                std::uint64_t id = sm_.trace()->recordPersist(
+                    warp.thread(ln), warp.block(), a);
+                sm_.trace()->notePendingStore(line, id);
+            }
+        }
+    }
+    return HookResult::Proceed;
+}
+
+std::uint64_t
+EpochModel::minOutstanding() const
+{
+    if (outstanding_.empty())
+        return ~0ull;
+    return *outstanding_.begin();
+}
+
+void
+EpochModel::flushPmTracked(Addr line_addr)
+{
+    std::uint64_t seq = ++flushSeq_;
+    outstanding_.insert(seq);
+    sm_.l1().invalidate(line_addr);
+    ++actr_;
+    stats_.stat("flushes").inc();
+    sm_.fabric().persistWrite(line_addr, sm_.now(), [this, seq]() {
+        sbrp_assert(actr_ > 0, "ack with ACTR already zero");
+        --actr_;
+        outstanding_.erase(seq);
+        onAck();
+    });
+}
+
+void
+EpochModel::flushVolatileTracked(Addr line_addr)
+{
+    std::uint64_t seq = ++flushSeq_;
+    outstanding_.insert(seq);
+    sm_.l1().invalidate(line_addr);
+    sm_.fabric().volatileFlush(line_addr, sm_.now(), [this, seq]() {
+        outstanding_.erase(seq);
+        onAck();
+    });
+}
+
+std::uint32_t
+EpochModel::flushEpoch()
+{
+    std::uint32_t flushes = 0;
+    std::vector<Addr> pm_dirty;
+    std::vector<Addr> pm_clean;
+    std::vector<Addr> vol_dirty;
+
+    sm_.l1().forEachLine([&](L1Cache::Line &l) {
+        if (l.isPm) {
+            (l.dirty ? pm_dirty : pm_clean).push_back(l.lineAddr);
+        } else if (l.dirty && semantics_ == FenceSemantics::PmAndVolatile) {
+            vol_dirty.push_back(l.lineAddr);
+        }
+    });
+
+    for (Addr a : pm_dirty) {
+        flushPmTracked(a);
+        ++flushes;
+    }
+    // Invalidate clean PM lines too: the epoch barrier is the (only)
+    // inter-threadblock ordering point, so stale PM data must go.
+    for (Addr a : pm_clean)
+        sm_.l1().invalidate(a);
+
+    for (Addr a : vol_dirty) {
+        flushVolatileTracked(a);
+        ++flushes;
+    }
+    stats_.stat("epoch_barriers").inc();
+    return flushes;
+}
+
+HookResult
+EpochModel::fence(Warp &warp, Scope scope)
+{
+    (void)scope;   // The epoch barrier is global regardless of scope.
+    flushEpoch();
+    // Like a __threadfence_system: the warp waits for everything in
+    // flight up to this point, not for a global quiesce including
+    // flushes other warps add later.
+    if (outstanding_.empty())
+        return HookResult::Proceed;
+    waiters_.push_back(Waiter{warp.slot(), flushSeq_});
+    return HookResult::StallComplete;
+}
+
+HookResult
+EpochModel::oFence(Warp &warp)
+{
+    // The epoch model has no oFence; kernels built for it must use
+    // Fence. Reaching here is an application-generator bug.
+    (void)warp;
+    sbrp_panic("oFence issued under the epoch model");
+}
+
+HookResult
+EpochModel::dFence(Warp &warp)
+{
+    (void)warp;
+    sbrp_panic("dFence issued under the epoch model");
+}
+
+HookResult
+EpochModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags, Scope scope)
+{
+    (void)warp;
+    (void)flags;
+    (void)scope;
+    sbrp_panic("pRel issued under the epoch model");
+}
+
+void
+EpochModel::pAcqSuccess(Warp &warp, const WarpInstr &in)
+{
+    (void)warp;
+    (void)in;
+    sbrp_panic("pAcq issued under the epoch model");
+}
+
+bool
+EpochModel::mayEvictPm(Warp &warp, const L1Cache::Line &victim)
+{
+    // Within an epoch persists may drain in any order.
+    (void)warp;
+    (void)victim;
+    return true;
+}
+
+void
+EpochModel::evictPmNow(const L1Cache::Line &victim)
+{
+    flushPmTracked(victim.lineAddr);
+}
+
+void
+EpochModel::tick(Cycle now)
+{
+    (void)now;   // Acks drive all state transitions.
+}
+
+void
+EpochModel::drainAll()
+{
+    flushEpoch();
+}
+
+bool
+EpochModel::drained() const
+{
+    return outstanding_.empty();
+}
+
+void
+EpochModel::onAck()
+{
+    std::uint64_t min_seq = minOutstanding();
+    std::vector<Waiter> keep;
+    for (const Waiter &w : waiters_) {
+        if (min_seq > w.barrierSeq)
+            sm_.resumeWarp(w.slot);
+        else
+            keep.push_back(w);
+    }
+    waiters_ = std::move(keep);
+}
+
+} // namespace sbrp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The scope-agnostic, unbuffered epoch persistency model, in two
+ * flavours (Section 4, "GPM's persistency model"):
+ *
+ *  - GPM: the system-scope fence flushes *both* volatile and PM writes
+ *    from the L1 (GPM avoided hardware changes, so its epoch barrier is
+ *    a plain __threadfence_system).
+ *  - Epoch: the enhanced barrier only affects writes to PM.
+ *
+ * Both stall the fencing warp until every initiated flush is accepted by
+ * the persistence domain, and invalidate the L1's PM lines so post-epoch
+ * reads cannot see stale data (required for inter-threadblock PMO).
+ */
+
+#ifndef SBRP_PERSIST_EPOCH_MODEL_HH
+#define SBRP_PERSIST_EPOCH_MODEL_HH
+
+#include <set>
+#include <vector>
+
+#include "gpu/isa.hh"
+#include "persist/model.hh"
+
+namespace sbrp
+{
+
+class EpochModel : public PersistencyModel
+{
+  public:
+    EpochModel(const SystemConfig &cfg, SmServices &sm, StatGroup &stats,
+               FenceSemantics semantics);
+
+    HookResult persistStore(Warp &warp, const WarpInstr &in,
+                            const std::vector<Addr> &lines) override;
+    HookResult fence(Warp &warp, Scope scope) override;
+    HookResult oFence(Warp &warp) override;
+    HookResult dFence(Warp &warp) override;
+    HookResult pRel(Warp &warp, std::vector<ReleaseFlag> flags,
+                    Scope scope) override;
+    void pAcqSuccess(Warp &warp, const WarpInstr &in) override;
+    bool mayEvictPm(Warp &warp, const L1Cache::Line &victim) override;
+    void evictPmNow(const L1Cache::Line &victim) override;
+    void tick(Cycle now) override;
+    void drainAll() override;
+    bool drained() const override;
+
+  protected:
+    void onAck() override;
+
+  private:
+    /** A fencing warp waiting for its barrier's flushes to complete. */
+    struct Waiter
+    {
+        WarpSlot slot;
+        std::uint64_t barrierSeq;
+    };
+
+    /** Flush dirty PM (and, for GPM, volatile) lines; invalidate PM. */
+    std::uint32_t flushEpoch();
+
+    /** Tagged flush helpers (epoch fences wait per-barrier, like a
+        __threadfence: only flushes issued up to the fence matter). */
+    void flushPmTracked(Addr line_addr);
+    void flushVolatileTracked(Addr line_addr);
+    std::uint64_t minOutstanding() const;
+
+    FenceSemantics semantics_;
+    std::vector<Waiter> waiters_;
+    std::uint64_t flushSeq_ = 0;
+    std::set<std::uint64_t> outstanding_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_PERSIST_EPOCH_MODEL_HH

@@ -1,0 +1,49 @@
+#include "persist/model.hh"
+
+#include "gpu/mem_ctrl.hh"
+#include "persist/barrier_model.hh"
+#include "persist/epoch_model.hh"
+#include "persist/sbrp_model.hh"
+
+namespace sbrp
+{
+
+std::unique_ptr<PersistencyModel>
+makePersistencyModel(const SystemConfig &cfg, SmServices &sm,
+                     StatGroup &stats)
+{
+    switch (cfg.model) {
+      case ModelKind::Gpm:
+        return std::make_unique<EpochModel>(cfg, sm, stats,
+                                            FenceSemantics::PmAndVolatile);
+      case ModelKind::Epoch:
+        return std::make_unique<EpochModel>(cfg, sm, stats,
+                                            FenceSemantics::PmOnly);
+      case ModelKind::Sbrp:
+        return std::make_unique<SbrpModel>(cfg, sm, stats);
+      case ModelKind::ScopedBarrier:
+        return std::make_unique<ScopedBarrierModel>(cfg, sm, stats);
+    }
+    sbrp_panic("unknown persistency model");
+}
+
+PersistencyModel::PersistencyModel(const SystemConfig &cfg, SmServices &sm,
+                                   StatGroup &stats)
+    : cfg_(cfg), sm_(sm), stats_(stats)
+{
+}
+
+void
+PersistencyModel::flushLine(Addr line_addr)
+{
+    sm_.l1().invalidate(line_addr);
+    ++actr_;
+    stats_.stat("flushes").inc();
+    sm_.fabric().persistWrite(line_addr, sm_.now(), [this]() {
+        sbrp_assert(actr_ > 0, "ack with ACTR already zero");
+        --actr_;
+        onAck();
+    });
+}
+
+} // namespace sbrp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Abstract per-SM persistency model.
+ *
+ * The SM routes every operation touching persistent state through this
+ * interface: persist stores (NVM writes), epoch fences, SBRP's oFence /
+ * dFence / pAcq / pRel, and L1 capacity evictions of dirty PM lines.
+ * Concrete models: EpochModel (GPM and the enhanced PM-only epoch
+ * barrier) and SbrpModel (the paper's contribution).
+ */
+
+#ifndef SBRP_PERSIST_MODEL_HH
+#define SBRP_PERSIST_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bitmask.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/isa.hh"
+#include "gpu/l1_cache.hh"
+
+namespace sbrp
+{
+
+class Warp;
+class MemoryFabric;
+class FunctionalMemory;
+class ExecutionTrace;
+
+/** Result of a model hook for the issuing warp. */
+enum class HookResult : std::uint8_t
+{
+    Proceed,        ///< Operation accepted; warp continues this cycle.
+    StallRetry,     ///< Not accepted; re-issue the instruction later.
+    StallComplete,  ///< Accepted; warp parks until the model resumes it.
+};
+
+/** Services the model needs from its SM. */
+class SmServices
+{
+  public:
+    virtual ~SmServices() = default;
+
+    virtual L1Cache &l1() = 0;
+    virtual MemoryFabric &fabric() = 0;
+    virtual FunctionalMemory &mem() = 0;
+    virtual ExecutionTrace *trace() = 0;
+    virtual Cycle now() const = 0;
+
+    /** Wakes a StallComplete-parked warp. */
+    virtual void resumeWarp(WarpSlot slot) = 0;
+};
+
+/** A deferred scoped-release flag publication. */
+struct ReleaseFlag
+{
+    Addr addr = 0;
+    std::uint32_t value = 0;
+    ThreadId tid = 0;            ///< Issuing thread (trace identity).
+    BlockId block = 0;
+    std::uint64_t relId = 0;     ///< Trace id of the release (0 untraced).
+    /** Trace id of the release's own write when the variable is in PM
+        (pRel(&pArr[tid], sum) both publishes and persists, Fig. 3). */
+    std::uint64_t persistId = 0;
+};
+
+/**
+ * Base class: owns the acknowledgement counter (ACTR) and the flush
+ * plumbing every model shares.
+ */
+class PersistencyModel
+{
+  public:
+    PersistencyModel(const SystemConfig &cfg, SmServices &sm,
+                     StatGroup &stats);
+    virtual ~PersistencyModel() = default;
+
+    PersistencyModel(const PersistencyModel &) = delete;
+    PersistencyModel &operator=(const PersistencyModel &) = delete;
+
+    /**
+     * A persist store by `warp` covering the given L1 lines of
+     * instruction `in`. On Proceed the model has updated all L1/PB
+     * state AND performed the functional writes and trace records —
+     * line by line, immediately after allocating each line, so a
+     * capacity eviction of an earlier line by a later one in the same
+     * instruction flushes real data.
+     */
+    virtual HookResult persistStore(Warp &warp, const WarpInstr &in,
+                                    const std::vector<Addr> &lines) = 0;
+
+    /** Conventional scoped fence (epoch barrier under GPM/epoch). */
+    virtual HookResult fence(Warp &warp, Scope scope) = 0;
+
+    virtual HookResult oFence(Warp &warp) = 0;
+    virtual HookResult dFence(Warp &warp) = 0;
+
+    /** Scoped release of one or more flags (per active lane). */
+    virtual HookResult pRel(Warp &warp, std::vector<ReleaseFlag> flags,
+                            Scope scope) = 0;
+
+    /** Called when a spinning pAcq observes its expected value; `in`
+        carries the acquired flag addresses. */
+    virtual void pAcqSuccess(Warp &warp, const WarpInstr &in) = 0;
+
+    /**
+     * May this dirty PM victim be evicted right now without violating
+     * PMO? (Paper Section 6.1, "Eviction".) On false the model records
+     * the stall (EDM) and schedules enough draining for a later retry
+     * to succeed; the caller re-issues the instruction.
+     */
+    virtual bool mayEvictPm(Warp &warp, const L1Cache::Line &victim) = 0;
+
+    /** Evicts (flushes) a dirty PM victim previously cleared above. */
+    virtual void evictPmNow(const L1Cache::Line &victim) = 0;
+
+    /** Per-cycle drain engine. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Kernel-end: flush everything still buffered. */
+    virtual void drainAll() = 0;
+
+    /** True when no buffered or in-flight persists remain. */
+    virtual bool drained() const = 0;
+
+    std::uint32_t actr() const { return actr_; }
+
+  protected:
+    /**
+     * Flushes one dirty PM line: invalidates it in L1, snapshots and
+     * sends the persist write, and bumps ACTR until the persistence
+     * domain acks.
+     */
+    void flushLine(Addr line_addr);
+
+    /** Flush-completion handling shared by subclasses. */
+    virtual void onAck() = 0;
+
+    const SystemConfig &cfg_;
+    SmServices &sm_;
+    StatGroup &stats_;
+    std::uint32_t actr_ = 0;
+};
+
+/** Builds the model selected by cfg.model for one SM. */
+std::unique_ptr<PersistencyModel> makePersistencyModel(
+    const SystemConfig &cfg, SmServices &sm, StatGroup &stats);
+
+} // namespace sbrp
+
+#endif // SBRP_PERSIST_MODEL_HH

@@ -1,0 +1,198 @@
+#include "persist/persist_buffer.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace sbrp
+{
+
+const char *
+toString(PbType t)
+{
+    switch (t) {
+      case PbType::Persist: return "persist";
+      case PbType::OFence: return "ofence";
+      case PbType::DFence: return "dfence";
+      case PbType::AcqBlock: return "acq_block";
+      case PbType::RelBlock: return "rel_block";
+      case PbType::AcqDev: return "acq_dev";
+      case PbType::RelDev: return "rel_dev";
+    }
+    return "?";
+}
+
+bool
+isOrderingType(PbType t)
+{
+    return t != PbType::Persist;
+}
+
+PersistBuffer::PersistBuffer(std::uint32_t capacity) : capacity_(capacity)
+{
+    sbrp_assert(capacity_ > 0, "persist buffer needs capacity");
+}
+
+std::uint64_t
+PersistBuffer::pushPersist(Addr line_addr, WarpMask warps)
+{
+    // Callers check hasSpace(); release publications may exceed the
+    // nominal capacity briefly (the drain engine catches up).
+    Entry e;
+    e.type = PbType::Persist;
+    e.warps = warps;
+    e.lineAddr = line_addr;
+    e.id = nextId_++;
+    if (entries_.empty())
+        frontId_ = e.id;
+    entries_.push_back(std::move(e));
+    ++liveEntries_;
+    ++persistCount_;
+    return entries_.back().id;
+}
+
+std::uint64_t
+PersistBuffer::pushOrder(PbType type, WarpMask warps,
+                         std::vector<ReleaseFlag> flags)
+{
+    sbrp_assert(isOrderingType(type), "pushOrder with persist type");
+
+    // oFences coalesce with an oFence already at the tail.
+    if (type == PbType::OFence && !entries_.empty() &&
+            entries_.back().valid &&
+            entries_.back().type == PbType::OFence) {
+        entries_.back().warps |= warps;
+        for (std::uint32_t w = 0; w < 32; ++w) {
+            if (warps.test(w))
+                lastOrderId_[w] = entries_.back().id;
+        }
+        return entries_.back().id;
+    }
+
+    Entry e;
+    e.type = type;
+    e.warps = warps;
+    e.flags = std::move(flags);
+    e.id = nextId_++;
+    if (entries_.empty())
+        frontId_ = e.id;
+    entries_.push_back(std::move(e));
+    ++liveEntries_;
+    for (std::uint32_t w = 0; w < 32; ++w) {
+        if (warps.test(w))
+            lastOrderId_[w] = entries_.back().id;
+    }
+    return entries_.back().id;
+}
+
+void
+PersistBuffer::coalesce(std::uint64_t id, WarpMask warps)
+{
+    Entry *e = find(id);
+    sbrp_assert(e && e->valid && e->type == PbType::Persist,
+                "coalesce into missing entry %s", id);
+    e->warps |= warps;
+}
+
+PersistBuffer::Entry *
+PersistBuffer::find(std::uint64_t id)
+{
+    if (entries_.empty() || id < frontId_ || id >= nextId_)
+        return nullptr;
+    return &entries_[id - frontId_];
+}
+
+bool
+PersistBuffer::orderingAfter(std::uint64_t id, WarpMask warps) const
+{
+    for (std::uint32_t w = 0; w < 32; ++w) {
+        if (warps.test(w) && lastOrderId_[w] > id)
+            return true;
+    }
+    return false;
+}
+
+bool
+PersistBuffer::orderingBefore(std::uint64_t id, WarpMask warps) const
+{
+    for (const Entry &e : entries_) {
+        if (e.id >= id)
+            break;
+        if (e.valid && isOrderingType(e.type) && e.warps.overlaps(warps))
+            return true;
+    }
+    return false;
+}
+
+bool
+PersistBuffer::coalesceHazard(std::uint64_t pbk, std::uint32_t warp) const
+{
+    std::uint64_t last_order = lastOrderId_[warp];
+    if (last_order <= pbk || entries_.empty())
+        return false;   // No ordering point after the entry at all.
+
+    // The warp's last ordering marker before pbk opens pbk's segment;
+    // everything earlier is FSM-protected relative to pbk's flush.
+    // Entries index directly by id (deque position = id - frontId_),
+    // so both scans stay local to pbk's neighbourhood.
+    std::uint64_t seg_start = frontId_ > 0 ? frontId_ - 1 : 0;
+    for (std::uint64_t id = pbk; id-- > frontId_;) {
+        const Entry &e = entries_[id - frontId_];
+        if (e.valid && isOrderingType(e.type) && e.warps.test(warp)) {
+            seg_start = e.id;
+            break;
+        }
+    }
+    std::uint64_t lo = std::max(seg_start + 1, frontId_);
+    std::uint64_t hi = std::min(last_order, nextId_);
+    for (std::uint64_t id = lo; id < hi; ++id) {
+        if (id == pbk)
+            continue;
+        const Entry &e = entries_[id - frontId_];
+        if (e.valid && e.type == PbType::Persist && e.warps.test(warp))
+            return true;
+    }
+    return false;
+}
+
+void
+PersistBuffer::skipInvalidHead()
+{
+    while (!entries_.empty() && !entries_.front().valid) {
+        entries_.pop_front();
+        ++frontId_;
+    }
+}
+
+PersistBuffer::Entry *
+PersistBuffer::head()
+{
+    skipInvalidHead();
+    return entries_.empty() ? nullptr : &entries_.front();
+}
+
+void
+PersistBuffer::popHead()
+{
+    skipInvalidHead();
+    sbrp_assert(!entries_.empty(), "pop of empty PB");
+    if (entries_.front().type == PbType::Persist)
+        --persistCount_;
+    entries_.pop_front();
+    ++frontId_;
+    --liveEntries_;
+    skipInvalidHead();
+}
+
+void
+PersistBuffer::invalidate(std::uint64_t id)
+{
+    Entry *e = find(id);
+    sbrp_assert(e && e->valid, "invalidate of missing entry %s", id);
+    e->valid = false;
+    --liveEntries_;
+    if (e->type == PbType::Persist)
+        --persistCount_;
+    skipInvalidHead();
+}
+
+} // namespace sbrp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The per-SM FIFO persist buffer (PB) of Section 6.
+ *
+ * Entries track persists at cache-line granularity and ordering points
+ * (oFence / dFence / scoped pAcq / pRel) at warp granularity via a 32-bit
+ * warp bitmask — the paper's sweet spot between per-thread tracking
+ * (too much hardware) and per-threadblock tracking (false ordering).
+ *
+ * Entries are identified by monotonically increasing ids; an L1 line's
+ * `pbEntry` field stores the id of the entry tracking it. Capacity
+ * evictions invalidate entries in place; invalid entries are skipped when
+ * they reach the head.
+ */
+
+#ifndef SBRP_PERSIST_PERSIST_BUFFER_HH
+#define SBRP_PERSIST_PERSIST_BUFFER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bitmask.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+#include "persist/model.hh"
+
+namespace sbrp
+{
+
+/** PB entry kinds (the 3 'Type' bits of the paper's 44-bit entry). */
+enum class PbType : std::uint8_t
+{
+    Persist,
+    OFence,
+    DFence,
+    AcqBlock,
+    RelBlock,
+    AcqDev,
+    RelDev,
+};
+
+const char *toString(PbType t);
+
+/** True for entry kinds that impose ordering on later persists. */
+bool isOrderingType(PbType t);
+
+class PersistBuffer
+{
+  public:
+    struct Entry
+    {
+        PbType type = PbType::Persist;
+        WarpMask warps;
+        Addr lineAddr = 0;                 ///< Persist entries only.
+        std::vector<ReleaseFlag> flags;    ///< Rel entries only.
+        bool valid = true;
+        std::uint64_t id = 0;
+    };
+
+    explicit PersistBuffer(std::uint32_t capacity);
+
+    // --- Insertion ---
+
+    /** Appends a persist entry; returns its id. Requires hasSpace(). */
+    std::uint64_t pushPersist(Addr line_addr, WarpMask warps);
+
+    /**
+     * Appends an ordering entry. Consecutive oFences coalesce: if the
+     * tail is already an OFence, the warp mask is merged instead of
+     * allocating a new entry (paper Section 6.1). Returns the entry id.
+     */
+    std::uint64_t pushOrder(PbType type, WarpMask warps,
+                            std::vector<ReleaseFlag> flags = {});
+
+    /** Merges a warp into an existing persist entry (store coalescing). */
+    void coalesce(std::uint64_t id, WarpMask warps);
+
+    // --- Queries ---
+
+    /**
+     * Capacity applies to persist entries (each pins a dirty L1 line);
+     * ordering entries are small and never refused.
+     */
+    bool hasSpace() const { return persistCount_ < capacity_; }
+    bool empty() const { return liveEntries_ == 0; }
+    std::uint32_t size() const { return liveEntries_; }
+    std::uint32_t persistCount() const { return persistCount_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Entry lookup by id; null if already popped. */
+    Entry *find(std::uint64_t id);
+
+    /**
+     * True if any warp in `warps` issued an ordering operation after
+     * entry `id` — the coalescing-legality check for persist stores.
+     * O(1) via per-warp last-ordering-id tracking.
+     */
+    bool orderingAfter(std::uint64_t id, WarpMask warps) const;
+
+    /**
+     * True if a valid ordering entry with an overlapping warp mask sits
+     * before entry `id` — the capacity-eviction veto (Section 6.1,
+     * "Eviction"). O(PB size).
+     */
+    bool orderingBefore(std::uint64_t id, WarpMask warps) const;
+
+    /** Last ordering-entry id issued by a warp slot (0 if none). */
+    std::uint64_t lastOrderIdOf(std::uint32_t warp) const
+    { return lastOrderId_[warp]; }
+
+    /**
+     * Coalescing hazard for a store by `warp` into entry `pbk`.
+     *
+     * Merging a store into its line's existing entry is PMO-safe even
+     * past an ordering point as long as every persist the store must
+     * follow is either (a) in that same entry — a line commit is atomic
+     * — or (b) separated from `pbk` by one of this warp's ordering
+     * markers, in which case the FSM already delays `pbk`'s flush until
+     * those persists acknowledge. The only true hazard is a *sibling*:
+     * another valid persist of this warp between the warp's last
+     * ordering marker before `pbk` and its latest ordering point.
+     * Cross-warp (acquire-derived) ordering is likewise FSM-covered.
+     * O(PB size).
+     */
+    bool coalesceHazard(std::uint64_t pbk, std::uint32_t warp) const;
+
+    /** Head entry (skipping nothing); null when empty of valid entries. */
+    Entry *head();
+
+    /** Pops the head entry. */
+    void popHead();
+
+    /** Invalidates an entry in place (capacity eviction of its line). */
+    void invalidate(std::uint64_t id);
+
+    /** Highest id ever issued (0 if none). */
+    std::uint64_t lastId() const { return nextId_ - 1; }
+
+  private:
+    void skipInvalidHead();
+
+    std::uint32_t capacity_;
+    std::uint32_t liveEntries_ = 0;
+    std::uint32_t persistCount_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t frontId_ = 1;   ///< id of entries_.front(), if any.
+    std::deque<Entry> entries_;
+    std::array<std::uint64_t, 32> lastOrderId_{};
+};
+
+} // namespace sbrp
+
+#endif // SBRP_PERSIST_PERSIST_BUFFER_HH

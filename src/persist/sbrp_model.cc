@@ -1,0 +1,578 @@
+#include "persist/sbrp_model.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/log.hh"
+#include "formal/trace.hh"
+#include "gpu/mem_ctrl.hh"
+#include "gpu/warp.hh"
+#include "mem/address_map.hh"
+#include "mem/functional_mem.hh"
+
+namespace sbrp
+{
+
+SbrpModel::SbrpModel(const SystemConfig &cfg, SmServices &sm,
+                     StatGroup &stats)
+    : PersistencyModel(cfg, sm, stats), pb_(cfg.pbEntries())
+{
+}
+
+std::uint32_t
+SbrpModel::allowance() const
+{
+    switch (cfg_.flushPolicy) {
+      case FlushPolicy::Eager:
+        return std::numeric_limits<std::uint32_t>::max();
+      case FlushPolicy::Lazy:
+        return 0;
+      case FlushPolicy::Window:
+        return cfg_.window;
+    }
+    return cfg_.window;
+}
+
+void
+SbrpModel::requestDrainThrough(std::uint64_t id)
+{
+    if (id > drainUntil_)
+        drainUntil_ = id;
+}
+
+std::uint64_t
+SbrpModel::minOutstanding() const
+{
+    if (outstanding_.empty())
+        return std::numeric_limits<std::uint64_t>::max();
+    return *outstanding_.begin();
+}
+
+void
+SbrpModel::flushTracked(Addr line_addr)
+{
+    std::uint64_t seq = ++flushSeq_;
+    outstanding_.insert(seq);
+    sm_.l1().invalidate(line_addr);
+    ++actr_;
+    stats_.stat("flushes").inc();
+    sm_.fabric().persistWrite(line_addr, sm_.now(), [this, seq]() {
+        sbrp_assert(actr_ > 0, "ack with ACTR already zero");
+        --actr_;
+        outstanding_.erase(seq);
+        onAck();
+    });
+}
+
+void
+SbrpModel::noteOrderingPoint(WarpMask warps)
+{
+    if (cfg_.preciseFsm) {
+        if (outstanding_.empty())
+            return;   // No unacknowledged flushes: no hazard to track.
+        fsm_ |= warps;
+        for (std::uint32_t w = 0; w < 32; ++w) {
+            if (warps.test(w))
+                barrierSeq_[w] = flushSeq_;
+        }
+    } else {
+        fsm_ |= warps;
+    }
+}
+
+bool
+SbrpModel::fsmAllowsFlush(WarpMask warps)
+{
+    WarpMask hazard = warps & fsm_;
+    if (hazard.empty())
+        return true;
+
+    if (!cfg_.preciseFsm) {
+        // Paper's single-ACTR variant: wait for a full quiesce.
+        if (actr_ > 0)
+            return false;
+        fsm_.clearAll();
+        return true;
+    }
+
+    bool blocked = false;
+    for (std::uint32_t w = 0; w < 32; ++w) {
+        if (!hazard.test(w))
+            continue;
+        if (barrierPassed(barrierSeq_[w]))
+            fsm_.clear(w);
+        else
+            blocked = true;
+    }
+    return !blocked;
+}
+
+HookResult
+SbrpModel::admitLines(Warp &warp, const std::vector<Addr> &lines)
+{
+    WarpMask wm = WarpMask::single(warp.slot());
+
+    // --- Validate: every line must be acceptable before any change. ---
+    std::uint32_t new_entries = 0;
+    std::uint32_t slot = warp.slot();
+    for (Addr line : lines) {
+        L1Cache::Line *l = sm_.l1().probe(line);
+        if (l && l->isPm && l->dirty && l->pbEntry != kNoPbEntry) {
+            // A warp stalled on this entry stays stalled until the line
+            // is flushed (paper: "until PBk is persisted") — skip the
+            // hazard recomputation on retries.
+            if (stallEntry_[slot] == l->pbEntry) {
+                stats_.stat("coalesce_stalls").inc();
+                return HookResult::StallRetry;
+            }
+            // Coalescing past one of this warp's ordering points is
+            // only a PMO hazard when the warp has *other* buffered
+            // persists the new store must follow; a lone entry commits
+            // atomically with the new data (this is what keeps a
+            // threadblock's reduction inside the L1, Section 7.2).
+            // Acquire-derived ordering additionally forbids merging
+            // into entries at or below the warp's acquire boundary —
+            // the released data may sit after them in the FIFO — except
+            // into the acquired line itself (atomic with the release).
+            bool acq_hazard = false;
+            if (l->pbEntry <= acqBoundary_[slot]) {
+                acq_hazard = std::find(acqLines_[slot].begin(),
+                                       acqLines_[slot].end(), line) ==
+                             acqLines_[slot].end();
+            }
+            if (pb_.orderingAfter(l->pbEntry, wm) &&
+                    (acq_hazard ||
+                     pb_.coalesceHazard(l->pbEntry, warp.slot()))) {
+                edm_ |= wm;
+                stats_.stat("coalesce_stalls").inc();
+                requestDrainThrough(l->pbEntry);
+                stallEntry_[slot] = l->pbEntry;
+                return HookResult::StallRetry;
+            }
+            continue;
+        }
+        ++new_entries;
+        if (!l) {
+            L1Cache::Line *victim = sm_.l1().victimFor(line);
+            if (victim && victim->dirty && victim->isPm &&
+                    !mayEvictPm(warp, *victim)) {
+                return HookResult::StallRetry;
+            }
+        }
+    }
+    // Admission: a full buffer stalls the warp until the drain frees
+    // room. One instruction's line set is admitted as a unit once there
+    // is any room (a warp-wide store may touch up to 32 lines — an
+    // atomic all-or-nothing check would deadlock when the PB is smaller
+    // than the instruction's footprint), so the PB may briefly overshoot
+    // its nominal capacity, as hardware write-combining queues do.
+    if (new_entries > 0 && pb_.persistCount() >= pb_.capacity()) {
+        edm_ |= wm;
+        stats_.stat("pb_full_stalls").inc();
+        requestDrainThrough(pb_.lastId());
+        return HookResult::StallRetry;
+    }
+    edm_.clear(slot);
+    stallEntry_[slot] = 0;
+    return HookResult::Proceed;
+}
+
+void
+SbrpModel::performLines(Warp &warp, const std::vector<Addr> &lines,
+                        const std::function<void(Addr)> &write)
+{
+    WarpMask wm = WarpMask::single(warp.slot());
+    for (Addr line : lines) {
+        L1Cache::Line *l = sm_.l1().probe(line);
+        if (l && l->isPm && l->dirty && l->pbEntry != kNoPbEntry) {
+            sm_.l1().lookup(line, sm_.now());
+            pb_.coalesce(l->pbEntry, wm);
+            stats_.stat("coalesced_persists").inc();
+            write(line);
+            continue;
+        }
+        if (!l) {
+            L1Cache::Line *victim = sm_.l1().victimFor(line);
+            if (victim && victim->dirty) {
+                if (victim->isPm)
+                    evictPmNow(*victim);
+                else
+                    sm_.fabric().volatileWriteback(victim->lineAddr,
+                                                   sm_.now());
+            }
+            L1Cache::Eviction ev;
+            l = sm_.l1().allocate(line, sm_.now(), &ev);
+        } else {
+            sm_.l1().lookup(line, sm_.now());
+        }
+        l->dirty = true;
+        l->isPm = true;
+        l->pbEntry = pb_.pushPersist(line, wm);
+        // Write the line's data (functional + trace) *now*: a later
+        // line of this instruction may capacity-evict this one.
+        write(line);
+    }
+}
+
+HookResult
+SbrpModel::persistStore(Warp &warp, const WarpInstr &in,
+                        const std::vector<Addr> &lines)
+{
+    HookResult r = admitLines(warp, lines);
+    if (r != HookResult::Proceed)
+        return r;
+
+    performLines(warp, lines, [&](Addr line) {
+        std::uint32_t eff = warp.effActive(in);
+        for (std::uint32_t l = 0; l < 32; ++l) {
+            if (!(eff & (1u << l)))
+                continue;
+            Addr a = warp.effAddr(in, l);
+            if (addr_map::lineBase(a, cfg_.lineBytes) != line)
+                continue;
+            sm_.mem().write32(a, warp.operand(in, l));
+            if (sm_.trace()) {
+                std::uint64_t id = sm_.trace()->recordPersist(
+                    warp.thread(l), warp.block(), a);
+                sm_.trace()->notePendingStore(line, id);
+            }
+        }
+    });
+    return HookResult::Proceed;
+}
+
+HookResult
+SbrpModel::fence(Warp &warp, Scope scope)
+{
+    // Conventional scoped fences affect PM writes too (Section 5.2); the
+    // strongest reading is a durability fence for the issuing warp.
+    (void)scope;
+    return dFence(warp);
+}
+
+HookResult
+SbrpModel::oFence(Warp &warp)
+{
+    WarpMask wm = WarpMask::single(warp.slot());
+    std::uint64_t id = pb_.pushOrder(PbType::OFence, wm);
+    if (cfg_.flushPolicy == FlushPolicy::Lazy)
+        requestDrainThrough(id);   // Lazy: flush only at ordering points.
+    stats_.stat("ofences").inc();
+    return HookResult::Proceed;
+}
+
+HookResult
+SbrpModel::dFence(Warp &warp)
+{
+    WarpMask wm = WarpMask::single(warp.slot());
+    std::uint64_t id = pb_.pushOrder(PbType::DFence, wm);
+    odm_ |= wm;
+    requestDrainThrough(id);
+    stats_.stat("dfences").inc();
+    drain();
+    if (!odm_.overlaps(wm) && !edm_.overlaps(wm))
+        return HookResult::Proceed;   // Everything already durable.
+    return HookResult::StallComplete;
+}
+
+HookResult
+SbrpModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags, Scope scope)
+{
+    WarpMask wm = WarpMask::single(warp.slot());
+    if (scope == Scope::Block) {
+        // Buffered release: the released variable's write behaves like a
+        // normal persist store (it lands dirty in the L1 with a PB
+        // entry, so same-block acquirers hit in the L1 — this is what
+        // lets a threadblock's reduction run out of the L1, Section
+        // 7.2), and a RelBlock marker records the ordering point. The
+        // value publishes immediately; durability order is enforced
+        // lazily by the FIFO drain + FSM. The SM performs the
+        // functional flag writes after Proceed.
+        std::vector<Addr> pm_lines;
+        for (const ReleaseFlag &f : flags) {
+            if (!addr_map::isNvm(f.addr))
+                continue;
+            Addr line = addr_map::lineBase(f.addr, cfg_.lineBytes);
+            if (std::find(pm_lines.begin(), pm_lines.end(), line) ==
+                    pm_lines.end()) {
+                pm_lines.push_back(line);
+            }
+        }
+        if (!pm_lines.empty()) {
+            HookResult r = admitLines(warp, pm_lines);
+            if (r != HookResult::Proceed)
+                return r;
+        }
+
+        // Publish the volatile flags and perform the PM flag writes
+        // (data + trace), line by line.
+        for (const ReleaseFlag &f : flags) {
+            if (addr_map::isNvm(f.addr))
+                continue;
+            if (sm_.trace()) {
+                std::uint64_t rid = sm_.trace()->recordRel(
+                    f.tid, f.block, f.addr, Scope::Block);
+                sm_.trace()->publishRel(f.addr, rid);
+            }
+            sm_.mem().write32(f.addr, f.value);
+        }
+        if (!pm_lines.empty()) {
+            performLines(warp, pm_lines, [&](Addr line) {
+                for (const ReleaseFlag &f : flags) {
+                    if (!addr_map::isNvm(f.addr) ||
+                            addr_map::lineBase(f.addr, cfg_.lineBytes) !=
+                                line) {
+                        continue;
+                    }
+                    sm_.mem().write32(f.addr, f.value);
+                    if (sm_.trace()) {
+                        std::uint64_t pid = sm_.trace()->recordPersist(
+                            f.tid, f.block, f.addr);
+                        sm_.trace()->notePendingStore(line, pid);
+                        std::uint64_t rid = sm_.trace()->recordRel(
+                            f.tid, f.block, f.addr, Scope::Block);
+                        sm_.trace()->publishRel(f.addr, rid);
+                    }
+                }
+            });
+        }
+        std::uint64_t id = pb_.pushOrder(PbType::RelBlock, wm);
+        if (cfg_.flushPolicy == FlushPolicy::Lazy)
+            requestDrainThrough(id);
+        stats_.stat("rel_block").inc();
+        return HookResult::Proceed;
+    }
+
+    // Device scope: stall the warp (ODM), drain eagerly, publish the
+    // flag only once every prior persist is durable.
+    std::uint64_t id = pb_.pushOrder(PbType::RelDev, wm, std::move(flags));
+    odm_ |= wm;
+    requestDrainThrough(id);
+    stats_.stat("rel_dev").inc();
+    drain();
+    if (!odm_.overlaps(wm) && !edm_.overlaps(wm))
+        return HookResult::Proceed;
+    return HookResult::StallComplete;
+}
+
+void
+SbrpModel::pAcqSuccess(Warp &warp, const WarpInstr &in)
+{
+    Scope scope = in.scope;
+    WarpMask wm = WarpMask::single(warp.slot());
+
+    // Record the acquire boundary and the acquired PM lines before
+    // pushing the marker (the marker's own id is irrelevant).
+    std::uint32_t slot = warp.slot();
+    acqBoundary_[slot] = pb_.lastId();
+    acqLines_[slot].clear();
+    std::uint32_t eff = warp.effActive(in);
+    for (std::uint32_t l = 0; l < 32; ++l) {
+        if (!(eff & (1u << l)))
+            continue;
+        Addr a = warp.effAddr(in, l);
+        if (!addr_map::isNvm(a))
+            continue;
+        Addr line = addr_map::lineBase(a, cfg_.lineBytes);
+        if (std::find(acqLines_[slot].begin(), acqLines_[slot].end(),
+                      line) == acqLines_[slot].end()) {
+            acqLines_[slot].push_back(line);
+        }
+    }
+
+    pb_.pushOrder(scope == Scope::Block ? PbType::AcqBlock
+                                        : PbType::AcqDev, wm);
+    stats_.stat(scope == Scope::Block ? "acq_block" : "acq_dev").inc();
+
+    if (scope != Scope::Block) {
+        // Device-scoped acquire: drop (clean) PM lines so reads observe
+        // the releaser's data through the shared L2, not a stale copy.
+        std::vector<Addr> clean;
+        sm_.l1().forEachLine([&](L1Cache::Line &l) {
+            if (l.isPm && !l.dirty)
+                clean.push_back(l.lineAddr);
+        });
+        for (Addr a : clean)
+            sm_.l1().invalidate(a);
+        stats_.stat("acq_invalidations").inc(clean.size());
+    }
+}
+
+bool
+SbrpModel::mayEvictPm(Warp &warp, const L1Cache::Line &victim)
+{
+    sbrp_assert(victim.pbEntry != kNoPbEntry,
+                "dirty PM line without a PB entry");
+    PersistBuffer::Entry *e = pb_.find(victim.pbEntry);
+    sbrp_assert(e && e->valid, "dirty PM line with a stale PB entry");
+    if (pb_.orderingBefore(e->id, e->warps)) {
+        // Flushing now would persist this line ahead of writes it is
+        // ordered after. Stall the evicting warp (EDM) and drain.
+        edm_ |= WarpMask::single(warp.slot());
+        stats_.stat("evict_veto").inc();
+        requestDrainThrough(e->id);
+        return false;
+    }
+    return true;
+}
+
+void
+SbrpModel::evictPmNow(const L1Cache::Line &victim)
+{
+    sbrp_assert(victim.pbEntry != kNoPbEntry,
+                "evicting dirty PM line without a PB entry");
+    pb_.invalidate(victim.pbEntry);
+    stats_.stat("capacity_evictions").inc();
+    flushTracked(victim.lineAddr);
+}
+
+void
+SbrpModel::drain()
+{
+    while (PersistBuffer::Entry *h = pb_.head()) {
+        switch (h->type) {
+          case PbType::Persist: {
+            if (!fsmAllowsFlush(h->warps))
+                return;   // Wait for the hazard's acks.
+            bool forced = h->id <= drainUntil_;
+            if (!forced && actr_ >= allowance())
+                return;
+            Addr line = h->lineAddr;
+            pb_.popHead();
+            flushTracked(line);
+            break;
+          }
+          case PbType::OFence:
+          case PbType::AcqBlock:
+          case PbType::AcqDev:
+            noteOrderingPoint(h->warps);
+            pb_.popHead();
+            break;
+          case PbType::RelBlock:
+            // A release imposes no PMO on the *releaser's* later
+            // persists (Box 2): the inter-thread edge is enforced on
+            // the acquirer side — its Acq entry pops after the
+            // releaser's pre-release entries flushed (FIFO), so the
+            // acquirer's barrier covers their acks. No FSM bits here.
+            pb_.popHead();
+            break;
+          case PbType::DFence:
+          case PbType::RelDev: {
+            PendingDurability p;
+            p.warps = h->warps;
+            p.flags = std::move(h->flags);
+            p.barrierSeq = flushSeq_;
+            odm_ &= ~p.warps;
+            edm_ |= p.warps;
+            pending_.push_back(std::move(p));
+            pb_.popHead();
+            settlePending();
+            break;
+          }
+        }
+    }
+    if (pb_.empty())
+        drainUntil_ = 0;
+}
+
+void
+SbrpModel::publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
+                               WarpMask warps)
+{
+    auto wait = std::make_shared<FlagWait>();
+    wait->warps = warps;
+
+    for (const ReleaseFlag &f : flags) {
+        if (!addr_map::isNvm(f.addr)) {
+            if (sm_.trace() && f.relId != 0)
+                sm_.trace()->publishRel(f.addr, f.relId);
+            sm_.mem().write32(f.addr, f.value);
+            continue;
+        }
+        // PM flag: persist the new value first; publish on ack so no
+        // remote acquirer can observe a value that is not yet durable.
+        ++wait->remaining;
+        std::vector<std::uint64_t> ids;
+        if (sm_.trace() && f.persistId != 0)
+            ids.push_back(f.persistId);
+
+        std::uint64_t seq = ++flushSeq_;
+        outstanding_.insert(seq);
+        ++actr_;
+        stats_.stat("flag_persists").inc();
+        sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
+                                      sm_.now(), [this, f, wait, seq]() {
+            if (sm_.trace() && f.relId != 0)
+                sm_.trace()->publishRel(f.addr, f.relId);
+            sm_.mem().write32(f.addr, f.value);
+            if (--wait->remaining == 0)
+                resumeWarps(wait->warps);
+            sbrp_assert(actr_ > 0, "flag ack underflow");
+            --actr_;
+            outstanding_.erase(seq);
+            onAck();
+        });
+    }
+
+    if (wait->remaining == 0)
+        resumeWarps(warps);
+}
+
+void
+SbrpModel::resumeWarps(WarpMask warps)
+{
+    edm_ &= ~warps;
+    for (std::uint32_t s = 0; s < 32; ++s) {
+        if (warps.test(s))
+            sm_.resumeWarp(s);
+    }
+}
+
+void
+SbrpModel::settlePending()
+{
+    std::vector<PendingDurability> keep;
+    std::vector<PendingDurability> ready;
+    for (PendingDurability &p : pending_) {
+        if (barrierPassed(p.barrierSeq))
+            ready.push_back(std::move(p));
+        else
+            keep.push_back(std::move(p));
+    }
+    pending_ = std::move(keep);
+    for (PendingDurability &p : ready)
+        publishFlagsDurable(p.flags, p.warps);
+}
+
+void
+SbrpModel::tick(Cycle now)
+{
+    (void)now;
+    drain();
+}
+
+void
+SbrpModel::drainAll()
+{
+    requestDrainThrough(pb_.lastId());
+    drain();
+}
+
+bool
+SbrpModel::drained() const
+{
+    return pb_.empty() && actr_ == 0 && pending_.empty();
+}
+
+void
+SbrpModel::onAck()
+{
+    if (!cfg_.preciseFsm && actr_ == 0)
+        fsm_.clearAll();
+    settlePending();
+    drain();
+}
+
+} // namespace sbrp

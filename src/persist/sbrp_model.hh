@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Scoped Buffered Release Persistency (Sections 5 and 6 of the paper).
+ *
+ * Per-SM hardware state:
+ *  - a FIFO persist buffer (PB) tracking persists per warp,
+ *  - ODM (order delay mask): warps stalled enforcing ordering
+ *    (dFence / device-scoped pRel),
+ *  - EDM (eviction delay mask): warps stalled because an eviction or a
+ *    coalescing attempt would violate PMO,
+ *  - FSM (flush status mask): warps whose flushed persists are still
+ *    unacknowledged — later persists from those warps wait,
+ *  - ACTR: count of flushed, unacknowledged persists.
+ *
+ * Flush scheduling follows cfg.flushPolicy: the window policy (default)
+ * keeps `window` persists outstanding; eager flushes whenever ordering
+ * allows; lazy flushes only when an ordering operation demands it.
+ *
+ * FSM hazard precision (cfg.preciseFsm): with the paper's single ACTR,
+ * an FSM-blocked persist waits for a full quiesce (ACTR == 0). The
+ * precise variant tags every flush with a sequence number and records,
+ * per warp, the last flush issued before its ordering point; a blocked
+ * persist then waits only for those earlier flushes to ack. Both
+ * variants are implemented; the figure10c binary ablates them.
+ */
+
+#ifndef SBRP_PERSIST_SBRP_MODEL_HH
+#define SBRP_PERSIST_SBRP_MODEL_HH
+
+#include <array>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/bitmask.hh"
+#include "persist/model.hh"
+#include "persist/persist_buffer.hh"
+
+namespace sbrp
+{
+
+class SbrpModel : public PersistencyModel
+{
+  public:
+    SbrpModel(const SystemConfig &cfg, SmServices &sm, StatGroup &stats);
+
+    HookResult persistStore(Warp &warp, const WarpInstr &in,
+                            const std::vector<Addr> &lines) override;
+    HookResult fence(Warp &warp, Scope scope) override;
+    HookResult oFence(Warp &warp) override;
+    HookResult dFence(Warp &warp) override;
+    HookResult pRel(Warp &warp, std::vector<ReleaseFlag> flags,
+                    Scope scope) override;
+    void pAcqSuccess(Warp &warp, const WarpInstr &in) override;
+    bool mayEvictPm(Warp &warp, const L1Cache::Line &victim) override;
+    void evictPmNow(const L1Cache::Line &victim) override;
+    void tick(Cycle now) override;
+    void drainAll() override;
+    bool drained() const override;
+
+    // --- Introspection (tests) ---
+    const PersistBuffer &pb() const { return pb_; }
+    WarpMask odm() const { return odm_; }
+    WarpMask edm() const { return edm_; }
+    WarpMask fsm() const { return fsm_; }
+
+  protected:
+    void onAck() override;
+
+  private:
+    /** Warps parked until their durability barrier clears, plus flags
+        to publish afterwards (dFence / device-scoped pRel). */
+    struct PendingDurability
+    {
+        WarpMask warps;
+        std::vector<ReleaseFlag> flags;
+        std::uint64_t barrierSeq = 0;   ///< Flushes <= this must ack.
+    };
+
+    /** Device-scoped release whose PM flag write must ack first. */
+    struct FlagWait
+    {
+        WarpMask warps;
+        std::uint32_t remaining = 0;
+    };
+
+    /** Validate phase: may these lines be admitted right now? */
+    HookResult admitLines(Warp &warp, const std::vector<Addr> &lines);
+
+    /**
+     * Perform phase: allocate/coalesce each line and invoke `write`
+     * for it immediately (functional data + trace) before moving on.
+     */
+    void performLines(Warp &warp, const std::vector<Addr> &lines,
+                      const std::function<void(Addr)> &write);
+
+    /** Max persists the drain engine may keep outstanding right now. */
+    std::uint32_t allowance() const;
+
+    /** Drains the PB head as far as ordering and allowance permit. */
+    void drain();
+
+    /** Flushes one line, tagging it with a flush sequence number. */
+    void flushTracked(Addr line_addr);
+
+    /** Earliest still-unacknowledged flush sequence (max if none). */
+    std::uint64_t minOutstanding() const;
+
+    /** True once every flush issued at or before `seq` has acked. */
+    bool barrierPassed(std::uint64_t seq) const
+    { return minOutstanding() > seq; }
+
+    /** Records an ordering point for `warps` (FSM + barrier seqs). */
+    void noteOrderingPoint(WarpMask warps);
+
+    /**
+     * Whether a persist by `warps` may flush now given the FSM; clears
+     * FSM bits whose hazard has passed.
+     */
+    bool fsmAllowsFlush(WarpMask warps);
+
+    /** Settles pending durability groups whose barrier passed. */
+    void settlePending();
+
+    /**
+     * Publishes a settled device-scoped release's flags. PM flag writes
+     * are sent to the persistence domain first and only become visible
+     * (functional write) on ack, so a remote acquirer can never act on
+     * a value that is not yet durable.
+     */
+    void publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
+                             WarpMask warps);
+
+    void resumeWarps(WarpMask warps);
+
+    /** Force drain of everything at or before the given entry id. */
+    void requestDrainThrough(std::uint64_t id);
+
+    PersistBuffer pb_;
+    WarpMask odm_;
+    WarpMask edm_;
+    WarpMask fsm_;
+    std::uint64_t drainUntil_ = 0;
+    std::vector<PendingDurability> pending_;
+
+    std::uint64_t flushSeq_ = 0;
+    std::set<std::uint64_t> outstanding_;
+    std::array<std::uint64_t, 32> barrierSeq_{};
+
+    /**
+     * Acquire boundary: the last PB entry id at each warp's most recent
+     * pAcq, plus the PM lines that acquire read. A post-acquire store
+     * must not coalesce into an entry at or below the boundary (the
+     * released data it must follow may sit between that entry and the
+     * acquire) — unless the entry IS the acquired line, whose commit is
+     * atomic with the released value.
+     */
+    std::array<std::uint64_t, 32> acqBoundary_{};
+    std::array<std::vector<Addr>, 32> acqLines_{};
+
+    /** Coalesce-stall memo: the PB entry that blocked each warp. The
+        paper stalls the warp "until PBk is persisted", so retries can
+        short-circuit while that entry still tracks the line. */
+    std::array<std::uint64_t, 32> stallEntry_{};
+};
+
+} // namespace sbrp
+
+#endif // SBRP_PERSIST_SBRP_MODEL_HH

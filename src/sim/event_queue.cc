@@ -1,0 +1,35 @@
+#include "sim/event_queue.hh"
+
+#include <limits>
+#include <utility>
+
+namespace sbrp
+{
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::runUntil(Cycle now)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // priority_queue::top() is const; move out via const_cast is UB,
+        // so copy the callback before popping.
+        Callback cb = heap_.top().cb;
+        heap_.pop();
+        cb();
+    }
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    if (heap_.empty())
+        return std::numeric_limits<Cycle>::max();
+    return heap_.top().when;
+}
+
+} // namespace sbrp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic discrete-event queue used for delayed callbacks
+ * (memory responses, link deliveries) inside the cycle-driven model.
+ */
+
+#ifndef SBRP_SIM_EVENT_QUEUE_HH
+#define SBRP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/**
+ * Min-heap of (cycle, insertion-sequence) ordered callbacks. Ties on the
+ * same cycle fire in insertion order, which keeps simulations fully
+ * deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedules cb to run at absolute cycle `when` (>= now). */
+    void schedule(Cycle when, Callback cb);
+
+    /** Runs every event scheduled at or before `now`. */
+    void runUntil(Cycle now);
+
+    /** Cycle of the earliest pending event; ~0ull when empty. */
+    Cycle nextEventCycle() const;
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Integration tests: the six PM-aware applications run crash-free and
+ * under crash injection on every (model, design) combination, with the
+ * formal PMO checker attached and functional verification of durable
+ * state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/checkpoint.hh"
+#include "apps/hashmap.hh"
+#include "apps/kvs.hh"
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+#include "apps/srad.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+std::unique_ptr<PmApp>
+makeApp(const std::string &name, ModelKind model)
+{
+    if (name == "gpKVS")
+        return std::make_unique<KvsApp>(model, KvsParams::test());
+    if (name == "HM")
+        return std::make_unique<HashmapApp>(model, HashmapParams::test());
+    if (name == "SRAD")
+        return std::make_unique<SradApp>(model, SradParams::test());
+    if (name == "Red")
+        return std::make_unique<ReductionApp>(model,
+                                              ReductionParams::test());
+    if (name == "MQ")
+        return std::make_unique<MultiqueueApp>(model,
+                                               MultiqueueParams::test());
+    if (name == "Scan")
+        return std::make_unique<ScanApp>(model, ScanParams::test());
+    if (name == "Ckpt")
+        return std::make_unique<CheckpointApp>(model,
+                                               CheckpointParams::test());
+    return nullptr;
+}
+
+struct Combo
+{
+    const char *app;
+    ModelKind model;
+    SystemDesign design;
+};
+
+std::string
+comboName(const testing::TestParamInfo<Combo> &info)
+{
+    std::string n = info.param.app;
+    n += "_";
+    n += toString(info.param.model);
+    n += "_";
+    n += toString(info.param.design);
+    // gtest parameter names must be alphanumeric.
+    std::string out;
+    for (char c : n) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> out;
+    for (const char *app :
+         {"gpKVS", "HM", "SRAD", "Red", "MQ", "Scan", "Ckpt"}) {
+        out.push_back({app, ModelKind::Gpm, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::ScopedBarrier,
+                       SystemDesign::PmNear});
+    }
+    return out;
+}
+
+class AppCrashFree : public testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(AppCrashFree, CompletesAndVerifies)
+{
+    const Combo &c = GetParam();
+    auto app = makeApp(c.app, c.model);
+    ASSERT_TRUE(app);
+    SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+
+    AppRunResult r = AppHarness::runCrashFree(*app, cfg, true);
+    EXPECT_GT(r.forwardCycles, 0u);
+    EXPECT_TRUE(r.consistent) << "durable end state is wrong";
+    EXPECT_EQ(r.pmoViolations, 0u) << "hardware violated the PMO model";
+    EXPECT_GT(r.nvmCommits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, AppCrashFree,
+                         testing::ValuesIn(allCombos()), comboName);
+
+class AppCrashRecover : public testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(AppCrashRecover, RecoversConsistently)
+{
+    const Combo &c = GetParam();
+    SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+
+    // Measure the crash-free runtime once, then crash at several points.
+    Cycle total;
+    {
+        auto app = makeApp(c.app, c.model);
+        total = AppHarness::runCrashFree(*app, cfg).forwardCycles;
+    }
+
+    for (double frac : {0.1, 0.35, 0.6, 0.85}) {
+        auto app = makeApp(c.app, c.model);
+        auto at = std::max<Cycle>(1, static_cast<Cycle>(total * frac));
+        AppRunResult r = AppHarness::runCrashRecover(*app, cfg, at, true);
+        EXPECT_TRUE(r.crashed) << "crash at " << at << " did not fire";
+        EXPECT_TRUE(r.consistent)
+            << c.app << " inconsistent after crash at " << at << "/"
+            << total;
+        EXPECT_EQ(r.pmoViolations, 0u)
+            << c.app << " PMO violation with crash at " << at;
+        EXPECT_GT(r.recoveryCycles, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, AppCrashRecover,
+                         testing::ValuesIn(allCombos()), comboName);
+
+/** Checkpoint atomicity: at every crash point, a committed epoch
+    counter names a complete snapshot (checked pre-recovery). */
+TEST(AppRecovery, CheckpointsAreNeverTorn)
+{
+    for (ModelKind m : {ModelKind::Sbrp, ModelKind::Epoch,
+                        ModelKind::ScopedBarrier}) {
+        SystemConfig cfg = SystemConfig::testDefault(m,
+                                                     SystemDesign::PmNear);
+        CheckpointApp probe(m, CheckpointParams::test());
+        Cycle total;
+        {
+            NvmDevice nvm;
+            probe.setupNvm(nvm);
+            GpuSystem gpu(cfg, nvm);
+            probe.setupGpu(gpu);
+            total = gpu.launch(probe.forward()).cycles;
+        }
+        for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+            CheckpointApp app(m, CheckpointParams::test());
+            NvmDevice nvm;
+            app.setupNvm(nvm);
+            {
+                GpuSystem gpu(cfg, nvm);
+                app.setupGpu(gpu);
+                gpu.launch(app.forward(),
+                           std::max<Cycle>(1, Cycle(total * frac)));
+            }
+            EXPECT_TRUE(app.checkpointInvariant(nvm))
+                << toString(m) << " tore a checkpoint at " << frac;
+        }
+    }
+}
+
+/** Native-recovery apps must reach full completion after re-running. */
+TEST(AppRecovery, NativeAppsCompleteAfterRerun)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    for (const char *name : {"SRAD", "Red", "Scan"}) {
+        auto probe = makeApp(name, ModelKind::Sbrp);
+        Cycle total = AppHarness::runCrashFree(*probe, cfg).forwardCycles;
+
+        auto app = makeApp(name, ModelKind::Sbrp);
+        AppRunResult r =
+            AppHarness::runCrashRecover(*app, cfg, total / 2);
+        EXPECT_TRUE(r.consistent) << name;
+        // verifyRecovered == verify for native apps: fully complete.
+    }
+}
+
+/** Logging apps leave no VALID log entries behind after recovery. */
+TEST(AppRecovery, RecoveryIsFasterThanForward)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    auto probe = makeApp("gpKVS", ModelKind::Sbrp);
+    Cycle total = AppHarness::runCrashFree(*probe, cfg).forwardCycles;
+
+    auto app = makeApp("gpKVS", ModelKind::Sbrp);
+    AppRunResult r = AppHarness::runCrashRecover(*app, cfg, total / 2);
+    EXPECT_TRUE(r.consistent);
+    EXPECT_LT(r.recoveryCycles, total)
+        << "undo-log recovery should be cheaper than the forward run";
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the common utilities: logging, warp bitmasks,
+ * statistics, configuration validation, RNG and the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitmask.hh"
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+// --- Logging -----------------------------------------------------------
+
+TEST(Log, FormatSubstitutesInOrder)
+{
+    EXPECT_EQ(log_detail::format("a %s b %s", 1, "x"), "a 1 b x");
+    EXPECT_EQ(log_detail::format("no args"), "no args");
+    EXPECT_EQ(log_detail::format("%s", 42), "42");
+}
+
+TEST(Log, FormatIgnoresExtraArguments)
+{
+    EXPECT_EQ(log_detail::format("one %s only", 1, 2, 3), "one 1 only");
+}
+
+TEST(Log, PanicThrowsPanicError)
+{
+    EXPECT_THROW(sbrp_panic("boom %s", 7), PanicError);
+}
+
+TEST(Log, FatalThrowsFatalError)
+{
+    EXPECT_THROW(sbrp_fatal("bad config %s", "x"), FatalError);
+}
+
+TEST(Log, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(sbrp_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(sbrp_assert(false, "reason %s", 9), PanicError);
+}
+
+TEST(Log, MessagesCarryContext)
+{
+    try {
+        sbrp_fatal("window %s too big", 99);
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("window 99 too big"),
+                  std::string::npos);
+    }
+}
+
+// --- WarpMask ----------------------------------------------------------
+
+TEST(WarpMask, SingleAndTest)
+{
+    for (std::uint32_t s : {0u, 1u, 15u, 31u}) {
+        WarpMask m = WarpMask::single(s);
+        EXPECT_EQ(m.count(), 1);
+        EXPECT_TRUE(m.test(s));
+        EXPECT_FALSE(m.test((s + 1) % 32));
+    }
+}
+
+TEST(WarpMask, SingleOutOfRangePanics)
+{
+    EXPECT_THROW(WarpMask::single(32), PanicError);
+}
+
+TEST(WarpMask, SetClearCount)
+{
+    WarpMask m;
+    EXPECT_TRUE(m.empty());
+    m.set(3);
+    m.set(17);
+    EXPECT_EQ(m.count(), 2);
+    m.clear(3);
+    EXPECT_FALSE(m.test(3));
+    EXPECT_TRUE(m.test(17));
+    m.clearAll();
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(WarpMask, BitwiseOperators)
+{
+    WarpMask a(0b1010);
+    WarpMask b(0b0110);
+    EXPECT_EQ((a | b).raw(), 0b1110u);
+    EXPECT_EQ((a & b).raw(), 0b0010u);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(WarpMask(0b0101)));
+    a |= b;
+    EXPECT_EQ(a.raw(), 0b1110u);
+    a &= WarpMask(0b0110);
+    EXPECT_EQ(a.raw(), 0b0110u);
+    EXPECT_EQ((~WarpMask(0)).raw(), 0xffffffffu);
+}
+
+// --- Stats -------------------------------------------------------------
+
+TEST(Stats, GroupRegistersAndReads)
+{
+    StatGroup g("sm0");
+    g.stat("hits").inc();
+    g.stat("hits").inc(4);
+    EXPECT_EQ(g.value("hits"), 5u);
+    EXPECT_EQ(g.value("unknown"), 0u);
+    g.resetAll();
+    EXPECT_EQ(g.value("hits"), 0u);
+}
+
+TEST(Stats, RegistrySumsByPrefix)
+{
+    StatGroup a("sm0.l1"), b("sm1.l1"), c("fabric");
+    a.stat("read_misses").inc(3);
+    b.stat("read_misses").inc(4);
+    c.stat("read_misses").inc(100);
+    StatRegistry reg;
+    reg.add(&a);
+    reg.add(&b);
+    reg.add(&c);
+    EXPECT_EQ(reg.sum("sm", "read_misses"), 7u);
+    EXPECT_EQ(reg.sum("fabric", "read_misses"), 100u);
+    EXPECT_EQ(reg.sum("gpu", "read_misses"), 0u);
+}
+
+TEST(Stats, DumpListsNonZeroOnly)
+{
+    StatGroup g("x");
+    g.stat("zero");
+    g.stat("one").inc();
+    StatRegistry reg;
+    reg.add(&g);
+    std::string d = reg.dump();
+    EXPECT_NE(d.find("x.one 1"), std::string::npos);
+    EXPECT_EQ(d.find("x.zero"), std::string::npos);
+}
+
+// --- Config ------------------------------------------------------------
+
+TEST(Config, PaperDefaultIsValid)
+{
+    EXPECT_NO_THROW(SystemConfig::paperDefault().validate());
+    EXPECT_NO_THROW(SystemConfig::testDefault().validate());
+}
+
+TEST(Config, PaperGeometryMatchesTable1)
+{
+    SystemConfig cfg = SystemConfig::paperDefault();
+    EXPECT_EQ(cfg.numSms, 30u);
+    EXPECT_EQ(cfg.window, 6u);
+    EXPECT_EQ(cfg.l1Bytes, 64u * 1024);
+    EXPECT_EQ(cfg.l2Bytes, 3u * 1024 * 1024);
+    EXPECT_EQ(cfg.l1Lines(), 512u);
+    EXPECT_EQ(cfg.pbEntries(), 256u);   // 50% coverage default.
+    EXPECT_EQ(cfg.maxThreadsPerBlock, 1024u);
+}
+
+TEST(Config, RejectsBadWarpSize)
+{
+    SystemConfig cfg;
+    cfg.warpSize = 16;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsZeroWindow)
+{
+    SystemConfig cfg;
+    cfg.window = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsBadPbCoverage)
+{
+    SystemConfig cfg;
+    cfg.pbCoverage = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.pbCoverage = 1.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, RejectsNonPowerOfTwoLine)
+{
+    SystemConfig cfg;
+    cfg.lineBytes = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, EadrRequiresPmFar)
+{
+    SystemConfig cfg = SystemConfig::paperDefault(ModelKind::Sbrp,
+                                                  SystemDesign::PmNear);
+    cfg.persistPoint = PersistPoint::Eadr;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.design = SystemDesign::PmFar;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, GpmRequiresPmFar)
+{
+    SystemConfig cfg;
+    cfg.model = ModelKind::Gpm;
+    cfg.design = SystemDesign::PmNear;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, DescribeMentionsModelAndDesign)
+{
+    std::string d = SystemConfig::paperDefault(ModelKind::Epoch,
+                                               SystemDesign::PmFar)
+                        .describe();
+    EXPECT_NE(d.find("epoch"), std::string::npos);
+    EXPECT_NE(d.find("PM-far"), std::string::npos);
+}
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UnitStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+// --- EventQueue --------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.runUntil(25);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameCycleFiresInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&, i]() { order.push_back(i); });
+    q.runUntil(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), ~0ull);
+    q.schedule(17, []() {});
+    EXPECT_EQ(q.nextEventCycle(), 17u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() {
+        ++fired;
+        q.schedule(2, [&]() { ++fired; });
+    });
+    q.runUntil(3);
+    EXPECT_EQ(fired, 2);
+}
+
+// --- Enum names --------------------------------------------------------
+
+TEST(Types, ToStringCoversEnums)
+{
+    EXPECT_STREQ(toString(Space::Nvm), "nvm");
+    EXPECT_STREQ(toString(Scope::Device), "device");
+    EXPECT_STREQ(toString(SystemDesign::PmFar), "far");
+    EXPECT_STREQ(toString(ModelKind::Gpm), "GPM");
+    EXPECT_STREQ(toString(PersistPoint::Eadr), "eADR");
+    EXPECT_STREQ(toString(FlushPolicy::Window), "window");
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Execution-engine tests: each ISA op end-to-end through the SM, plus
+ * scheduling behaviours (barriers with early exits, MSHR merging,
+ * multi-launch, crash refusals, watchdog).
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+struct Rig
+{
+    NvmDevice nvm;
+    SystemConfig cfg;
+    std::unique_ptr<GpuSystem> gpu;
+
+    explicit Rig(ModelKind m = ModelKind::Sbrp,
+                 SystemDesign d = SystemDesign::PmNear)
+        : cfg(SystemConfig::testDefault(m, d))
+    {
+        gpu = std::make_unique<GpuSystem>(cfg, nvm);
+    }
+};
+
+TEST(Engine, MovAddRegisters)
+{
+    Rig rig;
+    Addr out = rig.gpu->gddrAlloc(32 * 4);
+    KernelProgram k("alu", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .movLane(0, [](std::uint32_t l) { return l; })
+        .addImm(0, 100)
+        .mov(1, 3)
+        .addReg(0, 1)
+        .store([&](std::uint32_t l) { return out + 4 * l; }, 0);
+    rig.gpu->launch(k);
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(rig.gpu->mem().read32(out + 4 * l), l + 103);
+}
+
+TEST(Engine, LaneSumAndLaneMax)
+{
+    Rig rig;
+    Addr out = rig.gpu->gddrAlloc(8);
+    KernelProgram k("lanes", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .movLane(0, [](std::uint32_t l) { return l + 1; })
+        .laneSum(0)
+        .movLane(1, [](std::uint32_t l) { return (l * 7) % 31; })
+        .laneMax(1)
+        .store([&](std::uint32_t) { return out; }, 0, mask::lane(0))
+        .store([&](std::uint32_t) { return out + 4; }, 1, mask::lane(0));
+    rig.gpu->launch(k);
+    EXPECT_EQ(rig.gpu->mem().read32(out), 32u * 33 / 2);
+    EXPECT_EQ(rig.gpu->mem().read32(out + 4), 30u);
+}
+
+TEST(Engine, LaneReductionHonoursActiveMask)
+{
+    Rig rig;
+    Addr out = rig.gpu->gddrAlloc(4);
+    KernelProgram k("lanes", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .movLane(0, [](std::uint32_t) { return 1; })
+        .laneSum(0, mask::firstN(5))
+        .store([&](std::uint32_t) { return out; }, 0, mask::lane(0));
+    rig.gpu->launch(k);
+    EXPECT_EQ(rig.gpu->mem().read32(out), 5u);
+}
+
+TEST(Engine, IndexedLoadStore)
+{
+    Rig rig;
+    Addr table = rig.gpu->gddrAlloc(64 * 4);
+    Addr idx = rig.gpu->gddrAlloc(32 * 4);
+    for (std::uint32_t l = 0; l < 32; ++l)
+        rig.gpu->mem().write32(idx + 4 * l, 63 - 2 * (l % 16));
+
+    KernelProgram k("indexed", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .load(0, [&](std::uint32_t l) { return idx + 4 * l; })
+        .movLane(1, [](std::uint32_t l) { return 1000 + l; })
+        .storeIdx([&](std::uint32_t) { return table; }, 1, 0, 4);
+    rig.gpu->launch(k);
+    // Lane l wrote table[63 - 2*(l%16)] = 1000 + l; lanes 16..31 win
+    // (they overwrite lanes 0..15's slots in lane order).
+    EXPECT_EQ(rig.gpu->mem().read32(table + 4 * 63), 1000u + 16);
+    EXPECT_EQ(rig.gpu->mem().read32(table + 4 * 33), 1000u + 31);
+}
+
+TEST(Engine, ExitIfStopsLanePermanently)
+{
+    Rig rig;
+    Addr flag = rig.gpu->gddrAlloc(32 * 4);
+    Addr out = rig.gpu->gddrAlloc(32 * 4);
+    // Odd lanes see a nonzero flag and must exit.
+    for (std::uint32_t l = 0; l < 32; ++l)
+        rig.gpu->mem().write32(flag + 4 * l, l % 2);
+
+    KernelProgram k("exit", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .exitIfNe([&](std::uint32_t l) { return flag + 4 * l; }, 0)
+        .storeImm([&](std::uint32_t l) { return out + 4 * l; },
+                  [](std::uint32_t) { return 7; });
+    rig.gpu->launch(k);
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(rig.gpu->mem().read32(out + 4 * l), l % 2 ? 0u : 7u);
+}
+
+TEST(Engine, BarrierReleasesWholeBlockEvenWithExits)
+{
+    Rig rig;
+    Addr flag = rig.gpu->gddrAlloc(64 * 4);
+    Addr out = rig.gpu->gddrAlloc(4);
+    // Warp 1 exits entirely before the barrier; warp 0 must still pass.
+    for (std::uint32_t l = 0; l < 32; ++l)
+        rig.gpu->mem().write32(flag + 4 * (32 + l), 1);
+
+    KernelProgram k("barrier", 1, 64);
+    WarpBuilder(k.warp(0, 0), 32)
+        .barrier()
+        .storeImm([&](std::uint32_t) { return out; },
+                  [](std::uint32_t) { return 1; }, mask::lane(0));
+    WarpBuilder(k.warp(0, 1), 32)
+        .exitIfNe([&](std::uint32_t l) { return flag + 4 * (32 + l); }, 0)
+        .barrier();
+    auto res = rig.gpu->launch(k);
+    EXPECT_FALSE(res.crashed);
+    EXPECT_EQ(rig.gpu->mem().read32(out), 1u);
+}
+
+TEST(Engine, AtomicAddSerializesLanes)
+{
+    Rig rig;
+    Addr ctr = rig.gpu->gddrAlloc(4);
+    Addr out = rig.gpu->gddrAlloc(32 * 4);
+    KernelProgram k("atomic", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .atomicAdd(0, ctr, 1)
+        .store([&](std::uint32_t l) { return out + 4 * l; }, 0);
+    rig.gpu->launch(k);
+    EXPECT_EQ(rig.gpu->mem().read32(ctr), 32u);
+    // Old values are a permutation of 0..31 in lane order.
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(rig.gpu->mem().read32(out + 4 * l), l);
+}
+
+TEST(Engine, ComputeOccupiesWarp)
+{
+    Rig rig;
+    KernelProgram fast("fast", 1, 32);
+    WarpBuilder(fast.warp(0, 0), 32).mov(0, 1);
+    KernelProgram slow("slow", 1, 32);
+    WarpBuilder(slow.warp(0, 0), 32).compute(500);
+
+    Cycle f = rig.gpu->launch(fast).execCycles;
+    Cycle s = rig.gpu->launch(slow).execCycles;
+    EXPECT_GE(s, f + 400);
+}
+
+TEST(Engine, SpinLoadWaitsForProducer)
+{
+    Rig rig;
+    Addr flag = rig.gpu->gddrAlloc(4);
+    Addr out = rig.gpu->gddrAlloc(4);
+    KernelProgram k("spin", 1, 64);
+    // Warp 1 spins; warp 0 computes a while, then raises the flag.
+    WarpBuilder(k.warp(0, 0), 32)
+        .compute(800)
+        .storeImm([&](std::uint32_t) { return flag; },
+                  [](std::uint32_t) { return 9; }, mask::lane(0));
+    WarpBuilder(k.warp(0, 1), 32)
+        .spinLoad([&](std::uint32_t) { return flag; }, 9, mask::lane(0))
+        .storeImm([&](std::uint32_t) { return out; },
+                  [](std::uint32_t) { return 1; }, mask::lane(0));
+    auto res = rig.gpu->launch(k);
+    EXPECT_GE(res.execCycles, 800u);
+    EXPECT_EQ(rig.gpu->mem().read32(out), 1u);
+}
+
+TEST(Engine, MshrMergesSameLineLoads)
+{
+    Rig rig;
+    Addr data = rig.nvm.allocate("data", 128);
+    KernelProgram k("mshr", 1, 128);   // Four warps hit the same line.
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        WarpBuilder(k.warp(0, w), 32)
+            .load(0, [&](std::uint32_t) { return data; });
+    }
+    rig.gpu->launch(k);
+    // One fabric read: the first warp misses and allocates; the rest
+    // hit under the pending fill (hit-under-miss).
+    EXPECT_EQ(rig.gpu->fabric().stats().value("nvm_reads"), 1u);
+    EXPECT_EQ(rig.gpu->sumSmStat("read_miss_nvm"), 1u);
+    EXPECT_EQ(rig.gpu->sumSmStat("read_hit_nvm"), 3u);
+}
+
+TEST(Engine, SequentialLaunchesShareState)
+{
+    Rig rig;
+    Addr data = rig.nvm.allocate("data", 4);
+    KernelProgram k1("first", 1, 32);
+    WarpBuilder(k1.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t) { return data; },
+                  [](std::uint32_t) { return 5; }, mask::lane(0))
+        .dfence(mask::lane(0));
+    KernelProgram k2("second", 1, 32);
+    WarpBuilder(k2.warp(0, 0), 32)
+        .load(0, [&](std::uint32_t) { return data; })
+        .addImm(0, 1)
+        .store([&](std::uint32_t) { return data; }, 0, mask::lane(0))
+        .dfence(mask::lane(0));
+    rig.gpu->launch(k1);
+    rig.gpu->launch(k2);
+    EXPECT_EQ(rig.nvm.durable().read32(data), 6u);
+}
+
+TEST(Engine, CrashedSystemRefusesLaunch)
+{
+    Rig rig;
+    rig.nvm.allocate("data", 128);
+    KernelProgram k("x", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32).compute(1000);
+    auto res = rig.gpu->launch(k, 10);
+    EXPECT_TRUE(res.crashed);
+    EXPECT_THROW(rig.gpu->launch(k), FatalError);
+}
+
+TEST(Engine, OversizedBlockIsFatal)
+{
+    Rig rig;
+    KernelProgram k("big", 1, 1024 + 0);   // 32 warps > test SM? equal.
+    // Test config has 32 warp slots: 1024 threads fit exactly; build a
+    // kernel needing more via a custom config instead.
+    SystemConfig tiny = SystemConfig::testDefault();
+    tiny.maxWarpsPerSm = 2;
+    GpuSystem gpu(tiny, rig.nvm);
+    KernelProgram k2("big2", 1, 96);   // 3 warps > 2 slots.
+    WarpBuilder(k2.warp(0, 0), 32).mov(0, 1);
+    EXPECT_THROW(gpu.launch(k2), FatalError);
+}
+
+TEST(Engine, WatchdogCatchesDeadlockedSpin)
+{
+    NvmDevice nvm;
+    SystemConfig cfg = SystemConfig::testDefault();
+    cfg.watchdogCycles = 5000;
+    GpuSystem gpu(cfg, nvm);
+    Addr flag = gpu.gddrAlloc(4);
+    KernelProgram k("deadlock", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .spinLoad([&](std::uint32_t) { return flag; }, 1, mask::lane(0));
+    EXPECT_THROW(gpu.launch(k), PanicError);
+}
+
+TEST(Engine, ManyBlocksDispatchInWaves)
+{
+    Rig rig;   // 4 SMs x 32 warp slots.
+    Addr out = rig.nvm.allocate("out", 64 * 128 * 4);
+    KernelProgram k("waves", 64, 128);   // 64 blocks of 4 warps.
+    for (BlockId b = 0; b < 64; ++b) {
+        for (std::uint32_t w = 0; w < 4; ++w) {
+            WarpBuilder(k.warp(b, w), 32)
+                .storeImm([&, b, w](std::uint32_t l) {
+                    return out + 4 * (b * 128 + w * 32 + l);
+                }, [b](std::uint32_t) { return b + 1; });
+        }
+    }
+    auto res = rig.gpu->launch(k);
+    EXPECT_FALSE(res.crashed);
+    for (std::uint32_t b = 0; b < 64; ++b)
+        EXPECT_EQ(rig.nvm.durable().read32(out + 4 * (b * 128)), b + 1);
+}
+
+TEST(Engine, GddrAllocatorAdvances)
+{
+    Rig rig;
+    Addr a = rig.gpu->gddrAlloc(100);
+    Addr b = rig.gpu->gddrAlloc(100);
+    EXPECT_GE(b, a + 256);
+    EXPECT_THROW(rig.gpu->gddrAlloc(0), FatalError);
+}
+
+TEST(Engine, ExecCyclesNeverExceedTotal)
+{
+    Rig rig;
+    Addr data = rig.nvm.allocate("data", 4096);
+    KernelProgram k("drain", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return data + 128 * l; },
+                  [](std::uint32_t l) { return l + 1; });
+    auto res = rig.gpu->launch(k);
+    EXPECT_LE(res.execCycles, res.cycles);
+    // Buffered persists drain after retire under SBRP.
+    EXPECT_LT(res.execCycles, res.cycles);
+}
+
+} // namespace
+} // namespace sbrp

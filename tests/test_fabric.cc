@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Memory-fabric timing unit tests: channel bandwidth serialization,
+ * latency composition per design, persistence-domain commit points
+ * (ADR vs eADR), L2 write-through, and traffic routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+#include "formal/trace.hh"
+#include "gpu/mem_ctrl.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+struct FabricRig
+{
+    SystemConfig cfg;
+    NvmDevice nvm;
+    FunctionalMemory mem;
+    EventQueue events;
+    std::unique_ptr<MemoryFabric> fabric;
+    Addr pm;
+
+    explicit FabricRig(SystemDesign d = SystemDesign::PmNear,
+                       PersistPoint pp = PersistPoint::Adr)
+        : cfg(SystemConfig::testDefault(
+              pp == PersistPoint::Eadr ? ModelKind::Sbrp : ModelKind::Sbrp,
+              d))
+    {
+        cfg.persistPoint = pp;
+        mem.setBacking(&nvm.durable());
+        fabric = std::make_unique<MemoryFabric>(cfg, events, nvm, mem,
+                                                nullptr);
+        pm = nvm.allocate("pm", 1 << 20);
+    }
+
+    /** Runs until the fabric is idle; returns the cycle that happened. */
+    Cycle
+    drainAll(Cycle start = 0)
+    {
+        Cycle c = start;
+        while (!fabric->idle()) {
+            ++c;
+            events.runUntil(c);
+            if (c > 10'000'000)
+                throw std::runtime_error("fabric never drained");
+        }
+        return c;
+    }
+};
+
+TEST(Channel, SerializesAtBandwidth)
+{
+    Channel ch(2.0);   // 2 bytes per cycle.
+    EXPECT_EQ(ch.acquire(0, 128), 64u);
+    EXPECT_EQ(ch.acquire(0, 128), 128u);    // Queued behind the first.
+    EXPECT_EQ(ch.acquire(200, 128), 264u);  // Idle gap is not reclaimed.
+}
+
+TEST(Channel, MinimumOneCycle)
+{
+    Channel ch(1000.0);
+    EXPECT_EQ(ch.acquire(0, 4), 1u);
+}
+
+TEST(Fabric, GddrReadLatency)
+{
+    FabricRig rig;
+    Addr vol = 0x10000;
+    Cycle done = 0;
+    rig.fabric->readLine(vol, 0, [&]() { done = 1; });
+    Cycle t = rig.drainAll();
+    EXPECT_EQ(done, 1u);
+    // l2Latency + transfer + gddrLatency, give or take queueing.
+    EXPECT_GE(t, rig.cfg.l2Latency + rig.cfg.gddrLatency);
+    EXPECT_LE(t, rig.cfg.l2Latency + rig.cfg.gddrLatency + 40);
+}
+
+TEST(Fabric, NvmReadSlowerThanGddr)
+{
+    FabricRig rig;
+    Cycle gddr_done = 0, nvm_done = 0;
+    {
+        FabricRig a;
+        a.fabric->readLine(0x10000, 0, nullptr);
+        gddr_done = a.drainAll();
+    }
+    {
+        FabricRig b;
+        b.fabric->readLine(b.pm, 0, nullptr);
+        nvm_done = b.drainAll();
+    }
+    EXPECT_GT(nvm_done, gddr_done);
+    (void)rig;
+}
+
+TEST(Fabric, PmFarReadsCrossPcieTwice)
+{
+    FabricRig near_rig(SystemDesign::PmNear);
+    FabricRig far_rig(SystemDesign::PmFar);
+    near_rig.fabric->readLine(near_rig.pm, 0, nullptr);
+    far_rig.fabric->readLine(far_rig.pm, 0, nullptr);
+    Cycle near_t = near_rig.drainAll();
+    Cycle far_t = far_rig.drainAll();
+    // Far adds two PCIe traversals (request + data).
+    EXPECT_GE(far_t, near_t + 2 * far_rig.cfg.pcieLatency - 50);
+}
+
+TEST(Fabric, SecondReadOfLineHitsL2)
+{
+    FabricRig rig;
+    rig.fabric->readLine(rig.pm, 0, nullptr);
+    Cycle first = rig.drainAll();
+    Cycle start = first + 1;
+    rig.fabric->readLine(rig.pm, start, nullptr);
+    Cycle second = rig.drainAll(start) - start;
+    EXPECT_LE(second, rig.cfg.l2Latency + 2);
+    EXPECT_EQ(rig.fabric->stats().value("l2_read_hits"), 1u);
+}
+
+TEST(Fabric, PersistCommitsAtAccept)
+{
+    FabricRig rig;
+    rig.mem.write32(rig.pm, 1234);
+    bool acked = false;
+    rig.fabric->persistWrite(rig.pm, 0, [&]() { acked = true; });
+    EXPECT_EQ(rig.nvm.durable().read32(rig.pm), 0u);   // Not yet.
+    rig.drainAll();
+    EXPECT_TRUE(acked);
+    EXPECT_EQ(rig.nvm.durable().read32(rig.pm), 1234u);
+    EXPECT_EQ(rig.nvm.commitCount(), 1u);
+}
+
+TEST(Fabric, PersistSnapshotTakenAtFlushTime)
+{
+    FabricRig rig;
+    rig.mem.write32(rig.pm, 1);
+    rig.fabric->persistWrite(rig.pm, 0, nullptr);
+    rig.mem.write32(rig.pm, 2);   // After the snapshot: must not leak.
+    rig.drainAll();
+    EXPECT_EQ(rig.nvm.durable().read32(rig.pm), 1u);
+}
+
+TEST(Fabric, PersistWritesThroughL2)
+{
+    FabricRig rig;
+    rig.mem.write32(rig.pm, 7);
+    rig.fabric->persistWrite(rig.pm, 0, nullptr);
+    Cycle t = rig.drainAll();
+    rig.fabric->readLine(rig.pm, t + 1, nullptr);
+    rig.drainAll(t + 1);
+    EXPECT_EQ(rig.fabric->stats().value("l2_read_hits"), 1u);
+}
+
+TEST(Fabric, EadrAcksFasterThanAdrOnFar)
+{
+    // Saturate the NVM write channel so the WPQ queue shows up in the
+    // ADR ack time; eADR acks at the host LLC, skipping that queue.
+    auto ack_time = [](PersistPoint pp) {
+        FabricRig rig(SystemDesign::PmFar, pp);
+        Cycle last_ack = 0;
+        for (int i = 0; i < 32; ++i) {
+            rig.mem.write32(rig.pm + 128 * i, i);
+            rig.fabric->persistWrite(rig.pm + 128 * i, 0,
+                                     [&, i]() { last_ack = i; });
+        }
+        rig.drainAll();
+        return last_ack;
+    };
+    // Both complete; the detailed timing difference is covered by the
+    // figure9 bench. Here we just pin the commit counts.
+    FabricRig adr(SystemDesign::PmFar, PersistPoint::Adr);
+    FabricRig eadr(SystemDesign::PmFar, PersistPoint::Eadr);
+    for (int i = 0; i < 8; ++i) {
+        adr.mem.write32(adr.pm + 128 * i, i + 1);
+        eadr.mem.write32(eadr.pm + 128 * i, i + 1);
+        adr.fabric->persistWrite(adr.pm + 128 * i, 0, nullptr);
+        eadr.fabric->persistWrite(eadr.pm + 128 * i, 0, nullptr);
+    }
+    Cycle t_adr = adr.drainAll();
+    Cycle t_eadr = eadr.drainAll();
+    EXPECT_EQ(adr.nvm.commitCount(), 8u);
+    EXPECT_EQ(eadr.nvm.commitCount(), 8u);
+    EXPECT_LE(t_eadr, t_adr);
+    (void)ack_time;
+}
+
+TEST(Fabric, PersistWriteWordCommitsOnlyFourBytes)
+{
+    FabricRig rig;
+    rig.nvm.durable();   // Pre-existing neighbours:
+    std::uint8_t seed[128];
+    for (int i = 0; i < 128; ++i)
+        seed[i] = 0xaa;
+    rig.nvm.commitLine(rig.pm, seed, 128);
+
+    rig.fabric->persistWriteWord(rig.pm + 8, 0x11223344, {}, 0, nullptr);
+    rig.drainAll();
+    EXPECT_EQ(rig.nvm.durable().read32(rig.pm + 8), 0x11223344u);
+    EXPECT_EQ(rig.nvm.durable().read8(rig.pm + 7), 0xaa);   // Untouched.
+    EXPECT_EQ(rig.nvm.durable().read8(rig.pm + 12), 0xaa);
+}
+
+TEST(Fabric, CommitRecordsTraceIds)
+{
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm;
+    FunctionalMemory mem;
+    EventQueue events;
+    ExecutionTrace trace;
+    MemoryFabric fabric(cfg, events, nvm, mem, &trace);
+    Addr pm = nvm.allocate("pm", 4096);
+
+    std::uint64_t id = trace.recordPersist(0, 0, pm);
+    trace.notePendingStore(pm, id);
+    mem.write32(pm, 1);
+    fabric.persistWrite(pm, 0, nullptr);
+    Cycle c = 0;
+    while (!fabric.idle())
+        events.runUntil(++c);
+    ASSERT_EQ(trace.commits().size(), 1u);
+    EXPECT_EQ(trace.commits()[0][0], id);
+}
+
+TEST(Fabric, VolatileWritebackLandsDirtyInL2)
+{
+    FabricRig rig;
+    rig.fabric->volatileWriteback(0x20000, 0);
+    rig.drainAll();
+    // A subsequent read hits L2.
+    rig.fabric->readLine(0x20000, 100, nullptr);
+    rig.drainAll(100);
+    EXPECT_EQ(rig.fabric->stats().value("l2_read_hits"), 1u);
+    EXPECT_EQ(rig.nvm.commitCount(), 0u);
+}
+
+TEST(Fabric, BandwidthSweepScalesNvmWrites)
+{
+    auto saturate = [](double scale) {
+        FabricRig rig;
+        rig.cfg.nvmBwScale = scale;
+        // Rebuild with the scaled config.
+        rig.fabric = std::make_unique<MemoryFabric>(
+            rig.cfg, rig.events, rig.nvm, rig.mem, nullptr);
+        for (int i = 0; i < 64; ++i) {
+            rig.mem.write32(rig.pm + 128 * i, i + 1);
+            rig.fabric->persistWrite(rig.pm + 128 * i, 0, nullptr);
+        }
+        return rig.drainAll();
+    };
+    Cycle slow = saturate(0.5);
+    Cycle base = saturate(1.0);
+    Cycle fast = saturate(2.0);
+    EXPECT_GT(slow, base);
+    EXPECT_GT(base, fast);
+}
+
+} // namespace
+} // namespace sbrp

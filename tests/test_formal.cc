@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Formal-model tests: the execution trace, the PMO checker's two rules
+ * (including deliberate-violation detection — the checker must be able
+ * to fail), scope sufficiency, and the litmus harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+// --- ExecutionTrace ----------------------------------------------------
+
+TEST(Trace, RecordsOpsInOrder)
+{
+    ExecutionTrace t;
+    std::uint64_t p1 = t.recordPersist(0, 0, 0x100);
+    std::uint64_t f = t.recordFence(TraceOp::Kind::OFence, 0, 0,
+                                    Scope::Block);
+    std::uint64_t p2 = t.recordPersist(0, 0, 0x200);
+    EXPECT_LT(p1, f);
+    EXPECT_LT(f, p2);
+    EXPECT_EQ(t.ops().size(), 3u);
+}
+
+TEST(Trace, AcquireMatchesPublishedRelease)
+{
+    ExecutionTrace t;
+    std::uint64_t rel = t.recordRel(0, 0, 0xF0, Scope::Block);
+    // Not yet published: an acquire sees no match.
+    t.recordAcq(1, 0, 0xF0, Scope::Block);
+    EXPECT_EQ(t.ops().back().matchedRel, 0u);
+    t.publishRel(0xF0, rel);
+    t.recordAcq(2, 0, 0xF0, Scope::Block);
+    EXPECT_EQ(t.ops().back().matchedRel, rel);
+}
+
+TEST(Trace, PendingStoresMoveToCommits)
+{
+    ExecutionTrace t;
+    std::uint64_t a = t.recordPersist(0, 0, 0x100);
+    std::uint64_t b = t.recordPersist(0, 0, 0x104);
+    t.notePendingStore(0x100, a);
+    t.notePendingStore(0x100, b);
+    auto ids = t.takePending(0x100);
+    EXPECT_EQ(ids.size(), 2u);
+    EXPECT_TRUE(t.takePending(0x100).empty());
+    t.recordCommit(ids);
+    EXPECT_EQ(t.commits().size(), 1u);
+}
+
+// --- PmoChecker: hand-built traces -------------------------------------
+
+/** Builds a two-persist trace with a fence between, committed in the
+    given order. */
+ExecutionTrace
+fenceTrace(bool in_order)
+{
+    ExecutionTrace t;
+    std::uint64_t a = t.recordPersist(0, 0, 0x100);
+    t.recordFence(TraceOp::Kind::OFence, 0, 0, Scope::Block);
+    std::uint64_t b = t.recordPersist(0, 0, 0x200);
+    if (in_order) {
+        t.recordCommit({a});
+        t.recordCommit({b});
+    } else {
+        t.recordCommit({b});
+        t.recordCommit({a});
+    }
+    return t;
+}
+
+TEST(Checker, FenceRuleAccepted)
+{
+    ExecutionTrace t = fenceTrace(true);
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+    EXPECT_EQ(c.stats().persists, 2u);
+}
+
+TEST(Checker, FenceRuleViolationDetected)
+{
+    ExecutionTrace t = fenceTrace(false);
+    PmoChecker c(t);
+    auto v = c.check();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "ofence");
+}
+
+TEST(Checker, SameBatchCommitIsLegal)
+{
+    // Both sides of a fence committing in the same line batch is fine
+    // (atomic commit).
+    ExecutionTrace t;
+    std::uint64_t a = t.recordPersist(0, 0, 0x100);
+    t.recordFence(TraceOp::Kind::DFence, 0, 0, Scope::Block);
+    std::uint64_t b = t.recordPersist(0, 0, 0x104);
+    t.recordCommit({a, b});
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+}
+
+TEST(Checker, UncommittedEarlierPersistFlagsViolation)
+{
+    // b durable while a (before the fence) never committed: violation.
+    ExecutionTrace t;
+    t.recordPersist(0, 0, 0x100);   // a: never committed.
+    t.recordFence(TraceOp::Kind::OFence, 0, 0, Scope::Block);
+    std::uint64_t b = t.recordPersist(0, 0, 0x200);
+    t.recordCommit({b});
+    PmoChecker c(t);
+    EXPECT_EQ(c.check().size(), 1u);
+}
+
+TEST(Checker, UnorderedPersistsNeverFlagged)
+{
+    ExecutionTrace t;
+    std::uint64_t a = t.recordPersist(0, 0, 0x100);
+    std::uint64_t b = t.recordPersist(0, 0, 0x200);
+    t.recordCommit({b});
+    t.recordCommit({a});
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+}
+
+TEST(Checker, FencesOfOtherThreadsDoNotOrderMine)
+{
+    ExecutionTrace t;
+    std::uint64_t a = t.recordPersist(0, 0, 0x100);
+    t.recordFence(TraceOp::Kind::OFence, 1, 0, Scope::Block);   // T1!
+    std::uint64_t b = t.recordPersist(0, 0, 0x200);
+    t.recordCommit({b});
+    t.recordCommit({a});
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+}
+
+ExecutionTrace
+relAcqTrace(Scope rel_scope, BlockId acq_block, bool in_order)
+{
+    ExecutionTrace t;
+    std::uint64_t w1 = t.recordPersist(0, 0, 0x100);
+    std::uint64_t rel = t.recordRel(0, 0, 0xF0, rel_scope);
+    t.publishRel(0xF0, rel);
+    t.recordAcq(64, acq_block, 0xF0, rel_scope);
+    std::uint64_t w2 = t.recordPersist(64, acq_block, 0x200);
+    if (in_order) {
+        t.recordCommit({w1});
+        t.recordCommit({w2});
+    } else {
+        t.recordCommit({w2});
+        t.recordCommit({w1});
+    }
+    return t;
+}
+
+TEST(Checker, RelAcqAccepted)
+{
+    ExecutionTrace t = relAcqTrace(Scope::Block, 0, true);
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+    EXPECT_EQ(c.stats().relAcqEdgesChecked, 1u);
+}
+
+TEST(Checker, RelAcqViolationDetected)
+{
+    ExecutionTrace t = relAcqTrace(Scope::Block, 0, false);
+    PmoChecker c(t);
+    auto v = c.check();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "rel-acq");
+}
+
+TEST(Checker, TooNarrowScopeImposesNoEdge)
+{
+    // Section 5.3's scoped persistency bug: block-scoped release across
+    // different blocks — the formal model has no edge, so even the
+    // "wrong" commit order is accepted (the bug is in the program).
+    ExecutionTrace t = relAcqTrace(Scope::Block, 1, false);
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+    EXPECT_EQ(c.stats().relAcqEdgesChecked, 0u);
+}
+
+TEST(Checker, DeviceScopeCoversBlocks)
+{
+    ExecutionTrace t = relAcqTrace(Scope::Device, 1, false);
+    PmoChecker c(t);
+    EXPECT_EQ(c.check().size(), 1u);
+}
+
+TEST(Checker, UnmatchedAcquireImposesNothing)
+{
+    ExecutionTrace t;
+    std::uint64_t w1 = t.recordPersist(0, 0, 0x100);
+    t.recordRel(0, 0, 0xF0, Scope::Block);   // Never published.
+    t.recordAcq(64, 0, 0xF0, Scope::Block);
+    std::uint64_t w2 = t.recordPersist(64, 0, 0x200);
+    t.recordCommit({w2});
+    t.recordCommit({w1});
+    PmoChecker c(t);
+    EXPECT_TRUE(c.check().empty());
+}
+
+TEST(Checker, TransitivityViaTotalOrder)
+{
+    // a -of-> b in T0; b released to T1 which persists c. Committing
+    // c before a violates the chain; the per-edge checks catch it
+    // because the commit order is total.
+    ExecutionTrace t;
+    std::uint64_t a = t.recordPersist(0, 0, 0x100);
+    t.recordFence(TraceOp::Kind::OFence, 0, 0, Scope::Block);
+    std::uint64_t b = t.recordPersist(0, 0, 0x200);
+    std::uint64_t rel = t.recordRel(0, 0, 0xF0, Scope::Block);
+    t.publishRel(0xF0, rel);
+    t.recordAcq(33, 0, 0xF0, Scope::Block);
+    std::uint64_t c_id = t.recordPersist(33, 0, 0x300);
+    t.recordCommit({c_id});
+    t.recordCommit({a});
+    t.recordCommit({b});
+    PmoChecker c(t);
+    // b-before-c is violated (direct rel-acq edge); a-before-b holds.
+    auto v = c.check();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "rel-acq");
+}
+
+// --- Litmus harness ----------------------------------------------------
+
+TEST(Litmus, ReportsCrashFreeCyclesAndRuns)
+{
+    LitmusScenario s(
+        "basic",
+        [](NvmDevice &nvm) { nvm.allocate("x", 128); },
+        [](NvmDevice &nvm) {
+            KernelProgram k("k", 1, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return nvm.open("x").base; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0))
+                .dfence(mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool crashed) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            return crashed ? (x == 0 || x == 1) : x == 1;
+        });
+    LitmusReport rep = s.run(SystemConfig::testDefault(), {0.5});
+    EXPECT_EQ(rep.runs.size(), 2u);
+    EXPECT_GT(rep.crashFreeCycles, 0u);
+    EXPECT_FALSE(rep.runs[0].crashed);
+    EXPECT_TRUE(rep.runs[1].crashed);
+    EXPECT_TRUE(rep.allOk());
+    EXPECT_EQ(rep.totalViolations(), 0u);
+}
+
+TEST(Litmus, JudgeFailureIsReported)
+{
+    LitmusScenario s(
+        "impossible",
+        [](NvmDevice &nvm) { nvm.allocate("x", 128); },
+        [](NvmDevice &nvm) {
+            (void)nvm;
+            KernelProgram k("k", 1, 32);
+            WarpBuilder(k.warp(0, 0), 32).mov(0, 1);
+            return k;
+        },
+        [](const NvmDevice &, bool) { return false; });
+    LitmusReport rep = s.run(SystemConfig::testDefault(), {});
+    EXPECT_FALSE(rep.allOk());
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * GpuSystem-level behaviours: cumulative clocks across launches, stat
+ * aggregation, power-cycle workflows over one NvmDevice, namespace
+ * persistence, and block dispatch balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+KernelProgram
+tinyKernel(Addr data)
+{
+    KernelProgram k("tiny", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([data](std::uint32_t l) { return data + 4 * l; },
+                  [](std::uint32_t l) { return l + 1; })
+        .dfence();
+    return k;
+}
+
+TEST(GpuSystem, ClockAccumulatesAcrossLaunches)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    GpuSystem gpu(SystemConfig::testDefault(), nvm);
+    EXPECT_EQ(gpu.nowCycle(), 0u);
+    auto r1 = gpu.launch(tinyKernel(data));
+    Cycle after1 = gpu.nowCycle();
+    EXPECT_EQ(after1, r1.cycles);
+    auto r2 = gpu.launch(tinyKernel(data));
+    EXPECT_EQ(gpu.nowCycle(), after1 + r2.cycles);
+}
+
+TEST(GpuSystem, SumSmStatAggregates)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    GpuSystem gpu(SystemConfig::testDefault(), nvm);
+    gpu.launch(tinyKernel(data));
+    EXPECT_GT(gpu.sumSmStat("instructions"), 0u);
+    EXPECT_GT(gpu.sumSmStat("persist_stores"), 0u);
+    EXPECT_EQ(gpu.sumSmStat("no_such_counter"), 0u);
+}
+
+TEST(GpuSystem, StatsDumpMentionsFabricAndSms)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    GpuSystem gpu(SystemConfig::testDefault(), nvm);
+    gpu.launch(tinyKernel(data));
+    std::string d = gpu.stats().dump();
+    EXPECT_NE(d.find("fabric.persist_writes"), std::string::npos);
+    EXPECT_NE(d.find("sm0.instructions"), std::string::npos);
+}
+
+TEST(GpuSystem, PowerCycleKeepsNamespaceAndDurableData)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("survivor", 256);
+    {
+        GpuSystem gpu(SystemConfig::testDefault(), nvm);
+        gpu.launch(tinyKernel(data));
+    }   // Power off.
+    {
+        GpuSystem gpu(SystemConfig::testDefault(), nvm);
+        EXPECT_EQ(nvm.open("survivor").base, data);
+        // The fresh GPU reads durable contents through its volatile view.
+        EXPECT_EQ(gpu.mem().read32(data + 4), 2u);
+        // And can extend them.
+        KernelProgram k("extend", 1, 32);
+        WarpBuilder(k.warp(0, 0), 32)
+            .load(0, [data](std::uint32_t l) { return data + 4 * l; })
+            .addImm(0, 100)
+            .store([data](std::uint32_t l) { return data + 4 * l; }, 0)
+            .dfence();
+        gpu.launch(k);
+    }
+    EXPECT_EQ(nvm.durable().read32(data + 4), 102u);
+}
+
+TEST(GpuSystem, ModelsCanBeSwappedAcrossPowerCycles)
+{
+    // Write under SBRP, recover/extend under the epoch model: the
+    // durable format is model-independent.
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    {
+        GpuSystem gpu(SystemConfig::testDefault(ModelKind::Sbrp,
+                                                SystemDesign::PmNear),
+                      nvm);
+        gpu.launch(tinyKernel(data));
+    }
+    {
+        GpuSystem gpu(SystemConfig::testDefault(ModelKind::Epoch,
+                                                SystemDesign::PmNear),
+                      nvm);
+        KernelProgram k("epoch_read", 1, 32);
+        WarpBuilder(k.warp(0, 0), 32)
+            .load(0, [data](std::uint32_t l) { return data + 4 * l; })
+            .store([data](std::uint32_t l) { return data + 128 + 4 * l; },
+                   0)
+            .fence(Scope::System);
+        gpu.launch(k);
+    }
+    EXPECT_EQ(nvm.durable().read32(data + 128), 1u);
+}
+
+TEST(GpuSystem, DispatchBalancesBlocksAcrossSms)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 64 * 128);
+    SystemConfig cfg = SystemConfig::testDefault();   // 4 SMs.
+    GpuSystem gpu(cfg, nvm);
+    KernelProgram k("spread", 8, 32);
+    for (BlockId b = 0; b < 8; ++b) {
+        WarpBuilder(k.warp(b, 0), 32)
+            .storeImm([&, b](std::uint32_t l) {
+                return data + 128ull * b + 4 * (l % 32);
+            }, [](std::uint32_t l) { return l + 1; })
+            .compute(200);
+    }
+    gpu.launch(k);
+    // Every SM should have hosted at least one block.
+    for (SmId i = 0; i < cfg.numSms; ++i)
+        EXPECT_GE(gpu.sm(i).stats().value("blocks_launched"), 1u) << i;
+}
+
+TEST(GpuSystem, TraceIsOptional)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    ExecutionTrace trace;
+    GpuSystem gpu(SystemConfig::testDefault(), nvm, &trace);
+    gpu.launch(tinyKernel(data));
+    EXPECT_GT(trace.size(), 0u);
+    EXPECT_FALSE(trace.commits().empty());
+}
+
+TEST(GpuSystem, CrashZeroMeansNoCrash)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    GpuSystem gpu(SystemConfig::testDefault(), nvm);
+    auto r = gpu.launch(tinyKernel(data), GpuSystem::kNoCrash);
+    EXPECT_FALSE(r.crashed);
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the device ISA, kernel programs and the warp builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "gpu/isa.hh"
+#include "gpu/kernel.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+TEST(Isa, OpClassification)
+{
+    EXPECT_TRUE(isMemOp(Op::Load));
+    EXPECT_TRUE(isMemOp(Op::Store));
+    EXPECT_TRUE(isMemOp(Op::PAcq));
+    EXPECT_TRUE(isMemOp(Op::ExitIf));
+    EXPECT_FALSE(isMemOp(Op::OFence));
+    EXPECT_FALSE(isMemOp(Op::Compute));
+
+    EXPECT_TRUE(isPersistOp(Op::OFence));
+    EXPECT_TRUE(isPersistOp(Op::DFence));
+    EXPECT_TRUE(isPersistOp(Op::PRel));
+    EXPECT_FALSE(isPersistOp(Op::Fence));
+    EXPECT_FALSE(isPersistOp(Op::Store));
+}
+
+TEST(Isa, DescribeMentionsOpAndScope)
+{
+    WarpInstr in;
+    in.op = Op::PAcq;
+    in.scope = Scope::Device;
+    in.laneAddrs.assign(32, 0x1234);
+    std::string d = in.describe();
+    EXPECT_NE(d.find("pacq"), std::string::npos);
+    EXPECT_NE(d.find("device"), std::string::npos);
+}
+
+TEST(Kernel, GeometryAndThreadIds)
+{
+    KernelProgram k("t", 3, 96);
+    EXPECT_EQ(k.numBlocks(), 3u);
+    EXPECT_EQ(k.threadsPerBlock(), 96u);
+    EXPECT_EQ(k.warpsPerBlock(), 3u);
+    EXPECT_EQ(k.threadOf(0, 0, 0), 0u);
+    EXPECT_EQ(k.threadOf(1, 0, 0), 96u);
+    EXPECT_EQ(k.threadOf(2, 2, 5), 2 * 96 + 64 + 5u);
+}
+
+TEST(Kernel, RejectsBadGeometry)
+{
+    EXPECT_THROW(KernelProgram("x", 0, 32), FatalError);
+    EXPECT_THROW(KernelProgram("x", 1, 0), FatalError);
+    EXPECT_THROW(KernelProgram("x", 1, 2048), FatalError);
+}
+
+TEST(Kernel, WarpOutOfRangePanics)
+{
+    KernelProgram k("t", 2, 64);
+    EXPECT_NO_THROW(k.warp(1, 1));
+    EXPECT_THROW(k.warp(2, 0), PanicError);
+    EXPECT_THROW(k.warp(0, 2), PanicError);
+}
+
+TEST(Kernel, TotalInstructions)
+{
+    KernelProgram k("t", 2, 32);
+    WarpBuilder(k.warp(0, 0), 32).mov(0, 1).mov(1, 2);
+    WarpBuilder(k.warp(1, 0), 32).mov(0, 1);
+    EXPECT_EQ(k.totalInstructions(), 3u);
+}
+
+TEST(Builder, DefaultMaskCoversLaneCount)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder wb(k.warp(0, 0), 20);
+    EXPECT_EQ(wb.defaultMask(), mask::firstN(20));
+    wb.mov(0, 7);
+    EXPECT_EQ(k.warp(0, 0).code[0].active, mask::firstN(20));
+}
+
+TEST(Builder, ExplicitMaskIntersectsDefault)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder wb(k.warp(0, 0), 8);
+    wb.mov(0, 7, mask::range(4, 16));
+    EXPECT_EQ(k.warp(0, 0).code[0].active, mask::range(4, 8));
+}
+
+TEST(Builder, LoadFillsActiveLaneAddrs)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .load(2, [](std::uint32_t l) { return Addr(0x1000 + 4 * l); },
+              mask::range(1, 3));
+    const WarpInstr &in = k.warp(0, 0).code[0];
+    EXPECT_EQ(in.op, Op::Load);
+    EXPECT_EQ(in.dst, 2);
+    EXPECT_EQ(in.laneAddrs[1], 0x1004u);
+    EXPECT_EQ(in.laneAddrs[2], 0x1008u);
+    EXPECT_EQ(in.laneAddrs[0], 0u);   // Inactive lane untouched.
+}
+
+TEST(Builder, StoreImmFillsLaneValues)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([](std::uint32_t l) { return Addr(0x100 + 4 * l); },
+                  [](std::uint32_t l) { return l * 10; });
+    const WarpInstr &in = k.warp(0, 0).code[0];
+    EXPECT_EQ(in.src, kImmOperand);
+    EXPECT_EQ(in.laneImms[3], 30u);
+}
+
+TEST(Builder, IndexedOpsCarryRegisterAndScale)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .loadIdx(1, [](std::uint32_t) { return Addr(0x2000); }, 0, 8)
+        .storeIdx([](std::uint32_t) { return Addr(0x3000); }, 2, 0, 4);
+    EXPECT_EQ(k.warp(0, 0).code[0].idxReg, 0);
+    EXPECT_EQ(k.warp(0, 0).code[0].idxScale, 8);
+    EXPECT_EQ(k.warp(0, 0).code[1].src, 2);
+    EXPECT_EQ(k.warp(0, 0).code[1].idxScale, 4);
+}
+
+TEST(Builder, SpinVariantsSetCondition)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .pacq([](std::uint32_t) { return Addr(0x10); }, 5, Scope::Block)
+        .pacqNe([](std::uint32_t) { return Addr(0x10); }, 0,
+                Scope::Device)
+        .spinLoad([](std::uint32_t) { return Addr(0x10); }, 1)
+        .spinLoadNe([](std::uint32_t) { return Addr(0x10); }, 0)
+        .exitIfEq([](std::uint32_t) { return Addr(0x10); }, 1)
+        .exitIfNe([](std::uint32_t) { return Addr(0x10); }, 0);
+    const auto &code = k.warp(0, 0).code;
+    EXPECT_FALSE(code[0].negate);
+    EXPECT_EQ(code[0].scope, Scope::Block);
+    EXPECT_TRUE(code[1].negate);
+    EXPECT_EQ(code[1].scope, Scope::Device);
+    EXPECT_FALSE(code[2].negate);
+    EXPECT_TRUE(code[3].negate);
+    EXPECT_EQ(code[4].op, Op::ExitIf);
+    EXPECT_FALSE(code[4].negate);
+    EXPECT_TRUE(code[5].negate);
+}
+
+TEST(Builder, ReleaseVariants)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .prel([](std::uint32_t) { return Addr(0x20); }, 9, Scope::Block)
+        .prelReg([](std::uint32_t) { return Addr(0x24); }, 3,
+                 Scope::Device);
+    EXPECT_EQ(k.warp(0, 0).code[0].imm, 9u);
+    EXPECT_EQ(k.warp(0, 0).code[0].src, kImmOperand);
+    EXPECT_EQ(k.warp(0, 0).code[1].src, 3);
+    EXPECT_EQ(k.warp(0, 0).code[1].scope, Scope::Device);
+}
+
+TEST(Builder, FenceFamily)
+{
+    KernelProgram k("t", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .fence(Scope::System)
+        .ofence()
+        .dfence()
+        .barrier()
+        .compute(50)
+        .laneSum(1)
+        .laneMax(2)
+        .halt();
+    const auto &code = k.warp(0, 0).code;
+    EXPECT_EQ(code[0].op, Op::Fence);
+    EXPECT_EQ(code[0].scope, Scope::System);
+    EXPECT_EQ(code[1].op, Op::OFence);
+    EXPECT_EQ(code[2].op, Op::DFence);
+    EXPECT_EQ(code[3].op, Op::Barrier);
+    EXPECT_EQ(code[4].computeCycles, 50);
+    EXPECT_EQ(code[5].op, Op::LaneSum);
+    EXPECT_EQ(code[6].op, Op::LaneMax);
+    EXPECT_EQ(code[7].op, Op::Halt);
+}
+
+TEST(Mask, Helpers)
+{
+    EXPECT_EQ(mask::firstN(0), 0u);
+    EXPECT_EQ(mask::firstN(32), 0xffffffffu);
+    EXPECT_EQ(mask::firstN(4), 0xfu);
+    EXPECT_EQ(mask::lane(31), 0x80000000u);
+    EXPECT_EQ(mask::range(4, 8), 0xf0u);
+    EXPECT_EQ(mask::range(8, 8), 0u);
+}
+
+} // namespace
+} // namespace sbrp

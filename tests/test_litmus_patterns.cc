@@ -1,0 +1,324 @@
+/**
+ * @file
+ * A catalogue of persistency litmus patterns run under SBRP with crash
+ * sweeps and the formal checker: ordered chains, transitive
+ * message-passing through an intermediary, independent-writer
+ * non-ordering, re-release of the same flag, multi-acquirer fan-out,
+ * fan-in joins, and the scoped-bug shapes of Section 5.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+SystemConfig
+cfgFor(SystemDesign d)
+{
+    return SystemConfig::testDefault(ModelKind::Sbrp, d);
+}
+
+void
+expectAllOk(const LitmusScenario &s, const SystemConfig &cfg)
+{
+    LitmusReport rep =
+        s.run(cfg, {0.05, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9});
+    for (const LitmusRun &r : rep.runs) {
+        EXPECT_TRUE(r.violations.empty())
+            << rep.name << " PMO violated, crash at " << r.crashAt
+            << ": " << (r.violations.empty() ? ""
+                                             : r.violations[0].detail);
+        EXPECT_TRUE(r.durableStateOk)
+            << rep.name << " durable state broken, crash at "
+            << r.crashAt;
+    }
+}
+
+/** n writes by one thread, each fenced: durable set must be a prefix. */
+TEST(LitmusPatterns, FencedChainIsPrefixClosed)
+{
+    constexpr std::uint32_t kN = 8;
+    LitmusScenario s(
+        "chain",
+        [](NvmDevice &nvm) { nvm.allocate("chain", kN * 128); },
+        [](NvmDevice &nvm) {
+            Addr base = nvm.open("chain").base;
+            KernelProgram k("chain", 1, 32);
+            WarpBuilder wb(k.warp(0, 0), 32);
+            for (std::uint32_t i = 0; i < kN; ++i) {
+                wb.storeImm([base, i](std::uint32_t) {
+                    return base + 128ull * i;
+                }, [i](std::uint32_t) { return i + 1; }, mask::lane(0));
+                wb.ofence(mask::lane(0));
+            }
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            Addr base = nvm.open("chain").base;
+            bool seen_zero = false;
+            for (std::uint32_t i = 0; i < kN; ++i) {
+                std::uint32_t v = nvm.durable().read32(base + 128ull * i);
+                if (v == 0)
+                    seen_zero = true;
+                else if (seen_zero)
+                    return false;   // Gap: later durable, earlier not.
+            }
+            return true;
+        });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+    expectAllOk(s, cfgFor(SystemDesign::PmFar));
+}
+
+/** T0 -> T1 -> T2 transitive message passing within a block. */
+TEST(LitmusPatterns, TransitiveChainThroughIntermediary)
+{
+    LitmusScenario s(
+        "transitive",
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("y", 128);
+            nvm.allocate("z", 128);
+            nvm.allocate("flags", 256);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr y = nvm.open("y").base;
+            Addr z = nvm.open("z").base;
+            Addr f = nvm.open("flags").base;
+            KernelProgram k("trans", 1, 96);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0));
+            WarpBuilder(k.warp(0, 1), 32)
+                .pacq([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return y; },
+                          [](std::uint32_t) { return 2; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f + 128; }, 1,
+                      Scope::Block, mask::lane(0));
+            WarpBuilder(k.warp(0, 2), 32)
+                .pacq([&](std::uint32_t) { return f + 128; }, 1,
+                      Scope::Block, mask::lane(0))
+                .storeImm([&](std::uint32_t) { return z; },
+                          [](std::uint32_t) { return 3; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            std::uint32_t y = nvm.durable().read32(nvm.open("y").base);
+            std::uint32_t z = nvm.durable().read32(nvm.open("z").base);
+            if (z == 3 && (y != 2 || x != 1))
+                return false;
+            if (y == 2 && x != 1)
+                return false;
+            return true;
+        });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+}
+
+/** Independent writers: no ordering exists, any subset is legal. */
+TEST(LitmusPatterns, IndependentWritersUnordered)
+{
+    LitmusScenario s(
+        "independent",
+        [](NvmDevice &nvm) { nvm.allocate("iw", 8 * 128); },
+        [](NvmDevice &nvm) {
+            Addr base = nvm.open("iw").base;
+            KernelProgram k("iw", 1, 256);
+            for (std::uint32_t w = 0; w < 8; ++w) {
+                WarpBuilder(k.warp(0, w), 32)
+                    .storeImm([base, w](std::uint32_t) {
+                        return base + 128ull * w;
+                    }, [w](std::uint32_t) { return w + 1; },
+                       mask::lane(0));
+            }
+            return k;
+        },
+        [](const NvmDevice &, bool) { return true; });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+}
+
+/** The same flag released twice with increasing epochs. */
+TEST(LitmusPatterns, ReReleaseOrdersBothGenerations)
+{
+    LitmusScenario s(
+        "re-release",
+        [](NvmDevice &nvm) {
+            nvm.allocate("d", 2 * 128);
+            nvm.allocate("flag", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr d = nvm.open("d").base;
+            Addr f = nvm.open("flag").base;
+            KernelProgram k("rr", 1, 64);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return d; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return d + 128; },
+                          [](std::uint32_t) { return 2; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 2, Scope::Block,
+                      mask::lane(0));
+            WarpBuilder(k.warp(0, 1), 32)
+                .pacq([&](std::uint32_t) { return f; }, 2, Scope::Block,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return d + 4; },
+                          [](std::uint32_t) { return 9; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            Addr d = nvm.open("d").base;
+            // Consumer's write (d+4 = 9) implies both generations.
+            if (nvm.durable().read32(d + 4) == 9) {
+                return nvm.durable().read32(d) == 1 &&
+                       nvm.durable().read32(d + 128) == 2;
+            }
+            return true;
+        });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+}
+
+/** One release, many acquirers (fan-out). */
+TEST(LitmusPatterns, FanOutAllAcquirersOrdered)
+{
+    LitmusScenario s(
+        "fan-out",
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("ys", 4 * 128);
+            nvm.allocate("flag", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr ys = nvm.open("ys").base;
+            Addr f = nvm.open("flag").base;
+            KernelProgram k("fan", 1, 160);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 7; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0));
+            for (std::uint32_t w = 1; w <= 4; ++w) {
+                WarpBuilder(k.warp(0, w), 32)
+                    .pacq([&](std::uint32_t) { return f; }, 1,
+                          Scope::Block, mask::lane(0))
+                    .storeImm([&, w](std::uint32_t) {
+                        return ys + 128ull * (w - 1);
+                    }, [w](std::uint32_t) { return w; }, mask::lane(0));
+            }
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            Addr ys = nvm.open("ys").base;
+            for (std::uint32_t w = 1; w <= 4; ++w) {
+                if (nvm.durable().read32(ys + 128ull * (w - 1)) != 0 &&
+                        x != 7) {
+                    return false;
+                }
+            }
+            return true;
+        });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+}
+
+/** Many releasers, one acquirer joining on all flags (fan-in). */
+TEST(LitmusPatterns, FanInJoinOrdersAllProducers)
+{
+    LitmusScenario s(
+        "fan-in",
+        [](NvmDevice &nvm) {
+            nvm.allocate("xs", 4 * 128);
+            nvm.allocate("y", 128);
+            nvm.allocate("flags", 4 * 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr xs = nvm.open("xs").base;
+            Addr y = nvm.open("y").base;
+            Addr f = nvm.open("flags").base;
+            KernelProgram k("join", 1, 160);
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                WarpBuilder(k.warp(0, w), 32)
+                    .storeImm([&, w](std::uint32_t) {
+                        return xs + 128ull * w;
+                    }, [w](std::uint32_t) { return w + 1; },
+                       mask::lane(0))
+                    .prel([&, w](std::uint32_t) { return f + 128ull * w; },
+                          1, Scope::Block, mask::lane(0));
+            }
+            WarpBuilder wb(k.warp(0, 4), 32);
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                wb.pacq([&, w](std::uint32_t) { return f + 128ull * w; },
+                        1, Scope::Block, mask::lane(0));
+            }
+            wb.storeImm([&](std::uint32_t) { return y; },
+                        [](std::uint32_t) { return 99; }, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            if (nvm.durable().read32(nvm.open("y").base) != 99)
+                return true;
+            Addr xs = nvm.open("xs").base;
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                if (nvm.durable().read32(xs + 128ull * w) != w + 1)
+                    return false;
+            }
+            return true;
+        });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+    expectAllOk(s, cfgFor(SystemDesign::PmFar));
+}
+
+/** Device scope across blocks: the correct version of the 5.3 bug. */
+TEST(LitmusPatterns, CrossBlockDeviceScopeOrdered)
+{
+    LitmusScenario s(
+        "cross-block",
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("y", 128);
+            nvm.allocate("flag", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr y = nvm.open("y").base;
+            Addr f = nvm.open("flag").base;
+            KernelProgram k("xb", 3, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 5; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Device,
+                      mask::lane(0));
+            // An unrelated middle block adds noise traffic.
+            WarpBuilder(k.warp(1, 0), 32)
+                .storeImm([&](std::uint32_t l) { return y + 4 + 4 * (l % 8); },
+                          [](std::uint32_t) { return 1; },
+                          mask::range(8, 16));
+            WarpBuilder(k.warp(2, 0), 32)
+                .pacq([&](std::uint32_t) { return f; }, 1, Scope::Device,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return y; },
+                          [](std::uint32_t) { return 6; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            std::uint32_t y = nvm.durable().read32(nvm.open("y").base);
+            return y != 6 || x == 5;
+        });
+    expectAllOk(s, cfgFor(SystemDesign::PmNear));
+    expectAllOk(s, cfgFor(SystemDesign::PmFar));
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: functional memory (including
+ * copy-on-write backing), the address map, and the NVM device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mem/address_map.hh"
+#include "mem/functional_mem.hh"
+#include "mem/nvm_device.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+// --- FunctionalMemory --------------------------------------------------
+
+TEST(FunctionalMemory, ZeroInitialized)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.read32(0x1000), 0u);
+    EXPECT_EQ(m.read64(0x2000), 0u);
+    EXPECT_EQ(m.read8(0x3000), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(FunctionalMemory, ReadBackWidths)
+{
+    FunctionalMemory m;
+    m.write8(0x10, 0xab);
+    m.write32(0x20, 0xdeadbeef);
+    m.write64(0x28, 0x0123456789abcdefull);
+    EXPECT_EQ(m.read8(0x10), 0xab);
+    EXPECT_EQ(m.read32(0x20), 0xdeadbeefu);
+    EXPECT_EQ(m.read64(0x28), 0x0123456789abcdefull);
+}
+
+TEST(FunctionalMemory, UnalignedAccessPanics)
+{
+    FunctionalMemory m;
+    EXPECT_THROW(m.read32(0x21), PanicError);
+    EXPECT_THROW(m.write32(0x22, 1), PanicError);
+    EXPECT_THROW(m.read64(0x24), PanicError);
+}
+
+TEST(FunctionalMemory, BlockCrossesPages)
+{
+    FunctionalMemory m;
+    std::vector<std::uint8_t> src(8192);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 7);
+    Addr base = FunctionalMemory::kPageBytes - 100;
+    m.writeBlock(base, src.data(), src.size());
+
+    std::vector<std::uint8_t> dst(src.size());
+    m.readBlock(base, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    EXPECT_GE(m.pageCount(), 2u);
+}
+
+TEST(FunctionalMemory, BackingReadThrough)
+{
+    FunctionalMemory durable;
+    durable.write32(0x100, 77);
+    FunctionalMemory vol;
+    vol.setBacking(&durable);
+    EXPECT_EQ(vol.read32(0x100), 77u);   // Falls through.
+    EXPECT_EQ(vol.pageCount(), 0u);      // No copy for reads.
+}
+
+TEST(FunctionalMemory, BackingCopyOnWrite)
+{
+    FunctionalMemory durable;
+    durable.write32(0x100, 77);
+    durable.write32(0x104, 88);
+    FunctionalMemory vol;
+    vol.setBacking(&durable);
+
+    vol.write32(0x100, 99);
+    EXPECT_EQ(vol.read32(0x100), 99u);
+    EXPECT_EQ(vol.read32(0x104), 88u);     // Copied page kept the rest.
+    EXPECT_EQ(durable.read32(0x100), 77u); // Backing untouched.
+}
+
+TEST(FunctionalMemory, ClearDropsLocalNotBacking)
+{
+    FunctionalMemory durable;
+    durable.write32(0x100, 5);
+    FunctionalMemory vol;
+    vol.setBacking(&durable);
+    vol.write32(0x100, 6);
+    vol.clear();
+    EXPECT_EQ(vol.read32(0x100), 5u);
+}
+
+// --- Address map -------------------------------------------------------
+
+TEST(AddressMap, SpaceBoundaries)
+{
+    EXPECT_EQ(addr_map::spaceOf(addr_map::kGddrBase), Space::Gddr);
+    EXPECT_EQ(addr_map::spaceOf(addr_map::kNvmBase - 4), Space::Gddr);
+    EXPECT_EQ(addr_map::spaceOf(addr_map::kNvmBase), Space::Nvm);
+    EXPECT_TRUE(addr_map::isNvm(addr_map::kNvmBase + 12345));
+}
+
+TEST(AddressMap, LineBase)
+{
+    EXPECT_EQ(addr_map::lineBase(0x1234, 128), 0x1200u);
+    EXPECT_EQ(addr_map::lineBase(0x1280, 128), 0x1280u);
+    EXPECT_EQ(addr_map::lineBase(0x127f, 128), 0x1200u);
+}
+
+TEST(AddressMap, NvmOffset)
+{
+    EXPECT_EQ(addr_map::nvmOffset(addr_map::kNvmBase + 64), 64u);
+    EXPECT_THROW(addr_map::nvmOffset(0x1000), PanicError);
+}
+
+// --- NvmDevice ---------------------------------------------------------
+
+TEST(NvmDevice, AllocateOpenRoundTrip)
+{
+    NvmDevice nvm;
+    Addr a = nvm.allocate("region-a", 1000);
+    Addr b = nvm.allocate("region-b", 10);
+    EXPECT_TRUE(addr_map::isNvm(a));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(nvm.open("region-a").base, a);
+    EXPECT_EQ(nvm.open("region-a").size, 1000u);
+    EXPECT_TRUE(nvm.exists("region-b"));
+    EXPECT_FALSE(nvm.exists("region-c"));
+}
+
+TEST(NvmDevice, AllocationsAreLineAligned)
+{
+    NvmDevice nvm;
+    Addr a = nvm.allocate("a", 3);
+    Addr b = nvm.allocate("b", 3);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 256);
+}
+
+TEST(NvmDevice, DuplicateNameIsFatal)
+{
+    NvmDevice nvm;
+    nvm.allocate("dup", 8);
+    EXPECT_THROW(nvm.allocate("dup", 8), FatalError);
+}
+
+TEST(NvmDevice, OpenMissingIsFatal)
+{
+    NvmDevice nvm;
+    EXPECT_THROW(nvm.open("nope"), FatalError);
+}
+
+TEST(NvmDevice, ZeroByteAllocationIsFatal)
+{
+    NvmDevice nvm;
+    EXPECT_THROW(nvm.allocate("zero", 0), FatalError);
+}
+
+TEST(NvmDevice, RemoveForgetsName)
+{
+    NvmDevice nvm;
+    nvm.allocate("gone", 8);
+    nvm.remove("gone");
+    EXPECT_FALSE(nvm.exists("gone"));
+    EXPECT_THROW(nvm.remove("gone"), FatalError);
+}
+
+TEST(NvmDevice, CommitLineWritesDurable)
+{
+    NvmDevice nvm;
+    Addr a = nvm.allocate("data", 128);
+    std::uint8_t payload[128];
+    for (int i = 0; i < 128; ++i)
+        payload[i] = static_cast<std::uint8_t>(i);
+    nvm.commitLine(a, payload, 128);
+    EXPECT_EQ(nvm.commitCount(), 1u);
+    EXPECT_EQ(nvm.durable().read8(a + 5), 5);
+    EXPECT_EQ(nvm.durable().read8(a + 127), 127);
+}
+
+TEST(NvmDevice, CommitOutsideNvmPanics)
+{
+    NvmDevice nvm;
+    std::uint8_t b[4] = {0, 0, 0, 0};
+    EXPECT_THROW(nvm.commitLine(0x1000, b, 4), PanicError);
+}
+
+TEST(NvmDevice, TableListsRegions)
+{
+    NvmDevice nvm;
+    nvm.allocate("x", 8);
+    nvm.allocate("y", 8);
+    EXPECT_EQ(nvm.table().size(), 2u);
+    EXPECT_GT(nvm.allocatedBytes(), 0u);
+}
+
+} // namespace
+} // namespace sbrp

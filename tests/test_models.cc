@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Persistency-model micro-behaviour tests: ordering semantics of
+ * oFence/dFence/pAcq/pRel under SBRP, epoch-barrier behaviour (PM-only
+ * vs GPM's volatile flushing), eviction protocol, flush policies, and
+ * the FSM-precision ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+/**
+ * Runs `build` crash-free to get its cycle count, then re-runs it at
+ * several crash points, asserting the durable-state predicate and the
+ * PMO checker at each.
+ */
+template <typename Setup, typename Build, typename Judge>
+void
+crashSweep(const SystemConfig &cfg, Setup setup, Build build, Judge judge)
+{
+    LitmusScenario scenario("sweep", setup, build, judge);
+    LitmusReport rep = scenario.run(cfg,
+                                    {0.05, 0.2, 0.4, 0.6, 0.8, 0.95});
+    for (const LitmusRun &r : rep.runs) {
+        EXPECT_TRUE(r.violations.empty())
+            << "PMO violated with crash at " << r.crashAt;
+        EXPECT_TRUE(r.durableStateOk)
+            << "durable state broken with crash at " << r.crashAt;
+    }
+}
+
+// --- SBRP ordering fences ----------------------------------------------
+
+TEST(SbrpModel, OFenceOrdersAcrossCrashes)
+{
+    // W(a) ; oFence ; W(b): at no crash point may b be durable while a
+    // is not.
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("a", 128);
+            nvm.allocate("b", 128);
+        },
+        [](NvmDevice &nvm) {
+            KernelProgram k("of", 1, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return nvm.open("a").base; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0))
+                .ofence(mask::lane(0))
+                .storeImm([&](std::uint32_t) { return nvm.open("b").base; },
+                          [](std::uint32_t) { return 2; }, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t a = nvm.durable().read32(nvm.open("a").base);
+            std::uint32_t b = nvm.durable().read32(nvm.open("b").base);
+            return b == 0 || a == 1;
+        });
+}
+
+TEST(SbrpModel, WithoutOFenceEitherOrderIsLegal)
+{
+    // Sanity: the judge above would be too strong without the fence —
+    // only check the checker stays quiet (no false positives).
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("a", 128);
+            nvm.allocate("b", 128);
+        },
+        [](NvmDevice &nvm) {
+            KernelProgram k("nof", 1, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return nvm.open("a").base; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0))
+                .storeImm([&](std::uint32_t) { return nvm.open("b").base; },
+                          [](std::uint32_t) { return 2; }, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &, bool) { return true; });
+}
+
+TEST(SbrpModel, DFenceGuaranteesDurabilityAtCompletion)
+{
+    // A volatile flag raised *after* a dFence implies the fenced data
+    // is durable, at every crash point.
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("data", 128);
+            nvm.allocate("witness", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr data = nvm.open("data").base;
+            Addr wit = nvm.open("witness").base;
+            KernelProgram k("df", 1, 32);
+            // After dFence completes, persist a witness; if the witness
+            // ever becomes durable while data is not, dFence lied.
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return data; },
+                          [](std::uint32_t) { return 11; }, mask::lane(0))
+                .dfence(mask::lane(0))
+                .storeImm([&](std::uint32_t) { return wit; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t d = nvm.durable().read32(nvm.open("data").base);
+            std::uint32_t w =
+                nvm.durable().read32(nvm.open("witness").base);
+            return w == 0 || d == 11;
+        });
+}
+
+TEST(SbrpModel, BlockRelAcqOrdersAcrossWarps)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("y", 128);
+            nvm.allocate("flag", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr y = nvm.open("y").base;
+            Addr f = nvm.open("flag").base;
+            KernelProgram k("mp", 1, 64);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 41; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0));
+            WarpBuilder(k.warp(0, 1), 32)
+                .pacq([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return y; },
+                          [](std::uint32_t) { return 42; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            std::uint32_t y = nvm.durable().read32(nvm.open("y").base);
+            return y == 0 || x == 41;
+        });
+}
+
+TEST(SbrpModel, DeviceRelAcqOrdersAcrossBlocks)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmFar);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("y", 128);
+            nvm.allocate("flag", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr y = nvm.open("y").base;
+            Addr f = nvm.open("flag").base;
+            KernelProgram k("mpdev", 2, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 41; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Device,
+                      mask::lane(0));
+            WarpBuilder(k.warp(1, 0), 32)
+                .pacq([&](std::uint32_t) { return f; }, 1, Scope::Device,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return y; },
+                          [](std::uint32_t) { return 42; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            std::uint32_t y = nvm.durable().read32(nvm.open("y").base);
+            return y == 0 || x == 41;
+        });
+}
+
+TEST(SbrpModel, ReleaseToPmVariableIsItselfOrdered)
+{
+    // Figure 3 line 24: pRel(&out, v) both publishes and persists v;
+    // the released value must never be durable before earlier persists.
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("out", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr out = nvm.open("out").base;
+            KernelProgram k("reldata", 1, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 7; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return out; }, 99,
+                      Scope::Block, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            std::uint32_t o = nvm.durable().read32(nvm.open("out").base);
+            return o == 0 || x == 7;
+        });
+}
+
+// --- Flush policies ----------------------------------------------------
+
+TEST(SbrpModel, LazyPolicyKeepsDataBuffered)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 4096);
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    cfg.flushPolicy = FlushPolicy::Lazy;
+    GpuSystem gpu(cfg, nvm);
+    KernelProgram k("lazy", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return data + 128 * l; },
+                  [](std::uint32_t l) { return l + 1; })
+        .compute(10000);   // Keep the kernel alive past the crash.
+    auto res = gpu.launch(k, 2000);   // Crash well after stores issued.
+    EXPECT_TRUE(res.crashed);
+    EXPECT_EQ(nvm.commitCount(), 0u);   // Nothing drained: all lost.
+}
+
+TEST(SbrpModel, EagerPolicyDrainsPromptly)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 4096);
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    cfg.flushPolicy = FlushPolicy::Eager;
+    GpuSystem gpu(cfg, nvm);
+    KernelProgram k("eager", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return data + 128 * l; },
+                  [](std::uint32_t l) { return l + 1; })
+        .compute(10000);
+    auto res = gpu.launch(k, 2000);
+    EXPECT_TRUE(res.crashed);
+    EXPECT_EQ(nvm.commitCount(), 32u);   // Everything already durable.
+}
+
+TEST(SbrpModel, WindowPolicySitsBetween)
+{
+    auto commits = [](FlushPolicy p, Cycle crash_at) {
+        NvmDevice nvm;
+        Addr data = nvm.allocate("data", 32 * 128);
+        SystemConfig cfg = SystemConfig::testDefault(
+            ModelKind::Sbrp, SystemDesign::PmNear);
+        cfg.flushPolicy = p;
+        GpuSystem gpu(cfg, nvm);
+        KernelProgram k("w", 1, 32);
+        WarpBuilder(k.warp(0, 0), 32)
+            .storeImm([&](std::uint32_t l) { return data + 128 * l; },
+                      [](std::uint32_t l) { return l + 1; })
+            .compute(10000);
+        gpu.launch(k, crash_at);
+        return nvm.commitCount();
+    };
+    std::uint64_t w = commits(FlushPolicy::Window, 400);
+    std::uint64_t l = commits(FlushPolicy::Lazy, 400);
+    std::uint64_t e = commits(FlushPolicy::Eager, 400);
+    EXPECT_EQ(l, 0u);
+    EXPECT_GE(w, l);
+    EXPECT_LE(w, e);
+    EXPECT_GT(w, 0u);
+}
+
+// --- FSM precision ablation --------------------------------------------
+
+TEST(SbrpModel, SingleActrVariantIsCorrectToo)
+{
+    for (const char *name : {"gpKVS", "Red"}) {
+        (void)name;
+    }
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    cfg.preciseFsm = false;
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("a", 128);
+            nvm.allocate("b", 128);
+        },
+        [](NvmDevice &nvm) {
+            KernelProgram k("of", 1, 64);
+            for (std::uint32_t w = 0; w < 2; ++w) {
+                WarpBuilder(k.warp(0, w), 32)
+                    .storeImm([&, w](std::uint32_t l) {
+                        return nvm.open("a").base + 4 * (w * 32 + l) % 128;
+                    }, [](std::uint32_t) { return 1; })
+                    .ofence()
+                    .storeImm([&, w](std::uint32_t l) {
+                        return nvm.open("b").base + 4 * (w * 32 + l) % 128;
+                    }, [](std::uint32_t) { return 2; });
+            }
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t a = nvm.durable().read32(nvm.open("a").base);
+            std::uint32_t b = nvm.durable().read32(nvm.open("b").base);
+            return b == 0 || a == 1;
+        });
+}
+
+// --- Eviction protocol -------------------------------------------------
+
+TEST(SbrpModel, CapacityEvictionRespectsOrdering)
+{
+    // A tiny L1 forces capacity evictions of dirty PM lines while an
+    // oFence-ordered store stream is in flight; the fence rule must
+    // survive arbitrary crash points regardless.
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    cfg.l1Bytes = 2 * 1024;   // 16 lines, 2 sets: heavy conflict.
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("stream", 64 * 128);
+            nvm.allocate("marker", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr s = nvm.open("stream").base;
+            Addr m = nvm.open("marker").base;
+            KernelProgram k("evict", 1, 32);
+            WarpBuilder wb(k.warp(0, 0), 32);
+            // Two ordered generations of the stream, then a marker.
+            wb.storeImm([&](std::uint32_t l) { return s + 128 * l; },
+                        [](std::uint32_t) { return 1; });
+            wb.ofence();
+            wb.storeImm([&](std::uint32_t l) {
+                return s + 128 * (32 + l % 32);
+            }, [](std::uint32_t) { return 2; });
+            wb.ofence();
+            wb.storeImm([&](std::uint32_t) { return m; },
+                        [](std::uint32_t) { return 3; }, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            Addr s = nvm.open("stream").base;
+            Addr m = nvm.open("marker").base;
+            bool gen1 = true, gen2 = true;
+            for (std::uint32_t i = 0; i < 32; ++i) {
+                gen1 &= nvm.durable().read32(s + 128 * i) == 1;
+                gen2 &= nvm.durable().read32(s + 128 * (32 + i)) == 2;
+            }
+            std::uint32_t mk = nvm.durable().read32(m);
+            if (mk == 3 && !(gen1 && gen2))
+                return false;   // Marker before its stream.
+            bool any2 = false;
+            for (std::uint32_t i = 0; i < 32 && !any2; ++i)
+                any2 = nvm.durable().read32(s + 128 * (32 + i)) == 2;
+            return !any2 || gen1;   // Gen2 implies all of gen1.
+        });
+}
+
+// --- Epoch / GPM -------------------------------------------------------
+
+TEST(EpochModel, BarrierOrdersEpochs)
+{
+    for (SystemDesign d : {SystemDesign::PmFar, SystemDesign::PmNear}) {
+        SystemConfig cfg = SystemConfig::testDefault(ModelKind::Epoch, d);
+        crashSweep(cfg,
+            [](NvmDevice &nvm) {
+                nvm.allocate("a", 128);
+                nvm.allocate("b", 128);
+            },
+            [](NvmDevice &nvm) {
+                KernelProgram k("epoch", 1, 32);
+                WarpBuilder(k.warp(0, 0), 32)
+                    .storeImm([&](std::uint32_t) {
+                        return nvm.open("a").base;
+                    }, [](std::uint32_t) { return 1; }, mask::lane(0))
+                    .fence(Scope::System, mask::lane(0))
+                    .storeImm([&](std::uint32_t) {
+                        return nvm.open("b").base;
+                    }, [](std::uint32_t) { return 2; }, mask::lane(0));
+                return k;
+            },
+            [](const NvmDevice &nvm, bool) {
+                std::uint32_t a =
+                    nvm.durable().read32(nvm.open("a").base);
+                std::uint32_t b =
+                    nvm.durable().read32(nvm.open("b").base);
+                return b == 0 || a == 1;
+            });
+    }
+}
+
+TEST(EpochModel, SbrpOpsPanicUnderEpoch)
+{
+    NvmDevice nvm;
+    nvm.allocate("x", 128);
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Epoch,
+                                                 SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+    KernelProgram k("bad", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32).ofence(mask::lane(0));
+    EXPECT_THROW(gpu.launch(k), PanicError);
+}
+
+TEST(GpmModel, FenceFlushesVolatileLinesToo)
+{
+    auto gddr_writes = [](ModelKind m) {
+        NvmDevice nvm;
+        Addr data = nvm.allocate("d", 128);
+        SystemConfig cfg = SystemConfig::testDefault(m,
+                                                     SystemDesign::PmFar);
+        GpuSystem gpu(cfg, nvm);
+        Addr vol = gpu.gddrAlloc(32 * 4);
+        KernelProgram k("gpm", 1, 32);
+        WarpBuilder(k.warp(0, 0), 32)
+            .storeImm([&](std::uint32_t l) { return vol + 4 * l; },
+                      [](std::uint32_t l) { return l; })
+            .storeImm([&](std::uint32_t) { return data; },
+                      [](std::uint32_t) { return 1; }, mask::lane(0))
+            .fence(Scope::System);
+        gpu.launch(k);
+        return gpu.fabric().stats().value("volatile_flushes");
+    };
+    EXPECT_GT(gddr_writes(ModelKind::Gpm), 0u);
+    EXPECT_EQ(gddr_writes(ModelKind::Epoch), 0u);
+}
+
+TEST(EpochModel, BarrierInvalidatesPmLines)
+{
+    // After the barrier, re-reading the persisted line must miss in L1.
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 128);
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Epoch,
+                                                 SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+    KernelProgram k("inval", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t) { return data; },
+                  [](std::uint32_t) { return 1; }, mask::lane(0))
+        .fence(Scope::System, mask::lane(0))
+        .load(0, [&](std::uint32_t) { return data; }, mask::lane(0));
+    gpu.launch(k);
+    EXPECT_GE(gpu.sumSmStat("read_miss_nvm"), 1u);
+    EXPECT_EQ(gpu.sumSmStat("read_hit_nvm"), 0u);
+}
+
+TEST(SbrpModel, OFenceKeepsPmLinesCached)
+{
+    // The SBRP counterpart of the test above: oFence does not
+    // invalidate, so re-reading data still queued behind the drain
+    // window hits in the L1 (Figure 8's mechanism). The last-written
+    // line of a 24-line backlog cannot have drained yet (window 6).
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 24 * 128);
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+    KernelProgram k("keep", 1, 32);
+    WarpBuilder wb(k.warp(0, 0), 32);
+    for (std::uint32_t i = 0; i < 24; ++i) {
+        wb.storeImm([&, i](std::uint32_t) { return data + 128 * i; },
+                    [](std::uint32_t) { return 1; }, mask::lane(0));
+    }
+    wb.ofence(mask::lane(0));
+    wb.load(0, [&](std::uint32_t) { return data + 128 * 23; },
+            mask::lane(0));
+    gpu.launch(k);
+    EXPECT_EQ(gpu.sumSmStat("read_miss_nvm"), 0u);
+    EXPECT_GE(gpu.sumSmStat("read_hit_nvm"), 1u);
+}
+
+// --- Scoped persist barriers (related work) ---------------------------
+
+TEST(BarrierModel, OFenceActsAsFullBarrier)
+{
+    // Under the scoped-barrier model the same W(a); oFence; W(b)
+    // program is still crash-ordered — by stalling, not buffering.
+    SystemConfig cfg = SystemConfig::testDefault(
+        ModelKind::ScopedBarrier, SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("a", 128);
+            nvm.allocate("b", 128);
+        },
+        [](NvmDevice &nvm) {
+            KernelProgram k("bof", 1, 32);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return nvm.open("a").base; },
+                          [](std::uint32_t) { return 1; }, mask::lane(0))
+                .ofence(mask::lane(0))
+                .storeImm([&](std::uint32_t) { return nvm.open("b").base; },
+                          [](std::uint32_t) { return 2; }, mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t a = nvm.durable().read32(nvm.open("a").base);
+            std::uint32_t b = nvm.durable().read32(nvm.open("b").base);
+            return b == 0 || a == 1;
+        });
+}
+
+TEST(BarrierModel, RelAcqStillOrders)
+{
+    SystemConfig cfg = SystemConfig::testDefault(
+        ModelKind::ScopedBarrier, SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("y", 128);
+            nvm.allocate("flag", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr y = nvm.open("y").base;
+            Addr f = nvm.open("flag").base;
+            KernelProgram k("bmp", 1, 64);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 41; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0));
+            WarpBuilder(k.warp(0, 1), 32)
+                .pacq([&](std::uint32_t) { return f; }, 1, Scope::Block,
+                      mask::lane(0))
+                .storeImm([&](std::uint32_t) { return y; },
+                          [](std::uint32_t) { return 42; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            std::uint32_t x = nvm.durable().read32(nvm.open("x").base);
+            std::uint32_t y = nvm.durable().read32(nvm.open("y").base);
+            return y == 0 || x == 41;
+        });
+}
+
+TEST(BarrierModel, SlowerThanSbrpOnOrderingDenseKernels)
+{
+    // The paper's qualitative claim (Section 8): stalling barriers lose
+    // to SBRP's buffering when ordering points are frequent.
+    auto run = [](ModelKind m) {
+        NvmDevice nvm;
+        Addr data = nvm.allocate("data", 64 * 128);
+        SystemConfig cfg = SystemConfig::testDefault(
+            m, SystemDesign::PmFar);
+        GpuSystem gpu(cfg, nvm);
+        KernelProgram k("dense", 1, 32);
+        WarpBuilder wb(k.warp(0, 0), 32);
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            wb.storeImm([&, i](std::uint32_t l) {
+                return data + 128 * ((i * 4 + l % 4) % 64);
+            }, [i](std::uint32_t) { return i + 1; }, mask::firstN(4));
+            wb.ofence();
+        }
+        return gpu.launch(k).execCycles;
+    };
+    Cycle barrier_t = run(ModelKind::ScopedBarrier);
+    Cycle sbrp_t = run(ModelKind::Sbrp);
+    EXPECT_LT(sbrp_t, barrier_t / 2)
+        << "SBRP should buffer through ordering points the barrier "
+        << "model stalls on";
+}
+
+TEST(BarrierModel, ReleaseToPmVariableDurableBeforeVisible)
+{
+    SystemConfig cfg = SystemConfig::testDefault(
+        ModelKind::ScopedBarrier, SystemDesign::PmNear);
+    crashSweep(cfg,
+        [](NvmDevice &nvm) {
+            nvm.allocate("x", 128);
+            nvm.allocate("out", 128);
+        },
+        [](NvmDevice &nvm) {
+            Addr x = nvm.open("x").base;
+            Addr out = nvm.open("out").base;
+            KernelProgram k("brel", 1, 64);
+            WarpBuilder(k.warp(0, 0), 32)
+                .storeImm([&](std::uint32_t) { return x; },
+                          [](std::uint32_t) { return 7; }, mask::lane(0))
+                .prel([&](std::uint32_t) { return out; }, 99,
+                      Scope::Block, mask::lane(0));
+            // A consumer writes after observing the released value.
+            WarpBuilder(k.warp(0, 1), 32)
+                .pacq([&](std::uint32_t) { return out; }, 99,
+                      Scope::Block, mask::lane(0))
+                .storeImm([&](std::uint32_t) { return x + 4; },
+                          [](std::uint32_t) { return 1; },
+                          mask::lane(0));
+            return k;
+        },
+        [](const NvmDevice &nvm, bool) {
+            Addr x = nvm.open("x").base;
+            Addr out = nvm.open("out").base;
+            std::uint32_t o = nvm.durable().read32(out);
+            std::uint32_t c = nvm.durable().read32(x + 4);
+            // Consumer's write implies the released value AND x.
+            if (c == 1 && (o != 99 || nvm.durable().read32(x) != 7))
+                return false;
+            return o == 0 || nvm.durable().read32(x) == 7;
+        });
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the persist buffer (PB): FIFO behaviour, warp-mask
+ * tracking, oFence coalescing, capacity accounting, in-place
+ * invalidation and the ordering/coalescing hazard queries of Section 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "persist/persist_buffer.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+constexpr Addr kLine = 0x100000000ull;
+
+TEST(PersistBuffer, StartsEmpty)
+{
+    PersistBuffer pb(8);
+    EXPECT_TRUE(pb.empty());
+    EXPECT_TRUE(pb.hasSpace());
+    EXPECT_EQ(pb.head(), nullptr);
+    EXPECT_EQ(pb.lastId(), 0u);
+}
+
+TEST(PersistBuffer, FifoOrder)
+{
+    PersistBuffer pb(8);
+    std::uint64_t a = pb.pushPersist(kLine, WarpMask::single(0));
+    std::uint64_t b = pb.pushPersist(kLine + 128, WarpMask::single(1));
+    EXPECT_LT(a, b);
+    EXPECT_EQ(pb.head()->id, a);
+    pb.popHead();
+    EXPECT_EQ(pb.head()->id, b);
+    pb.popHead();
+    EXPECT_TRUE(pb.empty());
+}
+
+TEST(PersistBuffer, CapacityCountsPersistsOnly)
+{
+    PersistBuffer pb(2);
+    pb.pushPersist(kLine, WarpMask::single(0));
+    pb.pushOrder(PbType::DFence, WarpMask::single(0));
+    pb.pushOrder(PbType::AcqBlock, WarpMask::single(1));
+    EXPECT_TRUE(pb.hasSpace());
+    pb.pushPersist(kLine + 128, WarpMask::single(0));
+    EXPECT_FALSE(pb.hasSpace());
+    EXPECT_EQ(pb.persistCount(), 2u);
+    EXPECT_EQ(pb.size(), 4u);
+}
+
+TEST(PersistBuffer, OFenceCoalescesAtTail)
+{
+    PersistBuffer pb(8);
+    std::uint64_t f1 = pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    std::uint64_t f2 = pb.pushOrder(PbType::OFence, WarpMask::single(1));
+    EXPECT_EQ(f1, f2);   // Merged into one entry (Section 6.1).
+    EXPECT_EQ(pb.size(), 1u);
+    EXPECT_TRUE(pb.head()->warps.test(0));
+    EXPECT_TRUE(pb.head()->warps.test(1));
+}
+
+TEST(PersistBuffer, OFenceDoesNotCoalesceAcrossPersist)
+{
+    PersistBuffer pb(8);
+    std::uint64_t f1 = pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    pb.pushPersist(kLine, WarpMask::single(0));
+    std::uint64_t f2 = pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    EXPECT_NE(f1, f2);
+    EXPECT_EQ(pb.size(), 3u);
+}
+
+TEST(PersistBuffer, CoalesceMergesWarpBits)
+{
+    PersistBuffer pb(8);
+    std::uint64_t id = pb.pushPersist(kLine, WarpMask::single(0));
+    pb.coalesce(id, WarpMask::single(5));
+    EXPECT_TRUE(pb.find(id)->warps.test(0));
+    EXPECT_TRUE(pb.find(id)->warps.test(5));
+}
+
+TEST(PersistBuffer, FindMissesPoppedEntries)
+{
+    PersistBuffer pb(8);
+    std::uint64_t a = pb.pushPersist(kLine, WarpMask::single(0));
+    pb.popHead();
+    EXPECT_EQ(pb.find(a), nullptr);
+    EXPECT_EQ(pb.find(9999), nullptr);
+}
+
+TEST(PersistBuffer, InvalidateSkipsAtHead)
+{
+    PersistBuffer pb(8);
+    std::uint64_t a = pb.pushPersist(kLine, WarpMask::single(0));
+    std::uint64_t b = pb.pushPersist(kLine + 128, WarpMask::single(1));
+    pb.invalidate(a);
+    EXPECT_EQ(pb.size(), 1u);
+    EXPECT_EQ(pb.head()->id, b);   // Invalid head skipped in place.
+    EXPECT_EQ(pb.persistCount(), 1u);
+}
+
+TEST(PersistBuffer, InvalidateMidQueue)
+{
+    PersistBuffer pb(8);
+    std::uint64_t a = pb.pushPersist(kLine, WarpMask::single(0));
+    std::uint64_t b = pb.pushPersist(kLine + 128, WarpMask::single(1));
+    std::uint64_t c = pb.pushPersist(kLine + 256, WarpMask::single(2));
+    pb.invalidate(b);
+    EXPECT_EQ(pb.head()->id, a);
+    pb.popHead();
+    EXPECT_EQ(pb.head()->id, c);   // b skipped.
+    EXPECT_THROW(pb.invalidate(b), PanicError);
+}
+
+TEST(PersistBuffer, OrderingAfterTracksPerWarp)
+{
+    PersistBuffer pb(8);
+    std::uint64_t p = pb.pushPersist(kLine, WarpMask::single(0));
+    EXPECT_FALSE(pb.orderingAfter(p, WarpMask::single(0)));
+    pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    EXPECT_TRUE(pb.orderingAfter(p, WarpMask::single(0)));
+    EXPECT_FALSE(pb.orderingAfter(p, WarpMask::single(1)));
+}
+
+TEST(PersistBuffer, LastOrderIdOf)
+{
+    PersistBuffer pb(8);
+    EXPECT_EQ(pb.lastOrderIdOf(3), 0u);
+    std::uint64_t f = pb.pushOrder(PbType::RelBlock, WarpMask::single(3));
+    EXPECT_EQ(pb.lastOrderIdOf(3), f);
+}
+
+TEST(PersistBuffer, OrderingBeforeRequiresOverlap)
+{
+    PersistBuffer pb(8);
+    pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    std::uint64_t p = pb.pushPersist(kLine, WarpMask::single(0));
+    std::uint64_t q = pb.pushPersist(kLine + 128, WarpMask::single(1));
+    EXPECT_TRUE(pb.orderingBefore(p, pb.find(p)->warps));
+    EXPECT_FALSE(pb.orderingBefore(q, pb.find(q)->warps));
+}
+
+TEST(PersistBuffer, CoalesceHazardPaperExample)
+{
+    // Paper Section 6.1: pX=a ; pY=b ; oFence ; pX=c must stall — pY is
+    // a sibling of pX's entry before the fence.
+    PersistBuffer pb(8);
+    std::uint64_t px = pb.pushPersist(kLine, WarpMask::single(0));
+    pb.pushPersist(kLine + 128, WarpMask::single(0));   // pY.
+    pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    EXPECT_TRUE(pb.orderingAfter(px, WarpMask::single(0)));
+    EXPECT_TRUE(pb.coalesceHazard(px, 0));
+}
+
+TEST(PersistBuffer, CoalesceHazardLoneEntryIsSafe)
+{
+    // A lone entry past an ordering point commits atomically with the
+    // merged store: no hazard (keeps reductions inside the L1).
+    PersistBuffer pb(8);
+    std::uint64_t px = pb.pushPersist(kLine, WarpMask::single(0));
+    pb.pushOrder(PbType::RelBlock, WarpMask::single(0));
+    EXPECT_TRUE(pb.orderingAfter(px, WarpMask::single(0)));
+    EXPECT_FALSE(pb.coalesceHazard(px, 0));
+}
+
+TEST(PersistBuffer, CoalesceHazardIgnoresOtherWarps)
+{
+    PersistBuffer pb(8);
+    std::uint64_t px = pb.pushPersist(kLine, WarpMask::single(0));
+    pb.pushPersist(kLine + 128, WarpMask::single(1));   // Other warp.
+    pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    EXPECT_FALSE(pb.coalesceHazard(px, 0));
+}
+
+TEST(PersistBuffer, CoalesceHazardSegmented)
+{
+    // An earlier same-warp persist separated from pbk by a marker of
+    // that warp is FSM-protected: no hazard.
+    PersistBuffer pb(8);
+    pb.pushPersist(kLine, WarpMask::single(0));          // Earlier seg.
+    pb.pushOrder(PbType::OFence, WarpMask::single(0));   // Segment edge.
+    std::uint64_t px = pb.pushPersist(kLine + 128, WarpMask::single(0));
+    pb.pushOrder(PbType::OFence, WarpMask::single(0));
+    EXPECT_FALSE(pb.coalesceHazard(px, 0));
+
+    // But a sibling *inside* px's segment is a hazard.
+    PersistBuffer pb2(8);
+    pb2.pushOrder(PbType::OFence, WarpMask::single(0));
+    std::uint64_t px2 = pb2.pushPersist(kLine, WarpMask::single(0));
+    pb2.pushPersist(kLine + 128, WarpMask::single(0));
+    pb2.pushOrder(PbType::OFence, WarpMask::single(0));
+    EXPECT_TRUE(pb2.coalesceHazard(px2, 0));
+}
+
+TEST(PersistBuffer, TypeNamesAndClasses)
+{
+    EXPECT_STREQ(toString(PbType::Persist), "persist");
+    EXPECT_STREQ(toString(PbType::RelDev), "rel_dev");
+    EXPECT_FALSE(isOrderingType(PbType::Persist));
+    EXPECT_TRUE(isOrderingType(PbType::OFence));
+    EXPECT_TRUE(isOrderingType(PbType::AcqDev));
+}
+
+TEST(PersistBuffer, PopOfEmptyPanics)
+{
+    PersistBuffer pb(4);
+    EXPECT_THROW(pb.popHead(), PanicError);
+}
+
+class PbCapacity : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PbCapacity, FillsToExactCapacity)
+{
+    std::uint32_t cap = GetParam();
+    PersistBuffer pb(cap);
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        EXPECT_TRUE(pb.hasSpace());
+        pb.pushPersist(kLine + 128ull * i, WarpMask::single(i % 32));
+    }
+    EXPECT_FALSE(pb.hasSpace());
+    pb.popHead();
+    EXPECT_TRUE(pb.hasSpace());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PbCapacity,
+                         testing::Values(1u, 2u, 7u, 64u, 256u, 512u));
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Property-based tests: randomized persist/fence/release programs and
+ * randomized crash points, validated against the formal model. The
+ * invariant under test is the paper's central guarantee — at *every*
+ * possible crash point, the durable set respects the persist memory
+ * order (downward closure), for every flush policy and both system
+ * designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+#include "apps/hashmap.hh"
+#include "apps/kvs.hh"
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+#include "apps/srad.hh"
+#include "common/rng.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+std::unique_ptr<PmApp>
+makeTestApp(const std::string &name, ModelKind model)
+{
+    if (name == "gpKVS")
+        return std::make_unique<KvsApp>(model, KvsParams::test());
+    if (name == "HM")
+        return std::make_unique<HashmapApp>(model, HashmapParams::test());
+    if (name == "SRAD")
+        return std::make_unique<SradApp>(model, SradParams::test());
+    if (name == "Red")
+        return std::make_unique<ReductionApp>(model,
+                                              ReductionParams::test());
+    if (name == "MQ")
+        return std::make_unique<MultiqueueApp>(model,
+                                               MultiqueueParams::test());
+    return std::make_unique<ScanApp>(model, ScanParams::test());
+}
+
+struct PropertyCase
+{
+    std::uint64_t seed;
+    SystemDesign design;
+    FlushPolicy policy;
+};
+
+std::string
+caseName(const testing::TestParamInfo<PropertyCase> &info)
+{
+    std::string n = "seed" + std::to_string(info.param.seed);
+    n += "_";
+    n += toString(info.param.design);
+    n += "_";
+    n += toString(info.param.policy);
+    return n;
+}
+
+/**
+ * Generates a structured-random kernel: `warps` warps in one block,
+ * each alternating bursts of persist stores (random addresses from a
+ * line pool) with oFences, then chained through block-scoped
+ * release/acquire pairs (warp w+1 acquires what warp w released, so the
+ * program is deadlock-free by construction).
+ */
+KernelProgram
+randomKernel(Rng &rng, NvmDevice &nvm, Addr flags, std::uint32_t warps,
+             std::uint32_t phases)
+{
+    Addr pool = nvm.open("pool").base;
+    const std::uint32_t kLines = 64;
+
+    KernelProgram k("prop", 1, warps * 32);
+    for (std::uint32_t w = 0; w < warps; ++w) {
+        WarpBuilder wb(k.warp(0, w), 32);
+        for (std::uint32_t ph = 0; ph < phases; ++ph) {
+            // Chained acquire: wait for the previous warp's phase.
+            if (w > 0) {
+                Addr flag = flags + ((w - 1) * phases + ph) * 4;
+                wb.pacq([flag](std::uint32_t) { return flag; }, 1,
+                        Scope::Block, mask::lane(0));
+            }
+            std::uint32_t bursts = 1 + rng.below(3) % 3;
+            for (std::uint32_t bu = 0; bu < bursts; ++bu) {
+                std::uint32_t line = static_cast<std::uint32_t>(
+                    rng.below(kLines));
+                std::uint32_t val = 1 + rng.next32() % 1000;
+                wb.storeImm([pool, line](std::uint32_t l) {
+                    return pool + 128ull * line + 4 * l;
+                }, [val](std::uint32_t l) { return val + l; });
+                if (rng.below(2) == 0)
+                    wb.ofence();
+            }
+            // Release this warp's phase flag.
+            Addr flag = flags + (w * phases + ph) * 4;
+            wb.prel([flag](std::uint32_t) { return flag; }, 1,
+                    Scope::Block, mask::lane(0));
+        }
+        if (rng.below(3) == 0)
+            wb.dfence(mask::lane(0));
+    }
+    return k;
+}
+
+class RandomProgramPmo : public testing::TestWithParam<PropertyCase>
+{
+};
+
+TEST_P(RandomProgramPmo, DurableSetRespectsPmoAtEveryCrash)
+{
+    const PropertyCase &pc = GetParam();
+    Rng rng(pc.seed);
+
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 pc.design);
+    cfg.flushPolicy = pc.policy;
+
+    // Measure the crash-free runtime once.
+    Cycle total;
+    {
+        Rng gen(pc.seed);
+        NvmDevice nvm;
+        nvm.allocate("pool", 64 * 128);
+        ExecutionTrace trace;
+        GpuSystem gpu(cfg, nvm, &trace);
+        Addr flags = gpu.gddrAlloc(4 * 32 * 4);
+        auto res = gpu.launch(randomKernel(gen, nvm, flags, 4, 3));
+        total = res.cycles;
+        PmoChecker checker(trace);
+        auto v = checker.check();
+        EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v[0].detail);
+        EXPECT_GT(checker.stats().persists, 0u);
+    }
+
+    // Sweep random crash points.
+    for (int i = 0; i < 6; ++i) {
+        Cycle at = 1 + rng.below(std::max<Cycle>(total, 2));
+        Rng gen(pc.seed);
+        NvmDevice nvm;
+        nvm.allocate("pool", 64 * 128);
+        ExecutionTrace trace;
+        {
+            GpuSystem gpu(cfg, nvm, &trace);
+            Addr flags = gpu.gddrAlloc(4 * 32 * 4);
+            gpu.launch(randomKernel(gen, nvm, flags, 4, 3), at);
+        }
+        PmoChecker checker(trace);
+        auto v = checker.check();
+        EXPECT_TRUE(v.empty())
+            << "crash at " << at << ": " << (v.empty() ? "" : v[0].detail);
+    }
+}
+
+std::vector<PropertyCase>
+propertyCases()
+{
+    std::vector<PropertyCase> cases;
+    for (std::uint64_t seed : {11ull, 23ull, 37ull, 51ull, 68ull}) {
+        for (SystemDesign d :
+             {SystemDesign::PmFar, SystemDesign::PmNear}) {
+            for (FlushPolicy p : {FlushPolicy::Window, FlushPolicy::Eager,
+                                  FlushPolicy::Lazy}) {
+                cases.push_back({seed, d, p});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomProgramPmo,
+                         testing::ValuesIn(propertyCases()), caseName);
+
+/** The epoch models must satisfy their (fence-only) PMO too. */
+class RandomEpochPmo : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomEpochPmo, FenceRuleHolds)
+{
+    std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Epoch,
+                                                 SystemDesign::PmNear);
+
+    NvmDevice nvm;
+    Addr pool = nvm.allocate("pool", 64 * 128);
+    ExecutionTrace trace;
+    Cycle total;
+    {
+        GpuSystem gpu(cfg, nvm, &trace);
+        KernelProgram k("prop_epoch", 1, 64);
+        for (std::uint32_t w = 0; w < 2; ++w) {
+            WarpBuilder wb(k.warp(0, w), 32);
+            for (int ph = 0; ph < 4; ++ph) {
+                std::uint32_t line = static_cast<std::uint32_t>(
+                    rng.below(64));
+                wb.storeImm([pool, line](std::uint32_t l) {
+                    return pool + 128ull * line + 4 * l;
+                }, [ph](std::uint32_t l) { return ph * 100 + l + 1; });
+                wb.fence(Scope::System);
+            }
+        }
+        total = gpu.launch(k).cycles;
+    }
+    {
+        PmoChecker checker(trace);
+        EXPECT_TRUE(checker.check().empty());
+    }
+
+    for (int i = 0; i < 4; ++i) {
+        Cycle at = 1 + rng.below(std::max<Cycle>(total, 2));
+        Rng gen(seed);
+        NvmDevice nvm2;
+        Addr pool2 = nvm2.allocate("pool", 64 * 128);
+        ExecutionTrace trace2;
+        {
+            GpuSystem gpu(cfg, nvm2, &trace2);
+            KernelProgram k("prop_epoch", 1, 64);
+            for (std::uint32_t w = 0; w < 2; ++w) {
+                WarpBuilder wb(k.warp(0, w), 32);
+                for (int ph = 0; ph < 4; ++ph) {
+                    std::uint32_t line = static_cast<std::uint32_t>(
+                        gen.below(64));
+                    wb.storeImm([pool2, line](std::uint32_t l) {
+                        return pool2 + 128ull * line + 4 * l;
+                    }, [ph](std::uint32_t l) {
+                        return ph * 100 + l + 1;
+                    });
+                    wb.fence(Scope::System);
+                }
+            }
+            gpu.launch(k, at);
+        }
+        PmoChecker checker(trace2);
+        auto v = checker.check();
+        EXPECT_TRUE(v.empty()) << "crash at " << at;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEpochPmo,
+                         testing::Values(3ull, 7ull, 19ull, 42ull));
+
+/** Random crash fractions against the full applications. */
+struct AppCase
+{
+    const char *app;
+    SystemDesign design;
+    std::uint64_t seed;
+};
+
+std::string
+appCaseName(const testing::TestParamInfo<AppCase> &info)
+{
+    return std::string(info.param.app) + "_" +
+           toString(info.param.design) + "_s" +
+           std::to_string(info.param.seed);
+}
+
+class RandomAppCrash : public testing::TestWithParam<AppCase>
+{
+};
+
+TEST_P(RandomAppCrash, AlwaysRecoversConsistently)
+{
+    const AppCase &ac = GetParam();
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 ac.design);
+    Cycle total;
+    {
+        auto app = makeTestApp(ac.app, ModelKind::Sbrp);
+        total = AppHarness::runCrashFree(*app, cfg).forwardCycles;
+    }
+    Rng rng(ac.seed);
+    for (int i = 0; i < 3; ++i) {
+        auto app = makeTestApp(ac.app, ModelKind::Sbrp);
+        Cycle at = 1 + rng.below(std::max<Cycle>(total, 2));
+        AppRunResult r = AppHarness::runCrashRecover(*app, cfg, at, true);
+        EXPECT_TRUE(r.consistent)
+            << ac.app << " inconsistent, crash at " << at;
+        EXPECT_EQ(r.pmoViolations, 0u)
+            << ac.app << " PMO violation, crash at " << at;
+    }
+}
+
+std::vector<AppCase>
+appCases()
+{
+    std::vector<AppCase> cases;
+    for (const char *app :
+         {"gpKVS", "HM", "SRAD", "Red", "MQ", "Scan"}) {
+        for (SystemDesign d :
+             {SystemDesign::PmFar, SystemDesign::PmNear}) {
+            for (std::uint64_t s : {101ull, 202ull}) {
+                cases.push_back({app, d, s});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, RandomAppCrash,
+                         testing::ValuesIn(appCases()), appCaseName);
+
+} // namespace
+} // namespace sbrp

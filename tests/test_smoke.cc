@@ -1,0 +1,295 @@
+/**
+ * @file
+ * End-to-end smoke tests: tiny kernels through the full simulator on
+ * every persistency model and system design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+SystemConfig
+smallCfg(ModelKind model, SystemDesign design)
+{
+    return SystemConfig::testDefault(model, design);
+}
+
+/** One warp persists 32 ints and dfences; data must be durable. */
+TEST(Smoke, SingleWarpPersistSbrp)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 32 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+
+    KernelProgram k("persist32", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return data + 4 * l; },
+                  [](std::uint32_t l) { return l + 100; })
+        .dfence();
+
+    auto res = gpu.launch(k);
+    EXPECT_FALSE(res.crashed);
+    EXPECT_GT(res.cycles, 0u);
+
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(nvm.durable().read32(data + 4 * l), l + 100) << l;
+}
+
+TEST(Smoke, SingleWarpPersistEpochNear)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 32 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Epoch, SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+
+    KernelProgram k("persist32", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return data + 4 * l; },
+                  [](std::uint32_t l) { return l + 7; })
+        .fence(Scope::System);
+
+    auto res = gpu.launch(k);
+    EXPECT_FALSE(res.crashed);
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(nvm.durable().read32(data + 4 * l), l + 7) << l;
+}
+
+TEST(Smoke, GpmOnPmFar)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 32 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Gpm, SystemDesign::PmFar);
+    GpuSystem gpu(cfg, nvm);
+
+    KernelProgram k("persist32", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return data + 4 * l; },
+                  [](std::uint32_t l) { return l; })
+        .fence(Scope::System);
+
+    auto res = gpu.launch(k);
+    EXPECT_FALSE(res.crashed);
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(nvm.durable().read32(data + 4 * l), l) << l;
+}
+
+/** Volatile (GDDR) stores never reach the durable image. */
+TEST(Smoke, VolatileStoresStayVolatile)
+{
+    NvmDevice nvm;
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+    Addr buf = gpu.gddrAlloc(32 * 4);
+
+    KernelProgram k("volatile", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t l) { return buf + 4 * l; },
+                  [](std::uint32_t l) { return l + 1; })
+        .dfence();
+
+    gpu.launch(k);
+    EXPECT_EQ(nvm.commitCount(), 0u);
+    // Visible in the volatile view though.
+    EXPECT_EQ(gpu.mem().read32(buf), 1u);
+}
+
+/** Crash immediately: nothing durable; after power-cycle, data is gone. */
+TEST(Smoke, CrashLosesUncommitted)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 32 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    cfg.flushPolicy = FlushPolicy::Lazy;   // Keep everything buffered.
+    {
+        GpuSystem gpu(cfg, nvm);
+        KernelProgram k("persist32", 1, 32);
+        WarpBuilder(k.warp(0, 0), 32)
+            .storeImm([&](std::uint32_t l) { return data + 4 * l; },
+                      [](std::uint32_t l) { return l + 100; });
+        auto res = gpu.launch(k, 5);   // Crash at cycle 5.
+        EXPECT_TRUE(res.crashed);
+    }
+    for (std::uint32_t l = 0; l < 32; ++l)
+        EXPECT_EQ(nvm.durable().read32(data + 4 * l), 0u) << l;
+
+    // Power-up again; the region reopens by name.
+    GpuSystem gpu2(cfg, nvm);
+    EXPECT_EQ(nvm.open("data").base, data);
+    EXPECT_EQ(gpu2.mem().read32(data), 0u);
+}
+
+/** Two warps synchronize via block-scoped pRel/pAcq. */
+TEST(Smoke, BlockScopedRelAcq)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 2 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    ExecutionTrace trace;
+    GpuSystem gpu(cfg, nvm, &trace);
+    Addr flag = gpu.gddrAlloc(4);
+
+    KernelProgram k("relacq", 1, 64);   // Two warps.
+    // Warp 0, lane 0: persist data[0], release flag.
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t) { return data; },
+                  [](std::uint32_t) { return 11; }, mask::lane(0))
+        .prel([&](std::uint32_t) { return flag; }, 1, Scope::Block,
+              mask::lane(0));
+    // Warp 1, lane 0: acquire flag, persist data[1].
+    WarpBuilder(k.warp(0, 1), 32)
+        .pacq([&](std::uint32_t) { return flag; }, 1, Scope::Block,
+              mask::lane(0))
+        .storeImm([&](std::uint32_t) { return data + 4; },
+                  [](std::uint32_t) { return 22; }, mask::lane(0))
+        .dfence(mask::lane(0));
+
+    auto res = gpu.launch(k);
+    EXPECT_FALSE(res.crashed);
+    EXPECT_EQ(nvm.durable().read32(data), 11u);
+    EXPECT_EQ(nvm.durable().read32(data + 4), 22u);
+
+    PmoChecker checker(trace);
+    auto violations = checker.check();
+    EXPECT_TRUE(violations.empty());
+    EXPECT_EQ(checker.stats().relAcqEdgesChecked, 1u);
+}
+
+/** Device-scoped release across blocks on different SMs. */
+TEST(Smoke, DeviceScopedRelAcq)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 2 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    ExecutionTrace trace;
+    GpuSystem gpu(cfg, nvm, &trace);
+    Addr flag = gpu.gddrAlloc(4);
+
+    KernelProgram k("relacq_dev", 2, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t) { return data; },
+                  [](std::uint32_t) { return 33; }, mask::lane(0))
+        .prel([&](std::uint32_t) { return flag; }, 1, Scope::Device,
+              mask::lane(0));
+    WarpBuilder(k.warp(1, 0), 32)
+        .pacq([&](std::uint32_t) { return flag; }, 1, Scope::Device,
+              mask::lane(0))
+        .storeImm([&](std::uint32_t) { return data + 4; },
+                  [](std::uint32_t) { return 44; }, mask::lane(0))
+        .dfence(mask::lane(0));
+
+    auto res = gpu.launch(k);
+    EXPECT_FALSE(res.crashed);
+    EXPECT_EQ(nvm.durable().read32(data), 33u);
+    EXPECT_EQ(nvm.durable().read32(data + 4), 44u);
+
+    PmoChecker checker(trace);
+    EXPECT_TRUE(checker.check().empty());
+    EXPECT_EQ(checker.stats().relAcqEdgesChecked, 1u);
+}
+
+/** oFence orders two persists from the same thread. */
+TEST(Smoke, OFenceIntraThread)
+{
+    NvmDevice nvm;
+    Addr data = nvm.allocate("data", 2 * 128);   // Two distinct lines.
+
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    ExecutionTrace trace;
+    GpuSystem gpu(cfg, nvm, &trace);
+
+    KernelProgram k("ofence", 1, 32);
+    WarpBuilder(k.warp(0, 0), 32)
+        .storeImm([&](std::uint32_t) { return data; },
+                  [](std::uint32_t) { return 1; }, mask::lane(0))
+        .ofence(mask::lane(0))
+        .storeImm([&](std::uint32_t) { return data + 128; },
+                  [](std::uint32_t) { return 2; }, mask::lane(0))
+        .dfence(mask::lane(0));
+
+    gpu.launch(k);
+    EXPECT_EQ(nvm.durable().read32(data), 1u);
+    EXPECT_EQ(nvm.durable().read32(data + 128), 2u);
+
+    PmoChecker checker(trace);
+    EXPECT_TRUE(checker.check().empty());
+    EXPECT_GE(checker.stats().fenceEpochsChecked, 2u);
+}
+
+/** Loads, barriers and compute run across many warps and blocks. */
+TEST(Smoke, MixedKernelManyBlocks)
+{
+    NvmDevice nvm;
+    Addr out = nvm.allocate("out", 8 * 64 * 4);
+
+    SystemConfig cfg = smallCfg(ModelKind::Sbrp, SystemDesign::PmNear);
+    GpuSystem gpu(cfg, nvm);
+    Addr in = gpu.gddrAlloc(8 * 64 * 4);
+    for (std::uint32_t i = 0; i < 8 * 64; ++i)
+        gpu.mem().write32(in + 4 * i, i * 3);
+
+    KernelProgram k("mixed", 8, 64);
+    for (BlockId b = 0; b < 8; ++b) {
+        for (std::uint32_t w = 0; w < 2; ++w) {
+            std::uint32_t base = b * 64 + w * 32;
+            WarpBuilder(k.warp(b, w), 32)
+                .load(0, [&](std::uint32_t l) {
+                    return in + 4 * (base + l);
+                })
+                .addImm(0, 5)
+                .compute(20)
+                .barrier()
+                .store([&](std::uint32_t l) {
+                    return out + 4 * (base + l);
+                }, 0)
+                .dfence();
+        }
+    }
+
+    auto res = gpu.launch(k);
+    EXPECT_FALSE(res.crashed);
+    for (std::uint32_t i = 0; i < 8 * 64; ++i)
+        EXPECT_EQ(nvm.durable().read32(out + 4 * i), i * 3 + 5) << i;
+}
+
+/** The same kernel takes longer on PM-far than PM-near. */
+TEST(Smoke, PmFarSlowerThanPmNear)
+{
+    auto run = [](SystemDesign design) {
+        NvmDevice nvm;
+        Addr data = nvm.allocate("data", 1024 * 4);
+        SystemConfig cfg = smallCfg(ModelKind::Sbrp, design);
+        GpuSystem gpu(cfg, nvm);
+        KernelProgram k("stream", 1, 128);
+        for (std::uint32_t w = 0; w < 4; ++w) {
+            WarpBuilder wb(k.warp(0, w), 32);
+            for (std::uint32_t rep = 0; rep < 8; ++rep) {
+                wb.storeImm([&, w, rep](std::uint32_t l) {
+                    return data + 4 * (rep * 128 + w * 32 + l);
+                }, [](std::uint32_t l) { return l; });
+                wb.ofence();
+            }
+            wb.dfence();
+        }
+        GpuSystem::LaunchResult res = gpu.launch(k);
+        return res.cycles;
+    };
+
+    Cycle near_c = run(SystemDesign::PmNear);
+    Cycle far_c = run(SystemDesign::PmFar);
+    EXPECT_LT(near_c, far_c);
+}
+
+} // namespace
+} // namespace sbrp

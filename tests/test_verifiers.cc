@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Negative tests for the application verifiers: hand-corrupted durable
+ * images must be rejected. A verifier that cannot fail would make every
+ * crash-consistency test in the suite vacuous.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/kvs.hh"
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+#include "apps/srad.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+/** Runs the app crash-free so the durable image is complete. */
+template <typename App>
+NvmDevice
+runClean(App &app, const SystemConfig &cfg)
+{
+    NvmDevice nvm;
+    app.setupNvm(nvm);
+    GpuSystem gpu(cfg, nvm);
+    app.setupGpu(gpu);
+    gpu.launch(app.forward());
+    return nvm;
+}
+
+void
+corrupt32(NvmDevice &nvm, Addr a)
+{
+    std::uint32_t v = nvm.durable().read32(a) ^ 0x5a5a5a5a;
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &v, 4);
+    nvm.commitLine(a, bytes, 4);
+}
+
+TEST(Verifiers, KvsRejectsTornPair)
+{
+    KvsApp app(ModelKind::Sbrp, KvsParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    ASSERT_TRUE(app.verify(nvm));
+    ASSERT_TRUE(app.verifyRecovered(nvm));
+
+    // Tear one pair's value: neither old-nor-new state.
+    corrupt32(nvm, nvm.open("kvs.table").base + 4);
+    EXPECT_FALSE(app.verify(nvm));
+    EXPECT_FALSE(app.verifyRecovered(nvm));
+}
+
+TEST(Verifiers, KvsRejectsGapInPrefix)
+{
+    KvsParams p = KvsParams::test();
+    KvsApp app(ModelKind::Sbrp, p);
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+
+    // Erase thread 0's FIRST insert while its later ones remain: the
+    // per-thread prefix property must fail.
+    Addr table = nvm.open("kvs.table").base;
+    std::uint8_t zeros[8] = {};
+    bool rejected = false;
+    for (std::uint32_t s = 0; s < p.slotsPerThread && !rejected; ++s) {
+        NvmDevice copy = runClean(app, cfg);
+        copy.commitLine(table + 8ull * s, zeros, 8);
+        rejected = !app.verifyRecovered(copy);
+    }
+    EXPECT_TRUE(rejected);
+}
+
+TEST(Verifiers, ReductionRejectsWrongTotal)
+{
+    ReductionApp app(ModelKind::Sbrp, ReductionParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    ASSERT_TRUE(app.verify(nvm));
+    corrupt32(nvm, nvm.open("red.out").base);
+    EXPECT_FALSE(app.verify(nvm));
+}
+
+TEST(Verifiers, ReductionRejectsWrongSubtree)
+{
+    ReductionApp app(ModelKind::Sbrp, ReductionParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    corrupt32(nvm, nvm.open("red.parr").base + 4);   // Thread 1's sum.
+    EXPECT_FALSE(app.verify(nvm));
+}
+
+TEST(Verifiers, MultiqueueRejectsEntryAboveTailRule)
+{
+    MultiqueueApp app(ModelKind::Sbrp, MultiqueueParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    ASSERT_TRUE(app.verifyRecovered(nvm));
+    // Corrupt an entry below the tail.
+    corrupt32(nvm, nvm.open("mq.entries").base);
+    EXPECT_FALSE(app.verifyRecovered(nvm));
+}
+
+TEST(Verifiers, MultiqueueRejectsMisalignedTail)
+{
+    MultiqueueApp app(ModelKind::Sbrp, MultiqueueParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    std::uint32_t bad_tail = 7;   // Not a batch boundary.
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &bad_tail, 4);
+    nvm.commitLine(nvm.open("mq.tail").base, bytes, 4);
+    EXPECT_FALSE(app.verifyRecovered(nvm));
+}
+
+TEST(Verifiers, ScanRejectsWrongPrefixSum)
+{
+    ScanApp app(ModelKind::Sbrp, ScanParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    ASSERT_TRUE(app.verify(nvm));
+    // The final iteration buffer is the last region chunk; flip the
+    // first element of the final buffer via the app's own address
+    // space: buf region, last iteration, g = 0.
+    Addr buf = nvm.open("scan.buf").base;
+    corrupt32(nvm, buf);   // Iteration-0 value feeds nothing at verify,
+                           // so corrupt the whole region start...
+    // Safer: corrupt every word until verify fails.
+    bool rejected = !app.verify(nvm);
+    Addr size = nvm.open("scan.buf").size;
+    for (Addr off = 0; off < size && !rejected; off += 4) {
+        corrupt32(nvm, buf + off);
+        rejected = !app.verify(nvm);
+    }
+    EXPECT_TRUE(rejected);
+}
+
+TEST(Verifiers, SradRejectsWrongPixel)
+{
+    SradApp app(ModelKind::Sbrp, SradParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    ASSERT_TRUE(app.verify(nvm));
+    corrupt32(nvm, nvm.open("srad.out").base + 8);
+    EXPECT_FALSE(app.verify(nvm));
+}
+
+TEST(Verifiers, SradRejectsWrongNoise)
+{
+    SradApp app(ModelKind::Sbrp, SradParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    corrupt32(nvm, nvm.open("srad.noise").base + 8);
+    EXPECT_FALSE(app.verify(nvm));
+}
+
+} // namespace
+} // namespace sbrp
+
+#include "apps/checkpoint.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+TEST(Verifiers, CheckpointRejectsTornSnapshot)
+{
+    CheckpointApp app(ModelKind::Sbrp, CheckpointParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    ASSERT_TRUE(app.verify(nvm));
+    ASSERT_TRUE(app.checkpointInvariant(nvm));
+
+    // Corrupt one word of the committed snapshot: torn checkpoint.
+    CheckpointParams p = CheckpointParams::test();
+    std::uint32_t buf = (p.epochs - 1) % 2;
+    Addr b = nvm.open("ckpt.buffers").base +
+             std::uint64_t(buf) * p.blocks * p.threadsPerBlock * 4;
+    corrupt32(nvm, b + 8);
+    EXPECT_FALSE(app.checkpointInvariant(nvm));
+    EXPECT_FALSE(app.verify(nvm));
+}
+
+TEST(Verifiers, CheckpointRejectsOverrunCounter)
+{
+    CheckpointApp app(ModelKind::Sbrp, CheckpointParams::test());
+    SystemConfig cfg = SystemConfig::testDefault();
+    NvmDevice nvm = runClean(app, cfg);
+    std::uint32_t bogus = 99;
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &bogus, 4);
+    nvm.commitLine(nvm.open("ckpt.epoch").base, bytes, 4);
+    EXPECT_FALSE(app.checkpointInvariant(nvm));
+}
+
+} // namespace
+} // namespace sbrp

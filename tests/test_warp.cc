@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Warp runtime state: scheduling states, operand
+ * selection, effective addressing and lane liveness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/warp.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+WarpProgram
+prog()
+{
+    WarpProgram p;
+    WarpBuilder(p, 32)
+        .mov(0, 5)
+        .load(1, [](std::uint32_t l) { return Addr(0x1000 + 4 * l); })
+        .halt();
+    return p;
+}
+
+TEST(Warp, IdentityAndThreads)
+{
+    WarpProgram p = prog();
+    Warp w(&p, /*block=*/3, /*warpInBlock=*/2, /*slot=*/7, /*sm=*/1,
+           /*firstThread=*/3 * 128 + 64);
+    EXPECT_EQ(w.block(), 3u);
+    EXPECT_EQ(w.warpInBlock(), 2u);
+    EXPECT_EQ(w.slot(), 7u);
+    EXPECT_EQ(w.sm(), 1u);
+    EXPECT_EQ(w.thread(0), 448u);
+    EXPECT_EQ(w.thread(31), 479u);
+}
+
+TEST(Warp, PcAdvancesToEnd)
+{
+    WarpProgram p = prog();
+    Warp w(&p, 0, 0, 0, 0, 0);
+    EXPECT_FALSE(w.atEnd());
+    EXPECT_EQ(w.instr().op, Op::Mov);
+    w.advance();
+    EXPECT_EQ(w.instr().op, Op::Load);
+    w.advance();
+    w.advance();
+    EXPECT_TRUE(w.atEnd());
+}
+
+TEST(Warp, IssuableStates)
+{
+    WarpProgram p = prog();
+    Warp w(&p, 0, 0, 0, 0, 0);
+    EXPECT_TRUE(w.issuable(0));
+    w.setState(WarpState::WaitMem);
+    EXPECT_FALSE(w.issuable(0));
+    w.setState(WarpState::ModelRetry);
+    EXPECT_TRUE(w.issuable(0));
+    w.setState(WarpState::Busy);
+    w.setBusyUntil(100);
+    EXPECT_FALSE(w.issuable(99));
+    EXPECT_TRUE(w.issuable(100));
+    w.setState(WarpState::WaitSpin);
+    EXPECT_FALSE(w.issuable(1000));
+}
+
+TEST(Warp, OutstandingCounting)
+{
+    WarpProgram p = prog();
+    Warp w(&p, 0, 0, 0, 0, 0);
+    w.addOutstanding(2);
+    EXPECT_FALSE(w.completeOne());
+    EXPECT_TRUE(w.completeOne());
+    EXPECT_EQ(w.outstanding(), 0u);
+    EXPECT_TRUE(w.completeOne());   // Saturates at zero.
+}
+
+TEST(Warp, OperandSelection)
+{
+    WarpProgram p;
+    WarpBuilder b(p, 32);
+    b.storeImm([](std::uint32_t l) { return Addr(0x100 + 4 * l); },
+               [](std::uint32_t l) { return 10 + l; });
+    b.store([](std::uint32_t l) { return Addr(0x200 + 4 * l); }, 2);
+    WarpInstr scalar;
+    scalar.op = Op::Store;
+    scalar.src = kImmOperand;
+    scalar.imm = 77;
+
+    Warp w(&p, 0, 0, 0, 0, 0);
+    w.setReg(5, 2, 1234);
+    EXPECT_EQ(w.operand(p.code[0], 3), 13u);       // Per-lane imm.
+    EXPECT_EQ(w.operand(p.code[1], 5), 1234u);     // Register.
+    EXPECT_EQ(w.operand(scalar, 9), 77u);          // Scalar imm.
+}
+
+TEST(Warp, EffectiveAddressWithIndexRegister)
+{
+    WarpProgram p;
+    WarpBuilder(p, 32)
+        .storeIdx([](std::uint32_t) { return Addr(0x4000); }, 1, 0, 8);
+    Warp w(&p, 0, 0, 0, 0, 0);
+    w.setReg(2, 0, 5);   // Lane 2's index register = 5.
+    EXPECT_EQ(w.effAddr(p.code[0], 2), 0x4000u + 5 * 8);
+    w.setReg(3, 0, 0);
+    EXPECT_EQ(w.effAddr(p.code[0], 3), 0x4000u);
+}
+
+TEST(Warp, LanesDeactivatePermanently)
+{
+    WarpProgram p = prog();
+    Warp w(&p, 0, 0, 0, 0, 0);
+    EXPECT_EQ(w.live(), 0xffffffffu);
+    w.deactivate(0);
+    w.deactivate(31);
+    EXPECT_EQ(w.live(), 0x7ffffffeu);
+    WarpInstr in;
+    in.active = 0x0000ffff;
+    EXPECT_EQ(w.effActive(in), 0x0000fffeu);
+}
+
+} // namespace
+} // namespace sbrp

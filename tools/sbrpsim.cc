@@ -1,0 +1,247 @@
+/**
+ * @file
+ * sbrpsim — command-line driver for the SBRP simulator.
+ *
+ * Runs one of the paper's six PM-aware applications under a chosen
+ * persistency model and system design, optionally injecting a crash
+ * and running recovery, and prints timing plus the key statistics.
+ *
+ * Usage:
+ *   sbrpsim --app Red --model sbrp --design near
+ *   sbrpsim --app gpKVS --model epoch --design far --crash 0.5
+ *   sbrpsim --app Scan --model sbrp --window 10 --policy eager --stats
+ *   sbrpsim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/checkpoint.hh"
+#include "apps/hashmap.hh"
+#include "apps/kvs.hh"
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+#include "apps/srad.hh"
+
+using namespace sbrp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "sbrpsim — scoped buffered persistency model simulator\n\n"
+        "  --app <name>      gpKVS | HM | SRAD | Red | MQ | Scan | Ckpt\n"
+        "  --model <m>       sbrp | epoch | gpm | barrier  (default sbrp)\n"
+        "  --design <d>      near | far                    (default near)\n"
+        "  --crash <frac>    crash at this fraction of the crash-free\n"
+        "                    runtime, then power-cycle and recover\n"
+        "  --window <n>      SBRP flush window              (default 6)\n"
+        "  --policy <p>      window | eager | lazy          (default window)\n"
+        "  --pb <frac>       persist buffer coverage of L1  (default 0.5)\n"
+        "  --nvm-bw <scale>  NVM bandwidth scale            (default 1.0)\n"
+        "  --eadr            persist point at the host LLC (PM-far only)\n"
+        "  --scale <t|b>     workload scale: test or bench  (default t)\n"
+        "  --check           attach the formal PMO checker\n"
+        "  --stats           dump all non-zero counters\n"
+        "  --list            list applications and exit\n");
+}
+
+std::unique_ptr<PmApp>
+makeApp(const std::string &name, ModelKind model, bool bench)
+{
+    if (name == "gpKVS") {
+        return std::make_unique<KvsApp>(
+            model, bench ? KvsParams::bench() : KvsParams::test());
+    }
+    if (name == "HM") {
+        return std::make_unique<HashmapApp>(
+            model, bench ? HashmapParams::bench() : HashmapParams::test());
+    }
+    if (name == "SRAD") {
+        return std::make_unique<SradApp>(
+            model, bench ? SradParams::bench() : SradParams::test());
+    }
+    if (name == "Red") {
+        return std::make_unique<ReductionApp>(
+            model,
+            bench ? ReductionParams::bench() : ReductionParams::test());
+    }
+    if (name == "MQ") {
+        return std::make_unique<MultiqueueApp>(
+            model, bench ? MultiqueueParams::bench()
+                         : MultiqueueParams::test());
+    }
+    if (name == "Scan") {
+        return std::make_unique<ScanApp>(
+            model, bench ? ScanParams::bench() : ScanParams::test());
+    }
+    if (name == "Ckpt") {
+        return std::make_unique<CheckpointApp>(
+            model, bench ? CheckpointParams::bench()
+                         : CheckpointParams::test());
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name;
+    ModelKind model = ModelKind::Sbrp;
+    SystemDesign design = SystemDesign::PmNear;
+    double crash_frac = -1.0;
+    bool bench_scale = false;
+    bool check = false;
+    bool dump_stats = false;
+    SystemConfig cfg = SystemConfig::paperDefault();
+
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            usage();
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--app") {
+            app_name = next(i);
+        } else if (a == "--model") {
+            std::string m = next(i);
+            if (m == "sbrp") model = ModelKind::Sbrp;
+            else if (m == "epoch") model = ModelKind::Epoch;
+            else if (m == "gpm") model = ModelKind::Gpm;
+            else if (m == "barrier") model = ModelKind::ScopedBarrier;
+            else { usage(); return 2; }
+        } else if (a == "--design") {
+            std::string d = next(i);
+            if (d == "near") design = SystemDesign::PmNear;
+            else if (d == "far") design = SystemDesign::PmFar;
+            else { usage(); return 2; }
+        } else if (a == "--crash") {
+            crash_frac = std::atof(next(i));
+        } else if (a == "--window") {
+            cfg.window = static_cast<std::uint32_t>(std::atoi(next(i)));
+        } else if (a == "--policy") {
+            std::string p = next(i);
+            if (p == "window") cfg.flushPolicy = FlushPolicy::Window;
+            else if (p == "eager") cfg.flushPolicy = FlushPolicy::Eager;
+            else if (p == "lazy") cfg.flushPolicy = FlushPolicy::Lazy;
+            else { usage(); return 2; }
+        } else if (a == "--pb") {
+            cfg.pbCoverage = std::atof(next(i));
+        } else if (a == "--nvm-bw") {
+            cfg.nvmBwScale = std::atof(next(i));
+        } else if (a == "--eadr") {
+            cfg.persistPoint = PersistPoint::Eadr;
+        } else if (a == "--scale") {
+            bench_scale = std::string(next(i)) == "b";
+        } else if (a == "--check") {
+            check = true;
+        } else if (a == "--stats") {
+            dump_stats = true;
+        } else if (a == "--list") {
+            std::printf("gpKVS HM SRAD Red MQ Scan Ckpt\n");
+            return 0;
+        } else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 2;
+        }
+    }
+
+    if (app_name.empty()) {
+        usage();
+        return 2;
+    }
+    auto app = makeApp(app_name, model, bench_scale);
+    if (!app) {
+        std::fprintf(stderr, "unknown app '%s'\n", app_name.c_str());
+        return 2;
+    }
+    cfg.model = model;
+    cfg.design = design;
+
+    try {
+        cfg.validate();
+        std::printf("%s under %s\n", app_name.c_str(),
+                    cfg.describe().c_str());
+
+        if (crash_frac < 0.0) {
+            AppRunResult r = AppHarness::runCrashFree(*app, cfg, check);
+            std::printf("kernel runtime:  %llu cycles "
+                        "(+%llu drain tail)\n",
+                        static_cast<unsigned long long>(r.forwardCycles),
+                        static_cast<unsigned long long>(
+                            r.forwardDrainTail));
+            std::printf("NVM line commits: %llu\n",
+                        static_cast<unsigned long long>(r.nvmCommits));
+            std::printf("L1 NVM read misses: %llu\n",
+                        static_cast<unsigned long long>(
+                            r.l1NvmReadMisses));
+            std::printf("durable state: %s\n",
+                        r.consistent ? "verified" : "WRONG");
+            if (check)
+                std::printf("PMO violations: %llu\n",
+                            static_cast<unsigned long long>(
+                                r.pmoViolations));
+            if (!r.consistent)
+                return 1;
+        } else {
+            Cycle total;
+            {
+                auto probe = makeApp(app_name, model, bench_scale);
+                total = AppHarness::runCrashFree(*probe, cfg)
+                            .forwardCycles;
+            }
+            auto at = std::max<Cycle>(1, static_cast<Cycle>(
+                total * crash_frac));
+            AppRunResult r =
+                AppHarness::runCrashRecover(*app, cfg, at, check);
+            std::printf("crash-free runtime: %llu cycles\n",
+                        static_cast<unsigned long long>(total));
+            std::printf("power failed at:    %llu cycles\n",
+                        static_cast<unsigned long long>(at));
+            std::printf("recovery runtime:   %llu cycles "
+                        "(%llu warp instructions)\n",
+                        static_cast<unsigned long long>(r.recoveryCycles),
+                        static_cast<unsigned long long>(
+                            r.recoveryInstructions));
+            std::printf("recovered state: %s\n",
+                        r.consistent ? "CONSISTENT" : "CORRUPT");
+            if (check)
+                std::printf("PMO violations: %llu\n",
+                            static_cast<unsigned long long>(
+                                r.pmoViolations));
+            if (!r.consistent)
+                return 1;
+        }
+
+        if (dump_stats) {
+            // Re-run once with a live system to dump counters.
+            NvmDevice nvm;
+            app = makeApp(app_name, model, bench_scale);
+            app->setupNvm(nvm);
+            GpuSystem gpu(cfg, nvm);
+            app->setupGpu(gpu);
+            gpu.launch(app->forward());
+            std::printf("\n--- statistics ---\n%s",
+                        gpu.stats().dump().c_str());
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

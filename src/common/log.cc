@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <cstdlib>
 #include <iostream>
 
 namespace sbrp
@@ -9,13 +10,28 @@ namespace log_detail
 
 namespace
 {
-int g_verbosity = 1;
+
+int
+initialVerbosity()
+{
+    const char *env = std::getenv("SBRP_LOG_LEVEL");
+    return env && *env ? std::atoi(env) : 1;
+}
+
+int g_verbosity = initialVerbosity();
+
 } // namespace
 
 std::string
 format(const char *fmt)
 {
-    return std::string(fmt);
+    std::string out;
+    for (const char *p = fmt; *p; ++p) {
+        if (p[0] == '%' && p[1] == '%')
+            ++p;
+        out.push_back(*p);
+    }
+    return out;
 }
 
 void

@@ -39,7 +39,8 @@ class FatalError : public std::runtime_error
 namespace log_detail
 {
 
-/** Formats a printf-free "%s"-style message into a std::string. */
+/** Formats a printf-free "%s"-style message into a std::string.
+    "%%" is a literal percent sign. */
 std::string format(const char *fmt);
 
 template <typename T, typename... Args>
@@ -48,6 +49,11 @@ format(const char *fmt, T &&first, Args &&...rest)
 {
     std::string out;
     for (const char *p = fmt; *p; ++p) {
+        if (p[0] == '%' && p[1] == '%') {
+            out.push_back('%');
+            ++p;
+            continue;
+        }
         if (p[0] == '%' && p[1] == 's') {
             std::ostringstream oss;
             oss << first;
@@ -67,7 +73,11 @@ format(const char *fmt, T &&first, Args &&...rest)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/** Global verbosity: 0 silences inform(), 1 (default) prints it. */
+/**
+ * Global verbosity: 0 silences inform(), 1 (default) prints it. The
+ * initial level comes from the SBRP_LOG_LEVEL environment variable when
+ * set; setVerbosity() overrides it for the rest of the process.
+ */
 void setVerbosity(int level);
 int verbosity();
 

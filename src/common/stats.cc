@@ -1,9 +1,67 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
 
 namespace sbrp
 {
+
+void
+Distribution::record(std::uint64_t v)
+{
+    ++buckets_[std::bit_width(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+namespace
+{
+
+/** Midpoint of bucket b's value range (bucket 0 holds only 0). */
+std::uint64_t
+bucketMid(std::uint32_t b)
+{
+    if (b == 0)
+        return 0;
+    std::uint64_t lo = 1ull << (b - 1);
+    std::uint64_t hi = b >= 64 ? ~0ull : (1ull << b) - 1;
+    return lo + (hi - lo) / 2;
+}
+
+} // namespace
+
+std::uint64_t
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(p * count_ + 0.5);
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b];
+        if (seen >= target) {
+            // Clamp the midpoint estimate into the observed range.
+            return std::clamp(bucketMid(b), min(), max());
+        }
+    }
+    return max_;
+}
+
+void
+Distribution::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ull;
+    max_ = 0;
+}
 
 StatGroup::StatGroup(std::string name) : name_(std::move(name))
 {
@@ -15,6 +73,12 @@ StatGroup::stat(const std::string &name)
     return stats_[name];
 }
 
+Distribution &
+StatGroup::dist(const std::string &name)
+{
+    return dists_[name];
+}
+
 std::uint64_t
 StatGroup::value(const std::string &name) const
 {
@@ -22,10 +86,19 @@ StatGroup::value(const std::string &name) const
     return it == stats_.end() ? 0 : it->second.value();
 }
 
+const Distribution *
+StatGroup::findDist(const std::string &name) const
+{
+    auto it = dists_.find(name);
+    return it == dists_.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::resetAll()
 {
     for (auto &kv : stats_)
+        kv.second.reset();
+    for (auto &kv : dists_)
         kv.second.reset();
 }
 
@@ -40,18 +113,93 @@ StatRegistry::sum(const std::string &prefix, const std::string &counter) const
     return total;
 }
 
+namespace
+{
+
+/** Registration order varies with construction; reports sort by name. */
+std::vector<const StatGroup *>
+sortedGroups(const std::vector<StatGroup *> &groups)
+{
+    std::vector<const StatGroup *> sorted(groups.begin(), groups.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StatGroup *a, const StatGroup *b) {
+                  return a->name() < b->name();
+              });
+    return sorted;
+}
+
+void
+formatDouble(std::ostringstream &oss, double v)
+{
+    oss.setf(std::ios::fixed);
+    oss.precision(2);
+    oss << v;
+}
+
+} // namespace
+
 std::string
 StatRegistry::dump() const
 {
     std::ostringstream oss;
-    for (const auto *g : groups_) {
+    for (const auto *g : sortedGroups(groups_)) {
         for (const auto &kv : g->all()) {
             if (kv.second.value() != 0) {
                 oss << g->name() << "." << kv.first << " "
                     << kv.second.value() << "\n";
             }
         }
+        for (const auto &kv : g->allDists()) {
+            const Distribution &d = kv.second;
+            if (d.count() == 0)
+                continue;
+            oss << g->name() << "." << kv.first << " count=" << d.count()
+                << " min=" << d.min() << " max=" << d.max() << " mean=";
+            formatDouble(oss, d.mean());
+            oss << " p50=" << d.p50() << " p99=" << d.p99() << "\n";
+        }
     }
+    return oss.str();
+}
+
+std::string
+StatRegistry::dumpJson() const
+{
+    std::ostringstream oss;
+    oss << "{";
+    bool first_group = true;
+    for (const auto *g : sortedGroups(groups_)) {
+        if (!first_group)
+            oss << ",";
+        first_group = false;
+        oss << "\n  \"" << g->name() << "\": {";
+        bool first = true;
+        for (const auto &kv : g->all()) {
+            if (kv.second.value() == 0)
+                continue;
+            if (!first)
+                oss << ",";
+            first = false;
+            oss << "\n    \"" << kv.first << "\": "
+                << kv.second.value();
+        }
+        for (const auto &kv : g->allDists()) {
+            const Distribution &d = kv.second;
+            if (d.count() == 0)
+                continue;
+            if (!first)
+                oss << ",";
+            first = false;
+            oss << "\n    \"" << kv.first << "\": {\"count\": "
+                << d.count() << ", \"min\": " << d.min()
+                << ", \"max\": " << d.max() << ", \"mean\": ";
+            formatDouble(oss, d.mean());
+            oss << ", \"p50\": " << d.p50() << ", \"p99\": " << d.p99()
+                << "}";
+        }
+        oss << (first ? "}" : "\n  }");
+    }
+    oss << "\n}\n";
     return oss.str();
 }
 

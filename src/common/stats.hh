@@ -2,14 +2,18 @@
  * @file
  * Lightweight statistics registry for simulator components.
  *
- * Components register named scalar counters in a StatGroup; the GpuSystem
- * aggregates all groups for end-of-run reporting and the bench harness
- * queries individual counters (e.g. L1 NVM read misses for Figure 8).
+ * Components register named scalar counters and log2-bucketed
+ * Distribution histograms in a StatGroup; the GpuSystem aggregates all
+ * groups for end-of-run reporting and the bench harness queries
+ * individual counters (e.g. L1 NVM read misses for Figure 8).
+ * StatRegistry::dumpJson() emits everything machine-readably for
+ * `sbrpsim --stats-json` and the bench tooling.
  */
 
 #ifndef SBRP_COMMON_STATS_HH
 #define SBRP_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -34,8 +38,52 @@ class Stat
 };
 
 /**
- * A named collection of counters belonging to one component instance
- * (e.g. "sm3.l1"). Groups own their stats; lookup is by name.
+ * A log2-bucketed histogram of 64-bit samples (latencies, batch sizes,
+ * occupancies). Bucket i >= 1 holds values with bit_width i, i.e.
+ * [2^(i-1), 2^i - 1]; bucket 0 holds the value 0. Recording is O(1) and
+ * allocation-free; percentiles are approximate (bucket midpoint), which
+ * is plenty for "where do the cycles go" reporting.
+ */
+class Distribution
+{
+  public:
+    static constexpr std::uint32_t kBuckets = 65;
+
+    void record(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+
+    /**
+     * Approximate p-quantile (p in [0,1]): the representative value —
+     * the bucket's midpoint — of the first bucket where the cumulative
+     * count reaches p * count(). p50()/p99() are the common shorthands.
+     */
+    std::uint64_t percentile(double p) const;
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
+    std::uint64_t bucketCount(std::uint32_t b) const
+    { return buckets_[b]; }
+
+    void reset();
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of counters and distributions belonging to one
+ * component instance (e.g. "sm3.l1"). Groups own their stats; lookup is
+ * by name.
  */
 class StatGroup
 {
@@ -45,17 +93,26 @@ class StatGroup
     /** Registers (or returns the existing) counter with this name. */
     Stat &stat(const std::string &name);
 
+    /** Registers (or returns the existing) distribution. */
+    Distribution &dist(const std::string &name);
+
     /** Read-only lookup; returns 0 for unknown counters. */
     std::uint64_t value(const std::string &name) const;
 
+    /** Read-only distribution lookup; null when absent. */
+    const Distribution *findDist(const std::string &name) const;
+
     const std::string &name() const { return name_; }
     const std::map<std::string, Stat> &all() const { return stats_; }
+    const std::map<std::string, Distribution> &allDists() const
+    { return dists_; }
 
     void resetAll();
 
   private:
     std::string name_;
     std::map<std::string, Stat> stats_;
+    std::map<std::string, Distribution> dists_;
 };
 
 /**
@@ -71,8 +128,18 @@ class StatRegistry
     std::uint64_t sum(const std::string &prefix,
                       const std::string &counter) const;
 
-    /** Dumps all non-zero counters as "group.counter value" lines. */
+    /**
+     * Dumps all non-zero counters as "group.counter value" lines and
+     * non-empty distributions as summary lines, groups sorted by name.
+     */
     std::string dump() const;
+
+    /**
+     * The whole registry as a JSON object: one key per group (sorted),
+     * non-zero counters as numbers and non-empty distributions as
+     * {count,min,max,mean,p50,p99} objects.
+     */
+    std::string dumpJson() const;
 
     void resetAll();
 

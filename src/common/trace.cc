@@ -1,0 +1,199 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+TraceBuffer::TraceBuffer(TraceSink &sink, std::uint32_t pid,
+                         std::size_t capacity)
+    : sink_(sink), pid_(pid)
+{
+    ring_.reserve(capacity == 0 ? 1 : capacity);
+}
+
+void
+TraceBuffer::push(const TraceEvent &e)
+{
+    ring_.push_back(e);
+    if (ring_.size() == ring_.capacity())
+        flush();
+}
+
+void
+TraceBuffer::flush()
+{
+    if (ring_.empty())
+        return;
+    sink_.drain(pid_, ring_);
+    ring_.clear();
+}
+
+TraceSink::TraceSink() = default;
+TraceSink::~TraceSink() = default;
+
+TraceBuffer *
+TraceSink::buffer(const std::string &component)
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == component)
+            return buffers_[i].get();
+    }
+    auto pid = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(component);
+    buffers_.push_back(std::make_unique<TraceBuffer>(*this, pid));
+    return buffers_.back().get();
+}
+
+void
+TraceSink::setTrackName(const std::string &component, std::uint32_t track,
+                        const std::string &name)
+{
+    std::uint32_t pid = buffer(component)->pid();
+    for (TrackName &tn : trackNames_) {
+        if (tn.pid == pid && tn.track == track) {
+            tn.name = name;
+            return;
+        }
+    }
+    trackNames_.push_back(TrackName{pid, track, name});
+}
+
+const char *
+TraceSink::intern(const std::string &s)
+{
+    for (const std::string &have : interned_) {
+        if (have == s)
+            return have.c_str();
+    }
+    interned_.push_back(s);
+    return interned_.back().c_str();
+}
+
+void
+TraceSink::drain(std::uint32_t pid, const std::vector<TraceEvent> &ring)
+{
+    for (const TraceEvent &e : ring)
+        events_.push_back(StoredEvent{pid, e});
+}
+
+void
+TraceSink::flushAll()
+{
+    for (auto &b : buffers_)
+        b->flush();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are ASCII identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceSink::writeJson(std::ostream &os)
+{
+    flushAll();
+
+    // Sort by start cycle (stable: drain order breaks ties) so the
+    // emitted traceEvents array is cycle-ordered.
+    std::vector<const StoredEvent *> sorted;
+    sorted.reserve(events_.size());
+    for (const StoredEvent &se : events_)
+        sorted.push_back(&se);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const StoredEvent *a, const StoredEvent *b) {
+                         return a->event.start < b->event.start;
+                     });
+
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Metadata: process names per component, thread names per track.
+    for (std::size_t pid = 0; pid < names_.size(); ++pid) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(names_[pid])
+           << "\"}}";
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":"
+           << pid << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+    }
+    for (const TrackName &tn : trackNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << tn.pid
+           << ",\"tid\":" << tn.track << ",\"args\":{\"name\":\""
+           << jsonEscape(tn.name) << "\"}}";
+    }
+
+    for (const StoredEvent *se : sorted) {
+        const TraceEvent &e = se->event;
+        sep();
+        switch (e.kind) {
+          case TraceEventKind::Span:
+            os << "{\"ph\":\"X\",\"name\":\"" << jsonEscape(e.name)
+               << "\",\"ts\":" << e.start << ",\"dur\":"
+               << (e.end - e.start) << ",\"pid\":" << se->pid
+               << ",\"tid\":" << e.track << "}";
+            break;
+          case TraceEventKind::Instant:
+            os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+               << jsonEscape(e.name) << "\",\"ts\":" << e.start
+               << ",\"pid\":" << se->pid << ",\"tid\":" << e.track
+               << "}";
+            break;
+          case TraceEventKind::Counter:
+            os << "{\"ph\":\"C\",\"name\":\"" << jsonEscape(e.name)
+               << "\",\"ts\":" << e.start << ",\"pid\":" << se->pid
+               << ",\"tid\":0,\"args\":{\"value\":" << e.value << "}}";
+            break;
+        }
+    }
+
+    // ts values are GPU core cycles, not microseconds; displayTimeUnit
+    // only affects how viewers label the axis.
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":"
+          "{\"timeUnit\":\"cycles\",\"tool\":\"sbrpsim\"}}\n";
+}
+
+void
+TraceSink::writeJsonFile(const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        sbrp_fatal("cannot open trace output file '%s'", path);
+    writeJson(f);
+    f.flush();
+    if (!f)
+        sbrp_fatal("failed writing trace output file '%s'", path);
+}
+
+} // namespace sbrp

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Low-overhead, compile-out-able cycle-level event tracer.
+ *
+ * Components emit typed events — duration spans, instants and counter
+ * samples — into a per-component TraceBuffer (a ring of POD records).
+ * Full rings drain into the owning TraceSink, which serializes the whole
+ * run as Chrome `trace_event` JSON (loadable in chrome://tracing or
+ * https://ui.perfetto.dev).
+ *
+ * Overhead discipline:
+ *  - Tracing off means the component holds a null TraceBuffer* and every
+ *    instrumentation site is a single pointer null-check; no formatting,
+ *    no allocation, nothing else on the hot path (bench/trace_overhead.cc
+ *    verifies this costs <1%).
+ *  - Event names must be string literals (or TraceSink::intern()ed):
+ *    emission stores the pointer, never copies or formats the string.
+ *  - Timestamps come from a shared cycle clock registered by the
+ *    GpuSystem (TraceSink::setClock), so emitters need no `now` plumbing.
+ *
+ * Identity in the JSON: one trace "process" (pid) per component —
+ * "system", "fabric", "nvm", "sm0".."smN" in registration order — and
+ * one "thread" (tid) per track inside it (warp slot, PB, drain engine).
+ * Registration order is deterministic, so pids/tids are stable across
+ * runs of the same configuration.
+ */
+
+#ifndef SBRP_COMMON_TRACE_HH
+#define SBRP_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/** Chrome trace_event phases this tracer emits. */
+enum class TraceEventKind : std::uint8_t
+{
+    Span,     ///< Complete duration event ("ph":"X").
+    Instant,  ///< Instant event ("ph":"i").
+    Counter,  ///< Counter sample ("ph":"C").
+};
+
+/** One POD event record. `name` must outlive the sink (literal/interned). */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    Cycle start = 0;
+    Cycle end = 0;            ///< Spans only; == start otherwise.
+    std::uint64_t value = 0;  ///< Counters only.
+    std::uint32_t track = 0;  ///< tid within the component.
+    TraceEventKind kind = TraceEventKind::Instant;
+};
+
+class TraceSink;
+
+/**
+ * Per-component ring buffer. Emission appends one POD record; a full
+ * ring drains into the sink. Obtain via TraceSink::buffer().
+ */
+class TraceBuffer
+{
+  public:
+    TraceBuffer(TraceSink &sink, std::uint32_t pid,
+                std::size_t capacity = 4096);
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /** Current cycle of the sink's registered clock (0 if none). */
+    Cycle now() const;
+
+    std::uint32_t pid() const { return pid_; }
+    TraceSink &sink() { return sink_; }
+
+    /** A span that started at `start` and ends now. */
+    void
+    span(const char *name, Cycle start, std::uint32_t track = 0)
+    {
+        spanAt(name, start, now(), track);
+    }
+
+    /** A span with explicit endpoints (end clamps to >= start). */
+    void
+    spanAt(const char *name, Cycle start, Cycle end,
+           std::uint32_t track = 0)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.start = start;
+        e.end = end < start ? start : end;
+        e.track = track;
+        e.kind = TraceEventKind::Span;
+        push(e);
+    }
+
+    /** A point event at the current cycle. */
+    void
+    instant(const char *name, std::uint32_t track = 0)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.start = e.end = now();
+        e.track = track;
+        e.kind = TraceEventKind::Instant;
+        push(e);
+    }
+
+    /** A counter sample at the current cycle. */
+    void
+    counter(const char *name, std::uint64_t value)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.start = e.end = now();
+        e.value = value;
+        e.kind = TraceEventKind::Counter;
+        push(e);
+    }
+
+    /** Drains buffered events into the sink (called by the sink too). */
+    void flush();
+
+  private:
+    void push(const TraceEvent &e);
+
+    TraceSink &sink_;
+    std::uint32_t pid_;
+    std::vector<TraceEvent> ring_;
+};
+
+/**
+ * Owns the component buffers and the drained event store; writes the
+ * whole run as Chrome trace_event JSON.
+ */
+class TraceSink
+{
+  public:
+    TraceSink();
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /**
+     * Registers the simulation clock events are stamped from. The
+     * pointer must stay valid while components emit (the GpuSystem
+     * clears it on destruction).
+     */
+    void setClock(const Cycle *clock) { clock_ = clock; }
+    const Cycle *clock() const { return clock_; }
+
+    /**
+     * Returns the buffer for a component, creating it on first use.
+     * pids are assigned in registration order (stable for a fixed
+     * configuration). The buffer lives as long as the sink.
+     */
+    TraceBuffer *buffer(const std::string &component);
+
+    /** Names a track (Chrome thread_name metadata). */
+    void setTrackName(const std::string &component, std::uint32_t track,
+                      const std::string &name);
+
+    /**
+     * Copies a dynamically built name into sink-owned stable storage so
+     * it can be used as a TraceEvent name. Setup-time only.
+     */
+    const char *intern(const std::string &s);
+
+    /** Drains every registered buffer into the event store. */
+    void flushAll();
+
+    /** Drained events in (pid, event) form, in drain order (tests). */
+    struct StoredEvent
+    {
+        std::uint32_t pid;
+        TraceEvent event;
+    };
+    const std::deque<StoredEvent> &events() const { return events_; }
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Registered component names, in pid order. */
+    const std::vector<std::string> &components() const { return names_; }
+
+    /**
+     * Serializes everything as a Chrome trace_event JSON object
+     * (flushes buffers first; events are sorted by start cycle).
+     */
+    void writeJson(std::ostream &os);
+
+    /** writeJson() to a file; throws FatalError on I/O failure. */
+    void writeJsonFile(const std::string &path);
+
+  private:
+    friend class TraceBuffer;
+    void drain(std::uint32_t pid, const std::vector<TraceEvent> &ring);
+
+    const Cycle *clock_ = nullptr;
+    std::vector<std::string> names_;
+    std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+    struct TrackName
+    {
+        std::uint32_t pid;
+        std::uint32_t track;
+        std::string name;
+    };
+    std::vector<TrackName> trackNames_;
+    std::deque<std::string> interned_;
+    std::deque<StoredEvent> events_;
+};
+
+inline Cycle
+TraceBuffer::now() const
+{
+    const Cycle *c = sink_.clock();
+    return c ? *c : 0;
+}
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_TRACE_HH

@@ -1,8 +1,10 @@
 #include "gpu/gpu_system.hh"
 
 #include <deque>
+#include <string>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "formal/trace.hh"
 #include "mem/address_map.hh"
 
@@ -10,10 +12,11 @@ namespace sbrp
 {
 
 GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
-                     ExecutionTrace *trace)
+                     ExecutionTrace *trace, TraceSink *sink)
     : cfg_(cfg),
       nvm_(nvm),
       trace_(trace),
+      sink_(sink),
       gddrBump_(addr_map::kGddrBase)
 {
     cfg_.validate();
@@ -22,18 +25,50 @@ GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
     // image; writes stay volatile until the persistence domain commits.
     mem_.setBacking(&nvm_.durable());
 
+    // Register trace components in a fixed order so pids are stable:
+    // system, fabric, nvm, then sm0..smN.
+    TraceBuffer *tb_fabric = nullptr;
+    TraceBuffer *tb_nvm = nullptr;
+    if (sink_) {
+        sink_->setClock(&cycle_);
+        tbSystem_ = sink_->buffer("system");
+        tb_fabric = sink_->buffer("fabric");
+        tb_nvm = sink_->buffer("nvm");
+    }
+
     fabric_ = std::make_unique<MemoryFabric>(cfg_, events_, nvm_, mem_,
                                              trace_);
+    fabric_->setTrace(tb_fabric);
     stats_.add(&fabric_->stats());
     for (SmId i = 0; i < cfg_.numSms; ++i) {
+        TraceBuffer *tb_sm =
+            sink_ ? sink_->buffer("sm" + std::to_string(i)) : nullptr;
         sms_.push_back(std::make_unique<Sm>(i, cfg_, *fabric_, mem_,
-                                            events_, trace_));
+                                            events_, trace_, tb_sm));
         stats_.add(&sms_.back()->stats());
         stats_.add(&sms_.back()->l1Stats());
     }
+
+    if (sink_) {
+        // WPQ occupancy approximation: the device drains at the media
+        // write bandwidth, in lines per cycle.
+        nvm_.setWpqDrainRate(cfg_.nvmWriteBytesPerCycle * cfg_.nvmBwScale /
+                             cfg_.lineBytes);
+        nvm_.setTrace(tb_nvm);
+    }
 }
 
-GpuSystem::~GpuSystem() = default;
+GpuSystem::~GpuSystem()
+{
+    if (sink_) {
+        // The NvmDevice and the sink outlive this system (crash model):
+        // detach the device's buffer reference and the clock pointer,
+        // preserving everything emitted so far.
+        nvm_.setTrace(nullptr);
+        sink_->flushAll();
+        sink_->setClock(nullptr);
+    }
+}
 
 Addr
 GpuSystem::gddrAlloc(std::uint64_t bytes)
@@ -79,6 +114,12 @@ GpuSystem::launch(const KernelProgram &kernel, Cycle crash_at)
     }
 
     Cycle start = cycle_;
+    const char *span_name = nullptr;
+    if (tbSystem_) {
+        span_name = sink_->intern("kernel:" + kernel.name());
+        sink_->setTrackName("system", 0, "kernel");
+        sink_->setTrackName("system", 1, "drain");
+    }
     std::deque<BlockId> pending;
     for (BlockId b = 0; b < kernel.numBlocks(); ++b)
         pending.push_back(b);
@@ -110,6 +151,11 @@ GpuSystem::launch(const KernelProgram &kernel, Cycle crash_at)
 
         if (crash_at != kNoCrash && cycle_ - start >= crash_at) {
             crashed_ = true;
+            if (tbSystem_) {
+                tbSystem_->spanAt(span_name, start, cycle_, 0);
+                tbSystem_->instant("crash", 0);
+                sink_->flushAll();
+            }
             return LaunchResult{cycle_ - start, cycle_ - start, true};
         }
 
@@ -131,6 +177,11 @@ GpuSystem::launch(const KernelProgram &kernel, Cycle crash_at)
         }
     }
 
+    if (tbSystem_) {
+        tbSystem_->spanAt(span_name, start, start + exec_end, 0);
+        tbSystem_->spanAt("drain", start + exec_end, cycle_, 1);
+        sink_->flushAll();
+    }
     return LaunchResult{cycle_ - start, exec_end, false};
 }
 

@@ -36,6 +36,7 @@ namespace sbrp
 {
 
 class ExecutionTrace;
+class TraceSink;
 
 class GpuSystem
 {
@@ -55,9 +56,12 @@ class GpuSystem
      * @param cfg    Hardware + model configuration (validated).
      * @param nvm    The persistent device; must outlive this object.
      * @param trace  Optional formal-model trace sink (tests).
+     * @param sink   Optional event tracer; null means tracing is off and
+     *               every instrumentation site costs one null-check.
      */
     GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
-              ExecutionTrace *trace = nullptr);
+              ExecutionTrace *trace = nullptr,
+              TraceSink *sink = nullptr);
     ~GpuSystem();
 
     GpuSystem(const GpuSystem &) = delete;
@@ -97,6 +101,8 @@ class GpuSystem
     SystemConfig cfg_;
     NvmDevice &nvm_;
     ExecutionTrace *trace_;
+    TraceSink *sink_;
+    TraceBuffer *tbSystem_ = nullptr;
 
     FunctionalMemory mem_;
     EventQueue events_;

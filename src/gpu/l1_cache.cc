@@ -1,9 +1,16 @@
 #include "gpu/l1_cache.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace sbrp
 {
+
+namespace
+{
+/** Trace track (tid) for L1 events within an SM's trace process. */
+constexpr std::uint32_t kL1Track = 33;
+}
 
 L1Cache::L1Cache(const SystemConfig &cfg, StatGroup &stats)
     : sets_(cfg.l1Sets()),
@@ -87,6 +94,10 @@ L1Cache::allocate(Addr line_addr, Cycle now, Eviction *ev)
         ev->isPm = slot->isPm;
         ev->pbEntry = slot->pbEntry;
         stats_.stat("evictions").inc();
+        if (tb_) {
+            tb_->instant(slot->isPm ? "l1:evict_pm" : "l1:evict",
+                         kL1Track);
+        }
     }
 
     slot->lineAddr = line_addr;
@@ -101,8 +112,11 @@ L1Cache::allocate(Addr line_addr, Cycle now, Eviction *ev)
 void
 L1Cache::invalidate(Addr line_addr)
 {
-    if (Line *l = probe(line_addr))
+    if (Line *l = probe(line_addr)) {
         l->valid = false;
+        if (tb_)
+            tb_->instant("l1:invalidate", kL1Track);
+    }
 }
 
 void

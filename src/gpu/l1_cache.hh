@@ -21,6 +21,8 @@
 namespace sbrp
 {
 
+class TraceBuffer;
+
 /** Sentinel for "no persist-buffer entry". */
 constexpr std::uint64_t kNoPbEntry = ~0ull;
 
@@ -75,6 +77,9 @@ class L1Cache
     /** Runs fn on every valid line (flush scans, invalidation sweeps). */
     void forEachLine(const std::function<void(Line &)> &fn);
 
+    /** Attach a trace buffer (eviction/invalidate instants). */
+    void setTrace(TraceBuffer *tb) { tb_ = tb; }
+
     std::uint32_t sets() const { return sets_; }
     std::uint32_t assoc() const { return assoc_; }
 
@@ -86,6 +91,7 @@ class L1Cache
     std::uint32_t lineBytes_;
     std::vector<Line> lines_;   // sets_ * assoc_, set-major.
     StatGroup &stats_;
+    TraceBuffer *tb_ = nullptr;
 };
 
 } // namespace sbrp

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "formal/trace.hh"
 #include "mem/address_map.hh"
 
@@ -49,6 +50,30 @@ Channel &
 MemoryFabric::nvmWriteChannel(Addr line_addr)
 {
     return nvmWrite_[(line_addr / cfg_.lineBytes) % nvmWrite_.size()];
+}
+
+void
+MemoryFabric::traceQueues(Cycle now)
+{
+    // Queueing in this fabric is implicit in each channel's next-free
+    // cycle, so "queue depth" is the backlog in cycles until the channel
+    // could accept a new transfer.
+    auto backlog = [now](const Channel &ch) -> std::uint64_t {
+        Cycle nf = ch.nextFree();
+        return nf > now ? nf - now : 0;
+    };
+    std::uint64_t wq = 0;
+    for (const Channel &ch : nvmWrite_)
+        wq += backlog(ch);
+    std::uint64_t rq = 0;
+    for (const Channel &ch : nvmRead_)
+        rq += backlog(ch);
+    tb_->counter("mc_write_backlog", wq);
+    tb_->counter("mc_read_backlog", rq);
+    if (cfg_.nvmBehindPcie()) {
+        tb_->counter("pcie_backlog",
+                     backlog(pcieToHost_) + backlog(pcieFromHost_));
+    }
 }
 
 void
@@ -124,6 +149,8 @@ MemoryFabric::readLine(Addr line_addr, Cycle now,
         stats_.stat("nvm_reads").inc();
         stats_.stat("pcie_read_bytes").inc(cfg_.lineBytes);
     }
+    if (tb_)
+        traceQueues(now);
 
     finish([this, line_addr, done, cb = std::move(on_complete)]() {
         l2AllocateClean(line_addr, done);
@@ -174,6 +201,8 @@ MemoryFabric::persistWritePayload(Addr line_addr,
         // behind the WPQ and shows up only as write bandwidth.
         Cycle accept = nvmWriteChannel(line_addr).acquire(t,
                                                           cfg_.lineBytes);
+        if (tb_)
+            traceQueues(now);
         finish([commit = std::move(commit),
                 ack = std::move(on_ack)]() mutable {
             commit();
@@ -190,6 +219,8 @@ MemoryFabric::persistWritePayload(Addr line_addr,
     stats_.stat("pcie_write_bytes").inc(cfg_.lineBytes);
     Cycle mc_accept = nvmWriteChannel(line_addr).acquire(at_host,
                                                          cfg_.lineBytes);
+    if (tb_)
+        traceQueues(now);
 
     if (cfg_.persistPoint == PersistPoint::Eadr) {
         // eADR: durable on reaching the battery-backed host LLC; the NVM
@@ -250,6 +281,8 @@ MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
         if (cfg_.persistPoint == PersistPoint::Eadr)
             finish(nullptr, mc_accept);
     }
+    if (tb_)
+        traceQueues(now);
 
     finish([commit = std::move(commit), ack = std::move(on_ack)]() mutable {
         commit();

@@ -32,6 +32,7 @@ namespace sbrp
 {
 
 class ExecutionTrace;
+class TraceBuffer;
 
 /** A bandwidth-limited resource (MC channel, PCIe direction). */
 class Channel
@@ -128,6 +129,9 @@ class MemoryFabric
     /** True when no request is in flight anywhere in the fabric. */
     bool idle() const { return inflight_ == 0; }
 
+    /** Attach a trace buffer (MC / PCIe queue-depth counter tracks). */
+    void setTrace(TraceBuffer *tb) { tb_ = tb; }
+
     StatGroup &stats() { return stats_; }
     L2Cache &l2() { return *l2_; }
 
@@ -135,6 +139,9 @@ class MemoryFabric
     Channel &gddrChannel(Addr line_addr);
     Channel &nvmReadChannel(Addr line_addr);
     Channel &nvmWriteChannel(Addr line_addr);
+
+    /** Samples channel backlogs (cycles until free) as counter tracks. */
+    void traceQueues(Cycle now);
 
     void finish(std::function<void()> cb, Cycle when);
     void l2AllocateClean(Addr line_addr, Cycle now);
@@ -146,6 +153,7 @@ class MemoryFabric
     NvmDevice &nvm_;
     FunctionalMemory &volatileMem_;
     ExecutionTrace *trace_;
+    TraceBuffer *tb_ = nullptr;
 
     StatGroup stats_;
     std::unique_ptr<L2Cache> l2_;

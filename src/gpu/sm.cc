@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "formal/trace.hh"
 #include "gpu/mem_ctrl.hh"
 #include "mem/address_map.hh"
@@ -13,19 +14,34 @@ namespace sbrp
 {
 
 Sm::Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
-       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace)
+       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace,
+       TraceBuffer *tb)
     : id_(id),
       cfg_(cfg),
       fabric_(fabric),
       mem_(mem),
       events_(events),
       trace_(trace),
+      tb_(tb),
       stats_("sm" + std::to_string(id)),
       l1Stats_("sm" + std::to_string(id) + ".l1"),
       l1_(std::make_unique<L1Cache>(cfg, l1Stats_)),
       slots_(cfg.maxWarpsPerSm)
 {
     model_ = makePersistencyModel(cfg, *this, stats_);
+    if (tb_) {
+        model_->setTraceBuffer(tb_);
+        l1_->setTrace(tb_);
+        warpSpan_.assign(cfg.maxWarpsPerSm, nullptr);
+        warpSpanSince_.assign(cfg.maxWarpsPerSm, 0);
+        std::string comp = "sm" + std::to_string(id);
+        for (std::uint32_t s = 0; s < cfg.maxWarpsPerSm; ++s) {
+            tb_->sink().setTrackName(comp, s,
+                                     "warp" + std::to_string(s));
+        }
+        tb_->sink().setTrackName(comp, 32, "pb");
+        tb_->sink().setTrackName(comp, 33, "l1");
+    }
     stInstructions_ = &stats_.stat("instructions");
     stReadHits_ = &l1Stats_.stat("read_hits");
     stReadMisses_ = &l1Stats_.stat("read_misses");
@@ -152,6 +168,47 @@ Sm::tick(Cycle now)
         lastIssued_ = s;
         ++issued;
         executeWarp(*w);
+    }
+
+    if (tb_)
+        observeWarpStates();
+}
+
+const char *
+Sm::warpSpanName(WarpState state, WarpSlot slot) const
+{
+    switch (state) {
+      case WarpState::Busy: return "compute";
+      case WarpState::WaitMem: return "stall:mem";
+      case WarpState::WaitBarrier: return "stall:barrier";
+      case WarpState::WaitSpin: return "stall:spin_acquire";
+      case WarpState::WaitModel:
+      case WarpState::ModelRetry:
+        return model_->stallReason(slot);
+      case WarpState::Ready:
+      case WarpState::Finished:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+void
+Sm::observeWarpStates()
+{
+    // Emit a duration span when a warp leaves the state it was in; spans
+    // on one slot track never overlap, which keeps the Chrome viewer
+    // rendering them as a clean per-warp timeline.
+    for (std::uint32_t s = 0; s < warpSpan_.size(); ++s) {
+        Warp *w = slots_[s].get();
+        const char *name =
+            w ? warpSpanName(w->state(), static_cast<WarpSlot>(s))
+              : nullptr;
+        if (name == warpSpan_[s])
+            continue;
+        if (warpSpan_[s] && now_ > warpSpanSince_[s])
+            tb_->spanAt(warpSpan_[s], warpSpanSince_[s], now_, s);
+        warpSpan_[s] = name;
+        warpSpanSince_[s] = now_;
     }
 }
 

@@ -28,13 +28,15 @@ namespace sbrp
 class MemoryFabric;
 class FunctionalMemory;
 class ExecutionTrace;
+class TraceBuffer;
 
 /** One SM. Owned by the GpuSystem; ticked once per cycle. */
 class Sm : public SmServices
 {
   public:
     Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
-       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace);
+       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace,
+       TraceBuffer *tb = nullptr);
     ~Sm() override;
 
     Sm(const Sm &) = delete;
@@ -103,12 +105,19 @@ class Sm : public SmServices
     bool execRelease(Warp &warp, const WarpInstr &in);
     void beginSpin(Warp &warp);
 
+    /** Trace span name for a warp entering `state` (null: no span). */
+    const char *warpSpanName(WarpState state, WarpSlot slot) const;
+
+    /** Emits warp-state duration spans on state transitions (traced). */
+    void observeWarpStates();
+
     SmId id_;
     const SystemConfig &cfg_;
     MemoryFabric &fabric_;
     FunctionalMemory &mem_;
     EventQueue &events_;
     ExecutionTrace *trace_;
+    TraceBuffer *tb_;
 
     StatGroup stats_;
     StatGroup l1Stats_;
@@ -123,6 +132,11 @@ class Sm : public SmServices
     std::uint32_t lastIssued_ = 0;
     std::uint32_t residentWarps_ = 0;
     std::vector<Addr> lineScratch_;
+
+    // Warp-state span tracking (traced runs only): the span name a slot
+    // is currently inside (null = none) and when it began.
+    std::vector<const char *> warpSpan_;
+    std::vector<Cycle> warpSpanSince_;
 
     // Cached hot counters (StatGroup lookups are string-keyed).
     Stat *stInstructions_ = nullptr;

@@ -3,6 +3,22 @@
 namespace sbrp
 {
 
+const char *
+toString(WarpState s)
+{
+    switch (s) {
+      case WarpState::Ready: return "Ready";
+      case WarpState::Busy: return "Busy";
+      case WarpState::WaitMem: return "WaitMem";
+      case WarpState::WaitBarrier: return "WaitBarrier";
+      case WarpState::WaitSpin: return "WaitSpin";
+      case WarpState::WaitModel: return "WaitModel";
+      case WarpState::ModelRetry: return "ModelRetry";
+      case WarpState::Finished: return "Finished";
+    }
+    return "?";
+}
+
 Warp::Warp(const WarpProgram *program, BlockId block,
            std::uint32_t warp_in_block, WarpSlot slot, SmId sm,
            ThreadId first_thread)

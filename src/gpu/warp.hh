@@ -31,6 +31,9 @@ enum class WarpState : std::uint8_t
     Finished,     ///< Ran past the end of its program.
 };
 
+/** Static name of a warp state (logging, traces). */
+const char *toString(WarpState s);
+
 /** A resident warp. Owned by its SM for the lifetime of its block. */
 class Warp
 {

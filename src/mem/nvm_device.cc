@@ -1,6 +1,9 @@
 #include "mem/nvm_device.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace sbrp
 {
@@ -51,6 +54,14 @@ NvmDevice::remove(const std::string &name)
 }
 
 void
+NvmDevice::setTrace(TraceBuffer *tb)
+{
+    tb_ = tb;
+    wpqLines_ = 0.0;
+    wpqLast_ = 0;
+}
+
+void
 NvmDevice::commitLine(Addr line_addr, const std::uint8_t *data,
                       std::uint32_t len)
 {
@@ -58,6 +69,19 @@ NvmDevice::commitLine(Addr line_addr, const std::uint8_t *data,
                 "commit of non-NVM line %s", line_addr);
     durable_.writeBlock(line_addr, data, len);
     ++commit_count_;
+
+    if (tb_) {
+        Cycle now = tb_->now();
+        if (now > wpqLast_) {
+            wpqLines_ = std::max(
+                0.0, wpqLines_ - double(now - wpqLast_) *
+                                     wpqDrainPerCycle_);
+        }
+        wpqLast_ = now;
+        wpqLines_ += 1.0;
+        tb_->counter("wpq_lines",
+                     static_cast<std::uint64_t>(wpqLines_ + 0.5));
+    }
 }
 
 } // namespace sbrp

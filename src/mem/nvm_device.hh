@@ -24,6 +24,8 @@
 namespace sbrp
 {
 
+class TraceBuffer;
+
 /**
  * Byte-addressable persistent memory with a name-based allocation table.
  *
@@ -81,11 +83,29 @@ class NvmDevice
     std::uint64_t allocatedBytes() const
     { return bump_ - addr_map::kNvmBase; }
 
+    /**
+     * Attaches/detaches a trace buffer for the WPQ occupancy track. The
+     * GpuSystem that owns the sink MUST detach (pass null) before it is
+     * destroyed — the device outlives it across simulated crashes.
+     */
+    void setTrace(TraceBuffer *tb);
+
+    /** WPQ drain rate in lines/cycle (occupancy model; trace only). */
+    void setWpqDrainRate(double lines_per_cycle)
+    { wpqDrainPerCycle_ = lines_per_cycle; }
+
   private:
     FunctionalMemory durable_;
     std::map<std::string, Region> names_;
     Addr bump_ = addr_map::kNvmBase;
     std::uint64_t commit_count_ = 0;
+
+    // Leaky-bucket model of the ADR write-pending queue, sampled on each
+    // commit: commits add a line, the media drains wpqDrainPerCycle_.
+    TraceBuffer *tb_ = nullptr;
+    double wpqDrainPerCycle_ = 0.25;
+    double wpqLines_ = 0.0;
+    Cycle wpqLast_ = 0;
 };
 
 } // namespace sbrp

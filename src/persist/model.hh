@@ -31,6 +31,7 @@ class Warp;
 class MemoryFabric;
 class FunctionalMemory;
 class ExecutionTrace;
+class TraceBuffer;
 
 /** Result of a model hook for the issuing warp. */
 enum class HookResult : std::uint8_t
@@ -128,6 +129,25 @@ class PersistencyModel
     /** True when no buffered or in-flight persists remain. */
     virtual bool drained() const = 0;
 
+    /**
+     * Attaches the SM's event-trace buffer (null disables tracing).
+     * Models override to propagate it into their internal structures
+     * (e.g. the persist buffer's occupancy track).
+     */
+    virtual void setTraceBuffer(TraceBuffer *tb) { tb_ = tb; }
+
+    /**
+     * Why the given warp slot is currently model-stalled, as a static
+     * string for the trace's stall-reason spans (paper terms: ODM, EDM,
+     * FSM, ACTR). Models that don't track per-slot reasons report the
+     * generic "stall:model".
+     */
+    virtual const char *stallReason(std::uint32_t slot) const
+    {
+        (void)slot;
+        return "stall:model";
+    }
+
     std::uint32_t actr() const { return actr_; }
 
   protected:
@@ -144,6 +164,7 @@ class PersistencyModel
     const SystemConfig &cfg_;
     SmServices &sm_;
     StatGroup &stats_;
+    TraceBuffer *tb_ = nullptr;
     std::uint32_t actr_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/trace.hh"
+
 namespace sbrp
 {
 
@@ -32,8 +34,15 @@ PersistBuffer::PersistBuffer(std::uint32_t capacity) : capacity_(capacity)
     sbrp_assert(capacity_ > 0, "persist buffer needs capacity");
 }
 
+void
+PersistBuffer::traceOccupancy()
+{
+    tb_->counter("pb_entries", liveEntries_);
+    tb_->counter("pb_persists", persistCount_);
+}
+
 std::uint64_t
-PersistBuffer::pushPersist(Addr line_addr, WarpMask warps)
+PersistBuffer::pushPersist(Addr line_addr, WarpMask warps, Cycle now)
 {
     // Callers check hasSpace(); release publications may exceed the
     // nominal capacity briefly (the drain engine catches up).
@@ -42,17 +51,20 @@ PersistBuffer::pushPersist(Addr line_addr, WarpMask warps)
     e.warps = warps;
     e.lineAddr = line_addr;
     e.id = nextId_++;
+    e.admitCycle = now;
     if (entries_.empty())
         frontId_ = e.id;
     entries_.push_back(std::move(e));
     ++liveEntries_;
     ++persistCount_;
+    if (tb_)
+        traceOccupancy();
     return entries_.back().id;
 }
 
 std::uint64_t
 PersistBuffer::pushOrder(PbType type, WarpMask warps,
-                         std::vector<ReleaseFlag> flags)
+                         std::vector<ReleaseFlag> flags, Cycle now)
 {
     sbrp_assert(isOrderingType(type), "pushOrder with persist type");
 
@@ -73,6 +85,7 @@ PersistBuffer::pushOrder(PbType type, WarpMask warps,
     e.warps = warps;
     e.flags = std::move(flags);
     e.id = nextId_++;
+    e.admitCycle = now;
     if (entries_.empty())
         frontId_ = e.id;
     entries_.push_back(std::move(e));
@@ -81,6 +94,8 @@ PersistBuffer::pushOrder(PbType type, WarpMask warps,
         if (warps.test(w))
             lastOrderId_[w] = entries_.back().id;
     }
+    if (tb_)
+        traceOccupancy();
     return entries_.back().id;
 }
 
@@ -181,6 +196,8 @@ PersistBuffer::popHead()
     ++frontId_;
     --liveEntries_;
     skipInvalidHead();
+    if (tb_)
+        traceOccupancy();
 }
 
 void
@@ -193,6 +210,8 @@ PersistBuffer::invalidate(std::uint64_t id)
     if (e->type == PbType::Persist)
         --persistCount_;
     skipInvalidHead();
+    if (tb_)
+        traceOccupancy();
 }
 
 } // namespace sbrp

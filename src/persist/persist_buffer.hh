@@ -46,6 +46,8 @@ const char *toString(PbType t);
 /** True for entry kinds that impose ordering on later persists. */
 bool isOrderingType(PbType t);
 
+class TraceBuffer;
+
 class PersistBuffer
 {
   public:
@@ -57,14 +59,26 @@ class PersistBuffer
         std::vector<ReleaseFlag> flags;    ///< Rel entries only.
         bool valid = true;
         std::uint64_t id = 0;
+        Cycle admitCycle = 0;              ///< Cycle the entry entered.
     };
 
     explicit PersistBuffer(std::uint32_t capacity);
 
+    /**
+     * Attaches an event-trace buffer: occupancy counters ("pb_entries",
+     * "pb_persists") are emitted on every push/pop/invalidate. Null
+     * (the default) disables emission entirely.
+     */
+    void setTrace(TraceBuffer *tb) { tb_ = tb; }
+
     // --- Insertion ---
 
-    /** Appends a persist entry; returns its id. Requires hasSpace(). */
-    std::uint64_t pushPersist(Addr line_addr, WarpMask warps);
+    /**
+     * Appends a persist entry; returns its id. Requires hasSpace().
+     * `now` stamps the entry for residency accounting.
+     */
+    std::uint64_t pushPersist(Addr line_addr, WarpMask warps,
+                              Cycle now = 0);
 
     /**
      * Appends an ordering entry. Consecutive oFences coalesce: if the
@@ -72,7 +86,8 @@ class PersistBuffer
      * allocating a new entry (paper Section 6.1). Returns the entry id.
      */
     std::uint64_t pushOrder(PbType type, WarpMask warps,
-                            std::vector<ReleaseFlag> flags = {});
+                            std::vector<ReleaseFlag> flags = {},
+                            Cycle now = 0);
 
     /** Merges a warp into an existing persist entry (store coalescing). */
     void coalesce(std::uint64_t id, WarpMask warps);
@@ -140,7 +155,9 @@ class PersistBuffer
 
   private:
     void skipInvalidHead();
+    void traceOccupancy();
 
+    TraceBuffer *tb_ = nullptr;
     std::uint32_t capacity_;
     std::uint32_t liveEntries_ = 0;
     std::uint32_t persistCount_ = 0;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "formal/trace.hh"
 #include "gpu/mem_ctrl.hh"
 #include "gpu/warp.hh"
@@ -15,10 +16,29 @@
 namespace sbrp
 {
 
+namespace
+{
+/** Trace track for PB lifecycle instants (warp slots own 0..31). */
+constexpr std::uint32_t kPbTrack = 32;
+} // namespace
+
 SbrpModel::SbrpModel(const SystemConfig &cfg, SmServices &sm,
                      StatGroup &stats)
     : PersistencyModel(cfg, sm, stats), pb_(cfg.pbEntries())
 {
+    stallReason_.fill("stall:model");
+    stFsmBlockCycles_ = &stats_.stat("fsm_drain_block_cycles");
+    stActrBlockCycles_ = &stats_.stat("actr_drain_block_cycles");
+    dAckLatency_ = &stats_.dist("persist_ack_cycles");
+    dResidency_ = &stats_.dist("pb_residency_cycles");
+    dFlushBatch_ = &stats_.dist("flush_batch");
+}
+
+void
+SbrpModel::setTraceBuffer(TraceBuffer *tb)
+{
+    PersistencyModel::setTraceBuffer(tb);
+    pb_.setTrace(tb);
 }
 
 std::uint32_t
@@ -51,17 +71,27 @@ SbrpModel::minOutstanding() const
 }
 
 void
-SbrpModel::flushTracked(Addr line_addr)
+SbrpModel::flushTracked(Addr line_addr, Cycle admit)
 {
     std::uint64_t seq = ++flushSeq_;
     outstanding_.insert(seq);
     sm_.l1().invalidate(line_addr);
     ++actr_;
     stats_.stat("flushes").inc();
-    sm_.fabric().persistWrite(line_addr, sm_.now(), [this, seq]() {
+    Cycle issue = sm_.now();
+    if (admit != 0)
+        dResidency_->record(issue - admit);
+    if (tb_)
+        tb_->instant("pb:flush", kPbTrack);
+    sm_.fabric().persistWrite(line_addr, issue, [this, seq, issue]() {
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
+        // sm_.now() lags one cycle inside event callbacks; close enough
+        // for the latency histogram.
+        dAckLatency_->record(sm_.now() - issue);
+        if (tb_)
+            tb_->instant("pb:ack", kPbTrack);
         onAck();
     });
 }
@@ -125,6 +155,7 @@ SbrpModel::admitLines(Warp &warp, const std::vector<Addr> &lines)
             // hazard recomputation on retries.
             if (stallEntry_[slot] == l->pbEntry) {
                 stats_.stat("coalesce_stalls").inc();
+                stallReason_[slot] = "stall:edm_coalesce";
                 return HookResult::StallRetry;
             }
             // Coalescing past one of this warp's ordering points is
@@ -147,6 +178,7 @@ SbrpModel::admitLines(Warp &warp, const std::vector<Addr> &lines)
                      pb_.coalesceHazard(l->pbEntry, warp.slot()))) {
                 edm_ |= wm;
                 stats_.stat("coalesce_stalls").inc();
+                stallReason_[slot] = "stall:edm_coalesce";
                 requestDrainThrough(l->pbEntry);
                 stallEntry_[slot] = l->pbEntry;
                 return HookResult::StallRetry;
@@ -158,6 +190,7 @@ SbrpModel::admitLines(Warp &warp, const std::vector<Addr> &lines)
             L1Cache::Line *victim = sm_.l1().victimFor(line);
             if (victim && victim->dirty && victim->isPm &&
                     !mayEvictPm(warp, *victim)) {
+                stallReason_[slot] = "stall:edm_evict";
                 return HookResult::StallRetry;
             }
         }
@@ -171,6 +204,7 @@ SbrpModel::admitLines(Warp &warp, const std::vector<Addr> &lines)
     if (new_entries > 0 && pb_.persistCount() >= pb_.capacity()) {
         edm_ |= wm;
         stats_.stat("pb_full_stalls").inc();
+        stallReason_[slot] = "stall:edm_pb_full";
         requestDrainThrough(pb_.lastId());
         return HookResult::StallRetry;
     }
@@ -209,7 +243,9 @@ SbrpModel::performLines(Warp &warp, const std::vector<Addr> &lines,
         }
         l->dirty = true;
         l->isPm = true;
-        l->pbEntry = pb_.pushPersist(line, wm);
+        l->pbEntry = pb_.pushPersist(line, wm, sm_.now());
+        if (tb_)
+            tb_->instant("pb:admit", kPbTrack);
         // Write the line's data (functional + trace) *now*: a later
         // line of this instruction may capacity-evict this one.
         write(line);
@@ -256,7 +292,7 @@ HookResult
 SbrpModel::oFence(Warp &warp)
 {
     WarpMask wm = WarpMask::single(warp.slot());
-    std::uint64_t id = pb_.pushOrder(PbType::OFence, wm);
+    std::uint64_t id = pb_.pushOrder(PbType::OFence, wm, {}, sm_.now());
     if (cfg_.flushPolicy == FlushPolicy::Lazy)
         requestDrainThrough(id);   // Lazy: flush only at ordering points.
     stats_.stat("ofences").inc();
@@ -267,13 +303,14 @@ HookResult
 SbrpModel::dFence(Warp &warp)
 {
     WarpMask wm = WarpMask::single(warp.slot());
-    std::uint64_t id = pb_.pushOrder(PbType::DFence, wm);
+    std::uint64_t id = pb_.pushOrder(PbType::DFence, wm, {}, sm_.now());
     odm_ |= wm;
     requestDrainThrough(id);
     stats_.stat("dfences").inc();
     drain();
     if (!odm_.overlaps(wm) && !edm_.overlaps(wm))
         return HookResult::Proceed;   // Everything already durable.
+    stallReason_[warp.slot()] = "stall:odm_dfence";
     return HookResult::StallComplete;
 }
 
@@ -338,7 +375,8 @@ SbrpModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags, Scope scope)
                 }
             });
         }
-        std::uint64_t id = pb_.pushOrder(PbType::RelBlock, wm);
+        std::uint64_t id = pb_.pushOrder(PbType::RelBlock, wm, {},
+                                         sm_.now());
         if (cfg_.flushPolicy == FlushPolicy::Lazy)
             requestDrainThrough(id);
         stats_.stat("rel_block").inc();
@@ -347,13 +385,15 @@ SbrpModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags, Scope scope)
 
     // Device scope: stall the warp (ODM), drain eagerly, publish the
     // flag only once every prior persist is durable.
-    std::uint64_t id = pb_.pushOrder(PbType::RelDev, wm, std::move(flags));
+    std::uint64_t id = pb_.pushOrder(PbType::RelDev, wm, std::move(flags),
+                                     sm_.now());
     odm_ |= wm;
     requestDrainThrough(id);
     stats_.stat("rel_dev").inc();
     drain();
     if (!odm_.overlaps(wm) && !edm_.overlaps(wm))
         return HookResult::Proceed;
+    stallReason_[warp.slot()] = "stall:odm_rel_dev";
     return HookResult::StallComplete;
 }
 
@@ -383,7 +423,8 @@ SbrpModel::pAcqSuccess(Warp &warp, const WarpInstr &in)
     }
 
     pb_.pushOrder(scope == Scope::Block ? PbType::AcqBlock
-                                        : PbType::AcqDev, wm);
+                                        : PbType::AcqDev, wm, {},
+                  sm_.now());
     stats_.stat(scope == Scope::Block ? "acq_block" : "acq_dev").inc();
 
     if (scope != Scope::Block) {
@@ -412,6 +453,7 @@ SbrpModel::mayEvictPm(Warp &warp, const L1Cache::Line &victim)
         // ordered after. Stall the evicting warp (EDM) and drain.
         edm_ |= WarpMask::single(warp.slot());
         stats_.stat("evict_veto").inc();
+        stallReason_[warp.slot()] = "stall:edm_evict";
         requestDrainThrough(e->id);
         return false;
     }
@@ -423,25 +465,42 @@ SbrpModel::evictPmNow(const L1Cache::Line &victim)
 {
     sbrp_assert(victim.pbEntry != kNoPbEntry,
                 "evicting dirty PM line without a PB entry");
+    PersistBuffer::Entry *e = pb_.find(victim.pbEntry);
+    Cycle admit = e ? e->admitCycle : 0;
     pb_.invalidate(victim.pbEntry);
     stats_.stat("capacity_evictions").inc();
-    flushTracked(victim.lineAddr);
+    flushTracked(victim.lineAddr, admit);
 }
 
 void
 SbrpModel::drain()
 {
+    std::uint32_t flushed = 0;
+    const auto done = [&]() {
+        if (flushed > 0)
+            dFlushBatch_->record(flushed);
+    };
     while (PersistBuffer::Entry *h = pb_.head()) {
         switch (h->type) {
           case PbType::Persist: {
-            if (!fsmAllowsFlush(h->warps))
+            if (!fsmAllowsFlush(h->warps)) {
+                // Blocked cycles accumulate once per drain attempt
+                // (drain runs every tick), approximating stall time.
+                stFsmBlockCycles_->inc();
+                done();
                 return;   // Wait for the hazard's acks.
+            }
             bool forced = h->id <= drainUntil_;
-            if (!forced && actr_ >= allowance())
+            if (!forced && actr_ >= allowance()) {
+                stActrBlockCycles_->inc();
+                done();
                 return;
+            }
             Addr line = h->lineAddr;
+            Cycle admit = h->admitCycle;
             pb_.popHead();
-            flushTracked(line);
+            flushTracked(line, admit);
+            ++flushed;
             break;
           }
           case PbType::OFence:
@@ -473,6 +532,7 @@ SbrpModel::drain()
           }
         }
     }
+    done();
     if (pb_.empty())
         drainUntil_ = 0;
 }
@@ -502,8 +562,11 @@ SbrpModel::publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
         outstanding_.insert(seq);
         ++actr_;
         stats_.stat("flag_persists").inc();
+        Cycle issue = sm_.now();
         sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
-                                      sm_.now(), [this, f, wait, seq]() {
+                                      issue,
+                                      [this, f, wait, seq, issue]() {
+            dAckLatency_->record(sm_.now() - issue);
             if (sm_.trace() && f.relId != 0)
                 sm_.trace()->publishRel(f.addr, f.relId);
             sm_.mem().write32(f.addr, f.value);

@@ -58,6 +58,13 @@ class SbrpModel : public PersistencyModel
     void drainAll() override;
     bool drained() const override;
 
+    /** Propagates the trace buffer into the PB's occupancy track. */
+    void setTraceBuffer(TraceBuffer *tb) override;
+
+    /** Last recorded model-stall reason of a warp slot (trace spans). */
+    const char *stallReason(std::uint32_t slot) const override
+    { return stallReason_[slot]; }
+
     // --- Introspection (tests) ---
     const PersistBuffer &pb() const { return pb_; }
     WarpMask odm() const { return odm_; }
@@ -100,8 +107,12 @@ class SbrpModel : public PersistencyModel
     /** Drains the PB head as far as ordering and allowance permit. */
     void drain();
 
-    /** Flushes one line, tagging it with a flush sequence number. */
-    void flushTracked(Addr line_addr);
+    /**
+     * Flushes one line, tagging it with a flush sequence number.
+     * `admit` (when nonzero) is the flushed entry's admission cycle,
+     * used for the PB-residency histogram.
+     */
+    void flushTracked(Addr line_addr, Cycle admit = 0);
 
     /** Earliest still-unacknowledged flush sequence (max if none). */
     std::uint64_t minOutstanding() const;
@@ -162,6 +173,16 @@ class SbrpModel : public PersistencyModel
         paper stalls the warp "until PBk is persisted", so retries can
         short-circuit while that entry still tracks the line. */
     std::array<std::uint64_t, 32> stallEntry_{};
+
+    /** Last model-stall reason per slot (static strings; trace spans). */
+    std::array<const char *, 32> stallReason_;
+
+    // Hot-path stats, resolved once (StatGroup lookups are string-keyed).
+    Stat *stFsmBlockCycles_ = nullptr;
+    Stat *stActrBlockCycles_ = nullptr;
+    Distribution *dAckLatency_ = nullptr;
+    Distribution *dResidency_ = nullptr;
+    Distribution *dFlushBatch_ = nullptr;
 };
 
 } // namespace sbrp

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/bitmask.hh"
 #include "common/config.hh"
 #include "common/log.hh"
@@ -30,6 +32,16 @@ TEST(Log, FormatSubstitutesInOrder)
 TEST(Log, FormatIgnoresExtraArguments)
 {
     EXPECT_EQ(log_detail::format("one %s only", 1, 2, 3), "one 1 only");
+}
+
+TEST(Log, FormatEscapesDoublePercent)
+{
+    EXPECT_EQ(log_detail::format("100%% done"), "100% done");
+    EXPECT_EQ(log_detail::format("%s%% of %s", 50, 10), "50% of 10");
+    EXPECT_EQ(log_detail::format("%%"), "%");
+    EXPECT_EQ(log_detail::format("%%%s", 1), "%1");
+    // A trailing single % is literal.
+    EXPECT_EQ(log_detail::format("tail %"), "tail %");
 }
 
 TEST(Log, PanicThrowsPanicError)
@@ -143,6 +155,127 @@ TEST(Stats, DumpListsNonZeroOnly)
     std::string d = reg.dump();
     EXPECT_NE(d.find("x.one 1"), std::string::npos);
     EXPECT_EQ(d.find("x.zero"), std::string::npos);
+}
+
+TEST(Stats, DumpIsSortedByGroupName)
+{
+    StatGroup b("zz"), a("aa"), c("mm");
+    a.stat("n").inc();
+    b.stat("n").inc();
+    c.stat("n").inc();
+    StatRegistry reg;
+    reg.add(&b);   // Registration order deliberately unsorted.
+    reg.add(&a);
+    reg.add(&c);
+    std::string d = reg.dump();
+    EXPECT_LT(d.find("aa.n"), d.find("mm.n"));
+    EXPECT_LT(d.find("mm.n"), d.find("zz.n"));
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.p50(), 0u);
+    EXPECT_EQ(d.p99(), 0u);
+}
+
+TEST(Distribution, TracksMinMaxMeanExactly)
+{
+    Distribution d;
+    d.record(10);
+    d.record(20);
+    d.record(60);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.min(), 10u);
+    EXPECT_EQ(d.max(), 60u);
+    EXPECT_DOUBLE_EQ(d.mean(), 30.0);
+}
+
+TEST(Distribution, Log2Bucketing)
+{
+    Distribution d;
+    d.record(0);    // bucket 0
+    d.record(1);    // bucket 1
+    d.record(2);    // bucket 2
+    d.record(3);    // bucket 2
+    d.record(4);    // bucket 3
+    d.record(7);    // bucket 3
+    d.record(8);    // bucket 4
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(2), 2u);
+    EXPECT_EQ(d.bucketCount(3), 2u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+}
+
+TEST(Distribution, PercentilesAreBucketApproximations)
+{
+    Distribution d;
+    // 100 samples of 4 and one of 1000: p50 must report from the [4,7]
+    // bucket, p99+ may reach the outlier's bucket.
+    for (int i = 0; i < 100; ++i)
+        d.record(4);
+    d.record(1000);
+    std::uint64_t p50 = d.p50();
+    EXPECT_GE(p50, 4u);
+    EXPECT_LE(p50, 7u);
+    // Approximate percentiles stay within the observed value range.
+    EXPECT_GE(d.percentile(1.0), d.min());
+    EXPECT_LE(d.percentile(1.0), d.max());
+}
+
+TEST(Distribution, PercentileOrdering)
+{
+    Distribution d;
+    for (std::uint64_t v = 1; v <= 1024; ++v)
+        d.record(v);
+    EXPECT_LE(d.percentile(0.10), d.p50());
+    EXPECT_LE(d.p50(), d.p99());
+    EXPECT_LE(d.p99(), d.max());
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.record(5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.p99(), 0u);
+}
+
+TEST(Stats, DistributionAppearsInDump)
+{
+    StatGroup g("sm0");
+    g.dist("lat").record(8);
+    g.dist("lat").record(16);
+    StatRegistry reg;
+    reg.add(&g);
+    std::string d = reg.dump();
+    EXPECT_NE(d.find("sm0.lat"), std::string::npos);
+    EXPECT_NE(d.find("count=2"), std::string::npos);
+}
+
+TEST(Stats, DumpJsonIsWellFormedAndSorted)
+{
+    StatGroup b("zz"), a("aa");
+    a.stat("hits").inc(3);
+    a.dist("lat").record(7);
+    b.stat("miss").inc(1);
+    StatRegistry reg;
+    reg.add(&b);
+    reg.add(&a);
+    std::string j = reg.dumpJson();
+    // Groups sorted: "aa" serialized before "zz".
+    EXPECT_LT(j.find("\"aa\""), j.find("\"zz\""));
+    EXPECT_NE(j.find("\"hits\": 3"), std::string::npos);
+    EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+    // Braces balance (cheap well-formedness proxy).
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
 }
 
 // --- Config ------------------------------------------------------------

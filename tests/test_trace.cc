@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the event tracer: buffer/sink mechanics, Chrome trace JSON
+ * well-formedness, cycle ordering, stable component identity, and the
+ * observation-only guarantee (tracing must not perturb timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/sbrp.hh"
+#include "apps/reduction.hh"
+#include "common/trace.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+// --- Buffer / sink mechanics -------------------------------------------
+
+TEST(TraceBuffer, EventsReachTheSink)
+{
+    TraceSink sink;
+    Cycle clock = 0;
+    sink.setClock(&clock);
+    TraceBuffer *tb = sink.buffer("unit");
+
+    clock = 5;
+    tb->instant("tick");
+    clock = 9;
+    tb->counter("depth", 3);
+    tb->spanAt("work", 2, 9);
+    sink.flushAll();
+
+    ASSERT_EQ(sink.eventCount(), 3u);
+    const auto &evs = sink.events();
+    EXPECT_STREQ(evs[0].event.name, "tick");
+    EXPECT_EQ(evs[0].event.start, 5u);
+    EXPECT_EQ(evs[0].event.kind, TraceEventKind::Instant);
+    EXPECT_EQ(evs[1].event.value, 3u);
+    EXPECT_EQ(evs[1].event.kind, TraceEventKind::Counter);
+    EXPECT_EQ(evs[2].event.start, 2u);
+    EXPECT_EQ(evs[2].event.end, 9u);
+    EXPECT_EQ(evs[2].event.kind, TraceEventKind::Span);
+}
+
+TEST(TraceBuffer, NoClockMeansCycleZero)
+{
+    TraceSink sink;
+    TraceBuffer *tb = sink.buffer("unit");
+    EXPECT_EQ(tb->now(), 0u);
+    tb->instant("x");
+    sink.flushAll();
+    EXPECT_EQ(sink.events()[0].event.start, 0u);
+}
+
+TEST(TraceBuffer, SpanEndClampsToStart)
+{
+    TraceSink sink;
+    TraceBuffer *tb = sink.buffer("unit");
+    tb->spanAt("w", 10, 4);
+    sink.flushAll();
+    EXPECT_EQ(sink.events()[0].event.end, 10u);
+}
+
+TEST(TraceSink, PidsFollowRegistrationOrder)
+{
+    TraceSink sink;
+    EXPECT_EQ(sink.buffer("system")->pid(), 0u);
+    EXPECT_EQ(sink.buffer("fabric")->pid(), 1u);
+    EXPECT_EQ(sink.buffer("system")->pid(), 0u);   // Create-or-get.
+    ASSERT_EQ(sink.components().size(), 2u);
+    EXPECT_EQ(sink.components()[0], "system");
+}
+
+TEST(TraceSink, InternReturnsStablePointers)
+{
+    TraceSink sink;
+    const char *a = sink.intern("kernel:red");
+    const char *b = sink.intern("kernel:red");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "kernel:red");
+}
+
+TEST(TraceSink, RingDrainsWhenFull)
+{
+    TraceSink sink;
+    TraceBuffer *tb = sink.buffer("unit");
+    for (int i = 0; i < 5000; ++i)
+        tb->instant("e");
+    // More events than one ring capacity: some must have drained
+    // without an explicit flush.
+    EXPECT_GT(sink.eventCount(), 0u);
+    sink.flushAll();
+    EXPECT_EQ(sink.eventCount(), 5000u);
+}
+
+// --- JSON output --------------------------------------------------------
+
+/** Naive structural validation honoring string escapes. */
+void
+expectBalancedJson(const std::string &j)
+{
+    long braces = 0, brackets = 0, quotes = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < j.size(); ++i) {
+        char c = j[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;   // Skip the escaped character.
+            else if (c == '"')
+                in_string = false, ++quotes;
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; ++quotes; break;
+          case '{': ++braces; break;
+          case '}': --braces; break;
+          case '[': ++brackets; break;
+          case ']': --brackets; break;
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_EQ(quotes % 2, 0);
+}
+
+/** All "ts": values in emission order. */
+std::vector<std::uint64_t>
+timestamps(const std::string &j)
+{
+    std::vector<std::uint64_t> ts;
+    std::size_t pos = 0;
+    while ((pos = j.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        ts.push_back(std::stoull(j.substr(pos)));
+    }
+    return ts;
+}
+
+TEST(TraceJson, WellFormedAndCycleOrdered)
+{
+    TraceSink sink;
+    Cycle clock = 0;
+    sink.setClock(&clock);
+    TraceBuffer *tb = sink.buffer("unit");
+    sink.setTrackName("unit", 0, "main");
+
+    clock = 30;
+    tb->instant("late");
+    tb->spanAt("early", 3, 20);
+    clock = 7;
+    tb->counter("mid", 1);
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    std::string j = os.str();
+
+    expectBalancedJson(j);
+    EXPECT_EQ(j.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"displayTimeUnit\""), std::string::npos);
+
+    // Emitted out of order above; the file must be sorted by cycle.
+    std::vector<std::uint64_t> ts = timestamps(j);
+    ASSERT_EQ(ts.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+TEST(TraceJson, EscapesNames)
+{
+    TraceSink sink;
+    TraceBuffer *tb = sink.buffer("unit");
+    tb->instant(sink.intern("quote\"back\\slash"));
+    std::ostringstream os;
+    sink.writeJson(os);
+    std::string j = os.str();
+    EXPECT_NE(j.find("quote\\\"back\\\\slash"), std::string::npos);
+    expectBalancedJson(j);
+}
+
+// --- Traced full-system runs -------------------------------------------
+
+struct RunOutcome
+{
+    Cycle cycles = 0;
+    std::vector<std::string> components;
+    std::string json;
+};
+
+RunOutcome
+runRed(bool traced)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    ReductionApp app(cfg.model, ReductionParams::test());
+    NvmDevice nvm;
+    app.setupNvm(nvm);
+
+    RunOutcome out;
+    TraceSink sink;
+    {
+        GpuSystem gpu(cfg, nvm, nullptr, traced ? &sink : nullptr);
+        app.setupGpu(gpu);
+        out.cycles = gpu.launch(app.forward()).cycles;
+    }
+    if (traced) {
+        out.components = sink.components();
+        std::ostringstream os;
+        sink.writeJson(os);
+        out.json = os.str();
+    }
+    return out;
+}
+
+TEST(TraceSystem, TracingDoesNotPerturbTiming)
+{
+    RunOutcome untraced = runRed(false);
+    RunOutcome traced = runRed(true);
+    EXPECT_EQ(untraced.cycles, traced.cycles);
+    EXPECT_FALSE(traced.json.empty());
+}
+
+TEST(TraceSystem, StableComponentIdentityAcrossRuns)
+{
+    RunOutcome a = runRed(true);
+    RunOutcome b = runRed(true);
+    ASSERT_FALSE(a.components.empty());
+    EXPECT_EQ(a.components, b.components);
+    // Fixed registration order: system, fabric, nvm, then the SMs.
+    EXPECT_EQ(a.components[0], "system");
+    EXPECT_EQ(a.components[1], "fabric");
+    EXPECT_EQ(a.components[2], "nvm");
+    EXPECT_EQ(a.components[3], "sm0");
+    // Identical deterministic runs serialize identically.
+    EXPECT_EQ(a.json, b.json);
+}
+
+TEST(TraceSystem, EmitsExpectedEventFamilies)
+{
+    RunOutcome r = runRed(true);
+    expectBalancedJson(r.json);
+    std::vector<std::uint64_t> ts = timestamps(r.json);
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+    EXPECT_NE(r.json.find("kernel:"), std::string::npos);
+    EXPECT_NE(r.json.find("pb_entries"), std::string::npos);
+    EXPECT_NE(r.json.find("pb:admit"), std::string::npos);
+    EXPECT_NE(r.json.find("mc_write_backlog"), std::string::npos);
+    EXPECT_NE(r.json.find("wpq_lines"), std::string::npos);
+    EXPECT_NE(r.json.find("stall:"), std::string::npos);
+}
+
+// The device survives the system (crash model): destroying a traced
+// GpuSystem must detach the NVM device's buffer and the clock so later
+// use of either object stays safe.
+TEST(TraceSystem, SinkOutlivesSystemSafely)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmNear);
+    ReductionApp app(cfg.model, ReductionParams::test());
+    NvmDevice nvm;
+    app.setupNvm(nvm);
+    TraceSink sink;
+    std::size_t events;
+    {
+        GpuSystem gpu(cfg, nvm, nullptr, &sink);
+        app.setupGpu(gpu);
+        gpu.launch(app.forward());
+        events = sink.eventCount();
+    }
+    EXPECT_EQ(sink.clock(), nullptr);
+    EXPECT_EQ(sink.eventCount(), events);
+    // Writing after the system is gone must still work.
+    std::ostringstream os;
+    sink.writeJson(os);
+    expectBalancedJson(os.str());
+    // And a durable-image commit after detach must not touch the sink.
+    std::vector<std::uint8_t> line(128, 0xab);
+    Addr base = nvm.open("red.parr").base;
+    nvm.commitLine(base, line.data(),
+                   static_cast<std::uint32_t>(line.size()));
+    EXPECT_EQ(sink.eventCount(), events);
+}
+
+} // namespace
+} // namespace sbrp

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "api/sbrp.hh"
+#include "common/trace.hh"
 #include "apps/app.hh"
 #include "apps/checkpoint.hh"
 #include "apps/hashmap.hh"
@@ -52,6 +53,11 @@ usage()
         "  --scale <t|b>     workload scale: test or bench  (default t)\n"
         "  --check           attach the formal PMO checker\n"
         "  --stats           dump all non-zero counters\n"
+        "  --stats-json <f>  write statistics (counters + histograms)\n"
+        "                    as JSON to <f>\n"
+        "  --trace <f>       write a Chrome trace_event JSON timeline to\n"
+        "                    <f> (open in chrome://tracing or Perfetto;\n"
+        "                    summarize with tools/trace_report.py)\n"
         "  --list            list applications and exit\n");
 }
 
@@ -104,6 +110,8 @@ main(int argc, char **argv)
     bool bench_scale = false;
     bool check = false;
     bool dump_stats = false;
+    std::string trace_path;
+    std::string stats_json_path;
     SystemConfig cfg = SystemConfig::paperDefault();
 
     auto next = [&](int &i) -> const char * {
@@ -152,12 +160,21 @@ main(int argc, char **argv)
             check = true;
         } else if (a == "--stats") {
             dump_stats = true;
+        } else if (a == "--stats-json") {
+            stats_json_path = next(i);
+        } else if (a == "--trace") {
+            trace_path = next(i);
         } else if (a == "--list") {
             std::printf("gpKVS HM SRAD Red MQ Scan Ckpt\n");
             return 0;
-        } else {
+        } else if (a == "--help" || a == "-h") {
             usage();
-            return a == "--help" || a == "-h" ? 0 : 2;
+            return 0;
+        } else {
+            std::fprintf(stderr, "sbrpsim: unknown option '%s'\n\n",
+                         argv[i]);
+            usage();
+            return 2;
         }
     }
 
@@ -228,16 +245,42 @@ main(int argc, char **argv)
                 return 1;
         }
 
-        if (dump_stats) {
-            // Re-run once with a live system to dump counters.
+        if (dump_stats || !trace_path.empty() ||
+                !stats_json_path.empty()) {
+            // Re-run once with a live system to dump counters and/or
+            // collect the event trace.
             NvmDevice nvm;
+            TraceSink sink;
             app = makeApp(app_name, model, bench_scale);
             app->setupNvm(nvm);
-            GpuSystem gpu(cfg, nvm);
+            GpuSystem gpu(cfg, nvm, nullptr,
+                          trace_path.empty() ? nullptr : &sink);
             app->setupGpu(gpu);
             gpu.launch(app->forward());
-            std::printf("\n--- statistics ---\n%s",
-                        gpu.stats().dump().c_str());
+            if (dump_stats) {
+                std::printf("\n--- statistics ---\n%s",
+                            gpu.stats().dump().c_str());
+            }
+            if (!stats_json_path.empty()) {
+                std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
+                if (!f) {
+                    std::fprintf(stderr, "cannot write '%s'\n",
+                                 stats_json_path.c_str());
+                    return 2;
+                }
+                std::string json = gpu.stats().dumpJson();
+                std::fwrite(json.data(), 1, json.size(), f);
+                std::fclose(f);
+                std::printf("statistics JSON: %s\n",
+                            stats_json_path.c_str());
+            }
+            if (!trace_path.empty()) {
+                sink.writeJsonFile(trace_path);
+                std::printf("event trace: %s (%llu events)\n",
+                            trace_path.c_str(),
+                            static_cast<unsigned long long>(
+                                sink.eventCount()));
+            }
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());

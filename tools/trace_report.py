@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Summarize an sbrpsim event trace (Chrome trace_event JSON).
+
+Usage:
+    tools/trace_report.py red.json
+
+Prints, per SM, a warp-stall breakdown: how many cycles warps spent in
+each span category (compute, stall:mem, stall:odm_*, stall:edm_*, ...)
+across all warp-slot tracks, plus trace-wide counter summaries (PB
+occupancy, MC backlogs, WPQ depth).
+
+Exits nonzero on malformed input, which lets CI use it to validate that
+the simulator emits well-formed traces.
+
+Only uses the Python standard library.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' is not a list")
+    return events
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: trace_report.py <trace.json>", file=sys.stderr)
+        return 2
+    try:
+        events = load(argv[1])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"trace_report: {argv[1]}: {e}", file=sys.stderr)
+        return 1
+
+    pid_names = {}
+    spans = defaultdict(lambda: defaultdict(int))  # pid -> name -> cycles
+    counters = defaultdict(lambda: [0, 0, 0])      # name -> [n, sum, max]
+    instants = defaultdict(int)                    # (pid, name) -> count
+    last_ts = None
+    ordered = True
+
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                pid_names[ev["pid"]] = ev["args"]["name"]
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            print(f"trace_report: event without numeric ts: {ev}",
+                  file=sys.stderr)
+            return 1
+        if last_ts is not None and ts < last_ts:
+            ordered = False
+        last_ts = ts
+        if ph == "X":
+            spans[ev["pid"]][ev["name"]] += int(ev.get("dur", 0))
+        elif ph == "C":
+            v = ev.get("args", {}).get("value", 0)
+            c = counters[ev["name"]]
+            c[0] += 1
+            c[1] += v
+            c[2] = max(c[2], v)
+        elif ph == "i":
+            instants[(ev["pid"], ev["name"])] += 1
+        else:
+            print(f"trace_report: unknown phase '{ph}'", file=sys.stderr)
+            return 1
+
+    if not ordered:
+        print("trace_report: events are not sorted by timestamp",
+              file=sys.stderr)
+        return 1
+
+    print(f"{argv[1]}: {len(events)} events, "
+          f"{len(pid_names)} components")
+
+    for pid in sorted(spans):
+        comp = pid_names.get(pid, f"pid{pid}")
+        total = sum(spans[pid].values())
+        if total == 0:
+            continue
+        print(f"\n{comp} — span cycles (sum over tracks):")
+        width = max(len(n) for n in spans[pid])
+        for name, cyc in sorted(spans[pid].items(),
+                                key=lambda kv: -kv[1]):
+            pct = 100.0 * cyc / total
+            print(f"  {name:<{width}}  {cyc:>12}  {pct:5.1f}%")
+
+    stall = defaultdict(int)
+    for pid, by_name in spans.items():
+        if not pid_names.get(pid, "").startswith("sm"):
+            continue
+        for name, cyc in by_name.items():
+            stall[name] += cyc
+    if stall:
+        total = sum(stall.values())
+        print("\nall SMs — warp cycle breakdown:")
+        width = max(len(n) for n in stall)
+        for name, cyc in sorted(stall.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * cyc / total
+            print(f"  {name:<{width}}  {cyc:>12}  {pct:5.1f}%")
+
+    if counters:
+        print("\ncounters (samples / mean / max):")
+        width = max(len(n) for n in counters)
+        for name, (n, s, mx) in sorted(counters.items()):
+            mean = s / n if n else 0.0
+            print(f"  {name:<{width}}  {n:>8}  {mean:10.2f}  {mx:>8}")
+
+    if instants:
+        print("\ninstant events:")
+        names = defaultdict(int)
+        for (_, name), n in instants.items():
+            names[name] += n
+        width = max(len(n) for n in names)
+        for name, n in sorted(names.items()):
+            print(f"  {name:<{width}}  {n:>8}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

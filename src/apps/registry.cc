@@ -1,0 +1,112 @@
+#include "apps/registry.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "apps/checkpoint.hh"
+#include "apps/hashmap.hh"
+#include "apps/kvs.hh"
+#include "apps/multiqueue.hh"
+#include "apps/reduction.hh"
+#include "apps/scan.hh"
+#include "apps/srad.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+appRegistryNames()
+{
+    static const std::vector<std::string> names = {
+        "gpKVS", "HM", "SRAD", "Red", "MQ", "Scan", "Ckpt",
+    };
+    return names;
+}
+
+std::string
+resolveAppName(const std::string &name_or_alias)
+{
+    std::string key = lowered(name_or_alias);
+    if (key == "gpkvs" || key == "kvs")
+        return "gpKVS";
+    if (key == "hm" || key == "hashmap")
+        return "HM";
+    if (key == "srad")
+        return "SRAD";
+    if (key == "red" || key == "reduction")
+        return "Red";
+    if (key == "mq" || key == "multiqueue")
+        return "MQ";
+    if (key == "scan")
+        return "Scan";
+    if (key == "ckpt" || key == "checkpoint")
+        return "Ckpt";
+    return "";
+}
+
+std::unique_ptr<PmApp>
+makeRegisteredApp(const std::string &name_or_alias, ModelKind model,
+                  bool bench, std::uint64_t seed)
+{
+    std::string name = resolveAppName(name_or_alias);
+    if (name == "gpKVS") {
+        KvsParams p = bench ? KvsParams::bench() : KvsParams::test();
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<KvsApp>(model, p);
+    }
+    if (name == "HM") {
+        HashmapParams p =
+            bench ? HashmapParams::bench() : HashmapParams::test();
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<HashmapApp>(model, p);
+    }
+    if (name == "SRAD") {
+        SradParams p = bench ? SradParams::bench() : SradParams::test();
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<SradApp>(model, p);
+    }
+    if (name == "Red") {
+        ReductionParams p =
+            bench ? ReductionParams::bench() : ReductionParams::test();
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<ReductionApp>(model, p);
+    }
+    if (name == "MQ") {
+        // Deterministic inputs: no seed to override.
+        return std::make_unique<MultiqueueApp>(
+            model, bench ? MultiqueueParams::bench()
+                         : MultiqueueParams::test());
+    }
+    if (name == "Scan") {
+        ScanParams p = bench ? ScanParams::bench() : ScanParams::test();
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<ScanApp>(model, p);
+    }
+    if (name == "Ckpt") {
+        return std::make_unique<CheckpointApp>(
+            model, bench ? CheckpointParams::bench()
+                         : CheckpointParams::test());
+    }
+    return nullptr;
+}
+
+} // namespace sbrp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Name-based application registry shared by the CLI tools, the crash
+ * campaign engine and the tests.
+ *
+ * Every consumer used to hand-roll its own name -> PmApp factory; replay
+ * artifacts make that a correctness hazard (an artifact must reconstruct
+ * *exactly* the run that produced it), so construction-by-name lives
+ * here. Canonical names are the paper's (gpKVS, HM, SRAD, Red, MQ, Scan,
+ * Ckpt); lookup also accepts case-insensitive long aliases (reduction,
+ * hashmap, kvs, srad, multiqueue, scan, checkpoint).
+ */
+
+#ifndef SBRP_APPS_REGISTRY_HH
+#define SBRP_APPS_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace sbrp
+{
+
+/** Canonical app names in a fixed, deterministic order. */
+const std::vector<std::string> &appRegistryNames();
+
+/**
+ * Resolves a name or alias to its canonical name; empty string when
+ * unknown.
+ */
+std::string resolveAppName(const std::string &name_or_alias);
+
+/**
+ * Builds an application by (canonical or alias) name; null when unknown.
+ *
+ * @param bench  Use the paper-scale parameters instead of test scale.
+ * @param seed   When nonzero, overrides the app's input-generation seed
+ *               (apps without randomized inputs ignore it).
+ */
+std::unique_ptr<PmApp> makeRegisteredApp(const std::string &name_or_alias,
+                                         ModelKind model,
+                                         bool bench = false,
+                                         std::uint64_t seed = 0);
+
+} // namespace sbrp
+
+#endif // SBRP_APPS_REGISTRY_HH

@@ -81,6 +81,8 @@ SystemConfig::describe() const
         << " L2=" << l2Bytes / 1024 << "KB"
         << " PB=" << pbEntries() << " entries"
         << " nvmBW=" << nvmBwScale * 100 << "%";
+    if (unsafeRelaxedPersistOrder)
+        oss << " UNSAFE-RELAXED-ORDER";
     return oss.str();
 }
 

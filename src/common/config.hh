@@ -68,6 +68,16 @@ struct SystemConfig
     bool preciseFsm = true;
     double pbCoverage = 0.5;       ///< PB entries / L1 lines (Fig 10a).
     double nvmBwScale = 1.0;       ///< Fig 10b sweep knob.
+    /**
+     * FAULT INJECTION — testing only. Makes the SBRP drain engine skip
+     * the FSM flush hazard and the PM eviction veto, so buffered
+     * persists can reach the persistence domain out of PMO order. This
+     * deliberately breaks the model's recoverability guarantee; the
+     * crash campaign engine uses it to prove its oracles can detect a
+     * broken model and to exercise failure minimization. Never enable
+     * outside tests.
+     */
+    bool unsafeRelaxedPersistOrder = false;
 
     // --- Derived helpers ---
     std::uint32_t l1Lines() const { return l1Bytes / lineBytes; }

@@ -1,0 +1,388 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** Recursive-descent parser state over the input string. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos) {
+            if (pos >= text.size() || text[pos] != *p)
+                return fail(std::string("bad literal '") + word + "'");
+        }
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth);
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    break;
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9') v |= h - '0';
+                        else if (h >= 'a' && h <= 'f') v |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F') v |= h - 'A' + 10;
+                        else return fail("bad \\u escape");
+                    }
+                    // Artifacts are ASCII; encode BMP points as UTF-8.
+                    if (v < 0x80) {
+                        out.push_back(static_cast<char>(v));
+                    } else if (v < 0x800) {
+                        out.push_back(static_cast<char>(0xc0 | (v >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (v & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xe0 | (v >> 12)));
+                        out.push_back(
+                            static_cast<char>(0x80 | ((v >> 6) & 0x3f)));
+                        out.push_back(static_cast<char>(0x80 | (v & 0x3f)));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out.push_back(c);
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '-' || text[pos] == '+')) {
+            ++pos;
+        }
+        double v = 0.0;
+        auto res = std::from_chars(text.data() + start, text.data() + pos,
+                                   v);
+        if (res.ec != std::errc() || res.ptr != text.data() + pos) {
+            pos = start;
+            return fail("bad number");
+        }
+        out = JsonValue(v);
+        return true;
+    }
+};
+
+constexpr int kMaxDepth = 64;
+
+bool
+Parser::parseValue(JsonValue &out, int depth)
+{
+    if (depth > kMaxDepth)
+        return fail("nesting too deep");
+    skipWs();
+    if (pos >= text.size())
+        return fail("unexpected end of input");
+
+    char c = text[pos];
+    if (c == '{') {
+        ++pos;
+        out = JsonValue::object();
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.set(key, std::move(v));
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+    if (c == '[') {
+        ++pos;
+        out = JsonValue::array();
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.push(std::move(v));
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+    if (c == '"') {
+        std::string s;
+        if (!parseString(s))
+            return false;
+        out = JsonValue(std::move(s));
+        return true;
+    }
+    if (c == 't') {
+        out = JsonValue(true);
+        return literal("true");
+    }
+    if (c == 'f') {
+        out = JsonValue(false);
+        return literal("false");
+    }
+    if (c == 'n') {
+        out = JsonValue();
+        return literal("null");
+    }
+    return parseNumber(out);
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    obj_[key] = std::move(v);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number: {
+        // Integral values print without a fraction (cycle counts etc.).
+        if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+            out += std::to_string(static_cast<long long>(num_));
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", num_);
+            out += buf;
+        }
+        break;
+      }
+      case Kind::String:
+        out += jsonQuote(str_);
+        break;
+      case Kind::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const JsonValue &v : arr_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[k, v] : obj_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            out += jsonQuote(k);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *err)
+{
+    Parser p{text};
+    JsonValue out;
+    if (!p.parseValue(out, 0)) {
+        if (err)
+            *err = p.err;
+        return JsonValue();
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "trailing garbage at byte " + std::to_string(p.pos);
+        return JsonValue();
+    }
+    if (err)
+        err->clear();
+    return out;
+}
+
+} // namespace sbrp

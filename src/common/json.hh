@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON reader/writer for the simulator's machine-readable
+ * artifacts (crash-replay files, campaign reports).
+ *
+ * This is deliberately a small recursive-descent parser over a value
+ * variant, not a general-purpose library: artifacts are tiny, written by
+ * our own tools, and must be parseable without external dependencies.
+ * Parsing never throws — malformed input yields an error string, so CLI
+ * tools can exit nonzero with a useful message instead of unwinding.
+ */
+
+#ifndef SBRP_COMMON_JSON_HH
+#define SBRP_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sbrp
+{
+
+/** One JSON value; objects keep key order sorted (std::map). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit JsonValue(double n) : kind_(Kind::Number), num_(n) {}
+    explicit JsonValue(std::uint64_t n)
+        : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), str_(std::move(s)) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    std::uint64_t asU64() const
+    { return num_ < 0 ? 0 : static_cast<std::uint64_t>(num_); }
+    const std::string &asString() const { return str_; }
+
+    const std::vector<JsonValue> &items() const { return arr_; }
+    const std::map<std::string, JsonValue> &fields() const { return obj_; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Builders (used by the writers and tests). */
+    static JsonValue array();
+    static JsonValue object();
+    void push(JsonValue v);
+    void set(const std::string &key, JsonValue v);
+
+    /** Serializes compactly; `indent` > 0 pretty-prints. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parses `text`. On failure returns a Null value and sets *err (when
+     * non-null) to a one-line description with the byte offset.
+     */
+    static JsonValue parse(const std::string &text, std::string *err);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/** Escapes a string for embedding in JSON output (adds the quotes). */
+std::string jsonQuote(const std::string &s);
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_JSON_HH

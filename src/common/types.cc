@@ -1,7 +1,24 @@
 #include "common/types.hh"
 
+#include <algorithm>
+#include <cctype>
+
 namespace sbrp
 {
+
+namespace
+{
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+} // namespace
 
 const char *
 toString(Space s)
@@ -65,6 +82,50 @@ toString(FlushPolicy p)
       case FlushPolicy::Window: return "window";
     }
     return "?";
+}
+
+bool
+modelKindFromString(const std::string &s, ModelKind *out)
+{
+    std::string k = lowered(s);
+    if (k == "sbrp") *out = ModelKind::Sbrp;
+    else if (k == "epoch") *out = ModelKind::Epoch;
+    else if (k == "gpm") *out = ModelKind::Gpm;
+    else if (k == "barrier" || k == "scoped-barrier")
+        *out = ModelKind::ScopedBarrier;
+    else return false;
+    return true;
+}
+
+bool
+systemDesignFromString(const std::string &s, SystemDesign *out)
+{
+    std::string k = lowered(s);
+    if (k == "near" || k == "pm-near") *out = SystemDesign::PmNear;
+    else if (k == "far" || k == "pm-far") *out = SystemDesign::PmFar;
+    else return false;
+    return true;
+}
+
+bool
+persistPointFromString(const std::string &s, PersistPoint *out)
+{
+    std::string k = lowered(s);
+    if (k == "adr") *out = PersistPoint::Adr;
+    else if (k == "eadr") *out = PersistPoint::Eadr;
+    else return false;
+    return true;
+}
+
+bool
+flushPolicyFromString(const std::string &s, FlushPolicy *out)
+{
+    std::string k = lowered(s);
+    if (k == "eager") *out = FlushPolicy::Eager;
+    else if (k == "lazy") *out = FlushPolicy::Lazy;
+    else if (k == "window") *out = FlushPolicy::Window;
+    else return false;
+    return true;
 }
 
 } // namespace sbrp

@@ -81,6 +81,17 @@ const char *toString(ModelKind m);
 const char *toString(PersistPoint p);
 const char *toString(FlushPolicy p);
 
+/**
+ * Case-insensitive enum parsers for CLI flags and replay artifacts.
+ * They accept the toString() spellings plus the historical CLI aliases
+ * (e.g. "sbrp", "gpm", "barrier"); they return false on unknown input
+ * without touching *out.
+ */
+bool modelKindFromString(const std::string &s, ModelKind *out);
+bool systemDesignFromString(const std::string &s, SystemDesign *out);
+bool persistPointFromString(const std::string &s, PersistPoint *out);
+bool flushPolicyFromString(const std::string &s, FlushPolicy *out);
+
 } // namespace sbrp
 
 #endif // SBRP_COMMON_TYPES_HH

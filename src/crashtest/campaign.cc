@@ -1,0 +1,242 @@
+#include "crashtest/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "crashtest/work_queue.hh"
+
+namespace sbrp
+{
+
+bool
+CampaignResult::pass() const
+{
+    if (!probe.cleanConsistent || probe.cleanPmoViolations != 0)
+        return false;
+    for (const CrashVerdict &v : verdicts) {
+        if (v.executed && !v.pass())
+            return false;
+    }
+    return true;
+}
+
+CampaignEngine::CampaignEngine(const CampaignConfig &cfg)
+    : cfg_(cfg), group_("campaign")
+{
+    stats_.add(&group_);
+}
+
+CampaignResult
+CampaignEngine::run()
+{
+    using SteadyClock = std::chrono::steady_clock;
+    const auto started = SteadyClock::now();
+
+    CampaignResult result;
+
+    // Phase 1: the oracle run. The main runner also serves the
+    // minimization probes later.
+    ScenarioRunner mainRunner(cfg_.scenario);
+    result.probe = mainRunner.probe();
+    const auto &points = result.probe.points.points;
+
+    // Deterministic budget truncation: the first N points of the
+    // sorted list, independent of thread count.
+    std::size_t toRun = points.size();
+    if (cfg_.budgetRuns != 0 && cfg_.budgetRuns < toRun) {
+        toRun = static_cast<std::size_t>(cfg_.budgetRuns);
+        result.budgetTruncated = true;
+    }
+
+    result.verdicts.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        result.verdicts[i].crashAt = points[i].cycle;
+        result.verdicts[i].kind = points[i].kind;
+    }
+
+    // Phase 2: the parallel crash sweep. Workers write disjoint
+    // verdict slots, so no synchronization beyond the queue is needed.
+    const unsigned jobs =
+        std::max(1u, std::min(cfg_.jobs,
+                              static_cast<unsigned>(std::max<std::size_t>(
+                                  toRun, 1))));
+    WorkQueue queue(toRun, jobs);
+    std::atomic<bool> wallExpired{false};
+
+    auto worker = [&](unsigned id) {
+        ScenarioRunner runner(cfg_.scenario);
+        while (auto idx = queue.next(id)) {
+            const CrashPoint &p = points[*idx];
+            try {
+                result.verdicts[*idx] = runner.runCrashAt(p.cycle, p.kind);
+            } catch (const std::exception &) {
+                // A simulator fault counts as a failing verdict rather
+                // than tearing down the whole campaign.
+                CrashVerdict v;
+                v.crashAt = p.cycle;
+                v.kind = p.kind;
+                v.executed = true;
+                v.crashed = false;
+                v.recoveredOk = false;
+                result.verdicts[*idx] = v;
+            }
+            if (cfg_.wallLimitMs != 0) {
+                const auto elapsed =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        SteadyClock::now() - started).count();
+                if (static_cast<std::uint64_t>(elapsed) >=
+                        cfg_.wallLimitMs) {
+                    wallExpired.store(true, std::memory_order_relaxed);
+                    queue.stop();
+                }
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        // Single-job campaigns run inline; no thread overhead.
+        worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (unsigned w = 0; w < jobs; ++w)
+            threads.emplace_back(worker, w);
+        for (auto &t : threads)
+            t.join();
+    }
+    result.wallTruncated = wallExpired.load(std::memory_order_relaxed);
+
+    // Phase 3: tally.
+    std::size_t firstFail = points.size();
+    for (std::size_t i = 0; i < result.verdicts.size(); ++i) {
+        const CrashVerdict &v = result.verdicts[i];
+        if (!v.executed)
+            continue;
+        ++result.runsExecuted;
+        if (!v.pass()) {
+            ++result.failures;
+            if (i < firstFail)
+                firstFail = i;
+        }
+    }
+
+    // Phase 4: minimize the first failure and capture a replay
+    // artifact that reproduces it.
+    if (result.failures > 0 && cfg_.minimize) {
+        std::vector<Cycle> cycles;
+        cycles.reserve(points.size());
+        for (const CrashPoint &p : points)
+            cycles.push_back(p.cycle);
+
+        std::uint64_t probeFailures = 0;
+        result.minimized = minimizeFailure(
+            cycles, firstFail,
+            [&](Cycle c) {
+                CrashVerdict v = mainRunner.runCrashAt(c);
+                if (!v.pass())
+                    ++probeFailures;
+                return !v.pass();
+            });
+        (void)probeFailures;
+
+        // Re-run the minimized point to record its exact verdict.
+        const CrashPoint &mp = points[result.minimized.index];
+        CrashVerdict mv = mainRunner.runCrashAt(mp.cycle, mp.kind);
+        result.artifact = ReplayArtifact::fromScenario(
+            cfg_.scenario, cfg_.paperConfig, mv);
+        result.hasMinimized = true;
+        group_.stat("minimize_probes").inc(result.minimized.probes);
+    }
+
+    // Export the campaign counters for --stats-json.
+    group_.stat("points_enumerated").set(points.size());
+    group_.stat("candidates_pruned")
+        .set(result.probe.points.prunedCandidates);
+    group_.stat("raw_events").set(result.probe.points.rawEvents);
+    group_.stat("horizon_cycles").set(result.probe.horizon);
+    group_.stat("runs_executed").set(result.runsExecuted);
+    group_.stat("runs_skipped")
+        .set(points.size() - result.runsExecuted);
+    group_.stat("verdict_pass")
+        .set(result.runsExecuted - result.failures);
+    group_.stat("verdict_fail").set(result.failures);
+    std::uint64_t formalFails = 0, recoveryFails = 0;
+    for (const CrashVerdict &v : result.verdicts) {
+        if (!v.executed)
+            continue;
+        if (v.pmoViolations != 0)
+            ++formalFails;
+        if (!v.recoveredOk)
+            ++recoveryFails;
+    }
+    group_.stat("formal_fail").set(formalFails);
+    group_.stat("recovery_fail").set(recoveryFails);
+    group_.stat("budget_truncated").set(result.budgetTruncated ? 1 : 0);
+    group_.stat("wall_truncated").set(result.wallTruncated ? 1 : 0);
+    group_.stat("jobs").set(jobs);
+
+    return result;
+}
+
+JsonValue
+campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
+{
+    JsonValue o = JsonValue::object();
+    o.set("version", JsonValue(std::uint64_t{1}));
+    o.set("app", JsonValue(cfg.scenario.app));
+    o.set("model",
+          JsonValue(std::string(toString(cfg.scenario.cfg.model))));
+    o.set("design",
+          JsonValue(std::string(toString(cfg.scenario.cfg.design))));
+    o.set("config", JsonValue(cfg.scenario.cfg.describe()));
+    o.set("jobs", JsonValue(std::uint64_t{cfg.jobs}));
+    o.set("budget_runs", JsonValue(cfg.budgetRuns));
+    o.set("wall_limit_ms", JsonValue(cfg.wallLimitMs));
+
+    o.set("horizon_cycles", JsonValue(result.probe.horizon));
+    o.set("clean_consistent", JsonValue(result.probe.cleanConsistent));
+    o.set("clean_pmo_violations",
+          JsonValue(result.probe.cleanPmoViolations));
+    o.set("raw_events", JsonValue(result.probe.points.rawEvents));
+    o.set("candidates_pruned",
+          JsonValue(result.probe.points.prunedCandidates));
+    o.set("points_enumerated",
+          JsonValue(std::uint64_t{result.probe.points.points.size()}));
+    o.set("runs_executed", JsonValue(result.runsExecuted));
+    o.set("budget_truncated", JsonValue(result.budgetTruncated));
+    o.set("wall_truncated", JsonValue(result.wallTruncated));
+    o.set("failures", JsonValue(result.failures));
+    o.set("pass", JsonValue(result.pass()));
+
+    JsonValue fails = JsonValue::array();
+    for (const CrashVerdict &v : result.verdicts) {
+        if (!v.executed || v.pass())
+            continue;
+        JsonValue f = JsonValue::object();
+        f.set("crash_cycle", JsonValue(v.crashAt));
+        f.set("event_kind", JsonValue(std::string(toString(v.kind))));
+        f.set("crashed", JsonValue(v.crashed));
+        f.set("pmo_violations", JsonValue(v.pmoViolations));
+        f.set("recovered_ok", JsonValue(v.recoveredOk));
+        fails.push(std::move(f));
+    }
+    o.set("failing_points", std::move(fails));
+
+    if (result.hasMinimized) {
+        JsonValue m = JsonValue::object();
+        m.set("earliest_failing_cycle", JsonValue(result.minimized.cycle));
+        m.set("point_index",
+              JsonValue(std::uint64_t{result.minimized.index}));
+        m.set("probes", JsonValue(result.minimized.probes));
+        o.set("minimized", std::move(m));
+        o.set("replay", result.artifact.toJson());
+    }
+    return o;
+}
+
+} // namespace sbrp

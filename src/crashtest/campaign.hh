@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The crash-consistency campaign engine: probe once, crash everywhere.
+ *
+ * A campaign takes one scenario and (1) runs it crash-free to enumerate
+ * event-adjacent crash points, (2) re-runs it crashed at every point —
+ * in parallel across worker threads, each owning a private
+ * ScenarioRunner — and judges each run with the dual oracles, (3)
+ * optionally bisects the first failure down to the earliest failing
+ * point and captures a self-contained replay artifact.
+ *
+ * Determinism: a verdict is a pure function of its crash point, and the
+ * run budget truncates the sorted point list deterministically, so the
+ * verdict set is identical at any thread count — the work-stealing
+ * queue only changes *who* computes what. The single nondeterministic
+ * path is the wall-clock cutoff (`wallLimitMs`), which stops the queue
+ * gracefully and reports how many points went unexecuted.
+ *
+ * Every campaign exports its counters through a "campaign" StatGroup in
+ * its own StatRegistry, so `--stats-json` covers campaigns exactly like
+ * simulation runs.
+ */
+
+#ifndef SBRP_CRASHTEST_CAMPAIGN_HH
+#define SBRP_CRASHTEST_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "crashtest/minimize.hh"
+#include "crashtest/replay.hh"
+#include "crashtest/scenario.hh"
+
+namespace sbrp
+{
+
+class JsonValue;
+
+struct CampaignConfig
+{
+    CrashScenario scenario;
+    bool paperConfig = false;   ///< Recorded into replay artifacts.
+    unsigned jobs = 1;          ///< Worker threads.
+    std::uint64_t budgetRuns = 0;   ///< Max crash runs; 0 = all points.
+    std::uint64_t wallLimitMs = 0;  ///< Graceful cutoff; 0 = none.
+    bool minimize = true;       ///< Bisect + emit artifact on failure.
+};
+
+struct CampaignResult
+{
+    CrashProbe probe;
+    /** One verdict per enumerated point (same order); points beyond
+        the budget or wall cutoff have executed == false. */
+    std::vector<CrashVerdict> verdicts;
+
+    std::uint64_t runsExecuted = 0;
+    std::uint64_t failures = 0;       ///< Executed verdicts that fail.
+    bool budgetTruncated = false;
+    bool wallTruncated = false;
+
+    bool hasMinimized = false;
+    MinimizeResult minimized;
+    ReplayArtifact artifact;   ///< Valid only when hasMinimized.
+
+    /** Clean run consistent, no PMO violations, every executed crash
+        point recovered. */
+    bool pass() const;
+};
+
+class CampaignEngine
+{
+  public:
+    explicit CampaignEngine(const CampaignConfig &cfg);
+
+    /** Runs the whole campaign (blocking). */
+    CampaignResult run();
+
+    /** Campaign counters ("campaign" group), for --stats-json. */
+    StatRegistry &stats() { return stats_; }
+    const StatGroup &group() const { return group_; }
+
+  private:
+    CampaignConfig cfg_;
+    StatGroup group_;
+    StatRegistry stats_;
+};
+
+/**
+ * The machine-readable campaign report (schema version 1): scenario,
+ * probe summary, per-failure detail, minimization outcome and the
+ * embedded replay artifact when one was captured.
+ */
+JsonValue campaignReportJson(const CampaignConfig &cfg,
+                             const CampaignResult &result);
+
+} // namespace sbrp
+
+#endif // SBRP_CRASHTEST_CAMPAIGN_HH

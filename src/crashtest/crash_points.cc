@@ -1,0 +1,141 @@
+#include "crashtest/crash_points.hh"
+
+#include <cstring>
+#include <map>
+
+#include "common/trace.hh"
+
+namespace sbrp
+{
+
+const char *
+toString(CrashEventKind k)
+{
+    switch (k) {
+      case CrashEventKind::PersistAccept: return "persist-accept";
+      case CrashEventKind::PbAdmit: return "pb-admit";
+      case CrashEventKind::PbPop: return "pb-pop";
+      case CrashEventKind::L1PmEvict: return "l1-pm-evict";
+      case CrashEventKind::OFenceRetire: return "ofence";
+      case CrashEventKind::DFenceRetire: return "dfence";
+      case CrashEventKind::FenceRetire: return "fence";
+      case CrashEventKind::RelRetire: return "prel";
+      case CrashEventKind::AcqRetire: return "pacq";
+    }
+    return "?";
+}
+
+bool
+crashEventKindFromString(const std::string &s, CrashEventKind *out)
+{
+    for (auto k : {CrashEventKind::PersistAccept, CrashEventKind::PbAdmit,
+                   CrashEventKind::PbPop, CrashEventKind::L1PmEvict,
+                   CrashEventKind::OFenceRetire, CrashEventKind::DFenceRetire,
+                   CrashEventKind::FenceRetire, CrashEventKind::RelRetire,
+                   CrashEventKind::AcqRetire}) {
+        if (s == toString(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+/**
+ * Maps one stored trace event to the (cycle, kind) it makes
+ * interesting, or returns false for events the oracle ignores.
+ * Stall-span *ends* are the cycles the blocked operation unblocked at,
+ * which is exactly when ODM/EDM state transitioned.
+ */
+bool
+classify(const TraceEvent &e, Cycle *cycle, CrashEventKind *kind)
+{
+    if (!e.name)
+        return false;
+    *cycle = e.start;
+    if (e.kind == TraceEventKind::Counter) {
+        if (std::strcmp(e.name, "wpq_lines") == 0) {
+            *kind = CrashEventKind::PersistAccept;
+            return true;
+        }
+        return false;
+    }
+    if (e.kind == TraceEventKind::Span) {
+        *cycle = e.end;
+        if (std::strcmp(e.name, "stall:odm_dfence") == 0)
+            *kind = CrashEventKind::DFenceRetire;
+        else if (std::strcmp(e.name, "stall:odm_rel_dev") == 0)
+            *kind = CrashEventKind::RelRetire;
+        else if (std::strcmp(e.name, "stall:spin_acquire") == 0)
+            *kind = CrashEventKind::AcqRetire;
+        else
+            return false;
+        return true;
+    }
+    // Instants.
+    if (std::strcmp(e.name, "pb:ack") == 0)
+        *kind = CrashEventKind::PersistAccept;
+    else if (std::strcmp(e.name, "pb:admit") == 0)
+        *kind = CrashEventKind::PbAdmit;
+    else if (std::strcmp(e.name, "pb:flush") == 0)
+        *kind = CrashEventKind::PbPop;
+    else if (std::strcmp(e.name, "l1:evict_pm") == 0)
+        *kind = CrashEventKind::L1PmEvict;
+    else if (std::strcmp(e.name, "op:ofence") == 0)
+        *kind = CrashEventKind::OFenceRetire;
+    else if (std::strcmp(e.name, "op:dfence") == 0)
+        *kind = CrashEventKind::DFenceRetire;
+    else if (std::strcmp(e.name, "op:fence") == 0)
+        *kind = CrashEventKind::FenceRetire;
+    else if (std::strcmp(e.name, "op:prel") == 0)
+        *kind = CrashEventKind::RelRetire;
+    else if (std::strcmp(e.name, "op:pacq") == 0)
+        *kind = CrashEventKind::AcqRetire;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+CrashPointSet
+enumerateCrashPoints(TraceSink &sink, Cycle horizon)
+{
+    sink.flushAll();
+
+    CrashPointSet set;
+    set.horizon = horizon;
+
+    // Dedup by cycle; the lowest-ordered kind wins so the outcome does
+    // not depend on drain order across components.
+    std::map<Cycle, CrashEventKind> byCycle;
+    std::uint64_t candidates = 0;
+    for (const auto &stored : sink.events()) {
+        Cycle c = 0;
+        CrashEventKind kind = CrashEventKind::PersistAccept;
+        if (!classify(stored.event, &c, &kind))
+            continue;
+        ++set.rawEvents;
+        const Cycle lo = c > 0 ? c - 1 : c;
+        const Cycle hi = c + 1;
+        for (Cycle cand = lo; cand <= hi; ++cand) {
+            ++candidates;
+            if (cand < 1 || cand > horizon)
+                continue;
+            auto [it, inserted] = byCycle.emplace(cand, kind);
+            if (!inserted && kind < it->second)
+                it->second = kind;
+        }
+    }
+
+    set.points.reserve(byCycle.size());
+    for (const auto &[cycle, kind] : byCycle)
+        set.points.push_back(CrashPoint{cycle, kind});
+    set.prunedCandidates = candidates - set.points.size();
+    return set;
+}
+
+} // namespace sbrp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Event-guided crash-point enumeration.
+ *
+ * Dense cycle sweeps waste almost every run: between two persistency
+ * events the durable image cannot change, so crashing at cycle c and at
+ * c+1 exercises the same recovery problem. The oracle instead runs a
+ * scenario once crash-free with the event tracer attached, classifies
+ * the "interesting" cycles — persistence-domain accepts, persist-buffer
+ * admissions and pops, PM-line L1 evictions, and the retirement
+ * boundaries of oFence / dFence / epoch fences / pRel / pAcq — and
+ * enumerates crash points event-adjacently: at, one cycle before, and
+ * one cycle after each event. That covers every ordering boundary the
+ * models enforce (ODM/EDM/FSM transitions all coincide with one of
+ * these events) with orders of magnitude fewer runs than a sweep.
+ */
+
+#ifndef SBRP_CRASHTEST_CRASH_POINTS_HH
+#define SBRP_CRASHTEST_CRASH_POINTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+class TraceSink;
+
+/** Taxonomy of trace events worth crashing next to. */
+enum class CrashEventKind : std::uint8_t
+{
+    PersistAccept,  ///< Persistence domain accepted a line (pb:ack /
+                    ///< NVM WPQ sample) — the durable set just grew.
+    PbAdmit,        ///< Persist entered the PB (pb:admit) — now lost on
+                    ///< crash until flushed.
+    PbPop,          ///< PB head flushed toward the domain (pb:flush).
+    L1PmEvict,      ///< Dirty PM line left the L1 (l1:evict_pm).
+    OFenceRetire,   ///< Ordering fence executed (op:ofence).
+    DFenceRetire,   ///< Durability fence executed/unblocked
+                    ///< (op:dfence, end of stall:odm_dfence).
+    FenceRetire,    ///< Epoch-model barrier executed (op:fence).
+    RelRetire,      ///< pRel executed/unblocked (op:prel, end of
+                    ///< stall:odm_rel_dev).
+    AcqRetire,      ///< pAcq spin succeeded (op:pacq, end of
+                    ///< stall:spin_acquire).
+};
+
+const char *toString(CrashEventKind k);
+bool crashEventKindFromString(const std::string &s, CrashEventKind *out);
+
+/** One candidate crash cycle and the event it is adjacent to. */
+struct CrashPoint
+{
+    Cycle cycle = 0;
+    CrashEventKind kind = CrashEventKind::PersistAccept;
+
+    bool operator==(const CrashPoint &o) const
+    { return cycle == o.cycle && kind == o.kind; }
+};
+
+/** The enumerated, deduplicated, sorted crash-point set of a scenario. */
+struct CrashPointSet
+{
+    std::vector<CrashPoint> points;   ///< Strictly increasing cycles.
+    Cycle horizon = 0;                ///< Crash-free run length (cycles).
+    std::uint64_t rawEvents = 0;      ///< Trace events classified.
+    std::uint64_t prunedCandidates = 0;  ///< Dropped by clamp + dedup.
+};
+
+/**
+ * Enumerates crash points from a trace sink (flushes its buffers
+ * first). Candidates are {c-1, c, c+1} for every classified event cycle
+ * c, clamped to [1, horizon] and deduplicated by cycle (the kind of the
+ * lowest-ordered adjacent event wins ties, so the result is a pure
+ * function of the trace). Events at identical cycles across components
+ * collapse — that is the pruning that makes campaigns cheap.
+ */
+CrashPointSet enumerateCrashPoints(TraceSink &sink, Cycle horizon);
+
+} // namespace sbrp
+
+#endif // SBRP_CRASHTEST_CRASH_POINTS_HH

@@ -1,0 +1,34 @@
+#include "crashtest/minimize.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+MinimizeResult
+minimizeFailure(const std::vector<Cycle> &cycles,
+                std::size_t known_fail_index,
+                const std::function<bool(Cycle)> &fails)
+{
+    sbrp_assert(known_fail_index < cycles.size(),
+                "known-failing index out of range");
+
+    MinimizeResult r;
+    // Invariant: cycles[hi] is known to fail; everything below lo is
+    // known (or assumed, per the monotonicity caveat) to pass.
+    std::size_t lo = 0;
+    std::size_t hi = known_fail_index;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        ++r.probes;
+        if (fails(cycles[mid]))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    r.index = hi;
+    r.cycle = cycles[hi];
+    return r;
+}
+
+} // namespace sbrp

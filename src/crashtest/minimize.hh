@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Failure minimization: bisect a campaign failure down to the earliest
+ * failing crash point.
+ *
+ * A campaign that finds a failing crash cycle deep in the run is an
+ * awkward reproducer — the interesting bug is usually the *first*
+ * moment the durable image becomes unrecoverable. Given the sorted
+ * crash-point cycles and one known-failing index, the minimizer binary
+ * searches the prefix for the boundary between passing and failing
+ * points, re-running the scenario at each probe.
+ *
+ * Bisection assumes pass/fail is monotone over the point list (early
+ * points pass, late points fail), which holds for the
+ * lost-durable-suffix failures the fault-injection knob produces. For
+ * non-monotone failure patterns the result is still a genuine failing
+ * point — just not necessarily the global earliest — and the verdict
+ * returned with it is always re-validated by an actual run.
+ */
+
+#ifndef SBRP_CRASHTEST_MINIMIZE_HH
+#define SBRP_CRASHTEST_MINIMIZE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+struct MinimizeResult
+{
+    std::size_t index = 0;       ///< Earliest failing point index.
+    Cycle cycle = 0;             ///< Its crash cycle.
+    std::uint64_t probes = 0;    ///< Scenario re-runs spent bisecting.
+};
+
+/**
+ * Binary searches `cycles` (sorted ascending) for the earliest index
+ * whose crash fails, starting from `known_fail_index` (which must
+ * fail). `fails(cycle)` re-runs the scenario and returns true when the
+ * verdict fails.
+ */
+MinimizeResult minimizeFailure(const std::vector<Cycle> &cycles,
+                               std::size_t known_fail_index,
+                               const std::function<bool(Cycle)> &fails);
+
+} // namespace sbrp
+
+#endif // SBRP_CRASHTEST_MINIMIZE_HH

@@ -1,0 +1,211 @@
+#include "crashtest/replay.hh"
+
+#include "apps/registry.hh"
+#include "common/json.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** Reads a required field; false (with *err) when absent. */
+const JsonValue *
+require(const JsonValue &v, const char *key, std::string *err)
+{
+    const JsonValue *f = v.find(key);
+    if (!f && err)
+        *err = std::string("replay artifact: missing field '") + key + "'";
+    return f;
+}
+
+} // namespace
+
+ReplayArtifact
+ReplayArtifact::fromScenario(const CrashScenario &s, bool paper_config,
+                             const CrashVerdict &v)
+{
+    ReplayArtifact a;
+    a.app = resolveAppName(s.app);
+    a.paperConfig = paper_config;
+    a.benchScale = s.benchScale;
+    a.seed = s.seed;
+    a.model = s.cfg.model;
+    a.design = s.cfg.design;
+    a.persistPoint = s.cfg.persistPoint;
+    a.flushPolicy = s.cfg.flushPolicy;
+    a.window = s.cfg.window;
+    a.preciseFsm = s.cfg.preciseFsm;
+    a.pbCoverage = s.cfg.pbCoverage;
+    a.nvmBwScale = s.cfg.nvmBwScale;
+    a.unsafeRelaxedPersistOrder = s.cfg.unsafeRelaxedPersistOrder;
+    a.crashCycle = v.crashAt;
+    a.eventKind = v.kind;
+    a.expectViolation = !v.pass();
+    a.pmoViolations = v.pmoViolations;
+    a.recoveredOk = v.recoveredOk;
+    return a;
+}
+
+CrashScenario
+ReplayArtifact::toScenario() const
+{
+    CrashScenario s;
+    s.app = app;
+    s.benchScale = benchScale;
+    s.seed = seed;
+    s.cfg = paperConfig ? SystemConfig::paperDefault(model, design)
+                        : SystemConfig::testDefault(model, design);
+    s.cfg.persistPoint = persistPoint;
+    s.cfg.flushPolicy = flushPolicy;
+    s.cfg.window = window;
+    s.cfg.preciseFsm = preciseFsm;
+    s.cfg.pbCoverage = pbCoverage;
+    s.cfg.nvmBwScale = nvmBwScale;
+    s.cfg.unsafeRelaxedPersistOrder = unsafeRelaxedPersistOrder;
+    return s;
+}
+
+JsonValue
+ReplayArtifact::toJson() const
+{
+    JsonValue o = JsonValue::object();
+    o.set("version", JsonValue(std::uint64_t{kVersion}));
+    o.set("app", JsonValue(app));
+    o.set("paper_config", JsonValue(paperConfig));
+    o.set("bench_scale", JsonValue(benchScale));
+    o.set("seed", JsonValue(seed));
+    o.set("model", JsonValue(std::string(toString(model))));
+    o.set("design", JsonValue(std::string(toString(design))));
+    o.set("persist_point", JsonValue(std::string(toString(persistPoint))));
+    o.set("flush_policy", JsonValue(std::string(toString(flushPolicy))));
+    o.set("window", JsonValue(std::uint64_t{window}));
+    o.set("precise_fsm", JsonValue(preciseFsm));
+    o.set("pb_coverage", JsonValue(pbCoverage));
+    o.set("nvm_bw_scale", JsonValue(nvmBwScale));
+    o.set("unsafe_relaxed_persist_order",
+          JsonValue(unsafeRelaxedPersistOrder));
+    o.set("crash_cycle", JsonValue(crashCycle));
+    o.set("event_kind", JsonValue(std::string(toString(eventKind))));
+    o.set("expect_violation", JsonValue(expectViolation));
+    o.set("pmo_violations", JsonValue(pmoViolations));
+    o.set("recovered_ok", JsonValue(recoveredOk));
+    return o;
+}
+
+bool
+ReplayArtifact::fromJson(const JsonValue &v, ReplayArtifact *out,
+                         std::string *err)
+{
+    if (!v.isObject()) {
+        if (err)
+            *err = "replay artifact: top level is not an object";
+        return false;
+    }
+    const JsonValue *f = require(v, "version", err);
+    if (!f)
+        return false;
+    if (!f->isNumber() || f->asU64() != kVersion) {
+        if (err)
+            *err = "replay artifact: unsupported version";
+        return false;
+    }
+
+    ReplayArtifact a;
+
+    struct StrField
+    {
+        const char *key;
+        std::string *dst;
+    };
+    std::string model_s, design_s, persist_s, flush_s, kind_s;
+    for (StrField sf : {StrField{"app", &a.app},
+                        StrField{"model", &model_s},
+                        StrField{"design", &design_s},
+                        StrField{"persist_point", &persist_s},
+                        StrField{"flush_policy", &flush_s},
+                        StrField{"event_kind", &kind_s}}) {
+        f = require(v, sf.key, err);
+        if (!f)
+            return false;
+        if (!f->isString()) {
+            if (err)
+                *err = std::string("replay artifact: '") + sf.key +
+                       "' is not a string";
+            return false;
+        }
+        *sf.dst = f->asString();
+    }
+
+    if (resolveAppName(a.app).empty()) {
+        if (err)
+            *err = "replay artifact: unknown app '" + a.app + "'";
+        return false;
+    }
+    if (!modelKindFromString(model_s, &a.model) ||
+            !systemDesignFromString(design_s, &a.design) ||
+            !persistPointFromString(persist_s, &a.persistPoint) ||
+            !flushPolicyFromString(flush_s, &a.flushPolicy) ||
+            !crashEventKindFromString(kind_s, &a.eventKind)) {
+        if (err)
+            *err = "replay artifact: unknown enum spelling";
+        return false;
+    }
+
+    struct BoolField
+    {
+        const char *key;
+        bool *dst;
+    };
+    for (BoolField bf : {BoolField{"paper_config", &a.paperConfig},
+                         BoolField{"bench_scale", &a.benchScale},
+                         BoolField{"precise_fsm", &a.preciseFsm},
+                         BoolField{"unsafe_relaxed_persist_order",
+                                   &a.unsafeRelaxedPersistOrder},
+                         BoolField{"expect_violation", &a.expectViolation},
+                         BoolField{"recovered_ok", &a.recoveredOk}}) {
+        f = require(v, bf.key, err);
+        if (!f)
+            return false;
+        if (!f->isBool()) {
+            if (err)
+                *err = std::string("replay artifact: '") + bf.key +
+                       "' is not a bool";
+            return false;
+        }
+        *bf.dst = f->asBool();
+    }
+
+    struct NumField
+    {
+        const char *key;
+        double *dst;
+    };
+    double window_d = 0, seed_d = 0, cycle_d = 0, pmo_d = 0;
+    for (NumField nf : {NumField{"seed", &seed_d},
+                        NumField{"window", &window_d},
+                        NumField{"pb_coverage", &a.pbCoverage},
+                        NumField{"nvm_bw_scale", &a.nvmBwScale},
+                        NumField{"crash_cycle", &cycle_d},
+                        NumField{"pmo_violations", &pmo_d}}) {
+        f = require(v, nf.key, err);
+        if (!f)
+            return false;
+        if (!f->isNumber()) {
+            if (err)
+                *err = std::string("replay artifact: '") + nf.key +
+                       "' is not a number";
+            return false;
+        }
+        *nf.dst = f->asNumber();
+    }
+    a.seed = static_cast<std::uint64_t>(seed_d);
+    a.window = static_cast<std::uint32_t>(window_d);
+    a.crashCycle = static_cast<Cycle>(cycle_d);
+    a.pmoViolations = static_cast<std::uint64_t>(pmo_d);
+
+    *out = a;
+    return true;
+}
+
+} // namespace sbrp

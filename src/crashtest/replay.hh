@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Self-contained crash-replay artifacts.
+ *
+ * When a campaign finds (and minimizes) a failing crash point, it emits
+ * a small JSON artifact that reconstructs the exact run: application,
+ * scale, seed, every persistency-model knob the CLI exposes, the crash
+ * cycle, and the expected outcome. `crashfuzz --replay file.json`
+ * rebuilds the scenario from the artifact, re-runs the single crash
+ * point, and exits nonzero unless the observed verdict matches the
+ * recorded expectation — so a replay that *stops* failing (e.g. after a
+ * model fix) is itself a signal.
+ *
+ * The artifact serializes the campaign-reachable configuration space,
+ * not the entire SystemConfig: a base config (`paperConfig` selects
+ * paperDefault vs testDefault) plus the swept persistency knobs. This
+ * matches how every campaign builds its config, keeps artifacts
+ * readable, and avoids freezing ~30 microarchitectural constants into a
+ * schema. `version` guards future schema evolution.
+ */
+
+#ifndef SBRP_CRASHTEST_REPLAY_HH
+#define SBRP_CRASHTEST_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "crashtest/crash_points.hh"
+#include "crashtest/scenario.hh"
+
+namespace sbrp
+{
+
+class JsonValue;
+
+struct ReplayArtifact
+{
+    static constexpr std::uint32_t kVersion = 1;
+
+    // --- Scenario ---
+    std::string app;               ///< Canonical registry name.
+    bool paperConfig = false;      ///< paperDefault vs testDefault base.
+    bool benchScale = false;       ///< Paper-scale app inputs.
+    std::uint64_t seed = 0;
+    ModelKind model = ModelKind::Sbrp;
+    SystemDesign design = SystemDesign::PmNear;
+    PersistPoint persistPoint = PersistPoint::Adr;
+    FlushPolicy flushPolicy = FlushPolicy::Window;
+    std::uint32_t window = 6;
+    bool preciseFsm = true;
+    double pbCoverage = 0.5;
+    double nvmBwScale = 1.0;
+    bool unsafeRelaxedPersistOrder = false;
+
+    // --- The crash point ---
+    Cycle crashCycle = 0;
+    CrashEventKind eventKind = CrashEventKind::PersistAccept;
+
+    // --- Recorded outcome ---
+    bool expectViolation = false;  ///< True: the run must fail.
+    std::uint64_t pmoViolations = 0;   ///< As observed when recorded.
+    bool recoveredOk = true;           ///< As observed when recorded.
+
+    /** Captures scenario + verdict into an artifact. */
+    static ReplayArtifact fromScenario(const CrashScenario &s,
+                                       bool paper_config,
+                                       const CrashVerdict &v);
+
+    /** Rebuilds the scenario this artifact describes. */
+    CrashScenario toScenario() const;
+
+    JsonValue toJson() const;
+
+    /**
+     * Parses an artifact; returns false and sets *err on malformed
+     * input (bad JSON, wrong version, unknown enum spellings, missing
+     * fields).
+     */
+    static bool fromJson(const JsonValue &v, ReplayArtifact *out,
+                         std::string *err);
+};
+
+} // namespace sbrp
+
+#endif // SBRP_CRASHTEST_REPLAY_HH

@@ -1,0 +1,89 @@
+#include "crashtest/scenario.hh"
+
+#include "apps/registry.hh"
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "formal/checker.hh"
+#include "formal/trace.hh"
+#include "gpu/gpu_system.hh"
+
+namespace sbrp
+{
+
+ScenarioRunner::ScenarioRunner(const CrashScenario &scenario)
+    : scenario_(scenario)
+{
+    scenario_.cfg.validate();
+    app_ = makeRegisteredApp(scenario_.app, scenario_.cfg.model,
+                             scenario_.benchScale, scenario_.seed);
+    if (!app_)
+        sbrp_fatal("unknown application '%s'", scenario_.app);
+    // Region addresses the app records here stay valid across
+    // resetImage(): the namespace table is part of the golden image.
+    app_->setupNvm(golden_);
+    resetImage();
+}
+
+void
+ScenarioRunner::resetImage()
+{
+    live_.restoreImageFrom(golden_);
+}
+
+CrashProbe
+ScenarioRunner::probe()
+{
+    resetImage();
+
+    CrashProbe p;
+    ExecutionTrace trace;
+    TraceSink sink;
+    {
+        GpuSystem gpu(scenario_.cfg, live_, &trace, &sink);
+        app_->setupGpu(gpu);
+        auto res = gpu.launch(app_->forward());
+        p.horizon = res.cycles;
+    }
+    p.cleanConsistent = app_->verify(live_);
+    {
+        PmoChecker checker(trace);
+        p.cleanPmoViolations = checker.check().size();
+    }
+    p.points = enumerateCrashPoints(sink, p.horizon);
+    return p;
+}
+
+CrashVerdict
+ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
+{
+    resetImage();
+
+    CrashVerdict v;
+    v.crashAt = crash_at;
+    v.kind = kind;
+    v.executed = true;
+
+    ExecutionTrace trace;
+    {
+        GpuSystem gpu(scenario_.cfg, live_, &trace);
+        app_->setupGpu(gpu);
+        auto res = gpu.launch(app_->forward(), crash_at);
+        v.crashed = res.crashed;
+    }   // Power failure: caches, PBs and WPQs are gone.
+
+    {
+        PmoChecker checker(trace);
+        v.pmoViolations = checker.check().size();
+    }
+
+    {
+        // Power-up: fresh GPU over the surviving durable image.
+        GpuSystem gpu(scenario_.cfg, live_);
+        app_->setupGpu(gpu);
+        gpu.launch(app_->recovery());
+    }
+    v.recoveredOk = app_->verifyRecovered(live_);
+    return v;
+}
+
+} // namespace sbrp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * One crash-testing scenario: an application + configuration pair that
+ * can be probed for crash points and re-run against any of them.
+ *
+ * The runner owns a *golden* NvmDevice holding the durable image as the
+ * app's setupNvm left it, and a *live* NvmDevice the simulations mutate.
+ * Every crash run starts by restoring the live image from the golden
+ * one — the app object itself is built exactly once, so the region
+ * addresses it recorded during setup stay valid (NVM allocation is a
+ * deterministic bump allocator). This makes crash runs O(image-copy)
+ * instead of O(app-reconstruction) and, more importantly, guarantees
+ * every crash point sees the *same* initial durable state.
+ *
+ * Verdicts are judged by two independent oracles:
+ *  1. Formal: the PmoChecker validates the physical commit order of the
+ *     crashed run against the paper's PMO rules; because the commit
+ *     stream is prefix-closed, a clean check means every crash prefix
+ *     is PMO-downward-closed.
+ *  2. Recovery: a fresh GpuSystem is powered up over the surviving
+ *     durable image, the app's recovery kernel runs, and
+ *     verifyRecovered() checks application-level consistency.
+ */
+
+#ifndef SBRP_CRASHTEST_SCENARIO_HH
+#define SBRP_CRASHTEST_SCENARIO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/app.hh"
+#include "common/config.hh"
+#include "crashtest/crash_points.hh"
+#include "mem/nvm_device.hh"
+
+namespace sbrp
+{
+
+/** Everything needed to reconstruct a campaign's runs exactly. */
+struct CrashScenario
+{
+    std::string app;        ///< Canonical or alias registry name.
+    SystemConfig cfg;
+    bool benchScale = false;
+    std::uint64_t seed = 0; ///< 0 = the app's built-in default seed.
+};
+
+/** Result of the crash-free oracle run. */
+struct CrashProbe
+{
+    CrashPointSet points;
+    Cycle horizon = 0;              ///< Crash-free run length.
+    bool cleanConsistent = false;   ///< verify() after the clean run.
+    std::uint64_t cleanPmoViolations = 0;
+};
+
+/** Verdict of one crash-point run (pure function of the crash point). */
+struct CrashVerdict
+{
+    Cycle crashAt = 0;
+    CrashEventKind kind = CrashEventKind::PersistAccept;
+    bool executed = false;   ///< False when cut off by the budget.
+    bool crashed = false;    ///< The launch actually crashed.
+    std::uint64_t pmoViolations = 0;  ///< Formal oracle.
+    bool recoveredOk = false;         ///< Recovery oracle.
+
+    bool
+    pass() const
+    {
+        return executed && crashed && pmoViolations == 0 && recoveredOk;
+    }
+};
+
+/**
+ * Executes a scenario's runs. Not thread-safe: parallel campaigns give
+ * each worker its own ScenarioRunner (construction is deterministic, so
+ * all runners are interchangeable).
+ */
+class ScenarioRunner
+{
+  public:
+    /** Builds the app and golden image; throws FatalError on an
+        unknown app name. */
+    explicit ScenarioRunner(const CrashScenario &scenario);
+
+    /** Runs crash-free with tracing and enumerates crash points. */
+    CrashProbe probe();
+
+    /** Crash at `crash_at`, power-cycle, recover, judge both oracles. */
+    CrashVerdict runCrashAt(Cycle crash_at,
+                            CrashEventKind kind =
+                                CrashEventKind::PersistAccept);
+
+    const CrashScenario &scenario() const { return scenario_; }
+    PmApp &app() { return *app_; }
+
+  private:
+    void resetImage();
+
+    CrashScenario scenario_;
+    std::unique_ptr<PmApp> app_;
+    NvmDevice golden_;   ///< Durable image as setupNvm left it.
+    NvmDevice live_;     ///< Mutated by runs; restored from golden_.
+};
+
+} // namespace sbrp
+
+#endif // SBRP_CRASHTEST_SCENARIO_HH

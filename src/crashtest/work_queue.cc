@@ -1,0 +1,82 @@
+#include "crashtest/work_queue.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+WorkQueue::WorkQueue(std::size_t items, unsigned workers)
+{
+    if (workers == 0)
+        sbrp_fatal("WorkQueue needs at least one worker");
+    ranges_.resize(workers);
+    // Remainder items go to the first ranges, one each, so every index
+    // is covered exactly once.
+    const std::size_t base = items / workers;
+    const std::size_t extra = items % workers;
+    std::size_t lo = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+        const std::size_t n = base + (w < extra ? 1 : 0);
+        ranges_[w] = Range{lo, lo + n};
+        lo += n;
+    }
+}
+
+std::optional<std::size_t>
+WorkQueue::next(unsigned worker)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_)
+        return std::nullopt;
+    sbrp_assert(worker < ranges_.size(), "worker id out of range");
+
+    Range &own = ranges_[worker];
+    if (own.size() > 0)
+        return own.lo++;
+
+    // Steal the upper half of the largest remaining range (lowest
+    // worker index breaks ties, for determinism under the lock).
+    std::size_t victim = ranges_.size();
+    std::size_t best = 0;
+    for (std::size_t w = 0; w < ranges_.size(); ++w) {
+        if (w != worker && ranges_[w].size() > best) {
+            best = ranges_[w].size();
+            victim = w;
+        }
+    }
+    if (victim == ranges_.size())
+        return std::nullopt;
+
+    Range &v = ranges_[victim];
+    const std::size_t half = (v.size() + 1) / 2;
+    own.lo = v.hi - half;
+    own.hi = v.hi;
+    v.hi = own.lo;
+    return own.lo++;
+}
+
+void
+WorkQueue::stop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+}
+
+bool
+WorkQueue::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+std::size_t
+WorkQueue::remaining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const Range &r : ranges_)
+        n += r.size();
+    return n;
+}
+
+} // namespace sbrp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic work-stealing index queue for parallel campaigns.
+ *
+ * The queue hands out indices into a fixed item list. Each worker owns
+ * a contiguous range; when a worker's range drains, it steals the upper
+ * half of the largest remaining range. The *assignment* of indices to
+ * workers depends on timing, but that is harmless by construction: a
+ * crash-point verdict is a pure function of the crash point, so the set
+ * of verdicts is identical regardless of which worker computes which
+ * index — the property the 1-thread-vs-N-thread tests pin down.
+ *
+ * stop() makes every subsequent next() return nothing, giving the
+ * campaign a graceful wall-clock cutoff: in-flight runs finish, and
+ * unexecuted indices are reported as truncated rather than silently
+ * dropped.
+ */
+
+#ifndef SBRP_CRASHTEST_WORK_QUEUE_HH
+#define SBRP_CRASHTEST_WORK_QUEUE_HH
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace sbrp
+{
+
+class WorkQueue
+{
+  public:
+    /** Splits [0, items) into `workers` contiguous ranges. */
+    WorkQueue(std::size_t items, unsigned workers);
+
+    /**
+     * Next index for `worker`: its own range first, then half of the
+     * largest remaining range. std::nullopt when drained or stopped.
+     */
+    std::optional<std::size_t> next(unsigned worker);
+
+    /** Graceful cutoff: all future next() calls return nothing. */
+    void stop();
+
+    bool stopped() const;
+
+    /** Indices never handed out (nonzero only after stop()). */
+    std::size_t remaining() const;
+
+  private:
+    struct Range
+    {
+        std::size_t lo = 0;
+        std::size_t hi = 0;   // Exclusive.
+        std::size_t size() const { return hi - lo; }
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Range> ranges_;   // One per worker.
+    bool stopped_ = false;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_CRASHTEST_WORK_QUEUE_HH

@@ -27,7 +27,8 @@ LitmusScenario::LitmusScenario(std::string name, Setup setup, Build build,
 }
 
 LitmusRun
-LitmusScenario::runOnce(const SystemConfig &cfg, Cycle crash_at) const
+LitmusScenario::runOnce(const SystemConfig &cfg,
+                        std::optional<Cycle> crash_at) const
 {
     NvmDevice nvm;
     if (setup_)
@@ -58,7 +59,7 @@ LitmusScenario::run(const SystemConfig &cfg,
     LitmusReport report;
     report.name = name_;
 
-    LitmusRun clean = runOnce(cfg, GpuSystem::kNoCrash);
+    LitmusRun clean = runOnce(cfg, std::nullopt);
     report.crashFreeCycles = clean.cycles;
     report.runs.push_back(clean);
 

@@ -15,6 +15,7 @@
 #define SBRP_FORMAL_LITMUS_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,13 @@ namespace sbrp
 /** Outcome of one litmus run (crash-free or crashed). */
 struct LitmusRun
 {
-    Cycle crashAt = 0;        ///< 0 = ran to completion.
+    /**
+     * Injected crash cycle; std::nullopt for the crash-free run. Cycle 0
+     * is not a magic value: fraction-derived crash points are clamped to
+     * >= 1, so tiny fractions crash on the first cycle instead of
+     * silently degrading into a second crash-free run.
+     */
+    std::optional<Cycle> crashAt;
     Cycle cycles = 0;
     bool crashed = false;
     std::vector<PmoViolation> violations;
@@ -91,7 +98,8 @@ class LitmusScenario
     const std::string &name() const { return name_; }
 
   private:
-    LitmusRun runOnce(const SystemConfig &cfg, Cycle crash_at) const;
+    LitmusRun runOnce(const SystemConfig &cfg,
+                      std::optional<Cycle> crash_at) const;
 
     std::string name_;
     Setup setup_;

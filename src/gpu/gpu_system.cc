@@ -103,7 +103,8 @@ GpuSystem::allDrained() const
 }
 
 GpuSystem::LaunchResult
-GpuSystem::launch(const KernelProgram &kernel, Cycle crash_at)
+GpuSystem::launch(const KernelProgram &kernel,
+                  std::optional<Cycle> crash_at)
 {
     if (crashed_)
         sbrp_fatal("launch on a crashed GpuSystem; power-cycle instead");
@@ -149,7 +150,7 @@ GpuSystem::launch(const KernelProgram &kernel, Cycle crash_at)
         for (auto &sm : sms_)
             sm->tick(cycle_);
 
-        if (crash_at != kNoCrash && cycle_ - start >= crash_at) {
+        if (crash_at && cycle_ - start >= *crash_at) {
             crashed_ = true;
             if (tbSystem_) {
                 tbSystem_->spanAt(span_name, start, cycle_, 0);

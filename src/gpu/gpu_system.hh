@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/config.hh"
@@ -41,9 +42,6 @@ class TraceSink;
 class GpuSystem
 {
   public:
-    /** Sentinel: run to completion. */
-    static constexpr Cycle kNoCrash = 0;
-
     struct LaunchResult
     {
         Cycle cycles = 0;    ///< Cycles this launch took (or ran until).
@@ -79,12 +77,14 @@ class GpuSystem
 
     /**
      * Runs a kernel to completion — including the end-of-kernel drain of
-     * buffered persists — or until `crash_at` cycles into the launch.
-     * A crashed system refuses further launches (destroy it and attach a
-     * fresh GpuSystem to the NvmDevice instead).
+     * buffered persists — or until `crash_at` cycles into the launch
+     * (std::nullopt means run to completion; there is deliberately no
+     * magic cycle value, so every representable cycle is a valid crash
+     * point). A crashed system refuses further launches (destroy it and
+     * attach a fresh GpuSystem to the NvmDevice instead).
      */
     LaunchResult launch(const KernelProgram &kernel,
-                        Cycle crash_at = kNoCrash);
+                        std::optional<Cycle> crash_at = std::nullopt);
 
     StatRegistry &stats() { return stats_; }
     MemoryFabric &fabric() { return *fabric_; }

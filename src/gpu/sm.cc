@@ -216,7 +216,10 @@ void
 Sm::finishWarp(Warp &warp)
 {
     warp.setState(WarpState::Finished);
-    BlockCtx &ctx = blocks_.at(warp.block());
+    // Resetting the block's slots below destroys `warp` itself — read
+    // its block id before it is freed.
+    const BlockId block = warp.block();
+    BlockCtx &ctx = blocks_.at(block);
     ++ctx.finished;
 
     if (ctx.finished == ctx.warps) {
@@ -224,7 +227,7 @@ Sm::finishWarp(Warp &warp)
             slots_[s].reset();
             --residentWarps_;
         }
-        blocks_.erase(warp.block());
+        blocks_.erase(block);
         stats_.stat("blocks_finished").inc();
         return;
     }
@@ -608,6 +611,15 @@ Sm::execFenceLike(Warp &warp, const WarpInstr &in)
     else
         r = model_->fence(warp, in.scope);
 
+    if (tb_) {
+        // Ordering-point boundary markers for the event trace; the
+        // crash-point oracle enumerates crash cycles adjacent to these.
+        tb_->instant(in.op == Op::OFence ? "op:ofence"
+                     : in.op == Op::DFence ? "op:dfence"
+                                           : "op:fence",
+                     warp.slot());
+    }
+
     sbrp_assert(r != HookResult::StallRetry,
                 "fence-like ops never retry");
     warp.setState(r == HookResult::StallComplete ? WarpState::WaitModel
@@ -658,6 +670,8 @@ Sm::execRelease(Warp &warp, const WarpInstr &in)
     // writes must land per line, interleaved with the allocations).
     warp.setState(r == HookResult::StallComplete ? WarpState::WaitModel
                                                  : WarpState::Ready);
+    if (tb_)
+        tb_->instant("op:prel", warp.slot());
     stats_.stat("release_ops").inc();
     return true;
 }
@@ -703,6 +717,8 @@ Sm::pollSpin(Warp &warp)
             }
         }
         model_->pAcqSuccess(warp, in);
+        if (tb_)
+            tb_->instant("op:pacq", warp.slot());
         stats_.stat("acquire_ops").inc();
     }
 

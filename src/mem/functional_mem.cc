@@ -8,6 +8,16 @@
 namespace sbrp
 {
 
+void
+FunctionalMemory::copyFrom(const FunctionalMemory &other)
+{
+    pages_.clear();
+    pages_.reserve(other.pages_.size());
+    for (const auto &[idx, page] : other.pages_)
+        pages_[idx] = std::make_unique<Page>(*page);
+    backing_ = other.backing_;
+}
+
 const FunctionalMemory::Page *
 FunctionalMemory::findPage(Addr a) const
 {

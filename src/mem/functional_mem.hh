@@ -35,6 +35,26 @@ class FunctionalMemory
   public:
     static constexpr std::uint32_t kPageBytes = 4096;
 
+    FunctionalMemory() = default;
+
+    /**
+     * Deep copies (snapshot semantics): the copy owns its own pages and
+     * shares only the (read-only) backing pointer. Used to clone the
+     * durable NVM image for parallel crash campaigns.
+     */
+    FunctionalMemory(const FunctionalMemory &other) { copyFrom(other); }
+
+    FunctionalMemory &
+    operator=(const FunctionalMemory &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+
+    FunctionalMemory(FunctionalMemory &&) = default;
+    FunctionalMemory &operator=(FunctionalMemory &&) = default;
+
     /** Attaches a read-through/copy-on-write backing memory. */
     void setBacking(const FunctionalMemory *backing) { backing_ = backing; }
 
@@ -61,6 +81,8 @@ class FunctionalMemory
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;
+
+    void copyFrom(const FunctionalMemory &other);
 
     const Page *findPage(Addr a) const;
     Page &touchPage(Addr a);

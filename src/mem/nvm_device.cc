@@ -54,6 +54,16 @@ NvmDevice::remove(const std::string &name)
 }
 
 void
+NvmDevice::restoreImageFrom(const NvmDevice &golden)
+{
+    sbrp_assert(this != &golden, "restore from self");
+    durable_ = golden.durable_;   // Deep page copy.
+    names_ = golden.names_;
+    bump_ = golden.bump_;
+    commit_count_ = 0;
+}
+
+void
 NvmDevice::setTrace(TraceBuffer *tb)
 {
     tb_ = tb;

@@ -84,6 +84,15 @@ class NvmDevice
     { return bump_ - addr_map::kNvmBase; }
 
     /**
+     * Restores this device to an exact copy of `golden`'s persistent
+     * state: durable image, namespace table and allocator position (the
+     * commit counter restarts at zero). Crash campaigns snapshot the
+     * pre-crash image once per worker and restore before every injected
+     * crash instead of re-running application setup.
+     */
+    void restoreImageFrom(const NvmDevice &golden);
+
+    /**
      * Attaches/detaches a trace buffer for the WPQ occupancy track. The
      * GpuSystem that owns the sink MUST detach (pass null) before it is
      * destroyed — the device outlives it across simulated crashes.

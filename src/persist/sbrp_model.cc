@@ -115,6 +115,8 @@ SbrpModel::noteOrderingPoint(WarpMask warps)
 bool
 SbrpModel::fsmAllowsFlush(WarpMask warps)
 {
+    if (cfg_.unsafeRelaxedPersistOrder)
+        return true;   // Fault injection: ignore the flush hazard.
     WarpMask hazard = warps & fsm_;
     if (hazard.empty())
         return true;
@@ -448,6 +450,8 @@ SbrpModel::mayEvictPm(Warp &warp, const L1Cache::Line &victim)
                 "dirty PM line without a PB entry");
     PersistBuffer::Entry *e = pb_.find(victim.pbEntry);
     sbrp_assert(e && e->valid, "dirty PM line with a stale PB entry");
+    if (cfg_.unsafeRelaxedPersistOrder)
+        return true;   // Fault injection: ignore the eviction veto.
     if (pb_.orderingBefore(e->id, e->warps)) {
         // Flushing now would persist this line ahead of writes it is
         // ordered after. Stall the evicting warp (EDM) and drain.

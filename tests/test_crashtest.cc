@@ -1,0 +1,365 @@
+/**
+ * Tier-1 tests for the crash-consistency campaign engine: the
+ * crash-point oracle, the work-stealing queue, parallel-campaign
+ * determinism, failure minimization, and the replay artifact pipeline
+ * against a deliberately broken model configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/registry.hh"
+#include "common/json.hh"
+#include "common/trace.hh"
+#include "crashtest/campaign.hh"
+#include "crashtest/crash_points.hh"
+#include "crashtest/minimize.hh"
+#include "crashtest/replay.hh"
+#include "crashtest/scenario.hh"
+#include "crashtest/work_queue.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+CrashScenario
+scenarioFor(const std::string &app, ModelKind model,
+            bool unsafe_order = false)
+{
+    CrashScenario s;
+    s.app = app;
+    s.cfg = SystemConfig::testDefault(model);
+    s.cfg.unsafeRelaxedPersistOrder = unsafe_order;
+    return s;
+}
+
+// --- The oracle -----------------------------------------------------
+
+TEST(CrashPoints, SyntheticTraceExpandsClampsAndDedups)
+{
+    TraceSink sink;
+    Cycle clock = 0;
+    sink.setClock(&clock);
+    TraceBuffer *tb = sink.buffer("system");
+
+    clock = 1;
+    tb->instant("pb:admit");      // -> {1, 2} (0 clamps away).
+    clock = 10;
+    tb->instant("pb:flush");      // -> {9, 10, 11}.
+    clock = 11;
+    tb->instant("l1:evict_pm");   // 10, 11 collide; adds 12.
+    clock = 20;
+    tb->spanAt("stall:odm_dfence", 15, 20);  // Span END: {19, 20, 21}.
+    clock = 30;
+    tb->counter("wpq_lines", 3);  // -> {29, 30}; 31 > horizon clamps.
+    tb->instant("not:interesting");
+
+    CrashPointSet set = enumerateCrashPoints(sink, 30);
+    EXPECT_EQ(set.horizon, 30u);
+    EXPECT_EQ(set.rawEvents, 5u);
+
+    std::vector<Cycle> cycles;
+    for (const CrashPoint &p : set.points)
+        cycles.push_back(p.cycle);
+    EXPECT_EQ(cycles, (std::vector<Cycle>{1, 2, 9, 10, 11, 12,
+                                          19, 20, 21, 29, 30}));
+    // 5 events x 3 candidates = 15; 11 survived.
+    EXPECT_EQ(set.prunedCandidates, 4u);
+
+    // The span end maps to DFenceRetire, not the instant kinds.
+    EXPECT_EQ(set.points[7].cycle, 20u);
+    EXPECT_EQ(set.points[7].kind, CrashEventKind::DFenceRetire);
+    // At cycle 11 both PbPop's c+1 and L1PmEvict's c collide; the
+    // lowest-ordered kind (PbPop) wins deterministically.
+    EXPECT_EQ(set.points[4].cycle, 11u);
+    EXPECT_EQ(set.points[4].kind, CrashEventKind::PbPop);
+}
+
+TEST(CrashPoints, OracleIsDeterministicAndSorted)
+{
+    CrashScenario s = scenarioFor("Red", ModelKind::Sbrp);
+    ScenarioRunner r1(s);
+    CrashProbe p1 = r1.probe();
+
+    EXPECT_TRUE(p1.cleanConsistent);
+    EXPECT_EQ(p1.cleanPmoViolations, 0u);
+    ASSERT_FALSE(p1.points.points.empty());
+    EXPECT_GT(p1.horizon, 0u);
+
+    // Strictly sorted, all within [1, horizon].
+    for (std::size_t i = 0; i < p1.points.points.size(); ++i) {
+        const CrashPoint &p = p1.points.points[i];
+        EXPECT_GE(p.cycle, 1u);
+        EXPECT_LE(p.cycle, p1.horizon);
+        if (i > 0)
+            EXPECT_GT(p.cycle, p1.points.points[i - 1].cycle);
+    }
+
+    // A second probe — and a probe from a fresh runner — agree exactly.
+    CrashProbe p2 = r1.probe();
+    ScenarioRunner r2(s);
+    CrashProbe p3 = r2.probe();
+    EXPECT_EQ(p1.horizon, p2.horizon);
+    EXPECT_TRUE(p1.points.points == p2.points.points);
+    EXPECT_TRUE(p1.points.points == p3.points.points);
+}
+
+TEST(CrashPoints, KindNamesRoundTrip)
+{
+    for (auto k : {CrashEventKind::PersistAccept, CrashEventKind::PbAdmit,
+                   CrashEventKind::PbPop, CrashEventKind::L1PmEvict,
+                   CrashEventKind::OFenceRetire,
+                   CrashEventKind::DFenceRetire,
+                   CrashEventKind::FenceRetire, CrashEventKind::RelRetire,
+                   CrashEventKind::AcqRetire}) {
+        CrashEventKind back;
+        ASSERT_TRUE(crashEventKindFromString(toString(k), &back));
+        EXPECT_EQ(back, k);
+    }
+    CrashEventKind sink;
+    EXPECT_FALSE(crashEventKindFromString("bogus", &sink));
+}
+
+// --- The work queue -------------------------------------------------
+
+TEST(WorkQueue, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned workers : {1u, 3u, 8u}) {
+        WorkQueue q(37, workers);
+        std::multiset<std::size_t> seen;
+        // Drive workers round-robin so stealing paths execute.
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (unsigned w = 0; w < workers; ++w) {
+                if (auto idx = q.next(w)) {
+                    seen.insert(*idx);
+                    progress = true;
+                }
+            }
+        }
+        ASSERT_EQ(seen.size(), 37u) << workers << " workers";
+        for (std::size_t i = 0; i < 37; ++i)
+            EXPECT_EQ(seen.count(i), 1u);
+        EXPECT_EQ(q.remaining(), 0u);
+    }
+}
+
+TEST(WorkQueue, StealingServicesIdleWorkers)
+{
+    WorkQueue q(10, 2);
+    // Worker 1 never pulls its own range; worker 0 must steal it.
+    std::set<std::size_t> seen;
+    while (auto idx = q.next(0))
+        seen.insert(*idx);
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(WorkQueue, StopCutsOffGracefully)
+{
+    WorkQueue q(10, 2);
+    EXPECT_TRUE(q.next(0).has_value());
+    q.stop();
+    EXPECT_TRUE(q.stopped());
+    EXPECT_FALSE(q.next(0).has_value());
+    EXPECT_FALSE(q.next(1).has_value());
+    EXPECT_EQ(q.remaining(), 9u);
+}
+
+TEST(WorkQueue, ZeroItemsDrainImmediately)
+{
+    WorkQueue q(0, 4);
+    EXPECT_FALSE(q.next(2).has_value());
+    EXPECT_EQ(q.remaining(), 0u);
+}
+
+// --- Minimization ---------------------------------------------------
+
+TEST(Minimize, FindsPlantedEarliestFailingCycle)
+{
+    std::vector<Cycle> cycles;
+    for (Cycle c = 10; c <= 100; c += 10)
+        cycles.push_back(c);
+    // Planted boundary: everything >= 57 fails -> earliest is 60.
+    std::uint64_t calls = 0;
+    auto fails = [&](Cycle c) {
+        ++calls;
+        return c >= 57;
+    };
+    MinimizeResult r = minimizeFailure(cycles, 8, fails);  // 90 fails.
+    EXPECT_EQ(r.cycle, 60u);
+    EXPECT_EQ(r.index, 5u);
+    EXPECT_EQ(r.probes, calls);
+    EXPECT_LE(r.probes, 4u);   // log2(9) rounded up.
+}
+
+TEST(Minimize, KnownFailureAtZeroNeedsNoProbes)
+{
+    std::vector<Cycle> cycles{5, 6, 7};
+    MinimizeResult r =
+        minimizeFailure(cycles, 0, [](Cycle) { return true; });
+    EXPECT_EQ(r.index, 0u);
+    EXPECT_EQ(r.cycle, 5u);
+    EXPECT_EQ(r.probes, 0u);
+}
+
+// --- Campaigns ------------------------------------------------------
+
+TEST(Campaign, VerdictsIdenticalAtOneAndFourJobs)
+{
+    CampaignConfig cc;
+    cc.scenario = scenarioFor("Red", ModelKind::Sbrp);
+    cc.budgetRuns = 48;
+    cc.minimize = false;
+
+    cc.jobs = 1;
+    CampaignResult one = CampaignEngine(cc).run();
+    cc.jobs = 4;
+    CampaignResult four = CampaignEngine(cc).run();
+
+    ASSERT_EQ(one.verdicts.size(), four.verdicts.size());
+    EXPECT_EQ(one.runsExecuted, four.runsExecuted);
+    EXPECT_EQ(one.failures, four.failures);
+    for (std::size_t i = 0; i < one.verdicts.size(); ++i) {
+        const CrashVerdict &a = one.verdicts[i];
+        const CrashVerdict &b = four.verdicts[i];
+        EXPECT_EQ(a.crashAt, b.crashAt);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.executed, b.executed);
+        EXPECT_EQ(a.crashed, b.crashed);
+        EXPECT_EQ(a.pmoViolations, b.pmoViolations);
+        EXPECT_EQ(a.recoveredOk, b.recoveredOk);
+    }
+    EXPECT_TRUE(one.budgetTruncated);
+    EXPECT_EQ(one.runsExecuted, 48u);
+}
+
+TEST(Campaign, SmokeAcrossAppsAndModels)
+{
+    // Coarse-budget sweep: every registered app under SBRP and the
+    // epoch model must survive its first few crash points.
+    for (const std::string &app : appRegistryNames()) {
+        for (ModelKind model : {ModelKind::Sbrp, ModelKind::Epoch}) {
+            CampaignConfig cc;
+            cc.scenario = scenarioFor(app, model);
+            cc.budgetRuns = 8;
+            cc.jobs = 2;
+            cc.minimize = false;
+            CampaignEngine engine(cc);
+            CampaignResult r = engine.run();
+            EXPECT_TRUE(r.pass())
+                << app << "/" << toString(model) << ": "
+                << r.failures << " failures";
+            EXPECT_GT(r.runsExecuted, 0u)
+                << app << "/" << toString(model);
+            EXPECT_EQ(engine.group().value("verdict_fail"), 0u);
+            EXPECT_EQ(engine.group().value("runs_executed"),
+                      r.runsExecuted);
+        }
+    }
+}
+
+TEST(Campaign, BrokenModelYieldsMinimizedReplayThatReproduces)
+{
+    // MQ under the fault-injection knob commits persists out of PMO
+    // order; the campaign must catch it, bisect to the earliest
+    // failing point, and emit an artifact that reproduces standalone.
+    CampaignConfig cc;
+    cc.scenario = scenarioFor("MQ", ModelKind::Sbrp,
+                              /*unsafe_order=*/true);
+    cc.jobs = 2;
+    CampaignEngine engine(cc);
+    CampaignResult r = engine.run();
+
+    EXPECT_FALSE(r.pass());
+    EXPECT_GT(r.failures, 0u);
+    ASSERT_TRUE(r.hasMinimized);
+    EXPECT_GT(engine.group().value("verdict_fail"), 0u);
+
+    // The minimized point is the earliest failing one among verdicts.
+    Cycle earliest = 0;
+    for (const CrashVerdict &v : r.verdicts) {
+        if (v.executed && !v.pass()) {
+            earliest = v.crashAt;
+            break;
+        }
+    }
+    EXPECT_LE(r.minimized.cycle, earliest);
+    EXPECT_TRUE(r.artifact.expectViolation);
+
+    // JSON round trip preserves the artifact exactly.
+    std::string err;
+    JsonValue back = JsonValue::parse(r.artifact.toJson().dump(2), &err);
+    ReplayArtifact parsed;
+    ASSERT_TRUE(ReplayArtifact::fromJson(back, &parsed, &err)) << err;
+    EXPECT_EQ(parsed.app, r.artifact.app);
+    EXPECT_EQ(parsed.crashCycle, r.artifact.crashCycle);
+    EXPECT_EQ(parsed.eventKind, r.artifact.eventKind);
+    EXPECT_EQ(parsed.unsafeRelaxedPersistOrder, true);
+    EXPECT_EQ(parsed.expectViolation, true);
+
+    // Replaying the parsed artifact reproduces the failure.
+    ScenarioRunner replayRunner(parsed.toScenario());
+    CrashVerdict verdict =
+        replayRunner.runCrashAt(parsed.crashCycle, parsed.eventKind);
+    EXPECT_FALSE(verdict.pass());
+}
+
+TEST(Campaign, ReportJsonParsesAndMatchesResult)
+{
+    CampaignConfig cc;
+    cc.scenario = scenarioFor("Red", ModelKind::Sbrp);
+    cc.budgetRuns = 8;
+    cc.jobs = 2;
+    cc.minimize = false;
+    CampaignResult r = CampaignEngine(cc).run();
+
+    std::string err;
+    JsonValue report =
+        JsonValue::parse(campaignReportJson(cc, r).dump(2), &err);
+    ASSERT_TRUE(report.isObject()) << err;
+    EXPECT_EQ(report.find("version")->asU64(), 1u);
+    EXPECT_EQ(report.find("app")->asString(), "Red");
+    EXPECT_EQ(report.find("runs_executed")->asU64(), r.runsExecuted);
+    EXPECT_EQ(report.find("pass")->asBool(), r.pass());
+    EXPECT_TRUE(report.find("failing_points")->isArray());
+    EXPECT_EQ(report.find("points_enumerated")->asU64(),
+              r.probe.points.points.size());
+}
+
+TEST(ReplayArtifact, RejectsMalformedInputs)
+{
+    std::string err;
+    ReplayArtifact out;
+
+    // Wrong top-level type.
+    EXPECT_FALSE(ReplayArtifact::fromJson(
+        JsonValue::parse("[1]", &err), &out, &err));
+
+    // Wrong version.
+    EXPECT_FALSE(ReplayArtifact::fromJson(
+        JsonValue::parse("{\"version\": 99}", &err), &out, &err));
+    EXPECT_NE(err.find("version"), std::string::npos);
+
+    // Missing fields.
+    EXPECT_FALSE(ReplayArtifact::fromJson(
+        JsonValue::parse("{\"version\": 1}", &err), &out, &err));
+
+    // Unknown enum spelling round trip guard.
+    CrashScenario s = scenarioFor("Red", ModelKind::Sbrp);
+    CrashVerdict v;
+    ReplayArtifact a = ReplayArtifact::fromScenario(s, false, v);
+    JsonValue j = a.toJson();
+    j.set("model", JsonValue(std::string("not-a-model")));
+    EXPECT_FALSE(ReplayArtifact::fromJson(j, &out, &err));
+    EXPECT_NE(err.find("enum"), std::string::npos);
+
+    j = a.toJson();
+    j.set("app", JsonValue(std::string("not-an-app")));
+    EXPECT_FALSE(ReplayArtifact::fromJson(j, &out, &err));
+}
+
+} // namespace
+} // namespace sbrp

@@ -143,13 +143,24 @@ TEST(GpuSystem, TraceIsOptional)
     EXPECT_FALSE(trace.commits().empty());
 }
 
-TEST(GpuSystem, CrashZeroMeansNoCrash)
+TEST(GpuSystem, NulloptMeansNoCrash)
 {
     NvmDevice nvm;
     Addr data = nvm.allocate("d", 256);
     GpuSystem gpu(SystemConfig::testDefault(), nvm);
-    auto r = gpu.launch(tinyKernel(data), GpuSystem::kNoCrash);
+    auto r = gpu.launch(tinyKernel(data), std::nullopt);
     EXPECT_FALSE(r.crashed);
+}
+
+TEST(GpuSystem, CrashAtCycleZeroReallyCrashes)
+{
+    // Cycle 0 used to be the "no crash" sentinel; it is now an honest
+    // (immediate) crash point.
+    NvmDevice nvm;
+    Addr data = nvm.allocate("d", 256);
+    GpuSystem gpu(SystemConfig::testDefault(), nvm);
+    auto r = gpu.launch(tinyKernel(data), Cycle{0});
+    EXPECT_TRUE(r.crashed);
 }
 
 } // namespace

@@ -1,0 +1,100 @@
+/** Unit tests for the minimal JSON reader/writer (common/json). */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+TEST(Json, ParsesScalars)
+{
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse("true", &err).asBool());
+    EXPECT_FALSE(JsonValue::parse("false", &err).asBool());
+    EXPECT_TRUE(JsonValue::parse("null", &err).isNull());
+    EXPECT_TRUE(err.empty());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e1", &err).asNumber(),
+                     -125.0);
+    EXPECT_EQ(JsonValue::parse("42", &err).asU64(), 42u);
+    EXPECT_EQ(JsonValue::parse("\"hi\\n\\\"there\\\"\"", &err).asString(),
+              "hi\n\"there\"");
+}
+
+TEST(Json, ParsesUnicodeEscapes)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse("\"a\\u0041b\"", &err);
+    EXPECT_EQ(v.asString(), "aAb") << err;
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": \"x\"}", &err);
+    ASSERT_TRUE(v.isObject()) << err;
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[1].asU64(), 2u);
+    const JsonValue *b = a->items()[2].find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->asBool());
+    EXPECT_EQ(v.find("c")->asString(), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad : {"", "{", "[1,", "{\"a\":}", "tru", "\"open",
+                            "1 2", "{\"a\" 1}", "[1]]", "nul"}) {
+        std::string err;
+        JsonValue v = JsonValue::parse(bad, &err);
+        EXPECT_TRUE(v.isNull()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(Json, RejectsRunawayNesting)
+{
+    std::string deep(100, '[');
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse(deep, &err).isNull());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, DumpParseRoundTrip)
+{
+    JsonValue o = JsonValue::object();
+    o.set("n", JsonValue(std::uint64_t{123456789}));
+    o.set("f", JsonValue(0.5));
+    o.set("s", JsonValue(std::string("quote \" slash \\")));
+    o.set("b", JsonValue(true));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(std::uint64_t{1}));
+    arr.push(JsonValue());
+    o.set("a", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        std::string err;
+        JsonValue back = JsonValue::parse(o.dump(indent), &err);
+        ASSERT_TRUE(back.isObject()) << err;
+        EXPECT_EQ(back.find("n")->asU64(), 123456789u);
+        EXPECT_DOUBLE_EQ(back.find("f")->asNumber(), 0.5);
+        EXPECT_EQ(back.find("s")->asString(), "quote \" slash \\");
+        EXPECT_TRUE(back.find("b")->asBool());
+        EXPECT_TRUE(back.find("a")->items()[1].isNull());
+    }
+}
+
+TEST(Json, IntegralNumbersDumpWithoutFraction)
+{
+    JsonValue v(std::uint64_t{7});
+    EXPECT_EQ(v.dump(), "7");
+}
+
+} // namespace
+} // namespace sbrp

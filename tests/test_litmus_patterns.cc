@@ -29,12 +29,13 @@ expectAllOk(const LitmusScenario &s, const SystemConfig &cfg)
         s.run(cfg, {0.05, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9});
     for (const LitmusRun &r : rep.runs) {
         EXPECT_TRUE(r.violations.empty())
-            << rep.name << " PMO violated, crash at " << r.crashAt
+            << rep.name << " PMO violated, crash at "
+            << r.crashAt.value_or(0)
             << ": " << (r.violations.empty() ? ""
                                              : r.violations[0].detail);
         EXPECT_TRUE(r.durableStateOk)
             << rep.name << " durable state broken, crash at "
-            << r.crashAt;
+            << r.crashAt.value_or(0);
     }
 }
 

@@ -201,5 +201,34 @@ TEST(NvmDevice, TableListsRegions)
     EXPECT_GT(nvm.allocatedBytes(), 0u);
 }
 
+TEST(NvmDevice, RestoreImageFromGolden)
+{
+    NvmDevice golden;
+    Addr a = golden.allocate("data", 128);
+    std::uint8_t payload[128];
+    for (int i = 0; i < 128; ++i)
+        payload[i] = static_cast<std::uint8_t>(i + 1);
+    golden.commitLine(a, payload, 128);
+
+    NvmDevice live;
+    live.restoreImageFrom(golden);
+    // Namespace table, allocator position and durable bytes all match.
+    EXPECT_EQ(live.open("data").base, a);
+    EXPECT_EQ(live.allocatedBytes(), golden.allocatedBytes());
+    EXPECT_EQ(live.durable().read8(a + 7), 8);
+    // The commit counter restarts: restored state is pre-run state.
+    EXPECT_EQ(live.commitCount(), 0u);
+
+    // Mutations to the live copy do not leak back into the golden one.
+    std::uint8_t zeros[128] = {};
+    live.commitLine(a, zeros, 128);
+    EXPECT_EQ(live.durable().read8(a + 7), 0);
+    EXPECT_EQ(golden.durable().read8(a + 7), 8);
+
+    // Restoring again rolls the mutation back.
+    live.restoreImageFrom(golden);
+    EXPECT_EQ(live.durable().read8(a + 7), 8);
+}
+
 } // namespace
 } // namespace sbrp

@@ -29,9 +29,9 @@ crashSweep(const SystemConfig &cfg, Setup setup, Build build, Judge judge)
                                     {0.05, 0.2, 0.4, 0.6, 0.8, 0.95});
     for (const LitmusRun &r : rep.runs) {
         EXPECT_TRUE(r.violations.empty())
-            << "PMO violated with crash at " << r.crashAt;
+            << "PMO violated with crash at " << r.crashAt.value_or(0);
         EXPECT_TRUE(r.durableStateOk)
-            << "durable state broken with crash at " << r.crashAt;
+            << "durable state broken with crash at " << r.crashAt.value_or(0);
     }
 }
 

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * crashfuzz — crash-consistency campaign driver.
+ *
+ * Runs an application once crash-free to enumerate event-adjacent crash
+ * points, then crashes it at every point in parallel, judging each run
+ * with the formal PMO checker and the app's recovery verifier. On
+ * failure it bisects to the earliest failing crash cycle and writes a
+ * self-contained replay artifact.
+ *
+ * Usage:
+ *   crashfuzz --app reduction --model sbrp --jobs 4 --budget 200 \
+ *             --report r.json
+ *   crashfuzz --app Red --model sbrp --list-points
+ *   crashfuzz --replay artifact.json
+ *
+ * Exit codes: 0 = campaign passed (or replay reproduced its recorded
+ * outcome), 1 = violations found (or replay mismatched), 2 = usage or
+ * infrastructure error (unknown app, malformed artifact, unwritable
+ * report).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "crashtest/campaign.hh"
+
+using namespace sbrp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "crashfuzz — event-guided crash-consistency campaigns\n\n"
+        "  --app <name>      gpKVS | HM | SRAD | Red | MQ | Scan | Ckpt\n"
+        "                    (long aliases accepted: reduction, kvs, ...)\n"
+        "  --model <m>       sbrp | epoch | gpm | barrier  (default sbrp)\n"
+        "  --design <d>      near | far                    (default near)\n"
+        "  --jobs <n>        worker threads                (default 1)\n"
+        "  --budget <n>      max crash runs (deterministic truncation of\n"
+        "                    the sorted point list; 0 = all points)\n"
+        "  --wall-ms <n>     graceful wall-clock cutoff    (0 = none)\n"
+        "  --report <f>      write the campaign report JSON to <f>\n"
+        "  --stats-json <f>  write campaign counters as JSON to <f>\n"
+        "  --list-points     enumerate crash points and exit\n"
+        "  --no-minimize     skip failure bisection + replay artifact\n"
+        "  --replay <f>      re-run the crash point recorded in a replay\n"
+        "                    artifact; exit 0 iff the recorded outcome\n"
+        "                    reproduces\n"
+        "  --seed <n>        override the app's input seed (0 = default)\n"
+        "  --scale <t|b>     workload scale: test or bench  (default t)\n"
+        "  --paper-config    Table-1 hardware config instead of the\n"
+        "                    reduced test config\n"
+        "  --window <n>      SBRP flush window\n"
+        "  --policy <p>      window | eager | lazy\n"
+        "  --pb <frac>       persist buffer coverage of L1\n"
+        "  --nvm-bw <scale>  NVM bandwidth scale\n"
+        "  --eadr            persist point at the host LLC (PM-far only)\n"
+        "  --unsafe-relaxed-order  FAULT INJECTION: let the SBRP drain\n"
+        "                    engine violate PMO (testing the oracles)\n");
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << text << "\n";
+    return static_cast<bool>(os);
+}
+
+int
+replayArtifact(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "crashfuzz: cannot read '%s'\n",
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    std::string err;
+    JsonValue v = JsonValue::parse(buf.str(), &err);
+    if (v.isNull()) {
+        std::fprintf(stderr, "crashfuzz: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    ReplayArtifact artifact;
+    if (!ReplayArtifact::fromJson(v, &artifact, &err)) {
+        std::fprintf(stderr, "crashfuzz: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 2;
+    }
+
+    CrashScenario scenario = artifact.toScenario();
+    std::printf("replaying %s under %s\n", scenario.app.c_str(),
+                scenario.cfg.describe().c_str());
+    std::printf("crash at cycle %llu (near %s), expecting %s\n",
+                static_cast<unsigned long long>(artifact.crashCycle),
+                toString(artifact.eventKind),
+                artifact.expectViolation ? "a violation" : "recovery");
+
+    ScenarioRunner runner(scenario);
+    CrashVerdict verdict =
+        runner.runCrashAt(artifact.crashCycle, artifact.eventKind);
+    std::printf("observed: crashed=%s pmo_violations=%llu "
+                "recovered=%s\n",
+                verdict.crashed ? "yes" : "no",
+                static_cast<unsigned long long>(verdict.pmoViolations),
+                verdict.recoveredOk ? "yes" : "no");
+
+    const bool failed = !verdict.pass();
+    if (failed == artifact.expectViolation) {
+        std::printf("replay: recorded outcome reproduced\n");
+        return 0;
+    }
+    std::printf("replay: MISMATCH — artifact expected %s but the run "
+                "%s\n",
+                artifact.expectViolation ? "a violation" : "a pass",
+                failed ? "failed" : "passed");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name;
+    std::string report_path;
+    std::string stats_json_path;
+    std::string replay_path;
+    bool list_points = false;
+    bool bench_scale = false;
+    bool paper_config = false;
+    std::uint64_t seed = 0;
+    CampaignConfig campaign;
+
+    ModelKind model = ModelKind::Sbrp;
+    SystemDesign design = SystemDesign::PmNear;
+    // Knobs applied after the base config is chosen.
+    std::optional<std::uint32_t> window;
+    std::optional<FlushPolicy> policy;
+    std::optional<double> pb_coverage;
+    std::optional<double> nvm_bw;
+    bool eadr = false;
+    bool unsafe_relaxed = false;
+
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            usage();
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--app") {
+            app_name = next(i);
+        } else if (a == "--model") {
+            if (!modelKindFromString(next(i), &model)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--design") {
+            if (!systemDesignFromString(next(i), &design)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--jobs") {
+            campaign.jobs =
+                static_cast<unsigned>(std::strtoul(next(i), nullptr, 10));
+        } else if (a == "--budget") {
+            campaign.budgetRuns = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--wall-ms") {
+            campaign.wallLimitMs = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--report") {
+            report_path = next(i);
+        } else if (a == "--stats-json") {
+            stats_json_path = next(i);
+        } else if (a == "--list-points") {
+            list_points = true;
+        } else if (a == "--no-minimize") {
+            campaign.minimize = false;
+        } else if (a == "--replay") {
+            replay_path = next(i);
+        } else if (a == "--seed") {
+            seed = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--scale") {
+            bench_scale = std::string(next(i)) == "b";
+        } else if (a == "--paper-config") {
+            paper_config = true;
+        } else if (a == "--window") {
+            window = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (a == "--policy") {
+            FlushPolicy p;
+            if (!flushPolicyFromString(next(i), &p)) {
+                usage();
+                return 2;
+            }
+            policy = p;
+        } else if (a == "--pb") {
+            pb_coverage = std::atof(next(i));
+        } else if (a == "--nvm-bw") {
+            nvm_bw = std::atof(next(i));
+        } else if (a == "--eadr") {
+            eadr = true;
+        } else if (a == "--unsafe-relaxed-order") {
+            unsafe_relaxed = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "crashfuzz: unknown option '%s'\n\n",
+                         argv[i]);
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        if (!replay_path.empty())
+            return replayArtifact(replay_path);
+
+        if (app_name.empty()) {
+            usage();
+            return 2;
+        }
+        const std::string canonical = resolveAppName(app_name);
+        if (canonical.empty()) {
+            std::fprintf(stderr, "crashfuzz: unknown app '%s'\n",
+                         app_name.c_str());
+            return 2;
+        }
+
+        SystemConfig cfg = paper_config
+            ? SystemConfig::paperDefault(model, design)
+            : SystemConfig::testDefault(model, design);
+        if (window)
+            cfg.window = *window;
+        if (policy)
+            cfg.flushPolicy = *policy;
+        if (pb_coverage)
+            cfg.pbCoverage = *pb_coverage;
+        if (nvm_bw)
+            cfg.nvmBwScale = *nvm_bw;
+        if (eadr)
+            cfg.persistPoint = PersistPoint::Eadr;
+        cfg.unsafeRelaxedPersistOrder = unsafe_relaxed;
+        cfg.validate();
+
+        campaign.scenario.app = canonical;
+        campaign.scenario.cfg = cfg;
+        campaign.scenario.benchScale = bench_scale;
+        campaign.scenario.seed = seed;
+        campaign.paperConfig = paper_config;
+
+        std::printf("%s under %s\n", canonical.c_str(),
+                    cfg.describe().c_str());
+
+        if (list_points) {
+            ScenarioRunner runner(campaign.scenario);
+            CrashProbe probe = runner.probe();
+            std::printf("crash-free horizon: %llu cycles\n",
+                        static_cast<unsigned long long>(probe.horizon));
+            std::printf("crash points: %llu "
+                        "(%llu raw events, %llu candidates pruned)\n",
+                        static_cast<unsigned long long>(
+                            probe.points.points.size()),
+                        static_cast<unsigned long long>(
+                            probe.points.rawEvents),
+                        static_cast<unsigned long long>(
+                            probe.points.prunedCandidates));
+            for (const CrashPoint &p : probe.points.points)
+                std::printf("  %10llu  %s\n",
+                            static_cast<unsigned long long>(p.cycle),
+                            toString(p.kind));
+            return 0;
+        }
+
+        CampaignEngine engine(campaign);
+        CampaignResult result = engine.run();
+
+        std::printf("horizon %llu cycles, %llu crash points, "
+                    "%llu runs executed%s%s\n",
+                    static_cast<unsigned long long>(result.probe.horizon),
+                    static_cast<unsigned long long>(
+                        result.probe.points.points.size()),
+                    static_cast<unsigned long long>(result.runsExecuted),
+                    result.budgetTruncated ? " [budget cutoff]" : "",
+                    result.wallTruncated ? " [wall cutoff]" : "");
+        std::printf("verdict: %s (%llu failing point%s)\n",
+                    result.pass() ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(result.failures),
+                    result.failures == 1 ? "" : "s");
+        if (result.hasMinimized) {
+            std::printf("minimized: earliest failing crash cycle %llu "
+                        "(%llu bisection probes)\n",
+                        static_cast<unsigned long long>(
+                            result.minimized.cycle),
+                        static_cast<unsigned long long>(
+                            result.minimized.probes));
+        }
+
+        if (!report_path.empty()) {
+            JsonValue report = campaignReportJson(campaign, result);
+            if (!writeFile(report_path, report.dump(2))) {
+                std::fprintf(stderr, "crashfuzz: cannot write '%s'\n",
+                             report_path.c_str());
+                return 2;
+            }
+            std::printf("report: %s\n", report_path.c_str());
+        }
+        if (!stats_json_path.empty()) {
+            if (!writeFile(stats_json_path,
+                           engine.stats().dumpJson())) {
+                std::fprintf(stderr, "crashfuzz: cannot write '%s'\n",
+                             stats_json_path.c_str());
+                return 2;
+            }
+            std::printf("statistics JSON: %s\n",
+                        stats_json_path.c_str());
+        }
+        return result.pass() ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "crashfuzz: %s\n", e.what());
+        return 2;
+    }
+}

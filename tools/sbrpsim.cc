@@ -22,13 +22,8 @@
 #include "api/sbrp.hh"
 #include "common/trace.hh"
 #include "apps/app.hh"
-#include "apps/checkpoint.hh"
-#include "apps/hashmap.hh"
-#include "apps/kvs.hh"
-#include "apps/multiqueue.hh"
-#include "apps/reduction.hh"
-#include "apps/scan.hh"
-#include "apps/srad.hh"
+#include "apps/registry.hh"
+#include "crashtest/scenario.hh"
 
 using namespace sbrp;
 
@@ -58,44 +53,10 @@ usage()
         "  --trace <f>       write a Chrome trace_event JSON timeline to\n"
         "                    <f> (open in chrome://tracing or Perfetto;\n"
         "                    summarize with tools/trace_report.py)\n"
+        "  --list-crash-points  run crash-free once and list the\n"
+        "                    event-adjacent crash points the campaign\n"
+        "                    engine would explore (see tools/crashfuzz)\n"
         "  --list            list applications and exit\n");
-}
-
-std::unique_ptr<PmApp>
-makeApp(const std::string &name, ModelKind model, bool bench)
-{
-    if (name == "gpKVS") {
-        return std::make_unique<KvsApp>(
-            model, bench ? KvsParams::bench() : KvsParams::test());
-    }
-    if (name == "HM") {
-        return std::make_unique<HashmapApp>(
-            model, bench ? HashmapParams::bench() : HashmapParams::test());
-    }
-    if (name == "SRAD") {
-        return std::make_unique<SradApp>(
-            model, bench ? SradParams::bench() : SradParams::test());
-    }
-    if (name == "Red") {
-        return std::make_unique<ReductionApp>(
-            model,
-            bench ? ReductionParams::bench() : ReductionParams::test());
-    }
-    if (name == "MQ") {
-        return std::make_unique<MultiqueueApp>(
-            model, bench ? MultiqueueParams::bench()
-                         : MultiqueueParams::test());
-    }
-    if (name == "Scan") {
-        return std::make_unique<ScanApp>(
-            model, bench ? ScanParams::bench() : ScanParams::test());
-    }
-    if (name == "Ckpt") {
-        return std::make_unique<CheckpointApp>(
-            model, bench ? CheckpointParams::bench()
-                         : CheckpointParams::test());
-    }
-    return nullptr;
 }
 
 } // namespace
@@ -110,6 +71,7 @@ main(int argc, char **argv)
     bool bench_scale = false;
     bool check = false;
     bool dump_stats = false;
+    bool list_crash_points = false;
     std::string trace_path;
     std::string stats_json_path;
     SystemConfig cfg = SystemConfig::paperDefault();
@@ -164,8 +126,13 @@ main(int argc, char **argv)
             stats_json_path = next(i);
         } else if (a == "--trace") {
             trace_path = next(i);
+        } else if (a == "--list-crash-points") {
+            list_crash_points = true;
         } else if (a == "--list") {
-            std::printf("gpKVS HM SRAD Red MQ Scan Ckpt\n");
+            for (std::size_t n = 0; n < appRegistryNames().size(); ++n)
+                std::printf("%s%s", n ? " " : "",
+                            appRegistryNames()[n].c_str());
+            std::printf("\n");
             return 0;
         } else if (a == "--help" || a == "-h") {
             usage();
@@ -182,11 +149,12 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
-    auto app = makeApp(app_name, model, bench_scale);
+    auto app = makeRegisteredApp(app_name, model, bench_scale);
     if (!app) {
         std::fprintf(stderr, "unknown app '%s'\n", app_name.c_str());
         return 2;
     }
+    app_name = resolveAppName(app_name);
     cfg.model = model;
     cfg.design = design;
 
@@ -194,6 +162,31 @@ main(int argc, char **argv)
         cfg.validate();
         std::printf("%s under %s\n", app_name.c_str(),
                     cfg.describe().c_str());
+
+        if (list_crash_points) {
+            CrashScenario scenario;
+            scenario.app = app_name;
+            scenario.cfg = cfg;
+            scenario.benchScale = bench_scale;
+            ScenarioRunner runner(scenario);
+            CrashProbe probe = runner.probe();
+            std::printf("crash-free horizon: %llu cycles\n",
+                        static_cast<unsigned long long>(probe.horizon));
+            std::printf("trace events classified: %llu "
+                        "(%llu candidates pruned)\n",
+                        static_cast<unsigned long long>(
+                            probe.points.rawEvents),
+                        static_cast<unsigned long long>(
+                            probe.points.prunedCandidates));
+            std::printf("crash points: %llu\n",
+                        static_cast<unsigned long long>(
+                            probe.points.points.size()));
+            for (const CrashPoint &p : probe.points.points)
+                std::printf("  %10llu  %s\n",
+                            static_cast<unsigned long long>(p.cycle),
+                            toString(p.kind));
+            return 0;
+        }
 
         if (crash_frac < 0.0) {
             AppRunResult r = AppHarness::runCrashFree(*app, cfg, check);
@@ -218,7 +211,8 @@ main(int argc, char **argv)
         } else {
             Cycle total;
             {
-                auto probe = makeApp(app_name, model, bench_scale);
+                auto probe = makeRegisteredApp(app_name, model,
+                                               bench_scale);
                 total = AppHarness::runCrashFree(*probe, cfg)
                             .forwardCycles;
             }
@@ -251,7 +245,7 @@ main(int argc, char **argv)
             // collect the event trace.
             NvmDevice nvm;
             TraceSink sink;
-            app = makeApp(app_name, model, bench_scale);
+            app = makeRegisteredApp(app_name, model, bench_scale);
             app->setupNvm(nvm);
             GpuSystem gpu(cfg, nvm, nullptr,
                           trace_path.empty() ? nullptr : &sink);

@@ -31,6 +31,8 @@
 #include "formal/checker.hh"
 #include "formal/litmus.hh"
 #include "formal/trace.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
 #include "gpu/gpu_system.hh"
 #include "gpu/isa.hh"
 #include "gpu/kernel.hh"

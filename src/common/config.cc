@@ -65,6 +65,21 @@ SystemConfig::validate() const
     }
     if (model == ModelKind::Gpm && design != SystemDesign::PmFar)
         sbrp_fatal("GPM avoids hardware changes and only works on PM-far");
+    auto check_rate = [](const char *name, double r) {
+        if (r < 0.0 || r > 1.0)
+            sbrp_fatal("%s must be in [0,1], got %s", name, r);
+    };
+    check_rate("faults.pcie", faults.pcieCorruptRate);
+    check_rate("faults.media", faults.nvmTransientRate);
+    check_rate("faults.sticky", faults.nvmStickyRate);
+    if (persistRetryBudget == 0)
+        sbrp_fatal("persistRetryBudget must be at least 1");
+    if (retryBackoffBase == 0)
+        sbrp_fatal("retryBackoffBase must be positive");
+    if (faults.enabled() && seed == 0) {
+        sbrp_fatal("fault injection (%s) requires a nonzero seed for "
+                   "reproducibility", faults.describe());
+    }
 }
 
 std::string
@@ -81,6 +96,11 @@ SystemConfig::describe() const
         << " L2=" << l2Bytes / 1024 << "KB"
         << " PB=" << pbEntries() << " entries"
         << " nvmBW=" << nvmBwScale * 100 << "%";
+    if (faults.enabled()) {
+        oss << " faults=" << faults.describe() << " seed=" << seed
+            << " retry=" << persistRetryBudget
+            << " backoff=" << retryBackoffBase;
+    }
     if (unsafeRelaxedPersistOrder)
         oss << " UNSAFE-RELAXED-ORDER";
     return oss.str();

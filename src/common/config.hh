@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 
 namespace sbrp
 {
@@ -78,6 +79,25 @@ struct SystemConfig
      * outside tests.
      */
     bool unsafeRelaxedPersistOrder = false;
+
+    // --- Fault injection + resilience ---
+    /**
+     * Master seed for every deterministic random stream in a run: the
+     * fault plan's draw streams and the campaign's crash-point shuffle
+     * all derive from it. 0 means "unseeded": fault injection refuses
+     * to run (a faulty run that cannot be replayed is worthless), and
+     * app-input seeding falls back to each app's built-in default.
+     */
+    std::uint64_t seed = 0;
+    /** Fault model; disabled by default (all rates 0, WPQ unbounded). */
+    FaultSpec faults;
+    /**
+     * Max attempts per persist before the fabric gives up and reports
+     * a structured PersistFault (never a hang, never silent loss).
+     */
+    std::uint32_t persistRetryBudget = 8;
+    /** First retry backoff in cycles; doubles per attempt (capped). */
+    Cycle retryBackoffBase = 16;
 
     // --- Derived helpers ---
     std::uint32_t l1Lines() const { return l1Bytes / lineBytes; }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <sstream>
 
+#include "common/json.hh"
+
 namespace sbrp
 {
 
@@ -165,14 +167,14 @@ StatRegistry::dump() const
 std::string
 StatRegistry::dumpJson() const
 {
+    // Group/counter names come from component code today, but nothing
+    // enforces that — jsonQuote keeps the output well-formed even if a
+    // name ever carries quotes or control characters.
     std::ostringstream oss;
-    oss << "{";
-    bool first_group = true;
+    oss << "{\n  \"schema_version\": 1";
     for (const auto *g : sortedGroups(groups_)) {
-        if (!first_group)
-            oss << ",";
-        first_group = false;
-        oss << "\n  \"" << g->name() << "\": {";
+        oss << ",";
+        oss << "\n  " << jsonQuote(g->name()) << ": {";
         bool first = true;
         for (const auto &kv : g->all()) {
             if (kv.second.value() == 0)
@@ -180,7 +182,7 @@ StatRegistry::dumpJson() const
             if (!first)
                 oss << ",";
             first = false;
-            oss << "\n    \"" << kv.first << "\": "
+            oss << "\n    " << jsonQuote(kv.first) << ": "
                 << kv.second.value();
         }
         for (const auto &kv : g->allDists()) {
@@ -190,7 +192,7 @@ StatRegistry::dumpJson() const
             if (!first)
                 oss << ",";
             first = false;
-            oss << "\n    \"" << kv.first << "\": {\"count\": "
+            oss << "\n    " << jsonQuote(kv.first) << ": {\"count\": "
                 << d.count() << ", \"min\": " << d.min()
                 << ", \"max\": " << d.max() << ", \"mean\": ";
             formatDouble(oss, d.mean());

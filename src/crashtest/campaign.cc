@@ -8,6 +8,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "crashtest/work_queue.hh"
 
 namespace sbrp
@@ -16,8 +17,10 @@ namespace sbrp
 bool
 CampaignResult::pass() const
 {
-    if (!probe.cleanConsistent || probe.cleanPmoViolations != 0)
+    if (!probe.cleanConsistent || probe.cleanPmoViolations != 0 ||
+            probe.cleanPersistFaults != 0) {
         return false;
+    }
     for (const CrashVerdict &v : verdicts) {
         if (v.executed && !v.pass())
             return false;
@@ -59,6 +62,20 @@ CampaignEngine::run()
         result.verdicts[i].kind = points[i].kind;
     }
 
+    // Execution order: a seeded Fisher–Yates shuffle of the budgeted
+    // prefix when the scenario carries a master seed (identity order
+    // otherwise). Verdict slots stay keyed by the *original* sorted
+    // index, so shuffling — like the thread count — only changes who
+    // computes what and when, never what the verdict set contains.
+    std::vector<std::size_t> order(toRun);
+    for (std::size_t i = 0; i < toRun; ++i)
+        order[i] = i;
+    if (cfg_.scenario.cfg.seed != 0) {
+        Rng shuffle(cfg_.scenario.cfg.seed ^ 0xc2b2ae3d27d4eb4full);
+        for (std::size_t i = toRun; i > 1; --i)
+            std::swap(order[i - 1], order[shuffle.below(i)]);
+    }
+
     // Phase 2: the parallel crash sweep. Workers write disjoint
     // verdict slots, so no synchronization beyond the queue is needed.
     const unsigned jobs =
@@ -70,10 +87,11 @@ CampaignEngine::run()
 
     auto worker = [&](unsigned id) {
         ScenarioRunner runner(cfg_.scenario);
-        while (auto idx = queue.next(id)) {
-            const CrashPoint &p = points[*idx];
+        while (auto slot = queue.next(id)) {
+            const std::size_t idx = order[*slot];
+            const CrashPoint &p = points[idx];
             try {
-                result.verdicts[*idx] = runner.runCrashAt(p.cycle, p.kind);
+                result.verdicts[idx] = runner.runCrashAt(p.cycle, p.kind);
             } catch (const std::exception &) {
                 // A simulator fault counts as a failing verdict rather
                 // than tearing down the whole campaign.
@@ -83,7 +101,7 @@ CampaignEngine::run()
                 v.executed = true;
                 v.crashed = false;
                 v.recoveredOk = false;
-                result.verdicts[*idx] = v;
+                result.verdicts[idx] = v;
             }
             if (cfg_.wallLimitMs != 0) {
                 const auto elapsed =
@@ -166,6 +184,7 @@ CampaignEngine::run()
         .set(result.runsExecuted - result.failures);
     group_.stat("verdict_fail").set(result.failures);
     std::uint64_t formalFails = 0, recoveryFails = 0;
+    std::uint64_t persistFaults = result.probe.cleanPersistFaults;
     for (const CrashVerdict &v : result.verdicts) {
         if (!v.executed)
             continue;
@@ -173,9 +192,11 @@ CampaignEngine::run()
             ++formalFails;
         if (!v.recoveredOk)
             ++recoveryFails;
+        persistFaults += v.persistFaults;
     }
     group_.stat("formal_fail").set(formalFails);
     group_.stat("recovery_fail").set(recoveryFails);
+    group_.stat("persist_faults").set(persistFaults);
     group_.stat("budget_truncated").set(result.budgetTruncated ? 1 : 0);
     group_.stat("wall_truncated").set(result.wallTruncated ? 1 : 0);
     group_.stat("jobs").set(jobs);
@@ -187,7 +208,7 @@ JsonValue
 campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
 {
     JsonValue o = JsonValue::object();
-    o.set("version", JsonValue(std::uint64_t{1}));
+    o.set("schema_version", JsonValue(std::uint64_t{2}));
     o.set("app", JsonValue(cfg.scenario.app));
     o.set("model",
           JsonValue(std::string(toString(cfg.scenario.cfg.model))));
@@ -197,11 +218,17 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
     o.set("jobs", JsonValue(std::uint64_t{cfg.jobs}));
     o.set("budget_runs", JsonValue(cfg.budgetRuns));
     o.set("wall_limit_ms", JsonValue(cfg.wallLimitMs));
+    o.set("fault_spec", JsonValue(cfg.scenario.cfg.faults.describe()));
+    o.set("fault_seed", JsonValue(cfg.scenario.cfg.seed));
+    o.set("retry_budget",
+          JsonValue(std::uint64_t{cfg.scenario.cfg.persistRetryBudget}));
 
     o.set("horizon_cycles", JsonValue(result.probe.horizon));
     o.set("clean_consistent", JsonValue(result.probe.cleanConsistent));
     o.set("clean_pmo_violations",
           JsonValue(result.probe.cleanPmoViolations));
+    o.set("clean_persist_faults",
+          JsonValue(result.probe.cleanPersistFaults));
     o.set("raw_events", JsonValue(result.probe.points.rawEvents));
     o.set("candidates_pruned",
           JsonValue(result.probe.points.prunedCandidates));
@@ -223,6 +250,7 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
         f.set("crashed", JsonValue(v.crashed));
         f.set("pmo_violations", JsonValue(v.pmoViolations));
         f.set("recovered_ok", JsonValue(v.recoveredOk));
+        f.set("persist_faults", JsonValue(v.persistFaults));
         fails.push(std::move(f));
     }
     o.set("failing_points", std::move(fails));

@@ -87,9 +87,10 @@ class CampaignEngine
 };
 
 /**
- * The machine-readable campaign report (schema version 1): scenario,
- * probe summary, per-failure detail, minimization outcome and the
- * embedded replay artifact when one was captured.
+ * The machine-readable campaign report (schema_version 2): scenario,
+ * fault-injection parameters, probe summary, per-failure detail,
+ * minimization outcome and the embedded replay artifact when one was
+ * captured.
  */
 JsonValue campaignReportJson(const CampaignConfig &cfg,
                              const CampaignResult &result);

@@ -2,6 +2,7 @@
 
 #include "apps/registry.hh"
 #include "common/json.hh"
+#include "common/log.hh"
 
 namespace sbrp
 {
@@ -39,6 +40,10 @@ ReplayArtifact::fromScenario(const CrashScenario &s, bool paper_config,
     a.pbCoverage = s.cfg.pbCoverage;
     a.nvmBwScale = s.cfg.nvmBwScale;
     a.unsafeRelaxedPersistOrder = s.cfg.unsafeRelaxedPersistOrder;
+    a.faultSpec = s.cfg.faults.describe();
+    a.faultSeed = s.cfg.seed;
+    a.retryBudget = s.cfg.persistRetryBudget;
+    a.backoffBase = s.cfg.retryBackoffBase;
     a.crashCycle = v.crashAt;
     a.eventKind = v.kind;
     a.expectViolation = !v.pass();
@@ -63,6 +68,12 @@ ReplayArtifact::toScenario() const
     s.cfg.pbCoverage = pbCoverage;
     s.cfg.nvmBwScale = nvmBwScale;
     s.cfg.unsafeRelaxedPersistOrder = unsafeRelaxedPersistOrder;
+    std::string err;
+    if (!FaultSpec::parse(faultSpec, &s.cfg.faults, &err))
+        sbrp_fatal("replay artifact fault spec: %s", err);
+    s.cfg.seed = faultSeed;
+    s.cfg.persistRetryBudget = retryBudget;
+    s.cfg.retryBackoffBase = backoffBase;
     return s;
 }
 
@@ -85,6 +96,10 @@ ReplayArtifact::toJson() const
     o.set("nvm_bw_scale", JsonValue(nvmBwScale));
     o.set("unsafe_relaxed_persist_order",
           JsonValue(unsafeRelaxedPersistOrder));
+    o.set("fault_spec", JsonValue(faultSpec));
+    o.set("fault_seed", JsonValue(faultSeed));
+    o.set("retry_budget", JsonValue(std::uint64_t{retryBudget}));
+    o.set("backoff_base", JsonValue(backoffBase));
     o.set("crash_cycle", JsonValue(crashCycle));
     o.set("event_kind", JsonValue(std::string(toString(eventKind))));
     o.set("expect_violation", JsonValue(expectViolation));
@@ -105,11 +120,13 @@ ReplayArtifact::fromJson(const JsonValue &v, ReplayArtifact *out,
     const JsonValue *f = require(v, "version", err);
     if (!f)
         return false;
-    if (!f->isNumber() || f->asU64() != kVersion) {
+    if (!f->isNumber() ||
+            (f->asU64() != 1 && f->asU64() != kVersion)) {
         if (err)
             *err = "replay artifact: unsupported version";
         return false;
     }
+    const bool v2 = f->asU64() >= 2;
 
     ReplayArtifact a;
 
@@ -203,6 +220,51 @@ ReplayArtifact::fromJson(const JsonValue &v, ReplayArtifact *out,
     a.window = static_cast<std::uint32_t>(window_d);
     a.crashCycle = static_cast<Cycle>(cycle_d);
     a.pmoViolations = static_cast<std::uint64_t>(pmo_d);
+
+    // v1 artifacts predate fault injection: the defaults (faults
+    // disabled, unseeded) reproduce exactly what they recorded.
+    if (v2) {
+        f = require(v, "fault_spec", err);
+        if (!f)
+            return false;
+        if (!f->isString()) {
+            if (err)
+                *err = "replay artifact: 'fault_spec' is not a string";
+            return false;
+        }
+        a.faultSpec = f->asString();
+        FaultSpec parsed;
+        std::string parse_err;
+        if (!FaultSpec::parse(a.faultSpec, &parsed, &parse_err)) {
+            if (err)
+                *err = "replay artifact: bad fault_spec: " + parse_err;
+            return false;
+        }
+
+        double fault_seed_d = 0, retry_d = 0, backoff_d = 0;
+        for (NumField nf : {NumField{"fault_seed", &fault_seed_d},
+                            NumField{"retry_budget", &retry_d},
+                            NumField{"backoff_base", &backoff_d}}) {
+            f = require(v, nf.key, err);
+            if (!f)
+                return false;
+            if (!f->isNumber()) {
+                if (err)
+                    *err = std::string("replay artifact: '") + nf.key +
+                           "' is not a number";
+                return false;
+            }
+            *nf.dst = f->asNumber();
+        }
+        a.faultSeed = static_cast<std::uint64_t>(fault_seed_d);
+        a.retryBudget = static_cast<std::uint32_t>(retry_d);
+        a.backoffBase = static_cast<Cycle>(backoff_d);
+        if (parsed.enabled() && a.faultSeed == 0) {
+            if (err)
+                *err = "replay artifact: fault injection without a seed";
+            return false;
+        }
+    }
 
     *out = a;
     return true;

@@ -35,7 +35,9 @@ class JsonValue;
 
 struct ReplayArtifact
 {
-    static constexpr std::uint32_t kVersion = 1;
+    /** v2 added the fault-injection fields; v1 artifacts still parse
+        (faults default to disabled). */
+    static constexpr std::uint32_t kVersion = 2;
 
     // --- Scenario ---
     std::string app;               ///< Canonical registry name.
@@ -51,6 +53,12 @@ struct ReplayArtifact
     double pbCoverage = 0.5;
     double nvmBwScale = 1.0;
     bool unsafeRelaxedPersistOrder = false;
+
+    // --- Fault injection (v2) ---
+    std::string faultSpec = "none";    ///< Canonical FaultSpec string.
+    std::uint64_t faultSeed = 0;       ///< SystemConfig::seed.
+    std::uint32_t retryBudget = 8;
+    Cycle backoffBase = 16;
 
     // --- The crash point ---
     Cycle crashCycle = 0;

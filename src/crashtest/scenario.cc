@@ -43,6 +43,7 @@ ScenarioRunner::probe()
         app_->setupGpu(gpu);
         auto res = gpu.launch(app_->forward());
         p.horizon = res.cycles;
+        p.cleanPersistFaults = gpu.fabric().persistFaults().size();
     }
     p.cleanConsistent = app_->verify(live_);
     {
@@ -69,6 +70,7 @@ ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
         app_->setupGpu(gpu);
         auto res = gpu.launch(app_->forward(), crash_at);
         v.crashed = res.crashed;
+        v.persistFaults = gpu.fabric().persistFaults().size();
     }   // Power failure: caches, PBs and WPQs are gone.
 
     {
@@ -77,10 +79,13 @@ ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
     }
 
     {
-        // Power-up: fresh GPU over the surviving durable image.
+        // Power-up: fresh GPU over the surviving durable image. The
+        // fault plan restarts from the same master seed, so recovery
+        // sees the same schedule every time this point re-runs.
         GpuSystem gpu(scenario_.cfg, live_);
         app_->setupGpu(gpu);
         gpu.launch(app_->recovery());
+        v.persistFaults += gpu.fabric().persistFaults().size();
     }
     v.recoveredOk = app_->verifyRecovered(live_);
     return v;

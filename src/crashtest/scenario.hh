@@ -53,6 +53,9 @@ struct CrashProbe
     Cycle horizon = 0;              ///< Crash-free run length.
     bool cleanConsistent = false;   ///< verify() after the clean run.
     std::uint64_t cleanPmoViolations = 0;
+    /** Terminal persist faults (retry budget exhausted / sticky) in the
+        clean run. Transient faults retried to success never count. */
+    std::uint64_t cleanPersistFaults = 0;
 };
 
 /** Verdict of one crash-point run (pure function of the crash point). */
@@ -64,11 +67,16 @@ struct CrashVerdict
     bool crashed = false;    ///< The launch actually crashed.
     std::uint64_t pmoViolations = 0;  ///< Formal oracle.
     bool recoveredOk = false;         ///< Recovery oracle.
+    /** Terminal persist faults across the crashed run + recovery run.
+        Under fault injection these mean data was silently at risk:
+        a passing verdict requires every fault to have retired. */
+    std::uint64_t persistFaults = 0;
 
     bool
     pass() const
     {
-        return executed && crashed && pmoViolations == 0 && recoveredOk;
+        return executed && crashed && pmoViolations == 0 &&
+               recoveredOk && persistFaults == 0;
     }
 };
 

@@ -1,0 +1,103 @@
+#include "fault/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sbrp
+{
+
+const char *
+toString(PersistFaultKind k)
+{
+    switch (k) {
+      case PersistFaultKind::LinkReplayExhausted:
+        return "link-replay-exhausted";
+      case PersistFaultKind::WpqTimeout:
+        return "wpq-timeout";
+      case PersistFaultKind::MediaRetryExhausted:
+        return "media-retry-exhausted";
+      case PersistFaultKind::MediaSticky:
+        return "media-sticky";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    if (!enabled())
+        return "none";
+    std::ostringstream oss;
+    bool first = true;
+    auto emit = [&](const char *key, const std::string &val) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << key << "=" << val;
+    };
+    auto rate = [](double r) {
+        std::ostringstream v;
+        v << r;   // Default formatting round-trips through strtod.
+        return v.str();
+    };
+    if (pcieCorruptRate > 0.0)
+        emit("pcie", rate(pcieCorruptRate));
+    if (wpqCapacity > 0)
+        emit("wpq", std::to_string(wpqCapacity));
+    if (nvmTransientRate > 0.0)
+        emit("media", rate(nvmTransientRate));
+    if (nvmStickyRate > 0.0)
+        emit("sticky", rate(nvmStickyRate));
+    return oss.str();
+}
+
+bool
+FaultSpec::parse(const std::string &spec, FaultSpec *out, std::string *err)
+{
+    FaultSpec s;
+    if (spec.empty() || spec == "none" || spec == "off") {
+        *out = s;
+        return true;
+    }
+
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = "fault spec: " + msg;
+        return false;
+    };
+
+    std::istringstream iss(spec);
+    std::string field;
+    while (std::getline(iss, field, ',')) {
+        auto eq = field.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == field.size())
+            return fail("expected key=value, got '" + field + "'");
+        std::string key = field.substr(0, eq);
+        std::string val = field.substr(eq + 1);
+
+        const char *cval = val.c_str();
+        char *end = nullptr;
+        double num = std::strtod(cval, &end);
+        if (end == cval || *end != '\0')
+            return fail("malformed number '" + val + "' for " + key);
+
+        if (key == "pcie" || key == "media" || key == "sticky") {
+            if (num < 0.0 || num > 1.0)
+                return fail(key + " rate must be in [0,1], got " + val);
+            (key == "pcie" ? s.pcieCorruptRate
+             : key == "media" ? s.nvmTransientRate
+                              : s.nvmStickyRate) = num;
+        } else if (key == "wpq") {
+            if (num < 0.0 || num != static_cast<std::uint32_t>(num))
+                return fail("wpq capacity must be a non-negative "
+                            "integer, got " + val);
+            s.wpqCapacity = static_cast<std::uint32_t>(num);
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    *out = s;
+    return true;
+}
+
+} // namespace sbrp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fault-model vocabulary: the fault specification swept by campaigns,
+ * and the structured persist-fault verdicts the resilient persist path
+ * reports instead of hanging or silently dropping data.
+ *
+ * Three fault classes cover the paper's durable path end to end:
+ *  - PCIe link faults (PM-far only): a persist packet is corrupted or
+ *    dropped in flight and must be replayed link-level.
+ *  - WPQ backpressure: the ADR memory controller's write-pending queue
+ *    has bounded capacity and nacks writes arriving while it is full.
+ *  - NVM media faults: a media write fails transiently (succeeds on
+ *    retry) or hits a sticky uncorrectable line, which is poisoned and
+ *    rejects every subsequent write.
+ *
+ * All rates are per-event probabilities drawn from seed-partitioned
+ * deterministic streams (see fault/injector.hh), so one seed reproduces
+ * an entire faulty run bit-for-bit.
+ */
+
+#ifndef SBRP_FAULT_FAULT_HH
+#define SBRP_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/**
+ * The fault configuration, parsed from the CLI spec grammar
+ * `key=value[,key=value...]` with keys:
+ *
+ *   pcie=<rate>    per-crossing PCIe corruption/drop probability
+ *   wpq=<lines>    WPQ capacity in lines per channel (0 = unbounded)
+ *   media=<rate>   per-write transient NVM media-fault probability
+ *   sticky=<rate>  per-write sticky uncorrectable-line probability
+ *
+ * `none` (or the empty string) disables everything. Omitted keys keep
+ * their defaults. describe() emits the canonical spelling, which
+ * parse() round-trips.
+ */
+struct FaultSpec
+{
+    double pcieCorruptRate = 0.0;
+    std::uint32_t wpqCapacity = 0;   ///< Lines per channel; 0 = infinite.
+    double nvmTransientRate = 0.0;
+    double nvmStickyRate = 0.0;
+
+    /** True when any fault class can fire. */
+    bool
+    enabled() const
+    {
+        return pcieCorruptRate > 0.0 || wpqCapacity > 0 ||
+               nvmTransientRate > 0.0 || nvmStickyRate > 0.0;
+    }
+
+    /** Canonical spec string ("none" when disabled). */
+    std::string describe() const;
+
+    /**
+     * Parses a spec string; returns false and sets *err on unknown
+     * keys, malformed numbers, or out-of-range rates.
+     */
+    static bool parse(const std::string &spec, FaultSpec *out,
+                      std::string *err);
+};
+
+/** Why a persist ultimately failed. */
+enum class PersistFaultKind : std::uint8_t
+{
+    LinkReplayExhausted,   ///< PCIe replays ate the retry budget.
+    WpqTimeout,            ///< WPQ nacks ate the retry budget.
+    MediaRetryExhausted,   ///< Transient media faults ate the budget.
+    MediaSticky,           ///< Uncorrectable line; no retry can help.
+};
+
+const char *toString(PersistFaultKind k);
+
+/**
+ * A structured persist failure: the line, why it failed, and the
+ * attempt history. Surfaced through MemoryFabric::persistFaults() and
+ * through each persist's completion callback — never as a hang and
+ * never as silent data loss.
+ */
+struct PersistFault
+{
+    Addr lineAddr = 0;
+    PersistFaultKind kind = PersistFaultKind::MediaRetryExhausted;
+    std::uint32_t attempts = 0;    ///< Attempts consumed (>= 1).
+    Cycle firstAttempt = 0;        ///< Cycle the persist was issued.
+    Cycle failedAt = 0;            ///< Cycle the failure was declared.
+};
+
+/** Completion verdict of one persist write. */
+struct PersistResult
+{
+    bool ok = true;
+    PersistFault fault;   ///< Valid only when !ok.
+};
+
+/** Fires exactly once per persist, at the accept point or on failure. */
+using PersistCallback = std::function<void(const PersistResult &)>;
+
+} // namespace sbrp
+
+#endif // SBRP_FAULT_FAULT_HH

@@ -1,0 +1,50 @@
+#include "fault/injector.hh"
+
+#include "common/log.hh"
+
+namespace sbrp
+{
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed), plan_(seed)
+{
+    if (seed == 0) {
+        sbrp_fatal("FaultInjector requires a nonzero seed "
+                   "(SystemConfig::seed) so faulty runs reproduce");
+    }
+}
+
+bool
+FaultInjector::pcieCorrupt()
+{
+    if (spec_.pcieCorruptRate <= 0.0)
+        return false;
+    if (!plan_.drawPcie(spec_.pcieCorruptRate))
+        return false;
+    ++pcieFaults_;
+    return true;
+}
+
+bool
+FaultInjector::mediaTransient()
+{
+    if (spec_.nvmTransientRate <= 0.0)
+        return false;
+    if (!plan_.drawTransient(spec_.nvmTransientRate))
+        return false;
+    ++transientFaults_;
+    return true;
+}
+
+bool
+FaultInjector::mediaSticky()
+{
+    if (spec_.nvmStickyRate <= 0.0)
+        return false;
+    if (!plan_.drawSticky(spec_.nvmStickyRate))
+        return false;
+    ++stickyFaults_;
+    return true;
+}
+
+} // namespace sbrp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * A FaultPlan owns one independent SplitMix64 stream per fault class,
+ * each derived from the single SystemConfig::seed by xoring a distinct
+ * golden constant. Partitioned streams mean enabling (or re-rating) one
+ * fault class never perturbs another class's schedule — essential for
+ * sweeping fault rates while keeping runs comparable.
+ *
+ * The FaultInjector binds a plan to a FaultSpec and counts what it
+ * injected. Constructing one with seed 0 is a fatal error: an unseeded
+ * faulty run could never be reproduced, so we refuse to start it.
+ */
+
+#ifndef SBRP_FAULT_INJECTOR_HH
+#define SBRP_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "fault/fault.hh"
+
+namespace sbrp
+{
+
+/** Per-class deterministic draw streams. */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(std::uint64_t seed)
+        : pcie_(seed ^ 0x9e3779b97f4a7c15ull),
+          transient_(seed ^ 0xbf58476d1ce4e5b9ull),
+          sticky_(seed ^ 0x94d049bb133111ebull)
+    {}
+
+    bool drawPcie(double rate) { return pcie_.unit() < rate; }
+    bool drawTransient(double rate) { return transient_.unit() < rate; }
+    bool drawSticky(double rate) { return sticky_.unit() < rate; }
+
+  private:
+    Rng pcie_;
+    Rng transient_;
+    Rng sticky_;
+};
+
+/**
+ * The seeded fault source consulted by the memory fabric on every
+ * persist attempt. One injector per MemoryFabric (per GpuSystem), so a
+ * fresh power-up replays the identical fault schedule.
+ */
+class FaultInjector
+{
+  public:
+    /** Throws FatalError when seed == 0 (unreproducible run). */
+    FaultInjector(const FaultSpec &spec, std::uint64_t seed);
+
+    const FaultSpec &spec() const { return spec_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Should this PCIe crossing corrupt/drop the packet? */
+    bool pcieCorrupt();
+
+    /** Should this media write fail transiently? */
+    bool mediaTransient();
+
+    /** Should this media write turn the line sticky-uncorrectable? */
+    bool mediaSticky();
+
+    std::uint64_t pcieFaults() const { return pcieFaults_; }
+    std::uint64_t transientFaults() const { return transientFaults_; }
+    std::uint64_t stickyFaults() const { return stickyFaults_; }
+
+  private:
+    FaultSpec spec_;
+    std::uint64_t seed_;
+    FaultPlan plan_;
+    std::uint64_t pcieFaults_ = 0;
+    std::uint64_t transientFaults_ = 0;
+    std::uint64_t stickyFaults_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_FAULT_INJECTOR_HH

@@ -32,6 +32,10 @@ MemoryFabric::MemoryFabric(const SystemConfig &cfg, EventQueue &events,
         nvmWrite_.emplace_back(cfg.nvmWriteBytesPerCycle * cfg.nvmBwScale *
                                per);
     }
+    if (cfg.faults.enabled()) {
+        injector_ = std::make_unique<FaultInjector>(cfg.faults, cfg.seed);
+        dPersistAttempts_ = &stats_.dist("persist_attempts");
+    }
 }
 
 Channel &
@@ -161,7 +165,7 @@ MemoryFabric::readLine(Addr line_addr, Cycle now,
 
 void
 MemoryFabric::persistWrite(Addr line_addr, Cycle now,
-                           std::function<void()> on_ack)
+                           PersistCallback on_ack)
 {
     // Snapshot the line at flush time: this is the data leaving the L1.
     std::vector<std::uint8_t> payload(cfg_.lineBytes);
@@ -174,10 +178,168 @@ MemoryFabric::persistWrite(Addr line_addr, Cycle now,
 }
 
 void
+MemoryFabric::commitTxn(PersistTxn &txn)
+{
+    if (txn.isWord) {
+        std::uint8_t bytes[4];
+        std::memcpy(bytes, &txn.wordValue, 4);
+        nvm_.commitLine(txn.addr, bytes, 4);
+    } else {
+        nvm_.commitLine(txn.addr, txn.payload.data(),
+                        static_cast<std::uint32_t>(txn.payload.size()));
+    }
+    if (trace_ && !txn.ids.empty())
+        trace_->recordCommit(std::move(txn.ids));
+}
+
+void
+MemoryFabric::failPersist(std::shared_ptr<PersistTxn> txn, Cycle at,
+                          PersistFaultKind kind)
+{
+    finish([this, txn, at, kind]() {
+        PersistFault f;
+        f.lineAddr = txn->line;
+        f.kind = kind;
+        f.attempts = txn->attempts;
+        f.firstAttempt = txn->firstAttempt;
+        f.failedAt = at;
+        faults_.push_back(f);
+        stats_.stat(kind == PersistFaultKind::MediaSticky
+                        ? "fault_media_sticky"
+                        : "fault_retry_exhausted").inc();
+        if (tb_) {
+            tb_->instant(kind == PersistFaultKind::MediaSticky
+                             ? "fault:sticky" : "fault:exhausted");
+        }
+        if (dPersistAttempts_)
+            dPersistAttempts_->record(txn->attempts);
+        if (txn->ack)
+            txn->ack(PersistResult{false, f});
+    }, at);
+}
+
+void
+MemoryFabric::retryOrFail(std::shared_ptr<PersistTxn> txn, Cycle at,
+                          PersistFaultKind kind)
+{
+    if (txn->attempts >= cfg_.persistRetryBudget) {
+        failPersist(std::move(txn), at, kind);
+        return;
+    }
+    // Exponential backoff, capped so the shift cannot overflow; the
+    // retry budget bounds total attempts regardless.
+    std::uint32_t shift = std::min<std::uint32_t>(txn->attempts - 1, 16);
+    Cycle backoff = cfg_.retryBackoffBase << shift;
+    stats_.stat("fault_backoff_cycles").inc(backoff);
+    stats_.stat("fault_retries").inc();
+    if (tb_)
+        tb_->counter("fault_backoff_cycles",
+                     stats_.value("fault_backoff_cycles"));
+    Cycle when = at + backoff;
+    finish([this, txn = std::move(txn), when]() mutable {
+        startAttempt(std::move(txn), when);
+    }, when);
+}
+
+void
+MemoryFabric::startAttempt(std::shared_ptr<PersistTxn> txn, Cycle now)
+{
+    ++txn->attempts;
+
+    // A line already sticky-poisoned rejects every write outright: no
+    // amount of retrying recovers an uncorrectable line.
+    if (nvm_.isPoisoned(txn->line)) {
+        failPersist(std::move(txn), now + 1, PersistFaultKind::MediaSticky);
+        return;
+    }
+
+    Cycle at_host = now;
+    if (cfg_.nvmBehindPcie()) {
+        // The corrupted packet still burned wire time; link-level
+        // replay resends it after the backoff.
+        at_host = pcieToHost_.acquire(now, txn->wireBytes) +
+                  cfg_.pcieLatency;
+        stats_.stat("pcie_write_bytes").inc(txn->wireBytes);
+        if (injector_->pcieCorrupt()) {
+            stats_.stat("fault_pcie_replays").inc();
+            if (tb_)
+                tb_->instant("fault:pcie_replay");
+            retryOrFail(std::move(txn),at_host,
+                        PersistFaultKind::LinkReplayExhausted);
+            return;
+        }
+    }
+
+    Channel &ch = nvmWriteChannel(txn->line);
+    const FaultSpec &fs = injector_->spec();
+    if (fs.wpqCapacity > 0) {
+        // Bounded WPQ: the backlog in line-transfer units approximates
+        // queued entries; a full queue nacks instead of queueing.
+        std::uint64_t depth =
+            ch.backlog(at_host) / ch.cyclesFor(cfg_.lineBytes);
+        if (depth >= fs.wpqCapacity) {
+            stats_.stat("fault_wpq_nacks").inc();
+            if (tb_)
+                tb_->instant("fault:wpq_nack");
+            retryOrFail(std::move(txn), at_host,
+                        PersistFaultKind::WpqTimeout);
+            return;
+        }
+    }
+
+    Cycle accept = ch.acquire(at_host, txn->wireBytes);
+    if (tb_)
+        traceQueues(now);
+
+    // Media outcome drawn now (deterministic draw order), applied at
+    // the accept point.
+    const bool sticky = injector_->mediaSticky();
+    const bool transient = !sticky && injector_->mediaTransient();
+
+    if (sticky) {
+        finish([this, txn = std::move(txn), accept]() mutable {
+            nvm_.poisonLine(txn->line);
+            failPersist(std::move(txn), accept,
+                        PersistFaultKind::MediaSticky);
+        }, accept);
+        return;
+    }
+    if (transient) {
+        finish([this, txn = std::move(txn), accept]() mutable {
+            stats_.stat("fault_media_transient").inc();
+            if (tb_)
+                tb_->instant("fault:media_retry");
+            retryOrFail(std::move(txn), accept,
+                        PersistFaultKind::MediaRetryExhausted);
+        }, accept);
+        return;
+    }
+
+    // Success. ADR: durable at WPQ accept. eADR (PM-far): durable once
+    // the write reached the host LLC — which this attempt already did
+    // before the media write; the ack then crosses PCIe back.
+    Cycle ack_at = accept;
+    if (cfg_.nvmBehindPcie()) {
+        ack_at = (cfg_.persistPoint == PersistPoint::Eadr ? at_host
+                                                          : accept) +
+                 cfg_.pcieLatency;
+        if (cfg_.persistPoint == PersistPoint::Eadr)
+            finish(nullptr, accept);
+    }
+    finish([this, txn = std::move(txn)]() mutable {
+        commitTxn(*txn);
+        if (dPersistAttempts_)
+            dPersistAttempts_->record(txn->attempts);
+        if (txn->ack)
+            txn->ack(PersistResult{});
+    }, ack_at);
+}
+
+void
 MemoryFabric::persistWritePayload(Addr line_addr,
                                   std::vector<std::uint8_t> payload,
                                   std::vector<std::uint64_t> ids,
-                                  Cycle now, std::function<void()> on_ack)
+                                  Cycle now, PersistCallback on_ack)
 {
     sbrp_assert(addr_map::isNvm(line_addr),
                 "persist write to non-NVM line %s", line_addr);
@@ -186,6 +348,19 @@ MemoryFabric::persistWritePayload(Addr line_addr,
     // Write through the L2 so later reads from any SM see the data.
     Cycle t = now + cfg_.l2Latency;
     l2AllocateClean(line_addr, now);
+
+    if (injector_) {
+        auto txn = std::make_shared<PersistTxn>();
+        txn->addr = line_addr;
+        txn->line = line_addr;
+        txn->payload = std::move(payload);
+        txn->ids = std::move(ids);
+        txn->wireBytes = cfg_.lineBytes;
+        txn->firstAttempt = now;
+        txn->ack = std::move(on_ack);
+        startAttempt(std::move(txn), t);
+        return;
+    }
 
     auto commit = [this, line_addr, payload = std::move(payload),
                    ids = std::move(ids)]() mutable {
@@ -207,7 +382,7 @@ MemoryFabric::persistWritePayload(Addr line_addr,
                 ack = std::move(on_ack)]() mutable {
             commit();
             if (ack)
-                ack();
+                ack(PersistResult{});
         }, accept);
         return;
     }
@@ -229,7 +404,7 @@ MemoryFabric::persistWritePayload(Addr line_addr,
                 ack = std::move(on_ack)]() mutable {
             commit();
             if (ack)
-                ack();
+                ack(PersistResult{});
         }, at_host + cfg_.pcieLatency);
         finish(nullptr, mc_accept);
     } else {
@@ -237,7 +412,7 @@ MemoryFabric::persistWritePayload(Addr line_addr,
                 ack = std::move(on_ack)]() mutable {
             commit();
             if (ack)
-                ack();
+                ack(PersistResult{});
         }, mc_accept + cfg_.pcieLatency);
     }
 }
@@ -245,7 +420,7 @@ MemoryFabric::persistWritePayload(Addr line_addr,
 void
 MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
                                std::vector<std::uint64_t> ids,
-                               Cycle now, std::function<void()> on_ack)
+                               Cycle now, PersistCallback on_ack)
 {
     sbrp_assert(addr_map::isNvm(addr),
                 "persist word write to non-NVM address %s", addr);
@@ -256,6 +431,20 @@ MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
 
     Cycle t = now + cfg_.l2Latency;
     l2AllocateClean(line, now);
+
+    if (injector_) {
+        auto txn = std::make_shared<PersistTxn>();
+        txn->addr = addr;
+        txn->line = line;
+        txn->isWord = true;
+        txn->wordValue = value;
+        txn->ids = std::move(ids);
+        txn->wireBytes = kSectorBytes;
+        txn->firstAttempt = now;
+        txn->ack = std::move(on_ack);
+        startAttempt(std::move(txn), t);
+        return;
+    }
 
     auto commit = [this, addr, value, ids = std::move(ids)]() mutable {
         std::uint8_t bytes[4];
@@ -287,7 +476,7 @@ MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
     finish([commit = std::move(commit), ack = std::move(on_ack)]() mutable {
         commit();
         if (ack)
-            ack();
+            ack(PersistResult{});
     }, accept);
 }
 

@@ -15,6 +15,8 @@
 #ifndef SBRP_GPU_MEM_CTRL_HH
 #define SBRP_GPU_MEM_CTRL_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,6 +25,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/injector.hh"
 #include "gpu/l2_cache.hh"
 #include "mem/functional_mem.hh"
 #include "mem/nvm_device.hh"
@@ -40,8 +43,19 @@ class Channel
   public:
     Channel() = default;
     explicit Channel(double bytes_per_cycle)
-        : bytesPerCycle_(bytes_per_cycle)
+        : unitsPerCycle_(std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(
+                     std::llround(bytes_per_cycle * kFixOne))))
     {}
+
+    /** Exact transfer time: ceil(bytes / bytesPerCycle), at least 1. */
+    Cycle
+    cyclesFor(std::uint32_t bytes) const
+    {
+        std::uint64_t units = std::uint64_t{bytes} << kFixShift;
+        Cycle cycles = (units + unitsPerCycle_ - 1) / unitsPerCycle_;
+        return cycles == 0 ? 1 : cycles;
+    }
 
     /**
      * Reserves the channel for a transfer starting no earlier than `now`;
@@ -51,18 +65,28 @@ class Channel
     acquire(Cycle now, std::uint32_t bytes)
     {
         Cycle start = std::max(now, nextFree_);
-        auto cycles = static_cast<Cycle>(bytes / bytesPerCycle_ + 0.999);
-        if (cycles == 0)
-            cycles = 1;
-        nextFree_ = start + cycles;
+        nextFree_ = start + cyclesFor(bytes);
         return nextFree_;
+    }
+
+    /** Cycles until the channel could start a new transfer. */
+    Cycle
+    backlog(Cycle now) const
+    {
+        return nextFree_ > now ? nextFree_ - now : 0;
     }
 
     Cycle nextFree() const { return nextFree_; }
     void reset() { nextFree_ = 0; }
 
   private:
-    double bytesPerCycle_ = 1.0;
+    // Bandwidth in 2^-20 bytes/cycle fixed point: integer ceilings are
+    // exact, where the old `bytes / rate + 0.999` float path could
+    // book one cycle short whenever the quotient's fraction fell in
+    // (0.999, 1) or FP rounding nudged an exact quotient down.
+    static constexpr std::uint32_t kFixShift = 20;
+    static constexpr double kFixOne = 1ull << kFixShift;
+    std::uint64_t unitsPerCycle_ = 1ull << kFixShift;
     Cycle nextFree_ = 0;
 };
 
@@ -88,10 +112,13 @@ class MemoryFabric
      * Persist write-through of a dirty PM line: snapshots the payload
      * now, updates the L2, routes to the NVM controller, and commits to
      * the durable image at the persistence-domain accept point. `on_ack`
-     * fires at the accept point (the SM decrements its ACTR on it).
+     * fires exactly once — at the accept point with an ok result (the
+     * SM decrements its ACTR on it), possibly after fault-injected
+     * link replays / WPQ nacks / media retries; or, when the retry
+     * budget is exhausted or the line is sticky-poisoned, with a
+     * structured PersistFault and no durable commit.
      */
-    void persistWrite(Addr line_addr, Cycle now,
-                      std::function<void()> on_ack);
+    void persistWrite(Addr line_addr, Cycle now, PersistCallback on_ack);
 
     /**
      * Persist write with an explicit payload and store-id set; used for
@@ -101,7 +128,7 @@ class MemoryFabric
     void persistWritePayload(Addr line_addr,
                              std::vector<std::uint8_t> payload,
                              std::vector<std::uint64_t> store_ids,
-                             Cycle now, std::function<void()> on_ack);
+                             Cycle now, PersistCallback on_ack);
 
     /**
      * Word-granularity persist used for PM release-variable publishes:
@@ -111,7 +138,7 @@ class MemoryFabric
      */
     void persistWriteWord(Addr addr, std::uint32_t value,
                           std::vector<std::uint64_t> store_ids,
-                          Cycle now, std::function<void()> on_ack);
+                          Cycle now, PersistCallback on_ack);
 
     /** Volatile L1 writeback: lands dirty in L2 (GDDR on L2 eviction). */
     void volatileWriteback(Addr line_addr, Cycle now);
@@ -135,7 +162,33 @@ class MemoryFabric
     StatGroup &stats() { return stats_; }
     L2Cache &l2() { return *l2_; }
 
+    /**
+     * Terminal persist faults recorded this power-on (retry budget
+     * exhausted or sticky-poisoned lines). Transient faults that were
+     * retried to success do not appear here — see the fault_* stats.
+     */
+    const std::vector<PersistFault> &persistFaults() const
+    { return faults_; }
+
+    /** The seeded fault source; null when cfg.faults is disabled. */
+    FaultInjector *injector() { return injector_.get(); }
+
   private:
+    /** One persist in flight through the resilient retry path. */
+    struct PersistTxn
+    {
+        Addr addr = 0;     ///< Commit address (word addr for words).
+        Addr line = 0;     ///< Line base: channel routing + poison key.
+        bool isWord = false;
+        std::uint32_t wordValue = 0;
+        std::vector<std::uint8_t> payload;
+        std::vector<std::uint64_t> ids;
+        std::uint32_t wireBytes = 0;
+        std::uint32_t attempts = 0;
+        Cycle firstAttempt = 0;
+        PersistCallback ack;
+    };
+
     Channel &gddrChannel(Addr line_addr);
     Channel &nvmReadChannel(Addr line_addr);
     Channel &nvmWriteChannel(Addr line_addr);
@@ -144,6 +197,17 @@ class MemoryFabric
     void traceQueues(Cycle now);
 
     void finish(std::function<void()> cb, Cycle when);
+
+    // --- The resilient persist path (active when injector_ is set) ---
+    void startAttempt(std::shared_ptr<PersistTxn> txn, Cycle now);
+    /** Backs off and retries, or fails once the budget is spent. */
+    void retryOrFail(std::shared_ptr<PersistTxn> txn, Cycle at,
+                     PersistFaultKind kind);
+    /** Declares the terminal fault and fires the callback (at `at`). */
+    void failPersist(std::shared_ptr<PersistTxn> txn, Cycle at,
+                     PersistFaultKind kind);
+    /** Commits the txn's data into the durable image. */
+    void commitTxn(PersistTxn &txn);
     void l2AllocateClean(Addr line_addr, Cycle now);
     void l2AllocateDirty(Addr line_addr, Cycle now);
     void handleL2Eviction(const L2Cache::Eviction &ev, Cycle now);
@@ -163,6 +227,10 @@ class MemoryFabric
     std::vector<Channel> nvmWrite_;
     Channel pcieToHost_;
     Channel pcieFromHost_;
+
+    std::unique_ptr<FaultInjector> injector_;
+    std::vector<PersistFault> faults_;
+    Distribution *dPersistAttempts_ = nullptr;
 
     std::uint64_t inflight_ = 0;
 };

@@ -59,6 +59,7 @@ NvmDevice::restoreImageFrom(const NvmDevice &golden)
     sbrp_assert(this != &golden, "restore from self");
     durable_ = golden.durable_;   // Deep page copy.
     names_ = golden.names_;
+    poisoned_ = golden.poisoned_;
     bump_ = golden.bump_;
     commit_count_ = 0;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -85,12 +86,27 @@ class NvmDevice
 
     /**
      * Restores this device to an exact copy of `golden`'s persistent
-     * state: durable image, namespace table and allocator position (the
-     * commit counter restarts at zero). Crash campaigns snapshot the
-     * pre-crash image once per worker and restore before every injected
-     * crash instead of re-running application setup.
+     * state: durable image, namespace table, allocator position and
+     * media poison set (the commit counter restarts at zero). Crash
+     * campaigns snapshot the pre-crash image once per worker and restore
+     * before every injected crash instead of re-running application
+     * setup.
      */
     void restoreImageFrom(const NvmDevice &golden);
+
+    /**
+     * Marks a line's media as sticky-uncorrectable: every later persist
+     * to it fails with PersistFaultKind::MediaSticky (injected by the
+     * fault layer; real hardware would report an ECC poison). Survives
+     * power cycles — media damage does not heal on reboot.
+     */
+    void poisonLine(Addr line_addr) { poisoned_.insert(line_addr); }
+
+    bool isPoisoned(Addr line_addr) const
+    { return poisoned_.count(line_addr) != 0; }
+
+    /** All sticky-poisoned line addresses (apps/oracles query this). */
+    const std::set<Addr> &poisonedLines() const { return poisoned_; }
 
     /**
      * Attaches/detaches a trace buffer for the WPQ occupancy track. The
@@ -106,6 +122,7 @@ class NvmDevice
   private:
     FunctionalMemory durable_;
     std::map<std::string, Region> names_;
+    std::set<Addr> poisoned_;
     Addr bump_ = addr_map::kNvmBase;
     std::uint64_t commit_count_ = 0;
 

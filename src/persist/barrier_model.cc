@@ -32,7 +32,9 @@ ScopedBarrierModel::flushPmTracked(Addr line_addr)
     sm_.l1().invalidate(line_addr);
     ++actr_;
     stats_.stat("flushes").inc();
-    sm_.fabric().persistWrite(line_addr, sm_.now(), [this, seq]() {
+    // Runs for faulted persists too — see PersistencyModel::flushLine.
+    sm_.fabric().persistWrite(line_addr, sm_.now(),
+                              [this, seq](const PersistResult &) {
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
@@ -146,8 +148,9 @@ ScopedBarrierModel::publishFlags(const std::vector<ReleaseFlag> &flags,
         ++actr_;
         sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
                                       sm_.now(),
-                                      [this, f, wait, slot, seq]() {
-            if (sm_.trace() && f.relId != 0)
+                                      [this, f, wait, slot,
+                                       seq](const PersistResult &r) {
+            if (sm_.trace() && f.relId != 0 && r.ok)
                 sm_.trace()->publishRel(f.addr, f.relId);
             sm_.mem().write32(f.addr, f.value);
             sbrp_assert(actr_ > 0, "flag ack underflow");

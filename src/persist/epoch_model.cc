@@ -77,7 +77,11 @@ EpochModel::flushPmTracked(Addr line_addr)
     sm_.l1().invalidate(line_addr);
     ++actr_;
     stats_.stat("flushes").inc();
-    sm_.fabric().persistWrite(line_addr, sm_.now(), [this, seq]() {
+    // Bookkeeping runs whether the persist succeeded or exhausted its
+    // retry budget: the terminal fault lives in the fabric's
+    // PersistFault record, and a stuck ACTR would deadlock the epoch.
+    sm_.fabric().persistWrite(line_addr, sm_.now(),
+                              [this, seq](const PersistResult &) {
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);

@@ -39,7 +39,11 @@ PersistencyModel::flushLine(Addr line_addr)
     sm_.l1().invalidate(line_addr);
     ++actr_;
     stats_.stat("flushes").inc();
-    sm_.fabric().persistWrite(line_addr, sm_.now(), [this]() {
+    // The ACTR drops even on a failed persist: the fault is reported
+    // through the fabric's PersistFault record, and leaving the counter
+    // stuck would turn a bounded fault into an infinite drain stall.
+    sm_.fabric().persistWrite(line_addr, sm_.now(),
+                              [this](const PersistResult &) {
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         onAck();

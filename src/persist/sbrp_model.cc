@@ -83,7 +83,11 @@ SbrpModel::flushTracked(Addr line_addr, Cycle admit)
         dResidency_->record(issue - admit);
     if (tb_)
         tb_->instant("pb:flush", kPbTrack);
-    sm_.fabric().persistWrite(line_addr, issue, [this, seq, issue]() {
+    // The nack/retry machine inside the fabric retires faulted persists
+    // too (PersistFault on budget exhaustion), so the ACTR always drops
+    // and the drain engine never wedges on an injected fault.
+    sm_.fabric().persistWrite(line_addr, issue,
+                              [this, seq, issue](const PersistResult &) {
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
@@ -569,9 +573,13 @@ SbrpModel::publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
         Cycle issue = sm_.now();
         sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
                                       issue,
-                                      [this, f, wait, seq, issue]() {
+                                      [this, f, wait, seq,
+                                       issue](const PersistResult &r) {
             dAckLatency_->record(sm_.now() - issue);
-            if (sm_.trace() && f.relId != 0)
+            // Publish even when the persist faulted: acquirers spinning
+            // on the flag must not hang, and the PersistFault record
+            // (not visibility) is the failure signal.
+            if (sm_.trace() && f.relId != 0 && r.ok)
                 sm_.trace()->publishRel(f.addr, f.relId);
             sm_.mem().write32(f.addr, f.value);
             if (--wait->remaining == 0)

@@ -320,8 +320,11 @@ TEST(Campaign, ReportJsonParsesAndMatchesResult)
     JsonValue report =
         JsonValue::parse(campaignReportJson(cc, r).dump(2), &err);
     ASSERT_TRUE(report.isObject()) << err;
-    EXPECT_EQ(report.find("version")->asU64(), 1u);
+    ASSERT_NE(report.find("schema_version"), nullptr);
+    EXPECT_EQ(report.find("schema_version")->asU64(), 2u);
     EXPECT_EQ(report.find("app")->asString(), "Red");
+    EXPECT_EQ(report.find("fault_spec")->asString(), "none");
+    EXPECT_EQ(report.find("clean_persist_faults")->asU64(), 0u);
     EXPECT_EQ(report.find("runs_executed")->asU64(), r.runsExecuted);
     EXPECT_EQ(report.find("pass")->asBool(), r.pass());
     EXPECT_TRUE(report.find("failing_points")->isArray());

@@ -68,6 +68,39 @@ TEST(Channel, MinimumOneCycle)
     EXPECT_EQ(ch.acquire(0, 4), 1u);
 }
 
+TEST(Channel, ExactCeilingOnFractionalTransfers)
+{
+    // Regression: the old float path computed bytes/rate + 0.999 and
+    // truncated, which under-reserved whenever the fractional part of
+    // the true quotient exceeded 0.999 (e.g. 2.999... rounding down to
+    // 3 instead of up) and was at the mercy of FP noise on exact
+    // divisions. The fixed-point path must give exact integer ceilings.
+    Channel half(2.0);
+    EXPECT_EQ(half.cyclesFor(3), 2u);      // ceil(1.5)
+    EXPECT_EQ(half.cyclesFor(4), 2u);      // exact
+    EXPECT_EQ(half.cyclesFor(5), 3u);      // ceil(2.5)
+
+    Channel odd(3.0);
+    EXPECT_EQ(odd.cyclesFor(1000), 334u);  // ceil(333.33)
+    EXPECT_EQ(odd.cyclesFor(999), 333u);   // exact
+    EXPECT_EQ(odd.cyclesFor(998), 333u);   // ceil(332.67)
+
+    Channel slow(0.3);
+    EXPECT_EQ(slow.cyclesFor(3), 10u);     // exact-ish: 3/0.3
+    EXPECT_EQ(slow.cyclesFor(1), 4u);      // ceil(3.33)
+}
+
+TEST(Channel, BacklogTracksOutstandingWork)
+{
+    Channel ch(2.0);
+    EXPECT_EQ(ch.backlog(0), 0u);
+    ch.acquire(0, 128);                 // Busy until cycle 64.
+    EXPECT_EQ(ch.backlog(0), 64u);
+    EXPECT_EQ(ch.backlog(60), 4u);
+    EXPECT_EQ(ch.backlog(64), 0u);
+    EXPECT_EQ(ch.backlog(100), 0u);     // Idle time is not negative.
+}
+
 TEST(Fabric, GddrReadLatency)
 {
     FabricRig rig;
@@ -128,7 +161,9 @@ TEST(Fabric, PersistCommitsAtAccept)
     FabricRig rig;
     rig.mem.write32(rig.pm, 1234);
     bool acked = false;
-    rig.fabric->persistWrite(rig.pm, 0, [&]() { acked = true; });
+    rig.fabric->persistWrite(rig.pm, 0, [&](const PersistResult &r) {
+        acked = r.ok;
+    });
     EXPECT_EQ(rig.nvm.durable().read32(rig.pm), 0u);   // Not yet.
     rig.drainAll();
     EXPECT_TRUE(acked);
@@ -167,7 +202,8 @@ TEST(Fabric, EadrAcksFasterThanAdrOnFar)
         for (int i = 0; i < 32; ++i) {
             rig.mem.write32(rig.pm + 128 * i, i);
             rig.fabric->persistWrite(rig.pm + 128 * i, 0,
-                                     [&, i]() { last_ack = i; });
+                                     [&, i](const PersistResult &)
+                                     { last_ack = i; });
         }
         rig.drainAll();
         return last_ack;

@@ -1,0 +1,473 @@
+/**
+ * Fault-injection + resilient-persist-path tests: FaultSpec parsing,
+ * seeded fault plans, the fabric's link-replay/WPQ-nack/media retry
+ * machine, poison propagation across power cycles, end-to-end app runs
+ * under injected faults, campaign determinism with a pinned seed, and
+ * the v2 replay-artifact schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/sbrp.hh"
+#include "apps/registry.hh"
+#include "common/json.hh"
+#include "crashtest/campaign.hh"
+#include "crashtest/replay.hh"
+#include "crashtest/scenario.hh"
+#include "fault/injector.hh"
+#include "gpu/mem_ctrl.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+// --- FaultSpec ------------------------------------------------------
+
+TEST(FaultSpec, ParsesAndDescribesCanonically)
+{
+    FaultSpec s;
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("pcie=1e-3,wpq=16,media=0.01,sticky=1e-6",
+                                 &s, &err)) << err;
+    EXPECT_DOUBLE_EQ(s.pcieCorruptRate, 1e-3);
+    EXPECT_EQ(s.wpqCapacity, 16u);
+    EXPECT_DOUBLE_EQ(s.nvmTransientRate, 0.01);
+    EXPECT_DOUBLE_EQ(s.nvmStickyRate, 1e-6);
+    EXPECT_TRUE(s.enabled());
+
+    // describe() round-trips through parse().
+    FaultSpec back;
+    ASSERT_TRUE(FaultSpec::parse(s.describe(), &back, &err)) << err;
+    EXPECT_EQ(back.describe(), s.describe());
+
+    FaultSpec none;
+    ASSERT_TRUE(FaultSpec::parse("none", &none, &err));
+    EXPECT_FALSE(none.enabled());
+    EXPECT_EQ(none.describe(), "none");
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    FaultSpec s;
+    std::string err;
+    EXPECT_FALSE(FaultSpec::parse("pcie=2.0", &s, &err));   // Rate > 1.
+    EXPECT_FALSE(FaultSpec::parse("pcie=-0.1", &s, &err));
+    EXPECT_FALSE(FaultSpec::parse("bogus=1", &s, &err));
+    EXPECT_FALSE(FaultSpec::parse("pcie", &s, &err));
+    EXPECT_FALSE(FaultSpec::parse("wpq=1.5", &s, &err));    // Not integral.
+    EXPECT_FALSE(FaultSpec::parse("media=abc", &s, &err));
+}
+
+// --- Seeding --------------------------------------------------------
+
+TEST(FaultInjector, RefusesUnseededConstruction)
+{
+    FaultSpec s;
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("media=0.5", &s, &err));
+    EXPECT_THROW(FaultInjector(s, 0), FatalError);
+    EXPECT_NO_THROW(FaultInjector(s, 1));
+}
+
+TEST(SystemConfig, FaultsWithoutSeedFailValidation)
+{
+    SystemConfig cfg = SystemConfig::testDefault();
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("media=0.5", &cfg.faults, &err));
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.seed = 7;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FaultPlan, SameSeedSameSchedule)
+{
+    FaultPlan a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 256; ++i) {
+        bool da = a.drawTransient(0.5);
+        EXPECT_EQ(da, b.drawTransient(0.5));
+        if (da != c.drawTransient(0.5))
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);   // Different seeds: different schedules.
+}
+
+TEST(FaultPlan, StreamsAreIndependent)
+{
+    // Consuming PCIe draws must not shift the media schedule: each
+    // fault class has its own stream, so enabling one class never
+    // changes another's timeline.
+    FaultPlan a(42), b(42);
+    for (int i = 0; i < 64; ++i)
+        (void)a.drawPcie(0.5);   // Burn the pcie stream on `a` only.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.drawTransient(0.5), b.drawTransient(0.5));
+}
+
+// --- The fabric retry machine ---------------------------------------
+
+struct FaultRig
+{
+    SystemConfig cfg;
+    NvmDevice nvm;
+    FunctionalMemory mem;
+    EventQueue events;
+    std::unique_ptr<MemoryFabric> fabric;
+    Addr pm = 0;
+
+    explicit FaultRig(const std::string &spec, std::uint64_t seed = 7,
+                      std::uint32_t budget = 8,
+                      SystemDesign design = SystemDesign::PmNear)
+        : cfg(SystemConfig::testDefault(ModelKind::Sbrp, design))
+    {
+        std::string err;
+        if (!FaultSpec::parse(spec, &cfg.faults, &err))
+            throw std::runtime_error(err);
+        cfg.seed = seed;
+        cfg.persistRetryBudget = budget;
+        mem.setBacking(&nvm.durable());
+        fabric = std::make_unique<MemoryFabric>(cfg, events, nvm, mem,
+                                                nullptr);
+        pm = nvm.allocate("pm", 1 << 20);
+    }
+
+    Cycle
+    drainAll(Cycle start = 0)
+    {
+        Cycle c = start;
+        while (!fabric->idle()) {
+            ++c;
+            events.runUntil(c);
+            if (c > 10'000'000)
+                throw std::runtime_error("fabric never drained");
+        }
+        return c;
+    }
+};
+
+TEST(FaultPath, TransientMediaFaultsRetireToSuccess)
+{
+    FaultRig rig("media=0.3");
+    int acked = 0, ok = 0;
+    for (int i = 0; i < 10; ++i) {
+        rig.mem.write32(rig.pm + 128 * i, i + 1);
+        rig.fabric->persistWrite(rig.pm + 128 * i, 0,
+                                 [&](const PersistResult &r) {
+            ++acked;
+            ok += r.ok ? 1 : 0;
+        });
+    }
+    rig.drainAll();
+    EXPECT_EQ(acked, 10);
+    EXPECT_EQ(ok, 10);   // Every fault retried to success (seed 7).
+    EXPECT_EQ(rig.nvm.commitCount(), 10u);
+    EXPECT_GT(rig.fabric->stats().value("fault_media_transient"), 0u);
+    EXPECT_GT(rig.fabric->stats().value("fault_retries"), 0u);
+    EXPECT_TRUE(rig.fabric->persistFaults().empty());
+}
+
+TEST(FaultPath, BudgetExhaustionReportsStructuredFault)
+{
+    // Certain media fault on every attempt: the budget must cap the
+    // retries, the callback must still fire (no hang, no silent loss)
+    // and the line must never commit.
+    FaultRig rig("media=1.0", 7, 3);
+    rig.mem.write32(rig.pm, 99);
+    int acked = 0;
+    PersistResult last;
+    rig.fabric->persistWrite(rig.pm, 0, [&](const PersistResult &r) {
+        ++acked;
+        last = r;
+    });
+    rig.drainAll();
+    EXPECT_EQ(acked, 1);
+    EXPECT_FALSE(last.ok);
+    EXPECT_EQ(last.fault.kind, PersistFaultKind::MediaRetryExhausted);
+    EXPECT_EQ(last.fault.attempts, 3u);
+    EXPECT_EQ(last.fault.lineAddr, rig.pm);
+    EXPECT_EQ(rig.nvm.commitCount(), 0u);
+    ASSERT_EQ(rig.fabric->persistFaults().size(), 1u);
+    EXPECT_GT(rig.fabric->stats().value("fault_backoff_cycles"), 0u);
+}
+
+TEST(FaultPath, StickyFaultPoisonsLineAcrossPowerCycles)
+{
+    FaultRig rig("sticky=1.0");
+    rig.mem.write32(rig.pm, 5);
+    PersistResult last;
+    rig.fabric->persistWrite(rig.pm, 0,
+                             [&](const PersistResult &r) { last = r; });
+    rig.drainAll();
+    EXPECT_FALSE(last.ok);
+    EXPECT_EQ(last.fault.kind, PersistFaultKind::MediaSticky);
+    EXPECT_EQ(last.fault.attempts, 1u);   // Sticky: no budget burn.
+    EXPECT_EQ(rig.nvm.commitCount(), 0u);
+    EXPECT_TRUE(rig.nvm.isPoisoned(rig.pm));
+
+    // A later persist to the poisoned line fails immediately.
+    Cycle t = rig.drainAll() + 1;
+    PersistResult again;
+    rig.fabric->persistWrite(rig.pm, t,
+                             [&](const PersistResult &r) { again = r; });
+    rig.drainAll(t);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.fault.kind, PersistFaultKind::MediaSticky);
+
+    // Media damage survives a power cycle via restoreImageFrom.
+    NvmDevice replacement;
+    replacement.restoreImageFrom(rig.nvm);
+    EXPECT_TRUE(replacement.isPoisoned(rig.pm));
+}
+
+TEST(FaultPath, WpqBackpressureNacksThenRetires)
+{
+    FaultRig rig("wpq=1");
+    int acked = 0, ok = 0;
+    for (int i = 0; i < 8; ++i) {
+        rig.mem.write32(rig.pm + 128 * i, i + 1);
+        rig.fabric->persistWrite(rig.pm + 128 * i, 0,
+                                 [&](const PersistResult &r) {
+            ++acked;
+            ok += r.ok ? 1 : 0;
+        });
+    }
+    rig.drainAll();
+    EXPECT_EQ(acked, 8);
+    EXPECT_EQ(ok, 8);
+    EXPECT_EQ(rig.nvm.commitCount(), 8u);
+    EXPECT_GT(rig.fabric->stats().value("fault_wpq_nacks"), 0u);
+}
+
+TEST(FaultPath, PcieCorruptionTriggersLinkReplay)
+{
+    FaultRig always("pcie=1.0", 7, 2, SystemDesign::PmFar);
+    always.mem.write32(always.pm, 1);
+    PersistResult last;
+    always.fabric->persistWrite(always.pm, 0,
+                                [&](const PersistResult &r) { last = r; });
+    always.drainAll();
+    EXPECT_FALSE(last.ok);
+    EXPECT_EQ(last.fault.kind, PersistFaultKind::LinkReplayExhausted);
+    EXPECT_EQ(always.nvm.commitCount(), 0u);
+
+    FaultRig some("pcie=0.4", 7, 8, SystemDesign::PmFar);
+    int ok = 0;
+    for (int i = 0; i < 10; ++i) {
+        some.mem.write32(some.pm + 128 * i, i + 1);
+        some.fabric->persistWrite(some.pm + 128 * i, 0,
+                                  [&](const PersistResult &r) {
+            ok += r.ok ? 1 : 0;
+        });
+    }
+    some.drainAll();
+    EXPECT_EQ(ok, 10);
+    EXPECT_EQ(some.nvm.commitCount(), 10u);
+    EXPECT_GT(some.fabric->stats().value("fault_pcie_replays"), 0u);
+}
+
+TEST(FaultPath, SameSeedSameFaultSchedule)
+{
+    auto run = [](std::uint64_t seed) {
+        FaultRig rig("media=0.4", seed);
+        for (int i = 0; i < 12; ++i) {
+            rig.mem.write32(rig.pm + 128 * i, i + 1);
+            rig.fabric->persistWrite(rig.pm + 128 * i, 0, nullptr);
+        }
+        rig.drainAll();
+        return rig.fabric->stats().value("fault_media_transient");
+    };
+    EXPECT_EQ(run(7), run(7));
+    // Different seeds give different schedules (for these seeds).
+    EXPECT_NE(run(7), run(1234567));
+}
+
+// --- End to end: every app under SBRP with faults -------------------
+
+TEST(FaultEndToEnd, AllAppsRetireEveryFaultUnderSbrp)
+{
+    // The acceptance bar: at a 1e-3 per-persist fault rate, every app
+    // stays consistent, the PMO checker stays clean, and every
+    // transient fault retires — no terminal faults, no hangs.
+    for (const std::string &app : appRegistryNames()) {
+        CrashScenario s;
+        s.app = app;
+        s.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+        std::string err;
+        ASSERT_TRUE(FaultSpec::parse("pcie=1e-3,media=1e-3",
+                                     &s.cfg.faults, &err));
+        s.cfg.seed = 7;
+        ScenarioRunner runner(s);
+        CrashProbe p = runner.probe();
+        EXPECT_TRUE(p.cleanConsistent) << app;
+        EXPECT_EQ(p.cleanPmoViolations, 0u) << app;
+        EXPECT_EQ(p.cleanPersistFaults, 0u) << app;
+        EXPECT_GT(p.horizon, 0u) << app;
+    }
+}
+
+// --- Campaign determinism with faults -------------------------------
+
+TEST(FaultCampaign, PinnedSeedVerdictsIdenticalAcrossJobs)
+{
+    auto campaign = [](unsigned jobs) {
+        CampaignConfig cc;
+        cc.scenario.app = "Red";
+        cc.scenario.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+        std::string err;
+        FaultSpec::parse("pcie=5e-3,media=5e-3", &cc.scenario.cfg.faults,
+                         &err);
+        cc.scenario.cfg.seed = 42;
+        cc.jobs = jobs;
+        cc.budgetRuns = 10;
+        cc.minimize = false;
+        CampaignEngine engine(cc);
+        CampaignResult res = engine.run();
+        // Render verdicts + report to bytes; mask the jobs knob, which
+        // is the one legitimate difference between the runs.
+        JsonValue report = campaignReportJson(cc, res);
+        report.set("jobs", JsonValue(std::uint64_t{0}));
+        std::string bytes = report.dump(2);
+        for (const CrashVerdict &v : res.verdicts) {
+            bytes += "|" + std::to_string(v.crashAt) + ":" +
+                     std::to_string(v.executed) +
+                     std::to_string(v.crashed) +
+                     std::to_string(v.pmoViolations) +
+                     std::to_string(v.recoveredOk) +
+                     std::to_string(v.persistFaults);
+        }
+        return bytes;
+    };
+    const std::string one = campaign(1);
+    const std::string four = campaign(4);
+    EXPECT_EQ(one, four);
+}
+
+TEST(FaultCampaign, SameSeedSameJobsBitIdenticalOutputs)
+{
+    // Rerunning the identical faulty campaign must reproduce the full
+    // report, the campaign stats JSON, and the minimized replay
+    // artifact byte for byte. A crippled retry budget under a certain
+    // media fault guarantees failures, so an artifact is captured.
+    auto once = []() {
+        CampaignConfig cc;
+        cc.scenario.app = "MQ";
+        cc.scenario.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+        std::string err;
+        FaultSpec::parse("media=0.5", &cc.scenario.cfg.faults, &err);
+        cc.scenario.cfg.seed = 7;
+        cc.scenario.cfg.persistRetryBudget = 1;
+        cc.jobs = 2;
+        cc.budgetRuns = 12;
+        cc.minimize = true;
+        CampaignEngine engine(cc);
+        CampaignResult res = engine.run();
+        std::string bytes = campaignReportJson(cc, res).dump(2);
+        bytes += "|" + engine.stats().dumpJson();
+        EXPECT_TRUE(res.hasMinimized);
+        if (res.hasMinimized)
+            bytes += "|" + res.artifact.toJson().dump(2);
+        return bytes;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+// --- Replay artifact v2 ---------------------------------------------
+
+TEST(FaultReplay, V2RoundTripsFaultFields)
+{
+    CrashScenario s;
+    s.app = "Red";
+    s.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("pcie=1e-3,wpq=8,media=1e-3,sticky=1e-6",
+                                 &s.cfg.faults, &err));
+    s.cfg.seed = 99;
+    s.cfg.persistRetryBudget = 5;
+    s.cfg.retryBackoffBase = 32;
+
+    CrashVerdict v;
+    v.crashAt = 1000;
+    ReplayArtifact a = ReplayArtifact::fromScenario(s, false, v);
+    JsonValue j = a.toJson();
+
+    ReplayArtifact back;
+    ASSERT_TRUE(ReplayArtifact::fromJson(j, &back, &err)) << err;
+    EXPECT_EQ(back.faultSpec, s.cfg.faults.describe());
+    EXPECT_EQ(back.faultSeed, 99u);
+    EXPECT_EQ(back.retryBudget, 5u);
+    EXPECT_EQ(back.backoffBase, 32u);
+
+    CrashScenario rebuilt = back.toScenario();
+    EXPECT_EQ(rebuilt.cfg.faults.describe(), s.cfg.faults.describe());
+    EXPECT_EQ(rebuilt.cfg.seed, 99u);
+    EXPECT_EQ(rebuilt.cfg.persistRetryBudget, 5u);
+    EXPECT_EQ(rebuilt.cfg.retryBackoffBase, 32u);
+}
+
+TEST(FaultReplay, V1ArtifactsStillParseWithFaultsDisabled)
+{
+    CrashScenario s;
+    s.app = "Red";
+    s.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+    CrashVerdict v;
+    ReplayArtifact a = ReplayArtifact::fromScenario(s, false, v);
+    JsonValue j = a.toJson();
+    // A pre-fault-injection artifact: version 1, no fault fields.
+    j.set("version", JsonValue(std::uint64_t{1}));
+
+    ReplayArtifact back;
+    std::string err;
+    ASSERT_TRUE(ReplayArtifact::fromJson(j, &back, &err)) << err;
+    EXPECT_EQ(back.faultSpec, "none");
+    EXPECT_FALSE(back.toScenario().cfg.faults.enabled());
+}
+
+TEST(FaultReplay, V2RejectsEnabledFaultsWithoutSeed)
+{
+    CrashScenario s;
+    s.app = "Red";
+    s.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("media=0.5", &s.cfg.faults, &err));
+    s.cfg.seed = 3;
+    ReplayArtifact a =
+        ReplayArtifact::fromScenario(s, false, CrashVerdict{});
+    JsonValue j = a.toJson();
+    j.set("fault_seed", JsonValue(std::uint64_t{0}));
+    ReplayArtifact back;
+    EXPECT_FALSE(ReplayArtifact::fromJson(j, &back, &err));
+    EXPECT_NE(err.find("seed"), std::string::npos);
+}
+
+// --- Stats JSON schema ----------------------------------------------
+
+TEST(StatsJson, CarriesSchemaVersionAndEscapesNames)
+{
+    StatGroup weird("we\"ird\ngroup");
+    weird.stat("ctr\t1").inc(3);
+    weird.dist("lat\"d").record(5);
+    StatRegistry reg;
+    reg.add(&weird);
+
+    std::string err;
+    JsonValue v = JsonValue::parse(reg.dumpJson(), &err);
+    ASSERT_TRUE(v.isObject()) << err;
+    ASSERT_NE(v.find("schema_version"), nullptr);
+    EXPECT_EQ(v.find("schema_version")->asU64(), 1u);
+    const JsonValue *g = v.find("we\"ird\ngroup");
+    ASSERT_NE(g, nullptr);
+    const JsonValue *c = g->find("ctr\t1");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->asU64(), 3u);
+    EXPECT_NE(g->find("lat\"d"), nullptr);
+}
+
+} // namespace
+} // namespace sbrp

@@ -12,6 +12,8 @@
  *   crashfuzz --app reduction --model sbrp --jobs 4 --budget 200 \
  *             --report r.json
  *   crashfuzz --app Red --model sbrp --list-points
+ *   crashfuzz --app Red --faults pcie=1e-3,media=1e-3 --fault-seed 7
+ *   crashfuzz --app Scan --fault-sweep 1e-4,1e-3,1e-2 --fault-seed 7
  *   crashfuzz --replay artifact.json
  *
  * Exit codes: 0 = campaign passed (or replay reproduced its recorded
@@ -26,6 +28,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/registry.hh"
 #include "common/json.hh"
@@ -66,6 +69,15 @@ usage()
         "  --pb <frac>       persist buffer coverage of L1\n"
         "  --nvm-bw <scale>  NVM bandwidth scale\n"
         "  --eadr            persist point at the host LLC (PM-far only)\n"
+        "  --faults <spec>   inject persist-path faults, e.g.\n"
+        "                    pcie=1e-3,wpq=16,media=1e-3,sticky=1e-6\n"
+        "                    (none = disabled)\n"
+        "  --fault-seed <n>  master seed for fault schedules and the\n"
+        "                    campaign shuffle (default 1 when faulting)\n"
+        "  --fault-sweep <r1,r2,...>  one campaign per rate, with the\n"
+        "                    PCIe-corrupt and NVM-transient rates both\n"
+        "                    set to r; exit 0 iff every campaign passes\n"
+        "  --retry-budget <n>  max attempts per persist (default 8)\n"
         "  --unsafe-relaxed-order  FAULT INJECTION: let the SBRP drain\n"
         "                    engine violate PMO (testing the oracles)\n");
 }
@@ -118,10 +130,11 @@ replayArtifact(const std::string &path)
     CrashVerdict verdict =
         runner.runCrashAt(artifact.crashCycle, artifact.eventKind);
     std::printf("observed: crashed=%s pmo_violations=%llu "
-                "recovered=%s\n",
+                "recovered=%s persist_faults=%llu\n",
                 verdict.crashed ? "yes" : "no",
                 static_cast<unsigned long long>(verdict.pmoViolations),
-                verdict.recoveredOk ? "yes" : "no");
+                verdict.recoveredOk ? "yes" : "no",
+                static_cast<unsigned long long>(verdict.persistFaults));
 
     const bool failed = !verdict.pass();
     if (failed == artifact.expectViolation) {
@@ -159,6 +172,11 @@ main(int argc, char **argv)
     std::optional<double> nvm_bw;
     bool eadr = false;
     bool unsafe_relaxed = false;
+    FaultSpec faults;
+    bool faults_given = false;
+    std::uint64_t fault_seed = 0;
+    std::optional<std::uint32_t> retry_budget;
+    std::vector<double> sweep_rates;
 
     auto next = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -221,6 +239,39 @@ main(int argc, char **argv)
             nvm_bw = std::atof(next(i));
         } else if (a == "--eadr") {
             eadr = true;
+        } else if (a == "--faults") {
+            std::string err;
+            if (!FaultSpec::parse(next(i), &faults, &err)) {
+                std::fprintf(stderr, "crashfuzz: --faults: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            faults_given = true;
+        } else if (a == "--fault-seed") {
+            fault_seed = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--fault-sweep") {
+            std::istringstream ss(next(i));
+            std::string tok;
+            while (std::getline(ss, tok, ',')) {
+                char *end = nullptr;
+                double r = std::strtod(tok.c_str(), &end);
+                if (tok.empty() || end != tok.c_str() + tok.size() ||
+                        r < 0.0 || r > 1.0) {
+                    std::fprintf(stderr,
+                                 "crashfuzz: --fault-sweep: bad rate "
+                                 "'%s'\n", tok.c_str());
+                    return 2;
+                }
+                sweep_rates.push_back(r);
+            }
+            if (sweep_rates.empty()) {
+                std::fprintf(stderr,
+                             "crashfuzz: --fault-sweep needs rates\n");
+                return 2;
+            }
+        } else if (a == "--retry-budget") {
+            retry_budget = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
         } else if (a == "--unsafe-relaxed-order") {
             unsafe_relaxed = true;
         } else if (a == "--help" || a == "-h") {
@@ -263,6 +314,14 @@ main(int argc, char **argv)
         if (eadr)
             cfg.persistPoint = PersistPoint::Eadr;
         cfg.unsafeRelaxedPersistOrder = unsafe_relaxed;
+        if (retry_budget)
+            cfg.persistRetryBudget = *retry_budget;
+        if (faults_given)
+            cfg.faults = faults;
+        if (fault_seed != 0)
+            cfg.seed = fault_seed;
+        else if (faults_given || !sweep_rates.empty())
+            cfg.seed = 1;   // Faulting runs must be reproducible.
         cfg.validate();
 
         campaign.scenario.app = canonical;
@@ -270,6 +329,51 @@ main(int argc, char **argv)
         campaign.scenario.benchScale = bench_scale;
         campaign.scenario.seed = seed;
         campaign.paperConfig = paper_config;
+
+        if (!sweep_rates.empty()) {
+            // One campaign per rate: the rate drives both transient
+            // fault classes; any sticky/WPQ settings from --faults are
+            // held constant across the sweep.
+            JsonValue combined = JsonValue::object();
+            combined.set("schema_version", JsonValue(std::uint64_t{2}));
+            JsonValue entries = JsonValue::array();
+            bool all_pass = true;
+            for (double r : sweep_rates) {
+                CampaignConfig cc = campaign;
+                cc.scenario.cfg.faults.pcieCorruptRate = r;
+                cc.scenario.cfg.faults.nvmTransientRate = r;
+                cc.scenario.cfg.validate();
+                std::printf("%s under %s\n", canonical.c_str(),
+                            cc.scenario.cfg.describe().c_str());
+                CampaignEngine engine(cc);
+                CampaignResult res = engine.run();
+                std::printf("  rate %g: %s (%llu/%llu runs failing, "
+                            "%llu persist faults)\n", r,
+                            res.pass() ? "PASS" : "FAIL",
+                            static_cast<unsigned long long>(res.failures),
+                            static_cast<unsigned long long>(
+                                res.runsExecuted),
+                            static_cast<unsigned long long>(
+                                engine.group().value("persist_faults")));
+                all_pass = all_pass && res.pass();
+                JsonValue entry = campaignReportJson(cc, res);
+                entry.set("sweep_rate", JsonValue(r));
+                entries.push(std::move(entry));
+            }
+            combined.set("sweep", std::move(entries));
+            combined.set("pass", JsonValue(all_pass));
+            std::printf("fault sweep: %s (%zu rates)\n",
+                        all_pass ? "PASS" : "FAIL", sweep_rates.size());
+            if (!report_path.empty()) {
+                if (!writeFile(report_path, combined.dump(2))) {
+                    std::fprintf(stderr, "crashfuzz: cannot write '%s'\n",
+                                 report_path.c_str());
+                    return 2;
+                }
+                std::printf("report: %s\n", report_path.c_str());
+            }
+            return all_pass ? 0 : 1;
+        }
 
         std::printf("%s under %s\n", canonical.c_str(),
                     cfg.describe().c_str());

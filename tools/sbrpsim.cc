@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -45,6 +46,11 @@ usage()
         "  --pb <frac>       persist buffer coverage of L1  (default 0.5)\n"
         "  --nvm-bw <scale>  NVM bandwidth scale            (default 1.0)\n"
         "  --eadr            persist point at the host LLC (PM-far only)\n"
+        "  --faults <spec>   inject persist-path faults, e.g.\n"
+        "                    pcie=1e-3,wpq=16,media=1e-3,sticky=1e-6\n"
+        "  --fault-seed <n>  master seed for the fault schedule\n"
+        "                    (default 1 when --faults is given)\n"
+        "  --retry-budget <n>  max attempts per persist   (default 8)\n"
         "  --scale <t|b>     workload scale: test or bench  (default t)\n"
         "  --check           attach the formal PMO checker\n"
         "  --stats           dump all non-zero counters\n"
@@ -116,6 +122,20 @@ main(int argc, char **argv)
             cfg.nvmBwScale = std::atof(next(i));
         } else if (a == "--eadr") {
             cfg.persistPoint = PersistPoint::Eadr;
+        } else if (a == "--faults") {
+            std::string err;
+            if (!FaultSpec::parse(next(i), &cfg.faults, &err)) {
+                std::fprintf(stderr, "sbrpsim: --faults: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            if (cfg.seed == 0)
+                cfg.seed = 1;
+        } else if (a == "--fault-seed") {
+            cfg.seed = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--retry-budget") {
+            cfg.persistRetryBudget = static_cast<std::uint32_t>(
+                std::atoi(next(i)));
         } else if (a == "--scale") {
             bench_scale = std::string(next(i)) == "b";
         } else if (a == "--check") {

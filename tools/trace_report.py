@@ -126,6 +126,23 @@ def main(argv):
         for name, n in sorted(names.items()):
             print(f"  {name:<{width}}  {n:>8}")
 
+        faults = {n: c for n, c in names.items() if n.startswith("fault:")}
+        if faults:
+            # fault:* instants mark injected persist-path faults
+            # (pcie_replay, wpq_nack, media_retry, sticky, exhausted);
+            # fault_backoff_cycles is a running counter, so its max is
+            # the total backoff the retry machine inserted.
+            retried = sum(c for n, c in faults.items()
+                          if n in ("fault:pcie_replay", "fault:wpq_nack",
+                                   "fault:media_retry"))
+            terminal = sum(c for n, c in faults.items()
+                           if n in ("fault:sticky", "fault:exhausted"))
+            backoff = counters.get("fault_backoff_cycles", [0, 0, 0])[2]
+            print("\nfault injection:")
+            print(f"  faults retried      {retried:>8}")
+            print(f"  terminal faults     {terminal:>8}")
+            print(f"  backoff cycles      {backoff:>8}")
+
     return 0
 
 

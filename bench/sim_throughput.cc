@@ -1,0 +1,107 @@
+/**
+ * @file
+ * sim_throughput — host-side simulator performance, not a paper figure.
+ *
+ * Measures simulation throughput (simulated Mcycles per wall second,
+ * launches per second) for every app under every model at both system
+ * designs, test scale. The quiescence-aware scheduler's win shows up on
+ * stall-heavy configurations (PM-far, barrier/epoch): the cycle-stepped
+ * loop burned host time ticking idle SMs through persist-drain and
+ * memory-stall spans that the sleep/wake engine skips in one jump.
+ *
+ * Plain chrono timing (no google-benchmark): a simulation run is
+ * deterministic, so one warm-up plus a few timed repeats is enough, and
+ * the binary stays usable in CI without benchmark-framework filtering.
+ * Numbers are recorded in EXPERIMENTS.md ("Simulator throughput").
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/registry.hh"
+#include "common/config.hh"
+#include "gpu/gpu_system.hh"
+#include "mem/nvm_device.hh"
+
+using namespace sbrp;
+
+namespace
+{
+
+struct Combo
+{
+    ModelKind model;
+    SystemDesign design;
+    const char *name;
+};
+
+const Combo kCombos[] = {
+    {ModelKind::Sbrp, SystemDesign::PmNear, "sbrp/near"},
+    {ModelKind::Sbrp, SystemDesign::PmFar, "sbrp/far"},
+    {ModelKind::Epoch, SystemDesign::PmNear, "epoch/near"},
+    {ModelKind::Epoch, SystemDesign::PmFar, "epoch/far"},
+    {ModelKind::Gpm, SystemDesign::PmFar, "gpm/far"},
+    {ModelKind::ScopedBarrier, SystemDesign::PmNear, "barrier/near"},
+    {ModelKind::ScopedBarrier, SystemDesign::PmFar, "barrier/far"},
+};
+
+constexpr int kRepeats = 3;
+
+/** One timed simulation; returns (cycles, best-of-repeats seconds). */
+std::pair<std::uint64_t, double>
+timeOne(const std::string &app_name, const Combo &c)
+{
+    std::uint64_t cycles = 0;
+    double best = 1e100;
+    for (int rep = 0; rep < kRepeats + 1; ++rep) {   // +1 warm-up.
+        auto app = makeRegisteredApp(app_name, c.model);
+        SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+        NvmDevice nvm;
+        app->setupNvm(nvm);
+        GpuSystem gpu(cfg, nvm);
+        app->setupGpu(gpu);
+        auto t0 = std::chrono::steady_clock::now();
+        auto res = gpu.launch(app->forward());
+        auto t1 = std::chrono::steady_clock::now();
+        if (!app->verify(nvm)) {
+            std::fprintf(stderr, "%s/%s: durable state WRONG\n",
+                         app_name.c_str(), c.name);
+            std::exit(1);
+        }
+        cycles = res.cycles;
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        if (rep > 0)
+            best = std::min(best, s);
+    }
+    return {cycles, best};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%-8s %-13s %12s %12s %12s\n", "app", "config",
+                "sim_cycles", "Mcycles/s", "launches/s");
+    double total_cycles = 0, total_secs = 0;
+    for (const Combo &c : kCombos) {
+        for (const std::string &name : appRegistryNames()) {
+            auto [cycles, secs] = timeOne(name, c);
+            total_cycles += static_cast<double>(cycles);
+            total_secs += secs;
+            std::printf("%-8s %-13s %12llu %12.2f %12.1f\n",
+                        name.c_str(), c.name,
+                        static_cast<unsigned long long>(cycles),
+                        static_cast<double>(cycles) / secs / 1e6,
+                        1.0 / secs);
+        }
+    }
+    std::printf("\naggregate: %.2f Mcycles/s over %.0f simulated cycles "
+                "(%.3f s host)\n",
+                total_cycles / total_secs / 1e6, total_cycles,
+                total_secs);
+    return 0;
+}

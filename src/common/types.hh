@@ -15,6 +15,13 @@ namespace sbrp
 /** Simulation time in GPU core cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * Sentinel cycle meaning "no event / no wake scheduled". Chosen as the
+ * maximum representable cycle so scheduler min() reductions need no
+ * special case (any real deadline compares smaller).
+ */
+inline constexpr Cycle kNoEvent = ~Cycle{0};
+
 /** A (virtual) memory address in the GPU's unified address space. */
 using Addr = std::uint64_t;
 

@@ -30,21 +30,23 @@ GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
     TraceBuffer *tb_fabric = nullptr;
     TraceBuffer *tb_nvm = nullptr;
     if (sink_) {
-        sink_->setClock(&cycle_);
+        sink_->setClock(sched_.clockPtr());
         tbSystem_ = sink_->buffer("system");
         tb_fabric = sink_->buffer("fabric");
         tb_nvm = sink_->buffer("nvm");
     }
 
-    fabric_ = std::make_unique<MemoryFabric>(cfg_, events_, nvm_, mem_,
-                                             trace_);
+    fabric_ = std::make_unique<MemoryFabric>(cfg_, sched_.events(), nvm_,
+                                             mem_, trace_);
     fabric_->setTrace(tb_fabric);
     stats_.add(&fabric_->stats());
+    SmObserver *observer = this;   // Private base: convert in-class.
     for (SmId i = 0; i < cfg_.numSms; ++i) {
         TraceBuffer *tb_sm =
             sink_ ? sink_->buffer("sm" + std::to_string(i)) : nullptr;
         sms_.push_back(std::make_unique<Sm>(i, cfg_, *fabric_, mem_,
-                                            events_, trace_, tb_sm));
+                                            sched_, trace_, tb_sm,
+                                            observer));
         stats_.add(&sms_.back()->stats());
         stats_.add(&sms_.back()->l1Stats());
     }
@@ -82,14 +84,30 @@ GpuSystem::gddrAlloc(std::uint64_t bytes)
     return base;
 }
 
-bool
-GpuSystem::allIdle() const
+void
+GpuSystem::smIdleChanged(SmId id, bool idle)
 {
-    for (const auto &sm : sms_) {
-        if (!sm->idle())
-            return false;
+    (void)id;
+    if (idle) {
+        sbrp_assert(busySms_ > 0, "idle-SM underflow");
+        --busySms_;
+    } else {
+        ++busySms_;
     }
-    return true;
+}
+
+void
+GpuSystem::smSlotsFreed(SmId id)
+{
+    (void)id;
+    dispatchRetry_ = true;
+}
+
+void
+GpuSystem::settleAllSms()
+{
+    for (auto &sm : sms_)
+        sm->settleTo(sched_.now());
 }
 
 bool
@@ -114,7 +132,7 @@ GpuSystem::launch(const KernelProgram &kernel,
                    cfg_.maxWarpsPerSm);
     }
 
-    Cycle start = cycle_;
+    Cycle start = sched_.now();
     const char *span_name = nullptr;
     if (tbSystem_) {
         span_name = sink_->intern("kernel:" + kernel.name());
@@ -127,63 +145,106 @@ GpuSystem::launch(const KernelProgram &kernel,
 
     bool draining = false;
     Cycle exec_end = 0;
-    while (true) {
-        ++cycle_;
-        events_.runUntil(cycle_);
+    dispatchRetry_ = true;
 
-        // Dispatch blocks round-robin onto SMs with room.
-        while (!pending.empty()) {
-            Sm *target = nullptr;
-            for (auto &sm : sms_) {
-                if (sm->canAccept(kernel.warpsPerBlock()) &&
-                        (!target ||
-                         sm->freeSlots() > target->freeSlots())) {
-                    target = sm.get();
+    // Watchdog heartbeat: instructions retired, warps finished, fabric
+    // completions. Spin polls and failed issue attempts are deliberately
+    // not progress — a kernel stuck polling an unsatisfiable acquire
+    // must still trip the watchdog.
+    auto progress_now = [this]() {
+        std::uint64_t p = fabric_->completedEvents();
+        for (auto &sm : sms_)
+            p += sm->progressEvents();
+        return p;
+    };
+    std::uint64_t last_progress = progress_now();
+    Cycle last_progress_cycle = start;
+
+    while (true) {
+        // Jump the clock straight to the earliest cycle anything can
+        // happen on: a pending event, a component wake, a dispatch
+        // retry, the watchdog deadline or the requested crash point
+        // (which must fire at its exact cycle even mid-skip).
+        Cycle next = sched_.nextActivity();
+        if (!pending.empty() && dispatchRetry_)
+            next = std::min(next, sched_.now() + 1);
+        next = std::min(next,
+                        last_progress_cycle + cfg_.watchdogCycles + 1);
+        if (crash_at)
+            next = std::min(next, start + *crash_at);
+        next = std::max(next, sched_.now() + 1);
+        sched_.advanceTo(next);
+
+        // Dispatch blocks round-robin onto SMs with room. Free-slot
+        // counts only change on launch (here) and on block teardown
+        // (which sets dispatchRetry_), so skipped scans could not have
+        // found a target.
+        if (dispatchRetry_) {
+            while (!pending.empty()) {
+                Sm *target = nullptr;
+                for (auto &sm : sms_) {
+                    if (sm->canAccept(kernel.warpsPerBlock()) &&
+                            (!target ||
+                             sm->freeSlots() > target->freeSlots())) {
+                        target = sm.get();
+                    }
                 }
+                if (!target) {
+                    dispatchRetry_ = false;
+                    break;
+                }
+                target->launchBlock(kernel, pending.front());
+                pending.pop_front();
             }
-            if (!target)
-                break;
-            target->launchBlock(kernel, pending.front());
-            pending.pop_front();
         }
 
-        for (auto &sm : sms_)
-            sm->tick(cycle_);
+        for (auto &sm : sms_) {
+            if (sched_.due(sm->schedId(), next))
+                sm->tick(next);
+        }
 
-        if (crash_at && cycle_ - start >= *crash_at) {
+        if (crash_at && next - start >= *crash_at) {
             crashed_ = true;
+            settleAllSms();
             if (tbSystem_) {
-                tbSystem_->spanAt(span_name, start, cycle_, 0);
+                tbSystem_->spanAt(span_name, start, next, 0);
                 tbSystem_->instant("crash", 0);
                 sink_->flushAll();
             }
-            return LaunchResult{cycle_ - start, cycle_ - start, true};
+            return LaunchResult{next - start, next - start, true};
         }
 
-        if (pending.empty() && allIdle()) {
+        if (pending.empty() && busySms_ == 0) {
             if (!draining) {
                 draining = true;
-                exec_end = cycle_ - start;
+                exec_end = next - start;
                 for (auto &sm : sms_)
                     sm->beginDrain();
             }
-            if (allDrained() && fabric_->idle() && events_.empty())
+            if (allDrained() && fabric_->idle() &&
+                    sched_.events().empty()) {
                 break;
+            }
         }
 
-        if (cycle_ - start > cfg_.watchdogCycles) {
+        std::uint64_t progress = progress_now();
+        if (progress != last_progress) {
+            last_progress = progress;
+            last_progress_cycle = next;
+        } else if (next - last_progress_cycle > cfg_.watchdogCycles) {
             sbrp_panic("watchdog: kernel '%s' made no progress in %s "
                        "cycles (deadlock or unsatisfiable spin?)",
                        kernel.name(), cfg_.watchdogCycles);
         }
     }
 
+    settleAllSms();
     if (tbSystem_) {
         tbSystem_->spanAt(span_name, start, start + exec_end, 0);
-        tbSystem_->spanAt("drain", start + exec_end, cycle_, 1);
+        tbSystem_->spanAt("drain", start + exec_end, sched_.now(), 1);
         sink_->flushAll();
     }
-    return LaunchResult{cycle_ - start, exec_end, false};
+    return LaunchResult{sched_.now() - start, exec_end, false};
 }
 
 std::uint64_t

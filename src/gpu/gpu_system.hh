@@ -31,7 +31,7 @@
 #include "gpu/sm.hh"
 #include "mem/functional_mem.hh"
 #include "mem/nvm_device.hh"
-#include "sim/event_queue.hh"
+#include "sim/scheduler.hh"
 
 namespace sbrp
 {
@@ -39,7 +39,7 @@ namespace sbrp
 class ExecutionTrace;
 class TraceSink;
 
-class GpuSystem
+class GpuSystem : private SmObserver
 {
   public:
     struct LaunchResult
@@ -60,7 +60,8 @@ class GpuSystem
     GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
               ExecutionTrace *trace = nullptr,
               TraceSink *sink = nullptr);
-    ~GpuSystem();
+
+    ~GpuSystem() override;
 
     GpuSystem(const GpuSystem &) = delete;
     GpuSystem &operator=(const GpuSystem &) = delete;
@@ -89,14 +90,21 @@ class GpuSystem
     StatRegistry &stats() { return stats_; }
     MemoryFabric &fabric() { return *fabric_; }
     Sm &sm(SmId id) { return *sms_[id]; }
-    Cycle nowCycle() const { return cycle_; }
+    Cycle nowCycle() const { return sched_.now(); }
 
     /** Sum of a counter across all SM stat groups (e.g. Figure 8). */
     std::uint64_t sumSmStat(const std::string &counter) const;
 
   private:
-    bool allIdle() const;
     bool allDrained() const;
+
+    // --- SmObserver (event-driven launch bookkeeping) ---
+    void smIdleChanged(SmId id, bool idle) override;
+    void smSlotsFreed(SmId id) override;
+
+    /** Settles every SM's lazy accounting through the current cycle
+        (launch finalization: stats must reflect the full run). */
+    void settleAllSms();
 
     SystemConfig cfg_;
     NvmDevice &nvm_;
@@ -105,14 +113,20 @@ class GpuSystem
     TraceBuffer *tbSystem_ = nullptr;
 
     FunctionalMemory mem_;
-    EventQueue events_;
+    Scheduler sched_;
     std::unique_ptr<MemoryFabric> fabric_;
     std::vector<std::unique_ptr<Sm>> sms_;
     StatRegistry stats_;
 
     Addr gddrBump_;
-    Cycle cycle_ = 0;
     bool crashed_ = false;
+
+    /** SMs with at least one resident warp (replaces allIdle scans). */
+    std::uint32_t busySms_ = 0;
+
+    /** A dispatch attempt may succeed: set at launch entry and whenever
+        a finished block frees slots; cleared when a scan finds no room. */
+    bool dispatchRetry_ = false;
 };
 
 } // namespace sbrp

@@ -86,6 +86,7 @@ MemoryFabric::finish(std::function<void()> cb, Cycle when)
     ++inflight_;
     events_.schedule(when, [this, cb = std::move(cb)]() {
         --inflight_;
+        ++completions_;
         if (cb)
             cb();
     });

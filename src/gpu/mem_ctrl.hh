@@ -156,6 +156,14 @@ class MemoryFabric
     /** True when no request is in flight anywhere in the fabric. */
     bool idle() const { return inflight_ == 0; }
 
+    /**
+     * Monotone count of completed fabric events (read returns, persist
+     * hops and acks, writebacks). The launch loop's watchdog reads it
+     * as a liveness heartbeat: a change since the last check means the
+     * memory system is still making forward progress.
+     */
+    std::uint64_t completedEvents() const { return completions_; }
+
     /** Attach a trace buffer (MC / PCIe queue-depth counter tracks). */
     void setTrace(TraceBuffer *tb) { tb_ = tb; }
 
@@ -233,6 +241,7 @@ class MemoryFabric
     Distribution *dPersistAttempts_ = nullptr;
 
     std::uint64_t inflight_ = 0;
+    std::uint64_t completions_ = 0;
 };
 
 } // namespace sbrp

@@ -14,13 +14,16 @@ namespace sbrp
 {
 
 Sm::Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
-       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace,
-       TraceBuffer *tb)
+       FunctionalMemory &mem, Scheduler &sched, ExecutionTrace *trace,
+       TraceBuffer *tb, SmObserver *observer)
     : id_(id),
       cfg_(cfg),
       fabric_(fabric),
       mem_(mem),
-      events_(events),
+      sched_(sched),
+      events_(sched.events()),
+      schedId_(sched.registerComponent()),
+      observer_(observer),
       trace_(trace),
       tb_(tb),
       stats_("sm" + std::to_string(id)),
@@ -60,8 +63,19 @@ Sm::resumeWarp(WarpSlot slot)
 {
     Warp *w = slots_[slot].get();
     sbrp_assert(w, "resume of empty slot %s", slot);
+    // Settle before the state change; from an event callback the
+    // settle horizon is now - 1, mid-tick it is a no-op.
+    settleTo(sched_.now() - 1);
     if (w->state() == WarpState::WaitModel)
         w->setState(WarpState::Ready);
+    sched_.wakeNow(schedId_);
+}
+
+void
+Sm::noteAsyncActivity()
+{
+    settleTo(sched_.now() - 1);
+    sched_.wakeNow(schedId_);
 }
 
 std::uint32_t
@@ -83,6 +97,11 @@ Sm::launchBlock(const KernelProgram &kernel, BlockId block)
     sbrp_assert(canAccept(warps), "SM %s cannot accept block %s",
                 id_, block);
 
+    // The new warps exist from this cycle on; cycles before it settle
+    // against the pre-launch population.
+    settleTo(sched_.now() - 1);
+    const bool was_idle = residentWarps_ == 0;
+
     BlockCtx ctx;
     ctx.warps = warps;
     std::uint32_t placed = 0;
@@ -92,12 +111,16 @@ Sm::launchBlock(const KernelProgram &kernel, BlockId block)
         ThreadId first = kernel.threadOf(block, placed, 0);
         slots_[s] = std::make_unique<Warp>(&kernel.warp(block, placed),
                                            block, placed, s, id_, first);
+        slots_[s]->attachStateMasks(stateMask_.data());
         ctx.slots.push_back(s);
         ++placed;
         ++residentWarps_;
     }
     blocks_[block] = std::move(ctx);
     stats_.stat("blocks_launched").inc();
+    if (was_idle && observer_)
+        observer_->smIdleChanged(id_, false);
+    sched_.wakeNow(schedId_);
 }
 
 bool
@@ -109,7 +132,12 @@ Sm::idle() const
 void
 Sm::beginDrain()
 {
+    // Account tick-equivalent drain attempts through the current cycle
+    // first — the cycle-stepped engine ticked (and charged a blocked
+    // drain attempt) this cycle before the launch loop called us.
+    settleTo(sched_.now());
     model_->drainAll();
+    updateWake();
 }
 
 bool
@@ -121,40 +149,25 @@ Sm::drained() const
 void
 Sm::tick(Cycle now)
 {
+    // Account the skipped span first; this tick handles cycle `now`
+    // itself (its census sample below, its drain attempt in
+    // model_->tick) exactly as the cycle-stepped engine did.
+    settleTo(now - 1);
     now_ = now;
     model_->tick(now);
 
     // Scheduling census (sampled): how warps spend their cycles.
-    if ((now & 0xf) == 0)
-    for (auto &slot : slots_) {
-        Warp *w = slot.get();
-        if (!w)
-            continue;
-        switch (w->state()) {
-          case WarpState::Ready: stats_.stat("cy_ready").inc(16); break;
-          case WarpState::Busy: stats_.stat("cy_busy").inc(16); break;
-          case WarpState::WaitMem: stats_.stat("cy_mem").inc(16); break;
-          case WarpState::WaitBarrier:
-            stats_.stat("cy_barrier").inc(16);
-            break;
-          case WarpState::WaitSpin:
-            stats_.stat("cy_spin").inc(16);
-            break;
-          case WarpState::WaitModel:
-            stats_.stat("cy_model").inc(16);
-            break;
-          case WarpState::ModelRetry:
-            stats_.stat("cy_retry").inc(16);
-            break;
-          case WarpState::Finished: break;
-        }
-    }
+    if ((now & 0xf) == 0 && residentWarps_ > 0)
+        censusSample(1);
 
     // Poll spinning warps whose recheck interval elapsed.
-    for (auto &slot : slots_) {
-        Warp *w = slot.get();
-        if (w && w->state() == WarpState::WaitSpin && now >= w->nextPoll())
+    for (std::uint32_t m = stateMask(WarpState::WaitSpin); m != 0;
+            m &= m - 1) {
+        Warp *w = slots_[std::countr_zero(m)].get();
+        if (w && w->state() == WarpState::WaitSpin &&
+                now >= w->nextPoll()) {
             pollSpin(*w);
+        }
     }
 
     // Issue up to issueWidth instructions, loose round-robin over slots.
@@ -162,6 +175,14 @@ Sm::tick(Cycle now)
     std::uint32_t issued = 0;
     for (std::uint32_t i = 1; i <= n && issued < cfg_.issueWidth; ++i) {
         std::uint32_t s = (lastIssued_ + i) % n;
+        // Only these three states can satisfy issuable(); recomputed
+        // each visit because an earlier issue this cycle may have
+        // changed peers (barrier release, block teardown).
+        std::uint32_t cand = stateMask(WarpState::Ready) |
+                             stateMask(WarpState::Busy) |
+                             stateMask(WarpState::ModelRetry);
+        if (!(cand & (1u << s)))
+            continue;
         Warp *w = slots_[s].get();
         if (!w || !w->issuable(now))
             continue;
@@ -172,6 +193,76 @@ Sm::tick(Cycle now)
 
     if (tb_)
         observeWarpStates();
+
+    settledThrough_ = now;
+    updateWake();
+}
+
+void
+Sm::settleTo(Cycle through)
+{
+    if (through <= settledThrough_)
+        return;
+    // Multiples of 16 in (settledThrough_, through]: every cycle the
+    // old engine would have sampled the (unchanged-while-asleep) census.
+    std::uint64_t samples = (through >> 4) - (settledThrough_ >> 4);
+    if (samples > 0 && residentWarps_ > 0)
+        censusSample(samples);
+    // One tick-equivalent blocked-drain attempt per skipped cycle.
+    model_->accrueIdleCycles(through - settledThrough_);
+    settledThrough_ = through;
+}
+
+void
+Sm::censusSample(std::uint64_t samples)
+{
+    static constexpr struct
+    {
+        WarpState state;
+        const char *name;
+    } kCensus[] = {
+        {WarpState::Ready, "cy_ready"},
+        {WarpState::Busy, "cy_busy"},
+        {WarpState::WaitMem, "cy_mem"},
+        {WarpState::WaitBarrier, "cy_barrier"},
+        {WarpState::WaitSpin, "cy_spin"},
+        {WarpState::WaitModel, "cy_model"},
+        {WarpState::ModelRetry, "cy_retry"},
+        // Finished intentionally absent: never censused.
+    };
+    for (const auto &c : kCensus) {
+        std::uint32_t warps = std::popcount(stateMask(c.state));
+        if (warps == 0)
+            continue;
+        auto idx = static_cast<std::size_t>(c.state);
+        if (!censusStat_[idx])
+            censusStat_[idx] = &stats_.stat(c.name);
+        censusStat_[idx]->inc(16ull * warps * samples);
+    }
+}
+
+void
+Sm::updateWake()
+{
+    const Cycle base = sched_.now();
+    Cycle next = kNoEvent;
+    if (stateMask(WarpState::Ready) != 0 ||
+            model_->drainState() == DrainState::Workable) {
+        next = base + 1;
+    } else {
+        std::uint32_t timed = stateMask(WarpState::Busy) |
+                              stateMask(WarpState::ModelRetry);
+        for (std::uint32_t m = timed; m != 0; m &= m - 1) {
+            Warp *w = slots_[std::countr_zero(m)].get();
+            next = std::min(next, std::max(w->busyUntil(), base + 1));
+        }
+        for (std::uint32_t m = stateMask(WarpState::WaitSpin); m != 0;
+                m &= m - 1) {
+            Warp *w = slots_[std::countr_zero(m)].get();
+            next = std::min(next, std::max(w->nextPoll(), base + 1));
+        }
+    }
+    sched_.wakeAt(schedId_, next);
 }
 
 const char *
@@ -215,6 +306,7 @@ Sm::observeWarpStates()
 void
 Sm::finishWarp(Warp &warp)
 {
+    ++progressEvents_;
     warp.setState(WarpState::Finished);
     // Resetting the block's slots below destroys `warp` itself — read
     // its block id before it is freed.
@@ -229,6 +321,11 @@ Sm::finishWarp(Warp &warp)
         }
         blocks_.erase(block);
         stats_.stat("blocks_finished").inc();
+        if (observer_) {
+            observer_->smSlotsFreed(id_);
+            if (residentWarps_ == 0)
+                observer_->smIdleChanged(id_, true);
+        }
         return;
     }
 
@@ -317,6 +414,7 @@ Sm::executeWarp(Warp &warp)
     if (warp.effActive(in) == 0 && in.op != Op::Barrier &&
             in.op != Op::Halt && in.op != Op::Nop) {
         warp.advance();
+        ++progressEvents_;
         warp.setState(WarpState::Ready);
         if (warp.atEnd())
             finishWarp(warp);
@@ -368,6 +466,7 @@ Sm::executeWarp(Warp &warp)
 
     if (advance) {
         warp.advance();
+        ++progressEvents_;
         if (warp.state() == WarpState::ModelRetry)
             warp.setState(WarpState::Ready);
         if (warp.state() == WarpState::Ready &&
@@ -462,6 +561,7 @@ Sm::execLoad(Warp &warp, const WarpInstr &in, const std::uint32_t *no_reg)
         performAllocate(warp, line);
         mshr_[line].push_back(&warp);
         fabric_.readLine(line, now_, [this, line]() {
+            noteAsyncActivity();
             auto node = mshr_.extract(line);
             sbrp_assert(!node.empty(), "spurious read response for %s",
                         line);
@@ -477,7 +577,8 @@ Sm::execLoad(Warp &warp, const WarpInstr &in, const std::uint32_t *no_reg)
     if (anyHit) {
         warp.addOutstanding();
         Warp *wp = &warp;
-        events_.schedule(now_ + cfg_.l1HitLatency, [wp]() {
+        events_.schedule(now_ + cfg_.l1HitLatency, [this, wp]() {
+            noteAsyncActivity();
             if (wp->completeOne() && wp->state() == WarpState::WaitMem)
                 wp->setState(WarpState::Ready);
         });
@@ -560,7 +661,8 @@ Sm::execAtomic(Warp &warp, const WarpInstr &in)
     stats_.stat("atomics").inc();
     warp.addOutstanding();
     Warp *wp = &warp;
-    events_.schedule(now_ + fabric_.atomicLatency(), [wp]() {
+    events_.schedule(now_ + fabric_.atomicLatency(), [this, wp]() {
+        noteAsyncActivity();
         if (wp->completeOne() && wp->state() == WarpState::WaitMem)
             wp->setState(WarpState::Ready);
     });
@@ -723,6 +825,7 @@ Sm::pollSpin(Warp &warp)
     }
 
     warp.advance();
+    ++progressEvents_;
     warp.setState(WarpState::Ready);
     if (warp.atEnd())
         finishWarp(warp);

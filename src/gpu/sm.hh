@@ -7,6 +7,7 @@
 #ifndef SBRP_GPU_SM_HH
 #define SBRP_GPU_SM_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -20,7 +21,7 @@
 #include "gpu/l1_cache.hh"
 #include "gpu/warp.hh"
 #include "persist/model.hh"
-#include "sim/event_queue.hh"
+#include "sim/scheduler.hh"
 
 namespace sbrp
 {
@@ -30,13 +31,35 @@ class FunctionalMemory;
 class ExecutionTrace;
 class TraceBuffer;
 
-/** One SM. Owned by the GpuSystem; ticked once per cycle. */
+/** GpuSystem-side notifications for event-driven launch bookkeeping
+    (replaces the old per-cycle allIdle() / dispatch scans). */
+class SmObserver
+{
+  public:
+    virtual ~SmObserver() = default;
+
+    /** The SM's resident-warp count crossed zero (in either direction). */
+    virtual void smIdleChanged(SmId id, bool idle) = 0;
+
+    /** A finished block freed warp slots; block dispatch may now
+        succeed where the last attempt found no room. */
+    virtual void smSlotsFreed(SmId id) = 0;
+};
+
+/**
+ * One SM. Owned by the GpuSystem; ticked by the quiescence-aware
+ * scheduler only on cycles it asked to be woken at (a ready warp, a
+ * compute/backoff/spin timer, a workable drain) or was woken for by a
+ * completion callback. Sleeping is unobservable: the scheduling census
+ * and the model's blocked-drain counters are settled lazily over the
+ * skipped span (settleTo), before any state mutation.
+ */
 class Sm : public SmServices
 {
   public:
     Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
-       FunctionalMemory &mem, EventQueue &events, ExecutionTrace *trace,
-       TraceBuffer *tb = nullptr);
+       FunctionalMemory &mem, Scheduler &sched, ExecutionTrace *trace,
+       TraceBuffer *tb = nullptr, SmObserver *observer = nullptr);
     ~Sm() override;
 
     Sm(const Sm &) = delete;
@@ -47,8 +70,9 @@ class Sm : public SmServices
     MemoryFabric &fabric() override { return fabric_; }
     FunctionalMemory &mem() override { return mem_; }
     ExecutionTrace *trace() override { return trace_; }
-    Cycle now() const override { return now_; }
+    Cycle now() const override { return sched_.componentNow(); }
     void resumeWarp(WarpSlot slot) override;
+    void noteAsyncActivity() override;
 
     // --- Block management ---
     std::uint32_t freeSlots() const;
@@ -58,6 +82,21 @@ class Sm : public SmServices
 
     // --- Simulation ---
     void tick(Cycle now);
+
+    /**
+     * Brings the sampled warp-state census and the model's blocked
+     * drain counters up to date through cycle `through`, using the
+     * live (unchanged-since-last-settle) state. Called on every wake
+     * and by the launch loop before it reads final statistics.
+     */
+    void settleTo(Cycle through);
+
+    /** Wake-slot id in the scheduler (GpuSystem's due-tick filter). */
+    std::uint32_t schedId() const { return schedId_; }
+
+    /** Monotone count of forward-progress events (instructions
+        retired, warps finished); the launch watchdog's heartbeat. */
+    std::uint64_t progressEvents() const { return progressEvents_; }
 
     /** Kernel end: ask the model to flush everything buffered. */
     void beginDrain();
@@ -80,6 +119,23 @@ class Sm : public SmServices
     void executeWarp(Warp &warp);
     void finishWarp(Warp &warp);
     void pollSpin(Warp &warp);
+
+    /** Slot mask of warps currently in `state`. */
+    std::uint32_t
+    stateMask(WarpState state) const
+    {
+        return stateMask_[static_cast<std::size_t>(state)];
+    }
+
+    /** Adds `samples` census samples (16 cycles each) per resident
+        warp, bucketed by its current state. */
+    void censusSample(std::uint64_t samples);
+
+    /** Recomputes and publishes this SM's next wake cycle. Runs at the
+        end of every tick and after beginDrain. Conservative: an early
+        wake only costs a no-op tick, a late one would break exactness,
+        so any doubt rounds down to now + 1. */
+    void updateWake();
 
     /** Unique cache-line addresses referenced by an instruction.
         Returns a reference to a per-SM scratch buffer (valid until the
@@ -115,7 +171,10 @@ class Sm : public SmServices
     const SystemConfig &cfg_;
     MemoryFabric &fabric_;
     FunctionalMemory &mem_;
+    Scheduler &sched_;
     EventQueue &events_;
+    std::uint32_t schedId_;
+    SmObserver *observer_;
     ExecutionTrace *trace_;
     TraceBuffer *tb_;
 
@@ -133,6 +192,16 @@ class Sm : public SmServices
     std::uint32_t residentWarps_ = 0;
     std::vector<Addr> lineScratch_;
 
+    /** Per-state slot masks maintained by Warp::setState; the basis of
+        the census settlement, issue-scan skip and wake computation. */
+    std::array<std::uint32_t, kNumWarpStates> stateMask_{};
+
+    /** All cycles <= this are reflected in the census and the model's
+        blocked-drain counters (see settleTo). */
+    Cycle settledThrough_ = 0;
+
+    std::uint64_t progressEvents_ = 0;
+
     // Warp-state span tracking (traced runs only): the span name a slot
     // is currently inside (null = none) and when it began.
     std::vector<const char *> warpSpan_;
@@ -148,6 +217,11 @@ class Sm : public SmServices
     Stat *stVolatileStores_ = nullptr;
     Stat *stSpinPolls_ = nullptr;
     Stat *stModelRetries_ = nullptr;
+
+    /** Census counters, resolved lazily (index: WarpState) so a state
+        that never occurs creates no counter, exactly as the per-cycle
+        census did. Finished has no counter (never censused). */
+    std::array<Stat *, kNumWarpStates> censusStat_{};
 };
 
 } // namespace sbrp

@@ -34,6 +34,9 @@ enum class WarpState : std::uint8_t
 /** Static name of a warp state (logging, traces). */
 const char *toString(WarpState s);
 
+/** Number of WarpState values (size of an SM's per-state slot masks). */
+inline constexpr std::size_t kNumWarpStates = 8;
+
 /** A resident warp. Owned by its SM for the lifetime of its block. */
 class Warp
 {
@@ -41,6 +44,12 @@ class Warp
     Warp(const WarpProgram *program, BlockId block,
          std::uint32_t warp_in_block, WarpSlot slot, SmId sm,
          ThreadId first_thread);
+
+    ~Warp()
+    {
+        if (stateMasks_)
+            stateMasks_[static_cast<std::size_t>(state_)] &= ~slotBit_;
+    }
 
     // --- Identity ---
     BlockId block() const { return block_; }
@@ -58,7 +67,33 @@ class Warp
 
     // --- Scheduling state ---
     WarpState state() const { return state_; }
-    void setState(WarpState s) { state_ = s; }
+
+    void
+    setState(WarpState s)
+    {
+        if (stateMasks_) {
+            stateMasks_[static_cast<std::size_t>(state_)] &= ~slotBit_;
+            stateMasks_[static_cast<std::size_t>(s)] |= slotBit_;
+        }
+        state_ = s;
+    }
+
+    /**
+     * Attaches the owning SM's per-state slot masks (indexed by
+     * WarpState; kNumWarpStates entries). From here until destruction
+     * the warp keeps exactly one bit set — in the mask of its current
+     * state — which is what lets the SM settle the scheduling census,
+     * skip non-issuable slots, and compute its next wake cycle without
+     * scanning every slot. Standalone warps (tests) leave this unset.
+     */
+    void
+    attachStateMasks(std::uint32_t *masks)
+    {
+        stateMasks_ = masks;
+        slotBit_ = 1u << slot_;
+        stateMasks_[static_cast<std::size_t>(state_)] |= slotBit_;
+    }
+
     bool finished() const { return state_ == WarpState::Finished; }
 
     /** Ready to issue at `now` (accounts for Busy wake-up and retries). */
@@ -139,6 +174,8 @@ class Warp
     Cycle nextPoll_ = 0;
     std::uint32_t outstanding_ = 0;
     std::uint32_t live_ = 0xffffffffu;
+    std::uint32_t *stateMasks_ = nullptr;
+    std::uint32_t slotBit_ = 0;
     std::array<std::array<std::uint32_t, kNumRegs>, 32> regs_{};
 };
 

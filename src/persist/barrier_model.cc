@@ -35,6 +35,7 @@ ScopedBarrierModel::flushPmTracked(Addr line_addr)
     // Runs for faulted persists too — see PersistencyModel::flushLine.
     sm_.fabric().persistWrite(line_addr, sm_.now(),
                               [this, seq](const PersistResult &) {
+        sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
@@ -150,6 +151,7 @@ ScopedBarrierModel::publishFlags(const std::vector<ReleaseFlag> &flags,
                                       sm_.now(),
                                       [this, f, wait, slot,
                                        seq](const PersistResult &r) {
+            sm_.noteAsyncActivity();
             if (sm_.trace() && f.relId != 0 && r.ok)
                 sm_.trace()->publishRel(f.addr, f.relId);
             sm_.mem().write32(f.addr, f.value);
@@ -227,6 +229,8 @@ ScopedBarrierModel::evictPmNow(const L1Cache::Line &victim)
 void
 ScopedBarrierModel::tick(Cycle now)
 {
+    // Ack-driven like the epoch model: DrainState stays Idle and the
+    // SM sleeps between acknowledgements.
     (void)now;
 }
 

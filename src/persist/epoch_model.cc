@@ -82,6 +82,7 @@ EpochModel::flushPmTracked(Addr line_addr)
     // PersistFault record, and a stuck ACTR would deadlock the epoch.
     sm_.fabric().persistWrite(line_addr, sm_.now(),
                               [this, seq](const PersistResult &) {
+        sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
@@ -96,6 +97,7 @@ EpochModel::flushVolatileTracked(Addr line_addr)
     outstanding_.insert(seq);
     sm_.l1().invalidate(line_addr);
     sm_.fabric().volatileFlush(line_addr, sm_.now(), [this, seq]() {
+        sm_.noteAsyncActivity();
         outstanding_.erase(seq);
         onAck();
     });
@@ -199,7 +201,9 @@ EpochModel::evictPmNow(const L1Cache::Line &victim)
 void
 EpochModel::tick(Cycle now)
 {
-    (void)now;   // Acks drive all state transitions.
+    // Acks drive all state transitions, so the model reports the
+    // default DrainState::Idle and its SM may sleep between them.
+    (void)now;
 }
 
 void

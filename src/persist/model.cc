@@ -44,6 +44,7 @@ PersistencyModel::flushLine(Addr line_addr)
     // stuck would turn a bounded fault into an infinite drain stall.
     sm_.fabric().persistWrite(line_addr, sm_.now(),
                               [this](const PersistResult &) {
+        sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         onAck();

@@ -41,6 +41,15 @@ enum class HookResult : std::uint8_t
     StallComplete,  ///< Accepted; warp parks until the model resumes it.
 };
 
+/** What the model's drain engine would do if ticked right now. */
+enum class DrainState : std::uint8_t
+{
+    Idle,         ///< Nothing to drain; a tick would be a no-op.
+    Workable,     ///< A tick would make forward progress (flush/pop).
+    BlockedFsm,   ///< Head persist waits on an FSM hazard (acks).
+    BlockedActr,  ///< Head persist waits on the flush allowance.
+};
+
 /** Services the model needs from its SM. */
 class SmServices
 {
@@ -55,6 +64,16 @@ class SmServices
 
     /** Wakes a StallComplete-parked warp. */
     virtual void resumeWarp(WarpSlot slot) = 0;
+
+    /**
+     * Event-callback prologue: settles the SM's skipped-cycle
+     * accounting against the pre-event state and requests a tick at
+     * the current cycle. Every completion callback that mutates model
+     * or warp state calls this first, before touching anything — the
+     * sleep/wake contract of the quiescence-aware scheduler
+     * (docs/SIM_CORE.md). A no-op under standalone model tests.
+     */
+    virtual void noteAsyncActivity() {}
 };
 
 /** A deferred scoped-release flag publication. */
@@ -122,6 +141,25 @@ class PersistencyModel
 
     /** Per-cycle drain engine. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Scheduler probe: what would tick() do right now? Must not change
+     * observable state (counters, masks, trace). Workable obliges the
+     * SM to tick next cycle; Blocked* lets it sleep — the pending acks
+     * re-wake it through noteAsyncActivity. Models whose tick() is a
+     * no-op (epoch, scoped-barrier: every transition is ack-driven)
+     * keep the default Idle.
+     */
+    virtual DrainState drainState() { return DrainState::Idle; }
+
+    /**
+     * Settles per-tick drain bookkeeping for `n` skipped cycles. The
+     * cycle-stepped engine called tick() every cycle; a model whose
+     * drain is blocked accounts those stall counters here in bulk when
+     * its SM wakes instead. Safe because a blocked drain cannot change
+     * state during a sleep: every ack settles before mutating.
+     */
+    virtual void accrueIdleCycles(Cycle n) { (void)n; }
 
     /** Kernel-end: flush everything still buffered. */
     virtual void drainAll() = 0;

@@ -88,6 +88,7 @@ SbrpModel::flushTracked(Addr line_addr, Cycle admit)
     // and the drain engine never wedges on an injected fault.
     sm_.fabric().persistWrite(line_addr, issue,
                               [this, seq, issue](const PersistResult &) {
+        sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
@@ -114,6 +115,23 @@ SbrpModel::noteOrderingPoint(WarpMask warps)
     } else {
         fsm_ |= warps;
     }
+}
+
+bool
+SbrpModel::fsmWouldAllowFlush(WarpMask warps) const
+{
+    if (cfg_.unsafeRelaxedPersistOrder)
+        return true;
+    WarpMask hazard = warps & fsm_;
+    if (hazard.empty())
+        return true;
+    if (!cfg_.preciseFsm)
+        return actr_ == 0;
+    for (std::uint32_t w = 0; w < 32; ++w) {
+        if (hazard.test(w) && !barrierPassed(barrierSeq_[w]))
+            return false;
+    }
+    return true;
 }
 
 bool
@@ -575,6 +593,7 @@ SbrpModel::publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
                                       issue,
                                       [this, f, wait, seq,
                                        issue](const PersistResult &r) {
+            sm_.noteAsyncActivity();
             dAckLatency_->record(sm_.now() - issue);
             // Publish even when the persist faulted: acquirers spinning
             // on the flag must not hang, and the PersistFault record
@@ -626,6 +645,44 @@ SbrpModel::tick(Cycle now)
 {
     (void)now;
     drain();
+}
+
+DrainState
+SbrpModel::drainState()
+{
+    // head() may canonicalize away already-invalidated front entries;
+    // that is its only side effect and it is unobservable (the next
+    // drain() would perform it anyway, and it touches no counters).
+    PersistBuffer::Entry *h = pb_.head();
+    if (!h)
+        return DrainState::Idle;
+    if (h->type != PbType::Persist)
+        return DrainState::Workable;   // Ordering markers always pop.
+    if (!fsmWouldAllowFlush(h->warps))
+        return DrainState::BlockedFsm;
+    if (h->id > drainUntil_ && actr_ >= allowance())
+        return DrainState::BlockedActr;
+    return DrainState::Workable;
+}
+
+void
+SbrpModel::accrueIdleCycles(Cycle n)
+{
+    // One blocked drain attempt per skipped tick, exactly as the
+    // cycle-stepped engine accumulated them. Workable never persists
+    // across a sleep (the SM ticks next cycle instead), and Idle ticks
+    // touched nothing.
+    switch (drainState()) {
+      case DrainState::BlockedFsm:
+        stFsmBlockCycles_->inc(n);
+        break;
+      case DrainState::BlockedActr:
+        stActrBlockCycles_->inc(n);
+        break;
+      case DrainState::Idle:
+      case DrainState::Workable:
+        break;
+    }
 }
 
 void

@@ -57,6 +57,8 @@ class SbrpModel : public PersistencyModel
     void tick(Cycle now) override;
     void drainAll() override;
     bool drained() const override;
+    DrainState drainState() override;
+    void accrueIdleCycles(Cycle n) override;
 
     /** Propagates the trace buffer into the PB's occupancy track. */
     void setTraceBuffer(TraceBuffer *tb) override;
@@ -129,6 +131,11 @@ class SbrpModel : public PersistencyModel
      * FSM bits whose hazard has passed.
      */
     bool fsmAllowsFlush(WarpMask warps);
+
+    /** Pure twin of fsmAllowsFlush(): same verdict, no FSM clearing
+        (passed bits evaluate the same whether or not they were swept).
+        Used by the drainState() scheduler probe. */
+    bool fsmWouldAllowFlush(WarpMask warps) const;
 
     /** Settles pending durability groups whose barrier passed. */
     void settlePending();

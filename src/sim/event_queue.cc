@@ -1,6 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <limits>
 #include <utility>
 
 namespace sbrp
@@ -28,7 +27,7 @@ Cycle
 EventQueue::nextEventCycle() const
 {
     if (heap_.empty())
-        return std::numeric_limits<Cycle>::max();
+        return kNoEvent;
     return heap_.top().when;
 }
 

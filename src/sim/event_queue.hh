@@ -33,7 +33,7 @@ class EventQueue
     /** Runs every event scheduled at or before `now`. */
     void runUntil(Cycle now);
 
-    /** Cycle of the earliest pending event; ~0ull when empty. */
+    /** Cycle of the earliest pending event; kNoEvent when empty. */
     Cycle nextEventCycle() const;
 
     bool empty() const { return heap_.empty(); }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Quiescence-aware simulation scheduler: owns the clock, the event
+ * queue, and per-component wake requests.
+ *
+ * The engine is a hybrid of cycle-stepping and discrete events. Each
+ * wakeable component (an SM) publishes the next cycle it needs to be
+ * ticked at — a ready warp next cycle, a compute/backoff timer, a spin
+ * recheck, a workable persist-buffer drain — or kNoEvent to sleep until
+ * something wakes it. The launch loop advances the clock straight to
+ * the earliest pending activity instead of spinning through idle
+ * cycles, and ticks only the components whose wake is due.
+ *
+ * Cycle-exactness contract (docs/SIM_CORE.md): sleeping must be
+ * unobservable. A component may only sleep through cycles where its
+ * tick would have had no side effect beyond bulk-accountable counters,
+ * and every event callback that mutates component state must first
+ * settle that accounting and request a wake at the current cycle
+ * (SmServices::noteAsyncActivity). Spurious (early) wakes are always
+ * safe — the cycle-stepped engine ticked everything every cycle — so
+ * components round wake estimates down, never up.
+ */
+
+#ifndef SBRP_SIM_SCHEDULER_HH
+#define SBRP_SIM_SCHEDULER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace sbrp
+{
+
+class Scheduler
+{
+  public:
+    /** Registers a wakeable component; returns its wake-slot id.
+        Components start asleep (kNoEvent). */
+    std::uint32_t
+    registerComponent()
+    {
+        wakes_.push_back(kNoEvent);
+        return static_cast<std::uint32_t>(wakes_.size() - 1);
+    }
+
+    /** The shared delayed-callback queue (memory responses, acks). */
+    EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
+
+    Cycle now() const { return now_; }
+
+    /** Address of the clock, for TraceSink::setClock. */
+    const Cycle *clockPtr() const { return &now_; }
+
+    /**
+     * The cycle a component should treat as "now". Inside event
+     * callbacks this is now_ - 1: the cycle-stepped engine ran the
+     * event phase before refreshing per-SM clocks, so timestamps taken
+     * inside callbacks lag the wall clock by one cycle. Preserving the
+     * lag keeps the quiescence-aware engine cycle-exact.
+     */
+    Cycle componentNow() const { return inEvents_ ? now_ - 1 : now_; }
+
+    /** Sets a component's absolute wake cycle (kNoEvent: sleep). */
+    void wakeAt(std::uint32_t id, Cycle when) { wakes_[id] = when; }
+
+    /** Requests a wake no later than the current cycle. */
+    void
+    wakeNow(std::uint32_t id)
+    {
+        wakes_[id] = std::min(wakes_[id], now_);
+    }
+
+    /** Is the component's wake due at `cycle`? */
+    bool
+    due(std::uint32_t id, Cycle cycle) const
+    {
+        return wakes_[id] <= cycle;
+    }
+
+    /** Earliest pending activity: next event or component wake
+        (kNoEvent when fully quiescent). */
+    Cycle
+    nextActivity() const
+    {
+        Cycle next = events_.nextEventCycle();
+        for (Cycle w : wakes_)
+            next = std::min(next, w);
+        return next;
+    }
+
+    /** Advances the clock to `cycle` and runs the due events. */
+    void
+    advanceTo(Cycle cycle)
+    {
+        now_ = cycle;
+        inEvents_ = true;
+        events_.runUntil(cycle);
+        inEvents_ = false;
+    }
+
+  private:
+    EventQueue events_;
+    std::vector<Cycle> wakes_;
+    Cycle now_ = 0;
+    bool inEvents_ = false;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_SIM_SCHEDULER_HH

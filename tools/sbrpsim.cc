@@ -13,6 +13,7 @@
  *   sbrpsim --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -270,7 +271,12 @@ main(int argc, char **argv)
             GpuSystem gpu(cfg, nvm, nullptr,
                           trace_path.empty() ? nullptr : &sink);
             app->setupGpu(gpu);
-            gpu.launch(app->forward());
+            auto wall0 = std::chrono::steady_clock::now();
+            auto launch_res = gpu.launch(app->forward());
+            auto wall1 = std::chrono::steady_clock::now();
+            double wall_ms =
+                std::chrono::duration<double, std::milli>(wall1 - wall0)
+                    .count();
             if (dump_stats) {
                 std::printf("\n--- statistics ---\n%s",
                             gpu.stats().dump().c_str());
@@ -283,6 +289,23 @@ main(int argc, char **argv)
                     return 2;
                 }
                 std::string json = gpu.stats().dumpJson();
+                // Host-side throughput of this run, spliced in next to
+                // the schema version (simulation counters stay pure).
+                char host[160];
+                std::snprintf(host, sizeof host,
+                              ",\n  \"host_wall_ms\": %.3f,"
+                              "\n  \"sim_cycles_per_sec\": %.0f",
+                              wall_ms,
+                              wall_ms > 0.0
+                                  ? static_cast<double>(
+                                        launch_res.cycles) *
+                                        1e3 / wall_ms
+                                  : 0.0);
+                std::string::size_type at =
+                    json.find("\"schema_version\": 1");
+                if (at != std::string::npos)
+                    json.insert(at + std::strlen("\"schema_version\": 1"),
+                                host);
                 std::fwrite(json.data(), 1, json.size(), f);
                 std::fclose(f);
                 std::printf("statistics JSON: %s\n",

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * cycle_breakdown — the cycle-attribution matrix behind the paper's
+ * "where do the cycles go" discussion, and the perf-regression gate's
+ * primary input.
+ *
+ * Runs every requested app under every model/design combination
+ * (crash-free, test scale), harvests the GpuSystem's exact cycle
+ * ledger, re-checks the ledger's sum invariants, and writes a flat
+ * metric map (BENCH_cycle_breakdown.json) that tools/bench_diff.py
+ * compares against the committed baseline in tests/golden/. Every
+ * metric here is a simulated quantity — deterministic run-to-run — so
+ * the diff gate treats any drift as a regression (or an intentional
+ * timing change that must re-baseline).
+ *
+ * Usage:
+ *   cycle_breakdown [--apps Red,Scan,MQ] [--out BENCH_cycle_breakdown.json]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/registry.hh"
+#include "common/config.hh"
+#include "gpu/cycle_ledger.hh"
+#include "gpu/gpu_system.hh"
+#include "mem/nvm_device.hh"
+
+using namespace sbrp;
+
+namespace
+{
+
+struct Combo
+{
+    ModelKind model;
+    SystemDesign design;
+    const char *name;
+};
+
+const Combo kCombos[] = {
+    {ModelKind::Sbrp, SystemDesign::PmNear, "sbrp/near"},
+    {ModelKind::Sbrp, SystemDesign::PmFar, "sbrp/far"},
+    {ModelKind::Epoch, SystemDesign::PmNear, "epoch/near"},
+    {ModelKind::Epoch, SystemDesign::PmFar, "epoch/far"},
+    {ModelKind::Gpm, SystemDesign::PmFar, "gpm/far"},
+    {ModelKind::ScopedBarrier, SystemDesign::PmNear, "barrier/near"},
+    {ModelKind::ScopedBarrier, SystemDesign::PmFar, "barrier/far"},
+};
+
+std::vector<std::string>
+splitApps(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> apps = appRegistryNames();
+    std::string out_path = "BENCH_cycle_breakdown.json";
+    bool bench_scale = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--apps" && i + 1 < argc) {
+            apps = splitApps(argv[++i]);
+        } else if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (a == "--scale" && i + 1 < argc) {
+            bench_scale = std::string(argv[++i]) == "b";
+        } else if (a == "--help" || a == "-h") {
+            std::printf(
+                "cycle_breakdown — exact cycle-attribution matrix\n\n"
+                "  --apps <a,b,..>  comma-separated app subset\n"
+                "                   (default: all registered apps)\n"
+                "  --out <f>        metrics JSON for tools/bench_diff.py\n"
+                "                   (default BENCH_cycle_breakdown.json)\n"
+                "  --scale <t|b>    workload scale: test or bench\n"
+                "                   (default t)\n"
+                "  --help, -h       print this listing and exit\n");
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "cycle_breakdown: unknown option '%s'\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+
+    std::printf("%-8s %-13s %12s %12s %12s  top categories\n", "app",
+                "config", "sim_cycles", "warp_cycles", "drain_cycles");
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"cycle_breakdown\"";
+    for (const Combo &c : kCombos) {
+        for (const std::string &name : apps) {
+            auto app = makeRegisteredApp(name, c.model, bench_scale);
+            if (!app) {
+                std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+                return 2;
+            }
+            SystemConfig cfg =
+                SystemConfig::testDefault(c.model, c.design);
+            NvmDevice nvm;
+            app->setupNvm(nvm);
+            GpuSystem gpu(cfg, nvm);
+            app->setupGpu(gpu);
+            auto res = gpu.launch(app->forward());
+            if (!app->verify(nvm)) {
+                std::fprintf(stderr, "%s/%s: durable state WRONG\n",
+                             name.c_str(), c.name);
+                return 1;
+            }
+            auto bd = gpu.cycleBreakdown();
+
+            // The tentpole invariants, re-checked on every cell: warp
+            // categories sum to the warp-active tally, and the drain
+            // categories cover each SM's share of the drain window.
+            if (bd.warpCycles() != bd.warpActiveCycles) {
+                std::fprintf(stderr,
+                             "%s/%s: warp ledger broke: %llu != %llu\n",
+                             name.c_str(), c.name,
+                             static_cast<unsigned long long>(
+                                 bd.warpCycles()),
+                             static_cast<unsigned long long>(
+                                 bd.warpActiveCycles));
+                return 1;
+            }
+            std::uint64_t drain_window =
+                static_cast<std::uint64_t>(cfg.numSms) *
+                (res.cycles - res.execCycles);
+            if (bd.drainCycles() != drain_window) {
+                std::fprintf(stderr,
+                             "%s/%s: drain ledger broke: %llu != %llu\n",
+                             name.c_str(), c.name,
+                             static_cast<unsigned long long>(
+                                 bd.drainCycles()),
+                             static_cast<unsigned long long>(
+                                 drain_window));
+                return 1;
+            }
+
+            // Two biggest categories for the human-readable row.
+            std::size_t top1 = 0, top2 = 0;
+            for (std::size_t k = 1; k < kNumCycleCats; ++k) {
+                if (bd.cycles[k] > bd.cycles[top1]) {
+                    top2 = top1;
+                    top1 = k;
+                } else if (bd.cycles[k] > bd.cycles[top2] || top2 == top1) {
+                    top2 = k;
+                }
+            }
+            std::printf("%-8s %-13s %12llu %12llu %12llu  %s %s\n",
+                        name.c_str(), c.name,
+                        static_cast<unsigned long long>(res.cycles),
+                        static_cast<unsigned long long>(bd.warpCycles()),
+                        static_cast<unsigned long long>(
+                            bd.drainCycles()),
+                        toString(static_cast<CycleCat>(top1)),
+                        toString(static_cast<CycleCat>(top2)));
+
+            std::string key = name + "/" + c.name;
+            json << ",\n  \"" << key << "/sim_cycles\": " << res.cycles;
+            json << ",\n  \"" << key << "/exec_cycles\": "
+                 << res.execCycles;
+            json << ",\n  \"" << key << "/warp_active_cycles\": "
+                 << bd.warpActiveCycles;
+            for (std::size_t k = 0; k < kNumCycleCats; ++k) {
+                json << ",\n  \"" << key << "/"
+                     << toString(static_cast<CycleCat>(k))
+                     << "\": " << bd.cycles[k];
+            }
+        }
+    }
+    json << "\n}\n";
+    std::ofstream os(out_path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        return 2;
+    }
+    os << json.str();
+    std::printf("\nmetrics JSON: %s\n", out_path.c_str());
+    return 0;
+}

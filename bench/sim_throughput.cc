@@ -9,20 +9,36 @@
  * loop burned host time ticking idle SMs through persist-drain and
  * memory-stall spans that the sleep/wake engine skips in one jump.
  *
+ * Also reports persist-ack latency percentiles (p50/p95/p99 of the
+ * SBRP model's per-SM persist_ack_cycles histograms, pooled): simulated
+ * quantities, so they double as regression-gate metrics next to
+ * sim_cycles. Models without buffered acks show "-".
+ *
  * Plain chrono timing (no google-benchmark): a simulation run is
  * deterministic, so one warm-up plus a few timed repeats is enough, and
  * the binary stays usable in CI without benchmark-framework filtering.
  * Numbers are recorded in EXPERIMENTS.md ("Simulator throughput").
+ *
+ * Usage:
+ *   sim_throughput [--apps Red,Scan,MQ] [--json out.json]
+ *
+ * --json writes a flat metric map consumed by tools/bench_diff.py:
+ * cycle/percentile metrics are exact (deterministic), *_per_sec metrics
+ * are host-dependent and advisory.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/app.hh"
 #include "apps/registry.hh"
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "gpu/gpu_system.hh"
 #include "mem/nvm_device.hh"
 
@@ -50,12 +66,18 @@ const Combo kCombos[] = {
 
 constexpr int kRepeats = 3;
 
-/** One timed simulation; returns (cycles, best-of-repeats seconds). */
-std::pair<std::uint64_t, double>
-timeOne(const std::string &app_name, const Combo &c)
+struct RunResult
 {
     std::uint64_t cycles = 0;
-    double best = 1e100;
+    double best = 1e100;       ///< Best-of-repeats wall seconds.
+    Distribution ack;          ///< Pooled per-SM persist-ack latency.
+};
+
+/** One timed simulation (warm-up + kRepeats). */
+RunResult
+timeOne(const std::string &app_name, const Combo &c)
+{
+    RunResult r;
     for (int rep = 0; rep < kRepeats + 1; ++rep) {   // +1 warm-up.
         auto app = makeRegisteredApp(app_name, c.model);
         SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
@@ -71,37 +93,128 @@ timeOne(const std::string &app_name, const Combo &c)
                          app_name.c_str(), c.name);
             std::exit(1);
         }
-        cycles = res.cycles;
+        r.cycles = res.cycles;
         double s = std::chrono::duration<double>(t1 - t0).count();
         if (rep > 0)
-            best = std::min(best, s);
+            r.best = std::min(r.best, s);
+        if (rep == kRepeats) {   // Deterministic: any rep would do.
+            r.ack.reset();
+            for (SmId i = 0; i < cfg.numSms; ++i) {
+                const Distribution *d =
+                    gpu.sm(i).stats().findDist("persist_ack_cycles");
+                if (d)
+                    r.ack.merge(*d);
+            }
+        }
     }
-    return {cycles, best};
+    return r;
+}
+
+std::vector<std::string>
+splitApps(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("%-8s %-13s %12s %12s %12s\n", "app", "config",
-                "sim_cycles", "Mcycles/s", "launches/s");
-    double total_cycles = 0, total_secs = 0;
-    for (const Combo &c : kCombos) {
-        for (const std::string &name : appRegistryNames()) {
-            auto [cycles, secs] = timeOne(name, c);
-            total_cycles += static_cast<double>(cycles);
-            total_secs += secs;
-            std::printf("%-8s %-13s %12llu %12.2f %12.1f\n",
-                        name.c_str(), c.name,
-                        static_cast<unsigned long long>(cycles),
-                        static_cast<double>(cycles) / secs / 1e6,
-                        1.0 / secs);
+    std::vector<std::string> apps = appRegistryNames();
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--apps" && i + 1 < argc) {
+            apps = splitApps(argv[++i]);
+        } else if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (a == "--help" || a == "-h") {
+            std::printf(
+                "sim_throughput — simulator throughput benchmark\n\n"
+                "  --apps <a,b,..>  comma-separated app subset\n"
+                "                   (default: all registered apps)\n"
+                "  --json <f>       write a flat metric map for\n"
+                "                   tools/bench_diff.py\n"
+                "  --help, -h       print this listing and exit\n");
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "sim_throughput: unknown option '%s'\n", a.c_str());
+            return 2;
         }
     }
+
+    std::printf("%-8s %-13s %12s %12s %12s %8s %8s %8s\n", "app",
+                "config", "sim_cycles", "Mcycles/s", "launches/s",
+                "ack_p50", "ack_p95", "ack_p99");
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"sim_throughput\"";
+    double total_cycles = 0, total_secs = 0;
+    for (const Combo &c : kCombos) {
+        for (const std::string &name : apps) {
+            RunResult r = timeOne(name, c);
+            total_cycles += static_cast<double>(r.cycles);
+            total_secs += r.best;
+            char p50[24] = "-", p95[24] = "-", p99[24] = "-";
+            if (r.ack.count() > 0) {
+                std::snprintf(p50, sizeof p50, "%llu",
+                              static_cast<unsigned long long>(
+                                  r.ack.p50()));
+                std::snprintf(p95, sizeof p95, "%llu",
+                              static_cast<unsigned long long>(
+                                  r.ack.p95()));
+                std::snprintf(p99, sizeof p99, "%llu",
+                              static_cast<unsigned long long>(
+                                  r.ack.p99()));
+            }
+            std::printf("%-8s %-13s %12llu %12.2f %12.1f %8s %8s %8s\n",
+                        name.c_str(), c.name,
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<double>(r.cycles) / r.best / 1e6,
+                        1.0 / r.best, p50, p95, p99);
+            std::string key = name + "/" + c.name;
+            json << ",\n  \"" << key << "/sim_cycles\": " << r.cycles;
+            char host[64];
+            std::snprintf(host, sizeof host, "%.2f",
+                          static_cast<double>(r.cycles) / r.best / 1e6);
+            json << ",\n  \"" << key << "/mcycles_per_sec\": " << host;
+            std::snprintf(host, sizeof host, "%.1f", 1.0 / r.best);
+            json << ",\n  \"" << key << "/launches_per_sec\": " << host;
+            if (r.ack.count() > 0) {
+                json << ",\n  \"" << key << "/ack_p50\": " << r.ack.p50()
+                     << ",\n  \"" << key << "/ack_p95\": " << r.ack.p95()
+                     << ",\n  \"" << key << "/ack_p99\": " << r.ack.p99();
+            }
+        }
+    }
+    json << "\n}\n";
     std::printf("\naggregate: %.2f Mcycles/s over %.0f simulated cycles "
                 "(%.3f s host)\n",
                 total_cycles / total_secs / 1e6, total_cycles,
                 total_secs);
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 2;
+        }
+        os << json.str();
+        std::printf("metrics JSON: %s\n", json_path.c_str());
+    }
     return 0;
 }

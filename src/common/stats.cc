@@ -19,40 +19,54 @@ Distribution::record(std::uint64_t v)
     max_ = std::max(max_, v);
 }
 
-namespace
-{
-
-/** Midpoint of bucket b's value range (bucket 0 holds only 0). */
-std::uint64_t
-bucketMid(std::uint32_t b)
-{
-    if (b == 0)
-        return 0;
-    std::uint64_t lo = 1ull << (b - 1);
-    std::uint64_t hi = b >= 64 ? ~0ull : (1ull << b) - 1;
-    return lo + (hi - lo) / 2;
-}
-
-} // namespace
-
 std::uint64_t
 Distribution::percentile(double p) const
 {
     if (count_ == 0)
         return 0;
+    if (p >= 1.0)
+        return max_;
     p = std::clamp(p, 0.0, 1.0);
     auto target = static_cast<std::uint64_t>(p * count_ + 0.5);
     if (target == 0)
         target = 1;
     std::uint64_t seen = 0;
     for (std::uint32_t b = 0; b < kBuckets; ++b) {
-        seen += buckets_[b];
-        if (seen >= target) {
-            // Clamp the midpoint estimate into the observed range.
-            return std::clamp(bucketMid(b), min(), max());
+        if (buckets_[b] == 0)
+            continue;
+        if (seen + buckets_[b] < target) {
+            seen += buckets_[b];
+            continue;
         }
+        // Interpolate by rank within the bucket's value range, treating
+        // its samples as evenly spread (rank k of n sits at the
+        // (k - 0.5)/n point). Bucket 0 holds only the value 0.
+        if (b == 0)
+            return std::clamp<std::uint64_t>(0, min(), max());
+        std::uint64_t lo = 1ull << (b - 1);
+        std::uint64_t hi = b >= 64 ? ~0ull : (1ull << b) - 1;
+        std::uint64_t k = target - seen;                // 1-based rank.
+        double frac = (static_cast<double>(k) - 0.5) /
+                      static_cast<double>(buckets_[b]);
+        auto v = lo + static_cast<std::uint64_t>(
+                          static_cast<double>(hi - lo) * frac + 0.5);
+        // Clamp the estimate into the observed range.
+        return std::clamp(v, min(), max());
     }
     return max_;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::uint32_t b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
 }
 
 void
@@ -158,7 +172,8 @@ StatRegistry::dump() const
             oss << g->name() << "." << kv.first << " count=" << d.count()
                 << " min=" << d.min() << " max=" << d.max() << " mean=";
             formatDouble(oss, d.mean());
-            oss << " p50=" << d.p50() << " p99=" << d.p99() << "\n";
+            oss << " p50=" << d.p50() << " p95=" << d.p95()
+                << " p99=" << d.p99() << "\n";
         }
     }
     return oss.str();
@@ -171,7 +186,9 @@ StatRegistry::dumpJson() const
     // enforces that — jsonQuote keeps the output well-formed even if a
     // name ever carries quotes or control characters.
     std::ostringstream oss;
-    oss << "{\n  \"schema_version\": 1";
+    // Version 2: distributions gained p95 (interpolated percentiles)
+    // and `sbrpsim --stats-json` splices in a cycle_breakdown section.
+    oss << "{\n  \"schema_version\": 2";
     for (const auto *g : sortedGroups(groups_)) {
         oss << ",";
         oss << "\n  " << jsonQuote(g->name()) << ": {";
@@ -196,8 +213,8 @@ StatRegistry::dumpJson() const
                 << d.count() << ", \"min\": " << d.min()
                 << ", \"max\": " << d.max() << ", \"mean\": ";
             formatDouble(oss, d.mean());
-            oss << ", \"p50\": " << d.p50() << ", \"p99\": " << d.p99()
-                << "}";
+            oss << ", \"p50\": " << d.p50() << ", \"p95\": " << d.p95()
+                << ", \"p99\": " << d.p99() << "}";
         }
         oss << (first ? "}" : "\n  }");
     }

@@ -41,8 +41,9 @@ class Stat
  * A log2-bucketed histogram of 64-bit samples (latencies, batch sizes,
  * occupancies). Bucket i >= 1 holds values with bit_width i, i.e.
  * [2^(i-1), 2^i - 1]; bucket 0 holds the value 0. Recording is O(1) and
- * allocation-free; percentiles are approximate (bucket midpoint), which
- * is plenty for "where do the cycles go" reporting.
+ * allocation-free; percentiles are approximate (rank-interpolated within
+ * the log2 bucket), which is plenty for "where do the cycles go"
+ * reporting.
  */
 class Distribution
 {
@@ -59,16 +60,24 @@ class Distribution
     { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
 
     /**
-     * Approximate p-quantile (p in [0,1]): the representative value —
-     * the bucket's midpoint — of the first bucket where the cumulative
-     * count reaches p * count(). p50()/p99() are the common shorthands.
+     * Approximate p-quantile (p in [0,1]): finds the first bucket where
+     * the cumulative count reaches round(p * count()) and interpolates
+     * linearly within the bucket's value range by the sample's rank, so
+     * nearby quantiles inside one log2 bucket stay ordered instead of
+     * collapsing onto the midpoint. Clamped into [min, max]; p >= 1 is
+     * exactly max(). p50()/p95()/p99() are the common shorthands.
      */
     std::uint64_t percentile(double p) const;
     std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
     std::uint64_t p99() const { return percentile(0.99); }
 
     std::uint64_t bucketCount(std::uint32_t b) const
     { return buckets_[b]; }
+
+    /** Pools another histogram's samples into this one (exact: buckets,
+        count, sum and extrema all add/combine losslessly). */
+    void merge(const Distribution &other);
 
     void reset();
 
@@ -137,7 +146,7 @@ class StatRegistry
     /**
      * The whole registry as a JSON object: one key per group (sorted),
      * non-zero counters as numbers and non-empty distributions as
-     * {count,min,max,mean,p50,p99} objects.
+     * {count,min,max,mean,p50,p95,p99} objects.
      */
     std::string dumpJson() const;
 

@@ -185,6 +185,8 @@ CampaignEngine::run()
     group_.stat("verdict_fail").set(result.failures);
     std::uint64_t formalFails = 0, recoveryFails = 0;
     std::uint64_t persistFaults = result.probe.cleanPersistFaults;
+    std::array<std::uint64_t, kNumCycleCats> ledger{};
+    std::uint64_t ledgerWarpActive = 0;
     for (const CrashVerdict &v : result.verdicts) {
         if (!v.executed)
             continue;
@@ -193,10 +195,24 @@ CampaignEngine::run()
         if (!v.recoveredOk)
             ++recoveryFails;
         persistFaults += v.persistFaults;
+        for (std::size_t c = 0; c < kNumCycleCats; ++c)
+            ledger[c] += v.ledgerCycles[c];
+        ledgerWarpActive += v.ledgerWarpActive;
     }
     group_.stat("formal_fail").set(formalFails);
     group_.stat("recovery_fail").set(recoveryFails);
     group_.stat("persist_faults").set(persistFaults);
+    // Cycle attribution summed over every executed crash + recovery
+    // run. Verdicts are pure functions of their crash point, so these
+    // counters are identical at any --jobs value.
+    for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+        if (ledger[c] != 0) {
+            group_.stat(std::string("ledger_") +
+                        toString(static_cast<CycleCat>(c))).set(ledger[c]);
+        }
+    }
+    if (ledgerWarpActive != 0)
+        group_.stat("ledger_warp_active_cycles").set(ledgerWarpActive);
     group_.stat("budget_truncated").set(result.budgetTruncated ? 1 : 0);
     group_.stat("wall_truncated").set(result.wallTruncated ? 1 : 0);
     group_.stat("jobs").set(jobs);

@@ -71,6 +71,10 @@ ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
         auto res = gpu.launch(app_->forward(), crash_at);
         v.crashed = res.crashed;
         v.persistFaults = gpu.fabric().persistFaults().size();
+        auto bd = gpu.cycleBreakdown();
+        for (std::size_t c = 0; c < kNumCycleCats; ++c)
+            v.ledgerCycles[c] += bd.cycles[c];
+        v.ledgerWarpActive += bd.warpActiveCycles;
     }   // Power failure: caches, PBs and WPQs are gone.
 
     {
@@ -86,6 +90,10 @@ ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
         app_->setupGpu(gpu);
         gpu.launch(app_->recovery());
         v.persistFaults += gpu.fabric().persistFaults().size();
+        auto bd = gpu.cycleBreakdown();
+        for (std::size_t c = 0; c < kNumCycleCats; ++c)
+            v.ledgerCycles[c] += bd.cycles[c];
+        v.ledgerWarpActive += bd.warpActiveCycles;
     }
     v.recoveredOk = app_->verifyRecovered(live_);
     return v;

@@ -25,6 +25,7 @@
 #ifndef SBRP_CRASHTEST_SCENARIO_HH
 #define SBRP_CRASHTEST_SCENARIO_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,6 +33,7 @@
 #include "apps/app.hh"
 #include "common/config.hh"
 #include "crashtest/crash_points.hh"
+#include "gpu/cycle_ledger.hh"
 #include "mem/nvm_device.hh"
 
 namespace sbrp
@@ -71,6 +73,12 @@ struct CrashVerdict
         Under fault injection these mean data was silently at risk:
         a passing verdict requires every fault to have retired. */
     std::uint64_t persistFaults = 0;
+
+    /** Cycle-attribution totals summed over the crashed run and the
+        recovery run (all SMs). A pure function of the crash point, so
+        campaign aggregates are --jobs-invariant. */
+    std::array<std::uint64_t, kNumCycleCats> ledgerCycles{};
+    std::uint64_t ledgerWarpActive = 0;
 
     bool
     pass() const

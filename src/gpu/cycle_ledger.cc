@@ -1,0 +1,144 @@
+#include "gpu/cycle_ledger.hh"
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace sbrp
+{
+
+const char *
+toString(CycleCat c)
+{
+    switch (c) {
+      case CycleCat::Compute: return "compute";
+      case CycleCat::Ready: return "ready";
+      case CycleCat::MemLatency: return "mem_latency";
+      case CycleCat::Barrier: return "barrier";
+      case CycleCat::SpinAcquire: return "spin_acquire";
+      case CycleCat::OdmStall: return "odm_stall";
+      case CycleCat::EdmStall: return "edm_stall";
+      case CycleCat::FenceDrain: return "fence_drain";
+      case CycleCat::PbDrain: return "pb_drain";
+      case CycleCat::FsmFlushWait: return "fsm_flush_wait";
+      case CycleCat::ActrWait: return "actr_wait";
+      case CycleCat::PcieBacklog: return "pcie_backlog";
+      case CycleCat::WpqFull: return "wpq_full";
+      case CycleCat::SchedulerIdle: return "scheduler_idle";
+    }
+    return "?";
+}
+
+const char *
+shortName(CycleCat c)
+{
+    switch (c) {
+      case CycleCat::Compute: return "comp";
+      case CycleCat::Ready: return "ready";
+      case CycleCat::MemLatency: return "mem";
+      case CycleCat::Barrier: return "barr";
+      case CycleCat::SpinAcquire: return "spin";
+      case CycleCat::OdmStall: return "odm";
+      case CycleCat::EdmStall: return "edm";
+      case CycleCat::FenceDrain: return "fence";
+      case CycleCat::PbDrain: return "pbdr";
+      case CycleCat::FsmFlushWait: return "fsm";
+      case CycleCat::ActrWait: return "actr";
+      case CycleCat::PcieBacklog: return "pcie";
+      case CycleCat::WpqFull: return "wpq";
+      case CycleCat::SchedulerIdle: return "idle";
+    }
+    return "?";
+}
+
+CycleLedger::CycleLedger(std::uint32_t warp_slots) : slots_(warp_slots)
+{
+}
+
+void
+CycleLedger::beginWarp(WarpSlot slot, Cycle now)
+{
+    Slot &s = slots_[slot];
+    sbrp_assert(!s.active, "ledger: slot %s already active", slot);
+    s.since = now;
+    s.start = now;
+    s.cat = CycleCat::Ready;
+    s.active = true;
+}
+
+void
+CycleLedger::warpTransition(WarpSlot slot, CycleCat to, Cycle now)
+{
+    Slot &s = slots_[slot];
+    sbrp_assert(s.active, "ledger: transition on inactive slot %s", slot);
+    sbrp_assert(now >= s.since, "ledger: clock went backwards");
+    cat_[static_cast<std::size_t>(s.cat)] += now - s.since;
+    s.since = now;
+    s.cat = to;
+}
+
+void
+CycleLedger::endWarp(WarpSlot slot, Cycle now)
+{
+    Slot &s = slots_[slot];
+    sbrp_assert(s.active, "ledger: end on inactive slot %s", slot);
+    sbrp_assert(now >= s.since, "ledger: clock went backwards");
+    cat_[static_cast<std::size_t>(s.cat)] += now - s.since;
+    warpActiveCycles_ += now - s.start;
+    s.active = false;
+}
+
+void
+CycleLedger::settleWarps(Cycle now)
+{
+    for (Slot &s : slots_) {
+        if (!s.active)
+            continue;
+        sbrp_assert(now >= s.since, "ledger: clock went backwards");
+        cat_[static_cast<std::size_t>(s.cat)] += now - s.since;
+        warpActiveCycles_ += now - s.start;
+        s.since = now;
+        s.start = now;
+    }
+}
+
+void
+CycleLedger::accrueDrain(CycleCat cat, std::uint64_t cycles)
+{
+    sbrp_assert(!isWarpCategory(cat),
+                "ledger: drain accrual into warp category %s",
+                toString(cat));
+    cat_[static_cast<std::size_t>(cat)] += cycles;
+}
+
+std::uint64_t
+CycleLedger::warpCycles() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < kFirstDrainCat; ++c)
+        sum += cat_[c];
+    return sum;
+}
+
+std::uint64_t
+CycleLedger::drainCycles() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t c = kFirstDrainCat; c < kNumCycleCats; ++c)
+        sum += cat_[c];
+    return sum;
+}
+
+void
+CycleLedger::publish(StatGroup &sg) const
+{
+    for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+        if (cat_[c] == 0)
+            continue;
+        sg.stat(std::string("ledger_") +
+                toString(static_cast<CycleCat>(c))).set(cat_[c]);
+    }
+    if (warpActiveCycles_ != 0)
+        sg.stat("ledger_warp_active_cycles").set(warpActiveCycles_);
+}
+
+} // namespace sbrp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Exact per-warp, per-SM cycle attribution (the "where do cycles go"
+ * ledger behind the paper's Section 7 discussion).
+ *
+ * Every active warp cycle lands in exactly one warp category, and every
+ * end-of-kernel drain cycle lands in exactly one drain category:
+ *
+ *  - Warp categories partition each warp's resident lifetime
+ *    [launch, finish) by its scheduling state: a transition at cycle T
+ *    closes the span [since, T) against the *outgoing* state's category.
+ *    Sums therefore telescope — Σ categories == Σ (finish - launch) ==
+ *    `warps x active cycles`, exactly, with no per-cycle work and no
+ *    dependence on how many cycles the sleep/wake scheduler skipped.
+ *  - Drain categories partition each SM's share of the end-of-kernel
+ *    drain window [drain start, launch end) by what the drain engine
+ *    was doing: draining PB entries, blocked on the FSM or the flush
+ *    allowance, waiting for in-flight acks behind the PCIe link / the
+ *    ADR WPQ, or fully drained while peers finish (scheduler idle).
+ *    Spans skipped by the scheduler are attributed in bulk on settle —
+ *    legal because a sleeping SM's drain state cannot change (every
+ *    completion callback settles before mutating; docs/SIM_CORE.md).
+ *
+ * The ledger is pure accounting: it never changes timing, so goldens
+ * and traces are byte-identical with or without readers.
+ */
+
+#ifndef SBRP_GPU_CYCLE_LEDGER_HH
+#define SBRP_GPU_CYCLE_LEDGER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+class StatGroup;
+
+/** Exclusive cycle-attribution categories (warp, then drain). */
+enum class CycleCat : std::uint8_t
+{
+    // --- Warp categories: partition resident-warp cycles ---
+    Compute,       ///< Executing a multi-cycle compute op (Busy).
+    Ready,         ///< Runnable: issuing 1-cycle ops or awaiting a slot.
+    MemLatency,    ///< Outstanding loads/atomics (WaitMem).
+    Barrier,       ///< Parked at a block barrier.
+    SpinAcquire,   ///< Spinning on a pAcq/SpinLoad flag.
+    OdmStall,      ///< SBRP order delay mask (dFence, device pRel).
+    EdmStall,      ///< SBRP eviction delay mask (coalesce/evict/PB-full).
+    FenceDrain,    ///< Epoch/barrier-model fence waiting for its drain.
+    // --- Drain categories: partition end-of-kernel drain cycles ---
+    PbDrain,       ///< Drain engine flushing PB occupancy.
+    FsmFlushWait,  ///< Head persist blocked on an FSM hazard.
+    ActrWait,      ///< Head persist blocked on the flush allowance.
+    PcieBacklog,   ///< PB empty; acks in flight behind the PCIe link.
+    WpqFull,       ///< PB empty; acks in flight at the ADR WPQ.
+    SchedulerIdle, ///< This SM drained; the system is still finishing.
+};
+
+inline constexpr std::size_t kNumCycleCats = 14;
+inline constexpr std::size_t kFirstDrainCat =
+    static_cast<std::size_t>(CycleCat::PbDrain);
+
+/** Stable snake_case name (stats keys, JSON, bench metrics). */
+const char *toString(CycleCat c);
+
+/** Abbreviated column header for the --stats text table. */
+const char *shortName(CycleCat c);
+
+inline bool
+isWarpCategory(CycleCat c)
+{
+    return static_cast<std::size_t>(c) < kFirstDrainCat;
+}
+
+/**
+ * One SM's ledger. The SM stamps transitions with the scheduler's
+ * component-visible clock; all arithmetic is exact 64-bit cycle counts.
+ */
+class CycleLedger
+{
+  public:
+    explicit CycleLedger(std::uint32_t warp_slots);
+
+    /** A warp became resident in `slot` at `now` (initial state Ready). */
+    void beginWarp(WarpSlot slot, Cycle now);
+
+    /** The slot's warp entered the state mapped to `to` at `now`:
+        closes [since, now) against the outgoing category. */
+    void warpTransition(WarpSlot slot, CycleCat to, Cycle now);
+
+    /** The slot's warp finished at `now`: closes its last span and adds
+        (now - launch) to the independent active-cycle tally. */
+    void endWarp(WarpSlot slot, Cycle now);
+
+    /**
+     * Closes the open spans of still-resident warps through `now`
+     * without ending them (crash finalization). Idempotent: a second
+     * call at the same cycle adds nothing.
+     */
+    void settleWarps(Cycle now);
+
+    /** Attributes `cycles` drain-window cycles to a drain category. */
+    void accrueDrain(CycleCat cat, std::uint64_t cycles);
+
+    std::uint64_t cycles(CycleCat c) const
+    { return cat_[static_cast<std::size_t>(c)]; }
+
+    /** Sum over the warp categories. Invariant: == warpActiveCycles(). */
+    std::uint64_t warpCycles() const;
+
+    /** Sum over the drain categories. Invariant (crash-free launch):
+        == launch cycles - exec cycles, per SM. */
+    std::uint64_t drainCycles() const;
+
+    /** Independently tracked Σ per-warp (finish - launch); the warp
+        half of the sum invariant is checked against this. */
+    std::uint64_t warpActiveCycles() const { return warpActiveCycles_; }
+
+    /** Publishes the categories as `ledger_<name>` counters. */
+    void publish(StatGroup &sg) const;
+
+  private:
+    struct Slot
+    {
+        Cycle since = 0;   ///< Current span's start cycle.
+        Cycle start = 0;   ///< Resident since (active-cycle tally).
+        CycleCat cat = CycleCat::Ready;
+        bool active = false;
+    };
+
+    std::array<std::uint64_t, kNumCycleCats> cat_{};
+    std::vector<Slot> slots_;
+    std::uint64_t warpActiveCycles_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_GPU_CYCLE_LEDGER_HH

@@ -1,6 +1,9 @@
 #include "gpu/gpu_system.hh"
 
+#include <cstdio>
 #include <deque>
+#include <iomanip>
+#include <sstream>
 #include <string>
 
 #include "common/log.hh"
@@ -104,10 +107,117 @@ GpuSystem::smSlotsFreed(SmId id)
 }
 
 void
-GpuSystem::settleAllSms()
+GpuSystem::finalizeAllSms()
 {
     for (auto &sm : sms_)
-        sm->settleTo(sched_.now());
+        sm->finalizeLaunch(sched_.now());
+}
+
+std::uint64_t
+GpuSystem::CycleBreakdown::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : cycles)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+GpuSystem::CycleBreakdown::warpCycles() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < kFirstDrainCat; ++c)
+        sum += cycles[c];
+    return sum;
+}
+
+std::uint64_t
+GpuSystem::CycleBreakdown::drainCycles() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t c = kFirstDrainCat; c < kNumCycleCats; ++c)
+        sum += cycles[c];
+    return sum;
+}
+
+GpuSystem::CycleBreakdown
+GpuSystem::cycleBreakdown() const
+{
+    CycleBreakdown bd;
+    for (const auto &sm : sms_) {
+        const CycleLedger &l = sm->ledger();
+        for (std::size_t c = 0; c < kNumCycleCats; ++c)
+            bd.cycles[c] += l.cycles(static_cast<CycleCat>(c));
+        bd.warpActiveCycles += l.warpActiveCycles();
+    }
+    return bd;
+}
+
+std::string
+GpuSystem::cycleBreakdownJson() const
+{
+    const CycleBreakdown bd = cycleBreakdown();
+    const std::uint64_t total = bd.total();
+    std::ostringstream oss;
+    oss << "\"cycle_breakdown\": {";
+    oss << "\n    \"total_cycles\": " << total;
+    oss << ",\n    \"warp_cycles\": " << bd.warpCycles();
+    oss << ",\n    \"drain_cycles\": " << bd.drainCycles();
+    oss << ",\n    \"warp_active_cycles\": " << bd.warpActiveCycles;
+    oss << ",\n    \"categories\": {";
+    for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+        double pct = total ? 100.0 * static_cast<double>(bd.cycles[c]) /
+                                 static_cast<double>(total)
+                           : 0.0;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2f", pct);
+        oss << (c ? "," : "") << "\n      \""
+            << toString(static_cast<CycleCat>(c))
+            << "\": {\"cycles\": " << bd.cycles[c] << ", \"pct\": " << buf
+            << "}";
+    }
+    oss << "\n    },\n    \"per_sm\": {";
+    for (SmId i = 0; i < static_cast<SmId>(sms_.size()); ++i) {
+        const CycleLedger &l = sms_[i]->ledger();
+        oss << (i ? "," : "") << "\n      \"sm" << i << "\": {";
+        bool first = true;
+        for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+            std::uint64_t v = l.cycles(static_cast<CycleCat>(c));
+            if (v == 0)
+                continue;
+            oss << (first ? "" : ", ") << "\""
+                << toString(static_cast<CycleCat>(c)) << "\": " << v;
+            first = false;
+        }
+        oss << "}";
+    }
+    oss << "\n    }\n  }";
+    return oss.str();
+}
+
+std::string
+GpuSystem::cycleBreakdownTable() const
+{
+    std::ostringstream oss;
+    oss << "--- cycle breakdown (cycles, per SM) ---\n";
+    oss << std::left << std::setw(6) << "sm" << std::right;
+    for (std::size_t c = 0; c < kNumCycleCats; ++c)
+        oss << std::setw(11) << shortName(static_cast<CycleCat>(c));
+    oss << "\n";
+    for (SmId i = 0; i < static_cast<SmId>(sms_.size()); ++i) {
+        const CycleLedger &l = sms_[i]->ledger();
+        oss << std::left << std::setw(6) << ("sm" + std::to_string(i))
+            << std::right;
+        for (std::size_t c = 0; c < kNumCycleCats; ++c)
+            oss << std::setw(11) << l.cycles(static_cast<CycleCat>(c));
+        oss << "\n";
+    }
+    const CycleBreakdown bd = cycleBreakdown();
+    oss << std::left << std::setw(6) << "TOTAL" << std::right;
+    for (std::size_t c = 0; c < kNumCycleCats; ++c)
+        oss << std::setw(11) << bd.cycles[c];
+    oss << "\n";
+    return oss.str();
 }
 
 bool
@@ -205,7 +315,7 @@ GpuSystem::launch(const KernelProgram &kernel,
 
         if (crash_at && next - start >= *crash_at) {
             crashed_ = true;
-            settleAllSms();
+            finalizeAllSms();
             if (tbSystem_) {
                 tbSystem_->spanAt(span_name, start, next, 0);
                 tbSystem_->instant("crash", 0);
@@ -238,7 +348,7 @@ GpuSystem::launch(const KernelProgram &kernel,
         }
     }
 
-    settleAllSms();
+    finalizeAllSms();
     if (tbSystem_) {
         tbSystem_->spanAt(span_name, start, start + exec_end, 0);
         tbSystem_->spanAt("drain", start + exec_end, sched_.now(), 1);

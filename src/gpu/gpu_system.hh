@@ -18,9 +18,11 @@
 #ifndef SBRP_GPU_GPU_SYSTEM_HH
 #define SBRP_GPU_GPU_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -95,6 +97,30 @@ class GpuSystem : private SmObserver
     /** Sum of a counter across all SM stat groups (e.g. Figure 8). */
     std::uint64_t sumSmStat(const std::string &counter) const;
 
+    /** Whole-system cycle attribution: the SM ledgers summed. */
+    struct CycleBreakdown
+    {
+        std::array<std::uint64_t, kNumCycleCats> cycles{};
+        std::uint64_t warpActiveCycles = 0;
+
+        std::uint64_t total() const;       ///< Σ all categories.
+        std::uint64_t warpCycles() const;  ///< Σ warp categories.
+        std::uint64_t drainCycles() const; ///< Σ drain categories.
+    };
+    CycleBreakdown cycleBreakdown() const;
+
+    /**
+     * The breakdown as a `"cycle_breakdown": {...}` JSON member (no
+     * surrounding braces) at the stats dump's 2-space indent, for
+     * splicing into `--stats-json` output: system totals, every
+     * category (enum order) with cycles and percent-of-total, and a
+     * per-SM object of the non-zero categories. Deterministic.
+     */
+    std::string cycleBreakdownJson() const;
+
+    /** Human-readable per-SM breakdown table (`--stats` text output). */
+    std::string cycleBreakdownTable() const;
+
   private:
     bool allDrained() const;
 
@@ -102,9 +128,10 @@ class GpuSystem : private SmObserver
     void smIdleChanged(SmId id, bool idle) override;
     void smSlotsFreed(SmId id) override;
 
-    /** Settles every SM's lazy accounting through the current cycle
-        (launch finalization: stats must reflect the full run). */
-    void settleAllSms();
+    /** Launch finalization on both exits: settles every SM's lazy
+        accounting through the current cycle, closes the cycle ledgers'
+        open spans (crashes) and publishes the ledger counters. */
+    void finalizeAllSms();
 
     SystemConfig cfg_;
     NvmDevice &nvm_;

@@ -157,6 +157,14 @@ class MemoryFabric
     bool idle() const { return inflight_ == 0; }
 
     /**
+     * True when the persistence-domain accept point sits across the
+     * PCIe link (PM-far): in-flight persist acks the drain window is
+     * waiting on are then pinned behind the link rather than the ADR
+     * WPQ. Drives the cycle ledger's pcie_backlog / wpq_full split.
+     */
+    bool persistPathCrossesPcie() const { return cfg_.nvmBehindPcie(); }
+
+    /**
      * Monotone count of completed fabric events (read returns, persist
      * hops and acks, writebacks). The launch loop's watchdog reads it
      * as a liveness heartbeat: a change since the last check means the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "common/log.hh"
 #include "common/trace.hh"
@@ -29,7 +30,8 @@ Sm::Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
       stats_("sm" + std::to_string(id)),
       l1Stats_("sm" + std::to_string(id) + ".l1"),
       l1_(std::make_unique<L1Cache>(cfg, l1Stats_)),
-      slots_(cfg.maxWarpsPerSm)
+      slots_(cfg.maxWarpsPerSm),
+      ledger_(cfg.maxWarpsPerSm)
 {
     model_ = makePersistencyModel(cfg, *this, stats_);
     if (tb_) {
@@ -112,6 +114,8 @@ Sm::launchBlock(const KernelProgram &kernel, BlockId block)
         slots_[s] = std::make_unique<Warp>(&kernel.warp(block, placed),
                                            block, placed, s, id_, first);
         slots_[s]->attachStateMasks(stateMask_.data());
+        ledger_.beginWarp(s, sched_.componentNow());
+        slots_[s]->attachStateObserver(this);
         ctx.slots.push_back(s);
         ++placed;
         ++residentWarps_;
@@ -136,6 +140,7 @@ Sm::beginDrain()
     // first — the cycle-stepped engine ticked (and charged a blocked
     // drain attempt) this cycle before the launch loop called us.
     settleTo(sched_.now());
+    drainAccounting_ = true;
     model_->drainAll();
     updateWake();
 }
@@ -154,6 +159,11 @@ Sm::tick(Cycle now)
     // model_->tick) exactly as the cycle-stepped engine did.
     settleTo(now - 1);
     now_ = now;
+    // Cycle `now` belongs to the drain state the tick found (matching
+    // the bulk settle semantics); settledThrough_ = now below stops
+    // settleTo from counting it again.
+    if (drainAccounting_)
+        ledger_.accrueDrain(drainCategory(), 1);
     model_->tick(now);
 
     // Scheduling census (sampled): how warps spend their cycles.
@@ -210,7 +220,75 @@ Sm::settleTo(Cycle through)
         censusSample(samples);
     // One tick-equivalent blocked-drain attempt per skipped cycle.
     model_->accrueIdleCycles(through - settledThrough_);
+    // Drain-window attribution over the skipped span: the category is
+    // constant while the SM sleeps (any ack settles before mutating),
+    // so the whole span belongs to the current drain state.
+    if (drainAccounting_)
+        ledger_.accrueDrain(drainCategory(), through - settledThrough_);
     settledThrough_ = through;
+}
+
+void
+Sm::warpStateChanged(WarpSlot slot, WarpState from, WarpState to)
+{
+    (void)from;
+    const Cycle now = sched_.componentNow();
+    if (to == WarpState::Finished)
+        ledger_.endWarp(slot, now);
+    else
+        ledger_.warpTransition(slot, categoryFor(to, slot), now);
+}
+
+CycleCat
+Sm::categoryFor(WarpState state, WarpSlot slot) const
+{
+    switch (state) {
+      case WarpState::Ready: return CycleCat::Ready;
+      case WarpState::Busy: return CycleCat::Compute;
+      case WarpState::WaitMem: return CycleCat::MemLatency;
+      case WarpState::WaitBarrier: return CycleCat::Barrier;
+      case WarpState::WaitSpin: return CycleCat::SpinAcquire;
+      case WarpState::WaitModel:
+      case WarpState::ModelRetry: {
+        // The model recorded why before parking the warp (the same
+        // static strings that name the trace's stall spans).
+        const char *r = model_->stallReason(slot);
+        if (std::strncmp(r, "stall:odm", 9) == 0)
+            return CycleCat::OdmStall;
+        if (std::strncmp(r, "stall:edm", 9) == 0)
+            return CycleCat::EdmStall;
+        return CycleCat::FenceDrain;
+      }
+      case WarpState::Finished:
+        break;
+    }
+    sbrp_panic("no ledger category for warp state %s", toString(state));
+}
+
+CycleCat
+Sm::drainCategory()
+{
+    if (model_->drained())
+        return CycleCat::SchedulerIdle;
+    switch (model_->drainState()) {
+      case DrainState::Workable: return CycleCat::PbDrain;
+      case DrainState::BlockedFsm: return CycleCat::FsmFlushWait;
+      case DrainState::BlockedActr: return CycleCat::ActrWait;
+      case DrainState::Idle: break;
+    }
+    // Nothing left to flush, but acks are still in flight: the wait is
+    // pinned on the persistence domain's accept structure.
+    return fabric_.persistPathCrossesPcie() ? CycleCat::PcieBacklog
+                                            : CycleCat::WpqFull;
+}
+
+void
+Sm::finalizeLaunch(Cycle now)
+{
+    settleTo(now);
+    ledger_.settleWarps(now);
+    drainAccounting_ = false;
+    ledger_.publish(stats_);
 }
 
 void

@@ -17,6 +17,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "gpu/cycle_ledger.hh"
 #include "gpu/kernel.hh"
 #include "gpu/l1_cache.hh"
 #include "gpu/warp.hh"
@@ -54,7 +55,7 @@ class SmObserver
  * and the model's blocked-drain counters are settled lazily over the
  * skipped span (settleTo), before any state mutation.
  */
-class Sm : public SmServices
+class Sm : public SmServices, private WarpStateObserver
 {
   public:
     Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
@@ -102,6 +103,17 @@ class Sm : public SmServices
     void beginDrain();
     bool drained() const;
 
+    /**
+     * Launch finalization: settles all lazy accounting through `now`,
+     * closes the ledger's open warp spans (crashed runs), ends the
+     * drain-window attribution and publishes the ledger's categories
+     * as `ledger_*` counters. Called by GpuSystem on both launch exits.
+     */
+    void finalizeLaunch(Cycle now);
+
+    /** Exact cycle-attribution ledger (read-only; tests, reporting). */
+    const CycleLedger &ledger() const { return ledger_; }
+
     PersistencyModel &model() { return *model_; }
     StatGroup &stats() { return stats_; }
     StatGroup &l1Stats() { return l1Stats_; }
@@ -119,6 +131,19 @@ class Sm : public SmServices
     void executeWarp(Warp &warp);
     void finishWarp(Warp &warp);
     void pollSpin(Warp &warp);
+
+    // --- WarpStateObserver (cycle ledger) ---
+    void warpStateChanged(WarpSlot slot, WarpState from,
+                          WarpState to) override;
+
+    /** Ledger category of a warp entering `state` (model stalls are
+        resolved through the model's per-slot stall reason). */
+    CycleCat categoryFor(WarpState state, WarpSlot slot) const;
+
+    /** Drain-window category right now. Constant while the SM sleeps
+        (acks settle before mutating), so bulk settle attribution over
+        a skipped span is exact. */
+    CycleCat drainCategory();
 
     /** Slot mask of warps currently in `state`. */
     std::uint32_t
@@ -199,6 +224,13 @@ class Sm : public SmServices
     /** All cycles <= this are reflected in the census and the model's
         blocked-drain counters (see settleTo). */
     Cycle settledThrough_ = 0;
+
+    /** Exact cycle attribution (warp spans + drain window). */
+    CycleLedger ledger_;
+
+    /** True from beginDrain() until finalizeLaunch(): settleTo and
+        tick attribute drain-window cycles while set. */
+    bool drainAccounting_ = false;
 
     std::uint64_t progressEvents_ = 0;
 

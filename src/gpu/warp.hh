@@ -37,6 +37,20 @@ const char *toString(WarpState s);
 /** Number of WarpState values (size of an SM's per-state slot masks). */
 inline constexpr std::size_t kNumWarpStates = 8;
 
+/**
+ * Observer of warp scheduling-state transitions. The owning SM attaches
+ * itself so the cycle ledger can close the outgoing state's span at the
+ * exact transition cycle (see gpu/cycle_ledger.hh). Pure accounting:
+ * implementations must not change warp or SM state.
+ */
+class WarpStateObserver
+{
+  public:
+    virtual ~WarpStateObserver() = default;
+    virtual void warpStateChanged(WarpSlot slot, WarpState from,
+                                  WarpState to) = 0;
+};
+
 /** A resident warp. Owned by its SM for the lifetime of its block. */
 class Warp
 {
@@ -75,7 +89,10 @@ class Warp
             stateMasks_[static_cast<std::size_t>(state_)] &= ~slotBit_;
             stateMasks_[static_cast<std::size_t>(s)] |= slotBit_;
         }
+        const WarpState from = state_;
         state_ = s;
+        if (observer_)
+            observer_->warpStateChanged(slot_, from, s);
     }
 
     /**
@@ -93,6 +110,10 @@ class Warp
         slotBit_ = 1u << slot_;
         stateMasks_[static_cast<std::size_t>(state_)] |= slotBit_;
     }
+
+    /** Attaches the owning SM's transition observer (cycle ledger).
+        Standalone warps (tests) leave this unset. */
+    void attachStateObserver(WarpStateObserver *obs) { observer_ = obs; }
 
     bool finished() const { return state_ == WarpState::Finished; }
 
@@ -176,6 +197,7 @@ class Warp
     std::uint32_t live_ = 0xffffffffu;
     std::uint32_t *stateMasks_ = nullptr;
     std::uint32_t slotBit_ = 0;
+    WarpStateObserver *observer_ = nullptr;
     std::array<std::array<std::uint32_t, kNumRegs>, 32> regs_{};
 };
 

@@ -51,6 +51,15 @@ class ScopedBarrierModel : public PersistencyModel
     void drainAll() override;
     bool drained() const override;
 
+    /** Every barrier-model stall is the issuing warp waiting out its
+        persist barrier's drain. */
+    const char *
+    stallReason(std::uint32_t slot) const override
+    {
+        (void)slot;
+        return "stall:fence_drain";
+    }
+
   protected:
     void onAck() override;
 

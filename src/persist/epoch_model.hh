@@ -45,6 +45,15 @@ class EpochModel : public PersistencyModel
     void drainAll() override;
     bool drained() const override;
 
+    /** The only epoch-model stall parks a fencing warp until its
+        barrier's flushes drain. */
+    const char *
+    stallReason(std::uint32_t slot) const override
+    {
+        (void)slot;
+        return "stall:fence_drain";
+    }
+
   protected:
     void onAck() override;
 

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (the perf-regression gate).
+
+Run with the repo root's tools/ on the path:
+    test_bench_diff.py <path-to-bench_diff.py>
+
+Covers the gate's contract:
+  - identical metrics pass (exit 0);
+  - ANY exact-metric drift fails (exit 1), in both directions;
+  - advisory (host-dependent) drift never fails, inside or outside the
+    tolerance band;
+  - coverage asymmetries (subset runs, new metrics) never fail;
+  - malformed/missing JSON exits 2.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+
+
+def load_module(path):
+    spec = importlib.util.spec_from_file_location("bench_diff", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class Harness:
+    def __init__(self, mod, tmp):
+        self.mod = mod
+        self.tmp = tmp
+        self.n = 0
+        self.failures = []
+
+    def write(self, data):
+        self.n += 1
+        path = os.path.join(self.tmp, f"m{self.n}.json")
+        with open(path, "w") as f:
+            if isinstance(data, str):
+                f.write(data)
+            else:
+                json.dump(data, f)
+        return path
+
+    def diff(self, current, baseline, extra=None):
+        argv = [self.write(current), self.write(baseline)]
+        if extra:
+            argv += extra
+        return self.mod.main(argv)
+
+    def check(self, name, got, want):
+        if got == want:
+            print(f"ok   {name}")
+        else:
+            print(f"FAIL {name}: exit {got}, wanted {want}")
+            self.failures.append(name)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: test_bench_diff.py <bench_diff.py>",
+              file=sys.stderr)
+        return 2
+    mod = load_module(argv[1])
+
+    base = {"bench": "cycle_breakdown",
+            "Red/sbrp/near/sim_cycles": 1573,
+            "Red/sbrp/near/mem_latency": 7722,
+            "Red/sbrp/near/mcycles_per_sec": 12.5}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        h = Harness(mod, tmp)
+
+        h.check("identical-passes", h.diff(dict(base), dict(base)), 0)
+
+        up = dict(base)
+        up["Red/sbrp/near/sim_cycles"] = 1574
+        h.check("cycle-regression-fails", h.diff(up, base), 1)
+
+        down = dict(base)
+        down["Red/sbrp/near/sim_cycles"] = 1572
+        h.check("cycle-improvement-also-fails", h.diff(down, base), 1)
+
+        off_by_one_ledger = dict(base)
+        off_by_one_ledger["Red/sbrp/near/mem_latency"] = 7723
+        h.check("ledger-drift-fails", h.diff(off_by_one_ledger, base), 1)
+
+        slow = dict(base)
+        slow["Red/sbrp/near/mcycles_per_sec"] = 1.0
+        h.check("advisory-drift-passes", h.diff(slow, base), 0)
+
+        slow_tight = dict(base)
+        slow_tight["Red/sbrp/near/mcycles_per_sec"] = 12.0
+        h.check("advisory-drift-passes-any-rtol",
+                h.diff(slow_tight, base, ["--rtol", "0.01"]), 0)
+
+        subset = {"bench": "cycle_breakdown",
+                  "Red/sbrp/near/sim_cycles": 1573}
+        h.check("baseline-superset-passes", h.diff(subset, base), 0)
+
+        superset = dict(base)
+        superset["MQ/sbrp/near/sim_cycles"] = 999
+        h.check("new-metric-passes", h.diff(superset, base), 0)
+
+        h.check("malformed-current-exits-2",
+                h.diff("{not json", dict(base)), 2)
+        h.check("non-object-baseline-exits-2",
+                h.diff(dict(base), "[1, 2]"), 2)
+        missing = os.path.join(tmp, "nope.json")
+        h.check("missing-baseline-exits-2",
+                mod.main([h.write(dict(base)), missing]), 2)
+
+        report = os.path.join(tmp, "report.txt")
+        rc = h.diff(up, base, ["--report", report])
+        with open(report) as f:
+            text = f.read()
+        h.check("report-written", rc, 1)
+        h.check("report-names-the-metric",
+                "Red/sbrp/near/sim_cycles" in text and "FAIL" in text,
+                True)
+
+        if h.failures:
+            print(f"{len(h.failures)} failure(s): "
+                  f"{', '.join(h.failures)}")
+            return 1
+        print("all bench_diff tests passed")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

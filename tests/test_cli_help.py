@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CLI --help completeness test.
+
+For each (binary, source) pair given on the command line:
+  1. `binary --help` must exit 0 and print a usage listing;
+  2. every flag the source actually parses (the `a == "--flag"`
+     comparisons in its option loop) must appear in that listing;
+  3. `binary -h` must print the same listing.
+
+Extracting the flag set from the parser source keeps the test
+self-maintaining: adding a flag without documenting it in usage() fails
+here, with the missing flag named.
+
+Usage:
+    test_cli_help.py <binary> <source.cc> [<binary> <source.cc> ...]
+"""
+
+import re
+import subprocess
+import sys
+
+
+def check_tool(binary, source):
+    with open(source, "r", encoding="utf-8") as f:
+        text = f.read()
+    flags = sorted(set(re.findall(r'a == "(--[a-z0-9-]+)"', text)))
+    if not flags:
+        print(f"FAIL {binary}: no parsed flags found in {source} "
+              "(extraction regex out of date?)")
+        return False
+
+    ok = True
+    help_out = None
+    for opt in ("--help", "-h"):
+        proc = subprocess.run([binary, opt], capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            print(f"FAIL {binary} {opt}: exit {proc.returncode} "
+                  f"(stderr: {proc.stderr.strip()!r})")
+            ok = False
+            continue
+        if not proc.stdout.strip():
+            print(f"FAIL {binary} {opt}: empty usage listing")
+            ok = False
+            continue
+        if help_out is None:
+            help_out = proc.stdout
+        elif proc.stdout != help_out:
+            print(f"FAIL {binary}: --help and -h listings differ")
+            ok = False
+
+    if help_out is not None:
+        for flag in flags:
+            if flag not in help_out:
+                print(f"FAIL {binary}: flag {flag} is parsed but "
+                      "missing from the --help listing")
+                ok = False
+    if ok:
+        print(f"ok   {binary}: {len(flags)} flags all listed, "
+              "--help/-h exit 0")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 == 0:
+        print("usage: test_cli_help.py <binary> <source.cc> "
+              "[<binary> <source.cc> ...]", file=sys.stderr)
+        return 2
+    ok = True
+    for i in range(1, len(argv), 2):
+        ok = check_tool(argv[i], argv[i + 1]) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -247,6 +247,61 @@ TEST(Distribution, ResetClears)
     EXPECT_EQ(d.p99(), 0u);
 }
 
+TEST(Distribution, InterpolatedPercentilesSpreadWithinABucket)
+{
+    // All 64 samples land in bucket 7 ([64,127]): midpoint-only
+    // percentiles would collapse p50/p95/p99 onto one value, while
+    // rank interpolation must keep them strictly ordered across the
+    // bucket's range and inside the observed [min, max].
+    Distribution d;
+    for (std::uint64_t v = 64; v < 128; ++v)
+        d.record(v);
+    EXPECT_LT(d.p50(), d.p95());
+    EXPECT_LT(d.p95(), d.p99());
+    EXPECT_GE(d.p50(), d.min());
+    EXPECT_LE(d.p99(), d.max());
+    EXPECT_EQ(d.percentile(1.0), d.max());
+}
+
+TEST(Distribution, SingleSamplePercentilesClampToTheValue)
+{
+    Distribution d;
+    d.record(100);
+    EXPECT_EQ(d.p50(), 100u);
+    EXPECT_EQ(d.p95(), 100u);
+    EXPECT_EQ(d.p99(), 100u);
+    EXPECT_EQ(d.percentile(0.0), 100u);
+    EXPECT_EQ(d.percentile(1.0), 100u);
+}
+
+TEST(Distribution, MergePoolsExactly)
+{
+    Distribution a, b;
+    a.record(4);
+    a.record(8);
+    b.record(1);
+    b.record(1000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.sum(), 1013u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 1000u);
+    EXPECT_EQ(a.bucketCount(1), 1u);   // The 1 from b.
+    EXPECT_EQ(a.bucketCount(3), 1u);   // The 4 from a.
+
+    // Merging an empty distribution is a no-op (and must not corrupt
+    // min via the empty sentinel).
+    Distribution empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.min(), 1u);
+
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 4u);
+    EXPECT_EQ(empty.min(), 1u);
+    EXPECT_EQ(empty.max(), 1000u);
+}
+
 TEST(Stats, DistributionAppearsInDump)
 {
     StatGroup g("sm0");

@@ -460,7 +460,7 @@ TEST(StatsJson, CarriesSchemaVersionAndEscapesNames)
     JsonValue v = JsonValue::parse(reg.dumpJson(), &err);
     ASSERT_TRUE(v.isObject()) << err;
     ASSERT_NE(v.find("schema_version"), nullptr);
-    EXPECT_EQ(v.find("schema_version")->asU64(), 1u);
+    EXPECT_EQ(v.find("schema_version")->asU64(), 2u);
     const JsonValue *g = v.find("we\"ird\ngroup");
     ASSERT_NE(g, nullptr);
     const JsonValue *c = g->find("ctr\t1");

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cycle-attribution ledger tests (docs/OBSERVABILITY.md, "Cycle
+ * attribution").
+ *
+ * The ledger's contract is exactness, not plausibility:
+ *  - warp categories sum to `warps x active cycles` — per SM and
+ *    system-wide — for every app x model x design combination, with
+ *    and without fault injection, and on crashed launches;
+ *  - drain categories sum to each SM's share of the end-of-kernel
+ *    drain window (crash-free runs);
+ *  - the breakdown is byte-identical run-to-run (pure accounting over
+ *    a deterministic simulation);
+ *  - campaign ledger counters are --jobs-invariant (verdicts are pure
+ *    functions of their crash points);
+ *  - attribution is meaningful: the PM-far ack tail lands in
+ *    pcie_backlog, the PM-near tail in wpq_full.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/sbrp.hh"
+#include "apps/app.hh"
+#include "apps/registry.hh"
+#include "crashtest/campaign.hh"
+#include "gpu/cycle_ledger.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+struct Combo
+{
+    ModelKind model;
+    SystemDesign design;
+};
+
+const Combo kCombos[] = {
+    {ModelKind::Sbrp, SystemDesign::PmNear},
+    {ModelKind::Sbrp, SystemDesign::PmFar},
+    {ModelKind::Epoch, SystemDesign::PmNear},
+    {ModelKind::Epoch, SystemDesign::PmFar},
+    {ModelKind::Gpm, SystemDesign::PmFar},
+    {ModelKind::ScopedBarrier, SystemDesign::PmNear},
+    {ModelKind::ScopedBarrier, SystemDesign::PmFar},
+};
+
+/** Runs `app` crash-free and checks every ledger sum invariant. */
+void
+checkInvariants(const std::string &app_name, const SystemConfig &cfg)
+{
+    SCOPED_TRACE(app_name + " under " + cfg.describe());
+    auto app = makeRegisteredApp(app_name, cfg.model);
+    ASSERT_NE(app, nullptr);
+    NvmDevice nvm;
+    app->setupNvm(nvm);
+    GpuSystem gpu(cfg, nvm);
+    app->setupGpu(gpu);
+    auto res = gpu.launch(app->forward());
+
+    // Per-SM: warp categories telescope to the active-cycle tally, and
+    // drain categories cover exactly this SM's drain window (the window
+    // [exec end, launch end) is system-wide, so every SM has the same
+    // share).
+    for (SmId i = 0; i < cfg.numSms; ++i) {
+        const CycleLedger &l = gpu.sm(i).ledger();
+        EXPECT_EQ(l.warpCycles(), l.warpActiveCycles()) << "sm" << i;
+        EXPECT_EQ(l.drainCycles(), res.cycles - res.execCycles)
+            << "sm" << i;
+    }
+
+    // System-wide: the aggregate mirrors the per-SM sums.
+    auto bd = gpu.cycleBreakdown();
+    EXPECT_EQ(bd.warpCycles(), bd.warpActiveCycles);
+    EXPECT_EQ(bd.drainCycles(),
+              std::uint64_t{cfg.numSms} * (res.cycles - res.execCycles));
+
+    // The published counters agree with the ledger accessors.
+    EXPECT_EQ(gpu.sumSmStat("ledger_warp_active_cycles"),
+              bd.warpActiveCycles);
+    std::uint64_t published = 0;
+    for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+        published += gpu.sumSmStat(
+            std::string("ledger_") + toString(static_cast<CycleCat>(c)));
+    }
+    EXPECT_EQ(published, bd.total());
+}
+
+TEST(CycleLedger, SumInvariantEveryAppModelDesign)
+{
+    for (const Combo &c : kCombos) {
+        for (const std::string &name : appRegistryNames())
+            checkInvariants(name, SystemConfig::testDefault(c.model,
+                                                            c.design));
+    }
+}
+
+TEST(CycleLedger, SumInvariantUnderFaultInjection)
+{
+    for (const Combo &c : kCombos) {
+        SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+        std::string err;
+        ASSERT_TRUE(FaultSpec::parse("pcie=1e-3,media=1e-3", &cfg.faults,
+                                     &err)) << err;
+        cfg.seed = 7;
+        checkInvariants("Red", cfg);
+        checkInvariants("gpKVS", cfg);
+    }
+}
+
+TEST(CycleLedger, WarpInvariantHoldsOnCrashedLaunches)
+{
+    // A crash cuts warps off mid-state: finalization must close their
+    // open spans so the telescoping sum still balances. The drain
+    // invariant is exempt — a crash can land inside the drain window.
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp,
+                                                 SystemDesign::PmFar);
+    for (Cycle crash_at : {Cycle{50}, Cycle{500}, Cycle{2000}}) {
+        SCOPED_TRACE(crash_at);
+        auto app = makeRegisteredApp("gpKVS", cfg.model);
+        NvmDevice nvm;
+        app->setupNvm(nvm);
+        GpuSystem gpu(cfg, nvm);
+        app->setupGpu(gpu);
+        auto res = gpu.launch(app->forward(), crash_at);
+        ASSERT_TRUE(res.crashed);
+        for (SmId i = 0; i < cfg.numSms; ++i) {
+            const CycleLedger &l = gpu.sm(i).ledger();
+            EXPECT_EQ(l.warpCycles(), l.warpActiveCycles()) << "sm" << i;
+        }
+    }
+}
+
+TEST(CycleLedger, BreakdownByteIdenticalRunToRun)
+{
+    auto run = [](ModelKind m, SystemDesign d) {
+        auto app = makeRegisteredApp("Scan", m);
+        SystemConfig cfg = SystemConfig::testDefault(m, d);
+        NvmDevice nvm;
+        app->setupNvm(nvm);
+        GpuSystem gpu(cfg, nvm);
+        app->setupGpu(gpu);
+        gpu.launch(app->forward());
+        return gpu.cycleBreakdownJson();
+    };
+    EXPECT_EQ(run(ModelKind::Sbrp, SystemDesign::PmFar),
+              run(ModelKind::Sbrp, SystemDesign::PmFar));
+    EXPECT_EQ(run(ModelKind::Epoch, SystemDesign::PmNear),
+              run(ModelKind::Epoch, SystemDesign::PmNear));
+}
+
+TEST(CycleLedger, DrainTailAttributionMatchesTheDesign)
+{
+    // gpKVS leaves buffered persists behind at kernel end under SBRP,
+    // so the drain window is non-empty; the in-flight ack wait must
+    // land behind the PCIe link on PM-far and at the WPQ on PM-near.
+    auto drainCat = [](SystemDesign d, CycleCat want, CycleCat zero) {
+        auto app = makeRegisteredApp("gpKVS", ModelKind::Sbrp);
+        SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp, d);
+        NvmDevice nvm;
+        app->setupNvm(nvm);
+        GpuSystem gpu(cfg, nvm);
+        app->setupGpu(gpu);
+        auto res = gpu.launch(app->forward());
+        ASSERT_GT(res.cycles, res.execCycles) << "no drain tail";
+        auto bd = gpu.cycleBreakdown();
+        EXPECT_GT(bd.cycles[static_cast<std::size_t>(want)], 0u);
+        EXPECT_EQ(bd.cycles[static_cast<std::size_t>(zero)], 0u);
+    };
+    drainCat(SystemDesign::PmFar, CycleCat::PcieBacklog,
+             CycleCat::WpqFull);
+    drainCat(SystemDesign::PmNear, CycleCat::WpqFull,
+             CycleCat::PcieBacklog);
+}
+
+TEST(CycleLedger, CampaignLedgerCountersJobsInvariant)
+{
+    // Verdicts are pure functions of their crash points, so the summed
+    // ledger counters cannot depend on how runs were spread across
+    // workers. (The campaign's own "jobs" counter legitimately differs;
+    // the report JSON is covered by the byte-identity test in
+    // test_sim_core.cc.)
+    CampaignConfig cc;
+    cc.scenario.app = "Red";
+    cc.scenario.cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+    cc.budgetRuns = 24;
+    cc.minimize = false;
+
+    auto ledgerCounters = [](const StatGroup &g) {
+        std::string out;
+        for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+            std::string key = std::string("ledger_") +
+                              toString(static_cast<CycleCat>(c));
+            out += key + "=" + std::to_string(g.value(key)) + "\n";
+        }
+        out += "ledger_warp_active_cycles=" +
+               std::to_string(g.value("ledger_warp_active_cycles"));
+        return out;
+    };
+
+    cc.jobs = 1;
+    CampaignEngine base(cc);
+    base.run();
+    std::string golden = ledgerCounters(base.group());
+    EXPECT_NE(golden.find("ledger_warp_active_cycles="),
+              std::string::npos);
+
+    cc.jobs = 3;
+    CampaignEngine par(cc);
+    par.run();
+    EXPECT_EQ(ledgerCounters(par.group()), golden);
+}
+
+} // namespace
+} // namespace sbrp

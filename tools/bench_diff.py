@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare a bench metrics JSON against a committed baseline.
+
+Both inputs are flat metric maps as written by `bench/cycle_breakdown
+--out` and `bench/sim_throughput --json`:
+
+    { "bench": "cycle_breakdown", "Red/sbrp/near/sim_cycles": 1573, ... }
+
+Metrics fall into two classes:
+
+  exact     Simulated quantities (cycle counts, ledger categories,
+            latency percentiles). Deterministic run-to-run, so ANY
+            drift -- in either direction -- fails the gate: a speedup
+            you didn't intend is as suspicious as a slowdown, and an
+            intended timing change must re-baseline.
+  advisory  Host-dependent throughput (`*_per_sec`, `*wall*`, `*_ms`).
+            Compared against a relative tolerance band (--rtol) and
+            reported, but never fail the gate: CI machines vary.
+
+Coverage asymmetries are advisory too: metrics only in the current run
+are NEW (a bench gained a metric), metrics only in the baseline are
+SKIPPED (e.g. CI runs a 3-app subset against the full-matrix baseline).
+
+Exit codes: 0 = no exact-metric regressions, 1 = at least one exact
+metric drifted, 2 = usage error or malformed/unreadable JSON.
+"""
+
+import argparse
+import json
+import sys
+
+ADVISORY_PATTERNS = ("_per_sec", "wall", "_ms")
+
+
+def is_advisory(key):
+    return any(p in key for p in ADVISORY_PATTERNS)
+
+
+def load_metrics(path):
+    """Returns {key: number} or raises ValueError/OSError."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError("top level is not an object")
+    metrics = {}
+    for key, value in data.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue  # "bench" tag and any other non-numeric metadata.
+        metrics[key] = value
+    return metrics
+
+
+def compare(current, baseline, rtol):
+    """Returns (regressions, warnings, infos) as lists of report lines."""
+    regressions, warnings, infos = [], [], []
+    skipped = {}  # bench cell (key minus trailing /metric) -> count
+    for key in sorted(set(current) | set(baseline)):
+        if key not in baseline:
+            infos.append(f"NEW       {key} = {current[key]} "
+                         "(not in baseline)")
+            continue
+        if key not in current:
+            # A subset run skips whole cells; one note per cell, not per
+            # metric, keeps CI logs readable.
+            cell = key.rsplit("/", 1)[0] if "/" in key else key
+            skipped[cell] = skipped.get(cell, 0) + 1
+            continue
+        cur, base = current[key], baseline[key]
+        if is_advisory(key):
+            if base != 0:
+                rel = (cur - base) / base
+                if abs(rel) > rtol:
+                    warnings.append(
+                        f"ADVISORY  {key}: {base} -> {cur} "
+                        f"({rel:+.1%}, band ±{rtol:.0%}; host-dependent, "
+                        "not gating)")
+            elif cur != 0:
+                warnings.append(
+                    f"ADVISORY  {key}: 0 -> {cur} (host-dependent, "
+                    "not gating)")
+        elif cur != base:
+            direction = "regressed" if cur > base else "improved"
+            regressions.append(
+                f"REGRESSED {key}: {base} -> {cur} ({direction}; exact "
+                "metric -- intentional changes must re-baseline)")
+    for cell in sorted(skipped):
+        infos.append(f"SKIPPED   {cell} ({skipped[cell]} baseline "
+                     "metric(s); not run this time)")
+    return regressions, warnings, infos
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff bench metrics JSON against a baseline.")
+    parser.add_argument("current", help="metrics JSON from this run")
+    parser.add_argument("baseline",
+                        help="committed baseline JSON (tests/golden/)")
+    parser.add_argument("--rtol", type=float, default=0.5,
+                        help="advisory tolerance band for host-dependent "
+                             "metrics (default 0.5 = ±50%%)")
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write the report to FILE")
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_metrics(args.current)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot load '{args.current}': {e}",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load_metrics(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot load '{args.baseline}': {e}",
+              file=sys.stderr)
+        return 2
+
+    regressions, warnings, infos = compare(current, baseline, args.rtol)
+    compared = len(set(current) & set(baseline))
+
+    lines = [f"bench_diff: {args.current} vs {args.baseline}",
+             f"  {compared} metrics compared, "
+             f"{len(regressions)} regressed, "
+             f"{len(warnings)} advisory, {len(infos)} coverage notes", ""]
+    lines += regressions + warnings + infos
+    if not regressions:
+        lines.append("PASS: all exact metrics match the baseline")
+    else:
+        lines.append(f"FAIL: {len(regressions)} exact metric(s) drifted")
+    report = "\n".join(lines) + "\n"
+
+    sys.stdout.write(report)
+    if args.report:
+        try:
+            with open(args.report, "w") as f:
+                f.write(report)
+        except OSError as e:
+            print(f"bench_diff: cannot write report: {e}",
+                  file=sys.stderr)
+            return 2
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,7 +79,8 @@ usage()
         "                    set to r; exit 0 iff every campaign passes\n"
         "  --retry-budget <n>  max attempts per persist (default 8)\n"
         "  --unsafe-relaxed-order  FAULT INJECTION: let the SBRP drain\n"
-        "                    engine violate PMO (testing the oracles)\n");
+        "                    engine violate PMO (testing the oracles)\n"
+        "  --help, -h        print this listing and exit\n");
 }
 
 bool

@@ -63,7 +63,8 @@ usage()
         "  --list-crash-points  run crash-free once and list the\n"
         "                    event-adjacent crash points the campaign\n"
         "                    engine would explore (see tools/crashfuzz)\n"
-        "  --list            list applications and exit\n");
+        "  --list            list applications and exit\n"
+        "  --help, -h        print this listing and exit\n");
 }
 
 } // namespace
@@ -280,6 +281,8 @@ main(int argc, char **argv)
             if (dump_stats) {
                 std::printf("\n--- statistics ---\n%s",
                             gpu.stats().dump().c_str());
+                std::printf("\n%s",
+                            gpu.cycleBreakdownTable().c_str());
             }
             if (!stats_json_path.empty()) {
                 std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
@@ -289,8 +292,9 @@ main(int argc, char **argv)
                     return 2;
                 }
                 std::string json = gpu.stats().dumpJson();
-                // Host-side throughput of this run, spliced in next to
-                // the schema version (simulation counters stay pure).
+                // Host-side throughput and the cycle-attribution
+                // breakdown, spliced in next to the schema version
+                // (simulation counters stay pure).
                 char host[160];
                 std::snprintf(host, sizeof host,
                               ",\n  \"host_wall_ms\": %.3f,"
@@ -301,11 +305,13 @@ main(int argc, char **argv)
                                         launch_res.cycles) *
                                         1e3 / wall_ms
                                   : 0.0);
+                std::string splice = std::string(host) + ",\n  " +
+                                     gpu.cycleBreakdownJson();
                 std::string::size_type at =
-                    json.find("\"schema_version\": 1");
+                    json.find("\"schema_version\": 2");
                 if (at != std::string::npos)
-                    json.insert(at + std::strlen("\"schema_version\": 1"),
-                                host);
+                    json.insert(at + std::strlen("\"schema_version\": 2"),
+                                splice);
                 std::fwrite(json.data(), 1, json.size(), f);
                 std::fclose(f);
                 std::printf("statistics JSON: %s\n",

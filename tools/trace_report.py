@@ -3,14 +3,25 @@
 
 Usage:
     tools/trace_report.py red.json
+    tools/trace_report.py red.json --stats-json red-stats.json
 
 Prints, per SM, a warp-stall breakdown: how many cycles warps spent in
 each span category (compute, stall:mem, stall:odm_*, stall:edm_*, ...)
 across all warp-slot tracks, plus trace-wide counter summaries (PB
 occupancy, MC backlogs, WPQ depth).
 
-Exits nonzero on malformed input, which lets CI use it to validate that
-the simulator emits well-formed traces.
+With --stats-json (a file written by `sbrpsim --stats-json` on the same
+run) it cross-checks the trace's warp-span sums against the simulator's
+exact cycle ledger (`ledger_*` counters): spans are emitted at tick
+observation times, so they may legitimately undercount the ledger
+(Ready has no span, sub-observation states are quantized), but a span
+sum materially EXCEEDING its ledger category means one of the two
+accountings is broken.
+
+An empty trace (empty file, `{}`, or no events) reports "no events" and
+exits 0 -- an un-traced or early-exited run is not malformed. Exits
+nonzero on malformed input, which lets CI use it to validate that the
+simulator emits well-formed traces.
 
 Only uses the Python standard library.
 """
@@ -19,10 +30,34 @@ import json
 import sys
 from collections import defaultdict
 
+# Trace span name -> cycle-ledger category (see src/gpu/cycle_ledger.hh).
+# Prefix matching: stall:odm_dfence and stall:odm_rel_dev both land in
+# odm_stall, mirroring Sm::categoryFor.
+SPAN_TO_LEDGER = [
+    ("compute", "compute"),
+    ("stall:mem", "mem_latency"),
+    ("stall:barrier", "barrier"),
+    ("stall:spin_acquire", "spin_acquire"),
+    ("stall:odm", "odm_stall"),
+    ("stall:edm", "edm_stall"),
+    ("stall:fence_drain", "fence_drain"),
+    ("stall:model", "fence_drain"),
+]
+
+# A span sum exceeding its ledger category by BOTH margins means the
+# trace and the ledger disagree beyond observation-quantization noise.
+CROSSCHECK_REL = 0.10
+CROSSCHECK_ABS = 10000
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+        text = f.read()
+    if not text.strip():
+        return None  # Empty file: an un-traced run, not an error.
+    doc = json.loads(text)
+    if isinstance(doc, dict) and not doc:
+        return None  # Bare {}: no events recorded.
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         raise ValueError("not a Chrome trace: missing 'traceEvents'")
     events = doc["traceEvents"]
@@ -31,15 +66,91 @@ def load(path):
     return events
 
 
+def ledger_totals(stats_path):
+    """Sums ledger_* counters over the per-SM stat groups."""
+    with open(stats_path, "r", encoding="utf-8") as f:
+        stats = json.load(f)
+    totals = defaultdict(int)
+    for group, counters in stats.items():
+        if not (group.startswith("sm") and
+                group[2:].isdigit() and isinstance(counters, dict)):
+            continue
+        for name, value in counters.items():
+            if (name.startswith("ledger_") and isinstance(value, int) and
+                    name != "ledger_warp_active_cycles"):
+                totals[name[len("ledger_"):]] += value
+    return totals
+
+
+def crosscheck(stall, stats_path):
+    """Trace span sums vs the exact ledger; returns 0 ok / 1 broken."""
+    try:
+        totals = ledger_totals(stats_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"trace_report: {stats_path}: {e}", file=sys.stderr)
+        return 1
+    if not totals:
+        print("\ncycle-ledger cross-check: no ledger_* counters in "
+              f"{stats_path} (old stats schema?)")
+        return 0
+
+    span_by_cat = defaultdict(int)
+    for name, cyc in stall.items():
+        for prefix, cat in SPAN_TO_LEDGER:
+            if name.startswith(prefix):
+                span_by_cat[cat] += cyc
+                break
+
+    print("\ncycle-ledger cross-check (trace spans vs ledger_*):")
+    broken = False
+    for cat in sorted(set(span_by_cat) | set(totals)):
+        spans = span_by_cat.get(cat, 0)
+        ledger = totals.get(cat, 0)
+        if spans == 0 and ledger == 0:
+            continue
+        over = spans - ledger
+        bad = (over > CROSSCHECK_ABS and
+               ledger > 0 and over > CROSSCHECK_REL * ledger) or \
+              (ledger == 0 and spans > CROSSCHECK_ABS)
+        mark = "BROKEN" if bad else "ok"
+        print(f"  {cat:<16}  spans {spans:>12}  ledger {ledger:>12}  "
+              f"{mark}")
+        broken = broken or bad
+    if broken:
+        print("trace_report: span sums exceed the exact ledger beyond "
+              "observation quantization", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv):
-    if len(argv) != 2:
-        print("usage: trace_report.py <trace.json>", file=sys.stderr)
+    args = []
+    stats_path = None
+    rest = argv[1:]
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--stats-json" and i + 1 < len(rest):
+            stats_path = rest[i + 1]
+            i += 2
+        elif rest[i].startswith("--"):
+            print(f"trace_report: unknown option '{rest[i]}'",
+                  file=sys.stderr)
+            return 2
+        else:
+            args.append(rest[i])
+            i += 1
+    if len(args) != 1:
+        print("usage: trace_report.py <trace.json> "
+              "[--stats-json <stats.json>]", file=sys.stderr)
         return 2
     try:
-        events = load(argv[1])
+        events = load(args[0])
     except (OSError, ValueError, json.JSONDecodeError) as e:
-        print(f"trace_report: {argv[1]}: {e}", file=sys.stderr)
+        print(f"trace_report: {args[0]}: {e}", file=sys.stderr)
         return 1
+    if events is None or not events:
+        print(f"{args[0]}: no events")
+        return 0
 
     pid_names = {}
     spans = defaultdict(lambda: defaultdict(int))  # pid -> name -> cycles
@@ -81,7 +192,7 @@ def main(argv):
               file=sys.stderr)
         return 1
 
-    print(f"{argv[1]}: {len(events)} events, "
+    print(f"{args[0]}: {len(events)} events, "
           f"{len(pid_names)} components")
 
     for pid in sorted(spans):
@@ -142,7 +253,15 @@ def main(argv):
             print(f"  faults retried      {retried:>8}")
             print(f"  terminal faults     {terminal:>8}")
             print(f"  backoff cycles      {backoff:>8}")
+        else:
+            print("\nno fault events (run without --faults, or no "
+                  "faults fired)")
+    else:
+        print("\nno fault events (run without --faults, or no "
+              "faults fired)")
 
+    if stats_path is not None:
+        return crosscheck(stall, stats_path)
     return 0
 
 

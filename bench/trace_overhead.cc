@@ -1,29 +1,45 @@
 /**
  * @file
- * Verifies the tracer's "disabled tracing costs nothing" claim.
+ * Verifies the observability layers' "disabled costs nothing" claims.
  *
- * Runs the same Red/sbrp/near simulation three ways — tracing compiled
- * in but disabled (null TraceBuffer*, the production default), tracing
- * enabled, and enabled+serialized — and reports wall time per run.
- * With tracing disabled every instrumentation site must reduce to a
- * single pointer null-check; the untraced run is expected to stay
- * within 1% of the pre-instrumentation baseline, which in practice
- * means "no measurable difference between repeated untraced runs".
+ * Runs the same Red/sbrp/near simulation several ways — tracing and
+ * provenance compiled in but disabled (null pointers, the production
+ * default), tracing enabled, tracing enabled+serialized, provenance
+ * enabled, and provenance enabled+serialized — and reports wall time
+ * per run. With both layers disabled every instrumentation site must
+ * reduce to a single pointer null-check; the bare run is expected to
+ * stay within 1% of the pre-instrumentation baseline, which in practice
+ * means "no measurable difference between repeated bare runs".
  *
- * The traced and untraced runs must also agree on kernel cycles:
- * instrumentation only observes, it never perturbs timing.
+ * All variants must agree on kernel cycles: instrumentation only
+ * observes, it never perturbs timing.
+ *
+ * Usage:
+ *   trace_overhead                 # google-benchmark wall-time table
+ *   trace_overhead --json out.json # flat metric map for bench_diff.py
+ *
+ * --json switches to plain chrono timing (warm-up + best-of-3, like
+ * sim_throughput) and writes exact metrics (sim_cycles with provenance
+ * off/on, ops begun, audit records — all deterministic) plus advisory
+ * *_ms wall times. The committed baseline lives at
+ * tests/golden/BENCH_trace_overhead.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "api/sbrp.hh"
 #include "apps/app.hh"
 #include "apps/reduction.hh"
 #include "common/trace.hh"
+#include "obs/provenance.hh"
 
 using namespace sbrp;
 
@@ -41,25 +57,26 @@ benchConfig()
 
 /** One full simulated run; returns kernel cycles. */
 Cycle
-runOnce(TraceSink *sink)
+runOnce(TraceSink *sink, PersistProvenance *prov = nullptr)
 {
     SystemConfig cfg = benchConfig();
     ReductionApp app(cfg.model, ReductionParams::bench());
     NvmDevice nvm;
     app.setupNvm(nvm);
-    GpuSystem gpu(cfg, nvm, nullptr, sink);
+    GpuSystem gpu(cfg, nvm, nullptr, sink, prov);
     app.setupGpu(gpu);
     return gpu.launch(app.forward()).cycles;
 }
 
-Cycle g_untraced_cycles = 0;
+Cycle g_bare_cycles = 0;
 Cycle g_traced_cycles = 0;
+Cycle g_prov_cycles = 0;
 
 void
-BM_Untraced(benchmark::State &state)
+BM_Bare(benchmark::State &state)
 {
     for (auto _ : state)
-        g_untraced_cycles = runOnce(nullptr);
+        g_bare_cycles = runOnce(nullptr);
 }
 
 void
@@ -84,30 +101,159 @@ BM_TracedSerialized(benchmark::State &state)
     }
 }
 
-BENCHMARK(BM_Untraced)->Unit(benchmark::kMillisecond);
+void
+BM_Provenance(benchmark::State &state)
+{
+    for (auto _ : state) {
+        PersistProvenance prov;
+        g_prov_cycles = runOnce(nullptr, &prov);
+        benchmark::DoNotOptimize(prov.opsBegun());
+    }
+}
+
+void
+BM_ProvenanceSerialized(benchmark::State &state)
+{
+    for (auto _ : state) {
+        PersistProvenance prov;
+        g_prov_cycles = runOnce(nullptr, &prov);
+        benchmark::DoNotOptimize(prov.auditJson().size());
+    }
+}
+
+BENCHMARK(BM_Bare)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Traced)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TracedSerialized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Provenance)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProvenanceSerialized)->Unit(benchmark::kMillisecond);
+
+/** Wall milliseconds of one call, best of `reps` after one warm-up. */
+template <typename F>
+double
+bestOfMs(F &&f, int reps = 3)
+{
+    double best = 1e100;
+    for (int i = 0; i < reps + 1; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        f();
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (i > 0)
+            best = std::min(best, ms);
+    }
+    return best;
+}
+
+/** --json mode: deterministic metrics + advisory wall times. */
+int
+writeMetrics(const std::string &path)
+{
+    Cycle bare_cycles = 0, prov_cycles = 0;
+    std::uint64_t ops = 0, commits = 0;
+    double bare_ms = bestOfMs([&] { bare_cycles = runOnce(nullptr); });
+    double prov_ms = bestOfMs([&] {
+        PersistProvenance prov;
+        prov_cycles = runOnce(nullptr, &prov);
+        ops = prov.opsBegun();
+        commits = prov.audit().size();
+    });
+    double prov_ser_ms = bestOfMs([&] {
+        PersistProvenance prov;
+        runOnce(nullptr, &prov);
+        volatile std::size_t n = prov.auditJson().size();
+        (void)n;
+    });
+    double traced_ms = bestOfMs([&] {
+        TraceSink sink;
+        runOnce(&sink);
+        volatile std::size_t n = sink.eventCount();
+        (void)n;
+    });
+
+    if (bare_cycles != prov_cycles) {
+        std::fprintf(stderr,
+                     "FAIL: provenance-on run took %llu cycles, bare "
+                     "%llu (provenance must not perturb timing)\n",
+                     static_cast<unsigned long long>(prov_cycles),
+                     static_cast<unsigned long long>(bare_cycles));
+        return 1;
+    }
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"trace_overhead\"";
+    const char *key = "Red/sbrp/near";
+    json << ",\n  \"" << key << "/sim_cycles\": " << bare_cycles;
+    json << ",\n  \"" << key << "/prov_sim_cycles\": " << prov_cycles;
+    json << ",\n  \"" << key << "/prov_ops_begun\": " << ops;
+    json << ",\n  \"" << key << "/prov_audit_records\": " << commits;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", bare_ms);
+    json << ",\n  \"" << key << "/bare_ms\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", prov_ms);
+    json << ",\n  \"" << key << "/prov_ms\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", prov_ser_ms);
+    json << ",\n  \"" << key << "/prov_serialized_ms\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", traced_ms);
+    json << ",\n  \"" << key << "/traced_ms\": " << buf;
+    json << "\n}\n";
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 2;
+    }
+    os << json.str();
+    std::printf("bare %.3f ms, provenance-on %.3f ms (+%.1f%%), "
+                "serialized %.3f ms, traced %.3f ms\n",
+                bare_ms, prov_ms,
+                100.0 * (prov_ms - bare_ms) / bare_ms, prov_ser_ms,
+                traced_ms);
+    std::printf("%llu ops, %llu commits, cycles agree at %llu\n",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(bare_cycles));
+    std::printf("metrics JSON: %s\n", path.c_str());
+    return 0;
+}
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Pull out our own flag before google-benchmark sees the argv.
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[i + 1];
+            for (int j = i; j + 2 <= argc; ++j)
+                argv[j] = argv[j + 2];
+            argc -= 2;
+            break;
+        }
+    }
+    if (!json_path.empty())
+        return writeMetrics(json_path);
+
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    // Observation-only check: the tracer must not perturb timing.
-    if (g_untraced_cycles != 0 && g_traced_cycles != 0 &&
-            g_untraced_cycles != g_traced_cycles) {
-        std::fprintf(stderr,
-                     "FAIL: traced run took %llu cycles, untraced %llu "
-                     "(tracing must not perturb the simulation)\n",
-                     static_cast<unsigned long long>(g_traced_cycles),
-                     static_cast<unsigned long long>(g_untraced_cycles));
-        return 1;
+    // Observation-only check: neither layer may perturb timing.
+    for (Cycle observed : {g_traced_cycles, g_prov_cycles}) {
+        if (g_bare_cycles != 0 && observed != 0 &&
+                g_bare_cycles != observed) {
+            std::fprintf(stderr,
+                         "FAIL: instrumented run took %llu cycles, bare "
+                         "%llu (observers must not perturb the "
+                         "simulation)\n",
+                         static_cast<unsigned long long>(observed),
+                         static_cast<unsigned long long>(g_bare_cycles));
+            return 1;
+        }
     }
-    std::printf("traced and untraced runs agree%s\n",
-                g_untraced_cycles ? "" : " (untraced not run)");
+    std::printf("instrumented and bare runs agree%s\n",
+                g_bare_cycles ? "" : " (bare not run)");
     return 0;
 }

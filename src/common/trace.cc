@@ -175,6 +175,23 @@ TraceSink::writeJson(std::ostream &os)
                << "\",\"ts\":" << e.start << ",\"pid\":" << se->pid
                << ",\"tid\":0,\"args\":{\"value\":" << e.value << "}}";
             break;
+          case TraceEventKind::FlowStart:
+          case TraceEventKind::FlowStep:
+          case TraceEventKind::FlowEnd: {
+            const char ph = e.kind == TraceEventKind::FlowStart ? 's'
+                          : e.kind == TraceEventKind::FlowStep  ? 't'
+                                                                : 'f';
+            os << "{\"ph\":\"" << ph << "\",\"cat\":\"flow\",\"name\":\""
+               << jsonEscape(e.name) << "\",\"id\":" << e.value
+               << ",\"ts\":" << e.start << ",\"pid\":" << se->pid
+               << ",\"tid\":" << e.track;
+            // bp:e binds the arrow to the enclosing slice, so chains
+            // attach to the component spans already in the trace.
+            if (e.kind == TraceEventKind::FlowEnd)
+                os << ",\"bp\":\"e\"";
+            os << "}";
+            break;
+          }
         }
     }
 

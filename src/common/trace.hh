@@ -43,9 +43,12 @@ namespace sbrp
 /** Chrome trace_event phases this tracer emits. */
 enum class TraceEventKind : std::uint8_t
 {
-    Span,     ///< Complete duration event ("ph":"X").
-    Instant,  ///< Instant event ("ph":"i").
-    Counter,  ///< Counter sample ("ph":"C").
+    Span,      ///< Complete duration event ("ph":"X").
+    Instant,   ///< Instant event ("ph":"i").
+    Counter,   ///< Counter sample ("ph":"C").
+    FlowStart, ///< Flow start ("ph":"s") — begins an arrow chain.
+    FlowStep,  ///< Flow step ("ph":"t") — continues the chain.
+    FlowEnd,   ///< Flow end ("ph":"f") — terminates the chain.
 };
 
 /** One POD event record. `name` must outlive the sink (literal/interned). */
@@ -54,7 +57,7 @@ struct TraceEvent
     const char *name = nullptr;
     Cycle start = 0;
     Cycle end = 0;            ///< Spans only; == start otherwise.
-    std::uint64_t value = 0;  ///< Counters only.
+    std::uint64_t value = 0;  ///< Counter value, or flow id (flows).
     std::uint32_t track = 0;  ///< tid within the component.
     TraceEventKind kind = TraceEventKind::Instant;
 };
@@ -122,6 +125,43 @@ class TraceBuffer
         e.start = e.end = now();
         e.value = value;
         e.kind = TraceEventKind::Counter;
+        push(e);
+    }
+
+    /**
+     * Flow events: same-`id` events (cat "flow") render as one arrow
+     * chain across components in Perfetto — one persist op's journey
+     * from PB admit to ack is one clickable chain. `at` defaults to the
+     * current cycle; commit/ack emitters stamp the exact event cycle.
+     */
+    void
+    flowStart(const char *name, std::uint64_t id, std::uint32_t track = 0)
+    {
+        flowAt(TraceEventKind::FlowStart, name, id, now(), track);
+    }
+
+    void
+    flowStep(const char *name, std::uint64_t id, std::uint32_t track = 0)
+    {
+        flowAt(TraceEventKind::FlowStep, name, id, now(), track);
+    }
+
+    void
+    flowEnd(const char *name, std::uint64_t id, std::uint32_t track = 0)
+    {
+        flowAt(TraceEventKind::FlowEnd, name, id, now(), track);
+    }
+
+    void
+    flowAt(TraceEventKind kind, const char *name, std::uint64_t id,
+           Cycle at, std::uint32_t track = 0)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.start = e.end = at;
+        e.value = id;
+        e.track = track;
+        e.kind = kind;
         push(e);
     }
 

@@ -43,9 +43,16 @@ CampaignEngine::run()
     CampaignResult result;
 
     // Phase 1: the oracle run. The main runner also serves the
-    // minimization probes later.
+    // minimization probes later. Provenance rides along on the oracle
+    // run (passive — the run stays cycle-identical) so every report
+    // carries a slowest-op summary and callers can export the audit
+    // stream.
     ScenarioRunner mainRunner(cfg_.scenario);
-    result.probe = mainRunner.probe();
+    PersistProvenance localProv;
+    PersistProvenance *prov =
+        cfg_.provenance ? cfg_.provenance : &localProv;
+    result.probe = mainRunner.probe(prov);
+    result.slowestOps = prov->slowest();
     const auto &points = result.probe.points.points;
 
     // Deterministic budget truncation: the first N points of the
@@ -136,6 +143,7 @@ CampaignEngine::run()
         if (!v.executed)
             continue;
         ++result.runsExecuted;
+        result.wallUsTotal += v.wallUs;
         if (!v.pass()) {
             ++result.failures;
             if (i < firstFail)
@@ -224,7 +232,7 @@ JsonValue
 campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
 {
     JsonValue o = JsonValue::object();
-    o.set("schema_version", JsonValue(std::uint64_t{2}));
+    o.set("schema_version", JsonValue(std::uint64_t{3}));
     o.set("app", JsonValue(cfg.scenario.app));
     o.set("model",
           JsonValue(std::string(toString(cfg.scenario.cfg.model))));
@@ -255,6 +263,8 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
     o.set("wall_truncated", JsonValue(result.wallTruncated));
     o.set("failures", JsonValue(result.failures));
     o.set("pass", JsonValue(result.pass()));
+    // Wall-clock keys: the only non-deterministic report content.
+    o.set("wall_us_total", JsonValue(result.wallUsTotal));
 
     JsonValue fails = JsonValue::array();
     for (const CrashVerdict &v : result.verdicts) {
@@ -267,9 +277,43 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
         f.set("pmo_violations", JsonValue(v.pmoViolations));
         f.set("recovered_ok", JsonValue(v.recoveredOk));
         f.set("persist_faults", JsonValue(v.persistFaults));
+        f.set("wall_us", JsonValue(v.wallUs));
         fails.push(std::move(f));
     }
     o.set("failing_points", std::move(fails));
+
+    // Slowest executed crash points by host wall time (diagnosing
+    // which crash points dominate campaign run time).
+    {
+        std::vector<const CrashVerdict *> byWall;
+        for (const CrashVerdict &v : result.verdicts) {
+            if (v.executed)
+                byWall.push_back(&v);
+        }
+        std::stable_sort(byWall.begin(), byWall.end(),
+                         [](const CrashVerdict *a, const CrashVerdict *b) {
+                             return a->wallUs > b->wallUs;
+                         });
+        if (byWall.size() > 8)
+            byWall.resize(8);
+        JsonValue slow = JsonValue::array();
+        for (const CrashVerdict *v : byWall) {
+            JsonValue s = JsonValue::object();
+            s.set("crash_cycle", JsonValue(v->crashAt));
+            s.set("event_kind",
+                  JsonValue(std::string(toString(v->kind))));
+            s.set("wall_us", JsonValue(v->wallUs));
+            slow.push(std::move(s));
+        }
+        o.set("slowest_points", std::move(slow));
+    }
+
+    // Slowest persist ops of the oracle run (cycle-based and fully
+    // deterministic, unlike the wall-time keys above).
+    JsonValue slowOps = JsonValue::array();
+    for (const PersistOpRecord &r : result.slowestOps)
+        slowOps.push(persistOpJson(r));
+    o.set("slowest_ops", std::move(slowOps));
 
     if (result.hasMinimized) {
         JsonValue m = JsonValue::object();
@@ -281,6 +325,92 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
         o.set("replay", result.artifact.toJson());
     }
     return o;
+}
+
+JsonValue
+campaignReportStripWall(const JsonValue &report)
+{
+    if (report.isArray()) {
+        JsonValue a = JsonValue::array();
+        for (const JsonValue &item : report.items())
+            a.push(campaignReportStripWall(item));
+        return a;
+    }
+    if (report.isObject()) {
+        JsonValue o = JsonValue::object();
+        for (const auto &kv : report.fields()) {
+            if (kv.first == "wall_us" || kv.first == "wall_us_total" ||
+                    kv.first == "slowest_points") {
+                continue;
+            }
+            o.set(kv.first, campaignReportStripWall(kv.second));
+        }
+        return o;
+    }
+    return report;
+}
+
+bool
+campaignReportFromJson(const JsonValue &v, CampaignReportSummary *out,
+                       std::string *err)
+{
+    auto fail = [&](const char *msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("campaign report: not a JSON object");
+    const JsonValue *ver = v.find("schema_version");
+    if (!ver)
+        return fail("campaign report: missing schema_version");
+    const std::uint64_t schema = ver->asU64();
+    if (schema != 2 && schema != 3)
+        return fail("campaign report: unsupported schema_version");
+
+    CampaignReportSummary s;
+    s.schemaVersion = schema;
+    const JsonValue *f;
+    if (!(f = v.find("app")) || !f->isString())
+        return fail("campaign report: missing app");
+    s.app = f->asString();
+    if (!(f = v.find("model")) || !f->isString())
+        return fail("campaign report: missing model");
+    s.model = f->asString();
+    if (!(f = v.find("design")) || !f->isString())
+        return fail("campaign report: missing design");
+    s.design = f->asString();
+    if (!(f = v.find("points_enumerated")))
+        return fail("campaign report: missing points_enumerated");
+    s.pointsEnumerated = f->asU64();
+    if (!(f = v.find("runs_executed")))
+        return fail("campaign report: missing runs_executed");
+    s.runsExecuted = f->asU64();
+    if (!(f = v.find("failures")))
+        return fail("campaign report: missing failures");
+    s.failures = f->asU64();
+    if (!(f = v.find("pass")))
+        return fail("campaign report: missing pass");
+    s.pass = f->asBool();
+    if (!(f = v.find("failing_points")) || !f->isArray())
+        return fail("campaign report: missing failing_points");
+    s.failingPoints = f->items().size();
+
+    // v3 additions; a v2 document legitimately lacks them.
+    if (const JsonValue *w = v.find("wall_us_total"))
+        s.wallUsTotal = w->asNumber();
+    else if (schema >= 3)
+        return fail("campaign report: v3 missing wall_us_total");
+    if (const JsonValue *so = v.find("slowest_ops")) {
+        if (!so->isArray())
+            return fail("campaign report: slowest_ops not an array");
+        s.slowestOps = so->items().size();
+    } else if (schema >= 3) {
+        return fail("campaign report: v3 missing slowest_ops");
+    }
+
+    *out = s;
+    return true;
 }
 
 } // namespace sbrp

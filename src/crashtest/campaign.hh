@@ -25,12 +25,14 @@
 #define SBRP_CRASHTEST_CAMPAIGN_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "crashtest/minimize.hh"
 #include "crashtest/replay.hh"
 #include "crashtest/scenario.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -45,6 +47,10 @@ struct CampaignConfig
     std::uint64_t budgetRuns = 0;   ///< Max crash runs; 0 = all points.
     std::uint64_t wallLimitMs = 0;  ///< Graceful cutoff; 0 = none.
     bool minimize = true;       ///< Bisect + emit artifact on failure.
+    /** When non-null, the oracle run records persist provenance here
+        (audit stream + slowest ops); the engine otherwise uses a
+        private instance so reports always carry the summary. */
+    PersistProvenance *provenance = nullptr;
 };
 
 struct CampaignResult
@@ -62,6 +68,13 @@ struct CampaignResult
     bool hasMinimized = false;
     MinimizeResult minimized;
     ReplayArtifact artifact;   ///< Valid only when hasMinimized.
+
+    /** Slowest completed persist ops of the oracle run, by ack latency
+        (deterministic — cycle-based, never wall-clock). */
+    std::vector<PersistOpRecord> slowestOps;
+    /** Host wall time summed over executed crash runs (microseconds,
+        non-deterministic). */
+    double wallUsTotal = 0.0;
 
     /** Clean run consistent, no PMO violations, every executed crash
         point recovered. */
@@ -87,13 +100,50 @@ class CampaignEngine
 };
 
 /**
- * The machine-readable campaign report (schema_version 2): scenario,
- * fault-injection parameters, probe summary, per-failure detail,
+ * The machine-readable campaign report (schema_version 3): scenario,
+ * fault-injection parameters, probe summary, per-failure detail (with
+ * per-crash-point wall time), the oracle run's slowest-op summary,
  * minimization outcome and the embedded replay artifact when one was
- * captured.
+ * captured. Wall-clock keys (`wall_us_total`, per-point `wall_us`,
+ * `slowest_points`) are the only non-deterministic content; golden
+ * comparators strip them (tools/report_compare.py).
  */
 JsonValue campaignReportJson(const CampaignConfig &cfg,
                              const CampaignResult &result);
+
+/**
+ * Copy of a campaign report with the wall-clock keys (`wall_us_total`,
+ * `slowest_points`, per-point `wall_us`) removed — the deterministic
+ * projection used by byte-identity tests and golden comparisons
+ * (tools/report_compare.py is the Python twin).
+ */
+JsonValue campaignReportStripWall(const JsonValue &report);
+
+/**
+ * The subset of a campaign report that downstream tooling consumes,
+ * parseable from schema_version 2 and 3 documents alike (the v3
+ * wall-time and slowest-op fields read as zero/empty under v2).
+ */
+struct CampaignReportSummary
+{
+    std::uint64_t schemaVersion = 0;
+    std::string app;
+    std::string model;
+    std::string design;
+    std::uint64_t pointsEnumerated = 0;
+    std::uint64_t runsExecuted = 0;
+    std::uint64_t failures = 0;
+    bool pass = false;
+    double wallUsTotal = 0.0;            ///< v3 only; 0 under v2.
+    std::uint64_t failingPoints = 0;
+    std::uint64_t slowestOps = 0;        ///< v3 only; 0 under v2.
+};
+
+/** Parses a campaign report (schema 2 or 3). Returns false and sets
+    `*err` on malformed documents or unsupported versions. */
+bool campaignReportFromJson(const JsonValue &v,
+                            CampaignReportSummary *out,
+                            std::string *err);
 
 } // namespace sbrp
 

@@ -1,5 +1,7 @@
 #include "crashtest/scenario.hh"
 
+#include <chrono>
+
 #include "apps/registry.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
@@ -31,7 +33,7 @@ ScenarioRunner::resetImage()
 }
 
 CrashProbe
-ScenarioRunner::probe()
+ScenarioRunner::probe(PersistProvenance *prov)
 {
     resetImage();
 
@@ -39,7 +41,7 @@ ScenarioRunner::probe()
     ExecutionTrace trace;
     TraceSink sink;
     {
-        GpuSystem gpu(scenario_.cfg, live_, &trace, &sink);
+        GpuSystem gpu(scenario_.cfg, live_, &trace, &sink, prov);
         app_->setupGpu(gpu);
         auto res = gpu.launch(app_->forward());
         p.horizon = res.cycles;
@@ -63,6 +65,7 @@ ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
     v.crashAt = crash_at;
     v.kind = kind;
     v.executed = true;
+    const auto wall0 = std::chrono::steady_clock::now();
 
     ExecutionTrace trace;
     {
@@ -96,6 +99,8 @@ ScenarioRunner::runCrashAt(Cycle crash_at, CrashEventKind kind)
         v.ledgerWarpActive += bd.warpActiveCycles;
     }
     v.recoveredOk = app_->verifyRecovered(live_);
+    v.wallUs = std::chrono::duration<double, std::micro>(
+        std::chrono::steady_clock::now() - wall0).count();
     return v;
 }
 

@@ -39,6 +39,8 @@
 namespace sbrp
 {
 
+class PersistProvenance;
+
 /** Everything needed to reconstruct a campaign's runs exactly. */
 struct CrashScenario
 {
@@ -80,6 +82,11 @@ struct CrashVerdict
     std::array<std::uint64_t, kNumCycleCats> ledgerCycles{};
     std::uint64_t ledgerWarpActive = 0;
 
+    /** Host wall time of this crash + recovery run (microseconds).
+        The only non-deterministic verdict field: report comparators
+        must ignore it. */
+    double wallUs = 0.0;
+
     bool
     pass() const
     {
@@ -100,8 +107,14 @@ class ScenarioRunner
         unknown app name. */
     explicit ScenarioRunner(const CrashScenario &scenario);
 
-    /** Runs crash-free with tracing and enumerates crash points. */
-    CrashProbe probe();
+    /**
+     * Runs crash-free with tracing and enumerates crash points. When
+     * `prov` is non-null the oracle run records per-op persist
+     * provenance into it (purely passive — the run stays
+     * cycle-identical), giving campaigns an audit stream and a
+     * slowest-op summary for free.
+     */
+    CrashProbe probe(PersistProvenance *prov = nullptr);
 
     /** Crash at `crash_at`, power-cycle, recover, judge both oracles. */
     CrashVerdict runCrashAt(Cycle crash_at,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -35,10 +36,11 @@ LitmusScenario::runOnce(const SystemConfig &cfg,
         setup_(nvm);
 
     ExecutionTrace trace;
+    PersistProvenance prov;
     LitmusRun run;
     run.crashAt = crash_at;
     {
-        GpuSystem gpu(cfg, nvm, &trace);
+        GpuSystem gpu(cfg, nvm, &trace, nullptr, &prov);
         KernelProgram kernel = build_(nvm);
         auto res = gpu.launch(kernel, crash_at);
         run.cycles = res.cycles;
@@ -47,6 +49,17 @@ LitmusScenario::runOnce(const SystemConfig &cfg,
 
     PmoChecker checker(trace);
     run.violations = checker.check();
+
+    // Free ordering check: the audit stream was appended in durable-
+    // image write order, so it must be monotone in commit cycle (on
+    // crashed runs too — a crash only truncates the prefix).
+    run.auditRecords = prov.audit().size();
+    Cycle lastCommit = 0;
+    for (const PersistAuditRecord &a : prov.audit()) {
+        if (a.commitCycle < lastCommit)
+            ++run.auditOrderBreaks;
+        lastCommit = a.commitCycle;
+    }
     if (judge_)
         run.durableStateOk = judge_(nvm, run.crashed);
     return run;

@@ -42,6 +42,14 @@ struct LitmusRun
     bool crashed = false;
     std::vector<PmoViolation> violations;
     bool durableStateOk = true;
+
+    /** Persist-order audit stream of this run (always recorded): the
+        number of durable commits observed, and how many were written
+        out of cycle order — nonzero means the simulator's durable
+        image write order itself violated monotonicity, independently
+        of the PMO edge check above. */
+    std::uint64_t auditRecords = 0;
+    std::uint64_t auditOrderBreaks = 0;
 };
 
 /** Aggregate outcome of a sweep. */
@@ -55,8 +63,10 @@ struct LitmusReport
     allOk() const
     {
         for (const LitmusRun &r : runs) {
-            if (!r.violations.empty() || !r.durableStateOk)
+            if (!r.violations.empty() || !r.durableStateOk ||
+                    r.auditOrderBreaks != 0) {
                 return false;
+            }
         }
         return true;
     }

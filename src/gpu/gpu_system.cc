@@ -15,7 +15,8 @@ namespace sbrp
 {
 
 GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
-                     ExecutionTrace *trace, TraceSink *sink)
+                     ExecutionTrace *trace, TraceSink *sink,
+                     PersistProvenance *prov)
     : cfg_(cfg),
       nvm_(nvm),
       trace_(trace),
@@ -42,6 +43,7 @@ GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
     fabric_ = std::make_unique<MemoryFabric>(cfg_, sched_.events(), nvm_,
                                              mem_, trace_);
     fabric_->setTrace(tb_fabric);
+    fabric_->setProvenance(prov);
     stats_.add(&fabric_->stats());
     SmObserver *observer = this;   // Private base: convert in-class.
     for (SmId i = 0; i < cfg_.numSms; ++i) {
@@ -49,7 +51,7 @@ GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
             sink_ ? sink_->buffer("sm" + std::to_string(i)) : nullptr;
         sms_.push_back(std::make_unique<Sm>(i, cfg_, *fabric_, mem_,
                                             sched_, trace_, tb_sm,
-                                            observer));
+                                            observer, prov));
         stats_.add(&sms_.back()->stats());
         stats_.add(&sms_.back()->l1Stats());
     }

@@ -58,10 +58,15 @@ class GpuSystem : private SmObserver
      * @param trace  Optional formal-model trace sink (tests).
      * @param sink   Optional event tracer; null means tracing is off and
      *               every instrumentation site costs one null-check.
+     * @param prov   Optional persist-op provenance recorder; same
+     *               null-check discipline as the tracer. Recording is
+     *               pure observation, so runs are cycle-identical with
+     *               provenance on or off.
      */
     GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
               ExecutionTrace *trace = nullptr,
-              TraceSink *sink = nullptr);
+              TraceSink *sink = nullptr,
+              PersistProvenance *prov = nullptr);
 
     ~GpuSystem() override;
 

@@ -7,6 +7,7 @@
 #include "common/trace.hh"
 #include "formal/trace.hh"
 #include "mem/address_map.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -166,7 +167,7 @@ MemoryFabric::readLine(Addr line_addr, Cycle now,
 
 void
 MemoryFabric::persistWrite(Addr line_addr, Cycle now,
-                           PersistCallback on_ack)
+                           PersistCallback on_ack, std::uint64_t op_id)
 {
     // Snapshot the line at flush time: this is the data leaving the L1.
     std::vector<std::uint8_t> payload(cfg_.lineBytes);
@@ -175,7 +176,7 @@ MemoryFabric::persistWrite(Addr line_addr, Cycle now,
     if (trace_)
         ids = trace_->takePending(line_addr);
     persistWritePayload(line_addr, std::move(payload), std::move(ids),
-                        now, std::move(on_ack));
+                        now, std::move(on_ack), op_id);
 }
 
 void
@@ -191,6 +192,19 @@ MemoryFabric::commitTxn(PersistTxn &txn)
     }
     if (trace_ && !txn.ids.empty())
         trace_->recordCommit(std::move(txn.ids));
+}
+
+void
+MemoryFabric::commitProvenance(std::uint64_t op_id, Cycle ack_at)
+{
+    if (op_id == 0)
+        return;
+    if (prov_) {
+        prov_->recordCommit(op_id, ack_at);
+        prov_->complete(op_id, ack_at, false);
+    }
+    if (tb_)
+        tb_->flowStep("persist", op_id);
 }
 
 void
@@ -214,6 +228,8 @@ MemoryFabric::failPersist(std::shared_ptr<PersistTxn> txn, Cycle at,
         }
         if (dPersistAttempts_)
             dPersistAttempts_->record(txn->attempts);
+        if (prov_)
+            prov_->complete(txn->opId, at, true);
         if (txn->ack)
             txn->ack(PersistResult{false, f});
     }, at);
@@ -246,6 +262,8 @@ void
 MemoryFabric::startAttempt(std::shared_ptr<PersistTxn> txn, Cycle now)
 {
     ++txn->attempts;
+    if (prov_)
+        prov_->noteAttempt(txn->opId);
 
     // A line already sticky-poisoned rejects every write outright: no
     // amount of retrying recovers an uncorrectable line.
@@ -270,6 +288,12 @@ MemoryFabric::startAttempt(std::shared_ptr<PersistTxn> txn, Cycle now)
             return;
         }
     }
+
+    // The attempt reached the persistence controller. Retries re-mark,
+    // so the final (successful) attempt's arrival wins and every replay
+    // and backoff cycle folds into the fabric stage.
+    if (prov_)
+        prov_->markArrive(txn->opId, at_host);
 
     Channel &ch = nvmWriteChannel(txn->line);
     const FaultSpec &fs = injector_->spec();
@@ -320,17 +344,24 @@ MemoryFabric::startAttempt(std::shared_ptr<PersistTxn> txn, Cycle now)
     // the write reached the host LLC — which this attempt already did
     // before the media write; the ack then crosses PCIe back.
     Cycle ack_at = accept;
+    Cycle domain_accept = accept;
     if (cfg_.nvmBehindPcie()) {
-        ack_at = (cfg_.persistPoint == PersistPoint::Eadr ? at_host
-                                                          : accept) +
-                 cfg_.pcieLatency;
+        // Under eADR the persistence domain is the host LLC: the op is
+        // durable at at_host, and the media channel's accept (which can
+        // land after the ack) is just background drain.
+        if (cfg_.persistPoint == PersistPoint::Eadr)
+            domain_accept = at_host;
+        ack_at = domain_accept + cfg_.pcieLatency;
         if (cfg_.persistPoint == PersistPoint::Eadr)
             finish(nullptr, accept);
     }
-    finish([this, txn = std::move(txn)]() mutable {
+    if (prov_)
+        prov_->markAccept(txn->opId, domain_accept);
+    finish([this, txn = std::move(txn), ack_at]() mutable {
         commitTxn(*txn);
         if (dPersistAttempts_)
             dPersistAttempts_->record(txn->attempts);
+        commitProvenance(txn->opId, ack_at);
         if (txn->ack)
             txn->ack(PersistResult{});
     }, ack_at);
@@ -340,7 +371,8 @@ void
 MemoryFabric::persistWritePayload(Addr line_addr,
                                   std::vector<std::uint8_t> payload,
                                   std::vector<std::uint64_t> ids,
-                                  Cycle now, PersistCallback on_ack)
+                                  Cycle now, PersistCallback on_ack,
+                                  std::uint64_t op_id)
 {
     sbrp_assert(addr_map::isNvm(line_addr),
                 "persist write to non-NVM line %s", line_addr);
@@ -358,10 +390,13 @@ MemoryFabric::persistWritePayload(Addr line_addr,
         txn->ids = std::move(ids);
         txn->wireBytes = cfg_.lineBytes;
         txn->firstAttempt = now;
+        txn->opId = op_id;
         txn->ack = std::move(on_ack);
         startAttempt(std::move(txn), t);
         return;
     }
+    if (prov_)
+        prov_->noteAttempt(op_id);
 
     auto commit = [this, line_addr, payload = std::move(payload),
                    ids = std::move(ids)]() mutable {
@@ -379,9 +414,14 @@ MemoryFabric::persistWritePayload(Addr line_addr,
                                                           cfg_.lineBytes);
         if (tb_)
             traceQueues(now);
-        finish([commit = std::move(commit),
-                ack = std::move(on_ack)]() mutable {
+        if (prov_) {
+            prov_->markArrive(op_id, t);
+            prov_->markAccept(op_id, accept);
+        }
+        finish([this, commit = std::move(commit), ack = std::move(on_ack),
+                op_id, accept]() mutable {
             commit();
+            commitProvenance(op_id, accept);
             if (ack)
                 ack(PersistResult{});
         }, accept);
@@ -397,31 +437,42 @@ MemoryFabric::persistWritePayload(Addr line_addr,
                                                          cfg_.lineBytes);
     if (tb_)
         traceQueues(now);
+    if (prov_)
+        prov_->markArrive(op_id, at_host);
 
     if (cfg_.persistPoint == PersistPoint::Eadr) {
         // eADR: durable on reaching the battery-backed host LLC; the NVM
         // write still drains behind it, consuming write bandwidth.
-        finish([commit = std::move(commit),
-                ack = std::move(on_ack)]() mutable {
+        Cycle ack_at = at_host + cfg_.pcieLatency;
+        if (prov_)
+            prov_->markAccept(op_id, at_host);
+        finish([this, commit = std::move(commit), ack = std::move(on_ack),
+                op_id, ack_at]() mutable {
             commit();
+            commitProvenance(op_id, ack_at);
             if (ack)
                 ack(PersistResult{});
-        }, at_host + cfg_.pcieLatency);
+        }, ack_at);
         finish(nullptr, mc_accept);
     } else {
-        finish([commit = std::move(commit),
-                ack = std::move(on_ack)]() mutable {
+        Cycle ack_at = mc_accept + cfg_.pcieLatency;
+        if (prov_)
+            prov_->markAccept(op_id, mc_accept);
+        finish([this, commit = std::move(commit), ack = std::move(on_ack),
+                op_id, ack_at]() mutable {
             commit();
+            commitProvenance(op_id, ack_at);
             if (ack)
                 ack(PersistResult{});
-        }, mc_accept + cfg_.pcieLatency);
+        }, ack_at);
     }
 }
 
 void
 MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
                                std::vector<std::uint64_t> ids,
-                               Cycle now, PersistCallback on_ack)
+                               Cycle now, PersistCallback on_ack,
+                               std::uint64_t op_id)
 {
     sbrp_assert(addr_map::isNvm(addr),
                 "persist word write to non-NVM address %s", addr);
@@ -442,10 +493,13 @@ MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
         txn->ids = std::move(ids);
         txn->wireBytes = kSectorBytes;
         txn->firstAttempt = now;
+        txn->opId = op_id;
         txn->ack = std::move(on_ack);
         startAttempt(std::move(txn), t);
         return;
     }
+    if (prov_)
+        prov_->noteAttempt(op_id);
 
     auto commit = [this, addr, value, ids = std::move(ids)]() mutable {
         std::uint8_t bytes[4];
@@ -458,24 +512,36 @@ MemoryFabric::persistWriteWord(Addr addr, std::uint32_t value,
     Cycle accept;
     if (!cfg_.nvmBehindPcie()) {
         accept = nvmWriteChannel(line).acquire(t, kSectorBytes);
+        if (prov_) {
+            prov_->markArrive(op_id, t);
+            prov_->markAccept(op_id, accept);
+        }
     } else {
         Cycle at_host = pcieToHost_.acquire(t, kSectorBytes) +
                         cfg_.pcieLatency;
         stats_.stat("pcie_write_bytes").inc(kSectorBytes);
         Cycle mc_accept = nvmWriteChannel(line).acquire(at_host,
                                                         kSectorBytes);
-        // The acknowledgement crosses PCIe back to the GPU.
-        accept = (cfg_.persistPoint == PersistPoint::Eadr ? at_host
-                                                          : mc_accept) +
-                 cfg_.pcieLatency;
+        // The acknowledgement crosses PCIe back to the GPU. Under eADR
+        // the op is durable at the host LLC (at_host) — the media
+        // accept is background drain and may even land after the ack.
+        Cycle domain_accept =
+            cfg_.persistPoint == PersistPoint::Eadr ? at_host : mc_accept;
+        accept = domain_accept + cfg_.pcieLatency;
+        if (prov_) {
+            prov_->markArrive(op_id, at_host);
+            prov_->markAccept(op_id, domain_accept);
+        }
         if (cfg_.persistPoint == PersistPoint::Eadr)
             finish(nullptr, mc_accept);
     }
     if (tb_)
         traceQueues(now);
 
-    finish([commit = std::move(commit), ack = std::move(on_ack)]() mutable {
+    finish([this, commit = std::move(commit), ack = std::move(on_ack),
+            op_id, accept]() mutable {
         commit();
+        commitProvenance(op_id, accept);
         if (ack)
             ack(PersistResult{});
     }, accept);

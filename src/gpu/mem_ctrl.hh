@@ -36,6 +36,7 @@ namespace sbrp
 
 class ExecutionTrace;
 class TraceBuffer;
+class PersistProvenance;
 
 /** A bandwidth-limited resource (MC channel, PCIe direction). */
 class Channel
@@ -117,8 +118,14 @@ class MemoryFabric
      * link replays / WPQ nacks / media retries; or, when the retry
      * budget is exhausted or the line is sticky-poisoned, with a
      * structured PersistFault and no durable commit.
+     *
+     * `op_id` is the issuing model's provenance op id (0 = untracked):
+     * the fabric stamps arrival / persistence-domain accept / ack
+     * cycles and the durable-commit audit record onto it, and counts
+     * every fault-injected delivery attempt.
      */
-    void persistWrite(Addr line_addr, Cycle now, PersistCallback on_ack);
+    void persistWrite(Addr line_addr, Cycle now, PersistCallback on_ack,
+                      std::uint64_t op_id = 0);
 
     /**
      * Persist write with an explicit payload and store-id set; used for
@@ -128,7 +135,8 @@ class MemoryFabric
     void persistWritePayload(Addr line_addr,
                              std::vector<std::uint8_t> payload,
                              std::vector<std::uint64_t> store_ids,
-                             Cycle now, PersistCallback on_ack);
+                             Cycle now, PersistCallback on_ack,
+                             std::uint64_t op_id = 0);
 
     /**
      * Word-granularity persist used for PM release-variable publishes:
@@ -138,7 +146,8 @@ class MemoryFabric
      */
     void persistWriteWord(Addr addr, std::uint32_t value,
                           std::vector<std::uint64_t> store_ids,
-                          Cycle now, PersistCallback on_ack);
+                          Cycle now, PersistCallback on_ack,
+                          std::uint64_t op_id = 0);
 
     /** Volatile L1 writeback: lands dirty in L2 (GDDR on L2 eviction). */
     void volatileWriteback(Addr line_addr, Cycle now);
@@ -175,6 +184,9 @@ class MemoryFabric
     /** Attach a trace buffer (MC / PCIe queue-depth counter tracks). */
     void setTrace(TraceBuffer *tb) { tb_ = tb; }
 
+    /** Attach the persist-op provenance recorder (null = off). */
+    void setProvenance(PersistProvenance *prov) { prov_ = prov; }
+
     StatGroup &stats() { return stats_; }
     L2Cache &l2() { return *l2_; }
 
@@ -202,6 +214,7 @@ class MemoryFabric
         std::uint32_t wireBytes = 0;
         std::uint32_t attempts = 0;
         Cycle firstAttempt = 0;
+        std::uint64_t opId = 0;   ///< Provenance op id (0 = untracked).
         PersistCallback ack;
     };
 
@@ -224,6 +237,14 @@ class MemoryFabric
                      PersistFaultKind kind);
     /** Commits the txn's data into the durable image. */
     void commitTxn(PersistTxn &txn);
+    /**
+     * Provenance epilogue of a successful persist, called from the
+     * commit/ack event itself: appends the audit record (so the audit
+     * stream is in exact durable-image write order), closes the op at
+     * the ack cycle, and links the fabric's span into the op's flow
+     * chain. No-op for untracked ops.
+     */
+    void commitProvenance(std::uint64_t op_id, Cycle ack_at);
     void l2AllocateClean(Addr line_addr, Cycle now);
     void l2AllocateDirty(Addr line_addr, Cycle now);
     void handleL2Eviction(const L2Cache::Eviction &ev, Cycle now);
@@ -234,6 +255,7 @@ class MemoryFabric
     FunctionalMemory &volatileMem_;
     ExecutionTrace *trace_;
     TraceBuffer *tb_ = nullptr;
+    PersistProvenance *prov_ = nullptr;
 
     StatGroup stats_;
     std::unique_ptr<L2Cache> l2_;

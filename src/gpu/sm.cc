@@ -16,7 +16,7 @@ namespace sbrp
 
 Sm::Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
        FunctionalMemory &mem, Scheduler &sched, ExecutionTrace *trace,
-       TraceBuffer *tb, SmObserver *observer)
+       TraceBuffer *tb, SmObserver *observer, PersistProvenance *prov)
     : id_(id),
       cfg_(cfg),
       fabric_(fabric),
@@ -27,6 +27,7 @@ Sm::Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
       observer_(observer),
       trace_(trace),
       tb_(tb),
+      prov_(prov),
       stats_("sm" + std::to_string(id)),
       l1Stats_("sm" + std::to_string(id) + ".l1"),
       l1_(std::make_unique<L1Cache>(cfg, l1Stats_)),

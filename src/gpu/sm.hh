@@ -60,7 +60,8 @@ class Sm : public SmServices, private WarpStateObserver
   public:
     Sm(SmId id, const SystemConfig &cfg, MemoryFabric &fabric,
        FunctionalMemory &mem, Scheduler &sched, ExecutionTrace *trace,
-       TraceBuffer *tb = nullptr, SmObserver *observer = nullptr);
+       TraceBuffer *tb = nullptr, SmObserver *observer = nullptr,
+       PersistProvenance *prov = nullptr);
     ~Sm() override;
 
     Sm(const Sm &) = delete;
@@ -74,6 +75,8 @@ class Sm : public SmServices, private WarpStateObserver
     Cycle now() const override { return sched_.componentNow(); }
     void resumeWarp(WarpSlot slot) override;
     void noteAsyncActivity() override;
+    std::uint32_t smId() const override { return id_; }
+    PersistProvenance *provenance() override { return prov_; }
 
     // --- Block management ---
     std::uint32_t freeSlots() const;
@@ -202,6 +205,7 @@ class Sm : public SmServices, private WarpStateObserver
     SmObserver *observer_;
     ExecutionTrace *trace_;
     TraceBuffer *tb_;
+    PersistProvenance *prov_;
 
     StatGroup stats_;
     StatGroup l1Stats_;

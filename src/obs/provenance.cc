@@ -1,0 +1,312 @@
+#include "obs/provenance.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+#include <fstream>
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** Retry outliers kept (worst by attempt count). */
+constexpr std::size_t kRetryOutlierCap = 64;
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const char *
+toString(PersistStage s)
+{
+    switch (s) {
+      case PersistStage::IssueToPb:   return "issue_to_pb";
+      case PersistStage::PbResidency: return "pb_residency";
+      case PersistStage::FsmHold:     return "fsm_hold";
+      case PersistStage::Fabric:      return "fabric";
+      case PersistStage::Wpq:         return "wpq";
+      case PersistStage::Media:       return "media";
+    }
+    return "?";
+}
+
+Cycle
+PersistOpRecord::stageCycles(PersistStage s) const
+{
+    // tFsmBlock == 0 means the op was never FSM-held: the PB residency
+    // runs all the way to the flush and the hold stage is empty.
+    const Cycle fsm = tFsmBlock ? tFsmBlock : tFlush;
+    switch (s) {
+      case PersistStage::IssueToPb:   return tAdmit - tIssue;
+      case PersistStage::PbResidency: return fsm - tAdmit;
+      case PersistStage::FsmHold:     return tFlush - fsm;
+      case PersistStage::Fabric:      return tArrive - tFlush;
+      case PersistStage::Wpq:         return tAccept - tArrive;
+      case PersistStage::Media:       return tAck - tAccept;
+    }
+    return 0;
+}
+
+PersistProvenance::PersistProvenance(std::size_t capacity,
+                                     std::size_t top_k)
+    : mask_(roundUpPow2(capacity == 0 ? 1 : capacity) - 1),
+      topKLimit_(top_k)
+{
+    ring_.resize(mask_ + 1);
+}
+
+PersistOpRecord *
+PersistProvenance::slot(std::uint64_t op_id)
+{
+    if (op_id == 0)
+        return nullptr;
+    PersistOpRecord &r = ring_[(op_id & 0xffffffffffull) & mask_];
+    return r.opId == op_id ? &r : nullptr;
+}
+
+const PersistOpRecord *
+PersistProvenance::find(std::uint64_t op_id) const
+{
+    return const_cast<PersistProvenance *>(this)->slot(op_id);
+}
+
+std::uint64_t
+PersistProvenance::beginOp(std::uint32_t sm_id, Addr line_addr,
+                           Scope scope, std::uint64_t epoch, Cycle now)
+{
+    std::uint64_t seq = nextSeq_++;
+    // smId in bits 40+ keeps every id below 2^53, so op ids survive a
+    // JSON (double) round-trip exactly.
+    std::uint64_t id =
+        (static_cast<std::uint64_t>(sm_id) + 1) << 40 | (seq & 0xffffffffffull);
+    PersistOpRecord &r = ring_[seq & mask_];
+    if (r.opId != 0 && !r.completed)
+        ++lost_;   // Ring wrapped onto a still-in-flight op.
+    r = PersistOpRecord{};
+    r.opId = id;
+    r.lineAddr = line_addr;
+    r.smId = sm_id;
+    r.scope = scope;
+    r.epoch = epoch;
+    r.tIssue = r.tAdmit = now;
+    ++begun_;
+    return id;
+}
+
+void
+PersistProvenance::markFsmBlocked(std::uint64_t op_id, Cycle now)
+{
+    PersistOpRecord *r = slot(op_id);
+    if (r && r->tFsmBlock == 0)
+        r->tFsmBlock = now;
+}
+
+void
+PersistProvenance::noteMerge(std::uint64_t op_id)
+{
+    if (PersistOpRecord *r = slot(op_id))
+        ++r->merges;
+}
+
+void
+PersistProvenance::markFlush(std::uint64_t op_id, Cycle now)
+{
+    if (PersistOpRecord *r = slot(op_id))
+        r->tFlush = now;
+}
+
+void
+PersistProvenance::noteAttempt(std::uint64_t op_id)
+{
+    if (PersistOpRecord *r = slot(op_id))
+        ++r->attempts;
+}
+
+void
+PersistProvenance::markArrive(std::uint64_t op_id, Cycle at)
+{
+    // Retries re-arrive; the final attempt's arrival wins, so every
+    // replay and backoff folds into the fabric stage.
+    if (PersistOpRecord *r = slot(op_id))
+        r->tArrive = at;
+}
+
+void
+PersistProvenance::markAccept(std::uint64_t op_id, Cycle at)
+{
+    if (PersistOpRecord *r = slot(op_id))
+        r->tAccept = at;
+}
+
+void
+PersistProvenance::recordCommit(std::uint64_t op_id, Cycle at)
+{
+    PersistOpRecord *r = slot(op_id);
+    if (!r)
+        return;
+    PersistAuditRecord a;
+    a.opId = r->opId;
+    a.addr = r->lineAddr;
+    a.scope = r->scope;
+    a.epoch = r->epoch;
+    a.commitCycle = at;
+    audit_.push_back(a);
+}
+
+void
+PersistProvenance::complete(std::uint64_t op_id, Cycle ack, bool faulted)
+{
+    PersistOpRecord *r = slot(op_id);
+    if (!r)
+        return;
+    r->tAck = ack;
+    r->completed = true;
+    r->faulted = faulted;
+    ++completed_;
+    if (faulted) {
+        // Terminal faults never committed; their trail stays findable
+        // in the ring but is excluded from the waterfall (a faulted op
+        // has no accept point, so its stages would not telescope).
+        ++faulted_;
+        return;
+    }
+    for (std::size_t s = 0; s < kNumPersistStages; ++s)
+        stageDist_[s].record(
+            r->stageCycles(static_cast<PersistStage>(s)));
+    ackDist_.record(r->ackLatency());
+
+    if (r->attempts > 1) {
+        retried_.push_back(*r);
+        if (retried_.size() > kRetryOutlierCap) {
+            std::stable_sort(retried_.begin(), retried_.end(),
+                             [](const PersistOpRecord &a,
+                                const PersistOpRecord &b) {
+                                 return a.attempts > b.attempts;
+                             });
+            retried_.resize(kRetryOutlierCap);
+        }
+    }
+
+    // Bounded top-K by ack latency (stable on ties: earlier op wins).
+    if (topK_.size() < topKLimit_ ||
+            r->ackLatency() > topK_.back().ackLatency()) {
+        topK_.push_back(*r);
+        std::stable_sort(topK_.begin(), topK_.end(),
+                         [](const PersistOpRecord &a,
+                            const PersistOpRecord &b) {
+                             return a.ackLatency() > b.ackLatency();
+                         });
+        if (topK_.size() > topKLimit_)
+            topK_.resize(topKLimit_);
+    }
+}
+
+namespace
+{
+
+JsonValue
+distJson(const Distribution &d)
+{
+    JsonValue o = JsonValue::object();
+    o.set("count", JsonValue(d.count()));
+    o.set("sum", JsonValue(d.sum()));
+    o.set("min", JsonValue(d.min()));
+    o.set("max", JsonValue(d.max()));
+    o.set("p50", JsonValue(d.p50()));
+    o.set("p95", JsonValue(d.p95()));
+    o.set("p99", JsonValue(d.p99()));
+    return o;
+}
+
+} // namespace
+
+JsonValue
+persistOpJson(const PersistOpRecord &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("op_id", JsonValue(r.opId));
+    o.set("sm", JsonValue(static_cast<std::uint64_t>(r.smId)));
+    o.set("addr", JsonValue(r.lineAddr));
+    o.set("scope", JsonValue(std::string(toString(r.scope))));
+    o.set("epoch", JsonValue(r.epoch));
+    o.set("attempts", JsonValue(static_cast<std::uint64_t>(r.attempts)));
+    o.set("merges", JsonValue(static_cast<std::uint64_t>(r.merges)));
+    o.set("faulted", JsonValue(r.faulted));
+    o.set("issue_cycle", JsonValue(r.tIssue));
+    o.set("ack_cycle", JsonValue(r.tAck));
+    o.set("ack_latency", JsonValue(r.ackLatency()));
+    JsonValue stages = JsonValue::object();
+    for (std::size_t s = 0; s < kNumPersistStages; ++s) {
+        auto st = static_cast<PersistStage>(s);
+        stages.set(toString(st), JsonValue(r.stageCycles(st)));
+    }
+    o.set("stages", stages);
+    return o;
+}
+
+std::string
+PersistProvenance::auditJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema_version", JsonValue(std::uint64_t{1}));
+    doc.set("ops_begun", JsonValue(begun_));
+    doc.set("ops_completed", JsonValue(completed_));
+    doc.set("ops_faulted", JsonValue(faulted_));
+    doc.set("records_lost", JsonValue(lost_));
+
+    JsonValue waterfall = JsonValue::object();
+    for (std::size_t s = 0; s < kNumPersistStages; ++s) {
+        auto st = static_cast<PersistStage>(s);
+        waterfall.set(toString(st), distJson(stageDist(st)));
+    }
+    waterfall.set("ack_latency", distJson(ackDist_));
+    doc.set("waterfall", waterfall);
+
+    JsonValue slow = JsonValue::array();
+    for (const PersistOpRecord &r : topK_)
+        slow.push(persistOpJson(r));
+    doc.set("slowest_ops", slow);
+
+    JsonValue outliers = JsonValue::array();
+    for (const PersistOpRecord &r : retried_)
+        outliers.push(persistOpJson(r));
+    doc.set("retry_outliers", outliers);
+
+    JsonValue records = JsonValue::array();
+    for (const PersistAuditRecord &a : audit_) {
+        JsonValue o = JsonValue::object();
+        o.set("op_id", JsonValue(a.opId));
+        o.set("addr", JsonValue(a.addr));
+        o.set("scope", JsonValue(std::string(toString(a.scope))));
+        o.set("epoch", JsonValue(a.epoch));
+        o.set("commit_cycle", JsonValue(a.commitCycle));
+        records.push(o);
+    }
+    doc.set("audit", records);
+    return doc.dump(2);
+}
+
+void
+PersistProvenance::writeAuditJsonFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        sbrp_fatal("cannot open audit output file '%s'", path);
+    f << auditJson() << "\n";
+    f.flush();
+    if (!f)
+        sbrp_fatal("failed writing audit output file '%s'", path);
+}
+
+} // namespace sbrp

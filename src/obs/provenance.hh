@@ -1,0 +1,228 @@
+/**
+ * @file
+ * End-to-end persist-op provenance: the journey of one persist.
+ *
+ * Every persist operation — a PB-buffered line persist, an epoch or
+ * barrier flush, a capacity eviction, a durable flag publication — gets
+ * a stable 64-bit op id at issue and a fixed-size record of stage-entry
+ * timestamps as it moves through the machine:
+ *
+ *   issue -> PB admit -> (FSM hold) -> flush -> fabric arrival ->
+ *   persistence-domain accept -> ack
+ *
+ * The timestamps are monotone, so the six stage residencies telescope:
+ * their sum is exactly the observed ack latency of the op — the
+ * waterfall invariant, test-enforced like the cycle ledger's.
+ *
+ * Overhead discipline mirrors trace.hh: components hold a null
+ * PersistProvenance* when provenance is off, and every instrumentation
+ * site is one pointer null-check. Recording never perturbs timing — it
+ * only observes cycles the simulator already computed — so seeded runs
+ * are cycle-identical with provenance on or off.
+ *
+ * Three consumers:
+ *  - Chrome trace flow events ("s"/"t"/"f") emitted at the same sites
+ *    link the existing component spans into one clickable arrow chain
+ *    per op in Perfetto (see TraceBuffer::flowStart and friends).
+ *  - Per-stage Distribution histograms (the stage-residency waterfall)
+ *    and a bounded top-K of the slowest completed ops with full trails.
+ *  - The persist-order audit stream: one (op_id, addr, scope, epoch,
+ *    commit_cycle) record per durable commit, appended in the exact
+ *    order the simulator wrote the durable image. PmoChecker
+ *    cross-validates this observed order against the formal trace.
+ */
+
+#ifndef SBRP_OBS_PROVENANCE_HH
+#define SBRP_OBS_PROVENANCE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+class JsonValue;
+
+/** The six waterfall stages, in journey order. */
+enum class PersistStage : std::uint8_t
+{
+    IssueToPb,   ///< Op creation -> PB admission (same-cycle today).
+    PbResidency, ///< PB admission -> first FSM block (or flush).
+    FsmHold,     ///< FSM hazard hold at the PB head (0 if never held).
+    Fabric,      ///< Flush -> arrival at the persistence controller
+                 ///< (L2 hop, PCIe crossing, every fault retry+backoff).
+    Wpq,         ///< Arrival -> persistence-domain accept (WPQ queueing;
+                 ///< 0 under eADR, whose domain is the host LLC).
+    Media,       ///< Accept -> ack at the SM (media/ack return leg).
+};
+
+constexpr std::size_t kNumPersistStages = 6;
+
+const char *toString(PersistStage s);
+
+/** Fixed-size per-op record: identity + monotone stage-entry cycles. */
+struct PersistOpRecord
+{
+    std::uint64_t opId = 0;
+    Addr lineAddr = 0;
+    std::uint32_t smId = 0;
+    Scope scope = Scope::Device;
+    std::uint64_t epoch = 0;     ///< Issuing model's ordering epoch.
+    std::uint32_t attempts = 0;  ///< Fabric attempts (1 = clean).
+    std::uint32_t merges = 0;    ///< Stores coalesced into the PB entry.
+    bool completed = false;
+    bool faulted = false;        ///< Terminal PersistFault (no commit).
+
+    // Monotone: tIssue <= tAdmit <= tFsmBlock <= tFlush <= tArrive <=
+    // tAccept <= tAck. tFsmBlock == 0 means "never FSM-held" and reads
+    // as tFlush for the telescoping.
+    Cycle tIssue = 0;
+    Cycle tAdmit = 0;
+    Cycle tFsmBlock = 0;
+    Cycle tFlush = 0;
+    Cycle tArrive = 0;
+    Cycle tAccept = 0;
+    Cycle tAck = 0;
+
+    /** Residency of one stage (consecutive timestamp differences). */
+    Cycle stageCycles(PersistStage s) const;
+
+    /** Observed ack latency; equals the sum of all six stages. */
+    Cycle ackLatency() const { return tAck - tIssue; }
+};
+
+/** One op record as a JSON object (identity, trail, stage cycles) —
+    the shape used by both the provenance document's `slowest_ops` /
+    `retry_outliers` arrays and campaign reports. */
+JsonValue persistOpJson(const PersistOpRecord &r);
+
+/** One durable commit, in the order the durable image was written. */
+struct PersistAuditRecord
+{
+    std::uint64_t opId = 0;
+    Addr addr = 0;
+    Scope scope = Scope::Device;
+    std::uint64_t epoch = 0;
+    Cycle commitCycle = 0;
+};
+
+/**
+ * The provenance recorder. One instance per GpuSystem, shared by every
+ * SM's model and the fabric (the simulator is single-threaded). Op
+ * records live in a fixed-size ring indexed by the op id's sequence
+ * bits; completed stage residencies fold into per-stage Distributions
+ * and a bounded top-K, so a wrapped ring only loses cold full trails.
+ */
+class PersistProvenance
+{
+  public:
+    /** Ring capacity is rounded up to a power of two. */
+    explicit PersistProvenance(std::size_t capacity = 1u << 15,
+                               std::size_t top_k = 16);
+
+    PersistProvenance(const PersistProvenance &) = delete;
+    PersistProvenance &operator=(const PersistProvenance &) = delete;
+
+    /**
+     * Opens a new op at `now` (tIssue = tAdmit = now) and returns its
+     * id: (smId + 1) << 40 | sequence (< 2^53, so ids survive JSON
+     * doubles exactly). Issue order is deterministic, so ids are
+     * stable across seeded runs.
+     */
+    std::uint64_t beginOp(std::uint32_t sm_id, Addr line_addr,
+                          Scope scope, std::uint64_t epoch, Cycle now);
+
+    /** First FSM hold at the PB head; later calls are no-ops. */
+    void markFsmBlocked(std::uint64_t op_id, Cycle now);
+
+    /** A store coalesced into the op's PB entry. */
+    void noteMerge(std::uint64_t op_id);
+
+    /** The op's line left the SM (persistWrite issued). */
+    void markFlush(std::uint64_t op_id, Cycle now);
+
+    /** One fabric delivery attempt (retries call this again). */
+    void noteAttempt(std::uint64_t op_id);
+
+    /** Arrival at the persistence controller (final attempt). */
+    void markArrive(std::uint64_t op_id, Cycle at);
+
+    /** Persistence-domain accept (WPQ accept / host-LLC arrival). */
+    void markAccept(std::uint64_t op_id, Cycle at);
+
+    /** Durable commit: appends the audit record (commit order). */
+    void recordCommit(std::uint64_t op_id, Cycle at);
+
+    /**
+     * Ack observed at the SM. Folds the stage residencies into the
+     * waterfall histograms (clean ops only) and the top-K.
+     */
+    void complete(std::uint64_t op_id, Cycle ack, bool faulted);
+
+    // --- Introspection ---
+
+    /** Record lookup; null once the ring slot was reused. */
+    const PersistOpRecord *find(std::uint64_t op_id) const;
+
+    const Distribution &stageDist(PersistStage s) const
+    { return stageDist_[static_cast<std::size_t>(s)]; }
+
+    const Distribution &ackDist() const { return ackDist_; }
+
+    /** Slowest completed ops by ack latency, descending (full trails). */
+    const std::vector<PersistOpRecord> &slowest() const { return topK_; }
+
+    /** The raw record ring (test introspection): slots with opId == 0
+        are unused; live slots may be in any completion state. */
+    const std::vector<PersistOpRecord> &records() const { return ring_; }
+
+    /** Completed ops that needed more than one fabric attempt. */
+    const std::vector<PersistOpRecord> &retryOutliers() const
+    { return retried_; }
+
+    const std::vector<PersistAuditRecord> &audit() const { return audit_; }
+
+    std::uint64_t opsBegun() const { return begun_; }
+    std::uint64_t opsCompleted() const { return completed_; }
+    std::uint64_t opsFaulted() const { return faulted_; }
+    /** In-flight records evicted by ring wrap (0 in healthy runs). */
+    std::uint64_t recordsLost() const { return lost_; }
+
+    // --- Export ---
+
+    /**
+     * The audit stream + waterfall + slowest-op trails as one JSON
+     * document (schema_version 1). Deterministic for seeded runs:
+     * byte-identical output for byte-identical histories.
+     */
+    std::string auditJson() const;
+
+    /** auditJson() to a file; throws FatalError on I/O failure. */
+    void writeAuditJsonFile(const std::string &path) const;
+
+  private:
+    PersistOpRecord *slot(std::uint64_t op_id);
+
+    std::size_t mask_;
+    std::size_t topKLimit_;
+    std::vector<PersistOpRecord> ring_;
+    std::vector<PersistOpRecord> topK_;
+    std::vector<PersistOpRecord> retried_;
+    std::vector<PersistAuditRecord> audit_;
+    std::array<Distribution, kNumPersistStages> stageDist_;
+    Distribution ackDist_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t begun_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t faulted_ = 0;
+    std::uint64_t lost_ = 0;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_OBS_PROVENANCE_HH

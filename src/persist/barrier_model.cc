@@ -1,11 +1,13 @@
 #include "persist/barrier_model.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "formal/trace.hh"
 #include "gpu/mem_ctrl.hh"
 #include "gpu/warp.hh"
 #include "mem/address_map.hh"
 #include "mem/functional_mem.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -32,20 +34,34 @@ ScopedBarrierModel::flushPmTracked(Addr line_addr)
     sm_.l1().invalidate(line_addr);
     ++actr_;
     stats_.stat("flushes").inc();
+    // Unbuffered like the epoch model: issue/admit/flush coincide, and
+    // every barrier is a device-wide ordering point.
+    std::uint64_t op_id = 0;
+    if (auto *prov = sm_.provenance()) {
+        Cycle issue = sm_.now();
+        op_id = prov->beginOp(sm_.smId(), line_addr, Scope::Device,
+                              provEpoch_, issue);
+        prov->markFlush(op_id, issue);
+        if (tb_)
+            tb_->flowStart("persist", op_id);
+    }
     // Runs for faulted persists too — see PersistencyModel::flushLine.
     sm_.fabric().persistWrite(line_addr, sm_.now(),
-                              [this, seq](const PersistResult &) {
+                              [this, seq, op_id](const PersistResult &) {
         sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
+        if (tb_ && op_id != 0)
+            tb_->flowEnd("persist", op_id);
         onAck();
-    });
+    }, op_id);
 }
 
 std::uint64_t
 ScopedBarrierModel::barrier()
 {
+    ++provEpoch_;   // Ordering point (see EpochModel::flushEpoch).
     std::vector<Addr> dirty;
     sm_.l1().forEachLine([&](L1Cache::Line &l) {
         if (l.isPm && l.dirty)
@@ -147,10 +163,19 @@ ScopedBarrierModel::publishFlags(const std::vector<ReleaseFlag> &flags,
         std::uint64_t seq = ++flushSeq_;
         outstanding_.insert(seq);
         ++actr_;
+        std::uint64_t op_id = 0;
+        if (auto *prov = sm_.provenance()) {
+            Cycle issue = sm_.now();
+            op_id = prov->beginOp(sm_.smId(), f.addr, Scope::Device,
+                                  provEpoch_, issue);
+            prov->markFlush(op_id, issue);
+            if (tb_)
+                tb_->flowStart("persist", op_id);
+        }
         sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
                                       sm_.now(),
-                                      [this, f, wait, slot,
-                                       seq](const PersistResult &r) {
+                                      [this, f, wait, slot, seq,
+                                       op_id](const PersistResult &r) {
             sm_.noteAsyncActivity();
             if (sm_.trace() && f.relId != 0 && r.ok)
                 sm_.trace()->publishRel(f.addr, f.relId);
@@ -158,10 +183,12 @@ ScopedBarrierModel::publishFlags(const std::vector<ReleaseFlag> &flags,
             sbrp_assert(actr_ > 0, "flag ack underflow");
             --actr_;
             outstanding_.erase(seq);
+            if (tb_ && op_id != 0)
+                tb_->flowEnd("persist", op_id);
             if (--*wait == 0)
                 sm_.resumeWarp(slot);
             onAck();
-        });
+        }, op_id);
     }
     if (*wait == 0)
         sm_.resumeWarp(slot);

@@ -1,11 +1,13 @@
 #include "persist/epoch_model.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "formal/trace.hh"
 #include "gpu/mem_ctrl.hh"
 #include "gpu/warp.hh"
 #include "mem/address_map.hh"
 #include "mem/functional_mem.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -77,17 +79,31 @@ EpochModel::flushPmTracked(Addr line_addr)
     sm_.l1().invalidate(line_addr);
     ++actr_;
     stats_.stat("flushes").inc();
+    // The epoch model has no persist buffer: an op's whole SM-side life
+    // is this flush, so issue/admit/flush coincide. Epoch barriers are
+    // device-wide, hence the Device scope.
+    std::uint64_t op_id = 0;
+    if (auto *prov = sm_.provenance()) {
+        Cycle issue = sm_.now();
+        op_id = prov->beginOp(sm_.smId(), line_addr, Scope::Device,
+                              provEpoch_, issue);
+        prov->markFlush(op_id, issue);
+        if (tb_)
+            tb_->flowStart("persist", op_id);
+    }
     // Bookkeeping runs whether the persist succeeded or exhausted its
     // retry budget: the terminal fault lives in the fabric's
     // PersistFault record, and a stuck ACTR would deadlock the epoch.
     sm_.fabric().persistWrite(line_addr, sm_.now(),
-                              [this, seq](const PersistResult &) {
+                              [this, seq, op_id](const PersistResult &) {
         sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
         outstanding_.erase(seq);
+        if (tb_ && op_id != 0)
+            tb_->flowEnd("persist", op_id);
         onAck();
-    });
+    }, op_id);
 }
 
 void
@@ -107,6 +123,8 @@ std::uint32_t
 EpochModel::flushEpoch()
 {
     std::uint32_t flushes = 0;
+    ++provEpoch_;   // Ordering point: this barrier's flushes (and all
+                    // ops until the next barrier) share the new ordinal.
     std::vector<Addr> pm_dirty;
     std::vector<Addr> pm_clean;
     std::vector<Addr> vol_dirty;

@@ -32,6 +32,7 @@ class MemoryFabric;
 class FunctionalMemory;
 class ExecutionTrace;
 class TraceBuffer;
+class PersistProvenance;
 
 /** Result of a model hook for the issuing warp. */
 enum class HookResult : std::uint8_t
@@ -64,6 +65,16 @@ class SmServices
 
     /** Wakes a StallComplete-parked warp. */
     virtual void resumeWarp(WarpSlot slot) = 0;
+
+    /** This SM's hardware id (persist-op provenance identity). */
+    virtual std::uint32_t smId() const { return 0; }
+
+    /**
+     * The system-wide persist-op provenance recorder, or null when
+     * provenance is off. Models null-check once per instrumentation
+     * site, mirroring the TraceBuffer discipline.
+     */
+    virtual PersistProvenance *provenance() { return nullptr; }
 
     /**
      * Event-callback prologue: settles the SM's skipped-cycle
@@ -204,6 +215,13 @@ class PersistencyModel
     StatGroup &stats_;
     TraceBuffer *tb_ = nullptr;
     std::uint32_t actr_ = 0;
+    /**
+     * Ordering-epoch ordinal stamped into provenance records: bumped at
+     * every model ordering point (oFence/dFence/pRel, epoch barrier,
+     * persist barrier), so the audit stream can group commits by the
+     * epoch that ordered them.
+     */
+    std::uint64_t provEpoch_ = 0;
 };
 
 /** Builds the model selected by cfg.model for one SM. */

@@ -60,6 +60,7 @@ class PersistBuffer
         bool valid = true;
         std::uint64_t id = 0;
         Cycle admitCycle = 0;              ///< Cycle the entry entered.
+        std::uint64_t opId = 0;            ///< Provenance op id (0 = off).
     };
 
     explicit PersistBuffer(std::uint32_t capacity);

@@ -12,6 +12,7 @@
 #include "gpu/warp.hh"
 #include "mem/address_map.hh"
 #include "mem/functional_mem.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -71,7 +72,7 @@ SbrpModel::minOutstanding() const
 }
 
 void
-SbrpModel::flushTracked(Addr line_addr, Cycle admit)
+SbrpModel::flushTracked(Addr line_addr, Cycle admit, std::uint64_t op_id)
 {
     std::uint64_t seq = ++flushSeq_;
     outstanding_.insert(seq);
@@ -81,13 +82,19 @@ SbrpModel::flushTracked(Addr line_addr, Cycle admit)
     Cycle issue = sm_.now();
     if (admit != 0)
         dResidency_->record(issue - admit);
-    if (tb_)
+    if (auto *prov = sm_.provenance())
+        prov->markFlush(op_id, issue);
+    if (tb_) {
         tb_->instant("pb:flush", kPbTrack);
+        if (op_id != 0)
+            tb_->flowStep("persist", op_id, kPbTrack);
+    }
     // The nack/retry machine inside the fabric retires faulted persists
     // too (PersistFault on budget exhaustion), so the ACTR always drops
     // and the drain engine never wedges on an injected fault.
     sm_.fabric().persistWrite(line_addr, issue,
-                              [this, seq, issue](const PersistResult &) {
+                              [this, seq, issue,
+                               op_id](const PersistResult &) {
         sm_.noteAsyncActivity();
         sbrp_assert(actr_ > 0, "ack with ACTR already zero");
         --actr_;
@@ -95,10 +102,13 @@ SbrpModel::flushTracked(Addr line_addr, Cycle admit)
         // sm_.now() lags one cycle inside event callbacks; close enough
         // for the latency histogram.
         dAckLatency_->record(sm_.now() - issue);
-        if (tb_)
+        if (tb_) {
             tb_->instant("pb:ack", kPbTrack);
+            if (op_id != 0)
+                tb_->flowEnd("persist", op_id, kPbTrack);
+        }
         onAck();
-    });
+    }, op_id);
 }
 
 void
@@ -248,6 +258,10 @@ SbrpModel::performLines(Warp &warp, const std::vector<Addr> &lines,
             sm_.l1().lookup(line, sm_.now());
             pb_.coalesce(l->pbEntry, wm);
             stats_.stat("coalesced_persists").inc();
+            if (auto *prov = sm_.provenance()) {
+                if (PersistBuffer::Entry *e = pb_.find(l->pbEntry))
+                    prov->noteMerge(e->opId);
+            }
             write(line);
             continue;
         }
@@ -268,6 +282,15 @@ SbrpModel::performLines(Warp &warp, const std::vector<Addr> &lines,
         l->dirty = true;
         l->isPm = true;
         l->pbEntry = pb_.pushPersist(line, wm, sm_.now());
+        if (auto *prov = sm_.provenance()) {
+            // SBRP line persists are block-scoped by construction: the
+            // FIFO + FSM order them within the issuing threadblock.
+            PersistBuffer::Entry *e = pb_.find(l->pbEntry);
+            e->opId = prov->beginOp(sm_.smId(), line, Scope::Block,
+                                    provEpoch_, sm_.now());
+            if (tb_)
+                tb_->flowStart("persist", e->opId, kPbTrack);
+        }
         if (tb_)
             tb_->instant("pb:admit", kPbTrack);
         // Write the line's data (functional + trace) *now*: a later
@@ -317,6 +340,7 @@ SbrpModel::oFence(Warp &warp)
 {
     WarpMask wm = WarpMask::single(warp.slot());
     std::uint64_t id = pb_.pushOrder(PbType::OFence, wm, {}, sm_.now());
+    ++provEpoch_;
     if (cfg_.flushPolicy == FlushPolicy::Lazy)
         requestDrainThrough(id);   // Lazy: flush only at ordering points.
     stats_.stat("ofences").inc();
@@ -328,6 +352,7 @@ SbrpModel::dFence(Warp &warp)
 {
     WarpMask wm = WarpMask::single(warp.slot());
     std::uint64_t id = pb_.pushOrder(PbType::DFence, wm, {}, sm_.now());
+    ++provEpoch_;
     odm_ |= wm;
     requestDrainThrough(id);
     stats_.stat("dfences").inc();
@@ -401,6 +426,7 @@ SbrpModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags, Scope scope)
         }
         std::uint64_t id = pb_.pushOrder(PbType::RelBlock, wm, {},
                                          sm_.now());
+        ++provEpoch_;
         if (cfg_.flushPolicy == FlushPolicy::Lazy)
             requestDrainThrough(id);
         stats_.stat("rel_block").inc();
@@ -411,6 +437,7 @@ SbrpModel::pRel(Warp &warp, std::vector<ReleaseFlag> flags, Scope scope)
     // flag only once every prior persist is durable.
     std::uint64_t id = pb_.pushOrder(PbType::RelDev, wm, std::move(flags),
                                      sm_.now());
+    ++provEpoch_;
     odm_ |= wm;
     requestDrainThrough(id);
     stats_.stat("rel_dev").inc();
@@ -493,9 +520,10 @@ SbrpModel::evictPmNow(const L1Cache::Line &victim)
                 "evicting dirty PM line without a PB entry");
     PersistBuffer::Entry *e = pb_.find(victim.pbEntry);
     Cycle admit = e ? e->admitCycle : 0;
+    std::uint64_t op = e ? e->opId : 0;
     pb_.invalidate(victim.pbEntry);
     stats_.stat("capacity_evictions").inc();
-    flushTracked(victim.lineAddr, admit);
+    flushTracked(victim.lineAddr, admit, op);
 }
 
 void
@@ -513,6 +541,11 @@ SbrpModel::drain()
                 // Blocked cycles accumulate once per drain attempt
                 // (drain runs every tick), approximating stall time.
                 stFsmBlockCycles_->inc();
+                // First-wins: the op's FSM hold starts at the first
+                // blocked drain attempt (drainState() probes during a
+                // sleep never reach here, so recording stays exact).
+                if (auto *prov = sm_.provenance())
+                    prov->markFsmBlocked(h->opId, sm_.now());
                 done();
                 return;   // Wait for the hazard's acks.
             }
@@ -524,8 +557,9 @@ SbrpModel::drain()
             }
             Addr line = h->lineAddr;
             Cycle admit = h->admitCycle;
+            std::uint64_t op = h->opId;
             pb_.popHead();
-            flushTracked(line, admit);
+            flushTracked(line, admit, op);
             ++flushed;
             break;
           }
@@ -589,12 +623,24 @@ SbrpModel::publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
         ++actr_;
         stats_.stat("flag_persists").inc();
         Cycle issue = sm_.now();
+        std::uint64_t op_id = 0;
+        if (auto *prov = sm_.provenance()) {
+            // Flag publications are device-scoped releases: their
+            // durability is what remote acquirers synchronize on.
+            op_id = prov->beginOp(sm_.smId(), f.addr, Scope::Device,
+                                  provEpoch_, issue);
+            prov->markFlush(op_id, issue);
+            if (tb_)
+                tb_->flowStart("persist", op_id, kPbTrack);
+        }
         sm_.fabric().persistWriteWord(f.addr, f.value, std::move(ids),
                                       issue,
-                                      [this, f, wait, seq,
-                                       issue](const PersistResult &r) {
+                                      [this, f, wait, seq, issue,
+                                       op_id](const PersistResult &r) {
             sm_.noteAsyncActivity();
             dAckLatency_->record(sm_.now() - issue);
+            if (tb_ && op_id != 0)
+                tb_->flowEnd("persist", op_id, kPbTrack);
             // Publish even when the persist faulted: acquirers spinning
             // on the flag must not hang, and the PersistFault record
             // (not visibility) is the failure signal.
@@ -607,7 +653,7 @@ SbrpModel::publishFlagsDurable(const std::vector<ReleaseFlag> &flags,
             --actr_;
             outstanding_.erase(seq);
             onAck();
-        });
+        }, op_id);
     }
 
     if (wait->remaining == 0)

@@ -114,7 +114,8 @@ class SbrpModel : public PersistencyModel
      * `admit` (when nonzero) is the flushed entry's admission cycle,
      * used for the PB-residency histogram.
      */
-    void flushTracked(Addr line_addr, Cycle admit = 0);
+    void flushTracked(Addr line_addr, Cycle admit = 0,
+                      std::uint64_t op_id = 0);
 
     /** Earliest still-unacknowledged flush sequence (max if none). */
     std::uint64_t minOutstanding() const;

@@ -302,6 +302,46 @@ TEST(Distribution, MergePoolsExactly)
     EXPECT_EQ(empty.max(), 1000u);
 }
 
+TEST(Distribution, InterpolationIsMonotoneAcrossBucketBoundaries)
+{
+    // Samples spanning four log2 buckets ([8,15], [16,31], [32,63],
+    // [64,127]): a dense sweep of percentile(p) must be nondecreasing
+    // through every bucket crossing — interpolating by rank within one
+    // bucket must never report a value above the next bucket's picks.
+    Distribution d;
+    for (std::uint64_t v = 8; v < 128; ++v)
+        d.record(v);
+    std::uint64_t prev = 0;
+    for (int i = 0; i <= 100; ++i) {
+        std::uint64_t q = d.percentile(i / 100.0);
+        EXPECT_GE(q, prev) << "p=" << i / 100.0;
+        EXPECT_GE(q, d.min()) << "p=" << i / 100.0;
+        EXPECT_LE(q, d.max()) << "p=" << i / 100.0;
+        prev = q;
+    }
+    EXPECT_EQ(d.percentile(1.0), d.max());
+}
+
+TEST(Distribution, MergedPercentilesMatchPooledRecording)
+{
+    // Merging two histograms must be indistinguishable from recording
+    // every sample into one: identical buckets mean identical
+    // percentiles, not merely compatible summaries.
+    Distribution left, right, pooled;
+    for (std::uint64_t v = 1; v <= 300; ++v) {
+        ((v % 2) ? left : right).record(v);
+        pooled.record(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), pooled.count());
+    EXPECT_EQ(left.sum(), pooled.sum());
+    for (std::uint32_t b = 0; b < Distribution::kBuckets; ++b)
+        EXPECT_EQ(left.bucketCount(b), pooled.bucketCount(b)) << b;
+    for (int i = 0; i <= 20; ++i)
+        EXPECT_EQ(left.percentile(i / 20.0), pooled.percentile(i / 20.0))
+            << "p=" << i / 20.0;
+}
+
 TEST(Stats, DistributionAppearsInDump)
 {
     StatGroup g("sm0");

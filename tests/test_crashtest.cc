@@ -321,7 +321,7 @@ TEST(Campaign, ReportJsonParsesAndMatchesResult)
         JsonValue::parse(campaignReportJson(cc, r).dump(2), &err);
     ASSERT_TRUE(report.isObject()) << err;
     ASSERT_NE(report.find("schema_version"), nullptr);
-    EXPECT_EQ(report.find("schema_version")->asU64(), 2u);
+    EXPECT_EQ(report.find("schema_version")->asU64(), 3u);
     EXPECT_EQ(report.find("app")->asString(), "Red");
     EXPECT_EQ(report.find("fault_spec")->asString(), "none");
     EXPECT_EQ(report.find("clean_persist_faults")->asU64(), 0u);
@@ -330,6 +330,80 @@ TEST(Campaign, ReportJsonParsesAndMatchesResult)
     EXPECT_TRUE(report.find("failing_points")->isArray());
     EXPECT_EQ(report.find("points_enumerated")->asU64(),
               r.probe.points.points.size());
+
+    // v3 additions: wall time and the oracle run's slowest persist ops
+    // (Red persists, so provenance must have captured some).
+    ASSERT_NE(report.find("wall_us_total"), nullptr);
+    EXPECT_GT(report.find("wall_us_total")->asNumber(), 0.0);
+    ASSERT_NE(report.find("slowest_ops"), nullptr);
+    EXPECT_TRUE(report.find("slowest_ops")->isArray());
+    EXPECT_FALSE(report.find("slowest_ops")->items().empty());
+    ASSERT_NE(report.find("slowest_points"), nullptr);
+    EXPECT_TRUE(report.find("slowest_points")->isArray());
+}
+
+TEST(Campaign, ReportSummaryRoundTripsV3AndParsesV2)
+{
+    CampaignConfig cc;
+    cc.scenario = scenarioFor("Red", ModelKind::Sbrp);
+    cc.budgetRuns = 4;
+    cc.minimize = false;
+    CampaignResult r = CampaignEngine(cc).run();
+
+    // v3 round trip: emit -> parse -> summary matches the result.
+    std::string err;
+    JsonValue v3 =
+        JsonValue::parse(campaignReportJson(cc, r).dump(2), &err);
+    CampaignReportSummary s;
+    ASSERT_TRUE(campaignReportFromJson(v3, &s, &err)) << err;
+    EXPECT_EQ(s.schemaVersion, 3u);
+    EXPECT_EQ(s.app, "Red");
+    EXPECT_EQ(s.model, "SBRP");
+    EXPECT_EQ(s.runsExecuted, r.runsExecuted);
+    EXPECT_EQ(s.failures, r.failures);
+    EXPECT_EQ(s.pointsEnumerated, r.probe.points.points.size());
+    EXPECT_EQ(s.pass, r.pass());
+    EXPECT_EQ(s.slowestOps, r.slowestOps.size());
+    EXPECT_EQ(s.wallUsTotal, r.wallUsTotal);
+
+    // A schema 2 document (no wall/slowest keys) still parses; the v3
+    // fields read as zero.
+    JsonValue v2 = v3;
+    v2.set("schema_version", JsonValue(std::uint64_t{2}));
+    {
+        // Rebuild without the v3-only keys.
+        JsonValue stripped = JsonValue::object();
+        for (const auto &kv : v2.fields()) {
+            if (kv.first == "wall_us_total" ||
+                    kv.first == "slowest_points" ||
+                    kv.first == "slowest_ops") {
+                continue;
+            }
+            stripped.set(kv.first, kv.second);
+        }
+        CampaignReportSummary s2;
+        ASSERT_TRUE(campaignReportFromJson(stripped, &s2, &err)) << err;
+        EXPECT_EQ(s2.schemaVersion, 2u);
+        EXPECT_EQ(s2.runsExecuted, r.runsExecuted);
+        EXPECT_EQ(s2.wallUsTotal, 0.0);
+        EXPECT_EQ(s2.slowestOps, 0u);
+    }
+
+    // Unsupported versions and malformed documents are rejected.
+    JsonValue bad = v3;
+    bad.set("schema_version", JsonValue(std::uint64_t{99}));
+    CampaignReportSummary s3;
+    EXPECT_FALSE(campaignReportFromJson(bad, &s3, &err));
+    EXPECT_NE(err.find("schema_version"), std::string::npos);
+    EXPECT_FALSE(campaignReportFromJson(JsonValue::array(), &s3, &err));
+
+    // A v3 document missing its v3 keys is malformed.
+    JsonValue incomplete = JsonValue::object();
+    for (const auto &kv : v3.fields()) {
+        if (kv.first != "wall_us_total")
+            incomplete.set(kv.first, kv.second);
+    }
+    EXPECT_FALSE(campaignReportFromJson(incomplete, &s3, &err));
 }
 
 TEST(ReplayArtifact, RejectsMalformedInputs)

@@ -330,8 +330,10 @@ TEST(FaultCampaign, PinnedSeedVerdictsIdenticalAcrossJobs)
         CampaignEngine engine(cc);
         CampaignResult res = engine.run();
         // Render verdicts + report to bytes; mask the jobs knob, which
-        // is the one legitimate difference between the runs.
-        JsonValue report = campaignReportJson(cc, res);
+        // is the one legitimate difference between the runs, and strip
+        // the wall-clock keys (host timing, never deterministic).
+        JsonValue report =
+            campaignReportStripWall(campaignReportJson(cc, res));
         report.set("jobs", JsonValue(std::uint64_t{0}));
         std::string bytes = report.dump(2);
         for (const CrashVerdict &v : res.verdicts) {
@@ -368,7 +370,8 @@ TEST(FaultCampaign, SameSeedSameJobsBitIdenticalOutputs)
         cc.minimize = true;
         CampaignEngine engine(cc);
         CampaignResult res = engine.run();
-        std::string bytes = campaignReportJson(cc, res).dump(2);
+        std::string bytes =
+            campaignReportStripWall(campaignReportJson(cc, res)).dump(2);
         bytes += "|" + engine.stats().dumpJson();
         EXPECT_TRUE(res.hasMinimized);
         if (res.hasMinimized)

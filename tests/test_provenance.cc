@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Persist-op provenance: the waterfall sum invariant, the audit
+ * stream's cross-checks, determinism, and the zero-cost-when-off
+ * guarantee.
+ *
+ * The headline invariant mirrors the cycle ledger's: for every
+ * completed, non-faulted persist op the six stage residencies telescope
+ * to exactly the observed ack latency — across every app x model x
+ * design combination, including fault-injected runs whose retries and
+ * backoff all fold into the fabric stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/registry.hh"
+#include "common/config.hh"
+#include "formal/checker.hh"
+#include "formal/trace.hh"
+#include "gpu/gpu_system.hh"
+#include "mem/nvm_device.hh"
+#include "obs/provenance.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+struct Combo
+{
+    const char *app;
+    ModelKind model;
+    SystemDesign design;
+};
+
+std::string
+comboName(const testing::TestParamInfo<Combo> &info)
+{
+    std::string n = info.param.app;
+    n += "_";
+    n += toString(info.param.model);
+    n += "_";
+    n += toString(info.param.design);
+    std::string out;
+    for (char c : n) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> out;
+    for (const char *app :
+         {"gpKVS", "HM", "SRAD", "Red", "MQ", "Scan", "Ckpt"}) {
+        out.push_back({app, ModelKind::Gpm, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::ScopedBarrier,
+                       SystemDesign::PmNear});
+    }
+    return out;
+}
+
+/** Runs an app crash-free with provenance (and optionally the formal
+    trace) attached; returns the kernel cycle count. */
+Cycle
+runWithProvenance(const std::string &app_name, const SystemConfig &cfg,
+                  PersistProvenance *prov,
+                  ExecutionTrace *trace = nullptr,
+                  NvmDevice *nvm_out = nullptr)
+{
+    NvmDevice local;
+    NvmDevice &nvm = nvm_out ? *nvm_out : local;
+    auto app = makeRegisteredApp(app_name, cfg.model);
+    EXPECT_TRUE(app) << app_name;
+    app->setupNvm(nvm);
+    GpuSystem gpu(cfg, nvm, trace, nullptr, prov);
+    app->setupGpu(gpu);
+    auto res = gpu.launch(app->forward());
+    EXPECT_TRUE(app->verify(nvm)) << app_name;
+    return res.cycles;
+}
+
+/** Asserts the waterfall invariant over every live record and the
+    aggregate histograms. */
+void
+checkWaterfall(const PersistProvenance &prov, const std::string &what)
+{
+    EXPECT_GT(prov.opsCompleted(), 0u) << what;
+    EXPECT_EQ(prov.recordsLost(), 0u) << what;
+
+    std::uint64_t clean = 0;
+    for (const PersistOpRecord &r : prov.records()) {
+        if (r.opId == 0)
+            continue;
+        EXPECT_TRUE(r.completed)
+            << what << ": op " << r.opId << " still in flight";
+        if (!r.completed || r.faulted)
+            continue;
+        ++clean;
+        // Monotone journey...
+        const Cycle fsm = r.tFsmBlock ? r.tFsmBlock : r.tFlush;
+        EXPECT_LE(r.tIssue, r.tAdmit) << what;
+        EXPECT_LE(r.tAdmit, fsm) << what;
+        EXPECT_LE(fsm, r.tFlush) << what;
+        EXPECT_LE(r.tFlush, r.tArrive) << what;
+        EXPECT_LE(r.tArrive, r.tAccept) << what;
+        EXPECT_LE(r.tAccept, r.tAck) << what;
+        // ...whose stage residencies telescope to the ack latency.
+        Cycle sum = 0;
+        for (std::size_t s = 0; s < kNumPersistStages; ++s)
+            sum += r.stageCycles(static_cast<PersistStage>(s));
+        EXPECT_EQ(sum, r.ackLatency())
+            << what << ": op " << r.opId << " stages do not telescope";
+    }
+    EXPECT_EQ(clean, prov.opsCompleted() - prov.opsFaulted()) << what;
+
+    // Aggregate form: summed per-stage histograms equal the ack
+    // histogram, in both population and total cycles.
+    std::uint64_t stage_sum = 0;
+    for (std::size_t s = 0; s < kNumPersistStages; ++s) {
+        const Distribution &d =
+            prov.stageDist(static_cast<PersistStage>(s));
+        EXPECT_EQ(d.count(), prov.ackDist().count()) << what;
+        stage_sum += d.sum();
+    }
+    EXPECT_EQ(stage_sum, prov.ackDist().sum()) << what;
+}
+
+class ProvenanceWaterfall : public testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(ProvenanceWaterfall, StageSumEqualsAckLatency)
+{
+    const Combo &c = GetParam();
+    SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+    PersistProvenance prov;
+    runWithProvenance(c.app, cfg, &prov);
+    const std::string what = std::string(c.app) + "/" +
+                             toString(c.model) + "/" + toString(c.design);
+    checkWaterfall(prov, what);
+    // Every completed op committed durably exactly once.
+    EXPECT_EQ(prov.audit().size(),
+              prov.opsCompleted() - prov.opsFaulted());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ProvenanceWaterfall,
+                         testing::ValuesIn(allCombos()), comboName);
+
+TEST(ProvenanceFault, WaterfallHoldsUnderInjectedRetries)
+{
+    // PM-far with aggressive transient rates: PCIe corruptions and NVM
+    // media faults force replays, which must all fold into the fabric
+    // stage without breaking the telescoping sum.
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmFar);
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("pcie=2e-2,media=2e-2", &cfg.faults,
+                                 &err)) << err;
+    cfg.seed = 9;
+    cfg.validate();
+
+    PersistProvenance prov;
+    runWithProvenance("Red", cfg, &prov);
+    checkWaterfall(prov, "Red/sbrp/far faulted");
+
+    // The schedule above is dense enough that some op retried.
+    EXPECT_FALSE(prov.retryOutliers().empty());
+    for (const PersistOpRecord &r : prov.retryOutliers())
+        EXPECT_GT(r.attempts, 1u);
+}
+
+TEST(ProvenanceFault, TerminalFaultsExcludedFromWaterfall)
+{
+    // A crippled retry budget under a certain media fault guarantees
+    // terminal persist faults; those ops complete as faulted and must
+    // not pollute the stage histograms.
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmNear);
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("media=0.5", &cfg.faults, &err)) << err;
+    cfg.seed = 7;
+    cfg.persistRetryBudget = 1;
+    cfg.validate();
+
+    NvmDevice nvm;
+    auto app = makeRegisteredApp("MQ", cfg.model);
+    ASSERT_TRUE(app);
+    app->setupNvm(nvm);
+    PersistProvenance prov;
+    {
+        GpuSystem gpu(cfg, nvm, nullptr, nullptr, &prov);
+        app->setupGpu(gpu);
+        gpu.launch(app->forward());
+        ASSERT_FALSE(gpu.fabric().persistFaults().empty());
+    }
+    EXPECT_GT(prov.opsFaulted(), 0u);
+    EXPECT_EQ(prov.ackDist().count(),
+              prov.opsCompleted() - prov.opsFaulted());
+    checkWaterfall(prov, "MQ terminal faults");
+}
+
+class ProvenanceAudit : public testing::TestWithParam<Combo>
+{
+};
+
+std::vector<Combo>
+auditCombos()
+{
+    // The audit cross-check matrix: all seven apps under the two
+    // models whose ordering semantics differ most.
+    std::vector<Combo> out;
+    for (const char *app :
+         {"gpKVS", "HM", "SRAD", "Red", "MQ", "Scan", "Ckpt"}) {
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmFar});
+    }
+    return out;
+}
+
+TEST_P(ProvenanceAudit, CommitOrderAgreesWithPmoChecker)
+{
+    const Combo &c = GetParam();
+    SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+    PersistProvenance prov;
+    ExecutionTrace trace;
+    runWithProvenance(c.app, cfg, &prov, &trace);
+
+    // Formal cross-validation: the checker proves every PMO edge is
+    // honored by commit indices...
+    PmoChecker checker(trace);
+    EXPECT_TRUE(checker.check().empty()) << c.app;
+
+    // ...and the audit stream itself — appended in durable-image write
+    // order — must be monotone in commit cycle, with unique op ids.
+    ASSERT_FALSE(prov.audit().empty()) << c.app;
+    Cycle last = 0;
+    std::set<std::uint64_t> ids;
+    for (const PersistAuditRecord &a : prov.audit()) {
+        EXPECT_GE(a.commitCycle, last) << c.app;
+        last = a.commitCycle;
+        EXPECT_TRUE(ids.insert(a.opId).second)
+            << c.app << ": op " << a.opId << " committed twice";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SevenApps, ProvenanceAudit,
+                         testing::ValuesIn(auditCombos()), comboName);
+
+TEST(ProvenanceAudit, RelaxedOrderKnobProducesDivergence)
+{
+    // The known-broken drain engine must be caught by the formal
+    // cross-check — proof the audit oracle can actually fail.
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+    cfg.unsafeRelaxedPersistOrder = true;
+    PersistProvenance prov;
+    ExecutionTrace trace;
+
+    NvmDevice nvm;
+    auto app = makeRegisteredApp("MQ", cfg.model);
+    ASSERT_TRUE(app);
+    app->setupNvm(nvm);
+    {
+        GpuSystem gpu(cfg, nvm, &trace, nullptr, &prov);
+        app->setupGpu(gpu);
+        gpu.launch(app->forward());
+    }
+    PmoChecker checker(trace);
+    EXPECT_FALSE(checker.check().empty())
+        << "relaxed persist order went undetected";
+}
+
+TEST(ProvenanceDeterminism, SeededRunsProduceByteIdenticalAuditJson)
+{
+    SystemConfig cfg = SystemConfig::testDefault(ModelKind::Sbrp);
+    PersistProvenance p1, p2;
+    Cycle c1 = runWithProvenance("Red", cfg, &p1);
+    Cycle c2 = runWithProvenance("Red", cfg, &p2);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(p1.auditJson(), p2.auditJson());
+}
+
+TEST(ProvenanceDeterminism, ProvenanceOffRunsAreCycleIdentical)
+{
+    // The zero-cost-when-off discipline: recording only observes
+    // cycles the simulator already computed, so attaching provenance
+    // must never perturb timing.
+    for (ModelKind m : {ModelKind::Sbrp, ModelKind::Epoch,
+                        ModelKind::ScopedBarrier}) {
+        SystemConfig cfg = SystemConfig::testDefault(m);
+        PersistProvenance prov;
+        Cycle on = runWithProvenance("Scan", cfg, &prov);
+        Cycle off = runWithProvenance("Scan", cfg, nullptr);
+        EXPECT_EQ(on, off) << toString(m);
+        EXPECT_GT(prov.opsBegun(), 0u) << toString(m);
+    }
+}
+
+// --- Unit-level behavior ---------------------------------------------
+
+TEST(ProvenanceUnit, OpIdPackingAndLookup)
+{
+    PersistProvenance prov;
+    std::uint64_t id = prov.beginOp(5, 0x1000, Scope::Block, 3, 100);
+    EXPECT_EQ(id, (std::uint64_t{6} << 40) | 1u);
+    EXPECT_LT(id, std::uint64_t{1} << 53);   // Survives JSON doubles.
+
+    const PersistOpRecord *r = prov.find(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->smId, 5u);
+    EXPECT_EQ(r->lineAddr, 0x1000u);
+    EXPECT_EQ(r->epoch, 3u);
+    EXPECT_EQ(r->tIssue, 100u);
+    EXPECT_EQ(r->tAdmit, 100u);
+
+    EXPECT_EQ(prov.find(0), nullptr);
+    EXPECT_EQ(prov.find(id + 1), nullptr);
+}
+
+TEST(ProvenanceUnit, FirstFsmBlockWinsAndMergesCount)
+{
+    PersistProvenance prov;
+    std::uint64_t id = prov.beginOp(0, 0x40, Scope::Device, 0, 10);
+    prov.markFsmBlocked(id, 20);
+    prov.markFsmBlocked(id, 30);   // Later holds don't move the mark.
+    prov.noteMerge(id);
+    prov.noteMerge(id);
+    const PersistOpRecord *r = prov.find(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->tFsmBlock, 20u);
+    EXPECT_EQ(r->merges, 2u);
+}
+
+TEST(ProvenanceUnit, RingWrapOntoInFlightOpsCountsLoss)
+{
+    PersistProvenance prov(4, 2);   // Tiny ring: wraps after 4 opens.
+    for (int i = 0; i < 6; ++i)
+        prov.beginOp(0, 0x40 * i, Scope::Device, 0, i + 1);
+    EXPECT_EQ(prov.opsBegun(), 6u);
+    EXPECT_GT(prov.recordsLost(), 0u);
+}
+
+TEST(ProvenanceUnit, FullJourneyTelescopesAndAudits)
+{
+    PersistProvenance prov;
+    std::uint64_t id = prov.beginOp(2, 0x80, Scope::Block, 1, 10);
+    prov.markFsmBlocked(id, 15);
+    prov.markFlush(id, 22);
+    prov.noteAttempt(id);
+    prov.noteAttempt(id);          // One retry.
+    prov.markArrive(id, 40);       // Final attempt's arrival.
+    prov.markAccept(id, 47);
+    prov.recordCommit(id, 55);
+    prov.complete(id, 55, false);
+
+    const PersistOpRecord *r = prov.find(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->completed);
+    EXPECT_EQ(r->attempts, 2u);
+    EXPECT_EQ(r->stageCycles(PersistStage::IssueToPb), 0u);
+    EXPECT_EQ(r->stageCycles(PersistStage::PbResidency), 5u);
+    EXPECT_EQ(r->stageCycles(PersistStage::FsmHold), 7u);
+    EXPECT_EQ(r->stageCycles(PersistStage::Fabric), 18u);
+    EXPECT_EQ(r->stageCycles(PersistStage::Wpq), 7u);
+    EXPECT_EQ(r->stageCycles(PersistStage::Media), 8u);
+    EXPECT_EQ(r->ackLatency(), 45u);
+
+    ASSERT_EQ(prov.audit().size(), 1u);
+    EXPECT_EQ(prov.audit()[0].opId, id);
+    EXPECT_EQ(prov.audit()[0].commitCycle, 55u);
+    ASSERT_EQ(prov.retryOutliers().size(), 1u);
+    ASSERT_EQ(prov.slowest().size(), 1u);
+
+    // The exported document carries the journey.
+    std::string doc = prov.auditJson();
+    EXPECT_NE(doc.find("\"audit\""), std::string::npos);
+    EXPECT_NE(doc.find("\"waterfall\""), std::string::npos);
+    EXPECT_NE(doc.find("\"retry_outliers\""), std::string::npos);
+}
+
+} // namespace
+} // namespace sbrp

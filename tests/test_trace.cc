@@ -16,6 +16,7 @@
 #include "api/sbrp.hh"
 #include "apps/reduction.hh"
 #include "common/trace.hh"
+#include "obs/provenance.hh"
 
 namespace sbrp
 {
@@ -187,6 +188,52 @@ TEST(TraceJson, EscapesNames)
     expectBalancedJson(j);
 }
 
+TEST(TraceJson, FlowEventsSerializeAsArrowChains)
+{
+    TraceSink sink;
+    Cycle clock = 0;
+    sink.setClock(&clock);
+    TraceBuffer *sm = sink.buffer("sm0");
+    TraceBuffer *fabric = sink.buffer("fabric");
+
+    const std::uint64_t id = (std::uint64_t{3} << 40) | 7;
+    clock = 10;
+    sm->flowStart("persist", id);
+    clock = 25;
+    fabric->flowStep("persist", id);
+    sm->flowAt(TraceEventKind::FlowEnd, "persist", id, 40);
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    std::string j = os.str();
+    expectBalancedJson(j);
+
+    // One chain: start/step/end phases share the op id and category.
+    EXPECT_NE(j.find("\"ph\":\"s\",\"cat\":\"flow\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"t\",\"cat\":\"flow\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"f\",\"cat\":\"flow\""), std::string::npos);
+    const std::string id_field = "\"id\":" + std::to_string(id);
+    std::size_t hits = 0;
+    for (std::size_t p = j.find(id_field); p != std::string::npos;
+         p = j.find(id_field, p + 1))
+        ++hits;
+    EXPECT_EQ(hits, 3u);
+
+    // The terminating arrow binds to its enclosing slice; the others
+    // must not carry the binding point.
+    EXPECT_NE(j.find("\"bp\":\"e\""), std::string::npos);
+    std::size_t s_pos = j.find("\"ph\":\"s\"");
+    std::size_t s_end = j.find('}', s_pos);
+    EXPECT_EQ(j.substr(s_pos, s_end - s_pos).find("\"bp\""),
+              std::string::npos);
+
+    // Cross-component: the step carries the fabric's pid, not the SM's.
+    std::size_t t_pos = j.find("\"ph\":\"t\"");
+    std::size_t t_end = j.find('}', t_pos);
+    EXPECT_NE(j.substr(t_pos, t_end - t_pos).find("\"pid\":1"),
+              std::string::npos);
+}
+
 // --- Traced full-system runs -------------------------------------------
 
 struct RunOutcome
@@ -207,8 +254,12 @@ runRed(bool traced)
 
     RunOutcome out;
     TraceSink sink;
+    // Provenance rides along when tracing: flow events carry op ids, so
+    // arrow chains only appear in provenance-attached traced runs.
+    PersistProvenance prov;
     {
-        GpuSystem gpu(cfg, nvm, nullptr, traced ? &sink : nullptr);
+        GpuSystem gpu(cfg, nvm, nullptr, traced ? &sink : nullptr,
+                      traced ? &prov : nullptr);
         app.setupGpu(gpu);
         out.cycles = gpu.launch(app.forward()).cycles;
     }
@@ -256,6 +307,16 @@ TEST(TraceSystem, EmitsExpectedEventFamilies)
     EXPECT_NE(r.json.find("mc_write_backlog"), std::string::npos);
     EXPECT_NE(r.json.find("wpq_lines"), std::string::npos);
     EXPECT_NE(r.json.find("stall:"), std::string::npos);
+}
+
+TEST(TraceSystem, PersistFlowChainsAppearInTracedRuns)
+{
+    // A full traced run must link each persist op's component spans
+    // into one flow chain: at least one start and one matched end.
+    RunOutcome r = runRed(true);
+    EXPECT_NE(r.json.find("\"cat\":\"flow\""), std::string::npos);
+    EXPECT_NE(r.json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(r.json.find("\"ph\":\"f\""), std::string::npos);
 }
 
 // The device survives the system (crash model): destroying a traced

@@ -34,6 +34,7 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "crashtest/campaign.hh"
+#include "obs/provenance.hh"
 
 using namespace sbrp;
 
@@ -55,6 +56,13 @@ usage()
         "  --wall-ms <n>     graceful wall-clock cutoff    (0 = none)\n"
         "  --report <f>      write the campaign report JSON to <f>\n"
         "  --stats-json <f>  write campaign counters as JSON to <f>\n"
+        "  --persist-trace <f>  write the oracle run's persist-op\n"
+        "                    provenance document (waterfall, slowest\n"
+        "                    ops, audit stream) to <f>\n"
+        "  --audit-json <f>  like --persist-trace, and additionally\n"
+        "                    cross-validate the observed commit order\n"
+        "                    against the PMO checker; exit 1 on any\n"
+        "                    divergence (campaign mode only)\n"
         "  --list-points     enumerate crash points and exit\n"
         "  --no-minimize     skip failure bisection + replay artifact\n"
         "  --replay <f>      re-run the crash point recorded in a replay\n"
@@ -157,6 +165,8 @@ main(int argc, char **argv)
     std::string app_name;
     std::string report_path;
     std::string stats_json_path;
+    std::string persist_trace_path;
+    std::string audit_json_path;
     std::string replay_path;
     bool list_points = false;
     bool bench_scale = false;
@@ -212,6 +222,10 @@ main(int argc, char **argv)
             report_path = next(i);
         } else if (a == "--stats-json") {
             stats_json_path = next(i);
+        } else if (a == "--persist-trace") {
+            persist_trace_path = next(i);
+        } else if (a == "--audit-json") {
+            audit_json_path = next(i);
         } else if (a == "--list-points") {
             list_points = true;
         } else if (a == "--no-minimize") {
@@ -286,6 +300,16 @@ main(int argc, char **argv)
         }
     }
 
+    const bool want_prov =
+        !persist_trace_path.empty() || !audit_json_path.empty();
+    if (want_prov &&
+            (!replay_path.empty() || !sweep_rates.empty() || list_points)) {
+        std::fprintf(stderr,
+                     "crashfuzz: --persist-trace/--audit-json apply to "
+                     "campaign mode only\n");
+        return 2;
+    }
+
     try {
         if (!replay_path.empty())
             return replayArtifact(replay_path);
@@ -336,7 +360,7 @@ main(int argc, char **argv)
             // fault classes; any sticky/WPQ settings from --faults are
             // held constant across the sweep.
             JsonValue combined = JsonValue::object();
-            combined.set("schema_version", JsonValue(std::uint64_t{2}));
+            combined.set("schema_version", JsonValue(std::uint64_t{3}));
             JsonValue entries = JsonValue::array();
             bool all_pass = true;
             for (double r : sweep_rates) {
@@ -399,6 +423,12 @@ main(int argc, char **argv)
             return 0;
         }
 
+        // The engine attaches this to the oracle run so --persist-trace
+        // and --audit-json export the run's provenance document.
+        PersistProvenance prov;
+        if (want_prov)
+            campaign.provenance = &prov;
+
         CampaignEngine engine(campaign);
         CampaignResult result = engine.run();
 
@@ -441,6 +471,43 @@ main(int argc, char **argv)
             }
             std::printf("statistics JSON: %s\n",
                         stats_json_path.c_str());
+        }
+        if (!persist_trace_path.empty()) {
+            prov.writeAuditJsonFile(persist_trace_path);
+            std::printf("persist provenance: %s (%llu ops, %llu "
+                        "commits)\n",
+                        persist_trace_path.c_str(),
+                        static_cast<unsigned long long>(prov.opsBegun()),
+                        static_cast<unsigned long long>(
+                            prov.audit().size()));
+        }
+        if (!audit_json_path.empty()) {
+            prov.writeAuditJsonFile(audit_json_path);
+            // The probe already judged the oracle run with the PMO
+            // checker; the audit stream adds the durable-image write
+            // order, which must be monotone in commit cycle.
+            std::uint64_t order_breaks = 0;
+            Cycle last = 0;
+            for (const PersistAuditRecord &rec : prov.audit()) {
+                if (rec.commitCycle < last)
+                    ++order_breaks;
+                last = rec.commitCycle;
+            }
+            std::printf("persist-order audit: %s (%llu records, %llu "
+                        "PMO violations, %llu cycle-order breaks)\n",
+                        audit_json_path.c_str(),
+                        static_cast<unsigned long long>(
+                            prov.audit().size()),
+                        static_cast<unsigned long long>(
+                            result.probe.cleanPmoViolations),
+                        static_cast<unsigned long long>(order_breaks));
+            if (result.probe.cleanPmoViolations != 0 ||
+                    order_breaks != 0) {
+                std::fprintf(stderr,
+                             "crashfuzz: audit stream diverges from the "
+                             "model-permitted persist order\n");
+                return 1;
+            }
         }
         return result.pass() ? 0 : 1;
     } catch (const FatalError &e) {

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Summarize persist-op provenance JSON (sbrpsim/crashfuzz --persist-trace).
+
+Usage:
+    tools/persist_report.py red-persist.json
+    tools/persist_report.py red-persist.json --top 5
+
+Consumes the schema_version 1 provenance document and prints:
+
+ - the stage-residency waterfall: per-stage sample counts, total cycles,
+   share of total ack latency, and min/p50/p95/p99/max — where each
+   persist op's cycles went between issue and ack;
+ - the top-K slowest completed ops with their full stage trails (issue
+   cycle, ack latency, and the six per-stage residencies);
+ - retry outliers: ops that needed more than one fabric attempt;
+ - the persist-order audit stream: record count, scope mix, and the
+   commit-cycle span.
+
+It also re-verifies two invariants the simulator test-enforces, so the
+report doubles as an offline checker:
+
+ - the waterfall telescopes: the six per-stage cycle sums add up to the
+   ack-latency sum (and per-op stage trails sum to each op's latency);
+ - the audit stream is monotone in commit cycle (it was appended in
+   durable-image write order).
+
+Exits 0 on a clean report, 1 on malformed input or a broken invariant,
+2 on usage errors. Only uses the Python standard library.
+"""
+
+import json
+import sys
+
+STAGES = ("issue_to_pb", "pb_residency", "fsm_hold", "fabric", "wpq",
+          "media")
+
+
+def die(msg):
+    print(f"persist_report: {msg}", file=sys.stderr)
+    return 1
+
+
+def fmt_dist(d):
+    return (f"{d['count']:>7}  {d['sum']:>12}  {d['min']:>8}  "
+            f"{d['p50']:>8}  {d['p95']:>8}  {d['p99']:>8}  {d['max']:>8}")
+
+
+def print_op_table(title, ops):
+    print(f"\n{title}:")
+    head = (f"  {'op_id':>16}  {'sm':>3}  {'addr':>10}  {'scope':<6}  "
+            f"{'epoch':>5}  {'att':>3}  {'mrg':>3}  {'issue':>9}  "
+            f"{'ack_lat':>8}")
+    print(head)
+    for op in ops:
+        print(f"  {op['op_id']:>16}  {op['sm']:>3}  "
+              f"{op['addr']:#10x}  {op['scope']:<6}  {op['epoch']:>5}  "
+              f"{op['attempts']:>3}  {op['merges']:>3}  "
+              f"{op['issue_cycle']:>9}  {op['ack_latency']:>8}")
+        trail = "  ".join(f"{s}={op['stages'][s]}" for s in STAGES)
+        print(f"    {trail}")
+
+
+def check_op(op):
+    """Per-op telescoping: the stage trail sums to the ack latency."""
+    if op.get("faulted"):
+        return True  # Faulted ops have no accept point; excluded.
+    return sum(op["stages"][s] for s in STAGES) == op["ack_latency"]
+
+
+def main(argv):
+    path = None
+    top = 10
+    rest = argv[1:]
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--top" and i + 1 < len(rest):
+            try:
+                top = int(rest[i + 1])
+            except ValueError:
+                print("persist_report: --top expects an integer",
+                      file=sys.stderr)
+                return 2
+            i += 2
+        elif rest[i].startswith("--"):
+            print(f"persist_report: unknown option '{rest[i]}'",
+                  file=sys.stderr)
+            return 2
+        elif path is None:
+            path = rest[i]
+            i += 1
+        else:
+            path = None
+            break
+    if path is None:
+        print("usage: persist_report.py <provenance.json> [--top N]",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return die(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        return die(f"{path}: not a provenance document")
+    if doc.get("schema_version") != 1:
+        return die(f"{path}: unsupported schema_version "
+                   f"{doc.get('schema_version')!r}")
+    for key in ("ops_begun", "ops_completed", "ops_faulted",
+                "records_lost", "waterfall", "slowest_ops",
+                "retry_outliers", "audit"):
+        if key not in doc:
+            return die(f"{path}: missing '{key}'")
+
+    wf = doc["waterfall"]
+    for key in STAGES + ("ack_latency",):
+        if key not in wf:
+            return die(f"{path}: waterfall missing '{key}'")
+
+    print(f"{path}: {doc['ops_begun']} ops begun, "
+          f"{doc['ops_completed']} completed, "
+          f"{doc['ops_faulted']} faulted, "
+          f"{doc['records_lost']} records lost")
+
+    ack = wf["ack_latency"]
+    print("\nstage-residency waterfall (cycles):")
+    print(f"  {'stage':<13}  {'count':>7}  {'sum':>12}  {'%':>6}  "
+          f"{'min':>8}  {'p50':>8}  {'p95':>8}  {'p99':>8}  {'max':>8}")
+    stage_sum = 0
+    for s in STAGES:
+        d = wf[s]
+        stage_sum += d["sum"]
+        pct = 100.0 * d["sum"] / ack["sum"] if ack["sum"] else 0.0
+        print(f"  {s:<13}  {d['count']:>7}  {d['sum']:>12}  {pct:>5.1f}%  "
+              f"{d['min']:>8}  {d['p50']:>8}  {d['p95']:>8}  "
+              f"{d['p99']:>8}  {d['max']:>8}")
+    print(f"  {'ack latency':<13}  {fmt_dist(ack)}")
+
+    broken = False
+    if stage_sum != ack["sum"]:
+        print(f"persist_report: waterfall does not telescope: stage sums "
+              f"{stage_sum} != ack-latency sum {ack['sum']}",
+              file=sys.stderr)
+        broken = True
+
+    slowest = doc["slowest_ops"][:top]
+    if slowest:
+        print_op_table(f"slowest ops (top {len(slowest)})", slowest)
+    outliers = doc["retry_outliers"][:top]
+    if outliers:
+        print_op_table(
+            f"retry outliers ({len(doc['retry_outliers'])} total, "
+            f"showing {len(outliers)})", outliers)
+    else:
+        print("\nno retry outliers (every persist committed on its "
+              "first attempt)")
+    for op in slowest + outliers:
+        if not check_op(op):
+            print(f"persist_report: op {op['op_id']}: stage trail does "
+                  f"not sum to its ack latency", file=sys.stderr)
+            broken = True
+
+    audit = doc["audit"]
+    print(f"\npersist-order audit stream: {len(audit)} records")
+    if audit:
+        scopes = {}
+        for rec in audit:
+            scopes[rec["scope"]] = scopes.get(rec["scope"], 0) + 1
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(scopes.items()))
+        print(f"  scope mix              {mix}")
+        print(f"  first commit cycle     {audit[0]['commit_cycle']:>9}")
+        print(f"  last commit cycle      {audit[-1]['commit_cycle']:>9}")
+        cycles = [rec["commit_cycle"] for rec in audit]
+        if cycles != sorted(cycles):
+            print("persist_report: audit stream is not monotone in "
+                  "commit cycle", file=sys.stderr)
+            broken = True
+
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare crashfuzz campaign reports, ignoring wall-clock keys.
+
+Campaign reports (schema_version 3) are deterministic except for the
+host wall-time keys: `wall_us_total`, the `slowest_points` array, and
+`wall_us` inside failing-point entries. This tool strips those keys
+(the Python twin of `campaignReportStripWall` in campaign.cc) and then
+deep-compares, so CI can assert byte-level determinism of everything
+the simulator computed while tolerating host timing noise.
+
+Usage:
+    report_compare.py CURRENT GOLDEN      # compare, diff on mismatch
+    report_compare.py --strip REPORT      # print the stripped report
+
+Exit codes: 0 = reports identical after stripping, 1 = mismatch,
+2 = usage error or malformed JSON.
+"""
+
+import argparse
+import difflib
+import json
+import sys
+
+WALL_KEYS = frozenset(("wall_us", "wall_us_total", "slowest_points"))
+
+
+def strip_wall(node):
+    """Recursively remove wall-clock keys from a parsed report."""
+    if isinstance(node, dict):
+        return {k: strip_wall(v) for k, v in node.items()
+                if k not in WALL_KEYS}
+    if isinstance(node, list):
+        return [strip_wall(v) for v in node]
+    return node
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"report_compare: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def dump(node):
+    return json.dumps(node, indent=2, sort_keys=True)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare campaign reports without wall-clock keys")
+    ap.add_argument("current", help="report to check")
+    ap.add_argument("golden", nargs="?",
+                    help="committed golden to compare against")
+    ap.add_argument("--strip", action="store_true",
+                    help="print CURRENT with wall keys removed and exit")
+    args = ap.parse_args()
+
+    current = strip_wall(load(args.current))
+    if args.strip:
+        print(dump(current))
+        return 0
+    if args.golden is None:
+        ap.error("GOLDEN is required unless --strip is given")
+
+    golden = strip_wall(load(args.golden))
+    if current == golden:
+        print(f"report_compare: {args.current} matches {args.golden} "
+              "(wall-clock keys excluded)")
+        return 0
+
+    diff = difflib.unified_diff(
+        dump(golden).splitlines(keepends=True),
+        dump(current).splitlines(keepends=True),
+        fromfile=args.golden, tofile=args.current)
+    sys.stdout.writelines(diff)
+    print(f"report_compare: {args.current} diverges from {args.golden}",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@
 #include "apps/app.hh"
 #include "apps/registry.hh"
 #include "crashtest/scenario.hh"
+#include "obs/provenance.hh"
 
 using namespace sbrp;
 
@@ -60,6 +61,21 @@ usage()
         "  --trace <f>       write a Chrome trace_event JSON timeline to\n"
         "                    <f> (open in chrome://tracing or Perfetto;\n"
         "                    summarize with tools/trace_report.py)\n"
+        "  --persist-trace <f>  record per-persist-op provenance and\n"
+        "                    write the stage-residency waterfall, the\n"
+        "                    slowest-op trails and the persist-order\n"
+        "                    audit stream as JSON to <f> (summarize with\n"
+        "                    tools/persist_report.py); combined with\n"
+        "                    --trace, persist ops also appear as flow\n"
+        "                    arrows linking the component spans\n"
+        "  --audit-json <f>  like --persist-trace, and additionally\n"
+        "                    cross-validate the observed commit order\n"
+        "                    against the formal PMO checker (exit 1 on\n"
+        "                    any divergence)\n"
+        "  --unsafe-relaxed-order  FAULT INJECTION: let the SBRP drain\n"
+        "                    ignore FSM/eviction ordering hazards (used\n"
+        "                    to prove the audit cross-check detects a\n"
+        "                    model that persists out of order)\n"
         "  --list-crash-points  run crash-free once and list the\n"
         "                    event-adjacent crash points the campaign\n"
         "                    engine would explore (see tools/crashfuzz)\n"
@@ -82,6 +98,8 @@ main(int argc, char **argv)
     bool list_crash_points = false;
     std::string trace_path;
     std::string stats_json_path;
+    std::string persist_trace_path;
+    std::string audit_json_path;
     SystemConfig cfg = SystemConfig::paperDefault();
 
     auto next = [&](int &i) -> const char * {
@@ -148,6 +166,12 @@ main(int argc, char **argv)
             stats_json_path = next(i);
         } else if (a == "--trace") {
             trace_path = next(i);
+        } else if (a == "--persist-trace") {
+            persist_trace_path = next(i);
+        } else if (a == "--audit-json") {
+            audit_json_path = next(i);
+        } else if (a == "--unsafe-relaxed-order") {
+            cfg.unsafeRelaxedPersistOrder = true;
         } else if (a == "--list-crash-points") {
             list_crash_points = true;
         } else if (a == "--list") {
@@ -261,16 +285,22 @@ main(int argc, char **argv)
                 return 1;
         }
 
+        const bool want_prov =
+            !persist_trace_path.empty() || !audit_json_path.empty();
         if (dump_stats || !trace_path.empty() ||
-                !stats_json_path.empty()) {
-            // Re-run once with a live system to dump counters and/or
-            // collect the event trace.
+                !stats_json_path.empty() || want_prov) {
+            // Re-run once with a live system to dump counters, collect
+            // the event trace and/or record persist-op provenance.
             NvmDevice nvm;
             TraceSink sink;
+            ExecutionTrace exec_trace;
+            PersistProvenance prov;
             app = makeRegisteredApp(app_name, model, bench_scale);
             app->setupNvm(nvm);
-            GpuSystem gpu(cfg, nvm, nullptr,
-                          trace_path.empty() ? nullptr : &sink);
+            GpuSystem gpu(cfg, nvm,
+                          audit_json_path.empty() ? nullptr : &exec_trace,
+                          trace_path.empty() ? nullptr : &sink,
+                          want_prov ? &prov : nullptr);
             app->setupGpu(gpu);
             auto wall0 = std::chrono::steady_clock::now();
             auto launch_res = gpu.launch(app->forward());
@@ -323,6 +353,54 @@ main(int argc, char **argv)
                             trace_path.c_str(),
                             static_cast<unsigned long long>(
                                 sink.eventCount()));
+            }
+            if (!persist_trace_path.empty()) {
+                prov.writeAuditJsonFile(persist_trace_path);
+                std::printf("persist provenance: %s (%llu ops, "
+                            "%llu commits)\n",
+                            persist_trace_path.c_str(),
+                            static_cast<unsigned long long>(
+                                prov.opsBegun()),
+                            static_cast<unsigned long long>(
+                                prov.audit().size()));
+            }
+            if (!audit_json_path.empty()) {
+                prov.writeAuditJsonFile(audit_json_path);
+                // Cross-validate the observed durable-commit order
+                // against the formal model: the checker proves every
+                // direct PMO edge agrees with commit indices, and the
+                // audit stream itself must be monotone in commit cycle
+                // (it was appended in durable-image write order).
+                PmoChecker checker(exec_trace);
+                std::vector<PmoViolation> violations = checker.check();
+                std::uint64_t order_breaks = 0;
+                Cycle last = 0;
+                for (const PersistAuditRecord &rec : prov.audit()) {
+                    if (rec.commitCycle < last)
+                        ++order_breaks;
+                    last = rec.commitCycle;
+                }
+                std::printf("persist-order audit: %s (%llu records, "
+                            "%llu PMO violations, %llu cycle-order "
+                            "breaks)\n",
+                            audit_json_path.c_str(),
+                            static_cast<unsigned long long>(
+                                prov.audit().size()),
+                            static_cast<unsigned long long>(
+                                violations.size()),
+                            static_cast<unsigned long long>(
+                                order_breaks));
+                for (std::size_t v = 0;
+                     v < violations.size() && v < 8; ++v) {
+                    std::printf("  divergence: %s\n",
+                                violations[v].detail.c_str());
+                }
+                if (!violations.empty() || order_breaks != 0) {
+                    std::fprintf(stderr,
+                                 "sbrpsim: audit stream diverges from "
+                                 "the model-permitted persist order\n");
+                    return 1;
+                }
             }
         }
     } catch (const FatalError &e) {

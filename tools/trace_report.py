@@ -10,6 +10,12 @@ each span category (compute, stall:mem, stall:odm_*, stall:edm_*, ...)
 across all warp-slot tracks, plus trace-wide counter summaries (PB
 occupancy, MC backlogs, WPQ depth).
 
+Provenance-attached traces additionally carry flow events (ph s/t/f,
+cat "flow"): one arrow chain per persist op, linking its component
+spans. Those are summarized together with the fault:* retry instants
+in one persist-op section — chains started/completed, steps, dangling
+chains, and the retry/terminal-fault/backoff tallies.
+
 With --stats-json (a file written by `sbrpsim --stats-json` on the same
 run) it cross-checks the trace's warp-span sums against the simulator's
 exact cycle ledger (`ledger_*` counters): spans are emitted at tick
@@ -156,6 +162,8 @@ def main(argv):
     spans = defaultdict(lambda: defaultdict(int))  # pid -> name -> cycles
     counters = defaultdict(lambda: [0, 0, 0])      # name -> [n, sum, max]
     instants = defaultdict(int)                    # (pid, name) -> count
+    flows = defaultdict(lambda: [0, 0, 0])         # id -> [starts, steps, ends]
+    flow_components = set()                        # pids touched by chains
     last_ts = None
     ordered = True
 
@@ -183,6 +191,16 @@ def main(argv):
             c[2] = max(c[2], v)
         elif ph == "i":
             instants[(ev["pid"], ev["name"])] += 1
+        elif ph in ("s", "t", "f"):
+            # Flow events: one persist op's journey is one id-keyed
+            # arrow chain across components.
+            fid = ev.get("id")
+            if fid is None:
+                print(f"trace_report: flow event without id: {ev}",
+                      file=sys.stderr)
+                return 1
+            flows[fid]["stf".index(ph)] += 1
+            flow_components.add(ev["pid"])
         else:
             print(f"trace_report: unknown phase '{ph}'", file=sys.stderr)
             return 1
@@ -237,27 +255,48 @@ def main(argv):
         for name, n in sorted(names.items()):
             print(f"  {name:<{width}}  {n:>8}")
 
-        faults = {n: c for n, c in names.items() if n.startswith("fault:")}
-        if faults:
-            # fault:* instants mark injected persist-path faults
-            # (pcie_replay, wpq_nack, media_retry, sticky, exhausted);
-            # fault_backoff_cycles is a running counter, so its max is
-            # the total backoff the retry machine inserted.
-            retried = sum(c for n, c in faults.items()
-                          if n in ("fault:pcie_replay", "fault:wpq_nack",
-                                   "fault:media_retry"))
-            terminal = sum(c for n, c in faults.items()
-                           if n in ("fault:sticky", "fault:exhausted"))
-            backoff = counters.get("fault_backoff_cycles", [0, 0, 0])[2]
-            print("\nfault injection:")
-            print(f"  faults retried      {retried:>8}")
-            print(f"  terminal faults     {terminal:>8}")
-            print(f"  backoff cycles      {backoff:>8}")
-        else:
-            print("\nno fault events (run without --faults, or no "
-                  "faults fired)")
+    # One persist-op section: the flow chains (provenance-attached
+    # traces) and the fault:* retry instants describe the same ops —
+    # a chain is the op's journey, the instants its injected mishaps.
+    fault_names = defaultdict(int)
+    for (_, name), n in instants.items():
+        if name.startswith("fault:"):
+            fault_names[name] += n
+    print("\npersist ops (flow chains + fault instants):")
+    if flows:
+        started = sum(1 for s, _, _ in flows.values() if s)
+        completed = sum(1 for s, _, e in flows.values() if s and e)
+        steps = sum(t for _, t, _ in flows.values())
+        dangling = [fid for fid, (s, _, e) in flows.items()
+                    if bool(s) != bool(e)]
+        comps = sorted(pid_names.get(p, f"pid{p}")
+                       for p in flow_components)
+        print(f"  flow chains started    {started:>8}")
+        print(f"  flow chains completed  {completed:>8}")
+        print(f"  flow steps             {steps:>8}")
+        print(f"  dangling chains        {len(dangling):>8}")
+        print(f"  components linked      {', '.join(comps)}")
+        if dangling:
+            shown = ", ".join(str(d) for d in sorted(dangling)[:8])
+            print(f"  dangling op ids        {shown}")
     else:
-        print("\nno fault events (run without --faults, or no "
+        print("  no flow events (run without persist provenance)")
+    if fault_names:
+        # fault:* instants mark injected persist-path faults
+        # (pcie_replay, wpq_nack, media_retry, sticky, exhausted);
+        # fault_backoff_cycles is a running counter, so its max is
+        # the total backoff the retry machine inserted.
+        retried = sum(c for n, c in fault_names.items()
+                      if n in ("fault:pcie_replay", "fault:wpq_nack",
+                               "fault:media_retry"))
+        terminal = sum(c for n, c in fault_names.items()
+                       if n in ("fault:sticky", "fault:exhausted"))
+        backoff = counters.get("fault_backoff_cycles", [0, 0, 0])[2]
+        print(f"  faults retried         {retried:>8}")
+        print(f"  terminal faults        {terminal:>8}")
+        print(f"  backoff cycles         {backoff:>8}")
+    else:
+        print("  no fault events (run without --faults, or no "
               "faults fired)")
 
     if stats_path is not None:

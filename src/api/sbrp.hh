@@ -30,6 +30,7 @@
 #include "common/types.hh"
 #include "formal/checker.hh"
 #include "formal/litmus.hh"
+#include "formal/litmus_corpus.hh"
 #include "formal/trace.hh"
 #include "fault/fault.hh"
 #include "fault/injector.hh"

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Single source of truth for every machine-readable artifact schema
+ * version the simulator emits. Bump a constant here when the matching
+ * schema changes; emitters reference these constants so `--version`
+ * output, writers, and readers can never drift apart.
+ */
+
+#ifndef SBRP_COMMON_SCHEMA_VERSIONS_HH
+#define SBRP_COMMON_SCHEMA_VERSIONS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sbrp::schema
+{
+
+/** StatsRegistry JSON dump (`--stats-json`). */
+inline constexpr std::uint32_t kStats = 2;
+
+/** Crash-campaign report (`crashfuzz --report`). */
+inline constexpr std::uint32_t kCampaignReport = 3;
+
+/** Crash-replay artifact (`crashfuzz --artifacts` / `--replay`). */
+inline constexpr std::uint32_t kCrashReplay = 2;
+
+/** Persist-op provenance document (`--persist-provenance`). */
+inline constexpr std::uint32_t kProvenance = 1;
+
+/** Model-checking schedule artifact (`mcheck --artifacts` / `--replay`). */
+inline constexpr std::uint32_t kMcSchedule = 1;
+
+/** Model-checking report (`mcheck --report` / `--stats-json`). */
+inline constexpr std::uint32_t kMcReport = 1;
+
+/** One-line summary for every tool's `--version` output. */
+inline std::string
+describeAll()
+{
+    return "schemas: stats=" + std::to_string(kStats) +
+           " campaign-report=" + std::to_string(kCampaignReport) +
+           " crash-replay=" + std::to_string(kCrashReplay) +
+           " provenance=" + std::to_string(kProvenance) +
+           " mc-schedule=" + std::to_string(kMcSchedule) +
+           " mc-report=" + std::to_string(kMcReport);
+}
+
+} // namespace sbrp::schema
+
+#endif // SBRP_COMMON_SCHEMA_VERSIONS_HH

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "common/schema_versions.hh"
 
 namespace sbrp
 {
@@ -188,7 +189,7 @@ StatRegistry::dumpJson() const
     std::ostringstream oss;
     // Version 2: distributions gained p95 (interpolated percentiles)
     // and `sbrpsim --stats-json` splices in a cycle_breakdown section.
-    oss << "{\n  \"schema_version\": 2";
+    oss << "{\n  \"schema_version\": " << schema::kStats;
     for (const auto *g : sortedGroups(groups_)) {
         oss << ",";
         oss << "\n  " << jsonQuote(g->name()) << ": {";

@@ -8,6 +8,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/schema_versions.hh"
 #include "common/rng.hh"
 #include "crashtest/work_queue.hh"
 
@@ -232,7 +233,8 @@ JsonValue
 campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
 {
     JsonValue o = JsonValue::object();
-    o.set("schema_version", JsonValue(std::uint64_t{3}));
+    o.set("schema_version",
+          JsonValue(std::uint64_t{schema::kCampaignReport}));
     o.set("app", JsonValue(cfg.scenario.app));
     o.set("model",
           JsonValue(std::string(toString(cfg.scenario.cfg.model))));

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/schema_versions.hh"
+
 #include "crashtest/crash_points.hh"
 #include "crashtest/scenario.hh"
 
@@ -37,7 +39,7 @@ struct ReplayArtifact
 {
     /** v2 added the fault-injection fields; v1 artifacts still parse
         (faults default to disabled). */
-    static constexpr std::uint32_t kVersion = 2;
+    static constexpr std::uint32_t kVersion = schema::kCrashReplay;
 
     // --- Scenario ---
     std::string app;               ///< Canonical registry name.

@@ -27,9 +27,43 @@ LitmusScenario::LitmusScenario(std::string name, Setup setup, Build build,
 {
 }
 
+namespace
+{
+
+/** FNV-1a over every named region's durable bytes, in name order
+    (std::map iteration), so equal digests mean byte-identical
+    recoverable state. */
+std::uint64_t
+durableDigest(const NvmDevice &nvm)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint8_t b) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    };
+    std::uint8_t buf[256];
+    for (const auto &[name, region] : nvm.table()) {
+        for (char c : name)
+            mix(static_cast<std::uint8_t>(c));
+        for (std::uint64_t off = 0; off < region.size;
+                off += sizeof(buf)) {
+            auto len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(sizeof(buf),
+                                        region.size - off));
+            nvm.durable().readBlock(region.base + off, buf, len);
+            for (std::uint32_t i = 0; i < len; ++i)
+                mix(buf[i]);
+        }
+    }
+    return h;
+}
+
+} // namespace
+
 LitmusRun
 LitmusScenario::runOnce(const SystemConfig &cfg,
-                        std::optional<Cycle> crash_at) const
+                        std::optional<Cycle> crash_at,
+                        ScheduleController *ctl) const
 {
     NvmDevice nvm;
     if (setup_)
@@ -41,6 +75,7 @@ LitmusScenario::runOnce(const SystemConfig &cfg,
     run.crashAt = crash_at;
     {
         GpuSystem gpu(cfg, nvm, &trace, nullptr, &prov);
+        gpu.setScheduleController(ctl);
         KernelProgram kernel = build_(nvm);
         auto res = gpu.launch(kernel, crash_at);
         run.cycles = res.cycles;
@@ -60,9 +95,18 @@ LitmusScenario::runOnce(const SystemConfig &cfg,
             ++run.auditOrderBreaks;
         lastCommit = a.commitCycle;
     }
+    run.nvmDigest = durableDigest(nvm);
     if (judge_)
         run.durableStateOk = judge_(nvm, run.crashed);
     return run;
+}
+
+LitmusRun
+LitmusScenario::runControlled(const SystemConfig &cfg,
+                              ScheduleController *ctl,
+                              std::optional<Cycle> crash_at) const
+{
+    return runOnce(cfg, crash_at, ctl);
 }
 
 LitmusReport

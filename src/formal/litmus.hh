@@ -50,6 +50,11 @@ struct LitmusRun
         of the PMO edge check above. */
     std::uint64_t auditRecords = 0;
     std::uint64_t auditOrderBreaks = 0;
+
+    /** FNV-1a over every named region's durable bytes (regions in
+        name order). Two runs with equal digests left byte-identical
+        durable images; the model checker's replay test keys on it. */
+    std::uint64_t nvmDigest = 0;
 };
 
 /** Aggregate outcome of a sweep. */
@@ -105,11 +110,23 @@ class LitmusScenario
     LitmusReport run(const SystemConfig &cfg,
                      const std::vector<double> &crash_fractions = {}) const;
 
+    /**
+     * One run with a model-checking schedule driver attached (null is
+     * allowed and equals an ordinary run). The controller observes —
+     * and in replay mode dictates — every scheduling choice point;
+     * see src/mc/ and docs/MODEL_CHECKING.md.
+     */
+    LitmusRun runControlled(const SystemConfig &cfg,
+                            ScheduleController *ctl,
+                            std::optional<Cycle> crash_at
+                                = std::nullopt) const;
+
     const std::string &name() const { return name_; }
 
   private:
     LitmusRun runOnce(const SystemConfig &cfg,
-                      std::optional<Cycle> crash_at) const;
+                      std::optional<Cycle> crash_at,
+                      ScheduleController *ctl = nullptr) const;
 
     std::string name_;
     Setup setup_;

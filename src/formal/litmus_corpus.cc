@@ -1,0 +1,374 @@
+#include "formal/litmus_corpus.hh"
+
+#include "gpu/kernel.hh"
+#include "mem/nvm_device.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** One cache line. */
+constexpr Addr kLine = 128;
+
+/**
+ * Same-NVM-write-channel stride: 8 lines. Channels stripe by line
+ * index modulo memChannels, and both configs of interest (testDefault:
+ * 4, paperDefault: 8) divide 8, so two addresses this far apart always
+ * share a write channel while +kLine always changes it. Region bases
+ * are 256-aligned, so only relative offsets matter.
+ */
+constexpr Addr kSameChannel = 8 * kLine;
+
+bool
+usesScopedOps(ModelKind m)
+{
+    return m == ModelKind::Sbrp || m == ModelKind::ScopedBarrier;
+}
+
+WarpBuilder::AddrFn
+at(Addr a)
+{
+    return [a](std::uint32_t) { return a; };
+}
+
+/** Lane-0 persist store of an immediate. */
+void
+st(WarpBuilder &wb, Addr a, std::uint32_t v)
+{
+    wb.storeImm(at(a), [v](std::uint32_t) { return v; }, mask::lane(0));
+}
+
+/** Intra-thread persist ordering: oFence, or the epoch barrier. */
+void
+emitOFence(WarpBuilder &wb, ModelKind m)
+{
+    if (usesScopedOps(m))
+        wb.ofence(mask::lane(0));
+    else
+        wb.fence(Scope::Device, mask::lane(0));
+}
+
+/**
+ * Scoped release of `v` to `flag`. The epoch/GPM formulation is the
+ * classic fence + flag store: the barrier stalls until everything
+ * prior is durable, then publishes the flag, which gives the same
+ * inter-thread persist-ordering guarantee without scoped ops.
+ */
+void
+emitRelease(WarpBuilder &wb, ModelKind m, Addr flag, std::uint32_t v,
+            Scope sc)
+{
+    if (usesScopedOps(m)) {
+        wb.prel(at(flag), v, sc, mask::lane(0));
+    } else {
+        wb.fence(Scope::Device, mask::lane(0));
+        st(wb, flag, v);
+    }
+}
+
+/** Scoped acquire: spin until `flag == v`, with acquire semantics
+    under the scoped models and a volatile spin otherwise. */
+void
+emitAcquire(WarpBuilder &wb, ModelKind m, Addr flag, std::uint32_t v,
+            Scope sc)
+{
+    if (usesScopedOps(m))
+        wb.pacq(at(flag), v, sc, mask::lane(0));
+    else
+        wb.spinLoad(at(flag), v, mask::lane(0));
+}
+
+std::uint32_t
+word(const NvmDevice &nvm, const char *region, Addr off)
+{
+    return nvm.durable().read32(nvm.open(region).base + off);
+}
+
+std::vector<LitmusPattern>
+buildCorpus()
+{
+    std::vector<LitmusPattern> corpus;
+
+    // chain: four unordered preamble writes backlog one channel, then
+    // A (same channel, behind the backlog) -> oFence -> B (idle
+    // channel). Durable set must be suffix-implies-prefix.
+    corpus.push_back(LitmusPattern{
+        "chain",
+        "single-thread ordered chain behind a channel backlog",
+        true, true,
+        [](ModelKind m) {
+            return LitmusScenario(
+                "chain",
+                [](NvmDevice &nvm) { nvm.allocate("chain", 5120); },
+                [m](NvmDevice &nvm) {
+                    Addr b = nvm.open("chain").base;
+                    KernelProgram k("chain", 1, 32);
+                    WarpBuilder wb(k.warp(0, 0), 32);
+                    for (std::uint32_t i = 0; i < 4; ++i)
+                        st(wb, b + kSameChannel * i, i + 1);
+                    emitOFence(wb, m);
+                    st(wb, b + 4 * kSameChannel, 5);   // A
+                    emitOFence(wb, m);
+                    st(wb, b + kLine, 6);              // B
+                    return k;
+                },
+                [](const NvmDevice &nvm, bool) {
+                    if (word(nvm, "chain", kLine) != 0 &&
+                            word(nvm, "chain", 4 * kSameChannel) == 0)
+                        return false;   // B durable without A.
+                    if (word(nvm, "chain", 4 * kSameChannel) != 0) {
+                        for (std::uint32_t i = 0; i < 4; ++i) {
+                            if (word(nvm, "chain", kSameChannel * i) == 0)
+                                return false;   // A without preamble.
+                        }
+                    }
+                    return true;
+                });
+        }});
+
+    // transitive: T0 -(rel/acq)-> T1 -(rel/acq)-> T2 inside a block;
+    // T0's payload x sits behind preamble p on the same channel.
+    corpus.push_back(LitmusPattern{
+        "transitive",
+        "message passing through an intermediary thread",
+        true, true,
+        [](ModelKind m) {
+            return LitmusScenario(
+                "transitive",
+                [](NvmDevice &nvm) { nvm.allocate("trans", 2048); },
+                [m](NvmDevice &nvm) {
+                    Addr b = nvm.open("trans").base;
+                    Addr p = b, x = b + kSameChannel;
+                    Addr f = b + kLine, y = b + 2 * kLine;
+                    Addr f2 = b + 3 * kLine, z = b + 5 * kLine;
+                    KernelProgram k("transitive", 1, 96);
+                    WarpBuilder w0(k.warp(0, 0), 32);
+                    st(w0, p, 1);
+                    st(w0, x, 1);
+                    emitRelease(w0, m, f, 1, Scope::Block);
+                    WarpBuilder w1(k.warp(0, 1), 32);
+                    emitAcquire(w1, m, f, 1, Scope::Block);
+                    st(w1, y, 2);
+                    emitRelease(w1, m, f2, 1, Scope::Block);
+                    WarpBuilder w2(k.warp(0, 2), 32);
+                    emitAcquire(w2, m, f2, 1, Scope::Block);
+                    st(w2, z, 3);
+                    return k;
+                },
+                [](const NvmDevice &nvm, bool) {
+                    std::uint32_t p = word(nvm, "trans", 0);
+                    std::uint32_t x = word(nvm, "trans", kSameChannel);
+                    std::uint32_t y = word(nvm, "trans", 2 * kLine);
+                    std::uint32_t z = word(nvm, "trans", 5 * kLine);
+                    if (z == 3 && (y != 2 || x != 1 || p != 1))
+                        return false;
+                    if (y == 2 && (x != 1 || p != 1))
+                        return false;
+                    return true;
+                });
+        }});
+
+    // independent: no ordering edges at all; every durable subset is
+    // legal and every interleaving is equivalent (the DPOR pruning
+    // showcase).
+    corpus.push_back(LitmusPattern{
+        "independent",
+        "independent writers, no ordering edges",
+        false, true,
+        [](ModelKind) {
+            return LitmusScenario(
+                "independent",
+                [](NvmDevice &nvm) { nvm.allocate("iw", 4 * kLine); },
+                [](NvmDevice &nvm) {
+                    Addr b = nvm.open("iw").base;
+                    KernelProgram k("independent", 1, 128);
+                    for (std::uint32_t w = 0; w < 4; ++w) {
+                        WarpBuilder wb(k.warp(0, w), 32);
+                        st(wb, b + kLine * w, w + 1);
+                    }
+                    return k;
+                },
+                [](const NvmDevice &, bool) { return true; });
+        }});
+
+    // re-release: the same flag released twice; the consumer joins on
+    // the second generation, which implies both payloads (d2 queues
+    // behind d1 on the shared channel).
+    corpus.push_back(LitmusPattern{
+        "re-release",
+        "same flag released twice with increasing values",
+        true, true,
+        [](ModelKind m) {
+            return LitmusScenario(
+                "re-release",
+                [](NvmDevice &nvm) { nvm.allocate("rr", 2048); },
+                [m](NvmDevice &nvm) {
+                    Addr b = nvm.open("rr").base;
+                    Addr d1 = b, d2 = b + kSameChannel;
+                    Addr f = b + kLine, c = b + 2 * kLine;
+                    KernelProgram k("re-release", 1, 64);
+                    WarpBuilder w0(k.warp(0, 0), 32);
+                    st(w0, d1, 1);
+                    emitRelease(w0, m, f, 1, Scope::Block);
+                    st(w0, d2, 2);
+                    emitRelease(w0, m, f, 2, Scope::Block);
+                    WarpBuilder w1(k.warp(0, 1), 32);
+                    emitAcquire(w1, m, f, 2, Scope::Block);
+                    st(w1, c, 9);
+                    return k;
+                },
+                [](const NvmDevice &nvm, bool) {
+                    if (word(nvm, "rr", 2 * kLine) == 9) {
+                        return word(nvm, "rr", 0) == 1 &&
+                               word(nvm, "rr", kSameChannel) == 2;
+                    }
+                    return true;
+                });
+        }});
+
+    // fan-out: one releaser, two acquirers, each publishing to its own
+    // idle channel while the payload x drains behind preamble p.
+    corpus.push_back(LitmusPattern{
+        "fan-out",
+        "one release observed by two acquirers",
+        true, false,
+        [](ModelKind m) {
+            return LitmusScenario(
+                "fan-out",
+                [](NvmDevice &nvm) { nvm.allocate("fo", 2048); },
+                [m](NvmDevice &nvm) {
+                    Addr b = nvm.open("fo").base;
+                    Addr p = b, x = b + kSameChannel;
+                    Addr f = b + kLine;
+                    Addr y1 = b + 2 * kLine, y2 = b + 3 * kLine;
+                    KernelProgram k("fan-out", 1, 96);
+                    WarpBuilder w0(k.warp(0, 0), 32);
+                    st(w0, p, 1);
+                    st(w0, x, 7);
+                    emitRelease(w0, m, f, 1, Scope::Block);
+                    WarpBuilder w1(k.warp(0, 1), 32);
+                    emitAcquire(w1, m, f, 1, Scope::Block);
+                    st(w1, y1, 1);
+                    WarpBuilder w2(k.warp(0, 2), 32);
+                    emitAcquire(w2, m, f, 1, Scope::Block);
+                    st(w2, y2, 2);
+                    return k;
+                },
+                [](const NvmDevice &nvm, bool) {
+                    bool consumed =
+                        word(nvm, "fo", 2 * kLine) != 0 ||
+                        word(nvm, "fo", 3 * kLine) != 0;
+                    if (consumed) {
+                        return word(nvm, "fo", kSameChannel) == 7 &&
+                               word(nvm, "fo", 0) == 1;
+                    }
+                    return true;
+                });
+        }});
+
+    // fan-in: two concurrent producers (a real interleaving choice),
+    // one consumer joining on both flags; x1 queues behind x0.
+    corpus.push_back(LitmusPattern{
+        "fan-in",
+        "two releasers joined by one acquirer",
+        true, false,
+        [](ModelKind m) {
+            return LitmusScenario(
+                "fan-in",
+                [](NvmDevice &nvm) { nvm.allocate("fi", 2048); },
+                [m](NvmDevice &nvm) {
+                    Addr b = nvm.open("fi").base;
+                    Addr x0 = b, x1 = b + kSameChannel;
+                    Addr f0 = b + kLine, f1 = b + 2 * kLine;
+                    Addr y = b + 3 * kLine;
+                    KernelProgram k("fan-in", 1, 96);
+                    WarpBuilder w0(k.warp(0, 0), 32);
+                    st(w0, x0, 1);
+                    emitRelease(w0, m, f0, 1, Scope::Block);
+                    WarpBuilder w1(k.warp(0, 1), 32);
+                    st(w1, x1, 2);
+                    emitRelease(w1, m, f1, 1, Scope::Block);
+                    WarpBuilder w2(k.warp(0, 2), 32);
+                    emitAcquire(w2, m, f0, 1, Scope::Block);
+                    emitAcquire(w2, m, f1, 1, Scope::Block);
+                    st(w2, y, 9);
+                    return k;
+                },
+                [](const NvmDevice &nvm, bool) {
+                    if (word(nvm, "fi", 3 * kLine) == 9) {
+                        return word(nvm, "fi", 0) == 1 &&
+                               word(nvm, "fi", kSameChannel) == 2;
+                    }
+                    return true;
+                });
+        }});
+
+    // cross-block: device scope across SMs, with an oFence-ordered
+    // pair inside the producer (the intra-thread edge is the one the
+    // relaxed-order bug can invert — the device-scope release itself
+    // publishes only after a durability barrier).
+    corpus.push_back(LitmusPattern{
+        "cross-block",
+        "device-scope release across blocks with an ordered producer",
+        true, false,
+        [](ModelKind m) {
+            return LitmusScenario(
+                "cross-block",
+                [](NvmDevice &nvm) { nvm.allocate("xb", 2048); },
+                [m](NvmDevice &nvm) {
+                    Addr base = nvm.open("xb").base;
+                    Addr p = base, a = base + kSameChannel;
+                    Addr b = base + kLine, f = base + 2 * kLine;
+                    Addr n = base + 3 * kLine, y = base + 5 * kLine;
+                    KernelProgram k("cross-block", 3, 32);
+                    WarpBuilder w0(k.warp(0, 0), 32);
+                    st(w0, p, 1);
+                    st(w0, a, 2);
+                    emitOFence(w0, m);
+                    st(w0, b, 3);
+                    emitRelease(w0, m, f, 1, Scope::Device);
+                    WarpBuilder w1(k.warp(1, 0), 32);
+                    st(w1, n, 1);   // Unrelated noise block.
+                    WarpBuilder w2(k.warp(2, 0), 32);
+                    emitAcquire(w2, m, f, 1, Scope::Device);
+                    st(w2, y, 4);
+                    return k;
+                },
+                [](const NvmDevice &nvm, bool) {
+                    std::uint32_t p = word(nvm, "xb", 0);
+                    std::uint32_t a = word(nvm, "xb", kSameChannel);
+                    std::uint32_t b = word(nvm, "xb", kLine);
+                    std::uint32_t y = word(nvm, "xb", 5 * kLine);
+                    if (b == 3 && (a != 2 || p != 1))
+                        return false;
+                    if (y == 4 && (p != 1 || a != 2 || b != 3))
+                        return false;
+                    return true;
+                });
+        }});
+
+    return corpus;
+}
+
+} // namespace
+
+const std::vector<LitmusPattern> &
+litmusCorpus()
+{
+    static const std::vector<LitmusPattern> corpus = buildCorpus();
+    return corpus;
+}
+
+const LitmusPattern *
+findLitmusPattern(const std::string &name)
+{
+    for (const LitmusPattern &p : litmusCorpus()) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+} // namespace sbrp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The registered litmus corpus: named persistency patterns shared by
+ * the unit tests and the stateless model checker (src/mc/).
+ *
+ * Each pattern builds a model-appropriate kernel — SBRP and the scoped
+ * persist barriers use oFence/pRel/pAcq, the GPM/epoch models get the
+ * equivalent fence + flag-store / spin-load formulation — so every
+ * pattern runs under all four persistency models.
+ *
+ * Address layouts are channel-aware: NVM write channels stripe by
+ * cache line (`(line / lineBytes) % memChannels`), and a PMO violation
+ * is only *observable* as a commit inversion when the must-persist-
+ * first line sits behind a backlog on its channel while the ordered-
+ * after line lands on an idle one. Every ordered pattern therefore
+ * places its PMO-edged pairs at a same-channel stride (kSameChannel,
+ * which aliases for any memChannels dividing 8) with an unordered
+ * preamble backlogging that channel. Under a correct model the FSM /
+ * barrier machinery waits for acks, so commit order holds on every
+ * schedule; under `--unsafe-relaxed-order` the burst flush inverts it.
+ */
+
+#ifndef SBRP_FORMAL_LITMUS_CORPUS_HH
+#define SBRP_FORMAL_LITMUS_CORPUS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "formal/litmus.hh"
+
+namespace sbrp
+{
+
+/** One registered litmus pattern. */
+struct LitmusPattern
+{
+    std::string name;
+    std::string summary;
+
+    /**
+     * Carries PMO ordering edges. The model checker asserts that the
+     * seeded `--unsafe-relaxed-order` bug produces a violating
+     * schedule exactly for ordered patterns; `independent` has no
+     * edges, so no schedule can violate it under any model (its
+     * absence verdict is vacuous but still exercises pruning).
+     */
+    bool ordered = true;
+
+    /** Cheap enough for exhaustive exploration in CI (single block,
+        few warps). */
+    bool small = true;
+
+    /** Builds the scenario with model-appropriate ordering ops. */
+    std::function<LitmusScenario(ModelKind)> make;
+
+    LitmusScenario scenario(ModelKind model) const { return make(model); }
+};
+
+/** All registered patterns, in a stable order. */
+const std::vector<LitmusPattern> &litmusCorpus();
+
+/** Looks a pattern up by name; null when unknown. */
+const LitmusPattern *findLitmusPattern(const std::string &name);
+
+} // namespace sbrp
+
+#endif // SBRP_FORMAL_LITMUS_CORPUS_HH

@@ -99,6 +99,17 @@ class GpuSystem : private SmObserver
     Sm &sm(SmId id) { return *sms_[id]; }
     Cycle nowCycle() const { return sched_.now(); }
 
+    /**
+     * Attaches the model-checking schedule driver (src/mc/). Must be
+     * called before launch(); every SM then routes its issue and
+     * persist-flush choice points through the controller. Null (the
+     * default) leaves the built-in scheduling untouched.
+     */
+    void setScheduleController(ScheduleController *c)
+    {
+        sched_.setController(c);
+    }
+
     /** Sum of a counter across all SM stat groups (e.g. Figure 8). */
     std::uint64_t sumSmStat(const std::string &counter) const;
 

@@ -142,6 +142,10 @@ Sm::beginDrain()
     // drain attempt) this cycle before the launch loop called us.
     settleTo(sched_.now());
     drainAccounting_ = true;
+    // No further issues happen on this SM, so the model checker's
+    // flush deferral must stop or the drain would hang.
+    if (ScheduleController *ctl = sched_.controller())
+        ctl->noteKernelDrain(id_);
     model_->drainAll();
     updateWake();
 }
@@ -181,25 +185,35 @@ Sm::tick(Cycle now)
         }
     }
 
-    // Issue up to issueWidth instructions, loose round-robin over slots.
-    std::uint32_t n = cfg_.maxWarpsPerSm;
-    std::uint32_t issued = 0;
-    for (std::uint32_t i = 1; i <= n && issued < cfg_.issueWidth; ++i) {
-        std::uint32_t s = (lastIssued_ + i) % n;
-        // Only these three states can satisfy issuable(); recomputed
-        // each visit because an earlier issue this cycle may have
-        // changed peers (barrier release, block teardown).
-        std::uint32_t cand = stateMask(WarpState::Ready) |
-                             stateMask(WarpState::Busy) |
-                             stateMask(WarpState::ModelRetry);
-        if (!(cand & (1u << s)))
-            continue;
-        Warp *w = slots_[s].get();
-        if (!w || !w->issuable(now))
-            continue;
-        lastIssued_ = s;
-        ++issued;
-        executeWarp(*w);
+    if (ScheduleController *ctl = sched_.controller()) {
+        // Model-checking mode: the controller picks which single warp
+        // issues this cycle, serializing interleavings into a total
+        // decision order.
+        controlledIssue(*ctl, now);
+    } else {
+        // Issue up to issueWidth instructions, loose round-robin over
+        // slots.
+        std::uint32_t n = cfg_.maxWarpsPerSm;
+        std::uint32_t issued = 0;
+        for (std::uint32_t i = 1; i <= n && issued < cfg_.issueWidth;
+                ++i) {
+            std::uint32_t s = (lastIssued_ + i) % n;
+            // Only these three states can satisfy issuable();
+            // recomputed each visit because an earlier issue this
+            // cycle may have changed peers (barrier release, block
+            // teardown).
+            std::uint32_t cand = stateMask(WarpState::Ready) |
+                                 stateMask(WarpState::Busy) |
+                                 stateMask(WarpState::ModelRetry);
+            if (!(cand & (1u << s)))
+                continue;
+            Warp *w = slots_[s].get();
+            if (!w || !w->issuable(now))
+                continue;
+            lastIssued_ = s;
+            ++issued;
+            executeWarp(*w);
+        }
     }
 
     if (tb_)
@@ -207,6 +221,60 @@ Sm::tick(Cycle now)
 
     settledThrough_ = now;
     updateWake();
+}
+
+void
+Sm::controlledIssue(ScheduleController &ctl, Cycle now)
+{
+    // Gather every issuable warp, in the same rotation order the
+    // round-robin scan would have visited them, so candidate 0 is the
+    // uncontrolled scheduler's preference. Footprints (op, scope,
+    // line) feed the explorer's conflict analysis.
+    std::uint32_t n = cfg_.maxWarpsPerSm;
+    std::uint32_t cand = stateMask(WarpState::Ready) |
+                         stateMask(WarpState::Busy) |
+                         stateMask(WarpState::ModelRetry);
+    std::vector<IssueCandidate> cands;
+    std::vector<Warp *> warps;
+    for (std::uint32_t i = 1; i <= n; ++i) {
+        std::uint32_t s = (lastIssued_ + i) % n;
+        if (!(cand & (1u << s)))
+            continue;
+        Warp *w = slots_[s].get();
+        if (!w || !w->issuable(now))
+            continue;
+        const WarpInstr &in = w->instr();
+        IssueCandidate c;
+        c.slot = s;
+        c.pc = w->pc();
+        c.op = static_cast<std::uint8_t>(in.op);
+        c.scope = static_cast<std::uint8_t>(in.scope);
+        // Visible ops are the ones whose relative order can change
+        // persistency outcomes; invisible ops (ALU, loads, spins)
+        // issue under a fixed deterministic policy.
+        c.visible = in.op == Op::Store || in.op == Op::AtomicAdd ||
+                    in.op == Op::Fence || in.op == Op::OFence ||
+                    in.op == Op::DFence || in.op == Op::PRel;
+        c.write = in.op == Op::Store || in.op == Op::AtomicAdd ||
+                  in.op == Op::PRel;
+        std::uint32_t eff = w->effActive(in);
+        if (eff != 0 && !in.laneAddrs.empty()) {
+            std::uint32_t l =
+                static_cast<std::uint32_t>(std::countr_zero(eff));
+            c.line = w->effAddr(in, l) &
+                     ~static_cast<Addr>(cfg_.lineBytes - 1);
+        }
+        cands.push_back(c);
+        warps.push_back(w);
+    }
+    if (cands.empty())
+        return;
+
+    std::size_t pick = ctl.pickIssue(id_, cands);
+    if (pick >= cands.size())
+        pick = 0;
+    lastIssued_ = cands[pick].slot;
+    executeWarp(*warps[pick]);
 }
 
 void

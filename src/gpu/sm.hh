@@ -77,6 +77,10 @@ class Sm : public SmServices, private WarpStateObserver
     void noteAsyncActivity() override;
     std::uint32_t smId() const override { return id_; }
     PersistProvenance *provenance() override { return prov_; }
+    ScheduleController *scheduleController() override
+    {
+        return sched_.controller();
+    }
 
     // --- Block management ---
     std::uint32_t freeSlots() const;
@@ -134,6 +138,10 @@ class Sm : public SmServices, private WarpStateObserver
     void executeWarp(Warp &warp);
     void finishWarp(Warp &warp);
     void pollSpin(Warp &warp);
+
+    /** Model-checking issue path: one controller-picked warp per
+        cycle instead of the round-robin issueWidth scan. */
+    void controlledIssue(ScheduleController &ctl, Cycle now);
 
     // --- WarpStateObserver (cycle ledger) ---
     void warpStateChanged(WarpSlot slot, WarpState from,

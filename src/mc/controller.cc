@@ -1,0 +1,179 @@
+#include "mc/controller.hh"
+
+namespace sbrp
+{
+
+McController::McController(Mode mode, McSchedule prefix,
+                           std::uint32_t defer_bound, Cycle defer_cycles)
+    : mode_(mode), prefix_(std::move(prefix)), deferBound_(defer_bound),
+      deferCycles_(defer_cycles)
+{
+}
+
+bool
+McController::diverged() const
+{
+    if (diverged_)
+        return true;
+    // Strict replay: the run must consume the prefix exactly.
+    return mode_ == Mode::Replay &&
+           recorded_.decisions.size() != prefix_.decisions.size();
+}
+
+void
+McController::markDiverged(const std::string &why)
+{
+    if (!diverged_) {
+        diverged_ = true;
+        divergence_ = why;
+    }
+    prefixAbandoned_ = true;
+}
+
+std::size_t
+McController::defaultPick(const std::vector<IssueCandidate> &cands) const
+{
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].visible)
+            return i;
+    }
+    return 0;
+}
+
+void
+McController::logIssue(std::uint32_t sm, const IssueCandidate &c)
+{
+    McStep s;
+    s.kind = McDecisionKind::Issue;
+    s.sm = sm;
+    s.slot = c.slot;
+    s.visible = c.visible;
+    s.write = c.write;
+    s.line = c.line;
+    log_.push_back(s);
+}
+
+std::size_t
+McController::pickIssue(std::uint32_t sm,
+                        const std::vector<IssueCandidate> &cands)
+{
+    std::vector<std::uint32_t> vis;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].visible)
+            vis.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (vis.size() < 2) {
+        // Not a choice point: invisible ops commute, and a lone visible
+        // op has no alternative.
+        std::size_t pick = defaultPick(cands);
+        if (cands[pick].visible)
+            logIssue(sm, cands[pick]);
+        return pick;
+    }
+
+    McDecision d;
+    d.kind = McDecisionKind::Issue;
+    d.sm = sm;
+    for (std::uint32_t i : vis)
+        d.cands.push_back(cands[i].slot);
+
+    std::uint32_t chosen = 0;
+    if (!prefixAbandoned_ && next_ < prefix_.decisions.size()) {
+        const McDecision &p = prefix_.decisions[next_];
+        if (p.kind != McDecisionKind::Issue || p.sm != sm ||
+                p.cands != d.cands) {
+            markDiverged("issue choice point " +
+                         std::to_string(recorded_.decisions.size()) +
+                         " does not match the recorded schedule");
+        } else {
+            chosen = p.chosen < vis.size() ? p.chosen : 0;
+            ++next_;
+        }
+    }
+    d.chosen = chosen;
+    recorded_.decisions.push_back(d);
+
+    McChoiceInfo ci;
+    for (std::uint32_t i : vis)
+        ci.options.push_back(cands[i]);
+    ci.sm = sm;
+    ci.stepIndex = log_.size();
+    info_.push_back(std::move(ci));
+
+    std::size_t pick = vis[chosen];
+    logIssue(sm, cands[pick]);
+    return pick;
+}
+
+bool
+McController::allowFlush(std::uint32_t sm, std::uint64_t entry_id, Addr line,
+                         Cycle now)
+{
+    const auto logFlush = [&]() {
+        McStep s;
+        s.kind = McDecisionKind::Flush;
+        s.sm = sm;
+        s.write = true;
+        s.line = line;
+        log_.push_back(s);
+    };
+
+    // Once the kernel enters its final drain there is nothing left to
+    // reorder against; deferring would only delay termination.
+    if (draining_.count(sm)) {
+        logFlush();
+        return true;
+    }
+
+    const std::pair<std::uint32_t, std::uint64_t> key{sm, entry_id};
+    auto until = deferUntil_.find(key);
+    if (until != deferUntil_.end() && now < until->second)
+        return false;   // Inside a granted defer window; no new decision.
+    if (deferCount_[key] >= deferBound_) {
+        logFlush();
+        return true;    // Defer budget for this entry exhausted.
+    }
+
+    McDecision d;
+    d.kind = McDecisionKind::Flush;
+    d.sm = sm;
+    d.entry = entry_id;
+
+    bool defer = false;
+    if (!prefixAbandoned_ && next_ < prefix_.decisions.size()) {
+        const McDecision &p = prefix_.decisions[next_];
+        if (p.kind != McDecisionKind::Flush || p.sm != sm ||
+                p.entry != entry_id) {
+            markDiverged("flush choice point " +
+                         std::to_string(recorded_.decisions.size()) +
+                         " does not match the recorded schedule");
+        } else {
+            defer = p.defer;
+            ++next_;
+        }
+    }
+    d.defer = defer;
+    recorded_.decisions.push_back(d);
+
+    McChoiceInfo ci;
+    ci.sm = sm;
+    ci.line = line;
+    ci.stepIndex = log_.size();
+    info_.push_back(std::move(ci));
+
+    if (defer) {
+        deferUntil_[key] = now + deferCycles_;
+        ++deferCount_[key];
+        return false;
+    }
+    logFlush();
+    return true;
+}
+
+void
+McController::noteKernelDrain(std::uint32_t sm)
+{
+    draining_.insert(sm);
+}
+
+} // namespace sbrp

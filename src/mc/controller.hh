@@ -1,0 +1,112 @@
+/**
+ * @file
+ * McController: the ScheduleController implementation driven by the
+ * model checker.
+ *
+ * It turns the simulator's scheduling hooks into an explicit decision
+ * tree. A *choice point* arises when at least two ready warps hold
+ * visible operations (stores, atomics, fences, releases — ops that can
+ * affect the durable outcome; spins, loads and ALU work commute with
+ * everything and are issued by the default policy without recording a
+ * decision), or when an eligible persist-buffer flush may legally be
+ * deferred. Replaying a recorded decision list re-executes the run
+ * byte-identically; running past the list extends it with defaults, so
+ * one pass both replays a prefix and records the complete schedule.
+ */
+
+#ifndef SBRP_MC_CONTROLLER_HH
+#define SBRP_MC_CONTROLLER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/schedule.hh"
+#include "sim/scheduler.hh"
+
+namespace sbrp
+{
+
+/** One executed visible transition, for conflict analysis. */
+struct McStep
+{
+    McDecisionKind kind = McDecisionKind::Issue;
+    std::uint32_t sm = 0;
+    std::uint32_t slot = 0;   ///< Issue steps: the warp that issued.
+    bool visible = false;
+    bool write = false;
+    Addr line = 0;            ///< Footprint line (0 = none).
+};
+
+/** Per-decision metadata the explorer needs to enumerate alternatives. */
+struct McChoiceInfo
+{
+    /** Issue nodes: footprints of the visible candidates, aligned with
+        McDecision::cands. Empty for flush nodes. */
+    std::vector<IssueCandidate> options;
+    std::uint32_t sm = 0;
+    Addr line = 0;            ///< Flush nodes: the line being flushed.
+    std::size_t stepIndex = 0;///< log() position when the node was hit.
+};
+
+class McController : public ScheduleController
+{
+  public:
+    enum class Mode
+    {
+        Explore,  ///< Prefix mismatch abandons the rest of the prefix.
+        Replay,   ///< Any mismatch is a divergence (strict).
+    };
+
+    McController(Mode mode, McSchedule prefix, std::uint32_t defer_bound,
+                 Cycle defer_cycles);
+
+    // --- ScheduleController ---
+    std::size_t pickIssue(std::uint32_t sm,
+                          const std::vector<IssueCandidate> &cands) override;
+    bool allowFlush(std::uint32_t sm, std::uint64_t entry_id, Addr line,
+                    Cycle now) override;
+    void noteKernelDrain(std::uint32_t sm) override;
+
+    /** The complete decision list of the run (prefix + extensions). */
+    const McSchedule &recorded() const { return recorded_; }
+    const std::vector<McChoiceInfo> &info() const { return info_; }
+    const std::vector<McStep> &log() const { return log_; }
+
+    /** Replay health: set on any prefix mismatch, plus (Replay mode)
+        when the run has more or fewer choice points than the prefix. */
+    bool diverged() const;
+    const std::string &divergence() const { return divergence_; }
+
+  private:
+    std::size_t defaultPick(const std::vector<IssueCandidate> &cands) const;
+    void markDiverged(const std::string &why);
+    void logIssue(std::uint32_t sm, const IssueCandidate &c);
+
+    Mode mode_;
+    McSchedule prefix_;
+    std::size_t next_ = 0;          ///< Next unconsumed prefix decision.
+    bool prefixAbandoned_ = false;
+    std::uint32_t deferBound_;
+    Cycle deferCycles_;
+
+    McSchedule recorded_;
+    std::vector<McChoiceInfo> info_;
+    std::vector<McStep> log_;
+
+    /** Sticky defer windows, keyed by (sm, entry id). */
+    std::map<std::pair<std::uint32_t, std::uint64_t>, Cycle> deferUntil_;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t>
+        deferCount_;
+    std::set<std::uint32_t> draining_;
+
+    bool diverged_ = false;
+    std::string divergence_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_MC_CONTROLLER_HH

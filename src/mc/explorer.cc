@@ -1,0 +1,235 @@
+#include "mc/explorer.hh"
+
+#include <utility>
+
+namespace sbrp
+{
+
+namespace
+{
+
+/**
+ * Would issuing `alt` (instead of what ran) interact with anything that
+ * executed after the choice point? Scans the observed suffix up to the
+ * point where `alt`'s warp actually issued (steps beyond that already
+ * follow it in every reordering). Conflict = same line with at least
+ * one write; address-disjoint transitions carry no PMO edge, so their
+ * permutations reach the same durable states.
+ */
+bool
+issueAltConflicts(const IssueCandidate &alt, std::uint32_t sm,
+                  const std::vector<McStep> &log, std::size_t from)
+{
+    for (std::size_t i = from; i < log.size(); ++i) {
+        const McStep &t = log[i];
+        if (t.kind == McDecisionKind::Issue && t.sm == sm &&
+                t.slot == alt.slot) {
+            break;   // alt's own warp issued: program order from here.
+        }
+        if (alt.line != 0 && t.line != 0 && alt.line == t.line &&
+                (alt.write || t.write)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Deferring a flush only matters when its line is touched again. */
+bool
+deferAltConflicts(Addr line, const std::vector<McStep> &log,
+                  std::size_t from)
+{
+    for (std::size_t i = from + 1; i < log.size(); ++i) {
+        if (log[i].line == line && line != 0)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+nonDefaultIssues(const std::vector<McDecision> &ds, std::size_t upto)
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < upto && i < ds.size(); ++i) {
+        if (ds[i].kind == McDecisionKind::Issue && !ds[i].isDefault())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+bool
+mcRunViolates(const LitmusRun &run)
+{
+    return !run.violations.empty() || !run.durableStateOk ||
+           run.auditOrderBreaks != 0;
+}
+
+McExplorer::McExplorer(const LitmusPattern &pattern, const SystemConfig &cfg,
+                       const ExploreLimits &limits)
+    : pattern_(pattern), cfg_(cfg), limits_(limits)
+{
+}
+
+McExplorer::RunOutcome
+McExplorer::execute(const McSchedule &prefix) const
+{
+    McController ctl(McController::Mode::Explore, prefix,
+                     limits_.deferBound, limits_.deferCycles);
+    LitmusScenario scen = pattern_.scenario(cfg_.model);
+    RunOutcome o;
+    o.run = scen.runControlled(cfg_, &ctl);
+    o.decisions = ctl.recorded();
+    o.info = ctl.info();
+    o.log = ctl.log();
+    o.diverged = ctl.diverged();
+    return o;
+}
+
+LitmusRun
+McExplorer::runSchedule(const McSchedule &schedule, McSchedule *out) const
+{
+    McController ctl(McController::Mode::Explore, schedule,
+                     limits_.deferBound, limits_.deferCycles);
+    LitmusScenario scen = pattern_.scenario(cfg_.model);
+    LitmusRun run = scen.runControlled(cfg_, &ctl);
+    if (out)
+        *out = ctl.recorded();
+    return run;
+}
+
+ExploreResult
+McExplorer::explore()
+{
+    /** One DFS frame: the decision currently taken at this choice point
+        plus the alternatives still to try. */
+    struct Node
+    {
+        McDecision d;
+        std::vector<std::uint32_t> untried;  ///< Issue: candidate indices.
+        bool untriedDefer = false;
+    };
+
+    ExploreResult res;
+    std::vector<Node> stack;
+
+    // Appends frames for every choice point the run reached beyond the
+    // current stack, computing each frame's viable alternatives from
+    // the run actually observed through it.
+    const auto extend = [&](const RunOutcome &o) {
+        const std::vector<McDecision> &ds = o.decisions.decisions;
+        for (std::size_t i = stack.size(); i < ds.size(); ++i) {
+            Node n;
+            n.d = ds[i];
+            const McChoiceInfo &ci = o.info[i];
+            if (n.d.kind == McDecisionKind::Issue) {
+                bool bounded = nonDefaultIssues(ds, i) >=
+                               limits_.preemptBound;
+                for (std::uint32_t j = 0; j < ci.options.size(); ++j) {
+                    if (j == n.d.chosen)
+                        continue;
+                    if (bounded) {
+                        ++res.preemptSkips;
+                    } else if (!limits_.prune ||
+                               issueAltConflicts(ci.options[j], ci.sm,
+                                                 o.log, ci.stepIndex)) {
+                        n.untried.push_back(j);
+                    } else {
+                        ++res.alternativesPruned;
+                    }
+                }
+            } else if (!n.d.defer) {
+                if (!limits_.prune ||
+                        deferAltConflicts(ci.line, o.log, ci.stepIndex)) {
+                    n.untriedDefer = true;
+                } else {
+                    ++res.alternativesPruned;
+                }
+            }
+            stack.push_back(std::move(n));
+        }
+        if (ds.size() > res.choicePoints)
+            res.choicePoints = ds.size();
+    };
+
+    RunOutcome o = execute(McSchedule{});
+    res.schedulesExplored = 1;
+    res.divergedRuns += o.diverged ? 1 : 0;
+    extend(o);
+
+    while (!mcRunViolates(o.run)) {
+        // Backtrack to the deepest frame with an untried alternative.
+        bool branched = false;
+        while (!stack.empty() && !branched) {
+            Node &n = stack.back();
+            if (!n.untried.empty()) {
+                n.d.chosen = n.untried.back();
+                n.untried.pop_back();
+                branched = true;
+            } else if (n.untriedDefer) {
+                n.d.defer = true;
+                n.untriedDefer = false;
+                branched = true;
+            } else {
+                stack.pop_back();
+            }
+        }
+        if (!branched) {
+            res.complete = res.preemptSkips == 0 && res.divergedRuns == 0;
+            return res;
+        }
+        if (res.schedulesExplored >= limits_.maxSchedules) {
+            res.hitScheduleBound = true;
+            return res;
+        }
+
+        McSchedule prefix;
+        for (const Node &n : stack)
+            prefix.decisions.push_back(n.d);
+        o = execute(prefix);
+        ++res.schedulesExplored;
+        res.divergedRuns += o.diverged ? 1 : 0;
+        extend(o);
+    }
+
+    res.violationFound = true;
+    res.violation = o.run;
+    res.violatingSchedule = minimize(o.decisions, &res);
+    return res;
+}
+
+McSchedule
+McExplorer::minimize(const McSchedule &witness, ExploreResult *res) const
+{
+    // Greedy delta-debugging: flip each non-default decision back to
+    // the default (latest first) and keep the flip whenever the run
+    // still violates. Each accepted flip strictly reduces the
+    // non-default count, so this terminates.
+    McSchedule cur = witness;
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t i = cur.decisions.size(); i-- > 0;) {
+            if (cur.decisions[i].isDefault())
+                continue;
+            McSchedule cand = cur;
+            if (cand.decisions[i].kind == McDecisionKind::Issue)
+                cand.decisions[i].chosen = 0;
+            else
+                cand.decisions[i].defer = false;
+            McSchedule rec;
+            LitmusRun run = runSchedule(cand, &rec);
+            ++res->minimizeRuns;
+            if (mcRunViolates(run)) {
+                cur = std::move(rec);
+                res->violation = run;
+                improved = true;
+                break;
+            }
+        }
+    }
+    return cur;
+}
+
+} // namespace sbrp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Stateless DFS exploration of a litmus pattern's schedule space.
+ *
+ * The explorer re-executes the whole simulation for every schedule (no
+ * state capture — the simulator is deterministic, so a decision prefix
+ * reproduces the run exactly) and backtracks over the recorded choice
+ * points. Pruning is a conservative DPOR-style conflict check: an
+ * alternative at a node is explored only when its transition conflicts
+ * with something that actually executed after that node in the last
+ * observed run (same line with at least one write, same-SM visible ops
+ * whose persist-buffer order matters, or a later touch of a deferred
+ * flush's line). Independent transitions commute, so skipping their
+ * permutations loses no reachable durable state.
+ *
+ * Bounds make the search finite and honest: `preemptBound` caps
+ * non-default issue picks per schedule, `deferBound`/`deferCycles` cap
+ * flush deferrals, `maxSchedules` caps the run count. A verdict is an
+ * absence *proof* only when the frontier was exhausted (`complete`);
+ * otherwise it is a bounded exploration and reported as such.
+ */
+
+#ifndef SBRP_MC_EXPLORER_HH
+#define SBRP_MC_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "formal/litmus.hh"
+#include "formal/litmus_corpus.hh"
+#include "mc/controller.hh"
+#include "mc/schedule.hh"
+
+namespace sbrp
+{
+
+/** Exploration bounds. */
+struct ExploreLimits
+{
+    std::uint64_t maxSchedules = 4096;
+    std::uint32_t preemptBound = 8;  ///< Non-default issue picks/schedule.
+    std::uint32_t deferBound = 1;    ///< Defer decisions per PB entry.
+    Cycle deferCycles = 24;          ///< Length of one defer window.
+    bool prune = true;               ///< Conflict-based pruning.
+};
+
+/** Outcome of exploring one (pattern, model, config) combination. */
+struct ExploreResult
+{
+    std::uint64_t schedulesExplored = 0;
+    std::uint64_t alternativesPruned = 0;
+    std::uint64_t choicePoints = 0;   ///< Max decision depth observed.
+    bool complete = false;            ///< Frontier exhausted within bounds.
+    bool hitScheduleBound = false;
+    std::uint64_t preemptSkips = 0;   ///< Alternatives skipped by the bound.
+    std::uint64_t divergedRuns = 0;   ///< Should stay 0; counted anyway.
+
+    bool violationFound = false;
+    /** First violating run, then its minimized schedule + replay. */
+    LitmusRun violation;
+    McSchedule violatingSchedule;
+    std::uint64_t minimizeRuns = 0;
+};
+
+/** Is this run a persistency violation under the pattern's judge? */
+bool mcRunViolates(const LitmusRun &run);
+
+class McExplorer
+{
+  public:
+    McExplorer(const LitmusPattern &pattern, const SystemConfig &cfg,
+               const ExploreLimits &limits);
+
+    /** Runs the DFS; stops at the first violation and minimizes it. */
+    ExploreResult explore();
+
+    /** One run driven by `schedule` (tolerant mode), recording the
+        complete decision list into *out when non-null. */
+    LitmusRun runSchedule(const McSchedule &schedule,
+                          McSchedule *out = nullptr) const;
+
+  private:
+    struct RunOutcome
+    {
+        LitmusRun run;
+        McSchedule decisions;
+        std::vector<McChoiceInfo> info;
+        std::vector<McStep> log;
+        bool diverged = false;
+    };
+
+    RunOutcome execute(const McSchedule &prefix) const;
+    McSchedule minimize(const McSchedule &witness, ExploreResult *res) const;
+
+    const LitmusPattern &pattern_;
+    SystemConfig cfg_;
+    ExploreLimits limits_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_MC_EXPLORER_HH

@@ -1,0 +1,267 @@
+#include "mc/schedule.hh"
+
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/schema_versions.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+/** Required numeric field, or error. */
+bool
+getU64(const JsonValue &obj, const char *key, std::uint64_t *out,
+       std::string *err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return fail(err, std::string("missing or non-numeric field '") +
+                             key + "'");
+    *out = v->asU64();
+    return true;
+}
+
+bool
+getBool(const JsonValue &obj, const char *key, bool *out, std::string *err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isBool())
+        return fail(err, std::string("missing or non-bool field '") + key +
+                             "'");
+    *out = v->asBool();
+    return true;
+}
+
+bool
+getString(const JsonValue &obj, const char *key, std::string *out,
+          std::string *err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isString())
+        return fail(err, std::string("missing or non-string field '") + key +
+                             "'");
+    *out = v->asString();
+    return true;
+}
+
+JsonValue
+decisionToJson(const McDecision &d)
+{
+    JsonValue j = JsonValue::object();
+    j.set("sm", JsonValue(std::uint64_t{d.sm}));
+    if (d.kind == McDecisionKind::Issue) {
+        j.set("k", JsonValue(std::string("i")));
+        JsonValue cands = JsonValue::array();
+        for (std::uint32_t slot : d.cands)
+            cands.push(JsonValue(std::uint64_t{slot}));
+        j.set("cands", std::move(cands));
+        j.set("pick", JsonValue(std::uint64_t{d.chosen}));
+    } else {
+        j.set("k", JsonValue(std::string("f")));
+        j.set("entry", JsonValue(d.entry));
+        j.set("defer", JsonValue(d.defer));
+    }
+    return j;
+}
+
+bool
+decisionFromJson(const JsonValue &j, McDecision *out, std::string *err)
+{
+    if (!j.isObject())
+        return fail(err, "decision is not an object");
+    std::string kind;
+    if (!getString(j, "k", &kind, err))
+        return false;
+    std::uint64_t sm = 0;
+    if (!getU64(j, "sm", &sm, err))
+        return false;
+    out->sm = static_cast<std::uint32_t>(sm);
+    if (kind == "i") {
+        out->kind = McDecisionKind::Issue;
+        const JsonValue *cands = j.find("cands");
+        if (!cands || !cands->isArray())
+            return fail(err, "issue decision lacks 'cands' array");
+        out->cands.clear();
+        for (const JsonValue &c : cands->items()) {
+            if (!c.isNumber())
+                return fail(err, "non-numeric candidate slot");
+            out->cands.push_back(static_cast<std::uint32_t>(c.asU64()));
+        }
+        std::uint64_t pick = 0;
+        if (!getU64(j, "pick", &pick, err))
+            return false;
+        if (out->cands.empty() || pick >= out->cands.size())
+            return fail(err, "issue pick out of candidate range");
+        out->chosen = static_cast<std::uint32_t>(pick);
+    } else if (kind == "f") {
+        out->kind = McDecisionKind::Flush;
+        if (!getU64(j, "entry", &out->entry, err))
+            return false;
+        if (!getBool(j, "defer", &out->defer, err))
+            return false;
+    } else {
+        return fail(err, "unknown decision kind '" + kind + "'");
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+mcDigestString(std::uint64_t digest)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+SystemConfig
+McArtifact::config() const
+{
+    SystemConfig cfg = SystemConfig::testDefault(model, design);
+    cfg.window = window;
+    cfg.flushPolicy = policy;
+    cfg.preciseFsm = preciseFsm;
+    cfg.nvmBwScale = nvmBwScale;
+    cfg.unsafeRelaxedPersistOrder = unsafeRelaxedOrder;
+    return cfg;
+}
+
+std::string
+McArtifact::toJson() const
+{
+    JsonValue j = JsonValue::object();
+    j.set("schema_version", JsonValue(std::uint64_t{schema::kMcSchedule}));
+    j.set("kind", JsonValue(std::string("mc_schedule")));
+    j.set("pattern", JsonValue(pattern));
+    j.set("model", JsonValue(std::string(toString(model))));
+    j.set("design", JsonValue(std::string(toString(design))));
+
+    JsonValue cfg = JsonValue::object();
+    cfg.set("window", JsonValue(std::uint64_t{window}));
+    cfg.set("flush_policy", JsonValue(std::string(toString(policy))));
+    cfg.set("precise_fsm", JsonValue(preciseFsm));
+    cfg.set("nvm_bw_scale", JsonValue(nvmBwScale));
+    cfg.set("unsafe_relaxed_order", JsonValue(unsafeRelaxedOrder));
+    cfg.set("defer_cycles", JsonValue(deferCycles));
+    cfg.set("defer_bound", JsonValue(std::uint64_t{deferBound}));
+    j.set("config", std::move(cfg));
+
+    JsonValue decisions = JsonValue::array();
+    for (const McDecision &d : schedule.decisions)
+        decisions.push(decisionToJson(d));
+    j.set("decisions", std::move(decisions));
+
+    JsonValue expect = JsonValue::object();
+    expect.set("violations", JsonValue(expectViolations));
+    expect.set("durable_ok", JsonValue(expectDurableOk));
+    expect.set("audit_breaks", JsonValue(expectAuditBreaks));
+    expect.set("cycles", JsonValue(expectCycles));
+    expect.set("digest", JsonValue(expectDigest));
+    j.set("expect", std::move(expect));
+
+    return j.dump(2) + "\n";
+}
+
+bool
+McArtifact::fromJson(const std::string &text, McArtifact *out,
+                     std::string *err)
+{
+    std::string perr;
+    JsonValue j = JsonValue::parse(text, &perr);
+    if (j.isNull())
+        return fail(err, "JSON parse error: " + perr);
+    if (!j.isObject())
+        return fail(err, "artifact is not a JSON object");
+
+    std::uint64_t version = 0;
+    if (!getU64(j, "schema_version", &version, err))
+        return false;
+    if (version != schema::kMcSchedule)
+        return fail(err, "unsupported mc_schedule schema_version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(schema::kMcSchedule) + ")");
+    std::string kind;
+    if (!getString(j, "kind", &kind, err) || kind != "mc_schedule")
+        return fail(err, "not an mc_schedule artifact");
+
+    McArtifact a;
+    if (!getString(j, "pattern", &a.pattern, err))
+        return false;
+    std::string model, design;
+    if (!getString(j, "model", &model, err) ||
+        !getString(j, "design", &design, err))
+        return false;
+    if (!modelKindFromString(model, &a.model))
+        return fail(err, "unknown model '" + model + "'");
+    if (!systemDesignFromString(design, &a.design))
+        return fail(err, "unknown design '" + design + "'");
+
+    const JsonValue *cfg = j.find("config");
+    if (!cfg || !cfg->isObject())
+        return fail(err, "missing 'config' object");
+    std::uint64_t window = 0;
+    if (!getU64(*cfg, "window", &window, err))
+        return false;
+    a.window = static_cast<std::uint32_t>(window);
+    std::string policy;
+    if (!getString(*cfg, "flush_policy", &policy, err))
+        return false;
+    if (!flushPolicyFromString(policy, &a.policy))
+        return fail(err, "unknown flush policy '" + policy + "'");
+    if (!getBool(*cfg, "precise_fsm", &a.preciseFsm, err))
+        return false;
+    const JsonValue *bw = cfg->find("nvm_bw_scale");
+    if (!bw || !bw->isNumber())
+        return fail(err, "missing or non-numeric 'nvm_bw_scale'");
+    a.nvmBwScale = bw->asNumber();
+    if (!getBool(*cfg, "unsafe_relaxed_order", &a.unsafeRelaxedOrder, err))
+        return false;
+    if (!getU64(*cfg, "defer_cycles", &a.deferCycles, err))
+        return false;
+    std::uint64_t defer_bound = 0;
+    if (!getU64(*cfg, "defer_bound", &defer_bound, err))
+        return false;
+    a.deferBound = static_cast<std::uint32_t>(defer_bound);
+
+    const JsonValue *decisions = j.find("decisions");
+    if (!decisions || !decisions->isArray())
+        return fail(err, "missing 'decisions' array");
+    for (const JsonValue &dj : decisions->items()) {
+        McDecision d;
+        if (!decisionFromJson(dj, &d, err))
+            return false;
+        a.schedule.decisions.push_back(std::move(d));
+    }
+
+    const JsonValue *expect = j.find("expect");
+    if (!expect || !expect->isObject())
+        return fail(err, "missing 'expect' object");
+    if (!getU64(*expect, "violations", &a.expectViolations, err))
+        return false;
+    if (!getBool(*expect, "durable_ok", &a.expectDurableOk, err))
+        return false;
+    if (!getU64(*expect, "audit_breaks", &a.expectAuditBreaks, err))
+        return false;
+    if (!getU64(*expect, "cycles", &a.expectCycles, err))
+        return false;
+    if (!getString(*expect, "digest", &a.expectDigest, err))
+        return false;
+
+    *out = std::move(a);
+    return true;
+}
+
+} // namespace sbrp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Recorded model-checking schedules and their self-contained JSON
+ * replay artifacts.
+ *
+ * A schedule is the ordered list of decisions taken at the simulator's
+ * scheduling choice points (which visible-op warp issued, which
+ * eligible persist-buffer flush was deferred). Everything else in the
+ * simulator is deterministic, so a schedule pins a run completely: the
+ * same decisions re-execute byte-identically (test-enforced).
+ *
+ * The artifact follows the crashtest replay discipline
+ * (src/crashtest/replay.hh): versioned, self-contained — pattern name,
+ * model, design and every exploration-relevant config knob ride along
+ * with the decisions and the expected outcome — and parsed with an
+ * error string instead of exceptions.
+ */
+
+#ifndef SBRP_MC_SCHEDULE_HH
+#define SBRP_MC_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+enum class McDecisionKind : std::uint8_t
+{
+    Issue,  ///< Which visible-op warp issued (>= 2 were eligible).
+    Flush,  ///< Whether an eligible persist-buffer head flushed now.
+};
+
+/** One decision at a scheduling choice point. */
+struct McDecision
+{
+    McDecisionKind kind = McDecisionKind::Issue;
+    std::uint32_t sm = 0;
+
+    /** Issue: warp slots of the visible candidates, in the SM's scan
+        order, and the index of the one issued (0 = default). */
+    std::vector<std::uint32_t> cands;
+    std::uint32_t chosen = 0;
+
+    /** Flush: persist-buffer entry id and whether it was deferred
+        (false = flushed, the default). */
+    std::uint64_t entry = 0;
+    bool defer = false;
+
+    bool operator==(const McDecision &) const = default;
+
+    /** The default decision the uncontrolled policy would have made. */
+    bool
+    isDefault() const
+    {
+        return kind == McDecisionKind::Issue ? chosen == 0 : !defer;
+    }
+};
+
+/** A complete recorded schedule: the decision at every choice point. */
+struct McSchedule
+{
+    std::vector<McDecision> decisions;
+
+    std::uint64_t
+    nonDefaultCount() const
+    {
+        std::uint64_t n = 0;
+        for (const McDecision &d : decisions)
+            n += d.isDefault() ? 0 : 1;
+        return n;
+    }
+
+    bool operator==(const McSchedule &) const = default;
+};
+
+/** Self-contained schedule replay artifact (`mcheck --replay`). */
+struct McArtifact
+{
+    static constexpr std::uint32_t kVersion = 1;
+
+    std::string pattern;
+    ModelKind model = ModelKind::Sbrp;
+    SystemDesign design = SystemDesign::PmNear;
+
+    // Exploration-relevant config knobs (applied over testDefault).
+    std::uint32_t window = 6;
+    FlushPolicy policy = FlushPolicy::Window;
+    bool preciseFsm = true;
+    double nvmBwScale = 1.0;
+    bool unsafeRelaxedOrder = false;
+    Cycle deferCycles = 24;
+    /** Defer decisions allowed per PB entry; replay must honour it
+        because it shapes which flush asks become choice points. */
+    std::uint32_t deferBound = 1;
+
+    McSchedule schedule;
+
+    // Expected outcome of replaying the schedule.
+    std::uint64_t expectViolations = 0;
+    bool expectDurableOk = true;
+    std::uint64_t expectAuditBreaks = 0;
+    Cycle expectCycles = 0;
+    std::string expectDigest;   ///< Hex FNV of the durable image.
+
+    /** The SystemConfig the schedule was recorded under. */
+    SystemConfig config() const;
+
+    std::string toJson() const;
+
+    /** Parses `text`; returns false and sets *err on malformed or
+        version-mismatched input. */
+    static bool fromJson(const std::string &text, McArtifact *out,
+                         std::string *err);
+};
+
+/** 64-bit digest rendered as fixed-width hex (JSON numbers are
+    doubles; 2^64 digests do not round-trip as numbers). */
+std::string mcDigestString(std::uint64_t digest);
+
+} // namespace sbrp
+
+#endif // SBRP_MC_SCHEDULE_HH

@@ -4,6 +4,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/schema_versions.hh"
 
 #include <fstream>
 
@@ -259,7 +260,8 @@ std::string
 PersistProvenance::auditJson() const
 {
     JsonValue doc = JsonValue::object();
-    doc.set("schema_version", JsonValue(std::uint64_t{1}));
+    doc.set("schema_version",
+            JsonValue(std::uint64_t{schema::kProvenance}));
     doc.set("ops_begun", JsonValue(begun_));
     doc.set("ops_completed", JsonValue(completed_));
     doc.set("ops_faulted", JsonValue(faulted_));

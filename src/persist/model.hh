@@ -33,6 +33,7 @@ class FunctionalMemory;
 class ExecutionTrace;
 class TraceBuffer;
 class PersistProvenance;
+class ScheduleController;
 
 /** Result of a model hook for the issuing warp. */
 enum class HookResult : std::uint8_t
@@ -85,6 +86,13 @@ class SmServices
      * (docs/SIM_CORE.md). A no-op under standalone model tests.
      */
     virtual void noteAsyncActivity() {}
+
+    /**
+     * The attached model-checking schedule driver, or null (the normal
+     * case). Models expose their persist-flush choice points through
+     * it; see docs/MODEL_CHECKING.md.
+     */
+    virtual ScheduleController *scheduleController() { return nullptr; }
 };
 
 /** A deferred scoped-release flag publication. */

@@ -13,6 +13,7 @@
 #include "mem/address_map.hh"
 #include "mem/functional_mem.hh"
 #include "obs/provenance.hh"
+#include "sim/scheduler.hh"
 
 namespace sbrp
 {
@@ -554,6 +555,18 @@ SbrpModel::drain()
                 stActrBlockCycles_->inc();
                 done();
                 return;
+            }
+            // Model-checking choice point: the flush has passed the
+            // model's own hazard checks, so deferring it is a legal
+            // timing perturbation (it can only delay, never reorder,
+            // the FIFO drain). The controller bounds deferral so the
+            // drain always terminates.
+            if (ScheduleController *ctl = sm_.scheduleController()) {
+                if (!ctl->allowFlush(sm_.smId(), h->id, h->lineAddr,
+                                     sm_.now())) {
+                    done();
+                    return;
+                }
             }
             Addr line = h->lineAddr;
             Cycle admit = h->admitCycle;

@@ -34,6 +34,69 @@
 namespace sbrp
 {
 
+/**
+ * One issuable warp at a scheduling choice point, with the footprint
+ * the model checker needs for conflict analysis. Candidates are listed
+ * in the SM's round-robin scan order, so index 0 is always the warp the
+ * uncontrolled scheduler would have preferred.
+ */
+struct IssueCandidate
+{
+    std::uint32_t slot = 0;   ///< Warp slot within the SM.
+    std::uint32_t pc = 0;     ///< Program counter of the pending instr.
+    std::uint8_t op = 0;      ///< static_cast<uint8_t>(Op) of that instr.
+    std::uint8_t scope = 0;   ///< static_cast<uint8_t>(Scope).
+    /** Persist-relevant: store/atomic/fence/release/acquire/barrier.
+        Orderings of invisible ops (ALU, loads) are not explored. */
+    bool visible = false;
+    bool write = false;       ///< Writes memory (store/atomic/release).
+    Addr line = 0;            ///< Cache line of the first active lane.
+};
+
+/**
+ * External schedule driver for stateless model checking (src/mc/).
+ *
+ * When attached to a Scheduler, every SM funnels its nondeterministic
+ * choice points through this interface instead of its built-in
+ * policies: which issuable warp issues this cycle (the SM then issues
+ * exactly ONE instruction per cycle, serializing interleavings so a
+ * schedule is a total order of decisions), and whether an eligible
+ * persist-buffer head line flushes now or is deferred. Given the same
+ * decision sequence the simulation is bit-identical — all remaining
+ * timing (memory latencies, channel arbitration, spin polls) is
+ * already deterministic.
+ */
+class ScheduleController
+{
+  public:
+    virtual ~ScheduleController() = default;
+
+    /**
+     * Picks which candidate issues on SM `sm` this cycle. `cands` is
+     * non-empty and in round-robin scan order (index 0 = default).
+     * Must return a valid index; the SM issues that warp.
+     */
+    virtual std::size_t pickIssue(std::uint32_t sm,
+                                  const std::vector<IssueCandidate> &cands)
+        = 0;
+
+    /**
+     * Gates a persist-buffer head flush that has already passed the
+     * model's own hazard checks (FSM, ACTR). Returning false defers
+     * the flush; the model will ask again on a later drain attempt.
+     * Implementations must eventually allow every flush or the
+     * end-of-kernel drain would hang against the watchdog.
+     */
+    virtual bool allowFlush(std::uint32_t sm, std::uint64_t entryId,
+                            Addr line, Cycle now) = 0;
+
+    /**
+     * The SM entered its end-of-kernel drain: no further issues will
+     * happen there, so flush deferral must stop.
+     */
+    virtual void noteKernelDrain(std::uint32_t sm) { (void)sm; }
+};
+
 class Scheduler
 {
   public:
@@ -102,11 +165,20 @@ class Scheduler
         inEvents_ = false;
     }
 
+    /**
+     * Attaches (or detaches, with nullptr) the model-checking schedule
+     * driver. Must be set before the first launch; null (the default)
+     * keeps the built-in scheduling policies untouched.
+     */
+    void setController(ScheduleController *c) { controller_ = c; }
+    ScheduleController *controller() const { return controller_; }
+
   private:
     EventQueue events_;
     std::vector<Cycle> wakes_;
     Cycle now_ = 0;
     bool inEvents_ = false;
+    ScheduleController *controller_ = nullptr;
 };
 
 } // namespace sbrp

@@ -10,12 +10,16 @@ Covers the gate's contract:
   - advisory (host-dependent) drift never fails, inside or outside the
     tolerance band;
   - coverage asymmetries (subset runs, new metrics) never fail;
-  - malformed/missing JSON exits 2.
+  - malformed/missing JSON exits 2;
+  - --update-baselines regenerates every committed baseline from the
+    bench binaries in one command (smoke-tested against stub benches)
+    and exits 2 when a binary is missing or fails.
 """
 
 import importlib.util
 import json
 import os
+import stat
 import sys
 import tempfile
 
@@ -120,6 +124,45 @@ def main(argv):
         h.check("report-names-the-metric",
                 "Red/sbrp/near/sim_cycles" in text and "FAIL" in text,
                 True)
+
+        # --update-baselines smoke test: stub benches stand in for the
+        # real binaries; each one writes a metrics JSON to the path its
+        # output flag routes to, exactly like the real tools.
+        build = os.path.join(tmp, "build")
+        golden = os.path.join(tmp, "golden")
+        os.makedirs(os.path.join(build, "bench"))
+
+        def stub(rel, body):
+            path = os.path.join(build, rel)
+            with open(path, "w") as f:
+                f.write("#!/bin/sh\n" + body)
+            os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR)
+
+        for rel, _, _ in mod.BASELINE_BENCHES:
+            stub(rel, 'printf \'{"bench": "stub", "m": 1}\' > "$2"\n')
+        h.check("update-baselines-runs-every-bench",
+                mod.main(["--update-baselines", "--build-dir", build,
+                          "--golden-dir", golden]), 0)
+        written = all(
+            os.path.isfile(os.path.join(golden, name))
+            and mod.load_metrics(os.path.join(golden, name)) == {"m": 1}
+            for _, _, name in mod.BASELINE_BENCHES)
+        h.check("update-baselines-writes-committed-names", written, True)
+
+        os.remove(os.path.join(build, mod.BASELINE_BENCHES[0][0]))
+        h.check("update-baselines-missing-binary-exits-2",
+                mod.main(["--update-baselines", "--build-dir", build,
+                          "--golden-dir", golden]), 2)
+
+        stub(mod.BASELINE_BENCHES[0][0], "exit 3\n")
+        h.check("update-baselines-failing-bench-exits-2",
+                mod.main(["--update-baselines", "--build-dir", build,
+                          "--golden-dir", golden]), 2)
+
+        stub(mod.BASELINE_BENCHES[0][0], 'printf "not json" > "$2"\n')
+        h.check("update-baselines-bad-output-exits-2",
+                mod.main(["--update-baselines", "--build-dir", build,
+                          "--golden-dir", golden]), 2)
 
         if h.failures:
             print(f"{len(h.failures)} failure(s): "

@@ -55,9 +55,26 @@ def check_tool(binary, source):
                 print(f"FAIL {binary}: flag {flag} is parsed but "
                       "missing from the --help listing")
                 ok = False
+
+    # Every tool must answer --version with exit 0 and name the
+    # artifact schema versions (one shared source: schema_versions.hh).
+    if "--version" not in flags:
+        print(f"FAIL {binary}: no --version flag parsed")
+        ok = False
+    else:
+        proc = subprocess.run([binary, "--version"], capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            print(f"FAIL {binary} --version: exit {proc.returncode}")
+            ok = False
+        elif "schemas:" not in proc.stdout:
+            print(f"FAIL {binary} --version: output does not list the "
+                  f"schema versions: {proc.stdout.strip()!r}")
+            ok = False
+
     if ok:
         print(f"ok   {binary}: {len(flags)} flags all listed, "
-              "--help/-h exit 0")
+              "--help/-h/--version exit 0")
     return ok
 
 

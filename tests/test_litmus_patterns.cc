@@ -321,5 +321,65 @@ TEST(LitmusPatterns, CrossBlockDeviceScopeOrdered)
     expectAllOk(s, cfgFor(SystemDesign::PmFar));
 }
 
+// --- The registered corpus (formal/litmus_corpus.hh) ---
+//
+// The handwritten patterns above stay as SBRP crash-sweep coverage;
+// the registry below is the shared, model-generic catalogue the model
+// checker (tools/mcheck) explores.
+
+TEST(LitmusCorpus, RegistryIsStableAndSearchable)
+{
+    const std::vector<LitmusPattern> &corpus = litmusCorpus();
+    ASSERT_GE(corpus.size(), 7u);
+    for (const LitmusPattern &p : corpus) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_FALSE(p.summary.empty());
+        EXPECT_EQ(findLitmusPattern(p.name), &p);
+    }
+    EXPECT_EQ(findLitmusPattern("no-such-pattern"), nullptr);
+    ASSERT_NE(findLitmusPattern("chain"), nullptr);
+    EXPECT_TRUE(findLitmusPattern("chain")->ordered);
+    ASSERT_NE(findLitmusPattern("independent"), nullptr);
+    EXPECT_FALSE(findLitmusPattern("independent")->ordered);
+}
+
+/** Satellite inventory check: every registered pattern builds and runs
+    crash-free under all four persistency models. */
+TEST(LitmusCorpus, EveryPatternRunsCleanUnderAllFourModels)
+{
+    const std::pair<ModelKind, SystemDesign> combos[] = {
+        {ModelKind::Gpm, SystemDesign::PmFar},
+        {ModelKind::Epoch, SystemDesign::PmNear},
+        {ModelKind::Sbrp, SystemDesign::PmNear},
+        {ModelKind::ScopedBarrier, SystemDesign::PmNear},
+    };
+    for (const LitmusPattern &p : litmusCorpus()) {
+        for (const auto &[m, d] : combos) {
+            SystemConfig cfg = SystemConfig::testDefault(m, d);
+            LitmusRun r = p.scenario(m).runControlled(cfg, nullptr);
+            EXPECT_TRUE(r.violations.empty())
+                << p.name << " under " << toString(m) << ": "
+                << (r.violations.empty() ? ""
+                                         : r.violations[0].detail);
+            EXPECT_TRUE(r.durableStateOk)
+                << p.name << " under " << toString(m);
+            EXPECT_EQ(r.auditOrderBreaks, 0u)
+                << p.name << " under " << toString(m);
+            EXPECT_NE(r.nvmDigest, 0u) << p.name;
+        }
+    }
+}
+
+/** Corpus patterns also survive the crash-sweep harness under SBRP. */
+TEST(LitmusCorpus, CrashSweepCleanUnderSbrp)
+{
+    for (const LitmusPattern &p : litmusCorpus()) {
+        LitmusScenario s = p.scenario(ModelKind::Sbrp);
+        LitmusReport rep =
+            s.run(cfgFor(SystemDesign::PmNear), {0.25, 0.5, 0.75});
+        EXPECT_TRUE(rep.allOk()) << p.name;
+    }
+}
+
 } // namespace
 } // namespace sbrp

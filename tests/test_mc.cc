@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Stateless model checker (src/mc/): exploration verdicts, DPOR-style
+ * pruning, schedule-replay determinism, artifact round-trips, and the
+ * seeded `unsafeRelaxedPersistOrder` bug as the oracle check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/sbrp.hh"
+#include "common/schema_versions.hh"
+#include "mc/controller.hh"
+#include "mc/explorer.hh"
+#include "mc/schedule.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+SystemConfig
+mcConfig(ModelKind m, bool relaxed = false)
+{
+    SystemDesign d = m == ModelKind::Gpm ? SystemDesign::PmFar
+                                         : SystemDesign::PmNear;
+    SystemConfig cfg = SystemConfig::testDefault(m, d);
+    // Narrow write path: commit-order margins widen, verdicts do not
+    // change (matches the mcheck default).
+    cfg.nvmBwScale = 0.25;
+    cfg.unsafeRelaxedPersistOrder = relaxed;
+    return cfg;
+}
+
+const LitmusPattern &
+pattern(const std::string &name)
+{
+    const LitmusPattern *p = findLitmusPattern(name);
+    EXPECT_NE(p, nullptr) << name;
+    return *p;
+}
+
+TEST(McExplore, AbsenceProvedOnCorrectSbrp)
+{
+    for (const LitmusPattern &p : litmusCorpus()) {
+        ExploreResult r =
+            McExplorer(p, mcConfig(ModelKind::Sbrp), {}).explore();
+        EXPECT_FALSE(r.violationFound) << p.name;
+        EXPECT_TRUE(r.complete) << p.name;
+        EXPECT_GE(r.schedulesExplored, 1u) << p.name;
+        EXPECT_EQ(r.divergedRuns, 0u) << p.name;
+    }
+}
+
+TEST(McExplore, SeededBugCaughtOnEveryOrderedPattern)
+{
+    for (const LitmusPattern &p : litmusCorpus()) {
+        ExploreResult r =
+            McExplorer(p, mcConfig(ModelKind::Sbrp, true), {}).explore();
+        EXPECT_EQ(r.violationFound, p.ordered) << p.name;
+        if (r.violationFound) {
+            // The corpus engineers the violation onto the default
+            // schedule, so the minimizer must reach zero non-default
+            // decisions.
+            EXPECT_EQ(r.violatingSchedule.nonDefaultCount(), 0u)
+                << p.name;
+        }
+    }
+}
+
+TEST(McExplore, PruningCollapsesIndependentWriters)
+{
+    const LitmusPattern &p = pattern("independent");
+    ExploreLimits pruned;
+    ExploreResult with =
+        McExplorer(p, mcConfig(ModelKind::Sbrp), pruned).explore();
+    ExploreLimits full = pruned;
+    full.prune = false;
+    ExploreResult without =
+        McExplorer(p, mcConfig(ModelKind::Sbrp), full).explore();
+
+    // Address-disjoint writers commute: pruning collapses the whole
+    // interleaving space to the canonical schedule; full enumeration
+    // visits the bounded space and agrees on the verdict.
+    EXPECT_EQ(with.schedulesExplored, 1u);
+    EXPECT_GT(with.alternativesPruned, 0u);
+    EXPECT_GT(without.schedulesExplored, with.schedulesExplored);
+    EXPECT_TRUE(with.complete);
+    EXPECT_TRUE(without.complete);
+    EXPECT_FALSE(with.violationFound);
+    EXPECT_FALSE(without.violationFound);
+}
+
+TEST(McExplore, DeferAlternativeExploredWhenLineIsRewritten)
+{
+    // re-release writes its flag line twice, so deferring the first
+    // flush is a non-commuting alternative and must be explored.
+    ExploreResult r = McExplorer(pattern("re-release"),
+                                 mcConfig(ModelKind::Sbrp), {}).explore();
+    EXPECT_GE(r.schedulesExplored, 2u);
+    EXPECT_FALSE(r.violationFound);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(McExplore, ScheduleBoundReportedHonestly)
+{
+    ExploreLimits limits;
+    limits.prune = false;
+    limits.maxSchedules = 3;
+    ExploreResult r = McExplorer(pattern("independent"),
+                                 mcConfig(ModelKind::Sbrp),
+                                 limits).explore();
+    EXPECT_TRUE(r.hitScheduleBound);
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.schedulesExplored, 3u);
+}
+
+TEST(McReplay, RecordedScheduleReplaysByteIdentically)
+{
+    const LitmusPattern &p = pattern("chain");
+    SystemConfig cfg = mcConfig(ModelKind::Sbrp, true);
+    ExploreLimits limits;
+    McExplorer ex(p, cfg, limits);
+    ExploreResult r = ex.explore();
+    ASSERT_TRUE(r.violationFound);
+
+    // Tolerant re-run reproduces the run bit for bit.
+    McSchedule rec;
+    LitmusRun again = ex.runSchedule(r.violatingSchedule, &rec);
+    EXPECT_EQ(again.cycles, r.violation.cycles);
+    EXPECT_EQ(again.nvmDigest, r.violation.nvmDigest);
+    EXPECT_EQ(again.violations.size(), r.violation.violations.size());
+    EXPECT_EQ(again.auditOrderBreaks, r.violation.auditOrderBreaks);
+    EXPECT_EQ(rec, r.violatingSchedule);
+
+    // Strict replay consumes the decision list exactly.
+    McController strict(McController::Mode::Replay, r.violatingSchedule,
+                        limits.deferBound, limits.deferCycles);
+    LitmusRun strict_run =
+        p.scenario(cfg.model).runControlled(cfg, &strict);
+    EXPECT_FALSE(strict.diverged()) << strict.divergence();
+    EXPECT_EQ(strict_run.nvmDigest, r.violation.nvmDigest);
+    EXPECT_EQ(strict_run.cycles, r.violation.cycles);
+}
+
+TEST(McReplay, TruncatedScheduleDiverges)
+{
+    const LitmusPattern &p = pattern("chain");
+    SystemConfig cfg = mcConfig(ModelKind::Sbrp, true);
+    ExploreLimits limits;
+    ExploreResult r = McExplorer(p, cfg, limits).explore();
+    ASSERT_TRUE(r.violationFound);
+    ASSERT_FALSE(r.violatingSchedule.decisions.empty());
+
+    McSchedule truncated = r.violatingSchedule;
+    truncated.decisions.pop_back();
+    McController strict(McController::Mode::Replay, truncated,
+                        limits.deferBound, limits.deferCycles);
+    p.scenario(cfg.model).runControlled(cfg, &strict);
+    EXPECT_TRUE(strict.diverged());
+}
+
+TEST(McArtifactJson, RoundTripsLosslessly)
+{
+    McArtifact a;
+    a.pattern = "chain";
+    a.model = ModelKind::Sbrp;
+    a.design = SystemDesign::PmNear;
+    a.window = 4;
+    a.policy = FlushPolicy::Eager;
+    a.preciseFsm = false;
+    a.nvmBwScale = 0.25;
+    a.unsafeRelaxedOrder = true;
+    a.deferCycles = 17;
+    a.deferBound = 2;
+    McDecision di;
+    di.kind = McDecisionKind::Issue;
+    di.sm = 1;
+    di.cands = {0, 3, 5};
+    di.chosen = 2;
+    McDecision df;
+    df.kind = McDecisionKind::Flush;
+    df.sm = 2;
+    df.entry = 41;
+    df.defer = true;
+    a.schedule.decisions = {di, df};
+    a.expectViolations = 3;
+    a.expectDurableOk = false;
+    a.expectAuditBreaks = 1;
+    a.expectCycles = 427;
+    a.expectDigest = mcDigestString(0xdeadbeefcafef00dull);
+
+    McArtifact b;
+    std::string err;
+    ASSERT_TRUE(McArtifact::fromJson(a.toJson(), &b, &err)) << err;
+    EXPECT_EQ(b.pattern, a.pattern);
+    EXPECT_EQ(b.model, a.model);
+    EXPECT_EQ(b.design, a.design);
+    EXPECT_EQ(b.window, a.window);
+    EXPECT_EQ(b.policy, a.policy);
+    EXPECT_EQ(b.preciseFsm, a.preciseFsm);
+    EXPECT_DOUBLE_EQ(b.nvmBwScale, a.nvmBwScale);
+    EXPECT_EQ(b.unsafeRelaxedOrder, a.unsafeRelaxedOrder);
+    EXPECT_EQ(b.deferCycles, a.deferCycles);
+    EXPECT_EQ(b.deferBound, a.deferBound);
+    EXPECT_EQ(b.schedule, a.schedule);
+    EXPECT_EQ(b.expectViolations, a.expectViolations);
+    EXPECT_EQ(b.expectDurableOk, a.expectDurableOk);
+    EXPECT_EQ(b.expectAuditBreaks, a.expectAuditBreaks);
+    EXPECT_EQ(b.expectCycles, a.expectCycles);
+    EXPECT_EQ(b.expectDigest, a.expectDigest);
+
+    SystemConfig cfg = b.config();
+    EXPECT_EQ(cfg.model, ModelKind::Sbrp);
+    EXPECT_EQ(cfg.window, 4u);
+    EXPECT_TRUE(cfg.unsafeRelaxedPersistOrder);
+}
+
+TEST(McArtifactJson, RejectsMalformedInput)
+{
+    McArtifact out;
+    std::string err;
+    EXPECT_FALSE(McArtifact::fromJson("not json", &out, &err));
+    EXPECT_FALSE(err.empty());
+
+    EXPECT_FALSE(McArtifact::fromJson("{}", &out, &err));
+
+    // Wrong schema version is a structured error naming the version.
+    McArtifact a;
+    a.pattern = "chain";
+    std::string text = a.toJson();
+    const std::string needle = "\"schema_version\": " +
+                               std::to_string(schema::kMcSchedule);
+    auto at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, needle.size(), "\"schema_version\": 99");
+    EXPECT_FALSE(McArtifact::fromJson(text, &out, &err));
+    EXPECT_NE(err.find("schema_version"), std::string::npos);
+    EXPECT_NE(err.find("99"), std::string::npos);
+}
+
+TEST(McDigest, FormatsFixedWidthHex)
+{
+    EXPECT_EQ(mcDigestString(0), "0x0000000000000000");
+    EXPECT_EQ(mcDigestString(0xee1a99704a9ecc51ull),
+              "0xee1a99704a9ecc51");
+}
+
+} // namespace
+} // namespace sbrp

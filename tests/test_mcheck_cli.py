@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""End-to-end contract test for tools/mcheck.
+
+Exercises the full loop the model checker promises:
+  1. correct SBRP model: every small pattern explored to completion,
+     zero violations, exit 0;
+  2. seeded --unsafe-relaxed-order bug: every ordered pattern produces
+     a violating schedule, exit 1, and a replay artifact per violation;
+  3. each artifact replays byte-identically (exit 0);
+  4. a tampered artifact fails replay (exit 1);
+  5. malformed input and unknown patterns exit 2.
+
+Usage:
+    test_mcheck_cli.py <mcheck-binary>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(args, **kw):
+    return subprocess.run(args, capture_output=True, text=True, **kw)
+
+
+def fail(msg, proc=None):
+    print(f"FAIL {msg}")
+    if proc is not None:
+        print(f"  exit={proc.returncode}")
+        print(f"  stdout: {proc.stdout.strip()[:2000]}")
+        print(f"  stderr: {proc.stderr.strip()[:2000]}")
+    return False
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: test_mcheck_cli.py <mcheck-binary>",
+              file=sys.stderr)
+        return 2
+    mcheck = argv[1]
+    ok = True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = os.path.join(tmp, "report.json")
+
+        # 1. Absence on the correct model.
+        p = run([mcheck, "--all", "--small", "--report", report])
+        if p.returncode != 0:
+            ok = fail("correct model should exit 0", p)
+        elif "0 violating" not in p.stdout:
+            ok = fail("correct model should report 0 violating", p)
+        else:
+            with open(report, encoding="utf-8") as f:
+                doc = json.load(f)
+            if doc.get("kind") != "mc_report":
+                ok = fail(f"report kind {doc.get('kind')!r}")
+            for v in doc.get("verdicts", []):
+                if v.get("violation") or not v.get("complete"):
+                    ok = fail(f"verdict not a completed absence proof: "
+                              f"{v}")
+
+        # 2. The seeded bug must be caught on every ordered pattern.
+        p = run([mcheck, "--all", "--small", "--unsafe-relaxed-order",
+                 "--artifacts", tmp, "--report", report])
+        if p.returncode != 1:
+            ok = fail("seeded bug should exit 1", p)
+        with open(report, encoding="utf-8") as f:
+            doc = json.load(f)
+        artifacts = []
+        for v in doc.get("verdicts", []):
+            # `independent` has no ordering edges: the only pattern
+            # allowed (and required) to stay clean under the bug.
+            want = v["pattern"] != "independent"
+            if v.get("violation") != want:
+                ok = fail(f"{v['pattern']}: violation={v.get('violation')}"
+                          f", expected {want}")
+            if want:
+                path = os.path.join(
+                    tmp, f"mc_{v['pattern']}_{v['model']}.json")
+                if not os.path.exists(path):
+                    ok = fail(f"missing artifact {path}")
+                else:
+                    artifacts.append(path)
+
+        # 3. Byte-identical replay of every artifact.
+        for path in artifacts:
+            p = run([mcheck, "--replay", path])
+            if p.returncode != 0 or "byte-identical" not in p.stdout:
+                ok = fail(f"replay of {os.path.basename(path)}", p)
+
+        # 4. Tampering with the expectation must fail the replay.
+        if artifacts:
+            with open(artifacts[0], encoding="utf-8") as f:
+                art = json.load(f)
+            art["expect"]["cycles"] += 1
+            tampered = os.path.join(tmp, "tampered.json")
+            with open(tampered, "w", encoding="utf-8") as f:
+                json.dump(art, f)
+            p = run([mcheck, "--replay", tampered])
+            if p.returncode != 1:
+                ok = fail("tampered artifact should exit 1", p)
+
+        # 5. Infrastructure errors exit 2.
+        garbage = os.path.join(tmp, "garbage.json")
+        with open(garbage, "w", encoding="utf-8") as f:
+            f.write("not json")
+        for args, what in (
+                ([mcheck, "--replay", garbage], "garbage artifact"),
+                ([mcheck, "--pattern", "no-such"], "unknown pattern"),
+                ([mcheck], "no pattern selection")):
+            p = run(args)
+            if p.returncode != 2:
+                ok = fail(f"{what} should exit 2", p)
+
+    if ok:
+        print(f"ok   {mcheck}: explore/violate/replay/tamper/usage "
+              "contract holds")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Schema-version contract for the offline report tools.
+
+tools/trace_report.py and tools/persist_report.py consume documents
+tagged with a schema_version. A version the tool does not understand
+must exit 2 with a message naming both versions -- never a KeyError
+traceback, never a silently misread report.
+
+Usage:
+    test_report_schemas.py <trace_report.py> <persist_report.py>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(args):
+    return subprocess.run([sys.executable] + args, capture_output=True,
+                          text=True)
+
+
+def check(name, proc, want_exit, want_stderr=()):
+    ok = proc.returncode == want_exit
+    for needle in want_stderr:
+        ok = ok and needle in proc.stderr
+    if ok:
+        print(f"ok   {name}")
+        return True
+    print(f"FAIL {name}: exit {proc.returncode} (wanted {want_exit}), "
+          f"stderr: {proc.stderr.strip()[:500]!r}")
+    if "Traceback" in proc.stderr:
+        print("  (tool crashed with a traceback)")
+    return False
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: test_report_schemas.py <trace_report.py> "
+              "<persist_report.py>", file=sys.stderr)
+        return 2
+    trace_report, persist_report = argv[1], argv[2]
+    ok = True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, doc):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            return path
+
+        # A minimal non-empty trace so trace_report reaches the
+        # --stats-json cross-check.
+        trace = write("trace.json", {"traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 0,
+             "args": {"name": "sm0"}}]})
+
+        future = write("stats-future.json", {"schema_version": 99})
+        ok &= check("trace_report-unknown-stats-schema-exits-2",
+                    run([trace_report, trace, "--stats-json", future]),
+                    2, ("schema_version", "99", "2"))
+
+        # An untagged stats document is the pre-versioning schema: the
+        # tool keeps its "old stats schema?" note and exits 0.
+        old = write("stats-old.json", {"sm0": {"other_counter": 1}})
+        ok &= check("trace_report-untagged-stats-still-accepted",
+                    run([trace_report, trace, "--stats-json", old]), 0)
+
+        ok &= check("persist_report-unknown-schema-exits-2",
+                    run([persist_report,
+                         write("prov-future.json",
+                               {"schema_version": 99})]),
+                    2, ("schema_version", "99", "1"))
+        ok &= check("persist_report-untagged-doc-exits-2",
+                    run([persist_report,
+                         write("prov-untagged.json", {"audit": []})]),
+                    2, ("schema_version",))
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,15 +21,33 @@ Coverage asymmetries are advisory too: metrics only in the current run
 are NEW (a bench gained a metric), metrics only in the baseline are
 SKIPPED (e.g. CI runs a 3-app subset against the full-matrix baseline).
 
+`--update-baselines` is the re-baselining half of the gate: it runs
+every baseline-producing bench from `--build-dir` and rewrites the
+committed JSONs under `--golden-dir` in one command, so an intended
+timing change is a bench re-run plus a `git diff` review instead of a
+manual copy dance.
+
 Exit codes: 0 = no exact-metric regressions, 1 = at least one exact
 metric drifted, 2 = usage error or malformed/unreadable JSON.
 """
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 
 ADVISORY_PATTERNS = ("_per_sec", "wall", "_ms")
+
+# Every bench whose output is a committed baseline: (binary relative to
+# the build dir, the flag that routes its metrics JSON, baseline name).
+# CI diffs subset runs against these full-matrix files (perf-regression
+# job in .github/workflows/ci.yml).
+BASELINE_BENCHES = [
+    ("bench/cycle_breakdown", "--out", "BENCH_cycle_breakdown.json"),
+    ("bench/sim_throughput", "--json", "BENCH_sim_throughput.json"),
+    ("bench/trace_overhead", "--json", "BENCH_trace_overhead.json"),
+]
 
 
 def is_advisory(key):
@@ -89,18 +107,75 @@ def compare(current, baseline, rtol):
     return regressions, warnings, infos
 
 
+def update_baselines(build_dir, golden_dir):
+    """Regenerates every committed baseline; returns an exit code."""
+    missing = [rel for rel, _, _ in BASELINE_BENCHES
+               if not os.path.isfile(os.path.join(build_dir, rel))]
+    if missing:
+        names = " ".join(os.path.basename(m) for m in missing)
+        print(f"bench_diff: missing bench binaries under '{build_dir}': "
+              f"{', '.join(missing)}\n"
+              f"  build them first: cmake --build {build_dir} "
+              f"--target {names}", file=sys.stderr)
+        return 2
+    os.makedirs(golden_dir, exist_ok=True)
+    for rel, flag, name in BASELINE_BENCHES:
+        binary = os.path.join(build_dir, rel)
+        out = os.path.join(golden_dir, name)
+        print(f"bench_diff: running {rel} (full matrix) -> {out}")
+        proc = subprocess.run([binary, flag, out],
+                              stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"bench_diff: {rel} exited {proc.returncode}; "
+                  f"baseline '{out}' not trusted", file=sys.stderr)
+            return 2
+        try:
+            metrics = load_metrics(out)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_diff: {rel} wrote an unusable baseline "
+                  f"'{out}': {e}", file=sys.stderr)
+            return 2
+        if not metrics:
+            print(f"bench_diff: {rel} wrote no numeric metrics to "
+                  f"'{out}'", file=sys.stderr)
+            return 2
+        print(f"  {len(metrics)} metrics")
+    print(f"bench_diff: {len(BASELINE_BENCHES)} baseline(s) updated "
+          f"under {golden_dir} -- review with git diff before "
+          "committing")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Diff bench metrics JSON against a baseline.")
-    parser.add_argument("current", help="metrics JSON from this run")
-    parser.add_argument("baseline",
+    parser.add_argument("current", nargs="?",
+                        help="metrics JSON from this run")
+    parser.add_argument("baseline", nargs="?",
                         help="committed baseline JSON (tests/golden/)")
     parser.add_argument("--rtol", type=float, default=0.5,
                         help="advisory tolerance band for host-dependent "
                              "metrics (default 0.5 = ±50%%)")
     parser.add_argument("--report", metavar="FILE",
                         help="also write the report to FILE")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="re-run every baseline bench and rewrite "
+                             "the committed JSONs in one command")
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding the bench binaries "
+                             "(default: build)")
+    parser.add_argument("--golden-dir", default="tests/golden",
+                        help="where the committed baselines live "
+                             "(default: tests/golden)")
     args = parser.parse_args(argv)
+
+    if args.update_baselines:
+        if args.current or args.baseline:
+            parser.error("--update-baselines takes no metric files")
+        return update_baselines(args.build_dir, args.golden_dir)
+    if args.current is None or args.baseline is None:
+        parser.error("need <current> and <baseline> metric files "
+                     "(or --update-baselines)")
 
     try:
         current = load_metrics(args.current)

@@ -33,6 +33,7 @@
 #include "apps/registry.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/schema_versions.hh"
 #include "crashtest/campaign.hh"
 #include "obs/provenance.hh"
 
@@ -88,6 +89,7 @@ usage()
         "  --retry-budget <n>  max attempts per persist (default 8)\n"
         "  --unsafe-relaxed-order  FAULT INJECTION: let the SBRP drain\n"
         "                    engine violate PMO (testing the oracles)\n"
+        "  --version         print the artifact schema versions and exit\n"
         "  --help, -h        print this listing and exit\n");
 }
 
@@ -289,6 +291,11 @@ main(int argc, char **argv)
                 std::strtoul(next(i), nullptr, 10));
         } else if (a == "--unsafe-relaxed-order") {
             unsafe_relaxed = true;
+        } else if (a == "--version") {
+            std::printf("crashfuzz (sbrp-sim) replay artifact schema "
+                        "%u\n%s\n", ReplayArtifact::kVersion,
+                        schema::describeAll().c_str());
+            return 0;
         } else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -360,7 +367,8 @@ main(int argc, char **argv)
             // fault classes; any sticky/WPQ settings from --faults are
             // held constant across the sweep.
             JsonValue combined = JsonValue::object();
-            combined.set("schema_version", JsonValue(std::uint64_t{3}));
+            combined.set("schema_version",
+                         JsonValue(std::uint64_t{schema::kCampaignReport}));
             JsonValue entries = JsonValue::array();
             bool all_pass = true;
             for (double r : sweep_rates) {

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * mcheck — stateless model checker for the litmus corpus.
+ *
+ * Exhaustively explores warp-interleaving and persist-reordering
+ * schedules of each litmus pattern under schedule control (src/mc/),
+ * judging every explored schedule with the formal PMO checker, the
+ * durable-image predicate, and the persist-order audit stream. The
+ * verdict per (pattern, model) is either an absence proof ("all N
+ * schedules explored, 0 violations" — N after commutativity pruning)
+ * or a minimal violating schedule, written as a self-contained JSON
+ * replay artifact.
+ *
+ * Usage:
+ *   mcheck --all --report mc.json
+ *   mcheck --pattern chain --model sbrp --unsafe-relaxed-order \
+ *          --artifacts out/
+ *   mcheck --replay out/mc_chain_sbrp.json
+ *
+ * Exit codes: 0 = explored, no violations (or replay reproduced its
+ * artifact byte-identically), 1 = violations found (or replay
+ * mismatched), 2 = usage or infrastructure error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/schema_versions.hh"
+#include "formal/litmus_corpus.hh"
+#include "mc/controller.hh"
+#include "mc/explorer.hh"
+#include "mc/schedule.hh"
+
+using namespace sbrp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "mcheck — exhaustive schedule exploration of litmus patterns\n\n"
+        "  --pattern <name>  explore one pattern (see --list)\n"
+        "  --all             explore every registered pattern\n"
+        "  --small           with --all: only the small patterns\n"
+        "  --list            list registered patterns and exit\n"
+        "  --model <m>       sbrp | epoch | gpm | barrier | all\n"
+        "                    (default sbrp)\n"
+        "  --design <d>      near | far                 (default near)\n"
+        "  --bound <n>       max schedules per pattern  (default 4096)\n"
+        "  --preempt-bound <n>  max non-default issue picks per\n"
+        "                    schedule                   (default 8)\n"
+        "  --defer-bound <n> max flush deferrals per PB entry\n"
+        "                    (default 1)\n"
+        "  --defer-cycles <n>  defer window length      (default 24)\n"
+        "  --no-prune        disable commutativity pruning (full\n"
+        "                    enumeration of the bounded space)\n"
+        "  --window <n>      SBRP flush window\n"
+        "  --policy <p>      window | eager | lazy\n"
+        "  --nvm-bw <scale>  NVM bandwidth scale (default 0.25: a\n"
+        "                    narrow write path widens commit-order\n"
+        "                    margins without changing verdicts)\n"
+        "  --unsafe-relaxed-order  FAULT INJECTION: seeded PMO bug in\n"
+        "                    the SBRP drain engine (oracle check)\n"
+        "  --report <f>      write the verdict table as JSON to <f>\n"
+        "  --stats-json <f>  write exploration counters as JSON to <f>\n"
+        "  --artifacts <dir> write violating-schedule artifacts into\n"
+        "                    <dir>/mc_<pattern>_<model>.json\n"
+        "  --replay <f>      re-execute a recorded schedule strictly;\n"
+        "                    exit 0 iff the run is byte-identical\n"
+        "  --version         print tool and artifact schema versions\n"
+        "  --help, -h        print this listing and exit\n");
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << text;
+    return static_cast<bool>(os);
+}
+
+struct Verdict
+{
+    std::string pattern;
+    ModelKind model = ModelKind::Sbrp;
+    ExploreResult result;
+};
+
+std::string
+verdictLine(const Verdict &v)
+{
+    char buf[256];
+    const ExploreResult &r = v.result;
+    if (r.violationFound) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-12s %-8s VIOLATION after %llu schedule%s — "
+                      "minimized to %llu non-default decision%s "
+                      "(%llu minimize runs)",
+                      v.pattern.c_str(), toString(v.model),
+                      static_cast<unsigned long long>(r.schedulesExplored),
+                      r.schedulesExplored == 1 ? "" : "s",
+                      static_cast<unsigned long long>(
+                          r.violatingSchedule.nonDefaultCount()),
+                      r.violatingSchedule.nonDefaultCount() == 1 ? "" : "s",
+                      static_cast<unsigned long long>(r.minimizeRuns));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%-12s %-8s ok: %llu schedule%s explored, %llu "
+                      "alternative%s pruned, depth %llu — %s, 0 violations",
+                      v.pattern.c_str(), toString(v.model),
+                      static_cast<unsigned long long>(r.schedulesExplored),
+                      r.schedulesExplored == 1 ? "" : "s",
+                      static_cast<unsigned long long>(r.alternativesPruned),
+                      r.alternativesPruned == 1 ? "" : "s",
+                      static_cast<unsigned long long>(r.choicePoints),
+                      r.complete ? "complete"
+                                 : (r.hitScheduleBound ? "schedule bound hit"
+                                                       : "bounded"));
+    }
+    return buf;
+}
+
+JsonValue
+verdictJson(const Verdict &v)
+{
+    const ExploreResult &r = v.result;
+    JsonValue j = JsonValue::object();
+    j.set("pattern", JsonValue(v.pattern));
+    j.set("model", JsonValue(std::string(toString(v.model))));
+    j.set("schedules_explored", JsonValue(r.schedulesExplored));
+    j.set("alternatives_pruned", JsonValue(r.alternativesPruned));
+    j.set("preempt_skips", JsonValue(r.preemptSkips));
+    j.set("choice_points", JsonValue(r.choicePoints));
+    j.set("complete", JsonValue(r.complete));
+    j.set("violation", JsonValue(r.violationFound));
+    if (r.violationFound) {
+        j.set("pmo_violations",
+              JsonValue(std::uint64_t{r.violation.violations.size()}));
+        j.set("durable_ok", JsonValue(r.violation.durableStateOk));
+        j.set("audit_breaks", JsonValue(r.violation.auditOrderBreaks));
+        j.set("minimal_non_default",
+              JsonValue(r.violatingSchedule.nonDefaultCount()));
+        j.set("minimize_runs", JsonValue(r.minimizeRuns));
+    }
+    return j;
+}
+
+McArtifact
+makeArtifact(const Verdict &v, const SystemConfig &cfg,
+             const ExploreLimits &limits)
+{
+    McArtifact a;
+    a.pattern = v.pattern;
+    a.model = v.model;
+    a.design = cfg.design;
+    a.window = cfg.window;
+    a.policy = cfg.flushPolicy;
+    a.preciseFsm = cfg.preciseFsm;
+    a.nvmBwScale = cfg.nvmBwScale;
+    a.unsafeRelaxedOrder = cfg.unsafeRelaxedPersistOrder;
+    a.deferCycles = limits.deferCycles;
+    a.deferBound = limits.deferBound;
+    a.schedule = v.result.violatingSchedule;
+    const LitmusRun &run = v.result.violation;
+    a.expectViolations = run.violations.size();
+    a.expectDurableOk = run.durableStateOk;
+    a.expectAuditBreaks = run.auditOrderBreaks;
+    a.expectCycles = run.cycles;
+    a.expectDigest = mcDigestString(run.nvmDigest);
+    return a;
+}
+
+int
+replaySchedule(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "mcheck: cannot read '%s'\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    std::string err;
+    McArtifact a;
+    if (!McArtifact::fromJson(buf.str(), &a, &err)) {
+        std::fprintf(stderr, "mcheck: %s: %s\n", path.c_str(), err.c_str());
+        return 2;
+    }
+    const LitmusPattern *pat = findLitmusPattern(a.pattern);
+    if (!pat) {
+        std::fprintf(stderr, "mcheck: %s: unknown pattern '%s'\n",
+                     path.c_str(), a.pattern.c_str());
+        return 2;
+    }
+
+    std::printf("replaying %s under %s/%s: %zu decisions, expecting "
+                "%llu violation%s\n",
+                a.pattern.c_str(), toString(a.model), toString(a.design),
+                a.schedule.decisions.size(),
+                static_cast<unsigned long long>(a.expectViolations),
+                a.expectViolations == 1 ? "" : "s");
+
+    McController ctl(McController::Mode::Replay, a.schedule, a.deferBound,
+                     a.deferCycles);
+    LitmusRun run = pat->scenario(a.model).runControlled(a.config(), &ctl);
+
+    bool ok = true;
+    if (ctl.diverged()) {
+        std::printf("replay: DIVERGED — %s\n",
+                    ctl.divergence().empty() ? "choice-point count mismatch"
+                                             : ctl.divergence().c_str());
+        ok = false;
+    }
+    const auto check = [&](const char *what, std::uint64_t got,
+                           std::uint64_t want) {
+        if (got == want)
+            return;
+        std::printf("replay: MISMATCH on %s: got %llu, recorded %llu\n",
+                    what, static_cast<unsigned long long>(got),
+                    static_cast<unsigned long long>(want));
+        ok = false;
+    };
+    check("pmo_violations", run.violations.size(), a.expectViolations);
+    check("durable_ok", run.durableStateOk ? 1 : 0,
+          a.expectDurableOk ? 1 : 0);
+    check("audit_breaks", run.auditOrderBreaks, a.expectAuditBreaks);
+    check("cycles", run.cycles, a.expectCycles);
+    if (mcDigestString(run.nvmDigest) != a.expectDigest) {
+        std::printf("replay: MISMATCH on nvm digest: got %s, recorded "
+                    "%s\n", mcDigestString(run.nvmDigest).c_str(),
+                    a.expectDigest.c_str());
+        ok = false;
+    }
+    if (ok) {
+        std::printf("replay: byte-identical (cycles=%llu digest=%s)\n",
+                    static_cast<unsigned long long>(run.cycles),
+                    mcDigestString(run.nvmDigest).c_str());
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string pattern_name;
+    bool all = false;
+    bool small_only = false;
+    bool list = false;
+    std::string model_arg = "sbrp";
+    SystemDesign design = SystemDesign::PmNear;
+    std::string report_path;
+    std::string stats_json_path;
+    std::string artifacts_dir;
+    std::string replay_path;
+    std::uint32_t window = 0;
+    bool window_set = false;
+    FlushPolicy policy = FlushPolicy::Window;
+    bool policy_set = false;
+    double nvm_bw = 0.25;
+    bool unsafe_relaxed = false;
+    ExploreLimits limits;
+
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            usage();
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--pattern") {
+            pattern_name = next(i);
+        } else if (a == "--all") {
+            all = true;
+        } else if (a == "--small") {
+            small_only = true;
+        } else if (a == "--list") {
+            list = true;
+        } else if (a == "--model") {
+            model_arg = next(i);
+        } else if (a == "--design") {
+            if (!systemDesignFromString(next(i), &design)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--bound") {
+            limits.maxSchedules = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--preempt-bound") {
+            limits.preemptBound = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (a == "--defer-bound") {
+            limits.deferBound = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (a == "--defer-cycles") {
+            limits.deferCycles = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--no-prune") {
+            limits.prune = false;
+        } else if (a == "--window") {
+            window = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
+            window_set = true;
+        } else if (a == "--policy") {
+            if (!flushPolicyFromString(next(i), &policy)) {
+                usage();
+                return 2;
+            }
+            policy_set = true;
+        } else if (a == "--nvm-bw") {
+            nvm_bw = std::atof(next(i));
+        } else if (a == "--unsafe-relaxed-order") {
+            unsafe_relaxed = true;
+        } else if (a == "--report") {
+            report_path = next(i);
+        } else if (a == "--stats-json") {
+            stats_json_path = next(i);
+        } else if (a == "--artifacts") {
+            artifacts_dir = next(i);
+        } else if (a == "--replay") {
+            replay_path = next(i);
+        } else if (a == "--version") {
+            std::printf("mcheck (sbrp-sim) artifact schema %u\n%s\n",
+                        schema::kMcSchedule, schema::describeAll().c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "mcheck: unknown option '%s'\n\n",
+                         argv[i]);
+            usage();
+            return 2;
+        }
+    }
+
+    if (!replay_path.empty())
+        return replaySchedule(replay_path);
+
+    if (list) {
+        for (const LitmusPattern &p : litmusCorpus()) {
+            std::printf("%-12s %s%s\n", p.name.c_str(), p.summary.c_str(),
+                        p.small ? "" : "  [large]");
+        }
+        return 0;
+    }
+
+    if (!all && pattern_name.empty()) {
+        std::fprintf(stderr, "mcheck: pick --pattern <name> or --all\n\n");
+        usage();
+        return 2;
+    }
+
+    std::vector<const LitmusPattern *> patterns;
+    if (all) {
+        for (const LitmusPattern &p : litmusCorpus()) {
+            if (!small_only || p.small)
+                patterns.push_back(&p);
+        }
+    } else {
+        const LitmusPattern *p = findLitmusPattern(pattern_name);
+        if (!p) {
+            std::fprintf(stderr, "mcheck: unknown pattern '%s' "
+                         "(try --list)\n", pattern_name.c_str());
+            return 2;
+        }
+        patterns.push_back(p);
+    }
+
+    if (!artifacts_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(artifacts_dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "mcheck: cannot create artifacts dir '%s': %s\n",
+                         artifacts_dir.c_str(), ec.message().c_str());
+            return 2;
+        }
+    }
+
+    std::vector<ModelKind> models;
+    if (model_arg == "all") {
+        models = {ModelKind::Gpm, ModelKind::Epoch, ModelKind::Sbrp,
+                  ModelKind::ScopedBarrier};
+    } else {
+        ModelKind m;
+        if (!modelKindFromString(model_arg, &m)) {
+            usage();
+            return 2;
+        }
+        models.push_back(m);
+    }
+
+    std::vector<Verdict> verdicts;
+    std::uint64_t total_runs = 0;
+    bool any_violation = false;
+
+    for (const LitmusPattern *p : patterns) {
+        for (ModelKind m : models) {
+            // GPM is defined only for PM-far (it avoids hardware
+            // changes); keep --model all usable from the default design.
+            SystemDesign d = m == ModelKind::Gpm ? SystemDesign::PmFar
+                                                 : design;
+            SystemConfig cfg = SystemConfig::testDefault(m, d);
+            cfg.nvmBwScale = nvm_bw;
+            cfg.unsafeRelaxedPersistOrder = unsafe_relaxed;
+            if (window_set)
+                cfg.window = window;
+            if (policy_set)
+                cfg.flushPolicy = policy;
+
+            Verdict v;
+            v.pattern = p->name;
+            v.model = m;
+            v.result = McExplorer(*p, cfg, limits).explore();
+            total_runs += v.result.schedulesExplored +
+                          v.result.minimizeRuns;
+            std::printf("%s\n", verdictLine(v).c_str());
+
+            if (v.result.violationFound) {
+                any_violation = true;
+                if (!artifacts_dir.empty()) {
+                    McArtifact art = makeArtifact(v, cfg, limits);
+                    std::string path = artifacts_dir + "/mc_" + p->name +
+                                       "_" + toString(m) + ".json";
+                    if (!writeFile(path, art.toJson())) {
+                        std::fprintf(stderr,
+                                     "mcheck: cannot write '%s'\n",
+                                     path.c_str());
+                        return 2;
+                    }
+                    std::printf("  wrote %s\n", path.c_str());
+                }
+            }
+            verdicts.push_back(std::move(v));
+        }
+    }
+
+    std::uint64_t violating = 0;
+    for (const Verdict &v : verdicts)
+        violating += v.result.violationFound ? 1 : 0;
+    std::printf("\n%zu combination%s checked, %llu total runs: %llu "
+                "violating\n", verdicts.size(),
+                verdicts.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(total_runs),
+                static_cast<unsigned long long>(violating));
+
+    if (!report_path.empty() || !stats_json_path.empty()) {
+        JsonValue doc = JsonValue::object();
+        doc.set("schema_version",
+                JsonValue(std::uint64_t{schema::kMcReport}));
+        doc.set("kind", JsonValue(std::string("mc_report")));
+        doc.set("design", JsonValue(std::string(toString(design))));
+        doc.set("unsafe_relaxed_order", JsonValue(unsafe_relaxed));
+        doc.set("total_runs", JsonValue(total_runs));
+        doc.set("violating_combinations", JsonValue(violating));
+        JsonValue arr = JsonValue::array();
+        for (const Verdict &v : verdicts)
+            arr.push(verdictJson(v));
+        doc.set("verdicts", std::move(arr));
+        const std::string text = doc.dump(2) + "\n";
+        for (const std::string &path : {report_path, stats_json_path}) {
+            if (path.empty())
+                continue;
+            if (!writeFile(path, text)) {
+                std::fprintf(stderr, "mcheck: cannot write '%s'\n",
+                             path.c_str());
+                return 2;
+            }
+        }
+    }
+
+    return any_violation ? 1 : 0;
+}

@@ -25,11 +25,17 @@ report doubles as an offline checker:
    durable-image write order).
 
 Exits 0 on a clean report, 1 on malformed input or a broken invariant,
-2 on usage errors. Only uses the Python standard library.
+2 on usage errors or a schema version this tool does not understand
+(a newer simulator wrote the document -- update the tool, do not guess
+at the fields). Only uses the Python standard library.
 """
 
 import json
 import sys
+
+# The provenance document revision this tool knows how to read
+# (src/common/schema_versions.hh, kProvenance; `sbrpsim --version`).
+KNOWN_SCHEMA = 1
 
 STAGES = ("issue_to_pb", "pb_residency", "fsm_hold", "fabric", "wpq",
           "media")
@@ -103,9 +109,14 @@ def main(argv):
         return die(f"{path}: {e}")
     if not isinstance(doc, dict):
         return die(f"{path}: not a provenance document")
-    if doc.get("schema_version") != 1:
-        return die(f"{path}: unsupported schema_version "
-                   f"{doc.get('schema_version')!r}")
+    version = doc.get("schema_version")
+    if version != KNOWN_SCHEMA:
+        print(f"persist_report: {path}: provenance schema_version "
+              f"{version!r} is not the version this tool understands "
+              f"({KNOWN_SCHEMA}); it was written by a different "
+              "simulator revision -- update tools/persist_report.py "
+              "rather than guessing at the fields", file=sys.stderr)
+        return 2
     for key in ("ops_begun", "ops_completed", "ops_faulted",
                 "records_lost", "waterfall", "slowest_ops",
                 "retry_outliers", "audit"):

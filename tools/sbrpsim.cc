@@ -22,6 +22,7 @@
 #include <string>
 
 #include "api/sbrp.hh"
+#include "common/schema_versions.hh"
 #include "common/trace.hh"
 #include "apps/app.hh"
 #include "apps/registry.hh"
@@ -80,6 +81,7 @@ usage()
         "                    event-adjacent crash points the campaign\n"
         "                    engine would explore (see tools/crashfuzz)\n"
         "  --list            list applications and exit\n"
+        "  --version         print the artifact schema versions and exit\n"
         "  --help, -h        print this listing and exit\n");
 }
 
@@ -179,6 +181,10 @@ main(int argc, char **argv)
                 std::printf("%s%s", n ? " " : "",
                             appRegistryNames()[n].c_str());
             std::printf("\n");
+            return 0;
+        } else if (a == "--version") {
+            std::printf("sbrpsim (sbrp-sim)\n%s\n",
+                        schema::describeAll().c_str());
             return 0;
         } else if (a == "--help" || a == "-h") {
             usage();
@@ -337,11 +343,12 @@ main(int argc, char **argv)
                                   : 0.0);
                 std::string splice = std::string(host) + ",\n  " +
                                      gpu.cycleBreakdownJson();
-                std::string::size_type at =
-                    json.find("\"schema_version\": 2");
+                const std::string anchor =
+                    "\"schema_version\": " +
+                    std::to_string(schema::kStats);
+                std::string::size_type at = json.find(anchor);
                 if (at != std::string::npos)
-                    json.insert(at + std::strlen("\"schema_version\": 2"),
-                                splice);
+                    json.insert(at + anchor.size(), splice);
                 std::fwrite(json.data(), 1, json.size(), f);
                 std::fclose(f);
                 std::printf("statistics JSON: %s\n",

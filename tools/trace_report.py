@@ -27,7 +27,9 @@ accountings is broken.
 An empty trace (empty file, `{}`, or no events) reports "no events" and
 exits 0 -- an un-traced or early-exited run is not malformed. Exits
 nonzero on malformed input, which lets CI use it to validate that the
-simulator emits well-formed traces.
+simulator emits well-formed traces; a --stats-json document tagged
+with a schema version this tool does not understand exits 2 with a
+clear message instead of misreading the ledger counters.
 
 Only uses the Python standard library.
 """
@@ -55,6 +57,13 @@ SPAN_TO_LEDGER = [
 CROSSCHECK_REL = 0.10
 CROSSCHECK_ABS = 10000
 
+# The stats-JSON revision this tool knows how to cross-check against
+# (src/common/schema_versions.hh, kStats; `sbrpsim --version`). Older
+# documents without the tag get the "old stats schema?" note; a tagged
+# document with a DIFFERENT version is refused with exit 2 -- the
+# ledger_* counter layout may have changed under us.
+KNOWN_STATS_SCHEMA = 2
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -72,10 +81,8 @@ def load(path):
     return events
 
 
-def ledger_totals(stats_path):
+def ledger_totals(stats):
     """Sums ledger_* counters over the per-SM stat groups."""
-    with open(stats_path, "r", encoding="utf-8") as f:
-        stats = json.load(f)
     totals = defaultdict(int)
     for group, counters in stats.items():
         if not (group.startswith("sm") and
@@ -89,12 +96,31 @@ def ledger_totals(stats_path):
 
 
 def crosscheck(stall, stats_path):
-    """Trace span sums vs the exact ledger; returns 0 ok / 1 broken."""
+    """Trace span sums vs the exact ledger.
+
+    Returns 0 ok, 1 broken accounting or malformed stats, 2 for a
+    stats schema version this tool does not understand.
+    """
     try:
-        totals = ledger_totals(stats_path)
+        with open(stats_path, "r", encoding="utf-8") as f:
+            stats = json.load(f)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"trace_report: {stats_path}: {e}", file=sys.stderr)
         return 1
+    if not isinstance(stats, dict):
+        print(f"trace_report: {stats_path}: not a stats document",
+              file=sys.stderr)
+        return 1
+    version = stats.get("schema_version")
+    if version is not None and version != KNOWN_STATS_SCHEMA:
+        print(f"trace_report: {stats_path}: stats schema_version "
+              f"{version!r} is not the version this tool understands "
+              f"({KNOWN_STATS_SCHEMA}); it was written by a different "
+              "simulator revision -- update tools/trace_report.py "
+              "rather than guessing at the ledger layout",
+              file=sys.stderr)
+        return 2
+    totals = ledger_totals(stats)
     if not totals:
         print("\ncycle-ledger cross-check: no ledger_* counters in "
               f"{stats_path} (old stats schema?)")

@@ -1,0 +1,87 @@
+#include "common/atomic_io.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace sbrp
+{
+
+namespace
+{
+
+bool
+failWith(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what + ": " + std::strerror(errno);
+    return false;
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &text,
+                std::string *err)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return failWith(err, "cannot open '" + tmp + "'");
+
+    std::string payload = text;
+    payload.push_back('\n');
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        const ssize_t n =
+            ::write(fd, payload.data() + off, payload.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return failWith(err, "cannot write '" + tmp + "'");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // The fsync-before-rename is what makes the rename a commit point:
+    // without it the rename can land on disk before the data does.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return failWith(err, "cannot fsync '" + tmp + "'");
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return failWith(err, "cannot close '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return failWith(err, "cannot rename '" + tmp + "' to '" + path +
+                             "'");
+    }
+    return true;
+}
+
+bool
+readFileToString(const std::string &path, std::string *out,
+                 std::string *err)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (err)
+            *err = "cannot read '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+} // namespace sbrp

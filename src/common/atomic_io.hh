@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Crash-tolerant file I/O for machine-readable artifacts.
+ *
+ * Every report, manifest and artifact the tools emit goes through
+ * writeFileAtomic: the bytes land in `<path>.tmp`, are fsync'd, and the
+ * temporary is renamed over the destination. A reader therefore sees
+ * either the previous complete file or the new complete file — never a
+ * truncated JSON document — no matter when the writer is killed. This
+ * is the same discipline the shard verdict journals (src/svc/) apply
+ * per record; here it is applied per document.
+ */
+
+#ifndef SBRP_COMMON_ATOMIC_IO_HH
+#define SBRP_COMMON_ATOMIC_IO_HH
+
+#include <string>
+
+namespace sbrp
+{
+
+/**
+ * Writes `text` (plus a trailing newline) to `path` via the
+ * write-to-temporary / fsync / rename protocol. Returns false and sets
+ * *err (when non-null) on any I/O failure; the destination is left
+ * untouched on failure.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &text,
+                     std::string *err = nullptr);
+
+/** Reads a whole file. Returns false and sets *err when unreadable. */
+bool readFileToString(const std::string &path, std::string *out,
+                      std::string *err = nullptr);
+
+} // namespace sbrp
+
+#endif // SBRP_COMMON_ATOMIC_IO_HH

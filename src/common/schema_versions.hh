@@ -19,10 +19,16 @@ namespace sbrp::schema
 inline constexpr std::uint32_t kStats = 2;
 
 /** Crash-campaign report (`crashfuzz --report`). */
-inline constexpr std::uint32_t kCampaignReport = 3;
+inline constexpr std::uint32_t kCampaignReport = 4;
 
 /** Crash-replay artifact (`crashfuzz --artifacts` / `--replay`). */
 inline constexpr std::uint32_t kCrashReplay = 2;
+
+/** Sharded-campaign job manifest (`crashfuzz --shards --manifest`). */
+inline constexpr std::uint32_t kCampaignManifest = 1;
+
+/** Per-shard verdict journal (`crashfuzz --journal`). */
+inline constexpr std::uint32_t kShardJournal = 1;
 
 /** Persist-op provenance document (`--persist-provenance`). */
 inline constexpr std::uint32_t kProvenance = 1;
@@ -39,6 +45,8 @@ describeAll()
 {
     return "schemas: stats=" + std::to_string(kStats) +
            " campaign-report=" + std::to_string(kCampaignReport) +
+           " campaign-manifest=" + std::to_string(kCampaignManifest) +
+           " shard-journal=" + std::to_string(kShardJournal) +
            " crash-replay=" + std::to_string(kCrashReplay) +
            " provenance=" + std::to_string(kProvenance) +
            " mc-schedule=" + std::to_string(kMcSchedule) +

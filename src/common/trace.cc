@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_io.hh"
 #include "common/log.hh"
 
 namespace sbrp
@@ -204,13 +205,14 @@ TraceSink::writeJson(std::ostream &os)
 void
 TraceSink::writeJsonFile(const std::string &path)
 {
-    std::ofstream f(path);
-    if (!f)
-        sbrp_fatal("cannot open trace output file '%s'", path);
-    writeJson(f);
-    f.flush();
-    if (!f)
-        sbrp_fatal("failed writing trace output file '%s'", path);
+    std::ostringstream os;
+    writeJson(os);
+    std::string text = os.str();
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();   // writeFileAtomic appends the newline.
+    std::string err;
+    if (!writeFileAtomic(path, text, &err))
+        sbrp_fatal("trace output file: %s", err);
 }
 
 } // namespace sbrp

@@ -85,6 +85,17 @@ toString(FlushPolicy p)
 }
 
 bool
+scopeFromString(const std::string &s, Scope *out)
+{
+    std::string k = lowered(s);
+    if (k == "block") *out = Scope::Block;
+    else if (k == "device") *out = Scope::Device;
+    else if (k == "system") *out = Scope::System;
+    else return false;
+    return true;
+}
+
+bool
 modelKindFromString(const std::string &s, ModelKind *out)
 {
     std::string k = lowered(s);

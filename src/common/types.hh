@@ -94,6 +94,7 @@ const char *toString(FlushPolicy p);
  * (e.g. "sbrp", "gpm", "barrier"); they return false on unknown input
  * without touching *out.
  */
+bool scopeFromString(const std::string &s, Scope *out);
 bool modelKindFromString(const std::string &s, ModelKind *out);
 bool systemDesignFromString(const std::string &s, SystemDesign *out);
 bool persistPointFromString(const std::string &s, PersistPoint *out);

@@ -138,60 +138,84 @@ CampaignEngine::run()
     result.wallTruncated = wallExpired.load(std::memory_order_relaxed);
 
     // Phase 3: tally.
-    std::size_t firstFail = points.size();
-    for (std::size_t i = 0; i < result.verdicts.size(); ++i) {
-        const CrashVerdict &v = result.verdicts[i];
-        if (!v.executed)
-            continue;
-        ++result.runsExecuted;
-        result.wallUsTotal += v.wallUs;
-        if (!v.pass()) {
-            ++result.failures;
-            if (i < firstFail)
-                firstFail = i;
-        }
-    }
+    const std::size_t firstFail = campaignTallyVerdicts(&result);
 
     // Phase 4: minimize the first failure and capture a replay
     // artifact that reproduces it.
     if (result.failures > 0 && cfg_.minimize) {
-        std::vector<Cycle> cycles;
-        cycles.reserve(points.size());
-        for (const CrashPoint &p : points)
-            cycles.push_back(p.cycle);
-
-        std::uint64_t probeFailures = 0;
-        result.minimized = minimizeFailure(
-            cycles, firstFail,
-            [&](Cycle c) {
-                CrashVerdict v = mainRunner.runCrashAt(c);
-                if (!v.pass())
-                    ++probeFailures;
-                return !v.pass();
-            });
-        (void)probeFailures;
-
-        // Re-run the minimized point to record its exact verdict.
-        const CrashPoint &mp = points[result.minimized.index];
-        CrashVerdict mv = mainRunner.runCrashAt(mp.cycle, mp.kind);
-        result.artifact = ReplayArtifact::fromScenario(
-            cfg_.scenario, cfg_.paperConfig, mv);
-        result.hasMinimized = true;
+        campaignMinimizeFirstFailure(cfg_, mainRunner, firstFail,
+                                     &result);
         group_.stat("minimize_probes").inc(result.minimized.probes);
     }
 
     // Export the campaign counters for --stats-json.
-    group_.stat("points_enumerated").set(points.size());
-    group_.stat("candidates_pruned")
+    campaignExportStats(group_, result, jobs);
+
+    return result;
+}
+
+std::size_t
+campaignTallyVerdicts(CampaignResult *result)
+{
+    result->runsExecuted = 0;
+    result->failures = 0;
+    result->wallUsTotal = 0.0;
+    std::size_t firstFail = result->verdicts.size();
+    for (std::size_t i = 0; i < result->verdicts.size(); ++i) {
+        const CrashVerdict &v = result->verdicts[i];
+        if (!v.executed)
+            continue;
+        ++result->runsExecuted;
+        result->wallUsTotal += v.wallUs;
+        if (!v.pass()) {
+            ++result->failures;
+            if (i < firstFail)
+                firstFail = i;
+        }
+    }
+    return firstFail;
+}
+
+std::uint64_t
+campaignMinimizeFirstFailure(const CampaignConfig &cfg,
+                             ScenarioRunner &runner,
+                             std::size_t firstFail, CampaignResult *result)
+{
+    const auto &points = result->probe.points.points;
+    std::vector<Cycle> cycles;
+    cycles.reserve(points.size());
+    for (const CrashPoint &p : points)
+        cycles.push_back(p.cycle);
+
+    result->minimized = minimizeFailure(
+        cycles, firstFail,
+        [&](Cycle c) { return !runner.runCrashAt(c).pass(); });
+
+    // Re-run the minimized point to record its exact verdict.
+    const CrashPoint &mp = points[result->minimized.index];
+    CrashVerdict mv = runner.runCrashAt(mp.cycle, mp.kind);
+    result->artifact =
+        ReplayArtifact::fromScenario(cfg.scenario, cfg.paperConfig, mv);
+    result->hasMinimized = true;
+    return result->minimized.probes;
+}
+
+void
+campaignExportStats(StatGroup &group, const CampaignResult &result,
+                    unsigned jobs)
+{
+    const auto &points = result.probe.points.points;
+    group.stat("points_enumerated").set(points.size());
+    group.stat("candidates_pruned")
         .set(result.probe.points.prunedCandidates);
-    group_.stat("raw_events").set(result.probe.points.rawEvents);
-    group_.stat("horizon_cycles").set(result.probe.horizon);
-    group_.stat("runs_executed").set(result.runsExecuted);
-    group_.stat("runs_skipped")
+    group.stat("raw_events").set(result.probe.points.rawEvents);
+    group.stat("horizon_cycles").set(result.probe.horizon);
+    group.stat("runs_executed").set(result.runsExecuted);
+    group.stat("runs_skipped")
         .set(points.size() - result.runsExecuted);
-    group_.stat("verdict_pass")
+    group.stat("verdict_pass")
         .set(result.runsExecuted - result.failures);
-    group_.stat("verdict_fail").set(result.failures);
+    group.stat("verdict_fail").set(result.failures);
     std::uint64_t formalFails = 0, recoveryFails = 0;
     std::uint64_t persistFaults = result.probe.cleanPersistFaults;
     std::array<std::uint64_t, kNumCycleCats> ledger{};
@@ -208,29 +232,29 @@ CampaignEngine::run()
             ledger[c] += v.ledgerCycles[c];
         ledgerWarpActive += v.ledgerWarpActive;
     }
-    group_.stat("formal_fail").set(formalFails);
-    group_.stat("recovery_fail").set(recoveryFails);
-    group_.stat("persist_faults").set(persistFaults);
+    group.stat("formal_fail").set(formalFails);
+    group.stat("recovery_fail").set(recoveryFails);
+    group.stat("persist_faults").set(persistFaults);
     // Cycle attribution summed over every executed crash + recovery
     // run. Verdicts are pure functions of their crash point, so these
-    // counters are identical at any --jobs value.
+    // counters are identical at any --jobs value (and across any shard
+    // layout when merged from journals).
     for (std::size_t c = 0; c < kNumCycleCats; ++c) {
         if (ledger[c] != 0) {
-            group_.stat(std::string("ledger_") +
-                        toString(static_cast<CycleCat>(c))).set(ledger[c]);
+            group.stat(std::string("ledger_") +
+                       toString(static_cast<CycleCat>(c))).set(ledger[c]);
         }
     }
     if (ledgerWarpActive != 0)
-        group_.stat("ledger_warp_active_cycles").set(ledgerWarpActive);
-    group_.stat("budget_truncated").set(result.budgetTruncated ? 1 : 0);
-    group_.stat("wall_truncated").set(result.wallTruncated ? 1 : 0);
-    group_.stat("jobs").set(jobs);
-
-    return result;
+        group.stat("ledger_warp_active_cycles").set(ledgerWarpActive);
+    group.stat("budget_truncated").set(result.budgetTruncated ? 1 : 0);
+    group.stat("wall_truncated").set(result.wallTruncated ? 1 : 0);
+    group.stat("jobs").set(jobs);
 }
 
 JsonValue
-campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
+campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result,
+                   const CampaignExecutionInfo *exec)
 {
     JsonValue o = JsonValue::object();
     o.set("schema_version",
@@ -241,9 +265,7 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
     o.set("design",
           JsonValue(std::string(toString(cfg.scenario.cfg.design))));
     o.set("config", JsonValue(cfg.scenario.cfg.describe()));
-    o.set("jobs", JsonValue(std::uint64_t{cfg.jobs}));
     o.set("budget_runs", JsonValue(cfg.budgetRuns));
-    o.set("wall_limit_ms", JsonValue(cfg.wallLimitMs));
     o.set("fault_spec", JsonValue(cfg.scenario.cfg.faults.describe()));
     o.set("fault_seed", JsonValue(cfg.scenario.cfg.seed));
     o.set("retry_budget",
@@ -262,31 +284,32 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
           JsonValue(std::uint64_t{result.probe.points.points.size()}));
     o.set("runs_executed", JsonValue(result.runsExecuted));
     o.set("budget_truncated", JsonValue(result.budgetTruncated));
-    o.set("wall_truncated", JsonValue(result.wallTruncated));
     o.set("failures", JsonValue(result.failures));
     o.set("pass", JsonValue(result.pass()));
-    // Wall-clock keys: the only non-deterministic report content.
-    o.set("wall_us_total", JsonValue(result.wallUsTotal));
 
-    JsonValue fails = JsonValue::array();
-    for (const CrashVerdict &v : result.verdicts) {
-        if (!v.executed || v.pass())
-            continue;
-        JsonValue f = JsonValue::object();
-        f.set("crash_cycle", JsonValue(v.crashAt));
-        f.set("event_kind", JsonValue(std::string(toString(v.kind))));
-        f.set("crashed", JsonValue(v.crashed));
-        f.set("pmo_violations", JsonValue(v.pmoViolations));
-        f.set("recovered_ok", JsonValue(v.recoveredOk));
-        f.set("persist_faults", JsonValue(v.persistFaults));
-        f.set("wall_us", JsonValue(v.wallUs));
-        fails.push(std::move(f));
-    }
-    o.set("failing_points", std::move(fails));
-
-    // Slowest executed crash points by host wall time (diagnosing
-    // which crash points dominate campaign run time).
+    // The execution section: how the verdicts were computed — thread
+    // count, wall-clock timing, shard layout. Everything here is
+    // environment-dependent; comparators strip the whole object, which
+    // is what makes merged and single-process reports byte-identical.
     {
+        JsonValue ex = JsonValue::object();
+        ex.set("mode", JsonValue(exec ? exec->mode
+                                      : std::string("single-process")));
+        ex.set("jobs", JsonValue(std::uint64_t{cfg.jobs}));
+        ex.set("wall_limit_ms", JsonValue(cfg.wallLimitMs));
+        ex.set("wall_truncated", JsonValue(result.wallTruncated));
+        ex.set("wall_us_total", JsonValue(result.wallUsTotal));
+        if (exec && exec->shards != 0) {
+            ex.set("shards", JsonValue(std::uint64_t{exec->shards}));
+            JsonValue inc = JsonValue::array();
+            for (std::uint64_t s : exec->incompleteShards)
+                inc.push(JsonValue(s));
+            ex.set("incomplete_shards", std::move(inc));
+            ex.set("resumed", JsonValue(exec->resumed));
+        }
+
+        // Slowest executed crash points by host wall time (diagnosing
+        // which crash points dominate campaign run time).
         std::vector<const CrashVerdict *> byWall;
         for (const CrashVerdict &v : result.verdicts) {
             if (v.executed)
@@ -307,8 +330,25 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result)
             s.set("wall_us", JsonValue(v->wallUs));
             slow.push(std::move(s));
         }
-        o.set("slowest_points", std::move(slow));
+        ex.set("slowest_points", std::move(slow));
+        o.set("execution", std::move(ex));
     }
+
+    JsonValue fails = JsonValue::array();
+    for (const CrashVerdict &v : result.verdicts) {
+        if (!v.executed || v.pass())
+            continue;
+        JsonValue f = JsonValue::object();
+        f.set("crash_cycle", JsonValue(v.crashAt));
+        f.set("event_kind", JsonValue(std::string(toString(v.kind))));
+        f.set("crashed", JsonValue(v.crashed));
+        f.set("pmo_violations", JsonValue(v.pmoViolations));
+        f.set("recovered_ok", JsonValue(v.recoveredOk));
+        f.set("persist_faults", JsonValue(v.persistFaults));
+        f.set("wall_us", JsonValue(v.wallUs));
+        fails.push(std::move(f));
+    }
+    o.set("failing_points", std::move(fails));
 
     // Slowest persist ops of the oracle run (cycle-based and fully
     // deterministic, unlike the wall-time keys above).
@@ -342,7 +382,8 @@ campaignReportStripWall(const JsonValue &report)
         JsonValue o = JsonValue::object();
         for (const auto &kv : report.fields()) {
             if (kv.first == "wall_us" || kv.first == "wall_us_total" ||
-                    kv.first == "slowest_points") {
+                    kv.first == "slowest_points" ||
+                    kv.first == "execution") {
                 continue;
             }
             o.set(kv.first, campaignReportStripWall(kv.second));
@@ -367,7 +408,7 @@ campaignReportFromJson(const JsonValue &v, CampaignReportSummary *out,
     if (!ver)
         return fail("campaign report: missing schema_version");
     const std::uint64_t schema = ver->asU64();
-    if (schema != 2 && schema != 3)
+    if (schema < 2 || schema > 4)
         return fail("campaign report: unsupported schema_version");
 
     CampaignReportSummary s;
@@ -398,11 +439,21 @@ campaignReportFromJson(const JsonValue &v, CampaignReportSummary *out,
         return fail("campaign report: missing failing_points");
     s.failingPoints = f->items().size();
 
-    // v3 additions; a v2 document legitimately lacks them.
-    if (const JsonValue *w = v.find("wall_us_total"))
+    // Wall time: top-level under v3, inside `execution` under v4, and
+    // legitimately absent under v2.
+    if (schema >= 4) {
+        const JsonValue *ex = v.find("execution");
+        if (!ex || !ex->isObject())
+            return fail("campaign report: v4 missing execution");
+        const JsonValue *w = ex->find("wall_us_total");
+        if (!w)
+            return fail("campaign report: v4 missing wall_us_total");
         s.wallUsTotal = w->asNumber();
-    else if (schema >= 3)
+    } else if (const JsonValue *w = v.find("wall_us_total")) {
+        s.wallUsTotal = w->asNumber();
+    } else if (schema >= 3) {
         return fail("campaign report: v3 missing wall_us_total");
+    }
     if (const JsonValue *so = v.find("slowest_ops")) {
         if (!so->isArray())
             return fail("campaign report: slowest_ops not an array");

@@ -99,30 +99,84 @@ class CampaignEngine
     StatRegistry stats_;
 };
 
-/**
- * The machine-readable campaign report (schema_version 3): scenario,
- * fault-injection parameters, probe summary, per-failure detail (with
- * per-crash-point wall time), the oracle run's slowest-op summary,
- * minimization outcome and the embedded replay artifact when one was
- * captured. Wall-clock keys (`wall_us_total`, per-point `wall_us`,
- * `slowest_points`) are the only non-deterministic content; golden
- * comparators strip them (tools/report_compare.py).
- */
-JsonValue campaignReportJson(const CampaignConfig &cfg,
-                             const CampaignResult &result);
+class ScenarioRunner;
 
 /**
- * Copy of a campaign report with the wall-clock keys (`wall_us_total`,
- * `slowest_points`, per-point `wall_us`) removed — the deterministic
- * projection used by byte-identity tests and golden comparisons
- * (tools/report_compare.py is the Python twin).
+ * Phase-3 tally over a fully populated verdict vector: counts executed
+ * runs, failures and wall time into `result` and returns the index of
+ * the first failing verdict (result->verdicts.size() when none fail).
+ * Shared by CampaignEngine and the shard-journal merger (src/svc/) so
+ * both derive identical aggregates from identical verdicts.
+ */
+std::size_t campaignTallyVerdicts(CampaignResult *result);
+
+/**
+ * Phase-4 minimization: bisects for the earliest failing crash cycle
+ * starting from `firstFail`, re-runs the minimized point, and fills
+ * result->minimized / result->artifact / result->hasMinimized. The
+ * bisection probes run on `runner`, exactly as CampaignEngine does, so
+ * a merger invoking this on reconstructed verdicts emits a
+ * byte-identical minimization section. Returns the probe count.
+ */
+std::uint64_t campaignMinimizeFirstFailure(const CampaignConfig &cfg,
+                                           ScenarioRunner &runner,
+                                           std::size_t firstFail,
+                                           CampaignResult *result);
+
+/**
+ * Exports the campaign counters into `group` ("campaign" StatGroup) —
+ * the --stats-json surface, identical for in-process engines and
+ * merged shard journals.
+ */
+void campaignExportStats(StatGroup &group, const CampaignResult &result,
+                         unsigned jobs);
+
+/**
+ * Execution-environment annotations for the report's `execution`
+ * section: how the verdicts were computed (thread count, shard layout,
+ * resume), as opposed to what they are. Everything in this section —
+ * like the wall-clock keys it carries — is excluded from byte-identity
+ * comparisons, which is exactly what lets a sharded, killed, resumed
+ * and merged campaign reproduce a single-process report byte for byte.
+ */
+struct CampaignExecutionInfo
+{
+    std::string mode = "single-process";   ///< or "merged".
+    unsigned shards = 0;                   ///< 0 = unsharded.
+    std::vector<std::uint64_t> incompleteShards;
+    bool resumed = false;
+};
+
+/**
+ * The machine-readable campaign report (schema_version 4): scenario,
+ * fault-injection parameters, probe summary, per-failure detail, the
+ * oracle run's slowest-op summary, minimization outcome and the
+ * embedded replay artifact when one was captured. Everything
+ * environment-dependent — wall-clock timing, the thread count, the
+ * shard layout — lives in the `execution` object (plus per-point
+ * `wall_us`); the rest of the document is a pure function of the
+ * scenario, so sharded/merged and single-process campaigns emit
+ * byte-identical deterministic bodies. Golden comparators strip
+ * `execution` and `wall_us` (tools/report_compare.py).
+ */
+JsonValue campaignReportJson(const CampaignConfig &cfg,
+                             const CampaignResult &result,
+                             const CampaignExecutionInfo *exec = nullptr);
+
+/**
+ * Copy of a campaign report with the non-deterministic content (the
+ * `execution` object, legacy `wall_us_total`/`slowest_points` keys,
+ * per-point `wall_us`) removed — the deterministic projection used by
+ * byte-identity tests and golden comparisons (tools/report_compare.py
+ * is the Python twin).
  */
 JsonValue campaignReportStripWall(const JsonValue &report);
 
 /**
  * The subset of a campaign report that downstream tooling consumes,
- * parseable from schema_version 2 and 3 documents alike (the v3
- * wall-time and slowest-op fields read as zero/empty under v2).
+ * parseable from schema_version 2 through 4 documents alike (the
+ * wall-time and slowest-op fields read as zero/empty under v2; under
+ * v4 the wall time comes from the `execution` section).
  */
 struct CampaignReportSummary
 {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/atomic_io.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/schema_versions.hh"
@@ -256,6 +257,79 @@ persistOpJson(const PersistOpRecord &r)
     return o;
 }
 
+bool
+persistOpFromJson(const JsonValue &v, PersistOpRecord *out,
+                  std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = "persist op: " + msg;
+        return false;
+    };
+    if (!v.isObject())
+        return fail("not a JSON object");
+
+    auto num = [&](const char *key, std::uint64_t *dst) {
+        const JsonValue *f = v.find(key);
+        if (!f || !f->isNumber())
+            return false;
+        *dst = f->asU64();
+        return true;
+    };
+
+    PersistOpRecord r;
+    std::uint64_t sm = 0, attempts = 0, merges = 0;
+    std::uint64_t issue = 0, ack = 0, latency = 0;
+    if (!num("op_id", &r.opId) || !num("sm", &sm) ||
+            !num("addr", &r.lineAddr) || !num("epoch", &r.epoch) ||
+            !num("attempts", &attempts) || !num("merges", &merges) ||
+            !num("issue_cycle", &issue) || !num("ack_cycle", &ack) ||
+            !num("ack_latency", &latency)) {
+        return fail("missing or non-numeric field");
+    }
+    r.smId = static_cast<std::uint32_t>(sm);
+    r.attempts = static_cast<std::uint32_t>(attempts);
+    r.merges = static_cast<std::uint32_t>(merges);
+
+    const JsonValue *f = v.find("scope");
+    if (!f || !f->isString() || !scopeFromString(f->asString(), &r.scope))
+        return fail("bad scope");
+    f = v.find("faulted");
+    if (!f || !f->isBool())
+        return fail("bad faulted");
+    r.faulted = f->asBool();
+
+    const JsonValue *stages = v.find("stages");
+    if (!stages || !stages->isObject())
+        return fail("missing stages");
+    std::array<Cycle, kNumPersistStages> cyc{};
+    for (std::size_t s = 0; s < kNumPersistStages; ++s) {
+        const JsonValue *sf =
+            stages->find(toString(static_cast<PersistStage>(s)));
+        if (!sf || !sf->isNumber())
+            return fail(std::string("missing stage '") +
+                        toString(static_cast<PersistStage>(s)) + "'");
+        cyc[s] = sf->asU64();
+    }
+
+    // Rebuild the monotone trail from the issue cycle + residencies.
+    // A zero FSM hold reads back as "never held" (tFsmBlock = 0),
+    // which stageCycles() renders identically.
+    r.tIssue = issue;
+    r.tAdmit = r.tIssue + cyc[0];
+    r.tFsmBlock = cyc[2] != 0 ? r.tAdmit + cyc[1] : 0;
+    r.tFlush = r.tAdmit + cyc[1] + cyc[2];
+    r.tArrive = r.tFlush + cyc[3];
+    r.tAccept = r.tArrive + cyc[4];
+    r.tAck = r.tAccept + cyc[5];
+    r.completed = true;
+    if (r.tAck != ack || r.ackLatency() != latency)
+        return fail("stage trail does not telescope to the ack latency");
+
+    *out = r;
+    return true;
+}
+
 std::string
 PersistProvenance::auditJson() const
 {
@@ -302,13 +376,9 @@ PersistProvenance::auditJson() const
 void
 PersistProvenance::writeAuditJsonFile(const std::string &path) const
 {
-    std::ofstream f(path);
-    if (!f)
-        sbrp_fatal("cannot open audit output file '%s'", path);
-    f << auditJson() << "\n";
-    f.flush();
-    if (!f)
-        sbrp_fatal("failed writing audit output file '%s'", path);
+    std::string err;
+    if (!writeFileAtomic(path, auditJson(), &err))
+        sbrp_fatal("audit output file: %s", err);
 }
 
 } // namespace sbrp

@@ -101,6 +101,17 @@ struct PersistOpRecord
     `retry_outliers` arrays and campaign reports. */
 JsonValue persistOpJson(const PersistOpRecord &r);
 
+/**
+ * Inverse of persistOpJson, exact enough that re-serializing yields a
+ * byte-identical object: campaign manifests carry the oracle run's
+ * slowest ops through plan/merge without re-simulating. The absolute
+ * stage-entry timestamps other than issue/ack are not serialized; the
+ * per-stage residencies are reconstructed onto the trail in journey
+ * order. Returns false and sets *err on malformed input.
+ */
+bool persistOpFromJson(const JsonValue &v, PersistOpRecord *out,
+                       std::string *err);
+
 /** One durable commit, in the order the durable image was written. */
 struct PersistAuditRecord
 {

@@ -1,0 +1,441 @@
+#include "svc/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/schema_versions.hh"
+#include "svc/manifest.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = "shard journal: " + msg;
+    return false;
+}
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+JsonValue
+headerJson(const ShardJournalHeader &h)
+{
+    JsonValue o = JsonValue::object();
+    o.set("kind", JsonValue(std::string("shard-journal")));
+    o.set("schema_version", JsonValue(std::uint64_t{h.schemaVersion}));
+    o.set("shard", JsonValue(std::uint64_t{h.shard}));
+    o.set("shards", JsonValue(std::uint64_t{h.shards}));
+    o.set("begin", JsonValue(h.begin));
+    o.set("end", JsonValue(h.end));
+    o.set("manifest_digest", JsonValue(h.manifestDigest));
+    o.set("app", JsonValue(h.app));
+    return o;
+}
+
+bool
+headerFromJson(const JsonValue &v, ShardJournalHeader *out,
+               std::string *err)
+{
+    if (!v.isObject())
+        return fail(err, "header is not an object");
+    const JsonValue *f = v.find("kind");
+    if (!f || !f->isString() || f->asString() != "shard-journal")
+        return fail(err, "header has missing or wrong 'kind'");
+    struct U64Field
+    {
+        const char *key;
+        std::uint64_t *dst;
+    };
+    std::uint64_t schema = 0, shard = 0, shards = 0;
+    ShardJournalHeader h;
+    for (U64Field uf : {U64Field{"schema_version", &schema},
+                        U64Field{"shard", &shard},
+                        U64Field{"shards", &shards},
+                        U64Field{"begin", &h.begin},
+                        U64Field{"end", &h.end}}) {
+        f = v.find(uf.key);
+        if (!f || !f->isNumber())
+            return fail(err, std::string("header: missing '") + uf.key +
+                             "'");
+        *uf.dst = f->asU64();
+    }
+    if (schema != schema::kShardJournal)
+        return fail(err, "unsupported header schema_version");
+    h.schemaVersion = static_cast<std::uint32_t>(schema);
+    h.shard = static_cast<std::uint32_t>(shard);
+    h.shards = static_cast<std::uint32_t>(shards);
+    f = v.find("manifest_digest");
+    if (!f || !f->isString())
+        return fail(err, "header: missing 'manifest_digest'");
+    h.manifestDigest = f->asString();
+    f = v.find("app");
+    if (!f || !f->isString())
+        return fail(err, "header: missing 'app'");
+    h.app = f->asString();
+    *out = h;
+    return true;
+}
+
+} // namespace
+
+JsonValue
+shardRecordJson(const ShardJournalRecord &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("index", JsonValue(r.index));
+    o.set("crash_cycle", JsonValue(r.verdict.crashAt));
+    o.set("event_kind",
+          JsonValue(std::string(toString(r.verdict.kind))));
+    o.set("crashed", JsonValue(r.verdict.crashed));
+    o.set("pmo_violations", JsonValue(r.verdict.pmoViolations));
+    o.set("recovered_ok", JsonValue(r.verdict.recoveredOk));
+    o.set("persist_faults", JsonValue(r.verdict.persistFaults));
+    JsonValue ledger = JsonValue::array();
+    for (std::uint64_t c : r.verdict.ledgerCycles)
+        ledger.push(JsonValue(c));
+    o.set("ledger_cycles", std::move(ledger));
+    o.set("ledger_warp_active", JsonValue(r.verdict.ledgerWarpActive));
+    o.set("wall_us", JsonValue(r.verdict.wallUs));
+    return o;
+}
+
+bool
+shardRecordFromJson(const JsonValue &v, ShardJournalRecord *out,
+                    std::string *err)
+{
+    if (!v.isObject())
+        return fail(err, "record is not an object");
+    ShardJournalRecord r;
+    r.verdict.executed = true;
+    struct U64Field
+    {
+        const char *key;
+        std::uint64_t *dst;
+    };
+    for (U64Field uf :
+            {U64Field{"index", &r.index},
+             U64Field{"crash_cycle", &r.verdict.crashAt},
+             U64Field{"pmo_violations", &r.verdict.pmoViolations},
+             U64Field{"persist_faults", &r.verdict.persistFaults},
+             U64Field{"ledger_warp_active",
+                      &r.verdict.ledgerWarpActive}}) {
+        const JsonValue *f = v.find(uf.key);
+        if (!f || !f->isNumber())
+            return fail(err, std::string("record: missing '") + uf.key +
+                             "'");
+        *uf.dst = f->asU64();
+    }
+    const JsonValue *f = v.find("event_kind");
+    if (!f || !f->isString() ||
+            !crashEventKindFromString(f->asString(), &r.verdict.kind))
+        return fail(err, "record: bad 'event_kind'");
+    struct BoolField
+    {
+        const char *key;
+        bool *dst;
+    };
+    for (BoolField bf :
+            {BoolField{"crashed", &r.verdict.crashed},
+             BoolField{"recovered_ok", &r.verdict.recoveredOk}}) {
+        f = v.find(bf.key);
+        if (!f || !f->isBool())
+            return fail(err, std::string("record: missing '") + bf.key +
+                             "'");
+        *bf.dst = f->asBool();
+    }
+    f = v.find("ledger_cycles");
+    if (!f || !f->isArray() ||
+            f->items().size() != r.verdict.ledgerCycles.size())
+        return fail(err, "record: 'ledger_cycles' must hold one entry "
+                         "per cycle category");
+    for (std::size_t i = 0; i < f->items().size(); ++i) {
+        if (!f->items()[i].isNumber())
+            return fail(err, "record: non-numeric ledger cycle");
+        r.verdict.ledgerCycles[i] = f->items()[i].asU64();
+    }
+    f = v.find("wall_us");
+    if (!f || !f->isNumber())
+        return fail(err, "record: missing 'wall_us'");
+    r.verdict.wallUs = f->asNumber();
+    *out = r;
+    return true;
+}
+
+JournalLoad
+loadShardJournal(const std::string &path, const CampaignManifest *manifest,
+                 std::uint32_t expect_shard, ShardJournalContents *out,
+                 std::string *err)
+{
+    *out = ShardJournalContents{};
+
+    std::string text;
+    {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            if (errno == ENOENT)
+                return JournalLoad::Missing;
+            fail(err, "cannot open '" + path + "': " + errnoText());
+            return JournalLoad::Corrupt;
+        }
+        char buf[1 << 16];
+        ssize_t n;
+        while ((n = ::read(fd, buf, sizeof(buf))) != 0) {
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ::close(fd);
+                fail(err, "read '" + path + "': " + errnoText());
+                return JournalLoad::Corrupt;
+            }
+            text.append(buf, static_cast<std::size_t>(n));
+        }
+        ::close(fd);
+    }
+    if (text.empty())
+        return JournalLoad::Missing;
+
+    // Split into lines, remembering where each line starts so a resume
+    // can truncate exactly at the end of the last good one.
+    struct Line
+    {
+        std::size_t begin;
+        std::size_t end;        ///< Exclusive, without the newline.
+        bool terminated;
+    };
+    std::vector<Line> lines;
+    std::size_t at = 0;
+    while (at < text.size()) {
+        std::size_t nl = text.find('\n', at);
+        if (nl == std::string::npos) {
+            lines.push_back({at, text.size(), false});
+            break;
+        }
+        lines.push_back({at, nl, true});
+        at = nl + 1;
+    }
+
+    bool header_ok = false;
+    std::uint64_t next_valid = 0;
+    std::string parse_err;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const Line &ln = lines[i];
+        const bool last = i + 1 == lines.size();
+        const std::string body = text.substr(ln.begin,
+                                             ln.end - ln.begin);
+        JsonValue v = JsonValue::parse(body, &parse_err);
+        const bool parsed = !v.isNull();
+        bool ok = parsed;
+        std::string why = ok ? "" : parse_err;
+
+        ShardJournalRecord rec;
+        if (ok && !header_ok) {
+            ok = headerFromJson(v, &out->header, &why);
+            if (ok && manifest) {
+                if (out->header.manifestDigest != manifest->digest) {
+                    ok = false;
+                    why = "journal was written against a different "
+                          "manifest (digest mismatch)";
+                } else if (out->header.shards != manifest->shards ||
+                           out->header.shard >= manifest->shards) {
+                    ok = false;
+                    why = "journal shard layout disagrees with the "
+                          "manifest";
+                } else {
+                    const ShardRange &r =
+                        manifest->ranges[out->header.shard];
+                    if (out->header.begin != r.begin ||
+                            out->header.end != r.end) {
+                        ok = false;
+                        why = "journal index range disagrees with the "
+                              "manifest";
+                    }
+                }
+            }
+            if (ok && expect_shard != ~std::uint32_t{0} &&
+                    out->header.shard != expect_shard) {
+                ok = false;
+                why = "journal belongs to a different shard";
+            }
+            if (ok)
+                header_ok = true;
+        } else if (ok) {
+            ok = shardRecordFromJson(v, &rec, &why);
+            if (ok && (rec.index < out->header.begin ||
+                       rec.index >= out->header.end)) {
+                ok = false;
+                why = "record index outside the shard's range";
+            }
+            if (ok && manifest) {
+                const CrashPoint &p =
+                    manifest->probe.points.points[rec.index];
+                if (rec.verdict.crashAt != p.cycle ||
+                        rec.verdict.kind != p.kind) {
+                    ok = false;
+                    why = "record crash point disagrees with the "
+                          "manifest";
+                }
+            }
+            if (ok) {
+                // Idempotent duplicates (same index, same bytes) are a
+                // legal crash signature; conflicting ones are not.
+                bool dup = false;
+                for (const ShardJournalRecord &prev : out->records) {
+                    if (prev.index != rec.index)
+                        continue;
+                    dup = true;
+                    if (shardRecordJson(prev).dump(0) !=
+                            shardRecordJson(rec).dump(0)) {
+                        ok = false;
+                        why = "conflicting duplicate record for index " +
+                              std::to_string(rec.index);
+                    }
+                    break;
+                }
+                if (ok && !dup)
+                    out->records.push_back(rec);
+            }
+        }
+
+        if (!ok) {
+            // The torn-tail allowance: a crashed writer can leave at
+            // most one damaged line, only at the very end, and a torn
+            // write never parses as JSON (the record object cannot
+            // close early). A final line that *parses* but is wrong —
+            // foreign manifest, conflicting duplicate — was not torn;
+            // it is corruption and is refused like any other.
+            if (last && !parsed) {
+                out->tornTail = true;
+                break;
+            }
+            fail(err, why + " (line " + std::to_string(i + 1) + " of '" +
+                      path + "')");
+            return JournalLoad::Corrupt;
+        }
+        next_valid = ln.end + (ln.terminated ? 1 : 0);
+    }
+
+    out->validBytes = next_valid;
+    if (!header_ok) {
+        // Nothing durable beyond (at most) a torn header: the journal
+        // never acknowledged any work, so treat it as absent.
+        return JournalLoad::Missing;
+    }
+    return JournalLoad::Ok;
+}
+
+ShardJournalWriter::~ShardJournalWriter()
+{
+    close();
+}
+
+void
+ShardJournalWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ShardJournalWriter::writeLine(const std::string &line, std::string *err)
+{
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(err, "write '" + path_ + "': " + errnoText());
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0)
+        return fail(err, "fsync '" + path_ + "': " + errnoText());
+    return true;
+}
+
+bool
+ShardJournalWriter::create(const std::string &path,
+                           const ShardJournalHeader &h, std::string *err)
+{
+    close();
+    path_ = path;
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0)
+        return fail(err, "cannot create '" + path + "': " + errnoText());
+    return writeLine(headerJson(h).dump(0) + "\n", err);
+}
+
+bool
+ShardJournalWriter::resume(const std::string &path,
+                           std::uint64_t valid_bytes, std::string *err)
+{
+    close();
+    path_ = path;
+    fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+    if (fd_ < 0)
+        return fail(err, "cannot reopen '" + path + "': " + errnoText());
+    // Drop the torn tail (if any) so the next record starts on a clean
+    // line boundary instead of splicing onto partial bytes.
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0)
+        return fail(err, "truncate '" + path + "': " + errnoText());
+    if (::lseek(fd_, 0, SEEK_END) < 0)
+        return fail(err, "seek '" + path + "': " + errnoText());
+    return true;
+}
+
+bool
+ShardJournalWriter::append(const ShardJournalRecord &r, std::string *err)
+{
+    if (fd_ < 0)
+        return fail(err, "append on a closed journal");
+    return writeLine(shardRecordJson(r).dump(0) + "\n", err);
+}
+
+std::string
+shardJournalPath(const std::string &dir, std::uint32_t shard)
+{
+    std::string d = dir;
+    if (!d.empty() && d.back() != '/')
+        d += '/';
+    return d + "shard-" + std::to_string(shard) + ".journal";
+}
+
+bool
+ensureDirectories(const std::string &dir, std::string *err)
+{
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        std::size_t slash = dir.find('/', pos);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        const std::string at = dir.substr(0, slash);
+        pos = slash + 1;
+        if (at.empty() || at == ".")
+            continue;
+        if (::mkdir(at.c_str(), 0755) != 0 && errno != EEXIST) {
+            if (err)
+                *err = "cannot create directory '" + at + "': " +
+                       errnoText();
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace sbrp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Append-only, fsync'd per-shard verdict journals: the crash-tolerance
+ * substrate of sharded campaigns.
+ *
+ * A shard worker writes one JSON line per completed crash point — a
+ * header line first (schema version, shard identity, index range, the
+ * manifest digest it was planned against), then one record per verdict
+ * — and fsyncs after every line. The verdict set a journal holds is
+ * therefore exactly the set of crash points whose results are durable,
+ * no matter when the worker dies: `kill -9` can at worst tear the
+ * record being written, never lose an acknowledged one.
+ *
+ * Loading distinguishes three shapes of damage deliberately:
+ *  - A torn *trailing* line is the expected signature of a crashed
+ *    writer. It is reported (tornTail), and resume truncates it away
+ *    before appending — the crash point it covered simply re-runs.
+ *  - Anything wrong *before* the end — unparseable middle lines, records
+ *    outside the shard's range, verdicts disagreeing with the manifest's
+ *    crash points, conflicting duplicates — cannot be produced by a
+ *    crash of this writer and is refused as Corrupt. Callers exit 2
+ *    rather than merging untrustworthy data.
+ *  - A benign duplicate (identical record re-appended, e.g. by a worker
+ *    killed between fsync and its bookkeeping) is tolerated: resume is
+ *    idempotent.
+ */
+
+#ifndef SBRP_SVC_JOURNAL_HH
+#define SBRP_SVC_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crashtest/scenario.hh"
+
+namespace sbrp
+{
+
+class JsonValue;
+struct CampaignManifest;
+
+/** The journal's first line: who wrote it, against which plan. */
+struct ShardJournalHeader
+{
+    std::uint32_t schemaVersion = 0;
+    std::uint32_t shard = 0;
+    std::uint32_t shards = 0;
+    std::uint64_t begin = 0;   ///< Index range [begin, end) owned.
+    std::uint64_t end = 0;
+    std::string manifestDigest;
+    std::string app;
+};
+
+/** One completed crash point: global index + full verdict. */
+struct ShardJournalRecord
+{
+    std::uint64_t index = 0;
+    CrashVerdict verdict;   ///< executed is implied true.
+};
+
+/** Record codec (one compact JSON object per line). */
+JsonValue shardRecordJson(const ShardJournalRecord &r);
+bool shardRecordFromJson(const JsonValue &v, ShardJournalRecord *out,
+                         std::string *err);
+
+enum class JournalLoad : std::uint8_t
+{
+    Ok,        ///< Parsed; records usable (possibly with a torn tail).
+    Missing,   ///< No file / empty file / only a torn header.
+    Corrupt,   ///< Mid-file damage or manifest mismatch: refuse.
+};
+
+struct ShardJournalContents
+{
+    ShardJournalHeader header;
+    std::vector<ShardJournalRecord> records;   ///< In append order.
+    bool tornTail = false;      ///< Final line was torn and dropped.
+    std::uint64_t validBytes = 0;   ///< Prefix length a resume keeps.
+};
+
+/**
+ * Loads and validates a journal. When `manifest` is non-null the header
+ * digest, shard layout and every record are cross-checked against the
+ * plan; `expect_shard` (when not ~0u) additionally pins the header's
+ * shard id. On Corrupt, *err describes the first inconsistency.
+ */
+JournalLoad loadShardJournal(const std::string &path,
+                             const CampaignManifest *manifest,
+                             std::uint32_t expect_shard,
+                             ShardJournalContents *out,
+                             std::string *err);
+
+/**
+ * The append side. Every append is one write(2) of a full line followed
+ * by fsync, so a record is either durable and complete or not yet
+ * acknowledged — the invariant the loader's torn-tail handling relies
+ * on.
+ */
+class ShardJournalWriter
+{
+  public:
+    ShardJournalWriter() = default;
+    ~ShardJournalWriter();
+
+    ShardJournalWriter(const ShardJournalWriter &) = delete;
+    ShardJournalWriter &operator=(const ShardJournalWriter &) = delete;
+
+    /** Creates/truncates the journal and persists the header line. */
+    bool create(const std::string &path, const ShardJournalHeader &h,
+                std::string *err);
+
+    /** Reopens an existing journal for append, first truncating to
+        `valid_bytes` (dropping a torn tail). */
+    bool resume(const std::string &path, std::uint64_t valid_bytes,
+                std::string *err);
+
+    /** Appends one record durably (write + fsync). */
+    bool append(const ShardJournalRecord &r, std::string *err);
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    bool writeLine(const std::string &line, std::string *err);
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** Canonical journal path for a shard: `<dir>/shard-<i>.journal`. */
+std::string shardJournalPath(const std::string &dir, std::uint32_t shard);
+
+/** mkdir -p: creates `dir` and any missing parents. Returns false and
+    sets *err on a non-EEXIST failure. */
+bool ensureDirectories(const std::string &dir, std::string *err);
+
+} // namespace sbrp
+
+#endif // SBRP_SVC_JOURNAL_HH

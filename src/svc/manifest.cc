@@ -1,0 +1,337 @@
+#include "svc/manifest.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/atomic_io.hh"
+#include "common/json.hh"
+#include "common/schema_versions.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+/** FNV-1a over the manifest's deterministic body text. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/** The scenario slot reuses the replay-artifact codec with a null
+    crash point and a vacuously passing outcome. */
+JsonValue
+scenarioJson(const CrashScenario &s, bool paper_config)
+{
+    CrashVerdict none;
+    none.executed = true;
+    none.crashed = true;
+    none.recoveredOk = true;
+    return ReplayArtifact::fromScenario(s, paper_config, none).toJson();
+}
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = "campaign manifest: " + msg;
+    return false;
+}
+
+/** The digest-covered body: everything but the digest itself. */
+JsonValue
+manifestBodyJson(const CampaignManifest &m)
+{
+    JsonValue o = JsonValue::object();
+    o.set("kind", JsonValue(std::string("campaign-manifest")));
+    o.set("schema_version",
+          JsonValue(std::uint64_t{schema::kCampaignManifest}));
+    o.set("scenario", scenarioJson(m.scenario, m.paperConfig));
+    o.set("budget_runs", JsonValue(m.budgetRuns));
+    o.set("minimize", JsonValue(m.minimize));
+    o.set("shards", JsonValue(std::uint64_t{m.shards}));
+
+    JsonValue ranges = JsonValue::array();
+    for (const ShardRange &r : m.ranges) {
+        JsonValue pair = JsonValue::array();
+        pair.push(JsonValue(r.begin));
+        pair.push(JsonValue(r.end));
+        ranges.push(std::move(pair));
+    }
+    o.set("shard_ranges", std::move(ranges));
+
+    JsonValue probe = JsonValue::object();
+    probe.set("horizon_cycles", JsonValue(m.probe.horizon));
+    probe.set("clean_consistent", JsonValue(m.probe.cleanConsistent));
+    probe.set("clean_pmo_violations",
+              JsonValue(m.probe.cleanPmoViolations));
+    probe.set("clean_persist_faults",
+              JsonValue(m.probe.cleanPersistFaults));
+    probe.set("raw_events", JsonValue(m.probe.points.rawEvents));
+    probe.set("candidates_pruned",
+              JsonValue(m.probe.points.prunedCandidates));
+    JsonValue points = JsonValue::array();
+    for (const CrashPoint &p : m.probe.points.points) {
+        JsonValue pt = JsonValue::array();
+        pt.push(JsonValue(p.cycle));
+        pt.push(JsonValue(std::string(toString(p.kind))));
+        points.push(std::move(pt));
+    }
+    probe.set("points", std::move(points));
+    o.set("probe", std::move(probe));
+
+    JsonValue ops = JsonValue::array();
+    for (const PersistOpRecord &r : m.slowestOps)
+        ops.push(persistOpJson(r));
+    o.set("slowest_ops", std::move(ops));
+    return o;
+}
+
+} // namespace
+
+std::vector<ShardRange>
+planShardRanges(std::uint64_t count, unsigned shards)
+{
+    if (shards == 0)
+        shards = 1;
+    std::vector<ShardRange> out(shards);
+    const std::uint64_t base = count / shards;
+    const std::uint64_t rem = count % shards;
+    std::uint64_t at = 0;
+    for (unsigned i = 0; i < shards; ++i) {
+        out[i].begin = at;
+        at += base + (i < rem ? 1 : 0);
+        out[i].end = at;
+    }
+    return out;
+}
+
+CampaignManifest
+CampaignManifest::plan(const CampaignConfig &cfg, unsigned shards)
+{
+    CampaignManifest m;
+    m.scenario = cfg.scenario;
+    m.paperConfig = cfg.paperConfig;
+    m.budgetRuns = cfg.budgetRuns;
+    m.minimize = cfg.minimize;
+    m.shards = shards == 0 ? 1 : shards;
+
+    ScenarioRunner runner(cfg.scenario);
+    PersistProvenance local;
+    PersistProvenance *prov = cfg.provenance ? cfg.provenance : &local;
+    m.probe = runner.probe(prov);
+    m.slowestOps = prov->slowest();
+
+    m.ranges = planShardRanges(m.pointsToRun(), m.shards);
+    m.digest = hex64(fnv1a(manifestBodyJson(m).dump(0)));
+    return m;
+}
+
+std::uint64_t
+CampaignManifest::pointsToRun() const
+{
+    const std::uint64_t total = probe.points.points.size();
+    return budgetRuns != 0 ? std::min(budgetRuns, total) : total;
+}
+
+CampaignConfig
+CampaignManifest::toCampaignConfig() const
+{
+    CampaignConfig cfg;
+    cfg.scenario = scenario;
+    cfg.paperConfig = paperConfig;
+    cfg.budgetRuns = budgetRuns;
+    cfg.minimize = minimize;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+JsonValue
+CampaignManifest::toJson() const
+{
+    JsonValue o = manifestBodyJson(*this);
+    o.set("digest", JsonValue(hex64(fnv1a(o.dump(0)))));
+    return o;
+}
+
+bool
+CampaignManifest::fromJson(const JsonValue &v, CampaignManifest *out,
+                           std::string *err)
+{
+    if (!v.isObject())
+        return fail(err, "top level is not an object");
+    const JsonValue *f = v.find("kind");
+    if (!f || !f->isString() || f->asString() != "campaign-manifest")
+        return fail(err, "missing or wrong 'kind'");
+    f = v.find("schema_version");
+    if (!f || !f->isNumber() ||
+            f->asU64() != schema::kCampaignManifest)
+        return fail(err, "unsupported schema_version");
+
+    CampaignManifest m;
+
+    f = v.find("scenario");
+    if (!f)
+        return fail(err, "missing 'scenario'");
+    ReplayArtifact art;
+    std::string sub;
+    if (!ReplayArtifact::fromJson(*f, &art, &sub))
+        return fail(err, "bad scenario: " + sub);
+    m.scenario = art.toScenario();
+    m.paperConfig = art.paperConfig;
+
+    f = v.find("budget_runs");
+    if (!f || !f->isNumber())
+        return fail(err, "missing 'budget_runs'");
+    m.budgetRuns = f->asU64();
+    f = v.find("minimize");
+    if (!f || !f->isBool())
+        return fail(err, "missing 'minimize'");
+    m.minimize = f->asBool();
+    f = v.find("shards");
+    if (!f || !f->isNumber() || f->asU64() == 0)
+        return fail(err, "missing or zero 'shards'");
+    m.shards = static_cast<unsigned>(f->asU64());
+
+    f = v.find("shard_ranges");
+    if (!f || !f->isArray() || f->items().size() != m.shards)
+        return fail(err, "'shard_ranges' must list one range per shard");
+    for (const JsonValue &pair : f->items()) {
+        if (!pair.isArray() || pair.items().size() != 2 ||
+                !pair.items()[0].isNumber() ||
+                !pair.items()[1].isNumber())
+            return fail(err, "malformed shard range");
+        ShardRange r;
+        r.begin = pair.items()[0].asU64();
+        r.end = pair.items()[1].asU64();
+        if (r.end < r.begin)
+            return fail(err, "shard range end precedes begin");
+        m.ranges.push_back(r);
+    }
+
+    const JsonValue *probe = v.find("probe");
+    if (!probe || !probe->isObject())
+        return fail(err, "missing 'probe'");
+    struct U64Field
+    {
+        const char *key;
+        std::uint64_t *dst;
+    };
+    std::uint64_t horizon = 0;
+    for (U64Field uf :
+            {U64Field{"horizon_cycles", &horizon},
+             U64Field{"clean_pmo_violations", &m.probe.cleanPmoViolations},
+             U64Field{"clean_persist_faults",
+                      &m.probe.cleanPersistFaults},
+             U64Field{"raw_events", &m.probe.points.rawEvents},
+             U64Field{"candidates_pruned",
+                      &m.probe.points.prunedCandidates}}) {
+        f = probe->find(uf.key);
+        if (!f || !f->isNumber())
+            return fail(err, std::string("probe: missing '") + uf.key +
+                             "'");
+        *uf.dst = f->asU64();
+    }
+    m.probe.horizon = horizon;
+    m.probe.points.horizon = horizon;
+    f = probe->find("clean_consistent");
+    if (!f || !f->isBool())
+        return fail(err, "probe: missing 'clean_consistent'");
+    m.probe.cleanConsistent = f->asBool();
+
+    f = probe->find("points");
+    if (!f || !f->isArray())
+        return fail(err, "probe: missing 'points'");
+    Cycle prev = 0;
+    for (const JsonValue &pt : f->items()) {
+        if (!pt.isArray() || pt.items().size() != 2 ||
+                !pt.items()[0].isNumber() || !pt.items()[1].isString())
+            return fail(err, "probe: malformed crash point");
+        CrashPoint p;
+        p.cycle = pt.items()[0].asU64();
+        if (!crashEventKindFromString(pt.items()[1].asString(), &p.kind))
+            return fail(err, "probe: unknown event kind '" +
+                             pt.items()[1].asString() + "'");
+        if (!m.probe.points.points.empty() && p.cycle <= prev)
+            return fail(err, "probe: crash points not strictly "
+                             "increasing");
+        prev = p.cycle;
+        m.probe.points.points.push_back(p);
+    }
+
+    const std::uint64_t to_run = m.pointsToRun();
+    for (const ShardRange &r : m.ranges)
+        if (r.end > to_run)
+            return fail(err, "shard range exceeds the budgeted point "
+                             "space");
+
+    f = v.find("slowest_ops");
+    if (!f || !f->isArray())
+        return fail(err, "missing 'slowest_ops'");
+    for (const JsonValue &op : f->items()) {
+        PersistOpRecord r;
+        if (!persistOpFromJson(op, &r, &sub))
+            return fail(err, "bad slowest_ops entry: " + sub);
+        m.slowestOps.push_back(r);
+    }
+
+    f = v.find("digest");
+    if (!f || !f->isString())
+        return fail(err, "missing 'digest'");
+    m.digest = f->asString();
+    // Re-serializing the parsed body must reproduce the digest; a
+    // mismatch means the manifest was edited or corrupted after
+    // planning, and no journal written against it can be trusted.
+    if (hex64(fnv1a(manifestBodyJson(m).dump(0))) != m.digest)
+        return fail(err, "digest mismatch (corrupt or edited manifest)");
+
+    *out = m;
+    return true;
+}
+
+bool
+CampaignManifest::writeFile(const std::string &path,
+                            std::string *err) const
+{
+    std::string io;
+    if (!writeFileAtomic(path, toJson().dump(2), &io)) {
+        if (err)
+            *err = "campaign manifest: " + io;
+        return false;
+    }
+    return true;
+}
+
+bool
+CampaignManifest::loadFile(const std::string &path, CampaignManifest *out,
+                           std::string *err)
+{
+    std::string text, sub;
+    if (!readFileToString(path, &text, &sub)) {
+        if (err)
+            *err = "campaign manifest: " + sub;
+        return false;
+    }
+    JsonValue v = JsonValue::parse(text, &sub);
+    if (v.isNull())
+        return fail(err, "unparseable JSON (" + sub + ")");
+    return fromJson(v, out, err);
+}
+
+} // namespace sbrp

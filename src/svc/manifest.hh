@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The sharded-campaign job manifest: one JSON document that makes a
+ * campaign's work distributable and resumable.
+ *
+ * Planning a campaign runs the crash-free oracle probe exactly once and
+ * freezes everything a worker or merger needs into the manifest: the
+ * scenario (embedded as a crash-replay artifact with a null crash
+ * point, so one codec serves both schemas), the enumerated crash-point
+ * list, the clean-run oracle summary, the oracle run's slowest persist
+ * ops, and a deterministic partition of the budgeted crash-point index
+ * space into contiguous shard ranges. Workers therefore never probe —
+ * they reconstruct the scenario and execute their index range — and
+ * the merger can rebuild a campaign report byte-identical to a
+ * single-process run without re-simulating anything but a failure
+ * minimization.
+ *
+ * The manifest carries a FNV-1a digest of its own deterministic body.
+ * Shard journals record that digest, which is what lets a resume refuse
+ * to append verdicts computed under a different plan (exit 2) instead
+ * of silently merging incompatible work.
+ */
+
+#ifndef SBRP_SVC_MANIFEST_HH
+#define SBRP_SVC_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crashtest/campaign.hh"
+#include "crashtest/scenario.hh"
+#include "obs/provenance.hh"
+
+namespace sbrp
+{
+
+class JsonValue;
+
+/** One shard's half-open slice [begin, end) of the sorted, budgeted
+    crash-point index space. */
+struct ShardRange
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t size() const { return end - begin; }
+};
+
+/**
+ * Deterministic, balanced partition of `count` indices into `shards`
+ * contiguous ranges (sizes differ by at most one; earlier shards get
+ * the remainder). A pure function of its arguments, so any planner
+ * invocation — on any machine — produces the same layout.
+ */
+std::vector<ShardRange> planShardRanges(std::uint64_t count,
+                                        unsigned shards);
+
+struct CampaignManifest
+{
+    CrashScenario scenario;
+    bool paperConfig = false;
+    std::uint64_t budgetRuns = 0;
+    bool minimize = true;
+    unsigned shards = 1;
+    std::vector<ShardRange> ranges;
+
+    /** Frozen oracle-probe outcome (points, horizon, clean verdicts). */
+    CrashProbe probe;
+    /** The oracle run's slowest persist ops (report pass-through). */
+    std::vector<PersistOpRecord> slowestOps;
+
+    /** Hex FNV-1a digest of the deterministic body; filled by toJson /
+        validated by fromJson, recorded into every shard journal. */
+    std::string digest;
+
+    /** Runs the oracle probe for `cfg` and partitions the budgeted
+        point space into `shards` ranges. Throws FatalError on an
+        unknown app. */
+    static CampaignManifest plan(const CampaignConfig &cfg,
+                                 unsigned shards);
+
+    /** Points actually scheduled (budget-truncated prefix). */
+    std::uint64_t pointsToRun() const;
+
+    /** Rebuilds the campaign configuration the manifest was planned
+        from (jobs is execution environment, not plan state). */
+    CampaignConfig toCampaignConfig() const;
+
+    JsonValue toJson() const;
+    static bool fromJson(const JsonValue &v, CampaignManifest *out,
+                         std::string *err);
+
+    /** Atomic write / load+validate. Both return false with *err on
+        failure; load rejects digest mismatches and unknown schemas. */
+    bool writeFile(const std::string &path, std::string *err) const;
+    static bool loadFile(const std::string &path, CampaignManifest *out,
+                         std::string *err);
+};
+
+} // namespace sbrp
+
+#endif // SBRP_SVC_MANIFEST_HH

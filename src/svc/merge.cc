@@ -1,0 +1,74 @@
+#include "svc/merge.hh"
+
+#include "svc/journal.hh"
+#include "svc/manifest.hh"
+
+namespace sbrp
+{
+
+bool
+mergeShardJournals(const CampaignManifest &manifest,
+                   const std::string &journal_dir, MergeOutcome *out,
+                   std::string *err)
+{
+    *out = MergeOutcome{};
+    out->cfg = manifest.toCampaignConfig();
+
+    CampaignResult &result = out->result;
+    result.probe = manifest.probe;
+    result.slowestOps = manifest.slowestOps;
+    const auto &points = manifest.probe.points.points;
+    const std::uint64_t to_run = manifest.pointsToRun();
+    result.budgetTruncated = to_run < points.size();
+
+    // Verdict slots keyed by global sorted index, exactly as the
+    // single-process engine lays them out; journal records land in
+    // their slots and everything else stays executed == false.
+    result.verdicts.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        result.verdicts[i].crashAt = points[i].cycle;
+        result.verdicts[i].kind = points[i].kind;
+    }
+
+    out->complete = true;
+    for (std::uint32_t s = 0; s < manifest.shards; ++s) {
+        ShardMergeInfo info;
+        info.shard = s;
+        info.expected = manifest.ranges[s].size();
+
+        ShardJournalContents contents;
+        const JournalLoad load =
+            loadShardJournal(shardJournalPath(journal_dir, s), &manifest,
+                             s, &contents, err);
+        if (load == JournalLoad::Corrupt)
+            return false;
+        if (load == JournalLoad::Ok) {
+            info.journalPresent = true;
+            info.found = contents.records.size();
+            for (const ShardJournalRecord &r : contents.records)
+                result.verdicts[r.index] = r.verdict;
+        }
+        info.complete = info.found == info.expected;
+        if (!info.complete) {
+            out->complete = false;
+            out->exec.incompleteShards.push_back(s);
+        }
+        out->shards.push_back(info);
+    }
+
+    const std::size_t firstFail = campaignTallyVerdicts(&result);
+    if (result.failures > 0 && manifest.minimize) {
+        // Runners are deterministic and interchangeable, so a fresh one
+        // bisects to the same minimized point and artifact a
+        // single-process engine would have recorded.
+        ScenarioRunner runner(manifest.scenario);
+        campaignMinimizeFirstFailure(out->cfg, runner, firstFail,
+                                     &result);
+    }
+
+    out->exec.mode = "merged";
+    out->exec.shards = manifest.shards;
+    return true;
+}
+
+} // namespace sbrp

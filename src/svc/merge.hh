@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The deterministic shard merger: folds per-shard verdict journals back
+ * into one campaign result.
+ *
+ * Merging rebuilds the exact CampaignResult a single-process engine
+ * would have produced — same probe (from the manifest), same verdict
+ * vector (journal records placed by global index), same tally,
+ * minimization and report phases (the shared campaign free functions) —
+ * so the schema-v4 report's deterministic body is byte-identical to an
+ * unsharded run's. Only the `execution` section, which comparators
+ * strip, records that the verdicts arrived via shards.
+ *
+ * Graceful degradation, not silence: a shard whose journal is missing
+ * or short leaves its indices unexecuted and is listed in
+ * `incomplete_shards`; the report still tallies every verdict that *is*
+ * durable. A corrupt journal, by contrast, poisons the merge — the
+ * merger refuses (exit-2 material) rather than fold untrustworthy
+ * verdicts into a report that claims authority.
+ */
+
+#ifndef SBRP_SVC_MERGE_HH
+#define SBRP_SVC_MERGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crashtest/campaign.hh"
+
+namespace sbrp
+{
+
+struct CampaignManifest;
+
+/** Per-shard accounting of what the merge found. */
+struct ShardMergeInfo
+{
+    std::uint32_t shard = 0;
+    std::uint64_t expected = 0;   ///< Range size per the manifest.
+    std::uint64_t found = 0;      ///< Verdicts recovered from journal.
+    bool journalPresent = false;
+    bool complete = false;        ///< found == expected.
+};
+
+struct MergeOutcome
+{
+    CampaignConfig cfg;       ///< Reconstructed from the manifest.
+    CampaignResult result;    ///< As a single-process engine would fill.
+    CampaignExecutionInfo exec;   ///< mode "merged" + shard accounting.
+    std::vector<ShardMergeInfo> shards;
+    bool complete = false;    ///< Every shard complete.
+};
+
+/**
+ * Loads every shard journal under `journal_dir`, validates each against
+ * the manifest, and rebuilds the campaign result (including the
+ * minimization re-run when failures exist and the manifest asked for
+ * it). Returns false with *err only on corruption or I/O failure —
+ * missing/short journals degrade to an incomplete merge instead.
+ */
+bool mergeShardJournals(const CampaignManifest &manifest,
+                        const std::string &journal_dir,
+                        MergeOutcome *out, std::string *err);
+
+} // namespace sbrp
+
+#endif // SBRP_SVC_MERGE_HH

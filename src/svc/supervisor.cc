@@ -1,0 +1,277 @@
+#include "svc/supervisor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "svc/journal.hh"
+#include "svc/manifest.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t
+msSince(SteadyClock::time_point t)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            SteadyClock::now() - t).count());
+}
+
+/** Journal size as the progress signal; 0 when absent. */
+std::uint64_t
+journalSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+struct ShardProc
+{
+    enum class State : std::uint8_t
+    {
+        Pending,    ///< Waiting to (re)spawn.
+        Running,
+        Complete,
+        Incomplete,
+        Stopped,
+    };
+
+    std::uint32_t shard = 0;
+    State state = State::Pending;
+    pid_t pid = -1;
+    std::uint32_t spawns = 0;
+    SteadyClock::time_point nextSpawnAt = SteadyClock::now();
+    SteadyClock::time_point lastProgressAt;
+    std::uint64_t lastJournalBytes = 0;
+    bool timedOut = false;       ///< This attempt was SIGKILLed by us.
+    std::string lastFailure;
+
+    bool
+    finished() const
+    {
+        return state == State::Complete || state == State::Incomplete ||
+               state == State::Stopped;
+    }
+};
+
+pid_t
+spawnWorker(const SupervisorOptions &opts, std::uint32_t shard)
+{
+    std::vector<std::string> args = {
+        opts.selfExe,
+        "--manifest", opts.manifestPath,
+        "--shard-index", std::to_string(shard),
+        "--journal", opts.journalDir,
+        "--resume",
+    };
+    if (opts.throttleMs != 0) {
+        args.push_back("--throttle-ms");
+        args.push_back(std::to_string(opts.throttleMs));
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(opts.selfExe.c_str(), argv.data());
+        // execv only returns on failure; exit 2 marks the shard
+        // unretryable (a bad selfExe path will not heal).
+        ::_exit(2);
+    }
+    return pid;
+}
+
+std::string
+describeDeath(int status)
+{
+    if (WIFSIGNALED(status))
+        return std::string("killed by signal ") +
+               std::to_string(WTERMSIG(status));
+    if (WIFEXITED(status))
+        return std::string("exited ") +
+               std::to_string(WEXITSTATUS(status));
+    return "died (unknown wait status)";
+}
+
+} // namespace
+
+bool
+SupervisionResult::allComplete() const
+{
+    return std::all_of(shards.begin(), shards.end(),
+                       [](const ShardStatus &s) {
+                           return s.outcome == ShardOutcome::Complete;
+                       });
+}
+
+std::vector<std::uint64_t>
+SupervisionResult::incompleteShards() const
+{
+    std::vector<std::uint64_t> out;
+    for (const ShardStatus &s : shards)
+        if (s.outcome != ShardOutcome::Complete)
+            out.push_back(s.shard);
+    return out;
+}
+
+SupervisionResult
+superviseShards(const CampaignManifest &manifest,
+                const SupervisorOptions &opts,
+                const volatile std::sig_atomic_t *stop)
+{
+    std::vector<ShardProc> procs(manifest.shards);
+    for (std::uint32_t s = 0; s < manifest.shards; ++s)
+        procs[s].shard = s;
+
+    bool stopping = false;
+    const auto allFinished = [&]() {
+        return std::all_of(procs.begin(), procs.end(),
+                           [](const ShardProc &p) {
+                               return p.finished();
+                           });
+    };
+
+    while (!allFinished()) {
+        // Interruption: forward SIGTERM once, stop spawning, and wait
+        // for workers to flush their in-flight point and exit.
+        if (stop && *stop && !stopping) {
+            stopping = true;
+            for (ShardProc &p : procs) {
+                if (p.state == ShardProc::State::Running)
+                    ::kill(p.pid, SIGTERM);
+                else if (p.state == ShardProc::State::Pending)
+                    p.state = ShardProc::State::Stopped;
+            }
+        }
+
+        // Spawn (or respawn, after backoff) every due shard.
+        for (ShardProc &p : procs) {
+            if (stopping || p.state != ShardProc::State::Pending ||
+                    SteadyClock::now() < p.nextSpawnAt)
+                continue;
+            pid_t pid = spawnWorker(opts, p.shard);
+            if (pid < 0) {
+                p.lastFailure = std::string("fork: ") +
+                                std::strerror(errno);
+                p.state = ShardProc::State::Incomplete;
+                continue;
+            }
+            p.pid = pid;
+            p.state = ShardProc::State::Running;
+            p.timedOut = false;
+            ++p.spawns;
+            p.lastProgressAt = SteadyClock::now();
+            p.lastJournalBytes = journalSize(
+                shardJournalPath(opts.journalDir, p.shard));
+        }
+
+        // Reap every worker that died.
+        for (ShardProc &p : procs) {
+            if (p.state != ShardProc::State::Running)
+                continue;
+            int status = 0;
+            pid_t r = ::waitpid(p.pid, &status, WNOHANG);
+            if (r == 0)
+                continue;
+            p.pid = -1;
+            const bool cleanExit = WIFEXITED(status);
+            const int code = cleanExit ? WEXITSTATUS(status) : -1;
+            if (cleanExit && code == 0) {
+                p.state = ShardProc::State::Complete;
+                p.lastFailure.clear();
+            } else if (cleanExit && code == 3 && stopping) {
+                // Interrupted by our SIGTERM: clean resumable stop.
+                p.state = ShardProc::State::Stopped;
+            } else if (cleanExit && code == 2) {
+                // Deterministic usage/corruption failure: respawning
+                // would loop on the same exit.
+                p.state = ShardProc::State::Incomplete;
+                p.lastFailure = "worker exited 2 (not retryable)";
+            } else {
+                std::string why = p.timedOut
+                    ? "no journal progress for " +
+                      std::to_string(opts.progressTimeoutMs) +
+                      " ms (killed)"
+                    : describeDeath(status);
+                p.lastFailure = why;
+                if (stopping) {
+                    p.state = ShardProc::State::Stopped;
+                } else if (p.spawns > opts.maxRetries) {
+                    p.state = ShardProc::State::Incomplete;
+                    p.lastFailure =
+                        why + "; retries exhausted after " +
+                        std::to_string(p.spawns) + " launches";
+                } else {
+                    p.state = ShardProc::State::Pending;
+                    const std::uint64_t backoff =
+                        opts.backoffBaseMs << (p.spawns - 1);
+                    p.nextSpawnAt = SteadyClock::now() +
+                                    std::chrono::milliseconds(backoff);
+                }
+            }
+        }
+
+        // Progress-based timeout: a worker whose journal has not grown
+        // within the window is wedged; SIGKILL it and let the reap path
+        // decide between retry and exhaustion.
+        if (!stopping && opts.progressTimeoutMs != 0) {
+            for (ShardProc &p : procs) {
+                if (p.state != ShardProc::State::Running)
+                    continue;
+                const std::uint64_t bytes = journalSize(
+                    shardJournalPath(opts.journalDir, p.shard));
+                if (bytes != p.lastJournalBytes) {
+                    p.lastJournalBytes = bytes;
+                    p.lastProgressAt = SteadyClock::now();
+                } else if (msSince(p.lastProgressAt) >
+                           opts.progressTimeoutMs) {
+                    p.timedOut = true;
+                    ::kill(p.pid, SIGKILL);
+                }
+            }
+        }
+
+        if (!allFinished())
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    SupervisionResult result;
+    result.stopped = stopping;
+    for (const ShardProc &p : procs) {
+        ShardStatus s;
+        s.shard = p.shard;
+        s.spawns = p.spawns;
+        s.lastFailure = p.lastFailure;
+        s.outcome = p.state == ShardProc::State::Complete
+                        ? ShardOutcome::Complete
+                        : p.state == ShardProc::State::Stopped
+                              ? ShardOutcome::Stopped
+                              : ShardOutcome::Incomplete;
+        result.shards.push_back(s);
+    }
+    return result;
+}
+
+} // namespace sbrp

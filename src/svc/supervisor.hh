@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The worker supervisor: runs a manifest's shards as child processes
+ * and keeps the campaign making progress through worker failure.
+ *
+ * Each shard worker is a re-exec of this binary in `--shard-index`
+ * mode, always launched with `--resume` so a respawn continues its
+ * journal instead of restarting the shard. Supervision is journal-
+ * centric: the journal's size is the progress signal (it grows by one
+ * fsync'd line per verdict), so a worker that stops growing its journal
+ * for longer than the progress timeout is presumed wedged and SIGKILLed
+ * — losing at most the in-flight crash point, which its successor
+ * re-runs.
+ *
+ * Failure policy, in order of severity:
+ *  - Exit 0: shard complete.
+ *  - Exit 2 (usage/corruption): never retried — the condition is
+ *    deterministic and a respawn would only loop.
+ *  - Any other death (signal, nonzero exit, timeout kill): retried with
+ *    exponential backoff up to `maxRetries` respawns; exhaustion marks
+ *    the shard Incomplete. Incomplete shards are *reported*, never
+ *    silently dropped — the merge degrades gracefully and the process
+ *    exit code says so.
+ *  - SIGINT/SIGTERM at the supervisor forwards SIGTERM to workers,
+ *    which finish their in-flight point, flush, and exit; everything
+ *    still pending is marked Stopped (resumable).
+ */
+
+#ifndef SBRP_SVC_SUPERVISOR_HH
+#define SBRP_SVC_SUPERVISOR_HH
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbrp
+{
+
+struct CampaignManifest;
+
+struct SupervisorOptions
+{
+    std::string selfExe;        ///< Worker binary (argv[0] re-exec).
+    std::string manifestPath;   ///< Passed to workers verbatim.
+    std::string journalDir;
+    std::uint32_t maxRetries = 3;   ///< Respawns per shard.
+    std::uint64_t progressTimeoutMs = 60000;   ///< Journal-growth stall.
+    std::uint64_t backoffBaseMs = 200;   ///< Doubles per retry.
+    std::uint64_t throttleMs = 0;        ///< Forwarded to workers.
+};
+
+enum class ShardOutcome : std::uint8_t
+{
+    Complete,     ///< Worker exited 0.
+    Incomplete,   ///< Retries exhausted or unretryable failure.
+    Stopped,      ///< Campaign interrupted; shard is resumable.
+};
+
+struct ShardStatus
+{
+    std::uint32_t shard = 0;
+    ShardOutcome outcome = ShardOutcome::Stopped;
+    std::uint32_t spawns = 0;     ///< Total worker launches.
+    std::string lastFailure;      ///< Human-readable, empty if clean.
+};
+
+struct SupervisionResult
+{
+    std::vector<ShardStatus> shards;
+    bool stopped = false;         ///< Interrupted by the stop flag.
+
+    bool allComplete() const;
+    std::vector<std::uint64_t> incompleteShards() const;
+};
+
+/**
+ * Supervises every shard of the manifest to completion, retry
+ * exhaustion, or interruption (`stop` flag, typically signal-driven).
+ * Blocking; returns the per-shard outcomes.
+ */
+SupervisionResult superviseShards(const CampaignManifest &manifest,
+                                  const SupervisorOptions &opts,
+                                  const volatile std::sig_atomic_t *stop);
+
+} // namespace sbrp
+
+#endif // SBRP_SVC_SUPERVISOR_HH

@@ -1,0 +1,101 @@
+#include "svc/worker.hh"
+
+#include <unistd.h>
+
+#include "common/schema_versions.hh"
+#include "svc/journal.hh"
+#include "svc/manifest.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+ShardRunResult
+errorResult(const std::string &msg)
+{
+    ShardRunResult r;
+    r.status = ShardRunStatus::Error;
+    r.error = msg;
+    return r;
+}
+
+} // namespace
+
+ShardRunResult
+runShard(const CampaignManifest &manifest, std::uint32_t shard,
+         const std::string &journal_dir, bool resume,
+         const volatile std::sig_atomic_t *stop,
+         std::uint64_t throttle_ms)
+{
+    if (shard >= manifest.shards)
+        return errorResult("shard index " + std::to_string(shard) +
+                           " out of range (manifest has " +
+                           std::to_string(manifest.shards) + " shards)");
+    std::string err;
+    if (!ensureDirectories(journal_dir, &err))
+        return errorResult(err);
+
+    const ShardRange range = manifest.ranges[shard];
+    const std::string path = shardJournalPath(journal_dir, shard);
+
+    ShardJournalContents existing;
+    const JournalLoad load =
+        loadShardJournal(path, &manifest, shard, &existing, &err);
+    if (load == JournalLoad::Corrupt)
+        return errorResult(err);
+    if (load == JournalLoad::Ok && !resume)
+        return errorResult("journal '" + path + "' already exists; pass "
+                           "--resume to continue it or remove it to "
+                           "start over");
+
+    // Indices already durable — the resume skip set.
+    std::vector<bool> done(range.size(), false);
+    for (const ShardJournalRecord &r : existing.records)
+        done[r.index - range.begin] = true;
+
+    ShardJournalWriter writer;
+    if (load == JournalLoad::Ok) {
+        if (!writer.resume(path, existing.validBytes, &err))
+            return errorResult(err);
+    } else {
+        ShardJournalHeader h;
+        h.schemaVersion = schema::kShardJournal;
+        h.shard = shard;
+        h.shards = manifest.shards;
+        h.begin = range.begin;
+        h.end = range.end;
+        h.manifestDigest = manifest.digest;
+        h.app = manifest.scenario.app;
+        if (!writer.create(path, h, &err))
+            return errorResult(err);
+    }
+
+    ShardRunResult result;
+    result.skipped = existing.records.size();
+    result.tornTail = existing.tornTail;
+
+    ScenarioRunner runner(manifest.scenario);
+    for (std::uint64_t idx = range.begin; idx < range.end; ++idx) {
+        if (done[idx - range.begin])
+            continue;
+        if (stop && *stop) {
+            result.status = ShardRunStatus::Interrupted;
+            return result;
+        }
+        const CrashPoint &p = manifest.probe.points.points[idx];
+        ShardJournalRecord rec;
+        rec.index = idx;
+        rec.verdict = runner.runCrashAt(p.cycle, p.kind);
+        if (!writer.append(rec, &err))
+            return errorResult(err);
+        ++result.executed;
+        if (throttle_ms != 0)
+            ::usleep(static_cast<useconds_t>(throttle_ms * 1000));
+    }
+    result.status = ShardRunStatus::Complete;
+    return result;
+}
+
+} // namespace sbrp

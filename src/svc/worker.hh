@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The shard worker: executes one manifest shard's crash-point range,
+ * journaling every verdict durably before moving to the next.
+ *
+ * A worker never re-probes — it reconstructs the scenario from the
+ * manifest and walks its index range in order. With `resume` it first
+ * replays the existing journal, truncates a torn tail, and skips every
+ * index already acknowledged, so a worker killed at any instant (power
+ * loss, `kill -9`, supervisor timeout) restarts with at most one crash
+ * point of repeated work. Without `resume` an existing journal is an
+ * error: silently clobbering durable verdicts is exactly the failure
+ * mode this layer exists to prevent.
+ *
+ * The stop flag (set by SIGINT/SIGTERM handlers) is checked between
+ * crash points only: the in-flight scenario finishes, its verdict is
+ * journaled, and the worker reports Interrupted — a clean resumable
+ * exit, never a torn one.
+ */
+
+#ifndef SBRP_SVC_WORKER_HH
+#define SBRP_SVC_WORKER_HH
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+namespace sbrp
+{
+
+struct CampaignManifest;
+
+enum class ShardRunStatus : std::uint8_t
+{
+    Complete,      ///< Every index in the range is journaled.
+    Interrupted,   ///< Stop flag observed; journal is clean, resume ok.
+    Error,         ///< Usage/corruption/I-O failure (exit 2 material).
+};
+
+struct ShardRunResult
+{
+    ShardRunStatus status = ShardRunStatus::Error;
+    std::uint64_t executed = 0;   ///< Crash points run by this call.
+    std::uint64_t skipped = 0;    ///< Already journaled (resume).
+    bool tornTail = false;        ///< Resume dropped a torn record.
+    std::string error;            ///< Set when status == Error.
+};
+
+/**
+ * Runs shard `shard` of `manifest`, journaling into
+ * shardJournalPath(journal_dir, shard). `throttle_ms` sleeps between
+ * crash points (testing hook: makes kill-mid-shard timing windows
+ * reproducibly wide). `stop` may be null.
+ */
+ShardRunResult runShard(const CampaignManifest &manifest,
+                        std::uint32_t shard,
+                        const std::string &journal_dir, bool resume,
+                        const volatile std::sig_atomic_t *stop = nullptr,
+                        std::uint64_t throttle_ms = 0);
+
+} // namespace sbrp
+
+#endif // SBRP_SVC_WORKER_HH

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""End-to-end contract test for crashfuzz sharded campaigns.
+
+Drives the real binary through the full crash-tolerant service loop:
+
+  1. plan-only: --shards without --journal writes a digested manifest;
+  2. worker mode: each shard journals its verdicts, exit 0;
+  3. merge mode: the folded report is byte-identical (per
+     tools/report_compare.py, which strips `execution`) to a
+     single-process campaign of the same scenario;
+  4. kill -9 a worker mid-shard, resume, merge: same report;
+  5. SIGTERM a worker: it finishes the in-flight point, exits 3, and
+     the journal stays clean for resume;
+  6. a corrupted journal is refused with exit 2 by worker and merger;
+  7. double resume is idempotent; fresh mode refuses existing journals;
+  8. supervised mode (fork/exec workers) reproduces the same report;
+  9. --replay on a nonexistent artifact exits 2; conflicting flag
+     combinations exit 2.
+
+Usage:
+    test_campaign_cli.py <crashfuzz-binary> <report_compare.py>
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+# MQ under the seeded --unsafe-relaxed-order bug fails with real
+# failing points at this budget, so the compared reports carry the full
+# failure tally, minimization and embedded replay artifact.
+APP_ARGS = ["--app", "MQ", "--model", "sbrp", "--unsafe-relaxed-order",
+            "--budget", "30"]
+
+
+def run(args, **kw):
+    return subprocess.run(args, capture_output=True, text=True, **kw)
+
+
+def fail(msg, proc=None):
+    print(f"FAIL {msg}")
+    if proc is not None:
+        print(f"  exit={proc.returncode}")
+        print(f"  stdout: {proc.stdout.strip()[:2000]}")
+        print(f"  stderr: {proc.stderr.strip()[:2000]}")
+    return False
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: test_campaign_cli.py <crashfuzz> <report_compare>",
+              file=sys.stderr)
+        return 2
+    crashfuzz, report_compare = argv[1], argv[2]
+    ok = True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        single = os.path.join(tmp, "single.json")
+        manifest = os.path.join(tmp, "manifest.json")
+
+        # Reference: single-process campaign. The seeded
+        # --unsafe-relaxed-order bug makes Red fail, so the report has
+        # real failing points and a minimization — the richest document
+        # to compare against.
+        p = run([crashfuzz] + APP_ARGS +
+                ["--jobs", "2", "--report", single])
+        if p.returncode != 1:
+            ok = fail("single-process campaign should exit 1", p)
+
+        # 1. Plan-only mode writes a digested manifest.
+        p = run([crashfuzz] + APP_ARGS +
+                ["--shards", "3", "--manifest", manifest])
+        if p.returncode != 0:
+            ok = fail("plan-only should exit 0", p)
+        else:
+            with open(manifest, encoding="utf-8") as f:
+                doc = json.load(f)
+            if doc.get("kind") != "campaign-manifest":
+                ok = fail(f"manifest kind {doc.get('kind')!r}")
+            if len(doc.get("shard_ranges", [])) != 3:
+                ok = fail("manifest should carry 3 shard ranges")
+            if not doc.get("digest"):
+                ok = fail("manifest should carry a digest")
+
+        # 2. Worker mode: run every shard to completion.
+        jdir = os.path.join(tmp, "journals")
+        for shard in range(3):
+            p = run([crashfuzz, "--manifest", manifest, "--journal",
+                     jdir, "--shard-index", str(shard)])
+            if p.returncode != 0:
+                ok = fail(f"worker shard {shard} should exit 0", p)
+            if not os.path.exists(
+                    os.path.join(jdir, f"shard-{shard}.journal")):
+                ok = fail(f"shard {shard} journal missing")
+
+        # 3. Merge: byte-identical to the single-process report after
+        # stripping the execution section.
+        merged = os.path.join(tmp, "merged.json")
+        p = run([crashfuzz, "--manifest", manifest, "--journal", jdir,
+                 "--merge", "--report", merged])
+        if p.returncode != 1:
+            ok = fail("merge of a failing campaign should exit 1", p)
+        p = run([sys.executable, report_compare, merged, single])
+        if p.returncode != 0:
+            ok = fail("merged report should equal single-process", p)
+
+        # 7a. Double resume is idempotent: nothing re-runs.
+        p = run([crashfuzz, "--manifest", manifest, "--journal", jdir,
+                 "--shard-index", "0", "--resume"])
+        if p.returncode != 0:
+            ok = fail("double resume should exit 0", p)
+        elif "already journaled" not in p.stdout:
+            ok = fail("double resume should report skipped verdicts", p)
+
+        # 7b. Fresh (non-resume) worker refuses the existing journal.
+        p = run([crashfuzz, "--manifest", manifest, "--journal", jdir,
+                 "--shard-index", "0"])
+        if p.returncode != 2 or "--resume" not in (p.stderr + p.stdout):
+            ok = fail("fresh worker over existing journal: want exit 2 "
+                      "pointing at --resume", p)
+
+        # 4. kill -9 a throttled worker mid-shard, then resume: the
+        # merged report is still identical.
+        kdir = os.path.join(tmp, "journals_kill")
+        proc = subprocess.Popen(
+            [crashfuzz, "--manifest", manifest, "--journal", kdir,
+             "--shard-index", "1", "--throttle-ms", "200"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        time.sleep(0.7)
+        proc.kill()                      # SIGKILL: may tear a record.
+        proc.wait()
+        for shard in range(3):
+            p = run([crashfuzz, "--manifest", manifest, "--journal",
+                     kdir, "--shard-index", str(shard), "--resume"])
+            if p.returncode != 0:
+                ok = fail(f"post-kill resume shard {shard}", p)
+        kmerged = os.path.join(tmp, "merged_kill.json")
+        p = run([crashfuzz, "--manifest", manifest, "--journal", kdir,
+                 "--merge", "--report", kmerged])
+        if p.returncode != 1:
+            ok = fail("post-kill merge should exit 1 (failures)", p)
+        p = run([sys.executable, report_compare, kmerged, single])
+        if p.returncode != 0:
+            ok = fail("killed+resumed report should equal "
+                      "single-process", p)
+
+        # 5. SIGTERM: graceful interrupt, exit 3, journal resumable.
+        tdir = os.path.join(tmp, "journals_term")
+        proc = subprocess.Popen(
+            [crashfuzz, "--manifest", manifest, "--journal", tdir,
+             "--shard-index", "0", "--throttle-ms", "200"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        time.sleep(0.7)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+        if proc.returncode != 3:
+            ok = fail(f"SIGTERM'd worker should exit 3, got "
+                      f"{proc.returncode}; stdout {out[:500]!r} "
+                      f"stderr {err[:500]!r}")
+        p = run([crashfuzz, "--manifest", manifest, "--journal", tdir,
+                 "--shard-index", "0", "--resume"])
+        if p.returncode != 0:
+            ok = fail("resume after SIGTERM should exit 0", p)
+
+        # 6. Corruption: garbage injected mid-journal is refused by
+        # worker resume and by the merger, exit 2 both times.
+        cpath = os.path.join(jdir, "shard-2.journal")
+        with open(cpath, encoding="utf-8") as f:
+            lines = f.read().splitlines(keepends=True)
+        lines.insert(len(lines) - 1, "GARBAGE\n")
+        with open(cpath, "w", encoding="utf-8") as f:
+            f.writelines(lines)
+        p = run([crashfuzz, "--manifest", manifest, "--journal", jdir,
+                 "--shard-index", "2", "--resume"])
+        if p.returncode != 2:
+            ok = fail("resume over corrupt journal should exit 2", p)
+        p = run([crashfuzz, "--manifest", manifest, "--journal", jdir,
+                 "--merge", "--report", os.path.join(tmp, "x.json")])
+        if p.returncode != 2:
+            ok = fail("merge over corrupt journal should exit 2", p)
+
+        # A torn *trailing* record, by contrast, resumes cleanly.
+        with open(cpath, "w", encoding="utf-8") as f:
+            f.writelines(lines[:-2] + [lines[-1][: len(lines[-1]) // 2]])
+        p = run([crashfuzz, "--manifest", manifest, "--journal", jdir,
+                 "--shard-index", "2", "--resume"])
+        if p.returncode != 0 or "torn" not in (p.stdout + p.stderr):
+            ok = fail("torn trailing record should resume (exit 0, "
+                      "naming the tear)", p)
+
+        # 8. Supervised mode: fork/exec workers, merge, same report.
+        sdir = os.path.join(tmp, "journals_sup")
+        smerged = os.path.join(tmp, "merged_sup.json")
+        p = run([crashfuzz] + APP_ARGS +
+                ["--shards", "2", "--journal", sdir,
+                 "--report", smerged])
+        if p.returncode != 1:
+            ok = fail("supervised failing campaign should exit 1", p)
+        p = run([sys.executable, report_compare, smerged, single])
+        if p.returncode != 0:
+            ok = fail("supervised report should equal single-process",
+                      p)
+        # Supervised fresh mode refuses to clobber existing journals.
+        p = run([crashfuzz] + APP_ARGS +
+                ["--shards", "2", "--journal", sdir,
+                 "--report", smerged])
+        if p.returncode != 2:
+            ok = fail("supervised fresh over existing journals should "
+                      "exit 2", p)
+
+        # 9. Infrastructure and usage errors exit 2.
+        for args, what in (
+                (["--replay", os.path.join(tmp, "no-such.json")],
+                 "nonexistent replay artifact"),
+                (["--manifest", manifest, "--shard-index", "0"],
+                 "worker without --journal"),
+                (["--shard-index", "0", "--journal", jdir],
+                 "worker without --manifest"),
+                (["--manifest", manifest, "--journal", jdir, "--merge",
+                  "--shard-index", "1"], "merge+worker conflict"),
+                (APP_ARGS + ["--shards", "0"], "zero shards"),
+                (APP_ARGS + ["--shards", "2", "--journal",
+                             os.path.join(tmp, "j9"), "--replay",
+                             "x.json"], "sharded replay conflict"),
+                (APP_ARGS + ["--resume"], "bare --resume"),
+                (["--app", "MQ", "--shards", "2"],
+                 "plan-only without --manifest")):
+            p = run([crashfuzz] + args)
+            if p.returncode != 2:
+                ok = fail(f"{what} should exit 2", p)
+
+    if ok:
+        print(f"ok   {crashfuzz}: plan/worker/kill/resume/merge/"
+              "supervise contract holds")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -321,7 +321,7 @@ TEST(Campaign, ReportJsonParsesAndMatchesResult)
         JsonValue::parse(campaignReportJson(cc, r).dump(2), &err);
     ASSERT_TRUE(report.isObject()) << err;
     ASSERT_NE(report.find("schema_version"), nullptr);
-    EXPECT_EQ(report.find("schema_version")->asU64(), 3u);
+    EXPECT_EQ(report.find("schema_version")->asU64(), 4u);
     EXPECT_EQ(report.find("app")->asString(), "Red");
     EXPECT_EQ(report.find("fault_spec")->asString(), "none");
     EXPECT_EQ(report.find("clean_persist_faults")->asU64(), 0u);
@@ -331,18 +331,33 @@ TEST(Campaign, ReportJsonParsesAndMatchesResult)
     EXPECT_EQ(report.find("points_enumerated")->asU64(),
               r.probe.points.points.size());
 
-    // v3 additions: wall time and the oracle run's slowest persist ops
-    // (Red persists, so provenance must have captured some).
-    ASSERT_NE(report.find("wall_us_total"), nullptr);
-    EXPECT_GT(report.find("wall_us_total")->asNumber(), 0.0);
+    // The oracle run's slowest persist ops are cycle-deterministic and
+    // stay top-level (Red persists, so provenance captured some).
     ASSERT_NE(report.find("slowest_ops"), nullptr);
     EXPECT_TRUE(report.find("slowest_ops")->isArray());
     EXPECT_FALSE(report.find("slowest_ops")->items().empty());
-    ASSERT_NE(report.find("slowest_points"), nullptr);
-    EXPECT_TRUE(report.find("slowest_points")->isArray());
+
+    // v4: everything environment-dependent lives in `execution` —
+    // wall time, slowest points by wall clock, mode, jobs.
+    const JsonValue *ex = report.find("execution");
+    ASSERT_NE(ex, nullptr);
+    ASSERT_TRUE(ex->isObject());
+    EXPECT_EQ(ex->find("mode")->asString(), "single-process");
+    EXPECT_EQ(ex->find("jobs")->asU64(), 2u);
+    ASSERT_NE(ex->find("wall_us_total"), nullptr);
+    EXPECT_GT(ex->find("wall_us_total")->asNumber(), 0.0);
+    ASSERT_NE(ex->find("slowest_points"), nullptr);
+    EXPECT_TRUE(ex->find("slowest_points")->isArray());
+    EXPECT_EQ(ex->find("shards"), nullptr);   // Unsharded run.
+
+    // The deterministic projection drops execution and wall_us only.
+    JsonValue stripped = campaignReportStripWall(report);
+    EXPECT_EQ(stripped.find("execution"), nullptr);
+    EXPECT_NE(stripped.find("slowest_ops"), nullptr);
+    EXPECT_NE(stripped.find("pass"), nullptr);
 }
 
-TEST(Campaign, ReportSummaryRoundTripsV3AndParsesV2)
+TEST(Campaign, ReportSummaryRoundTripsV4AndParsesLegacy)
 {
     CampaignConfig cc;
     cc.scenario = scenarioFor("Red", ModelKind::Sbrp);
@@ -350,13 +365,14 @@ TEST(Campaign, ReportSummaryRoundTripsV3AndParsesV2)
     cc.minimize = false;
     CampaignResult r = CampaignEngine(cc).run();
 
-    // v3 round trip: emit -> parse -> summary matches the result.
+    // v4 round trip: emit -> parse -> summary matches the result (wall
+    // time read out of the `execution` section).
     std::string err;
-    JsonValue v3 =
+    JsonValue v4 =
         JsonValue::parse(campaignReportJson(cc, r).dump(2), &err);
     CampaignReportSummary s;
-    ASSERT_TRUE(campaignReportFromJson(v3, &s, &err)) << err;
-    EXPECT_EQ(s.schemaVersion, 3u);
+    ASSERT_TRUE(campaignReportFromJson(v4, &s, &err)) << err;
+    EXPECT_EQ(s.schemaVersion, 4u);
     EXPECT_EQ(s.app, "Red");
     EXPECT_EQ(s.model, "SBRP");
     EXPECT_EQ(s.runsExecuted, r.runsExecuted);
@@ -366,23 +382,35 @@ TEST(Campaign, ReportSummaryRoundTripsV3AndParsesV2)
     EXPECT_EQ(s.slowestOps, r.slowestOps.size());
     EXPECT_EQ(s.wallUsTotal, r.wallUsTotal);
 
-    // A schema 2 document (no wall/slowest keys) still parses; the v3
-    // fields read as zero.
-    JsonValue v2 = v3;
-    v2.set("schema_version", JsonValue(std::uint64_t{2}));
+    // A legacy v3 document carries its wall time top-level.
     {
-        // Rebuild without the v3-only keys.
-        JsonValue stripped = JsonValue::object();
-        for (const auto &kv : v2.fields()) {
-            if (kv.first == "wall_us_total" ||
-                    kv.first == "slowest_points" ||
-                    kv.first == "slowest_ops") {
-                continue;
-            }
-            stripped.set(kv.first, kv.second);
+        JsonValue v3 = JsonValue::object();
+        for (const auto &kv : v4.fields()) {
+            if (kv.first != "execution")
+                v3.set(kv.first, kv.second);
         }
+        v3.set("schema_version", JsonValue(std::uint64_t{3}));
+        v3.set("wall_us_total", JsonValue(r.wallUsTotal));
+        v3.set("slowest_points", JsonValue::array());
+        CampaignReportSummary s3;
+        ASSERT_TRUE(campaignReportFromJson(v3, &s3, &err)) << err;
+        EXPECT_EQ(s3.schemaVersion, 3u);
+        EXPECT_EQ(s3.runsExecuted, r.runsExecuted);
+        EXPECT_EQ(s3.wallUsTotal, r.wallUsTotal);
+    }
+
+    // A schema 2 document (no wall/slowest keys) still parses; the
+    // newer fields read as zero.
+    {
+        JsonValue v2 = JsonValue::object();
+        for (const auto &kv : v4.fields()) {
+            if (kv.first == "execution" || kv.first == "slowest_ops")
+                continue;
+            v2.set(kv.first, kv.second);
+        }
+        v2.set("schema_version", JsonValue(std::uint64_t{2}));
         CampaignReportSummary s2;
-        ASSERT_TRUE(campaignReportFromJson(stripped, &s2, &err)) << err;
+        ASSERT_TRUE(campaignReportFromJson(v2, &s2, &err)) << err;
         EXPECT_EQ(s2.schemaVersion, 2u);
         EXPECT_EQ(s2.runsExecuted, r.runsExecuted);
         EXPECT_EQ(s2.wallUsTotal, 0.0);
@@ -390,17 +418,17 @@ TEST(Campaign, ReportSummaryRoundTripsV3AndParsesV2)
     }
 
     // Unsupported versions and malformed documents are rejected.
-    JsonValue bad = v3;
+    JsonValue bad = v4;
     bad.set("schema_version", JsonValue(std::uint64_t{99}));
     CampaignReportSummary s3;
     EXPECT_FALSE(campaignReportFromJson(bad, &s3, &err));
     EXPECT_NE(err.find("schema_version"), std::string::npos);
     EXPECT_FALSE(campaignReportFromJson(JsonValue::array(), &s3, &err));
 
-    // A v3 document missing its v3 keys is malformed.
+    // A v4 document missing its execution section is malformed.
     JsonValue incomplete = JsonValue::object();
-    for (const auto &kv : v3.fields()) {
-        if (kv.first != "wall_us_total")
+    for (const auto &kv : v4.fields()) {
+        if (kv.first != "execution")
             incomplete.set(kv.first, kv.second);
     }
     EXPECT_FALSE(campaignReportFromJson(incomplete, &s3, &err));

@@ -78,6 +78,19 @@ def main(argv):
                          write("prov-untagged.json", {"audit": []})]),
                     2, ("schema_version",))
 
+        # Torn/truncated documents must be named as such and exit 2 --
+        # the producers write atomically, so a half document means the
+        # producer never finished, not that the report is merely odd.
+        torn = os.path.join(tmp, "prov-torn.json")
+        with open(torn, "w", encoding="utf-8") as f:
+            f.write('{"schema_version": 1, "ops_begun": 3, "wat')
+        ok &= check("persist_report-truncated-doc-exits-2",
+                    run([persist_report, torn]), 2, ("truncated",))
+        empty = os.path.join(tmp, "prov-empty.json")
+        open(empty, "w", encoding="utf-8").close()
+        ok &= check("persist_report-empty-doc-exits-2",
+                    run([persist_report, empty]), 2, ("empty",))
+
     return 0 if ok else 1
 
 

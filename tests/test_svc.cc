@@ -1,0 +1,539 @@
+/**
+ * Tier-1 tests for the sharded-campaign service layer (src/svc/): shard
+ * planning, the job manifest codec and digest, the append-only fsync'd
+ * verdict journal (torn-tail tolerance, corruption refusal, idempotent
+ * resume), the shard worker, and the deterministic merger — including
+ * the central invariant that a sharded run merged from journals is
+ * byte-identical (stripped of the execution section) to a
+ * single-process campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "crashtest/campaign.hh"
+#include "crashtest/scenario.hh"
+#include "svc/journal.hh"
+#include "svc/manifest.hh"
+#include "svc/merge.hh"
+#include "svc/worker.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+CrashScenario
+scenarioFor(const std::string &app, ModelKind model,
+            bool unsafe_order = false)
+{
+    CrashScenario s;
+    s.app = app;
+    s.cfg = SystemConfig::testDefault(model);
+    s.cfg.unsafeRelaxedPersistOrder = unsafe_order;
+    return s;
+}
+
+CampaignConfig
+campaignFor(const std::string &app, ModelKind model,
+            std::uint64_t budget, bool unsafe_order = false)
+{
+    CampaignConfig cc;
+    cc.scenario = scenarioFor(app, model, unsafe_order);
+    cc.budgetRuns = budget;
+    cc.minimize = false;
+    cc.jobs = 1;
+    return cc;
+}
+
+/** Unique scratch directory under the build tree. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "svc_test_%s_%d", tag.c_str(),
+                      static_cast<int>(::getpid()));
+        path_ = buf;
+        std::string err;
+        ensureDirectories(path_, &err);
+    }
+    ~TempDir()
+    {
+        // Best-effort cleanup; leftover files are harmless in the
+        // build tree and aid debugging on failure.
+        std::string cmd = "rm -rf '" + path_ + "'";
+        (void)std::system(cmd.c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+void
+writeAll(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << text;
+}
+
+// --- Shard planning -------------------------------------------------
+
+TEST(ShardPlan, BalancedContiguousAndDeterministic)
+{
+    // 10 indices over 3 shards: sizes {4, 3, 3}, contiguous, gapless.
+    std::vector<ShardRange> r = planShardRanges(10, 3);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0].begin, 0u);
+    EXPECT_EQ(r[0].end, 4u);
+    EXPECT_EQ(r[1].begin, 4u);
+    EXPECT_EQ(r[1].end, 7u);
+    EXPECT_EQ(r[2].begin, 7u);
+    EXPECT_EQ(r[2].end, 10u);
+
+    // Pure function: same arguments, same layout.
+    EXPECT_EQ(planShardRanges(10, 3)[1].begin, 4u);
+
+    // More shards than points: trailing shards are empty, never lost.
+    std::vector<ShardRange> wide = planShardRanges(2, 4);
+    ASSERT_EQ(wide.size(), 4u);
+    EXPECT_EQ(wide[0].size(), 1u);
+    EXPECT_EQ(wide[1].size(), 1u);
+    EXPECT_EQ(wide[2].size(), 0u);
+    EXPECT_EQ(wide[3].size(), 0u);
+
+    // Full coverage for a spread of (count, shards) pairs.
+    for (std::uint64_t count : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+        for (unsigned shards : {1u, 2u, 3u, 8u, 13u}) {
+            std::vector<ShardRange> p = planShardRanges(count, shards);
+            ASSERT_EQ(p.size(), shards);
+            std::uint64_t at = 0, lo = ~0ull, hi = 0;
+            for (const ShardRange &s : p) {
+                EXPECT_EQ(s.begin, at);
+                at = s.end;
+                lo = std::min(lo, s.size());
+                hi = std::max(hi, s.size());
+            }
+            EXPECT_EQ(at, count);
+            EXPECT_LE(hi - lo, 1u);   // Balanced to within one.
+        }
+    }
+}
+
+// --- Manifest codec -------------------------------------------------
+
+TEST(Manifest, PlanRoundTripsThroughJsonWithDigest)
+{
+    CampaignConfig cc = campaignFor("Red", ModelKind::Sbrp, 24, true);
+    CampaignManifest m = CampaignManifest::plan(cc, 3);
+    EXPECT_EQ(m.shards, 3u);
+    EXPECT_EQ(m.budgetRuns, 24u);
+    ASSERT_EQ(m.ranges.size(), 3u);
+    EXPECT_EQ(m.ranges.back().end, m.pointsToRun());
+    EXPECT_FALSE(m.probe.points.points.empty());
+
+    JsonValue j = m.toJson();
+    EXPECT_FALSE(m.digest.empty());
+
+    CampaignManifest back;
+    std::string err;
+    ASSERT_TRUE(CampaignManifest::fromJson(j, &back, &err)) << err;
+    EXPECT_EQ(back.digest, m.digest);
+    EXPECT_EQ(back.scenario.app, "Red");
+    EXPECT_EQ(back.scenario.cfg.unsafeRelaxedPersistOrder, true);
+    EXPECT_EQ(back.budgetRuns, m.budgetRuns);
+    EXPECT_EQ(back.shards, m.shards);
+    ASSERT_EQ(back.probe.points.points.size(),
+              m.probe.points.points.size());
+    for (std::size_t i = 0; i < m.probe.points.points.size(); ++i) {
+        EXPECT_EQ(back.probe.points.points[i].cycle,
+                  m.probe.points.points[i].cycle);
+        EXPECT_EQ(back.probe.points.points[i].kind,
+                  m.probe.points.points[i].kind);
+    }
+    EXPECT_EQ(back.slowestOps.size(), m.slowestOps.size());
+
+    // Planning twice is deterministic down to the digest.
+    EXPECT_EQ(CampaignManifest::plan(cc, 3).toJson().dump(0),
+              j.dump(0));
+}
+
+TEST(Manifest, TamperedDocumentIsRefused)
+{
+    CampaignConfig cc = campaignFor("Red", ModelKind::Sbrp, 12, true);
+    CampaignManifest m = CampaignManifest::plan(cc, 2);
+    JsonValue j = m.toJson();
+
+    // Flip plan content without refreshing the digest: refused.
+    JsonValue tampered = j;
+    tampered.set("budget_runs", JsonValue(std::uint64_t{99}));
+    CampaignManifest out;
+    std::string err;
+    EXPECT_FALSE(CampaignManifest::fromJson(tampered, &out, &err));
+    EXPECT_NE(err.find("digest"), std::string::npos) << err;
+
+    // A wrong digest string is refused too.
+    JsonValue baddig = j;
+    baddig.set("digest", JsonValue(std::string("0000000000000000")));
+    EXPECT_FALSE(CampaignManifest::fromJson(baddig, &out, &err));
+}
+
+TEST(Manifest, FileRoundTripAndMissingFile)
+{
+    TempDir dir("manifest");
+    CampaignConfig cc = campaignFor("Red", ModelKind::Sbrp, 12, true);
+    CampaignManifest m = CampaignManifest::plan(cc, 2);
+
+    const std::string path = dir.path() + "/manifest.json";
+    std::string err;
+    ASSERT_TRUE(m.writeFile(path, &err)) << err;
+
+    CampaignManifest back;
+    ASSERT_TRUE(CampaignManifest::loadFile(path, &back, &err)) << err;
+    EXPECT_EQ(back.digest, m.digest);
+
+    EXPECT_FALSE(CampaignManifest::loadFile(dir.path() + "/nope.json",
+                                            &back, &err));
+
+    // Truncated manifest (torn copy, not a torn atomic write — those
+    // can't happen) is refused, not misparsed.
+    std::string text = readAll(path);
+    writeAll(path, text.substr(0, text.size() / 2));
+    EXPECT_FALSE(CampaignManifest::loadFile(path, &back, &err));
+}
+
+// --- Journal robustness ---------------------------------------------
+
+class JournalFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::make_unique<TempDir>("journal");
+        cc_ = campaignFor("Red", ModelKind::Sbrp, 12, true);
+        manifest_ = CampaignManifest::plan(cc_, 2);
+        path_ = shardJournalPath(dir_->path(), 0);
+    }
+
+    /** Runs shard 0 to completion and returns the journal bytes. */
+    std::string completeShardZero()
+    {
+        ShardRunResult r =
+            runShard(manifest_, 0, dir_->path(), /*resume=*/false);
+        EXPECT_EQ(r.status, ShardRunStatus::Complete);
+        EXPECT_EQ(r.executed, manifest_.ranges[0].size());
+        return readAll(path_);
+    }
+
+    std::unique_ptr<TempDir> dir_;
+    CampaignConfig cc_;
+    CampaignManifest manifest_;
+    std::string path_;
+};
+
+TEST_F(JournalFixture, CompleteJournalLoadsCleanly)
+{
+    completeShardZero();
+    ShardJournalContents c;
+    std::string err;
+    EXPECT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Ok) << err;
+    EXPECT_FALSE(c.tornTail);
+    EXPECT_EQ(c.records.size(), manifest_.ranges[0].size());
+    EXPECT_EQ(c.header.manifestDigest, manifest_.digest);
+    EXPECT_EQ(c.header.begin, manifest_.ranges[0].begin);
+    EXPECT_EQ(c.header.end, manifest_.ranges[0].end);
+
+    // Wrong expected shard id is refused.
+    EXPECT_EQ(loadShardJournal(path_, &manifest_, 1, &c, &err),
+              JournalLoad::Corrupt);
+}
+
+TEST_F(JournalFixture, TornTrailingRecordIsToleratedAndResumed)
+{
+    std::string text = completeShardZero();
+
+    // Tear the final record mid-line, as a kill -9 during write(2)
+    // would: the loader drops exactly that line.
+    const std::size_t cut = text.rfind("\"crash_cycle\"");
+    ASSERT_NE(cut, std::string::npos);
+    writeAll(path_, text.substr(0, cut));
+
+    ShardJournalContents c;
+    std::string err;
+    ASSERT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Ok) << err;
+    EXPECT_TRUE(c.tornTail);
+    EXPECT_EQ(c.records.size(), manifest_.ranges[0].size() - 1);
+    EXPECT_LT(c.validBytes, text.substr(0, cut).size());
+
+    // Resume truncates the tear and re-runs only the torn point.
+    ShardRunResult r =
+        runShard(manifest_, 0, dir_->path(), /*resume=*/true);
+    EXPECT_EQ(r.status, ShardRunStatus::Complete);
+    EXPECT_EQ(r.executed, 1u);
+    EXPECT_EQ(r.skipped, manifest_.ranges[0].size() - 1);
+
+    // The rebuilt journal holds the full verdict set again.
+    ASSERT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Ok) << err;
+    EXPECT_FALSE(c.tornTail);
+    EXPECT_EQ(c.records.size(), manifest_.ranges[0].size());
+}
+
+TEST_F(JournalFixture, MidFileGarbageIsCorruptNotTorn)
+{
+    std::string text = completeShardZero();
+
+    // Inject garbage *before* the last line: that cannot be a torn
+    // tail, so the loader must refuse the whole journal.
+    const std::size_t last_nl = text.rfind('\n', text.size() - 2);
+    ASSERT_NE(last_nl, std::string::npos);
+    writeAll(path_, text.substr(0, last_nl + 1) + "GARBAGE\n" +
+                        text.substr(last_nl + 1));
+
+    ShardJournalContents c;
+    std::string err;
+    EXPECT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Corrupt);
+    EXPECT_FALSE(err.empty());
+
+    // The worker refuses to resume on top of corruption.
+    ShardRunResult r =
+        runShard(manifest_, 0, dir_->path(), /*resume=*/true);
+    EXPECT_EQ(r.status, ShardRunStatus::Error);
+}
+
+TEST_F(JournalFixture, ForeignManifestJournalIsCorrupt)
+{
+    completeShardZero();
+
+    // A journal written under a different plan (different budget →
+    // different digest) must be refused even though it parses.
+    CampaignConfig other = cc_;
+    other.budgetRuns = 6;
+    CampaignManifest foreign = CampaignManifest::plan(other, 2);
+    ASSERT_NE(foreign.digest, manifest_.digest);
+
+    ShardJournalContents c;
+    std::string err;
+    EXPECT_EQ(loadShardJournal(path_, &foreign, 0, &c, &err),
+              JournalLoad::Corrupt);
+    EXPECT_NE(err.find("digest"), std::string::npos) << err;
+}
+
+TEST_F(JournalFixture, DuplicateRecordsIdempotentConflictsCorrupt)
+{
+    std::string text = completeShardZero();
+    const std::size_t last_nl = text.rfind('\n', text.size() - 2);
+    ASSERT_NE(last_nl, std::string::npos);
+    const std::string last_line = text.substr(last_nl + 1);
+
+    // An identical re-appended record (worker killed between fsync and
+    // bookkeeping, then resumed from a stale skip set) is benign.
+    writeAll(path_, text + last_line);
+    ShardJournalContents c;
+    std::string err;
+    ASSERT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Ok) << err;
+    EXPECT_EQ(c.records.size(), manifest_.ranges[0].size());
+
+    // A duplicate index with a *different* verdict means two writers
+    // raced on the file — refuse.
+    JsonValue dup = JsonValue::parse(last_line, &err);
+    ASSERT_TRUE(dup.isObject()) << err;
+    const JsonValue *was = dup.find("pmo_violations");
+    ASSERT_NE(was, nullptr);
+    dup.set("pmo_violations", JsonValue(was->asU64() + 1));
+    // Keep a valid record after it so the conflicting line is
+    // mid-file, not a candidate torn tail.
+    writeAll(path_, text + dup.dump(0) + "\n" + last_line);
+    EXPECT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Corrupt);
+}
+
+TEST_F(JournalFixture, DoubleResumeIsIdempotent)
+{
+    completeShardZero();
+    for (int pass = 0; pass < 2; ++pass) {
+        ShardRunResult r =
+            runShard(manifest_, 0, dir_->path(), /*resume=*/true);
+        EXPECT_EQ(r.status, ShardRunStatus::Complete);
+        EXPECT_EQ(r.executed, 0u);
+        EXPECT_EQ(r.skipped, manifest_.ranges[0].size());
+    }
+    // Fresh mode refuses the existing journal instead of clobbering.
+    ShardRunResult r =
+        runShard(manifest_, 0, dir_->path(), /*resume=*/false);
+    EXPECT_EQ(r.status, ShardRunStatus::Error);
+    EXPECT_NE(r.error.find("--resume"), std::string::npos);
+}
+
+TEST_F(JournalFixture, StopFlagInterruptsBetweenPointsCleanly)
+{
+    volatile std::sig_atomic_t stop = 1;   // Raised before any point.
+    ShardRunResult r = runShard(manifest_, 0, dir_->path(),
+                                /*resume=*/false, &stop);
+    EXPECT_EQ(r.status, ShardRunStatus::Interrupted);
+    EXPECT_EQ(r.executed, 0u);
+
+    // The journal holds a valid header and zero records — resumable.
+    ShardJournalContents c;
+    std::string err;
+    ASSERT_EQ(loadShardJournal(path_, &manifest_, 0, &c, &err),
+              JournalLoad::Ok) << err;
+    EXPECT_TRUE(c.records.empty());
+
+    stop = 0;
+    r = runShard(manifest_, 0, dir_->path(), /*resume=*/true, &stop);
+    EXPECT_EQ(r.status, ShardRunStatus::Complete);
+    EXPECT_EQ(r.executed, manifest_.ranges[0].size());
+}
+
+// --- Merge determinism ----------------------------------------------
+
+/** Stripped deterministic projection of a campaign report. */
+std::string
+strippedReport(const CampaignConfig &cfg, const CampaignResult &r,
+               const CampaignExecutionInfo *exec)
+{
+    return campaignReportStripWall(campaignReportJson(cfg, r, exec))
+        .dump(2);
+}
+
+TEST(Merge, ShardCountInvariantAndByteIdenticalToSingleProcess)
+{
+    // Deliberately broken config (MQ fails under the seeded relaxed
+    // -order bug at this budget) so the campaign has real failures and
+    // the merged tally/minimization paths are exercised.
+    CampaignConfig cc = campaignFor("MQ", ModelKind::Sbrp, 30, true);
+    cc.minimize = true;
+
+    CampaignResult single = CampaignEngine(cc).run();
+    ASSERT_GT(single.failures, 0u);
+    ASSERT_TRUE(single.hasMinimized);
+    const std::string golden = strippedReport(cc, single, nullptr);
+
+    for (unsigned shards : {1u, 2u, 3u}) {
+        TempDir dir("merge" + std::to_string(shards));
+        CampaignManifest m = CampaignManifest::plan(cc, shards);
+        for (unsigned s = 0; s < shards; ++s) {
+            ShardRunResult r =
+                runShard(m, s, dir.path(), /*resume=*/false);
+            ASSERT_EQ(r.status, ShardRunStatus::Complete);
+        }
+        MergeOutcome mo;
+        std::string err;
+        ASSERT_TRUE(mergeShardJournals(m, dir.path(), &mo, &err))
+            << err;
+        EXPECT_TRUE(mo.complete);
+        EXPECT_EQ(mo.exec.mode, "merged");
+        EXPECT_EQ(mo.result.failures, single.failures);
+        EXPECT_EQ(mo.result.runsExecuted, single.runsExecuted);
+        EXPECT_EQ(strippedReport(mo.cfg, mo.result, &mo.exec), golden)
+            << "shard count " << shards
+            << " diverged from single-process report";
+    }
+}
+
+TEST(Merge, MissingJournalDegradesToIncompleteNeverDropped)
+{
+    CampaignConfig cc = campaignFor("Red", ModelKind::Sbrp, 12, true);
+    TempDir dir("incomplete");
+    CampaignManifest m = CampaignManifest::plan(cc, 3);
+
+    // Run shards 0 and 2 only; shard 1's journal never exists.
+    ASSERT_EQ(runShard(m, 0, dir.path(), false).status,
+              ShardRunStatus::Complete);
+    ASSERT_EQ(runShard(m, 2, dir.path(), false).status,
+              ShardRunStatus::Complete);
+
+    MergeOutcome mo;
+    std::string err;
+    ASSERT_TRUE(mergeShardJournals(m, dir.path(), &mo, &err)) << err;
+    EXPECT_FALSE(mo.complete);
+    ASSERT_EQ(mo.shards.size(), 3u);
+    EXPECT_TRUE(mo.shards[0].complete);
+    EXPECT_FALSE(mo.shards[1].journalPresent);
+    EXPECT_FALSE(mo.shards[1].complete);
+    EXPECT_TRUE(mo.shards[2].complete);
+    EXPECT_EQ(mo.exec.incompleteShards, std::vector<std::uint64_t>{1});
+
+    // The report carries every durable verdict and says so.
+    EXPECT_EQ(mo.result.runsExecuted,
+              m.ranges[0].size() + m.ranges[2].size());
+    JsonValue rep = campaignReportJson(mo.cfg, mo.result, &mo.exec);
+    const JsonValue *ex = rep.find("execution");
+    ASSERT_NE(ex, nullptr);
+    ASSERT_NE(ex->find("incomplete_shards"), nullptr);
+    EXPECT_EQ(ex->find("incomplete_shards")->items().size(), 1u);
+
+    // A corrupt journal, by contrast, fails the merge outright.
+    const std::string p0 = shardJournalPath(dir.path(), 0);
+    std::string text = readAll(p0);
+    const std::size_t nl = text.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    writeAll(p0, text.substr(0, nl + 1) + "GARBAGE\n" +
+                     text.substr(nl + 1));
+    EXPECT_FALSE(mergeShardJournals(m, dir.path(), &mo, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Merge, ResumedShardsMergeIdenticallyToUninterrupted)
+{
+    CampaignConfig cc = campaignFor("MQ", ModelKind::Sbrp, 30, true);
+
+    TempDir clean("clean");
+    CampaignManifest m = CampaignManifest::plan(cc, 2);
+    for (unsigned s = 0; s < 2; ++s)
+        ASSERT_EQ(runShard(m, s, clean.path(), false).status,
+                  ShardRunStatus::Complete);
+    MergeOutcome a;
+    std::string err;
+    ASSERT_TRUE(mergeShardJournals(m, clean.path(), &a, &err)) << err;
+
+    // Interrupted variant: shard 0 stops mid-range (simulated torn
+    // write), then resumes; shard 1 runs straight through.
+    TempDir rough("rough");
+    ASSERT_EQ(runShard(m, 0, rough.path(), false).status,
+              ShardRunStatus::Complete);
+    const std::string p0 = shardJournalPath(rough.path(), 0);
+    std::string text = readAll(p0);
+    const std::size_t cut = text.rfind("\"crash_cycle\"");
+    ASSERT_NE(cut, std::string::npos);
+    writeAll(p0, text.substr(0, cut));   // kill -9 signature.
+    ASSERT_EQ(runShard(m, 0, rough.path(), true).status,
+              ShardRunStatus::Complete);
+    ASSERT_EQ(runShard(m, 1, rough.path(), false).status,
+              ShardRunStatus::Complete);
+    MergeOutcome b;
+    ASSERT_TRUE(mergeShardJournals(m, rough.path(), &b, &err)) << err;
+
+    EXPECT_EQ(strippedReport(a.cfg, a.result, &a.exec),
+              strippedReport(b.cfg, b.result, &b.exec));
+}
+
+} // namespace
+} // namespace sbrp

@@ -8,6 +8,14 @@
  * failure it bisects to the earliest failing crash cycle and writes a
  * self-contained replay artifact.
  *
+ * Large campaigns can also run as a crash-tolerant sharded service: a
+ * planner freezes the probe into a JSON manifest, worker processes
+ * execute index shards journaling every verdict durably, a supervisor
+ * respawns dead workers with backoff, and a merger folds the journals
+ * into a report byte-identical (modulo the stripped `execution`
+ * section) to a single-process run. Any piece can be killed — including
+ * `kill -9` mid-record — and resumed with `--resume`.
+ *
  * Usage:
  *   crashfuzz --app reduction --model sbrp --jobs 4 --budget 200 \
  *             --report r.json
@@ -15,13 +23,19 @@
  *   crashfuzz --app Red --faults pcie=1e-3,media=1e-3 --fault-seed 7
  *   crashfuzz --app Scan --fault-sweep 1e-4,1e-3,1e-2 --fault-seed 7
  *   crashfuzz --replay artifact.json
+ *   crashfuzz --app Red --shards 4 --journal dir/ --report r.json
+ *   crashfuzz --shards 4 --journal dir/ --resume --report r.json
+ *   crashfuzz --manifest m.json --shard-index 2 --journal dir/ --resume
+ *   crashfuzz --manifest m.json --journal dir/ --merge --report r.json
  *
  * Exit codes: 0 = campaign passed (or replay reproduced its recorded
  * outcome), 1 = violations found (or replay mismatched), 2 = usage or
- * infrastructure error (unknown app, malformed artifact, unwritable
- * report).
+ * infrastructure error (unknown app, malformed artifact, corrupt
+ * journal, unwritable report), 3 = campaign incomplete or interrupted
+ * (journals are clean; rerun with --resume).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,12 +44,20 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "apps/registry.hh"
+#include "common/atomic_io.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/schema_versions.hh"
 #include "crashtest/campaign.hh"
 #include "obs/provenance.hh"
+#include "svc/journal.hh"
+#include "svc/manifest.hh"
+#include "svc/merge.hh"
+#include "svc/supervisor.hh"
+#include "svc/worker.hh"
 
 using namespace sbrp;
 
@@ -89,18 +111,71 @@ usage()
         "  --retry-budget <n>  max attempts per persist (default 8)\n"
         "  --unsafe-relaxed-order  FAULT INJECTION: let the SBRP drain\n"
         "                    engine violate PMO (testing the oracles)\n"
+        "\n"
+        "Sharded campaigns (crash-tolerant, resumable):\n"
+        "  --shards <n>      partition the campaign into n shards; with\n"
+        "                    --journal, supervise worker processes and\n"
+        "                    merge their journals; without, write the\n"
+        "                    plan to --manifest and exit\n"
+        "  --manifest <f>    manifest path (default <journal>/\n"
+        "                    manifest.json in supervised mode)\n"
+        "  --journal <dir>   directory for per-shard verdict journals\n"
+        "  --shard-index <i> worker mode: run one manifest shard,\n"
+        "                    journaling each verdict durably\n"
+        "  --resume          continue from existing journals (torn\n"
+        "                    trailing records are dropped; completed\n"
+        "                    verdicts are never re-run)\n"
+        "  --merge           fold the shard journals into one campaign\n"
+        "                    report, byte-identical to a single-process\n"
+        "                    run after stripping `execution`\n"
+        "  --max-retries <n> worker respawns per shard     (default 3)\n"
+        "  --shard-timeout-ms <n>  kill a worker whose journal stops\n"
+        "                    growing for this long (default 60000)\n"
+        "  --throttle-ms <n> sleep between crash points in workers\n"
+        "                    (testing hook for kill/resume windows)\n"
+        "\n"
         "  --version         print the artifact schema versions and exit\n"
-        "  --help, -h        print this listing and exit\n");
+        "  --help, -h        print this listing and exit\n"
+        "\n"
+        "Exit codes: 0 pass, 1 violations, 2 usage/infrastructure/\n"
+        "corruption error, 3 campaign incomplete (resumable)\n");
 }
 
 bool
 writeFile(const std::string &path, const std::string &text)
 {
-    std::ofstream os(path);
-    if (!os)
-        return false;
-    os << text << "\n";
-    return static_cast<bool>(os);
+    // Atomic (tmp + fsync + rename): a reader never observes a torn
+    // report, no matter when this process is killed.
+    return writeFileAtomic(path, text);
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+handleStop(int)
+{
+    g_stop = 1;
+}
+
+/** SIGINT/SIGTERM: finish the in-flight scenario, flush, exit clean. */
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, handleStop);
+    std::signal(SIGTERM, handleStop);
+}
+
+/** This binary's path, for worker re-exec. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return std::string(buf);
+    }
+    return std::string(argv0);
 }
 
 int
@@ -159,6 +234,180 @@ replayArtifact(const std::string &path)
     return 1;
 }
 
+/** Loads + validates a manifest; prints and returns 2 on failure. */
+int
+loadManifest(const std::string &path, CampaignManifest *out)
+{
+    std::string err;
+    if (!CampaignManifest::loadFile(path, out, &err)) {
+        std::fprintf(stderr, "crashfuzz: %s\n", err.c_str());
+        return 2;
+    }
+    return 0;
+}
+
+/** Worker mode: execute one shard of the manifest. */
+int
+runWorkerMode(const std::string &manifest_path, std::uint32_t shard,
+              const std::string &journal_dir, bool resume,
+              std::uint64_t throttle_ms)
+{
+    CampaignManifest manifest;
+    if (int rc = loadManifest(manifest_path, &manifest))
+        return rc;
+    installStopHandlers();
+
+    if (shard < manifest.shards) {
+        const ShardRange &r = manifest.ranges[shard];
+        std::printf("worker: shard %u/%u of %s, points [%llu, %llu)\n",
+                    shard, manifest.shards,
+                    manifest.scenario.app.c_str(),
+                    static_cast<unsigned long long>(r.begin),
+                    static_cast<unsigned long long>(r.end));
+    }
+    const ShardRunResult res = runShard(manifest, shard, journal_dir,
+                                        resume, &g_stop, throttle_ms);
+    if (res.tornTail) {
+        std::printf("worker: dropped a torn trailing record (crashed "
+                    "writer); its crash point re-runs\n");
+    }
+    switch (res.status) {
+      case ShardRunStatus::Error:
+        std::fprintf(stderr, "crashfuzz: %s\n", res.error.c_str());
+        return 2;
+      case ShardRunStatus::Interrupted:
+        std::printf("worker: interrupted after %llu runs (%llu resumed); "
+                    "journal is flushed — rerun with --resume\n",
+                    static_cast<unsigned long long>(res.executed),
+                    static_cast<unsigned long long>(res.skipped));
+        return 3;
+      case ShardRunStatus::Complete:
+        break;
+    }
+    std::printf("worker: shard complete (%llu runs, %llu already "
+                "journaled)\n",
+                static_cast<unsigned long long>(res.executed),
+                static_cast<unsigned long long>(res.skipped));
+    return 0;
+}
+
+/**
+ * Merges the shard journals and emits the campaign outputs. Shared by
+ * --merge and the tail of supervised mode. Returns the process exit
+ * code: 2 corruption, 1 violations, 3 clean-but-incomplete, 0 pass.
+ */
+int
+finishMerge(const CampaignManifest &manifest,
+            const std::string &journal_dir, bool resumed,
+            const std::string &report_path,
+            const std::string &stats_json_path)
+{
+    MergeOutcome mo;
+    std::string err;
+    if (!mergeShardJournals(manifest, journal_dir, &mo, &err)) {
+        std::fprintf(stderr, "crashfuzz: %s\n", err.c_str());
+        return 2;
+    }
+    mo.exec.resumed = resumed;
+
+    for (const ShardMergeInfo &s : mo.shards) {
+        std::printf("  shard %u: %llu/%llu verdicts%s\n", s.shard,
+                    static_cast<unsigned long long>(s.found),
+                    static_cast<unsigned long long>(s.expected),
+                    s.journalPresent
+                        ? (s.complete ? "" : " [incomplete]")
+                        : " [no journal]");
+    }
+    std::printf("merged: horizon %llu cycles, %llu crash points, "
+                "%llu runs executed%s\n",
+                static_cast<unsigned long long>(mo.result.probe.horizon),
+                static_cast<unsigned long long>(
+                    mo.result.probe.points.points.size()),
+                static_cast<unsigned long long>(mo.result.runsExecuted),
+                mo.result.budgetTruncated ? " [budget cutoff]" : "");
+    std::printf("verdict: %s (%llu failing point%s)%s\n",
+                mo.result.pass() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(mo.result.failures),
+                mo.result.failures == 1 ? "" : "s",
+                mo.complete ? "" : " [INCOMPLETE]");
+    if (mo.result.hasMinimized) {
+        std::printf("minimized: earliest failing crash cycle %llu "
+                    "(%llu bisection probes)\n",
+                    static_cast<unsigned long long>(
+                        mo.result.minimized.cycle),
+                    static_cast<unsigned long long>(
+                        mo.result.minimized.probes));
+    }
+
+    if (!report_path.empty()) {
+        JsonValue report =
+            campaignReportJson(mo.cfg, mo.result, &mo.exec);
+        if (!writeFile(report_path, report.dump(2))) {
+            std::fprintf(stderr, "crashfuzz: cannot write '%s'\n",
+                         report_path.c_str());
+            return 2;
+        }
+        std::printf("report: %s\n", report_path.c_str());
+    }
+    if (!stats_json_path.empty()) {
+        StatGroup group("campaign");
+        StatRegistry stats;
+        stats.add(&group);
+        if (mo.result.hasMinimized)
+            group.stat("minimize_probes").inc(mo.result.minimized.probes);
+        campaignExportStats(group, mo.result, mo.cfg.jobs);
+        if (!writeFile(stats_json_path, stats.dumpJson())) {
+            std::fprintf(stderr, "crashfuzz: cannot write '%s'\n",
+                         stats_json_path.c_str());
+            return 2;
+        }
+        std::printf("statistics JSON: %s\n", stats_json_path.c_str());
+    }
+
+    if (!mo.result.pass())
+        return 1;
+    if (!mo.complete) {
+        std::printf("campaign incomplete — rerun with --resume to "
+                    "finish the listed shards\n");
+        return 3;
+    }
+    return 0;
+}
+
+/** Supervised mode: drive every shard to completion, then merge. */
+int
+runSupervisedMode(const CampaignManifest &manifest,
+                  const SupervisorOptions &opts, bool resumed,
+                  const std::string &report_path,
+                  const std::string &stats_json_path)
+{
+    installStopHandlers();
+    std::printf("supervising %u shard worker%s over %llu crash "
+                "points\n", manifest.shards,
+                manifest.shards == 1 ? "" : "s",
+                static_cast<unsigned long long>(manifest.pointsToRun()));
+    const SupervisionResult sup =
+        superviseShards(manifest, opts, &g_stop);
+
+    for (const ShardStatus &s : sup.shards) {
+        const char *outcome =
+            s.outcome == ShardOutcome::Complete ? "complete"
+            : s.outcome == ShardOutcome::Stopped ? "stopped"
+                                                 : "INCOMPLETE";
+        std::printf("  shard %u: %s (%u launch%s)%s%s\n", s.shard,
+                    outcome, s.spawns, s.spawns == 1 ? "" : "es",
+                    s.lastFailure.empty() ? "" : " — ",
+                    s.lastFailure.c_str());
+    }
+    if (sup.stopped) {
+        std::printf("campaign interrupted; journals are flushed — "
+                    "rerun with --resume\n");
+        return 3;
+    }
+    return finishMerge(manifest, opts.journalDir, resumed, report_path,
+                       stats_json_path);
+}
+
 } // namespace
 
 int
@@ -190,6 +439,17 @@ main(int argc, char **argv)
     std::uint64_t fault_seed = 0;
     std::optional<std::uint32_t> retry_budget;
     std::vector<double> sweep_rates;
+
+    // Sharded-campaign modes.
+    unsigned shards = 0;
+    std::optional<std::uint32_t> shard_index;
+    std::string manifest_path;
+    std::string journal_dir;
+    bool resume = false;
+    bool merge = false;
+    std::uint32_t max_retries = 3;
+    std::uint64_t shard_timeout_ms = 60000;
+    std::uint64_t throttle_ms = 0;
 
     auto next = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -291,6 +551,32 @@ main(int argc, char **argv)
                 std::strtoul(next(i), nullptr, 10));
         } else if (a == "--unsafe-relaxed-order") {
             unsafe_relaxed = true;
+        } else if (a == "--shards") {
+            shards = static_cast<unsigned>(
+                std::strtoul(next(i), nullptr, 10));
+            if (shards == 0) {
+                std::fprintf(stderr,
+                             "crashfuzz: --shards must be >= 1\n");
+                return 2;
+            }
+        } else if (a == "--shard-index") {
+            shard_index = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (a == "--manifest") {
+            manifest_path = next(i);
+        } else if (a == "--journal") {
+            journal_dir = next(i);
+        } else if (a == "--resume") {
+            resume = true;
+        } else if (a == "--merge") {
+            merge = true;
+        } else if (a == "--max-retries") {
+            max_retries = static_cast<std::uint32_t>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (a == "--shard-timeout-ms") {
+            shard_timeout_ms = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--throttle-ms") {
+            throttle_ms = std::strtoull(next(i), nullptr, 10);
         } else if (a == "--version") {
             std::printf("crashfuzz (sbrp-sim) replay artifact schema "
                         "%u\n%s\n", ReplayArtifact::kVersion,
@@ -317,9 +603,109 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Sharded-mode flag algebra: exactly one of worker / merge /
+    // supervised-or-plan, and none of them mixes with the single-shot
+    // modes.
+    const bool sharded = shards != 0 || shard_index || merge;
+    if (sharded) {
+        if ((shard_index && (shards != 0 || merge)) ||
+                (merge && shards != 0)) {
+            std::fprintf(stderr,
+                         "crashfuzz: --shards, --shard-index and "
+                         "--merge are mutually exclusive\n");
+            return 2;
+        }
+        if (!replay_path.empty() || !sweep_rates.empty() ||
+                list_points || want_prov) {
+            std::fprintf(stderr,
+                         "crashfuzz: sharded modes do not combine with "
+                         "--replay/--fault-sweep/--list-points/"
+                         "--persist-trace/--audit-json\n");
+            return 2;
+        }
+        if ((shard_index || merge) && manifest_path.empty()) {
+            std::fprintf(stderr,
+                         "crashfuzz: %s requires --manifest\n",
+                         merge ? "--merge" : "--shard-index");
+            return 2;
+        }
+        if ((shard_index || merge) && journal_dir.empty()) {
+            std::fprintf(stderr,
+                         "crashfuzz: %s requires --journal\n",
+                         merge ? "--merge" : "--shard-index");
+            return 2;
+        }
+        if ((shard_index || merge) && !app_name.empty()) {
+            std::fprintf(stderr,
+                         "crashfuzz: worker/merge modes take their "
+                         "scenario from the manifest, not --app\n");
+            return 2;
+        }
+    } else if (resume) {
+        std::fprintf(stderr,
+                     "crashfuzz: --resume requires --shards or "
+                     "--shard-index\n");
+        return 2;
+    }
+
     try {
         if (!replay_path.empty())
             return replayArtifact(replay_path);
+
+        if (shard_index) {
+            return runWorkerMode(manifest_path, *shard_index,
+                                 journal_dir, resume, throttle_ms);
+        }
+        if (merge) {
+            CampaignManifest manifest;
+            if (int rc = loadManifest(manifest_path, &manifest))
+                return rc;
+            return finishMerge(manifest, journal_dir, /*resumed=*/false,
+                               report_path, stats_json_path);
+        }
+
+        SupervisorOptions sup;
+        sup.selfExe = selfExePath(argv[0]);
+        sup.journalDir = journal_dir;
+        sup.maxRetries = max_retries;
+        sup.progressTimeoutMs = shard_timeout_ms;
+        sup.throttleMs = throttle_ms;
+
+        // Supervised resume: the manifest on disk is the scenario of
+        // record; CLI scenario flags only cross-check it.
+        if (shards != 0 && resume) {
+            if (journal_dir.empty()) {
+                std::fprintf(stderr,
+                             "crashfuzz: --resume needs --journal\n");
+                return 2;
+            }
+            if (manifest_path.empty())
+                manifest_path = journal_dir +
+                    (journal_dir.back() == '/' ? "" : "/") +
+                    "manifest.json";
+            CampaignManifest manifest;
+            if (int rc = loadManifest(manifest_path, &manifest))
+                return rc;
+            if (!app_name.empty() &&
+                    resolveAppName(app_name) != manifest.scenario.app) {
+                std::fprintf(stderr,
+                             "crashfuzz: --app %s disagrees with the "
+                             "manifest's scenario (%s)\n",
+                             app_name.c_str(),
+                             manifest.scenario.app.c_str());
+                return 2;
+            }
+            if (manifest.shards != shards) {
+                std::fprintf(stderr,
+                             "crashfuzz: manifest was planned with %u "
+                             "shards, not %u\n", manifest.shards,
+                             shards);
+                return 2;
+            }
+            sup.manifestPath = manifest_path;
+            return runSupervisedMode(manifest, sup, /*resumed=*/true,
+                                     report_path, stats_json_path);
+        }
 
         if (app_name.empty()) {
             usage();
@@ -361,6 +747,65 @@ main(int argc, char **argv)
         campaign.scenario.benchScale = bench_scale;
         campaign.scenario.seed = seed;
         campaign.paperConfig = paper_config;
+
+        if (shards != 0) {
+            CampaignManifest manifest =
+                CampaignManifest::plan(campaign, shards);
+            if (journal_dir.empty()) {
+                // Plan-only: emit the manifest for external dispatch
+                // (one worker per shard, on any machine).
+                if (manifest_path.empty()) {
+                    std::fprintf(stderr,
+                                 "crashfuzz: planning without --journal "
+                                 "requires --manifest\n");
+                    return 2;
+                }
+                std::string err;
+                if (!manifest.writeFile(manifest_path, &err)) {
+                    std::fprintf(stderr, "crashfuzz: %s\n", err.c_str());
+                    return 2;
+                }
+                std::printf("manifest: %s (%u shards over %llu crash "
+                            "points, digest %s)\n", manifest_path.c_str(),
+                            manifest.shards,
+                            static_cast<unsigned long long>(
+                                manifest.pointsToRun()),
+                            manifest.digest.c_str());
+                return 0;
+            }
+
+            std::string err;
+            if (!ensureDirectories(journal_dir, &err)) {
+                std::fprintf(stderr, "crashfuzz: %s\n", err.c_str());
+                return 2;
+            }
+            // A fresh supervised run must not silently clobber durable
+            // verdicts from an earlier one.
+            for (std::uint32_t s = 0; s < manifest.shards; ++s) {
+                const std::string p = shardJournalPath(journal_dir, s);
+                if (::access(p.c_str(), F_OK) == 0) {
+                    std::fprintf(stderr,
+                                 "crashfuzz: journal '%s' already "
+                                 "exists; pass --resume to continue or "
+                                 "remove the journal directory\n",
+                                 p.c_str());
+                    return 2;
+                }
+            }
+            if (manifest_path.empty())
+                manifest_path = journal_dir +
+                    (journal_dir.back() == '/' ? "" : "/") +
+                    "manifest.json";
+            if (!manifest.writeFile(manifest_path, &err)) {
+                std::fprintf(stderr, "crashfuzz: %s\n", err.c_str());
+                return 2;
+            }
+            std::printf("manifest: %s (digest %s)\n",
+                        manifest_path.c_str(), manifest.digest.c_str());
+            sup.manifestPath = manifest_path;
+            return runSupervisedMode(manifest, sup, /*resumed=*/false,
+                                     report_path, stats_json_path);
+        }
 
         if (!sweep_rates.empty()) {
             // One campaign per rate: the rate drives both transient

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_io.hh"
 #include "common/json.hh"
 #include "common/schema_versions.hh"
 #include "formal/litmus_corpus.hh"
@@ -83,11 +84,11 @@ usage()
 bool
 writeFile(const std::string &path, const std::string &text)
 {
-    std::ofstream os(path);
-    if (!os)
-        return false;
-    os << text;
-    return static_cast<bool>(os);
+    // writeFileAtomic appends the trailing newline itself.
+    std::string body = text;
+    if (!body.empty() && body.back() == '\n')
+        body.pop_back();
+    return writeFileAtomic(path, body);
 }
 
 struct Verdict

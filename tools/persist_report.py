@@ -24,10 +24,12 @@ report doubles as an offline checker:
  - the audit stream is monotone in commit cycle (it was appended in
    durable-image write order).
 
-Exits 0 on a clean report, 1 on malformed input or a broken invariant,
-2 on usage errors or a schema version this tool does not understand
-(a newer simulator wrote the document -- update the tool, do not guess
-at the fields). Only uses the Python standard library.
+Exits 0 on a clean report, 1 on a document with missing fields or a
+broken invariant, 2 on usage errors, an unreadable/truncated/malformed
+file (the producers write atomically, so a half-written document means
+the producer never finished), or a schema version this tool does not
+understand (a newer simulator wrote the document -- update the tool,
+do not guess at the fields). Only uses the Python standard library.
 """
 
 import json
@@ -104,9 +106,25 @@ def main(argv):
 
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return die(f"{path}: {e}")
+            text = f.read()
+    except OSError as e:
+        print(f"persist_report: {path}: {e}", file=sys.stderr)
+        return 2
+    if not text.strip():
+        print(f"persist_report: {path}: empty report (truncated write? "
+              "provenance documents are written atomically -- an empty "
+              "file means the producer never finished)", file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        # An error at EOF (or an unterminated construct running into
+        # it) is the signature of a half-copied document.
+        truncated = e.pos >= len(text.rstrip()) or \
+            "Unterminated" in e.msg
+        detail = "truncated report" if truncated else "malformed JSON"
+        print(f"persist_report: {path}: {detail}: {e}", file=sys.stderr)
+        return 2
     if not isinstance(doc, dict):
         return die(f"{path}: not a provenance document")
     version = doc.get("schema_version")

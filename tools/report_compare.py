@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Compare crashfuzz campaign reports, ignoring wall-clock keys.
+"""Compare crashfuzz campaign reports, ignoring execution-dependent keys.
 
-Campaign reports (schema_version 3) are deterministic except for the
-host wall-time keys: `wall_us_total`, the `slowest_points` array, and
-`wall_us` inside failing-point entries. This tool strips those keys
-(the Python twin of `campaignReportStripWall` in campaign.cc) and then
-deep-compares, so CI can assert byte-level determinism of everything
-the simulator computed while tolerating host timing noise.
+Campaign reports (schema_version 4) are deterministic except for how
+they were executed: the `execution` object (mode, jobs, shards, wall
+timing, slowest points) and `wall_us` inside failing-point entries.
+This tool strips those keys (the Python twin of
+`campaignReportStripWall` in campaign.cc) and then deep-compares, so CI
+can assert byte-level determinism of everything the simulator computed
+while tolerating host timing noise — including that a sharded,
+killed-and-resumed, merged campaign equals a single-process run.
+Legacy schema-3 reports (top-level wall keys) are stripped the same
+way.
 
 Usage:
     report_compare.py CURRENT GOLDEN      # compare, diff on mismatch
     report_compare.py --strip REPORT      # print the stripped report
 
 Exit codes: 0 = reports identical after stripping, 1 = mismatch,
-2 = usage error or malformed JSON.
+2 = usage error, unreadable/truncated file, or malformed JSON.
 """
 
 import argparse
@@ -21,11 +25,12 @@ import difflib
 import json
 import sys
 
-WALL_KEYS = frozenset(("wall_us", "wall_us_total", "slowest_points"))
+WALL_KEYS = frozenset(("wall_us", "wall_us_total", "slowest_points",
+                       "execution"))
 
 
 def strip_wall(node):
-    """Recursively remove wall-clock keys from a parsed report."""
+    """Recursively remove execution-dependent keys from a report."""
     if isinstance(node, dict):
         return {k: strip_wall(v) for k, v in node.items()
                 if k not in WALL_KEYS}
@@ -37,9 +42,24 @@ def strip_wall(node):
 def load(path):
     try:
         with open(path) as f:
-            return json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+            text = f.read()
+    except OSError as e:
         print(f"report_compare: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not text.strip():
+        print(f"report_compare: {path}: empty report (truncated write? "
+              "reports are written atomically — an empty file means the "
+              "producer never finished)", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as e:
+        # An error at EOF (or an unterminated construct running into
+        # it) is the signature of a half-copied document.
+        truncated = e.pos >= len(text.rstrip()) or \
+            "Unterminated" in e.msg
+        detail = "truncated report" if truncated else "malformed JSON"
+        print(f"report_compare: {path}: {detail}: {e}", file=sys.stderr)
         sys.exit(2)
 
 

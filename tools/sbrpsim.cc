@@ -22,6 +22,7 @@
 #include <string>
 
 #include "api/sbrp.hh"
+#include "common/atomic_io.hh"
 #include "common/schema_versions.hh"
 #include "common/trace.hh"
 #include "apps/app.hh"
@@ -321,12 +322,6 @@ main(int argc, char **argv)
                             gpu.cycleBreakdownTable().c_str());
             }
             if (!stats_json_path.empty()) {
-                std::FILE *f = std::fopen(stats_json_path.c_str(), "w");
-                if (!f) {
-                    std::fprintf(stderr, "cannot write '%s'\n",
-                                 stats_json_path.c_str());
-                    return 2;
-                }
                 std::string json = gpu.stats().dumpJson();
                 // Host-side throughput and the cycle-attribution
                 // breakdown, spliced in next to the schema version
@@ -349,8 +344,13 @@ main(int argc, char **argv)
                 std::string::size_type at = json.find(anchor);
                 if (at != std::string::npos)
                     json.insert(at + anchor.size(), splice);
-                std::fwrite(json.data(), 1, json.size(), f);
-                std::fclose(f);
+                if (!json.empty() && json.back() == '\n')
+                    json.pop_back();   // writeFileAtomic adds it back.
+                if (!writeFileAtomic(stats_json_path, json)) {
+                    std::fprintf(stderr, "cannot write '%s'\n",
+                                 stats_json_path.c_str());
+                    return 2;
+                }
                 std::printf("statistics JSON: %s\n",
                             stats_json_path.c_str());
             }

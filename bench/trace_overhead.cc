@@ -2,14 +2,16 @@
  * @file
  * Verifies the observability layers' "disabled costs nothing" claims.
  *
- * Runs the same Red/sbrp/near simulation several ways — tracing and
- * provenance compiled in but disabled (null pointers, the production
- * default), tracing enabled, tracing enabled+serialized, provenance
- * enabled, and provenance enabled+serialized — and reports wall time
- * per run. With both layers disabled every instrumentation site must
- * reduce to a single pointer null-check; the bare run is expected to
- * stay within 1% of the pre-instrumentation baseline, which in practice
- * means "no measurable difference between repeated bare runs".
+ * Runs the same Red/sbrp/near simulation several ways — tracing,
+ * provenance and windowed metrics compiled in but disabled (null
+ * pointers, the production default), tracing enabled, tracing
+ * enabled+serialized, provenance enabled, provenance
+ * enabled+serialized, and windowed metrics enabled (+serialized) —
+ * and reports wall time per run. With every layer disabled each
+ * instrumentation site must reduce to a single pointer null-check;
+ * the bare run is expected to stay within 1% of the
+ * pre-instrumentation baseline, which in practice means "no
+ * measurable difference between repeated bare runs".
  *
  * All variants must agree on kernel cycles: instrumentation only
  * observes, it never perturbs timing.
@@ -19,10 +21,10 @@
  *   trace_overhead --json out.json # flat metric map for bench_diff.py
  *
  * --json switches to plain chrono timing (warm-up + best-of-3, like
- * sim_throughput) and writes exact metrics (sim_cycles with provenance
- * off/on, ops begun, audit records — all deterministic) plus advisory
- * *_ms wall times. The committed baseline lives at
- * tests/golden/BENCH_trace_overhead.json.
+ * sim_throughput) and writes exact metrics (sim_cycles with
+ * provenance/metrics off/on, ops begun, audit records, windows
+ * closed — all deterministic) plus advisory *_ms wall times. The
+ * committed baseline lives at tests/golden/BENCH_trace_overhead.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -40,6 +42,7 @@
 #include "apps/reduction.hh"
 #include "common/trace.hh"
 #include "obs/provenance.hh"
+#include "obs/timeseries.hh"
 
 using namespace sbrp;
 
@@ -57,13 +60,14 @@ benchConfig()
 
 /** One full simulated run; returns kernel cycles. */
 Cycle
-runOnce(TraceSink *sink, PersistProvenance *prov = nullptr)
+runOnce(TraceSink *sink, PersistProvenance *prov = nullptr,
+        MetricsTimeseries *metrics = nullptr)
 {
     SystemConfig cfg = benchConfig();
     ReductionApp app(cfg.model, ReductionParams::bench());
     NvmDevice nvm;
     app.setupNvm(nvm);
-    GpuSystem gpu(cfg, nvm, nullptr, sink, prov);
+    GpuSystem gpu(cfg, nvm, nullptr, sink, prov, metrics);
     app.setupGpu(gpu);
     return gpu.launch(app.forward()).cycles;
 }
@@ -71,6 +75,7 @@ runOnce(TraceSink *sink, PersistProvenance *prov = nullptr)
 Cycle g_bare_cycles = 0;
 Cycle g_traced_cycles = 0;
 Cycle g_prov_cycles = 0;
+Cycle g_metrics_cycles = 0;
 
 void
 BM_Bare(benchmark::State &state)
@@ -121,11 +126,33 @@ BM_ProvenanceSerialized(benchmark::State &state)
     }
 }
 
+void
+BM_Metrics(benchmark::State &state)
+{
+    for (auto _ : state) {
+        MetricsTimeseries metrics;
+        g_metrics_cycles = runOnce(nullptr, nullptr, &metrics);
+        benchmark::DoNotOptimize(metrics.windowsClosed());
+    }
+}
+
+void
+BM_MetricsSerialized(benchmark::State &state)
+{
+    for (auto _ : state) {
+        MetricsTimeseries metrics;
+        g_metrics_cycles = runOnce(nullptr, nullptr, &metrics);
+        benchmark::DoNotOptimize(metrics.jsonl().size());
+    }
+}
+
 BENCHMARK(BM_Bare)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Traced)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TracedSerialized)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Provenance)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProvenanceSerialized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metrics)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MetricsSerialized)->Unit(benchmark::kMillisecond);
 
 /** Wall milliseconds of one call, best of `reps` after one warm-up. */
 template <typename F>
@@ -170,12 +197,33 @@ writeMetrics(const std::string &path)
         volatile std::size_t n = sink.eventCount();
         (void)n;
     });
+    Cycle metrics_cycles = 0;
+    std::uint64_t windows = 0;
+    double metrics_ms = bestOfMs([&] {
+        MetricsTimeseries metrics;
+        metrics_cycles = runOnce(nullptr, nullptr, &metrics);
+        windows = metrics.windowsClosed();
+    });
+    double metrics_ser_ms = bestOfMs([&] {
+        MetricsTimeseries metrics;
+        runOnce(nullptr, nullptr, &metrics);
+        volatile std::size_t n = metrics.jsonl().size();
+        (void)n;
+    });
 
     if (bare_cycles != prov_cycles) {
         std::fprintf(stderr,
                      "FAIL: provenance-on run took %llu cycles, bare "
                      "%llu (provenance must not perturb timing)\n",
                      static_cast<unsigned long long>(prov_cycles),
+                     static_cast<unsigned long long>(bare_cycles));
+        return 1;
+    }
+    if (bare_cycles != metrics_cycles) {
+        std::fprintf(stderr,
+                     "FAIL: metrics-on run took %llu cycles, bare "
+                     "%llu (sampling must not perturb timing)\n",
+                     static_cast<unsigned long long>(metrics_cycles),
                      static_cast<unsigned long long>(bare_cycles));
         return 1;
     }
@@ -196,6 +244,13 @@ writeMetrics(const std::string &path)
     json << ",\n  \"" << key << "/prov_serialized_ms\": " << buf;
     std::snprintf(buf, sizeof buf, "%.3f", traced_ms);
     json << ",\n  \"" << key << "/traced_ms\": " << buf;
+    json << ",\n  \"" << key << "/metrics_sim_cycles\": "
+         << metrics_cycles;
+    json << ",\n  \"" << key << "/metrics_windows\": " << windows;
+    std::snprintf(buf, sizeof buf, "%.3f", metrics_ms);
+    json << ",\n  \"" << key << "/metrics_ms\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", metrics_ser_ms);
+    json << ",\n  \"" << key << "/metrics_serialized_ms\": " << buf;
     json << "\n}\n";
 
     std::ofstream os(path);
@@ -209,6 +264,11 @@ writeMetrics(const std::string &path)
                 bare_ms, prov_ms,
                 100.0 * (prov_ms - bare_ms) / bare_ms, prov_ser_ms,
                 traced_ms);
+    std::printf("metrics-on %.3f ms (+%.1f%%), serialized %.3f ms, "
+                "%llu windows\n", metrics_ms,
+                100.0 * (metrics_ms - bare_ms) / bare_ms,
+                metrics_ser_ms,
+                static_cast<unsigned long long>(windows));
     std::printf("%llu ops, %llu commits, cycles agree at %llu\n",
                 static_cast<unsigned long long>(ops),
                 static_cast<unsigned long long>(commits),
@@ -241,7 +301,8 @@ main(int argc, char **argv)
     benchmark::Shutdown();
 
     // Observation-only check: neither layer may perturb timing.
-    for (Cycle observed : {g_traced_cycles, g_prov_cycles}) {
+    for (Cycle observed :
+         {g_traced_cycles, g_prov_cycles, g_metrics_cycles}) {
         if (g_bare_cycles != 0 && observed != 0 &&
                 g_bare_cycles != observed) {
             std::fprintf(stderr,

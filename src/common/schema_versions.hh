@@ -16,7 +16,7 @@ namespace sbrp::schema
 {
 
 /** StatsRegistry JSON dump (`--stats-json`). */
-inline constexpr std::uint32_t kStats = 2;
+inline constexpr std::uint32_t kStats = 3;
 
 /** Crash-campaign report (`crashfuzz --report`). */
 inline constexpr std::uint32_t kCampaignReport = 4;
@@ -39,6 +39,12 @@ inline constexpr std::uint32_t kMcSchedule = 1;
 /** Model-checking report (`mcheck --report` / `--stats-json`). */
 inline constexpr std::uint32_t kMcReport = 1;
 
+/** Windowed time-series metrics JSONL (`sbrpsim --metrics-json`). */
+inline constexpr std::uint32_t kMetrics = 1;
+
+/** Per-shard campaign heartbeat JSONL (sidecar next to the journal). */
+inline constexpr std::uint32_t kHeartbeat = 1;
+
 /** One-line summary for every tool's `--version` output. */
 inline std::string
 describeAll()
@@ -50,7 +56,9 @@ describeAll()
            " crash-replay=" + std::to_string(kCrashReplay) +
            " provenance=" + std::to_string(kProvenance) +
            " mc-schedule=" + std::to_string(kMcSchedule) +
-           " mc-report=" + std::to_string(kMcReport);
+           " mc-report=" + std::to_string(kMcReport) +
+           " metrics=" + std::to_string(kMetrics) +
+           " heartbeat=" + std::to_string(kHeartbeat);
 }
 
 } // namespace sbrp::schema

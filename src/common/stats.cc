@@ -189,6 +189,9 @@ StatRegistry::dumpJson() const
     std::ostringstream oss;
     // Version 2: distributions gained p95 (interpolated percentiles)
     // and `sbrpsim --stats-json` splices in a cycle_breakdown section.
+    // Version 3: the environment-dependent keys sbrpsim splices in
+    // (host_wall_ms, sim_cycles_per_sec) moved under an `execution`
+    // object, matching the campaign report v4 convention.
     oss << "{\n  \"schema_version\": " << schema::kStats;
     for (const auto *g : sortedGroups(groups_)) {
         oss << ",";

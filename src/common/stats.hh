@@ -133,6 +133,9 @@ class StatRegistry
   public:
     void add(StatGroup *group) { groups_.push_back(group); }
 
+    /** The registered groups, in registration order (non-owning). */
+    const std::vector<StatGroup *> &groups() const { return groups_; }
+
     /** Sums "<counter>" across all groups whose name starts with prefix. */
     std::uint64_t sum(const std::string &prefix,
                       const std::string &counter) const;

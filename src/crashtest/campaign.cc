@@ -307,6 +307,14 @@ campaignReportJson(const CampaignConfig &cfg, const CampaignResult &result,
             ex.set("incomplete_shards", std::move(inc));
             ex.set("resumed", JsonValue(exec->resumed));
         }
+        if (exec && exec->heartbeatMs != 0) {
+            JsonValue hb = JsonValue::object();
+            hb.set("interval_ms", JsonValue(exec->heartbeatMs));
+            hb.set("records", JsonValue(exec->heartbeatRecords));
+            hb.set("worker_restarts",
+                   JsonValue(exec->workerRestarts));
+            ex.set("heartbeat", std::move(hb));
+        }
 
         // Slowest executed crash points by host wall time (diagnosing
         // which crash points dominate campaign run time).

@@ -145,6 +145,13 @@ struct CampaignExecutionInfo
     unsigned shards = 0;                   ///< 0 = unsharded.
     std::vector<std::uint64_t> incompleteShards;
     bool resumed = false;
+    /** Heartbeat telemetry summary (svc/heartbeat.hh). All zero when
+        heartbeats were off; the report's `heartbeat` object is emitted
+        only when `heartbeatMs` is nonzero, so heartbeat-free campaigns
+        keep their exact current report bytes. */
+    std::uint64_t heartbeatMs = 0;
+    std::uint64_t heartbeatRecords = 0;
+    std::uint64_t workerRestarts = 0;
 };
 
 /**

@@ -10,17 +10,19 @@
 #include "common/trace.hh"
 #include "formal/trace.hh"
 #include "mem/address_map.hh"
+#include "obs/timeseries.hh"
 
 namespace sbrp
 {
 
 GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
                      ExecutionTrace *trace, TraceSink *sink,
-                     PersistProvenance *prov)
+                     PersistProvenance *prov, MetricsTimeseries *metrics)
     : cfg_(cfg),
       nvm_(nvm),
       trace_(trace),
       sink_(sink),
+      metrics_(metrics),
       gddrBump_(addr_map::kGddrBase)
 {
     cfg_.validate();
@@ -56,12 +58,58 @@ GpuSystem::GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
         stats_.add(&sms_.back()->l1Stats());
     }
 
-    if (sink_) {
+    if (sink_ || metrics_) {
         // WPQ occupancy approximation: the device drains at the media
         // write bandwidth, in lines per cycle.
         nvm_.setWpqDrainRate(cfg_.nvmWriteBytesPerCycle * cfg_.nvmBwScale /
                              cfg_.lineBytes);
+    }
+    if (sink_)
         nvm_.setTrace(tb_nvm);
+    if (metrics_) {
+        metrics_->bindRegistry(stats_);
+        nvm_.setClock(sched_.clockPtr());
+
+        // Boundary gauges: instantaneous machine pressure, sampled in
+        // this (deterministic) registration order at every window close.
+        metrics_->addGauge("pb_occupancy", [this] {
+            std::uint64_t total = 0;
+            for (const auto &sm : sms_)
+                total += sm->model().pbOccupancy();
+            return total;
+        });
+        metrics_->addGauge("wpq_depth",
+                           [this] { return nvm_.wpqDepth(sched_.now()); });
+        metrics_->addGauge("nvm_write_backlog", [this] {
+            return static_cast<std::uint64_t>(
+                fabric_->nvmWriteBacklog(sched_.now()));
+        });
+        metrics_->addGauge("pcie_backlog", [this] {
+            return static_cast<std::uint64_t>(
+                fabric_->pcieBacklog(sched_.now()));
+        });
+
+        // Cycle-ledger categories as cumulative series, so each window
+        // carries its own cycle-breakdown shares.
+        for (std::size_t c = 0; c < kNumCycleCats; ++c) {
+            const auto cat = static_cast<CycleCat>(c);
+            metrics_->addCumulative(
+                std::string("cycle_breakdown.") + toString(cat),
+                [this, cat] {
+                    std::uint64_t total = 0;
+                    for (const auto &sm : sms_)
+                        total += sm->ledger().cycles(cat);
+                    return total;
+                });
+        }
+        metrics_->addCumulative("cycle_breakdown.warp_active_cycles",
+                                [this] {
+                                    std::uint64_t total = 0;
+                                    for (const auto &sm : sms_)
+                                        total +=
+                                            sm->ledger().warpActiveCycles();
+                                    return total;
+                                });
     }
 }
 
@@ -74,6 +122,14 @@ GpuSystem::~GpuSystem()
         nvm_.setTrace(nullptr);
         sink_->flushAll();
         sink_->setClock(nullptr);
+    }
+    if (metrics_) {
+        // Same lifetime rule for the metrics clock: the device outlives
+        // this system across simulated crashes. The gauge/cumulative
+        // callbacks capture this system, so drop them too — the sampler
+        // itself may outlive us (export, re-attach after a power cycle).
+        nvm_.setClock(nullptr);
+        metrics_->clearCallbacks();
     }
 }
 
@@ -285,6 +341,12 @@ GpuSystem::launch(const KernelProgram &kernel,
         if (crash_at)
             next = std::min(next, start + *crash_at);
         next = std::max(next, sched_.now() + 1);
+        // Close metrics windows before advancing: no activity exists
+        // strictly between now and next, so a snapshot here is exact at
+        // every window boundary in (now, next] — activity at `next`
+        // itself belongs to the window that contains it.
+        if (metrics_)
+            metrics_->closeThrough(next);
         sched_.advanceTo(next);
 
         // Dispatch blocks round-robin onto SMs with room. Free-slot
@@ -318,6 +380,8 @@ GpuSystem::launch(const KernelProgram &kernel,
         if (crash_at && next - start >= *crash_at) {
             crashed_ = true;
             finalizeAllSms();
+            if (metrics_)
+                metrics_->finalize(sched_.now());
             if (tbSystem_) {
                 tbSystem_->spanAt(span_name, start, next, 0);
                 tbSystem_->instant("crash", 0);
@@ -351,6 +415,8 @@ GpuSystem::launch(const KernelProgram &kernel,
     }
 
     finalizeAllSms();
+    if (metrics_)
+        metrics_->finalize(sched_.now());
     if (tbSystem_) {
         tbSystem_->spanAt(span_name, start, start + exec_end, 0);
         tbSystem_->spanAt("drain", start + exec_end, sched_.now(), 1);

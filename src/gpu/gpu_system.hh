@@ -40,6 +40,7 @@ namespace sbrp
 
 class ExecutionTrace;
 class TraceSink;
+class MetricsTimeseries;
 
 class GpuSystem : private SmObserver
 {
@@ -62,11 +63,19 @@ class GpuSystem : private SmObserver
      *               null-check discipline as the tracer. Recording is
      *               pure observation, so runs are cycle-identical with
      *               provenance on or off.
+     * @param metrics Optional windowed time-series sampler; same
+     *               null-check discipline. The launch loop closes its
+     *               windows at exact cycle boundaries and finalizes it
+     *               on both normal and crash exits; gauge callbacks
+     *               (PB occupancy, WPQ depth, channel backlogs) are
+     *               registered here. Pure observation: runs are
+     *               cycle-identical with metrics on or off.
      */
     GpuSystem(const SystemConfig &cfg, NvmDevice &nvm,
               ExecutionTrace *trace = nullptr,
               TraceSink *sink = nullptr,
-              PersistProvenance *prov = nullptr);
+              PersistProvenance *prov = nullptr,
+              MetricsTimeseries *metrics = nullptr);
 
     ~GpuSystem() override;
 
@@ -153,6 +162,7 @@ class GpuSystem : private SmObserver
     NvmDevice &nvm_;
     ExecutionTrace *trace_;
     TraceSink *sink_;
+    MetricsTimeseries *metrics_;
     TraceBuffer *tbSystem_ = nullptr;
 
     FunctionalMemory mem_;

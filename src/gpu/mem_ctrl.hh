@@ -201,6 +201,27 @@ class MemoryFabric
     /** The seeded fault source; null when cfg.faults is disabled. */
     FaultInjector *injector() { return injector_.get(); }
 
+    /**
+     * Summed backlog (cycles until free) across the NVM write channels
+     * at `now` — the instantaneous persist-path queueing the metrics
+     * time-series samples at window boundaries. Non-mutating.
+     */
+    Cycle
+    nvmWriteBacklog(Cycle now) const
+    {
+        Cycle total = 0;
+        for (const Channel &c : nvmWrite_)
+            total += c.backlog(now);
+        return total;
+    }
+
+    /** Summed backlog across both PCIe directions at `now`. */
+    Cycle
+    pcieBacklog(Cycle now) const
+    {
+        return pcieToHost_.backlog(now) + pcieFromHost_.backlog(now);
+    }
+
   private:
     /** One persist in flight through the resilient retry path. */
     struct PersistTxn

@@ -73,6 +73,24 @@ NvmDevice::setTrace(TraceBuffer *tb)
 }
 
 void
+NvmDevice::setClock(const Cycle *clock)
+{
+    clock_ = clock;
+    wpqLines_ = 0.0;
+    wpqLast_ = 0;
+}
+
+std::uint64_t
+NvmDevice::wpqDepth(Cycle now) const
+{
+    double lines = wpqLines_;
+    if (now > wpqLast_)
+        lines = std::max(
+            0.0, lines - double(now - wpqLast_) * wpqDrainPerCycle_);
+    return static_cast<std::uint64_t>(lines + 0.5);
+}
+
+void
 NvmDevice::commitLine(Addr line_addr, const std::uint8_t *data,
                       std::uint32_t len)
 {
@@ -81,8 +99,8 @@ NvmDevice::commitLine(Addr line_addr, const std::uint8_t *data,
     durable_.writeBlock(line_addr, data, len);
     ++commit_count_;
 
-    if (tb_) {
-        Cycle now = tb_->now();
+    if (tb_ || clock_) {
+        Cycle now = tb_ ? tb_->now() : *clock_;
         if (now > wpqLast_) {
             wpqLines_ = std::max(
                 0.0, wpqLines_ - double(now - wpqLast_) *
@@ -90,8 +108,9 @@ NvmDevice::commitLine(Addr line_addr, const std::uint8_t *data,
         }
         wpqLast_ = now;
         wpqLines_ += 1.0;
-        tb_->counter("wpq_lines",
-                     static_cast<std::uint64_t>(wpqLines_ + 0.5));
+        if (tb_)
+            tb_->counter("wpq_lines",
+                         static_cast<std::uint64_t>(wpqLines_ + 0.5));
     }
 }
 

@@ -115,9 +115,24 @@ class NvmDevice
      */
     void setTrace(TraceBuffer *tb);
 
-    /** WPQ drain rate in lines/cycle (occupancy model; trace only). */
+    /** WPQ drain rate in lines/cycle (occupancy model; observers only). */
     void setWpqDrainRate(double lines_per_cycle)
     { wpqDrainPerCycle_ = lines_per_cycle; }
+
+    /**
+     * Attaches/detaches the simulation clock so the WPQ occupancy model
+     * runs without a trace sink (metrics gauges). Same lifetime rule as
+     * setTrace: the owning GpuSystem MUST detach (pass null) before it
+     * is destroyed — the device outlives it across simulated crashes.
+     */
+    void setClock(const Cycle *clock);
+
+    /**
+     * Instantaneous WPQ depth (lines) at `now`, non-mutating: drains
+     * the leaky bucket forward from the last commit without touching
+     * its state. 0 when no occupancy observer is attached.
+     */
+    std::uint64_t wpqDepth(Cycle now) const;
 
   private:
     FunctionalMemory durable_;
@@ -128,7 +143,10 @@ class NvmDevice
 
     // Leaky-bucket model of the ADR write-pending queue, sampled on each
     // commit: commits add a line, the media drains wpqDrainPerCycle_.
+    // Maintained whenever any observer (trace buffer or metrics clock)
+    // is attached; the counter track is emitted only when tracing.
     TraceBuffer *tb_ = nullptr;
+    const Cycle *clock_ = nullptr;
     double wpqDrainPerCycle_ = 0.25;
     double wpqLines_ = 0.0;
     Cycle wpqLast_ = 0;

@@ -1,0 +1,357 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/atomic_io.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/schema_versions.hh"
+
+namespace sbrp
+{
+
+std::uint64_t
+MetricsDistDelta::percentile(double p) const
+{
+    if (count == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(p * count + 0.5);
+    target = std::clamp<std::uint64_t>(target, 1, count);
+    std::uint64_t seen = 0;
+    for (const auto &[b, n] : buckets) {
+        if (seen + n < target) {
+            seen += n;
+            continue;
+        }
+        // Same rank interpolation as Distribution::percentile, but
+        // clamped to the log2 bucket bounds: the window's true extrema
+        // are not recoverable from cumulative snapshots.
+        if (b == 0)
+            return 0;
+        std::uint64_t lo = 1ull << (b - 1);
+        std::uint64_t hi = b >= 64 ? ~0ull : (1ull << b) - 1;
+        std::uint64_t k = target - seen; // 1-based rank in bucket.
+        double frac = (static_cast<double>(k) - 0.5) /
+                      static_cast<double>(n);
+        return lo + static_cast<std::uint64_t>(
+                        static_cast<double>(hi - lo) * frac + 0.5);
+    }
+    return 0;
+}
+
+MetricsTimeseries::MetricsTimeseries(Cycle window, std::size_t capacity)
+    : window_(window == 0 ? kDefaultWindow : window),
+      capacity_(std::max<std::size_t>(1, capacity)),
+      nextBoundary_(window_)
+{
+}
+
+MetricsTimeseries::MetricsTimeseries(const StatRegistry &registry,
+                                     Cycle window, std::size_t capacity)
+    : MetricsTimeseries(window, capacity)
+{
+    registry_ = &registry;
+}
+
+void
+MetricsTimeseries::setMeta(const std::string &key, const std::string &value)
+{
+    for (auto &kv : meta_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    meta_.emplace_back(key, value);
+}
+
+void
+MetricsTimeseries::addGauge(std::string name,
+                            std::function<std::uint64_t()> fn)
+{
+    gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+MetricsTimeseries::addCumulative(std::string name,
+                                 std::function<std::uint64_t()> fn)
+{
+    cumulatives_.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+MetricsTimeseries::sampleInto(MetricsWindow &w)
+{
+    // Accumulate the current registry state by fully-qualified name
+    // first: robust against two groups sharing a name (their counters
+    // pool, exactly as a reader of dumpJson would pool them).
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, DistSnapshot> dists;
+    const std::vector<StatGroup *> empty;
+    for (const StatGroup *g : registry_ ? registry_->groups() : empty) {
+        for (const auto &kv : g->all())
+            counters[g->name() + "." + kv.first] += kv.second.value();
+        for (const auto &kv : g->allDists()) {
+            const Distribution &d = kv.second;
+            if (d.count() == 0)
+                continue;
+            DistSnapshot &s = dists[g->name() + "." + kv.first];
+            s.count += d.count();
+            s.sum += d.sum();
+            for (std::uint32_t b = 0; b < Distribution::kBuckets; ++b)
+                s.buckets[b] += d.bucketCount(b);
+        }
+    }
+    for (const auto &kv : cumulatives_)
+        counters[kv.first] += kv.second();
+
+    for (const auto &[name, cur] : counters) {
+        const std::uint64_t prev = prevCounters_[name];
+        const auto delta =
+            static_cast<std::int64_t>(cur - prev); // wrap-safe
+        if (delta != 0)
+            w.counters[name] = delta;
+        prevCounters_[name] = cur;
+    }
+    for (const auto &[name, cur] : dists) {
+        DistSnapshot &prev = prevDists_[name];
+        if (cur.count != prev.count) {
+            MetricsDistDelta d;
+            d.count = cur.count - prev.count;
+            d.sum = cur.sum - prev.sum;
+            for (std::uint32_t b = 0; b < Distribution::kBuckets; ++b) {
+                if (cur.buckets[b] != prev.buckets[b])
+                    d.buckets.emplace_back(b, cur.buckets[b] -
+                                                  prev.buckets[b]);
+            }
+            w.dists.emplace(name, std::move(d));
+        }
+        prev = cur;
+    }
+    for (const auto &kv : gauges_)
+        w.gauges[kv.first] = kv.second();
+}
+
+void
+MetricsTimeseries::foldDropped(const MetricsWindow &w)
+{
+    if (dropped_ == 0) {
+        droppedBase_.begin = w.begin;
+        droppedBase_.index = w.index;
+    }
+    droppedBase_.end = w.end;
+    ++dropped_;
+    for (const auto &kv : w.counters)
+        droppedBase_.counters[kv.first] += kv.second;
+    for (const auto &kv : w.dists) {
+        MetricsDistDelta &base = droppedBase_.dists[kv.first];
+        base.count += kv.second.count;
+        base.sum += kv.second.sum;
+        // Sparse merge: both sides are ascending by bucket index.
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+        auto a = base.buckets.begin();
+        auto b = kv.second.buckets.begin();
+        while (a != base.buckets.end() || b != kv.second.buckets.end()) {
+            if (b == kv.second.buckets.end() ||
+                (a != base.buckets.end() && a->first < b->first)) {
+                merged.push_back(*a++);
+            } else if (a == base.buckets.end() || b->first < a->first) {
+                merged.push_back(*b++);
+            } else {
+                merged.emplace_back(a->first, a->second + b->second);
+                ++a;
+                ++b;
+            }
+        }
+        base.buckets = std::move(merged);
+    }
+}
+
+void
+MetricsTimeseries::closeOne()
+{
+    MetricsWindow w;
+    w.index = closed_;
+    // A mid-window trailing partial (finalize between boundaries) may
+    // already have sampled past this window's natural start; clamp so
+    // ranges never overlap across a finalize/re-launch pair.
+    w.begin = nextBoundary_ - window_;
+    if (w.begin < lastSampled_)
+        w.begin = lastSampled_;
+    w.end = nextBoundary_;
+    sampleInto(w);
+    if (ring_.size() == capacity_) {
+        foldDropped(ring_.front());
+        ring_.pop_front();
+    }
+    lastSampled_ = w.end;
+    ring_.push_back(std::move(w));
+    ++closed_;
+    nextBoundary_ += window_;
+}
+
+void
+MetricsTimeseries::finalize(Cycle end)
+{
+    while (nextBoundary_ <= end)
+        closeOne();
+    // Trailing partial window, which also absorbs any lazily-settled
+    // end-of-run accounting (finalizeAllSms). Starts at the last
+    // sampled cycle, so repeated finalization (or a later launch on
+    // the same system) never overlaps ranges and a finalize with
+    // nothing new to report emits nothing.
+    MetricsWindow w;
+    w.index = closed_;
+    w.begin = lastSampled_;
+    w.end = end;
+    sampleInto(w);
+    if (w.end > w.begin || !w.counters.empty() || !w.dists.empty()) {
+        if (ring_.size() == capacity_) {
+            foldDropped(ring_.front());
+            ring_.pop_front();
+        }
+        lastSampled_ = end;
+        ring_.push_back(std::move(w));
+        ++closed_;
+    }
+}
+
+namespace
+{
+
+void
+emitCounters(std::ostringstream &oss,
+             const std::map<std::string, std::int64_t> &counters)
+{
+    oss << "\"counters\":{";
+    bool first = true;
+    for (const auto &kv : counters) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << jsonQuote(kv.first) << ":" << kv.second;
+    }
+    oss << "}";
+}
+
+void
+emitDistDelta(std::ostringstream &oss, const MetricsDistDelta &d)
+{
+    oss << "{\"count\":" << d.count << ",\"sum\":" << d.sum
+        << ",\"p50\":" << d.percentile(0.50)
+        << ",\"p99\":" << d.percentile(0.99) << ",\"buckets\":{";
+    bool first = true;
+    for (const auto &[b, n] : d.buckets) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "\"" << b << "\":" << n;
+    }
+    oss << "}}";
+}
+
+void
+emitDists(std::ostringstream &oss,
+          const std::map<std::string, MetricsDistDelta> &dists)
+{
+    oss << "\"dists\":{";
+    bool first = true;
+    for (const auto &kv : dists) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << jsonQuote(kv.first) << ":";
+        emitDistDelta(oss, kv.second);
+    }
+    oss << "}";
+}
+
+} // namespace
+
+std::string
+MetricsTimeseries::jsonl() const
+{
+    std::ostringstream oss;
+    oss << "{\"kind\":\"metrics_header\",\"schema_version\":"
+        << schema::kMetrics << ",\"window\":" << window_;
+    for (const auto &kv : meta_)
+        oss << "," << jsonQuote(kv.first) << ":" << jsonQuote(kv.second);
+    oss << "}\n";
+
+    if (dropped_ != 0) {
+        oss << "{\"kind\":\"dropped\",\"windows\":" << dropped_
+            << ",\"begin\":" << droppedBase_.begin
+            << ",\"end\":" << droppedBase_.end << ",";
+        emitCounters(oss, droppedBase_.counters);
+        oss << ",";
+        emitDists(oss, droppedBase_.dists);
+        oss << "}\n";
+    }
+
+    for (const MetricsWindow &w : ring_) {
+        oss << "{\"kind\":\"window\",\"index\":" << w.index
+            << ",\"begin\":" << w.begin << ",\"end\":" << w.end << ",";
+        emitCounters(oss, w.counters);
+        oss << ",";
+        emitDists(oss, w.dists);
+        oss << ",\"gauges\":{";
+        bool first = true;
+        for (const auto &kv : w.gauges) {
+            if (!first)
+                oss << ",";
+            first = false;
+            oss << jsonQuote(kv.first) << ":" << kv.second;
+        }
+        oss << "}}\n";
+    }
+
+    // Cumulative totals: the telescoping anchor. prev* snapshots hold
+    // the final registry state once finalize() ran.
+    oss << "{\"kind\":\"totals\",\"end_cycle\":" << lastSampled_
+        << ",\"windows\":" << closed_ << ",\"windows_dropped\":"
+        << dropped_ << ",\"counters\":{";
+    bool first = true;
+    for (const auto &kv : prevCounters_) {
+        if (kv.second == 0)
+            continue;
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << jsonQuote(kv.first) << ":" << kv.second;
+    }
+    oss << "},\"dists\":{";
+    first = true;
+    for (const auto &kv : prevDists_) {
+        if (kv.second.count == 0)
+            continue;
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << jsonQuote(kv.first) << ":{\"count\":" << kv.second.count
+            << ",\"sum\":" << kv.second.sum << ",\"buckets\":{";
+        bool bFirst = true;
+        for (std::uint32_t b = 0; b < Distribution::kBuckets; ++b) {
+            if (kv.second.buckets[b] == 0)
+                continue;
+            if (!bFirst)
+                oss << ",";
+            bFirst = false;
+            oss << "\"" << b << "\":" << kv.second.buckets[b];
+        }
+        oss << "}}";
+    }
+    oss << "}}";
+    return oss.str();
+}
+
+void
+MetricsTimeseries::writeJsonlFile(const std::string &path) const
+{
+    std::string err;
+    if (!writeFileAtomic(path, jsonl(), &err))
+        sbrp_fatal("metrics output file: %s", err);
+}
+
+} // namespace sbrp

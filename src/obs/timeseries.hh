@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Windowed time-series telemetry: how the run behaved over time.
+ *
+ * Every observability surface before this one (stats, the cycle
+ * ledger, persist-op provenance) reports end-of-run aggregates only —
+ * a run that degrades halfway through looks identical to one that is
+ * uniformly mediocre. MetricsTimeseries closes that gap: every N sim
+ * cycles (the window, default 4096) it snapshots the whole
+ * StatRegistry and emits the per-window *delta* of every counter and
+ * Distribution, plus instantaneous gauges (PB occupancy, WPQ depth,
+ * channel backlogs) sampled at the window boundary.
+ *
+ * Window semantics: window k covers cycles [k*N, (k+1)*N). The
+ * quiescence-aware launch loop closes windows immediately before
+ * advancing the clock: since no activity exists strictly between the
+ * current cycle and the next scheduled activity, a snapshot taken
+ * before advanceTo(next) is exact at every boundary in (now, next] —
+ * windows are cycle-exact even when the clock jumps over several of
+ * them (each skipped window is emitted, empty). The trailing partial
+ * window is closed by finalize() after end-of-run settling, so the
+ * deltas telescope: summed over all windows they equal the end-of-run
+ * aggregates exactly, counter by counter and histogram bucket by
+ * bucket (test-enforced, like the provenance waterfall invariant).
+ *
+ * Distribution deltas are bucket-wise snapshot subtractions: count,
+ * sum and the sparse per-bucket deltas are exact and mergeable;
+ * per-window p50/p99 are rank-interpolated from the delta buckets the
+ * same way Distribution::percentile interpolates (per-window min/max
+ * are not recoverable from snapshots and are not reported).
+ *
+ * Overhead discipline mirrors trace.hh and provenance.hh: components
+ * hold a null MetricsTimeseries* when metrics are off, the launch
+ * loop's hook is one null-check, and sampling never perturbs timing —
+ * it only reads state the simulator already computed — so seeded runs
+ * are cycle-identical with metrics on or off (bench/trace_overhead
+ * enforces cycle equality).
+ *
+ * Windows land in a bounded ring. When the ring overflows, the oldest
+ * window's deltas are folded into a cumulative `dropped` base record
+ * instead of being discarded, so the telescoping invariant survives
+ * arbitrarily long runs: dropped + retained windows == totals.
+ *
+ * Export is JSONL (schema_versions.hh kMetrics), one self-describing
+ * record per line: a header, the `dropped` base (when any), every
+ * retained window, and a final cumulative `totals` record the offline
+ * analyzer (tools/timeseries_report.py) checks the telescoping
+ * against. Written via atomic_io, so readers never see a torn file.
+ */
+
+#ifndef SBRP_OBS_TIMESERIES_HH
+#define SBRP_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sbrp
+{
+
+/** Exact per-window Distribution delta (snapshot subtraction). */
+struct MetricsDistDelta
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /** Sparse (bucket index, sample-count delta), ascending index. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+    /**
+     * Rank-interpolated p-quantile over the delta buckets, mirroring
+     * Distribution::percentile but clamped to the log2 bucket bounds
+     * (per-window extrema are not recoverable from snapshots).
+     */
+    std::uint64_t percentile(double p) const;
+};
+
+/** One closed window: deltas over [begin, end) plus boundary gauges. */
+struct MetricsWindow
+{
+    std::uint64_t index = 0;
+    Cycle begin = 0;
+    Cycle end = 0;
+    /** Counter deltas, only non-zero entries. Signed: a counter set
+        backwards mid-run still telescopes exactly. */
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, MetricsDistDelta> dists;
+    /** Instantaneous values sampled at the window's closing boundary. */
+    std::map<std::string, std::uint64_t> gauges;
+};
+
+class MetricsTimeseries
+{
+  public:
+    static constexpr Cycle kDefaultWindow = 4096;
+
+    /**
+     * An unbound sampler: the owning GpuSystem binds its own registry
+     * (bindRegistry) when the sampler is attached, which is what lets
+     * the CLI construct the sampler before the system that owns the
+     * registry exists. `capacity` bounds the retained-window ring.
+     */
+    explicit MetricsTimeseries(Cycle window = kDefaultWindow,
+                               std::size_t capacity = 8192);
+
+    /**
+     * Samples `registry` every `window` cycles (unit tests). The
+     * registry must outlive this object; groups may keep registering
+     * stats lazily between windows (new names simply start delta-ing
+     * from zero).
+     */
+    explicit MetricsTimeseries(const StatRegistry &registry,
+                               Cycle window = kDefaultWindow,
+                               std::size_t capacity = 8192);
+
+    /**
+     * (Re)binds the sampled registry. The attaching GpuSystem calls
+     * this from its constructor, so a sampler reused across a
+     * crash/power-cycle pair follows the replacement system's registry
+     * and its windows keep telescoping across the power cycle.
+     */
+    void bindRegistry(const StatRegistry &registry)
+    {
+        registry_ = &registry;
+    }
+
+    /**
+     * Drops every registered gauge and cumulative callback. The
+     * attaching GpuSystem calls this from its destructor: the
+     * callbacks capture that system, so clearing them is what makes
+     * the sampler safe to keep (export, re-attach) after the system
+     * is gone.
+     */
+    void
+    clearCallbacks()
+    {
+        gauges_.clear();
+        cumulatives_.clear();
+    }
+
+    MetricsTimeseries(const MetricsTimeseries &) = delete;
+    MetricsTimeseries &operator=(const MetricsTimeseries &) = delete;
+
+    /** Free-form header metadata (app, model, design — set by the CLI). */
+    void setMeta(const std::string &key, const std::string &value);
+
+    /**
+     * Registers an instantaneous gauge, sampled at every window close
+     * in registration order (which must therefore be deterministic).
+     */
+    void addGauge(std::string name, std::function<std::uint64_t()> fn);
+
+    /**
+     * Registers a cumulative series (e.g. a cycle-ledger category that
+     * lives outside the registry): the callback returns a running
+     * total, and the per-window delta is emitted under `name` next to
+     * the registry counters.
+     */
+    void addCumulative(std::string name,
+                       std::function<std::uint64_t()> fn);
+
+    Cycle window() const { return window_; }
+
+    /** First boundary not yet closed (windows are closed through it). */
+    Cycle nextBoundary() const { return nextBoundary_; }
+
+    /**
+     * Closes every window whose boundary is <= `next`, sampling the
+     * registry once per boundary. The launch loop calls this right
+     * before advancing the clock to `next`; see the header comment for
+     * why that point is exact. One branch when no boundary is due.
+     */
+    void
+    closeThrough(Cycle next)
+    {
+        while (next >= nextBoundary_)
+            closeOne();
+    }
+
+    /**
+     * Closes the trailing partial window at `end` (no-op when the run
+     * ended exactly on a boundary and nothing moved since). Call after
+     * end-of-run stat settling — on crash exits too — so the deltas
+     * telescope to the published aggregates. Idempotent, and re-arms
+     * naturally: a later launch on the same system keeps appending
+     * windows (the trailing window's `begin` is the last sampled
+     * cycle, so ranges never overlap).
+     */
+    void finalize(Cycle end);
+
+    // --- Introspection (tests) ---
+
+    const std::deque<MetricsWindow> &windows() const { return ring_; }
+    std::uint64_t windowsClosed() const { return closed_; }
+    std::uint64_t windowsDropped() const { return dropped_; }
+    /** Folded deltas of ring-evicted windows (empty when none). */
+    const MetricsWindow &droppedBase() const { return droppedBase_; }
+
+    // --- Export ---
+
+    /**
+     * The whole series as JSONL (schema kMetrics): header, optional
+     * dropped base, retained windows, cumulative totals. Deterministic
+     * for seeded runs: byte-identical output for identical histories.
+     */
+    std::string jsonl() const;
+
+    /** jsonl() to a file via atomic_io; throws FatalError on failure. */
+    void writeJsonlFile(const std::string &path) const;
+
+  private:
+    struct DistSnapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::array<std::uint64_t, Distribution::kBuckets> buckets{};
+    };
+
+    /** Closes the window ending at nextBoundary_ and advances it. */
+    void closeOne();
+
+    /** Delta-samples the registry + cumulatives into `w`. */
+    void sampleInto(MetricsWindow &w);
+
+    /** Folds `w`'s deltas into the dropped base (ring eviction). */
+    void foldDropped(const MetricsWindow &w);
+
+    const StatRegistry *registry_ = nullptr;
+    Cycle window_;
+    std::size_t capacity_;
+    Cycle nextBoundary_;
+    std::uint64_t closed_ = 0;
+    std::uint64_t dropped_ = 0;
+    Cycle lastSampled_ = 0;
+
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<std::pair<std::string, std::function<std::uint64_t()>>>
+        gauges_;
+    std::vector<std::pair<std::string, std::function<std::uint64_t()>>>
+        cumulatives_;
+
+    std::map<std::string, std::uint64_t> prevCounters_;
+    std::map<std::string, DistSnapshot> prevDists_;
+
+    std::deque<MetricsWindow> ring_;
+    MetricsWindow droppedBase_;
+};
+
+} // namespace sbrp
+
+#endif // SBRP_OBS_TIMESERIES_HH

@@ -207,6 +207,12 @@ class PersistencyModel
 
     std::uint32_t actr() const { return actr_; }
 
+    /**
+     * Instantaneous persist-buffer occupancy (live entries), sampled by
+     * the metrics time-series gauges. Models without a PB report 0.
+     */
+    virtual std::uint32_t pbOccupancy() const { return 0; }
+
   protected:
     /**
      * Flushes one dirty PM line: invalidates it in L1, snapshots and

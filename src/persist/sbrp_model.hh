@@ -67,6 +67,8 @@ class SbrpModel : public PersistencyModel
     const char *stallReason(std::uint32_t slot) const override
     { return stallReason_[slot]; }
 
+    std::uint32_t pbOccupancy() const override { return pb_.size(); }
+
     // --- Introspection (tests) ---
     const PersistBuffer &pb() const { return pb_; }
     WarpMask odm() const { return odm_; }

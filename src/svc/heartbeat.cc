@@ -1,0 +1,200 @@
+#include "svc/heartbeat.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/schema_versions.hh"
+
+namespace sbrp
+{
+
+namespace
+{
+
+bool
+heartbeatFromJson(const JsonValue &v, HeartbeatRecord *out)
+{
+    if (!v.isObject())
+        return false;
+    const JsonValue *f = v.find("kind");
+    if (!f || !f->isString() || f->asString() != "heartbeat")
+        return false;
+    f = v.find("schema_version");
+    if (!f || !f->isNumber() || f->asU64() != schema::kHeartbeat)
+        return false;
+    HeartbeatRecord r;
+    struct U64Field
+    {
+        const char *key;
+        std::uint64_t *dst;
+    };
+    std::uint64_t shard = 0;
+    for (U64Field uf : {U64Field{"shard", &shard},
+                        U64Field{"done", &r.done},
+                        U64Field{"total", &r.total},
+                        U64Field{"executed", &r.executed},
+                        U64Field{"skipped", &r.skipped},
+                        U64Field{"failures", &r.failures},
+                        U64Field{"persist_faults", &r.persistFaults},
+                        U64Field{"elapsed_ms", &r.elapsedMs},
+                        U64Field{"eta_ms", &r.etaMs},
+                        U64Field{"ts_ms", &r.tsMs}}) {
+        f = v.find(uf.key);
+        if (!f || !f->isNumber())
+            return false;
+        *uf.dst = f->asU64();
+    }
+    r.shard = static_cast<std::uint32_t>(shard);
+    f = v.find("scenarios_per_sec");
+    if (!f || !f->isNumber())
+        return false;
+    r.scenariosPerSec = f->asNumber();
+    f = v.find("final");
+    if (!f || !f->isBool())
+        return false;
+    r.final = f->asBool();
+    *out = r;
+    return true;
+}
+
+/** Whole-file read; empty string for missing/unreadable streams. */
+std::string
+slurp(const std::string &path)
+{
+    std::string text;
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return text;
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) != 0) {
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        text.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return text;
+}
+
+/** Calls `fn` on every parseable heartbeat line; skips the rest. */
+template <typename Fn>
+void
+forEachHeartbeat(const std::string &path, Fn fn)
+{
+    const std::string text = slurp(path);
+    std::size_t at = 0;
+    while (at < text.size()) {
+        std::size_t nl = text.find('\n', at);
+        const std::size_t end =
+            nl == std::string::npos ? text.size() : nl;
+        const std::string line = text.substr(at, end - at);
+        at = end + 1;
+        if (line.empty())
+            continue;
+        std::string err;
+        JsonValue v = JsonValue::parse(line, &err);
+        HeartbeatRecord r;
+        if (!v.isNull() && heartbeatFromJson(v, &r))
+            fn(r);
+    }
+}
+
+} // namespace
+
+std::string
+heartbeatRecordJson(const HeartbeatRecord &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("kind", JsonValue(std::string("heartbeat")));
+    o.set("schema_version",
+          JsonValue(std::uint64_t{schema::kHeartbeat}));
+    o.set("shard", JsonValue(std::uint64_t{r.shard}));
+    o.set("done", JsonValue(r.done));
+    o.set("total", JsonValue(r.total));
+    o.set("executed", JsonValue(r.executed));
+    o.set("skipped", JsonValue(r.skipped));
+    o.set("failures", JsonValue(r.failures));
+    o.set("persist_faults", JsonValue(r.persistFaults));
+    o.set("scenarios_per_sec", JsonValue(r.scenariosPerSec));
+    o.set("elapsed_ms", JsonValue(r.elapsedMs));
+    o.set("eta_ms", JsonValue(r.etaMs));
+    o.set("ts_ms", JsonValue(r.tsMs));
+    o.set("final", JsonValue(r.final));
+    return o.dump(0);
+}
+
+HeartbeatWriter::~HeartbeatWriter()
+{
+    close();
+}
+
+void
+HeartbeatWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+HeartbeatWriter::open(const std::string &path)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    return fd_ >= 0;
+}
+
+void
+HeartbeatWriter::emit(const HeartbeatRecord &r)
+{
+    if (fd_ < 0)
+        return;
+    const std::string line = heartbeatRecordJson(r) + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;   // Advisory: losing telemetry never fails a shard.
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+shardHeartbeatPath(const std::string &dir, std::uint32_t shard)
+{
+    std::string d = dir;
+    if (!d.empty() && d.back() != '/')
+        d += '/';
+    return d + "shard-" + std::to_string(shard) + ".heartbeat.jsonl";
+}
+
+bool
+readLastHeartbeat(const std::string &path, HeartbeatRecord *out)
+{
+    bool any = false;
+    forEachHeartbeat(path, [&](const HeartbeatRecord &r) {
+        *out = r;
+        any = true;
+    });
+    return any;
+}
+
+std::uint64_t
+countHeartbeatRecords(const std::string &path)
+{
+    std::uint64_t n = 0;
+    forEachHeartbeat(path, [&](const HeartbeatRecord &) { ++n; });
+    return n;
+}
+
+} // namespace sbrp

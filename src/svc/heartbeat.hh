@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-shard campaign heartbeats: the live-progress sidecar next to each
+ * verdict journal.
+ *
+ * The journal (journal.hh) answers "which verdicts are durable"; it
+ * deliberately says nothing about *rate* — a supervisor or an operator
+ * watching a long campaign cannot tell a slow shard from a wedged one
+ * without wall-clock context. Each worker therefore appends, on a
+ * wall-clock cadence, one JSON heartbeat line to
+ * `<dir>/shard-<i>.heartbeat.jsonl`: points done/total, executed vs
+ * resumed-and-skipped, failing verdicts and persist faults seen so
+ * far, the scenarios/sec rate, elapsed time and an ETA.
+ *
+ * Heartbeats are *advisory telemetry*, the journal's opposite in every
+ * durability decision:
+ *  - appended without fsync — a heartbeat is worthless once stale, so
+ *    it never pays the journal's durability tax;
+ *  - never consulted by resume — the journal alone decides what re-runs;
+ *  - torn-tolerant by construction: the stream is opened in append
+ *    mode so worker restarts extend it (the restart itself is visible
+ *    as a non-monotone `done` step), and readers skip any line that
+ *    does not parse instead of refusing the file;
+ *  - emit failures are ignored — losing telemetry must never fail a
+ *    shard.
+ *
+ * Everything wall-clock-derived in a heartbeat is nondeterministic, so
+ * the campaign report only ever carries heartbeat *summaries* inside
+ * its `execution` object (campaign.hh), which comparators strip —
+ * merged-report byte-identity is unaffected.
+ */
+
+#ifndef SBRP_SVC_HEARTBEAT_HH
+#define SBRP_SVC_HEARTBEAT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sbrp
+{
+
+/** One heartbeat line (schema_versions.hh kHeartbeat). */
+struct HeartbeatRecord
+{
+    std::uint32_t shard = 0;
+    std::uint64_t done = 0;       ///< Verdicts durable: skipped+executed.
+    std::uint64_t total = 0;      ///< Crash points the shard owns.
+    std::uint64_t executed = 0;   ///< Run by this worker process.
+    std::uint64_t skipped = 0;    ///< Already journaled at startup.
+    std::uint64_t failures = 0;   ///< Failing verdicts seen this run.
+    std::uint64_t persistFaults = 0;   ///< Summed over this run.
+    double scenariosPerSec = 0.0;
+    std::uint64_t elapsedMs = 0;  ///< Since this worker process started.
+    std::uint64_t etaMs = 0;      ///< Remaining work at the current rate.
+    std::uint64_t tsMs = 0;       ///< Unix wall clock, milliseconds.
+    bool final = false;           ///< Last record of a clean worker exit.
+};
+
+/** Record codec: one compact JSON object (one line, no newline). */
+std::string heartbeatRecordJson(const HeartbeatRecord &r);
+
+/**
+ * The append side. Open failures leave the writer closed and emit() a
+ * no-op — heartbeats degrade to silence, never to a shard failure.
+ */
+class HeartbeatWriter
+{
+  public:
+    HeartbeatWriter() = default;
+    ~HeartbeatWriter();
+
+    HeartbeatWriter(const HeartbeatWriter &) = delete;
+    HeartbeatWriter &operator=(const HeartbeatWriter &) = delete;
+
+    /** Opens (creating, appending) the stream. Returns isOpen(). */
+    bool open(const std::string &path);
+
+    /** Appends one record (write, no fsync). Failures are ignored. */
+    void emit(const HeartbeatRecord &r);
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Canonical sidecar path: `<dir>/shard-<i>.heartbeat.jsonl`. */
+std::string shardHeartbeatPath(const std::string &dir,
+                               std::uint32_t shard);
+
+/**
+ * Reads the stream's most recent parseable heartbeat into `*out`.
+ * Torn, garbled or missing lines are skipped (see the file comment);
+ * returns false when no record could be read at all.
+ */
+bool readLastHeartbeat(const std::string &path, HeartbeatRecord *out);
+
+/** Parseable heartbeat lines in the stream (0 for a missing file). */
+std::uint64_t countHeartbeatRecords(const std::string &path);
+
+} // namespace sbrp
+
+#endif // SBRP_SVC_HEARTBEAT_HH

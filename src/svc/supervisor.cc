@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -13,6 +14,7 @@
 #include <unistd.h>
 
 #include "common/log.hh"
+#include "svc/heartbeat.hh"
 #include "svc/journal.hh"
 #include "svc/manifest.hh"
 
@@ -85,6 +87,10 @@ spawnWorker(const SupervisorOptions &opts, std::uint32_t shard)
         args.push_back("--throttle-ms");
         args.push_back(std::to_string(opts.throttleMs));
     }
+    if (opts.heartbeatMs != 0) {
+        args.push_back("--heartbeat-ms");
+        args.push_back(std::to_string(opts.heartbeatMs));
+    }
 
     pid_t pid = ::fork();
     if (pid < 0)
@@ -101,6 +107,50 @@ spawnWorker(const SupervisorOptions &opts, std::uint32_t shard)
         ::_exit(2);
     }
     return pid;
+}
+
+/**
+ * Campaign-wide status line from the shard heartbeat sidecars.
+ * Advisory by construction: stderr only (stdout stays machine-stable),
+ * shards without a readable heartbeat simply contribute nothing.
+ */
+void
+printAggregatedStatus(const SupervisorOptions &opts,
+                      const std::vector<ShardProc> &procs)
+{
+    std::uint64_t done = 0, total = 0, failures = 0;
+    double rate = 0.0;
+    std::uint32_t reporting = 0, running = 0;
+    for (const ShardProc &p : procs) {
+        if (p.state == ShardProc::State::Running)
+            ++running;
+        HeartbeatRecord hb;
+        if (!readLastHeartbeat(
+                shardHeartbeatPath(opts.journalDir, p.shard), &hb))
+            continue;
+        ++reporting;
+        done += hb.done;
+        total += hb.total;
+        failures += hb.failures;
+        if (!hb.final)
+            rate += hb.scenariosPerSec;
+    }
+    if (reporting == 0)
+        return;
+    std::string eta;
+    if (rate > 0.0 && total > done) {
+        const std::uint64_t eta_s = static_cast<std::uint64_t>(
+            static_cast<double>(total - done) / rate);
+        eta = " eta " + std::to_string(eta_s) + "s";
+    }
+    std::fprintf(stderr,
+                 "campaign: %llu/%llu points, %u/%zu shards running, "
+                 "%llu failures, %.1f scen/s%s\n",
+                 static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total), running,
+                 procs.size(),
+                 static_cast<unsigned long long>(failures), rate,
+                 eta.c_str());
 }
 
 std::string
@@ -136,6 +186,16 @@ SupervisionResult::incompleteShards() const
     return out;
 }
 
+std::uint32_t
+SupervisionResult::workerRestarts() const
+{
+    std::uint32_t n = 0;
+    for (const ShardStatus &s : shards)
+        if (s.spawns > 0)
+            n += s.spawns - 1;
+    return n;
+}
+
 SupervisionResult
 superviseShards(const CampaignManifest &manifest,
                 const SupervisorOptions &opts,
@@ -146,6 +206,11 @@ superviseShards(const CampaignManifest &manifest,
         procs[s].shard = s;
 
     bool stopping = false;
+    // Status-line cadence: the worker heartbeat interval, floored so a
+    // very chatty cadence does not flood stderr.
+    const std::uint64_t statusEveryMs =
+        std::max<std::uint64_t>(opts.heartbeatMs, 500);
+    auto lastStatusAt = SteadyClock::now();
     const auto allFinished = [&]() {
         return std::all_of(procs.begin(), procs.end(),
                            [](const ShardProc &p) {
@@ -251,6 +316,12 @@ superviseShards(const CampaignManifest &manifest,
                     ::kill(p.pid, SIGKILL);
                 }
             }
+        }
+
+        if (opts.heartbeatMs != 0 &&
+                msSince(lastStatusAt) >= statusEveryMs) {
+            printAggregatedStatus(opts, procs);
+            lastStatusAt = SteadyClock::now();
         }
 
         if (!allFinished())

@@ -48,6 +48,11 @@ struct SupervisorOptions
     std::uint64_t progressTimeoutMs = 60000;   ///< Journal-growth stall.
     std::uint64_t backoffBaseMs = 200;   ///< Doubles per retry.
     std::uint64_t throttleMs = 0;        ///< Forwarded to workers.
+    /** Worker heartbeat cadence (ms), forwarded as --heartbeat-ms;
+        0 disables heartbeats entirely. When enabled the supervisor
+        also aggregates the per-shard sidecars into a campaign-wide
+        status line on the same cadence (stderr, advisory). */
+    std::uint64_t heartbeatMs = 0;
 };
 
 enum class ShardOutcome : std::uint8_t
@@ -72,6 +77,8 @@ struct SupervisionResult
 
     bool allComplete() const;
     std::vector<std::uint64_t> incompleteShards() const;
+    /** Respawns beyond each shard's first launch, summed. */
+    std::uint32_t workerRestarts() const;
 };
 
 /**

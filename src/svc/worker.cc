@@ -1,8 +1,11 @@
 #include "svc/worker.hh"
 
+#include <chrono>
+
 #include <unistd.h>
 
 #include "common/schema_versions.hh"
+#include "svc/heartbeat.hh"
 #include "svc/journal.hh"
 #include "svc/manifest.hh"
 
@@ -27,7 +30,7 @@ ShardRunResult
 runShard(const CampaignManifest &manifest, std::uint32_t shard,
          const std::string &journal_dir, bool resume,
          const volatile std::sig_atomic_t *stop,
-         std::uint64_t throttle_ms)
+         std::uint64_t throttle_ms, std::uint64_t heartbeat_ms)
 {
     if (shard >= manifest.shards)
         return errorResult("shard index " + std::to_string(shard) +
@@ -76,11 +79,58 @@ runShard(const CampaignManifest &manifest, std::uint32_t shard,
     result.skipped = existing.records.size();
     result.tornTail = existing.tornTail;
 
+    // Advisory progress heartbeats (svc/heartbeat.hh). An open failure
+    // silently disables them: telemetry never fails a shard.
+    using SteadyClock = std::chrono::steady_clock;
+    const auto started = SteadyClock::now();
+    const auto msSince = [](SteadyClock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                SteadyClock::now() - t).count());
+    };
+    HeartbeatWriter hb;
+    if (heartbeat_ms != 0)
+        hb.open(shardHeartbeatPath(journal_dir, shard));
+    std::uint64_t hbFailures = 0;
+    std::uint64_t hbFaults = 0;
+    auto lastBeat = started;
+    const auto emitBeat = [&](bool final_rec) {
+        if (!hb.isOpen())
+            return;
+        HeartbeatRecord r;
+        r.shard = shard;
+        r.total = range.size();
+        r.executed = result.executed;
+        r.skipped = result.skipped;
+        r.done = result.skipped + result.executed;
+        r.failures = hbFailures;
+        r.persistFaults = hbFaults;
+        r.elapsedMs = msSince(started);
+        if (r.elapsedMs > 0 && result.executed > 0) {
+            r.scenariosPerSec = 1e3 *
+                static_cast<double>(result.executed) /
+                static_cast<double>(r.elapsedMs);
+            r.etaMs = static_cast<std::uint64_t>(
+                static_cast<double>(r.total - r.done) *
+                static_cast<double>(r.elapsedMs) /
+                static_cast<double>(result.executed));
+        }
+        r.tsMs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        r.final = final_rec;
+        hb.emit(r);
+        lastBeat = SteadyClock::now();
+    };
+    emitBeat(false);
+
     ScenarioRunner runner(manifest.scenario);
     for (std::uint64_t idx = range.begin; idx < range.end; ++idx) {
         if (done[idx - range.begin])
             continue;
         if (stop && *stop) {
+            emitBeat(true);
             result.status = ShardRunStatus::Interrupted;
             return result;
         }
@@ -91,10 +141,29 @@ runShard(const CampaignManifest &manifest, std::uint32_t shard,
         if (!writer.append(rec, &err))
             return errorResult(err);
         ++result.executed;
-        if (throttle_ms != 0)
-            ::usleep(static_cast<useconds_t>(throttle_ms * 1000));
+        if (!rec.verdict.pass())
+            ++hbFailures;
+        hbFaults += rec.verdict.persistFaults;
+        if (hb.isOpen() && msSince(lastBeat) >= heartbeat_ms)
+            emitBeat(false);
+        if (throttle_ms != 0) {
+            // Sliced so the heartbeat cadence survives throttled
+            // stretches: a long sleep would otherwise look like a
+            // stall to anything watching the sidecar.
+            std::uint64_t slept = 0;
+            while (slept < throttle_ms && !(stop && *stop)) {
+                std::uint64_t chunk = throttle_ms - slept;
+                if (hb.isOpen() && heartbeat_ms < chunk)
+                    chunk = heartbeat_ms;
+                ::usleep(static_cast<useconds_t>(chunk * 1000));
+                slept += chunk;
+                if (hb.isOpen() && msSince(lastBeat) >= heartbeat_ms)
+                    emitBeat(false);
+            }
+        }
     }
     result.status = ShardRunStatus::Complete;
+    emitBeat(true);
     return result;
 }
 

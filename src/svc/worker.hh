@@ -51,12 +51,21 @@ struct ShardRunResult
  * shardJournalPath(journal_dir, shard). `throttle_ms` sleeps between
  * crash points (testing hook: makes kill-mid-shard timing windows
  * reproducibly wide). `stop` may be null.
+ *
+ * `heartbeat_ms` (0 = off) additionally appends progress heartbeats to
+ * shardHeartbeatPath(journal_dir, shard) on that wall-clock cadence —
+ * one record at startup, one at least every `heartbeat_ms` while
+ * points execute (throttle sleeps are sliced so cadence survives
+ * throttling), and a final record on every clean exit. Heartbeats are
+ * advisory (svc/heartbeat.hh): they never affect verdicts, resume, or
+ * the run's exit status.
  */
 ShardRunResult runShard(const CampaignManifest &manifest,
                         std::uint32_t shard,
                         const std::string &journal_dir, bool resume,
                         const volatile std::sig_atomic_t *stop = nullptr,
-                        std::uint64_t throttle_ms = 0);
+                        std::uint64_t throttle_ms = 0,
+                        std::uint64_t heartbeat_ms = 0);
 
 } // namespace sbrp
 

@@ -211,6 +211,57 @@ def main(argv):
             ok = fail("supervised fresh over existing journals should "
                       "exit 2", p)
 
+        # 8b. Bursty journal growth under --throttle-ms must not trip
+        # the progress timeout (the journal grows in bursts, but every
+        # burst lands well inside the stall window), and the heartbeat
+        # cadence must survive the throttled stretches: workers slice
+        # their throttle sleeps so beats keep flowing mid-sleep.
+        hdir = os.path.join(tmp, "journals_hb")
+        hreport = os.path.join(tmp, "merged_hb.json")
+        p = run([crashfuzz, "--app", "MQ", "--model", "sbrp",
+                 "--budget", "8", "--shards", "2", "--journal", hdir,
+                 "--report", hreport, "--throttle-ms", "250",
+                 "--shard-timeout-ms", "1500", "--heartbeat-ms", "80"])
+        if p.returncode != 0:
+            ok = fail("throttled heartbeat campaign should exit 0", p)
+        elif p.stdout.count("(1 launch)") != 2:
+            ok = fail("bursty throttled journals must not look like "
+                      "stalls (expected 1 launch per shard)", p)
+        else:
+            with open(hreport, encoding="utf-8") as f:
+                hb = json.load(f)["execution"].get("heartbeat", {})
+            if hb.get("worker_restarts") != 0:
+                ok = fail(f"expected 0 worker restarts, got {hb}")
+            if hb.get("interval_ms") != 80:
+                ok = fail(f"heartbeat interval not recorded: {hb}")
+            for shard in (0, 1):
+                side = os.path.join(hdir,
+                                    f"shard-{shard}.heartbeat.jsonl")
+                beats = []
+                with open(side, encoding="utf-8") as f:
+                    for line in f:
+                        try:
+                            beats.append(json.loads(line))
+                        except json.JSONDecodeError:
+                            continue
+                # 4 points x 250 ms throttle at an 80 ms cadence:
+                # well over 4 beats unless slicing broke.
+                if len(beats) < 4:
+                    ok = fail(f"shard {shard}: cadence lost during "
+                              f"throttle ({len(beats)} beats)")
+                elif not beats[-1].get("final"):
+                    ok = fail(f"shard {shard}: no final heartbeat")
+            if hb.get("records", 0) < 8:
+                ok = fail(f"merged heartbeat record count too low: "
+                          f"{hb}")
+
+        # The ops console renders one deterministic frame and exits 0.
+        campaign_top = os.path.join(os.path.dirname(report_compare),
+                                    "campaign_top.py")
+        p = run([sys.executable, campaign_top, hdir, "--once"])
+        if p.returncode != 0 or "total:" not in p.stdout:
+            ok = fail("campaign_top --once should render and exit 0", p)
+
         # 9. Infrastructure and usage errors exit 2.
         for args, what in (
                 (["--replay", os.path.join(tmp, "no-such.json")],

@@ -16,6 +16,7 @@
 #include "api/sbrp.hh"
 #include "apps/registry.hh"
 #include "common/json.hh"
+#include "common/schema_versions.hh"
 #include "crashtest/campaign.hh"
 #include "crashtest/replay.hh"
 #include "crashtest/scenario.hh"
@@ -463,7 +464,7 @@ TEST(StatsJson, CarriesSchemaVersionAndEscapesNames)
     JsonValue v = JsonValue::parse(reg.dumpJson(), &err);
     ASSERT_TRUE(v.isObject()) << err;
     ASSERT_NE(v.find("schema_version"), nullptr);
-    EXPECT_EQ(v.find("schema_version")->asU64(), 2u);
+    EXPECT_EQ(v.find("schema_version")->asU64(), schema::kStats);
     const JsonValue *g = v.find("we\"ird\ngroup");
     ASSERT_NE(g, nullptr);
     const JsonValue *c = g->find("ctr\t1");

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Schema-version contract for the offline report tools.
 
-tools/trace_report.py and tools/persist_report.py consume documents
-tagged with a schema_version. A version the tool does not understand
-must exit 2 with a message naming both versions -- never a KeyError
-traceback, never a silently misread report.
+tools/trace_report.py, tools/persist_report.py and
+tools/timeseries_report.py consume documents tagged with a
+schema_version. A version the tool does not understand must exit 2
+with a message naming both versions -- never a KeyError traceback,
+never a silently misread report.
 
 Usage:
-    test_report_schemas.py <trace_report.py> <persist_report.py>
+    test_report_schemas.py <trace_report.py> <persist_report.py> \
+        <timeseries_report.py>
 """
 
 import json
@@ -37,11 +39,12 @@ def check(name, proc, want_exit, want_stderr=()):
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) != 4:
         print("usage: test_report_schemas.py <trace_report.py> "
-              "<persist_report.py>", file=sys.stderr)
+              "<persist_report.py> <timeseries_report.py>",
+              file=sys.stderr)
         return 2
-    trace_report, persist_report = argv[1], argv[2]
+    trace_report, persist_report, timeseries_report = argv[1:4]
     ok = True
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -60,7 +63,7 @@ def main(argv):
         future = write("stats-future.json", {"schema_version": 99})
         ok &= check("trace_report-unknown-stats-schema-exits-2",
                     run([trace_report, trace, "--stats-json", future]),
-                    2, ("schema_version", "99", "2"))
+                    2, ("schema_version", "99", "2", "3"))
 
         # An untagged stats document is the pre-versioning schema: the
         # tool keeps its "old stats schema?" note and exits 0.
@@ -90,6 +93,49 @@ def main(argv):
         open(empty, "w", encoding="utf-8").close()
         ok &= check("persist_report-empty-doc-exits-2",
                     run([persist_report, empty]), 2, ("empty",))
+
+        # Metrics time-series (JSONL): same contract, line-oriented.
+        def write_jsonl(name, records):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                for rec in records:
+                    f.write(json.dumps(rec) + "\n")
+            return path
+
+        header = {"kind": "metrics_header", "schema_version": 1,
+                  "window": 64}
+        totals = {"kind": "totals", "end_cycle": 64, "windows": 1,
+                  "windows_dropped": 0, "counters": {"a": 3},
+                  "dists": {}}
+        good_win = {"kind": "window", "index": 0, "begin": 0,
+                    "end": 64, "counters": {"a": 3}, "dists": {},
+                    "gauges": {}}
+        ok &= check("timeseries_report-clean-stream-exits-0",
+                    run([timeseries_report,
+                         write_jsonl("m-good.jsonl",
+                                     [header, good_win, totals])]), 0)
+        ok &= check("timeseries_report-unknown-schema-exits-2",
+                    run([timeseries_report,
+                         write_jsonl("m-future.jsonl",
+                                     [dict(header, schema_version=99),
+                                      totals])]),
+                    2, ("schema_version", "99", "1"))
+        bad_win = dict(good_win, counters={"a": 2})
+        ok &= check("timeseries_report-broken-telescoping-exits-1",
+                    run([timeseries_report,
+                         write_jsonl("m-broken.jsonl",
+                                     [header, bad_win, totals])]),
+                    1, ("telescope",))
+        torn_ts = os.path.join(tmp, "m-torn.jsonl")
+        with open(torn_ts, "w", encoding="utf-8") as f:
+            f.write(json.dumps(header) + "\n" + '{"kind": "tot')
+        ok &= check("timeseries_report-truncated-stream-exits-2",
+                    run([timeseries_report, torn_ts]), 2,
+                    ("truncated",))
+        empty_ts = os.path.join(tmp, "m-empty.jsonl")
+        open(empty_ts, "w", encoding="utf-8").close()
+        ok &= check("timeseries_report-empty-stream-exits-2",
+                    run([timeseries_report, empty_ts]), 2, ("empty",))
 
     return 0 if ok else 1
 

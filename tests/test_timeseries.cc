@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Windowed metrics time-series: the telescoping invariant, the
+ * zero-cost-when-off guarantee, ring-overflow folding, crash and
+ * power-cycle behavior, and the JSONL export contract.
+ *
+ * The headline invariant mirrors the provenance waterfall's: summed
+ * over every emitted window (plus the folded ring-overflow base), the
+ * per-window counter and Distribution deltas equal the end-of-run
+ * registry aggregates exactly — counter by counter, histogram bucket
+ * by bucket — across every app x model x design combination,
+ * including fault-injected and mid-kernel-crash runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/registry.hh"
+#include "common/config.hh"
+#include "common/json.hh"
+#include "fault/fault.hh"
+#include "gpu/gpu_system.hh"
+#include "mem/nvm_device.hh"
+#include "obs/timeseries.hh"
+
+namespace sbrp
+{
+namespace
+{
+
+struct Combo
+{
+    const char *app;
+    ModelKind model;
+    SystemDesign design;
+};
+
+std::string
+comboName(const testing::TestParamInfo<Combo> &info)
+{
+    std::string n = info.param.app;
+    n += "_";
+    n += toString(info.param.model);
+    n += "_";
+    n += toString(info.param.design);
+    std::string out;
+    for (char c : n) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> out;
+    for (const char *app :
+         {"gpKVS", "HM", "SRAD", "Red", "MQ", "Scan", "Ckpt"}) {
+        out.push_back({app, ModelKind::Gpm, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Epoch, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmFar});
+        out.push_back({app, ModelKind::Sbrp, SystemDesign::PmNear});
+        out.push_back({app, ModelKind::ScopedBarrier,
+                       SystemDesign::PmNear});
+    }
+    return out;
+}
+
+/** Final registry aggregates, captured while the system is alive. */
+struct FinalAggregates
+{
+    std::map<std::string, std::uint64_t> counters;
+    struct Dist
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::array<std::uint64_t, Distribution::kBuckets> buckets{};
+    };
+    std::map<std::string, Dist> dists;
+};
+
+FinalAggregates
+snapshotRegistry(const StatRegistry &registry)
+{
+    FinalAggregates fin;
+    for (const StatGroup *g : registry.groups()) {
+        for (const auto &kv : g->all())
+            fin.counters[g->name() + "." + kv.first] +=
+                kv.second.value();
+        for (const auto &kv : g->allDists()) {
+            FinalAggregates::Dist &d =
+                fin.dists[g->name() + "." + kv.first];
+            d.count += kv.second.count();
+            d.sum += kv.second.sum();
+            for (std::uint32_t b = 0; b < Distribution::kBuckets; ++b)
+                d.buckets[b] += kv.second.bucketCount(b);
+        }
+    }
+    return fin;
+}
+
+/** Windows (+ folded base) must reproduce the registry aggregates. */
+void
+checkTelescoping(const MetricsTimeseries &metrics,
+                 const FinalAggregates &fin, const std::string &what)
+{
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, FinalAggregates::Dist> dists;
+    const auto fold = [&](const MetricsWindow &w) {
+        for (const auto &kv : w.counters)
+            counters[kv.first] += kv.second;
+        for (const auto &kv : w.dists) {
+            FinalAggregates::Dist &d = dists[kv.first];
+            d.count += kv.second.count;
+            d.sum += kv.second.sum;
+            for (const auto &b : kv.second.buckets)
+                d.buckets[b.first] += b.second;
+        }
+    };
+    fold(metrics.droppedBase());
+    for (const MetricsWindow &w : metrics.windows())
+        fold(w);
+
+    for (const auto &kv : fin.counters) {
+        const auto it = counters.find(kv.first);
+        const std::int64_t got =
+            it == counters.end() ? 0 : it->second;
+        EXPECT_EQ(got, static_cast<std::int64_t>(kv.second))
+            << what << ": counter '" << kv.first
+            << "' does not telescope";
+    }
+    for (const auto &kv : fin.dists) {
+        const auto it = dists.find(kv.first);
+        const FinalAggregates::Dist got =
+            it == dists.end() ? FinalAggregates::Dist{} : it->second;
+        EXPECT_EQ(got.count, kv.second.count)
+            << what << ": dist '" << kv.first << "' count";
+        EXPECT_EQ(got.sum, kv.second.sum)
+            << what << ": dist '" << kv.first << "' sum";
+        for (std::uint32_t b = 0; b < Distribution::kBuckets; ++b) {
+            EXPECT_EQ(got.buckets[b], kv.second.buckets[b])
+                << what << ": dist '" << kv.first << "' bucket " << b;
+        }
+    }
+}
+
+/** Retained windows are contiguous, ordered, and span whole windows
+    except the trailing partial one. */
+void
+checkWindowGeometry(const MetricsTimeseries &metrics,
+                    const std::string &what)
+{
+    Cycle expect_begin = metrics.droppedBase().end;
+    std::uint64_t last_index = 0;
+    bool first = true;
+    for (const MetricsWindow &w : metrics.windows()) {
+        EXPECT_EQ(w.begin, expect_begin) << what << ": window "
+                                         << w.index << " begin";
+        EXPECT_GT(w.end, w.begin) << what;
+        if (!first) {
+            EXPECT_EQ(w.index, last_index + 1) << what;
+        }
+        first = false;
+        last_index = w.index;
+        expect_begin = w.end;
+    }
+}
+
+/** Runs an app with a sampler attached; fills the final aggregates. */
+GpuSystem::LaunchResult
+runWithMetrics(const std::string &app_name, const SystemConfig &cfg,
+               MetricsTimeseries *metrics, FinalAggregates *fin,
+               std::optional<Cycle> crash_at = std::nullopt)
+{
+    NvmDevice nvm;
+    auto app = makeRegisteredApp(app_name, cfg.model);
+    EXPECT_TRUE(app) << app_name;
+    app->setupNvm(nvm);
+    GpuSystem gpu(cfg, nvm, nullptr, nullptr, nullptr, metrics);
+    app->setupGpu(gpu);
+    auto res = gpu.launch(app->forward(), crash_at);
+    if (!crash_at) {
+        EXPECT_TRUE(app->verify(nvm)) << app_name;
+    }
+    if (fin)
+        *fin = snapshotRegistry(gpu.stats());
+    return res;
+}
+
+class TimeseriesAllCombos : public testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(TimeseriesAllCombos, DeltasTelescopeAndTimingUnperturbed)
+{
+    const Combo c = GetParam();
+    SystemConfig cfg = SystemConfig::testDefault(c.model, c.design);
+    const std::string what = comboName(
+        testing::TestParamInfo<Combo>(c, 0));
+
+    // Small window so every run closes several.
+    MetricsTimeseries metrics(128);
+    FinalAggregates fin;
+    const auto with = runWithMetrics(c.app, cfg, &metrics, &fin);
+    const auto without = runWithMetrics(c.app, cfg, nullptr, nullptr);
+
+    // Zero-cost-when-off: sampling must not perturb timing.
+    EXPECT_EQ(with.cycles, without.cycles) << what;
+
+    EXPECT_GT(metrics.windowsClosed(), 1u) << what;
+    checkWindowGeometry(metrics, what);
+    checkTelescoping(metrics, fin, what);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TimeseriesAllCombos,
+                         testing::ValuesIn(allCombos()), comboName);
+
+TEST(TimeseriesFault, TelescopesUnderInjectedFaults)
+{
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmFar);
+    std::string err;
+    ASSERT_TRUE(FaultSpec::parse("pcie=2e-2,media=2e-2", &cfg.faults,
+                                 &err)) << err;
+    cfg.seed = 9;
+    cfg.validate();
+    MetricsTimeseries metrics(128);
+    FinalAggregates fin;
+    runWithMetrics("Red", cfg, &metrics, &fin);
+    checkWindowGeometry(metrics, "Red faulted");
+    checkTelescoping(metrics, fin, "Red faulted");
+}
+
+TEST(TimeseriesCrash, FinalizedOnCrashExit)
+{
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmNear);
+    MetricsTimeseries metrics(64);
+    FinalAggregates fin;
+    const auto res =
+        runWithMetrics("Red", cfg, &metrics, &fin, Cycle{700});
+    ASSERT_TRUE(res.crashed);
+    // The crash exit finalizes the trailing partial window, so the
+    // series telescopes to the aggregates at the instant of the crash.
+    checkWindowGeometry(metrics, "Red crash");
+    checkTelescoping(metrics, fin, "Red crash");
+}
+
+TEST(TimeseriesCrash, SamplerSurvivesPowerCycle)
+{
+    // Crash, destroy the system (drops the sampler's callbacks), then
+    // attach the same sampler to the recovery system: the registry is
+    // re-bound, deltas go negative across the fresh registry, and the
+    // whole series telescopes to the *recovery* system's aggregates —
+    // the last snapshot wins, exactly like a counter set backwards.
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmNear);
+    MetricsTimeseries metrics(64);
+    NvmDevice nvm;
+    auto app = makeRegisteredApp("Red", cfg.model);
+    ASSERT_TRUE(app);
+    app->setupNvm(nvm);
+    {
+        GpuSystem gpu(cfg, nvm, nullptr, nullptr, nullptr, &metrics);
+        app->setupGpu(gpu);
+        auto res = gpu.launch(app->forward(), Cycle{700});
+        ASSERT_TRUE(res.crashed);
+    }
+    FinalAggregates fin;
+    {
+        GpuSystem gpu(cfg, nvm, nullptr, nullptr, nullptr, &metrics);
+        app->setupGpu(gpu);
+        gpu.launch(app->recovery());
+        fin = snapshotRegistry(gpu.stats());
+    }
+    EXPECT_TRUE(app->verifyRecovered(nvm));
+    checkTelescoping(metrics, fin, "Red power cycle");
+
+    // And the export still works with both systems gone.
+    EXPECT_FALSE(metrics.jsonl().empty());
+}
+
+TEST(TimeseriesRing, OverflowFoldsIntoDroppedBase)
+{
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmNear);
+    // Tiny ring: most windows evict into the folded base.
+    MetricsTimeseries metrics(64, /*capacity=*/2);
+    FinalAggregates fin;
+    runWithMetrics("Red", cfg, &metrics, &fin);
+    EXPECT_GT(metrics.windowsDropped(), 0u);
+    EXPECT_LE(metrics.windows().size(), 2u);
+    EXPECT_EQ(metrics.windowsClosed(),
+              metrics.windowsDropped() + metrics.windows().size());
+    // The invariant survives eviction: dropped base + retained ==
+    // totals.
+    checkTelescoping(metrics, fin, "Red tiny ring");
+}
+
+TEST(TimeseriesExport, JsonlIsWellFormedAndDeterministic)
+{
+    SystemConfig cfg =
+        SystemConfig::testDefault(ModelKind::Sbrp, SystemDesign::PmNear);
+    MetricsTimeseries metrics(128);
+    metrics.setMeta("app", "Red");
+    metrics.setMeta("model", "sbrp");
+    runWithMetrics("Red", cfg, &metrics, nullptr);
+
+    const std::string text = metrics.jsonl();
+    ASSERT_FALSE(text.empty());
+    std::vector<std::string> kinds;
+    std::size_t at = 0;
+    while (at < text.size()) {
+        std::size_t nl = text.find('\n', at);
+        const std::size_t end =
+            nl == std::string::npos ? text.size() : nl;
+        const std::string line = text.substr(at, end - at);
+        at = end + 1;
+        if (line.empty())
+            continue;
+        std::string err;
+        JsonValue v = JsonValue::parse(line, &err);
+        ASSERT_FALSE(v.isNull()) << err << ": " << line;
+        const JsonValue *kind = v.find("kind");
+        ASSERT_TRUE(kind && kind->isString()) << line;
+        kinds.push_back(kind->asString());
+    }
+    ASSERT_GE(kinds.size(), 3u);
+    EXPECT_EQ(kinds.front(), "metrics_header");
+    EXPECT_EQ(kinds.back(), "totals");
+    for (std::size_t i = 1; i + 1 < kinds.size(); ++i)
+        EXPECT_TRUE(kinds[i] == "window" || kinds[i] == "dropped")
+            << kinds[i];
+
+    // Deterministic: an identical seeded run exports identical bytes.
+    MetricsTimeseries again(128);
+    again.setMeta("app", "Red");
+    again.setMeta("model", "sbrp");
+    runWithMetrics("Red", cfg, &again, nullptr);
+    EXPECT_EQ(text, again.jsonl());
+}
+
+TEST(TimeseriesUnit, FinalizeIsIdempotentAndReArms)
+{
+    StatGroup group("g");
+    StatRegistry registry;
+    registry.add(&group);
+    MetricsTimeseries metrics(registry, 10);
+
+    group.stat("c").inc(3);
+    metrics.closeThrough(10);   // Closes [0, 10).
+    group.stat("c").inc(4);
+    metrics.finalize(15);       // Trailing partial [10, 15).
+    ASSERT_EQ(metrics.windows().size(), 2u);
+    EXPECT_EQ(metrics.windows()[0].counters.at("g.c"), 3);
+    EXPECT_EQ(metrics.windows()[1].counters.at("g.c"), 4);
+
+    metrics.finalize(15);       // Idempotent: nothing moved.
+    ASSERT_EQ(metrics.windows().size(), 2u);
+
+    // A later launch keeps appending from the last sampled cycle:
+    // the due full window [15, 20) picks up the new samples, then an
+    // empty trailing partial closes the range at 22.
+    group.stat("c").inc(5);
+    metrics.finalize(22);
+    ASSERT_EQ(metrics.windows().size(), 4u);
+    EXPECT_EQ(metrics.windows()[2].begin, Cycle{15});
+    EXPECT_EQ(metrics.windows()[2].end, Cycle{20});
+    EXPECT_EQ(metrics.windows()[2].counters.at("g.c"), 5);
+    EXPECT_EQ(metrics.windows()[3].begin, Cycle{20});
+    EXPECT_EQ(metrics.windows()[3].end, Cycle{22});
+    EXPECT_TRUE(metrics.windows()[3].counters.empty());
+}
+
+TEST(TimeseriesUnit, GaugesSampledAtEveryBoundary)
+{
+    StatGroup group("g");
+    StatRegistry registry;
+    registry.add(&group);
+    MetricsTimeseries metrics(registry, 10);
+    std::uint64_t level = 7;
+    metrics.addGauge("level", [&] { return level; });
+
+    metrics.closeThrough(10);
+    level = 9;
+    metrics.closeThrough(20);
+    ASSERT_EQ(metrics.windows().size(), 2u);
+    EXPECT_EQ(metrics.windows()[0].gauges.at("level"), 7u);
+    EXPECT_EQ(metrics.windows()[1].gauges.at("level"), 9u);
+}
+
+} // namespace
+} // namespace sbrp

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Live operations console for a sharded crash campaign.
+
+Usage:
+    tools/campaign_top.py <journal-dir>
+    tools/campaign_top.py <journal-dir> --once
+    tools/campaign_top.py <journal-dir> --interval 2
+
+Watches the journal directory of a running (or finished) campaign —
+`crashfuzz --shards N --journal <dir> [--heartbeat-ms M]` — and
+redraws a per-shard status table: verdict counts from the durable
+journals, and rate/ETA/liveness from the advisory heartbeat sidecars
+when the campaign was started with `--heartbeat-ms`.
+
+Everything here is read-only and torn-tolerant. Journals are
+fsync'd-per-line but may end mid-record when a worker is killed;
+heartbeats are append-mode and may be torn or absent entirely. A line
+that does not parse is skipped, never an error — this tool must be
+safe to point at a campaign that is actively crashing, because that
+is the whole point of a crash campaign.
+
+`--once` renders a single frame and exits 0 (the deterministic mode CI
+smokes); without it the table redraws every `--interval` seconds
+(default 1) until interrupted. Exits 2 only on usage errors or a
+missing journal directory. Only uses the Python standard library.
+"""
+
+import json
+import os
+import sys
+import time
+
+from report_common import run_main, tail_jsonl
+
+
+def load_manifest(journal_dir):
+    """Optional context: shard count and app name when present."""
+    path = os.path.join(journal_dir, "manifest.json")
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def discover_shards(journal_dir, manifest):
+    """Shard indices: manifest count, else journal files on disk."""
+    if manifest and isinstance(manifest.get("shards"), int):
+        return list(range(manifest["shards"]))
+    shards = set()
+    try:
+        names = os.listdir(journal_dir)
+    except OSError:
+        return []
+    for name in names:
+        if name.startswith("shard-") and name.endswith(".journal"):
+            try:
+                shards.add(int(name[len("shard-"):-len(".journal")]))
+            except ValueError:
+                continue
+    return sorted(shards)
+
+
+def read_journal(journal_dir, shard):
+    """Verdict tallies from one shard journal; torn lines skipped."""
+    state = {"present": False, "total": 0, "done": 0, "failures": 0,
+             "persist_faults": 0}
+    records = tail_jsonl(os.path.join(journal_dir,
+                                      f"shard-{shard}.journal"))
+    for rec in records:
+        if rec.get("kind") == "shard-journal":
+            state["present"] = True
+            state["total"] = rec.get("end", 0) - rec.get("begin", 0)
+        elif "index" in rec:
+            state["done"] += 1
+            passed = (rec.get("crashed", False)
+                      and rec.get("recovered_ok", False)
+                      and rec.get("pmo_violations", 1) == 0
+                      and rec.get("persist_faults", 1) == 0)
+            if not passed:
+                state["failures"] += 1
+            state["persist_faults"] += rec.get("persist_faults", 0)
+    return state
+
+
+def read_heartbeat(journal_dir, shard):
+    """Latest heartbeat record for a shard, or None."""
+    records = tail_jsonl(os.path.join(
+        journal_dir, f"shard-{shard}.heartbeat.jsonl"))
+    latest = None
+    for rec in records:
+        if rec.get("kind") == "heartbeat":
+            latest = rec
+    return latest
+
+
+def fmt_eta(ms):
+    if ms <= 0:
+        return "-"
+    s = ms // 1000
+    if s >= 3600:
+        return f"{s // 3600}h{(s % 3600) // 60:02}m"
+    if s >= 60:
+        return f"{s // 60}m{s % 60:02}s"
+    return f"{s}s"
+
+
+def render(journal_dir, manifest, shards):
+    lines = []
+    app = ""
+    if manifest:
+        scenario = manifest.get("scenario", {})
+        if isinstance(scenario, dict):
+            app = scenario.get("app", "")
+    title = f"campaign @ {journal_dir}"
+    if app:
+        title += f" ({app})"
+    lines.append(title)
+    lines.append(f"  {'shard':>5}  {'done':>12}  {'fail':>5}  "
+                 f"{'faults':>6}  {'scen/s':>8}  {'eta':>7}  state")
+
+    agg_done = agg_total = agg_fail = 0
+    agg_rate = 0.0
+    for shard in shards:
+        j = read_journal(journal_dir, shard)
+        hb = read_heartbeat(journal_dir, shard)
+        done, total = j["done"], j["total"]
+        if hb:  # Heartbeats carry the fresher counters.
+            done = max(done, hb.get("done", 0))
+            total = max(total, hb.get("total", 0))
+        agg_done += done
+        agg_total += total
+        agg_fail += j["failures"]
+        rate = "-"
+        eta = "-"
+        state = "no journal"
+        if j["present"]:
+            state = "complete" if total and done >= total else "running"
+        if hb:
+            if hb.get("final"):
+                state = "complete" if total and done >= total \
+                    else "stopped"
+            else:
+                r = hb.get("scenarios_per_sec", 0.0)
+                agg_rate += r
+                rate = f"{r:.1f}"
+                eta = fmt_eta(hb.get("eta_ms", 0))
+        progress = f"{done}/{total}" if total else str(done)
+        lines.append(f"  {shard:>5}  {progress:>12}  "
+                     f"{j['failures']:>5}  {j['persist_faults']:>6}  "
+                     f"{rate:>8}  {eta:>7}  {state}")
+
+    pct = 100.0 * agg_done / agg_total if agg_total else 0.0
+    summary = (f"  total: {agg_done}/{agg_total} points ({pct:.1f}%), "
+               f"{agg_fail} failures")
+    if agg_rate > 0:
+        remaining = agg_total - agg_done
+        summary += f", {agg_rate:.1f} scen/s"
+        if remaining > 0:
+            summary += (", eta "
+                        + fmt_eta(int(1000 * remaining / agg_rate)))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv):
+    journal_dir = None
+    once = False
+    interval = 1.0
+    rest = argv[1:]
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--once":
+            once = True
+            i += 1
+        elif rest[i] == "--interval" and i + 1 < len(rest):
+            try:
+                interval = float(rest[i + 1])
+            except ValueError:
+                print("campaign_top: --interval expects seconds",
+                      file=sys.stderr)
+                return 2
+            i += 2
+        elif rest[i].startswith("--"):
+            print(f"campaign_top: unknown option '{rest[i]}'",
+                  file=sys.stderr)
+            return 2
+        elif journal_dir is None:
+            journal_dir = rest[i]
+            i += 1
+        else:
+            journal_dir = None
+            break
+    if journal_dir is None:
+        print("usage: campaign_top.py <journal-dir> [--once] "
+              "[--interval SECS]", file=sys.stderr)
+        return 2
+    if not os.path.isdir(journal_dir):
+        print(f"campaign_top: {journal_dir}: not a directory",
+              file=sys.stderr)
+        return 2
+
+    while True:
+        manifest = load_manifest(journal_dir)
+        shards = discover_shards(journal_dir, manifest)
+        frame = render(journal_dir, manifest, shards)
+        if once:
+            print(frame)
+            return 0
+        # Clear + home, no curses: keeps the tool dependency-free and
+        # safe to run over ssh/tmux/CI logs alike.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    run_main(main)

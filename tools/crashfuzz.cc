@@ -53,6 +53,7 @@
 #include "common/schema_versions.hh"
 #include "crashtest/campaign.hh"
 #include "obs/provenance.hh"
+#include "svc/heartbeat.hh"
 #include "svc/journal.hh"
 #include "svc/manifest.hh"
 #include "svc/merge.hh"
@@ -133,6 +134,10 @@ usage()
         "                    growing for this long (default 60000)\n"
         "  --throttle-ms <n> sleep between crash points in workers\n"
         "                    (testing hook for kill/resume windows)\n"
+        "  --heartbeat-ms <n>  workers append progress heartbeats to\n"
+        "                    <journal>/shard-<i>.heartbeat.jsonl on\n"
+        "                    this cadence; the supervisor prints an\n"
+        "                    aggregated status line (stderr). 0 = off\n"
         "\n"
         "  --version         print the artifact schema versions and exit\n"
         "  --help, -h        print this listing and exit\n"
@@ -250,7 +255,7 @@ loadManifest(const std::string &path, CampaignManifest *out)
 int
 runWorkerMode(const std::string &manifest_path, std::uint32_t shard,
               const std::string &journal_dir, bool resume,
-              std::uint64_t throttle_ms)
+              std::uint64_t throttle_ms, std::uint64_t heartbeat_ms)
 {
     CampaignManifest manifest;
     if (int rc = loadManifest(manifest_path, &manifest))
@@ -265,8 +270,9 @@ runWorkerMode(const std::string &manifest_path, std::uint32_t shard,
                     static_cast<unsigned long long>(r.begin),
                     static_cast<unsigned long long>(r.end));
     }
-    const ShardRunResult res = runShard(manifest, shard, journal_dir,
-                                        resume, &g_stop, throttle_ms);
+    const ShardRunResult res =
+        runShard(manifest, shard, journal_dir, resume, &g_stop,
+                 throttle_ms, heartbeat_ms);
     if (res.tornTail) {
         std::printf("worker: dropped a torn trailing record (crashed "
                     "writer); its crash point re-runs\n");
@@ -300,7 +306,9 @@ int
 finishMerge(const CampaignManifest &manifest,
             const std::string &journal_dir, bool resumed,
             const std::string &report_path,
-            const std::string &stats_json_path)
+            const std::string &stats_json_path,
+            std::uint64_t heartbeat_ms = 0,
+            std::uint32_t worker_restarts = 0)
 {
     MergeOutcome mo;
     std::string err;
@@ -309,6 +317,14 @@ finishMerge(const CampaignManifest &manifest,
         return 2;
     }
     mo.exec.resumed = resumed;
+    if (heartbeat_ms != 0) {
+        mo.exec.heartbeatMs = heartbeat_ms;
+        mo.exec.workerRestarts = worker_restarts;
+        for (std::uint32_t s = 0; s < manifest.shards; ++s) {
+            mo.exec.heartbeatRecords += countHeartbeatRecords(
+                shardHeartbeatPath(journal_dir, s));
+        }
+    }
 
     for (const ShardMergeInfo &s : mo.shards) {
         std::printf("  shard %u: %llu/%llu verdicts%s\n", s.shard,
@@ -405,7 +421,8 @@ runSupervisedMode(const CampaignManifest &manifest,
         return 3;
     }
     return finishMerge(manifest, opts.journalDir, resumed, report_path,
-                       stats_json_path);
+                       stats_json_path, opts.heartbeatMs,
+                       sup.workerRestarts());
 }
 
 } // namespace
@@ -450,6 +467,7 @@ main(int argc, char **argv)
     std::uint32_t max_retries = 3;
     std::uint64_t shard_timeout_ms = 60000;
     std::uint64_t throttle_ms = 0;
+    std::uint64_t heartbeat_ms = 0;
 
     auto next = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -577,6 +595,8 @@ main(int argc, char **argv)
             shard_timeout_ms = std::strtoull(next(i), nullptr, 10);
         } else if (a == "--throttle-ms") {
             throttle_ms = std::strtoull(next(i), nullptr, 10);
+        } else if (a == "--heartbeat-ms") {
+            heartbeat_ms = std::strtoull(next(i), nullptr, 10);
         } else if (a == "--version") {
             std::printf("crashfuzz (sbrp-sim) replay artifact schema "
                         "%u\n%s\n", ReplayArtifact::kVersion,
@@ -654,14 +674,16 @@ main(int argc, char **argv)
 
         if (shard_index) {
             return runWorkerMode(manifest_path, *shard_index,
-                                 journal_dir, resume, throttle_ms);
+                                 journal_dir, resume, throttle_ms,
+                                 heartbeat_ms);
         }
         if (merge) {
             CampaignManifest manifest;
             if (int rc = loadManifest(manifest_path, &manifest))
                 return rc;
             return finishMerge(manifest, journal_dir, /*resumed=*/false,
-                               report_path, stats_json_path);
+                               report_path, stats_json_path,
+                               heartbeat_ms);
         }
 
         SupervisorOptions sup;
@@ -670,6 +692,7 @@ main(int argc, char **argv)
         sup.maxRetries = max_retries;
         sup.progressTimeoutMs = shard_timeout_ms;
         sup.throttleMs = throttle_ms;
+        sup.heartbeatMs = heartbeat_ms;
 
         // Supervised resume: the manifest on disk is the scenario of
         // record; CLI scenario flags only cross-check it.

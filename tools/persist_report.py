@@ -32,8 +32,10 @@ understand (a newer simulator wrote the document -- update the tool,
 do not guess at the fields). Only uses the Python standard library.
 """
 
-import json
 import sys
+
+from report_common import (read_json_or_exit,
+                           refuse_unknown_schema, run_main)
 
 # The provenance document revision this tool knows how to read
 # (src/common/schema_versions.hh, kProvenance; `sbrpsim --version`).
@@ -104,37 +106,14 @@ def main(argv):
               file=sys.stderr)
         return 2
 
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            text = f.read()
-    except OSError as e:
-        print(f"persist_report: {path}: {e}", file=sys.stderr)
-        return 2
-    if not text.strip():
-        print(f"persist_report: {path}: empty report (truncated write? "
-              "provenance documents are written atomically -- an empty "
-              "file means the producer never finished)", file=sys.stderr)
-        return 2
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as e:
-        # An error at EOF (or an unterminated construct running into
-        # it) is the signature of a half-copied document.
-        truncated = e.pos >= len(text.rstrip()) or \
-            "Unterminated" in e.msg
-        detail = "truncated report" if truncated else "malformed JSON"
-        print(f"persist_report: {path}: {detail}: {e}", file=sys.stderr)
-        return 2
+    doc = read_json_or_exit("persist_report", path,
+                            producers="provenance documents")
     if not isinstance(doc, dict):
         return die(f"{path}: not a provenance document")
     version = doc.get("schema_version")
     if version != KNOWN_SCHEMA:
-        print(f"persist_report: {path}: provenance schema_version "
-              f"{version!r} is not the version this tool understands "
-              f"({KNOWN_SCHEMA}); it was written by a different "
-              "simulator revision -- update tools/persist_report.py "
-              "rather than guessing at the fields", file=sys.stderr)
-        return 2
+        return refuse_unknown_schema("persist_report", path, "provenance",
+                                     version, KNOWN_SCHEMA, "fields")
     for key in ("ops_begun", "ops_completed", "ops_faulted",
                 "records_lost", "waterfall", "slowest_ops",
                 "retry_outliers", "audit"):
@@ -209,4 +188,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    run_main(main)

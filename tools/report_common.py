@@ -1,0 +1,155 @@
+"""Shared input handling for the report tools.
+
+Every report tool consumes JSON artifacts the simulator writes
+atomically (src/common/atomic_io.hh), so they all need the same three
+diagnostics, with the same exit-code contract (pinned by
+tests/test_report_schemas.py):
+
+ - an unreadable or empty file exits 2 — the producers write via
+   tmp+rename, so an empty file means the producer never finished;
+ - a JSON parse error is classified as a *truncated* document (the
+   error sits at EOF, or an unterminated construct ran into it — the
+   signature of a half-copied file) vs *malformed JSON*, both exit 2;
+ - a document tagged with a schema version the tool does not
+   understand is refused with exit 2 and a message naming both the
+   seen and the understood versions — a newer simulator wrote it, so
+   the right fix is updating the tool, not guessing at the fields.
+
+This module is that one implementation; the per-tool wording knobs
+(producer noun, dash style) exist because the historical messages are
+pinned by tests and downstream scripts. Only uses the standard
+library.
+"""
+
+import json
+import os
+import sys
+
+
+def classify_decode_error(text, e):
+    """'truncated report' vs 'malformed JSON' for a JSONDecodeError.
+
+    An error at EOF (or an unterminated construct running into it) is
+    the signature of a half-copied document; anything earlier means
+    the producer wrote genuinely broken JSON.
+    """
+    truncated = e.pos >= len(text.rstrip()) or "Unterminated" in e.msg
+    return "truncated report" if truncated else "malformed JSON"
+
+
+def read_json_or_exit(tool, path, producers="reports", dash="--"):
+    """Reads and parses one atomically-written JSON artifact.
+
+    Exits 2 (SystemExit) with the pinned diagnostics on an unreadable,
+    empty or unparseable file; `producers` and `dash` only shape the
+    message ("provenance documents are written atomically -- ...").
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"{tool}: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not text.strip():
+        print(f"{tool}: {path}: empty report (truncated write? "
+              f"{producers} are written atomically {dash} an empty file "
+              "means the producer never finished)", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"{tool}: {path}: {classify_decode_error(text, e)}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def read_jsonl_or_exit(tool, path, producers="documents", dash="--"):
+    """Reads an atomically-written JSONL artifact as a list of records.
+
+    Same exit-2 contract as read_json_or_exit; the whole file was
+    written in one atomic rename, so even a broken *last* line means
+    truncation, not a torn append.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"{tool}: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not text.strip():
+        print(f"{tool}: {path}: empty report (truncated write? "
+              f"{producers} are written atomically {dash} an empty file "
+              "means the producer never finished)", file=sys.stderr)
+        sys.exit(2)
+    records = []
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            print(f"{tool}: {path}:{n}: "
+                  f"{classify_decode_error(line, e)}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return records
+
+
+def tail_jsonl(path):
+    """Best-effort JSONL reader for *append-mode* streams (heartbeats).
+
+    Unlike the atomic artifacts, these are appended record-at-a-time by
+    a live (possibly SIGKILLed) worker, so a torn or garbled trailing
+    line is expected — it is skipped, never an error. Returns [] for a
+    missing or empty file.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return []
+    records = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def run_main(main):
+    """Runs a tool's main(argv) with the shared process plumbing.
+
+    A reader closing the pipe early (`... | head`) is normal use for
+    these tools, not an error: swallow the BrokenPipeError, point
+    stdout at /dev/null so the interpreter's final implicit flush
+    cannot raise again, and exit 0.
+    """
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)
+
+
+def refuse_unknown_schema(tool, path, artifact, version, known, layout):
+    """Prints the pinned schema-refusal message; returns exit code 2.
+
+    `known` may be a single version or a collection of accepted
+    versions (the message then reads "not a version ... (2, 3)").
+    """
+    if isinstance(known, (set, frozenset, tuple, list)):
+        versions = sorted(known)
+    else:
+        versions = [known]
+    known_str = ", ".join(str(v) for v in versions)
+    what = "a version" if len(versions) > 1 else "the version"
+    print(f"{tool}: {path}: {artifact} schema_version {version!r} is "
+          f"not {what} this tool understands ({known_str}); it was "
+          f"written by a different simulator revision -- update "
+          f"tools/{tool}.py rather than guessing at the {layout}",
+          file=sys.stderr)
+    return 2

@@ -25,6 +25,8 @@ import difflib
 import json
 import sys
 
+from report_common import read_json_or_exit
+
 WALL_KEYS = frozenset(("wall_us", "wall_us_total", "slowest_points",
                        "execution"))
 
@@ -40,27 +42,8 @@ def strip_wall(node):
 
 
 def load(path):
-    try:
-        with open(path) as f:
-            text = f.read()
-    except OSError as e:
-        print(f"report_compare: {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    if not text.strip():
-        print(f"report_compare: {path}: empty report (truncated write? "
-              "reports are written atomically — an empty file means the "
-              "producer never finished)", file=sys.stderr)
-        sys.exit(2)
-    try:
-        return json.loads(text)
-    except json.JSONDecodeError as e:
-        # An error at EOF (or an unterminated construct running into
-        # it) is the signature of a half-copied document.
-        truncated = e.pos >= len(text.rstrip()) or \
-            "Unterminated" in e.msg
-        detail = "truncated report" if truncated else "malformed JSON"
-        print(f"report_compare: {path}: {detail}: {e}", file=sys.stderr)
-        sys.exit(2)
+    return read_json_or_exit("report_compare", path, producers="reports",
+                             dash="—")
 
 
 def dump(node):

@@ -29,6 +29,7 @@
 #include "apps/registry.hh"
 #include "crashtest/scenario.hh"
 #include "obs/provenance.hh"
+#include "obs/timeseries.hh"
 
 using namespace sbrp;
 
@@ -60,6 +61,13 @@ usage()
         "  --stats           dump all non-zero counters\n"
         "  --stats-json <f>  write statistics (counters + histograms)\n"
         "                    as JSON to <f>\n"
+        "  --metrics-json <f>  sample every counter's and histogram's\n"
+        "                    per-window delta plus boundary gauges (PB\n"
+        "                    occupancy, WPQ depth, channel backlogs)\n"
+        "                    into a JSONL time-series at <f>\n"
+        "                    (summarize with tools/timeseries_report.py)\n"
+        "  --metrics-window <n>  metrics sampling window in sim cycles\n"
+        "                    (default 4096)\n"
         "  --trace <f>       write a Chrome trace_event JSON timeline to\n"
         "                    <f> (open in chrome://tracing or Perfetto;\n"
         "                    summarize with tools/trace_report.py)\n"
@@ -103,6 +111,10 @@ main(int argc, char **argv)
     std::string stats_json_path;
     std::string persist_trace_path;
     std::string audit_json_path;
+    std::string metrics_json_path;
+    Cycle metrics_window = 0;   // 0 = MetricsTimeseries default.
+    std::string model_name = "sbrp";
+    std::string design_name = "near";
     SystemConfig cfg = SystemConfig::paperDefault();
 
     auto next = [&](int &i) -> const char * {
@@ -124,11 +136,13 @@ main(int argc, char **argv)
             else if (m == "gpm") model = ModelKind::Gpm;
             else if (m == "barrier") model = ModelKind::ScopedBarrier;
             else { usage(); return 2; }
+            model_name = m;
         } else if (a == "--design") {
             std::string d = next(i);
             if (d == "near") design = SystemDesign::PmNear;
             else if (d == "far") design = SystemDesign::PmFar;
             else { usage(); return 2; }
+            design_name = d;
         } else if (a == "--crash") {
             crash_frac = std::atof(next(i));
         } else if (a == "--window") {
@@ -167,6 +181,10 @@ main(int argc, char **argv)
             dump_stats = true;
         } else if (a == "--stats-json") {
             stats_json_path = next(i);
+        } else if (a == "--metrics-json") {
+            metrics_json_path = next(i);
+        } else if (a == "--metrics-window") {
+            metrics_window = std::strtoull(next(i), nullptr, 10);
         } else if (a == "--trace") {
             trace_path = next(i);
         } else if (a == "--persist-trace") {
@@ -294,20 +312,27 @@ main(int argc, char **argv)
 
         const bool want_prov =
             !persist_trace_path.empty() || !audit_json_path.empty();
+        const bool want_metrics = !metrics_json_path.empty();
         if (dump_stats || !trace_path.empty() ||
-                !stats_json_path.empty() || want_prov) {
+                !stats_json_path.empty() || want_prov || want_metrics) {
             // Re-run once with a live system to dump counters, collect
-            // the event trace and/or record persist-op provenance.
+            // the event trace, record persist-op provenance and/or
+            // sample the windowed metrics time-series.
             NvmDevice nvm;
             TraceSink sink;
             ExecutionTrace exec_trace;
             PersistProvenance prov;
+            MetricsTimeseries metrics(metrics_window);
+            metrics.setMeta("app", app_name);
+            metrics.setMeta("model", model_name);
+            metrics.setMeta("design", design_name);
             app = makeRegisteredApp(app_name, model, bench_scale);
             app->setupNvm(nvm);
             GpuSystem gpu(cfg, nvm,
                           audit_json_path.empty() ? nullptr : &exec_trace,
                           trace_path.empty() ? nullptr : &sink,
-                          want_prov ? &prov : nullptr);
+                          want_prov ? &prov : nullptr,
+                          want_metrics ? &metrics : nullptr);
             app->setupGpu(gpu);
             auto wall0 = std::chrono::steady_clock::now();
             auto launch_res = gpu.launch(app->forward());
@@ -323,13 +348,16 @@ main(int argc, char **argv)
             }
             if (!stats_json_path.empty()) {
                 std::string json = gpu.stats().dumpJson();
-                // Host-side throughput and the cycle-attribution
-                // breakdown, spliced in next to the schema version
-                // (simulation counters stay pure).
-                char host[160];
+                // Host-side throughput (under `execution`, the campaign
+                // report v4 convention for environment-dependent keys)
+                // and the cycle-attribution breakdown, spliced in next
+                // to the schema version (simulation counters stay pure).
+                char host[200];
                 std::snprintf(host, sizeof host,
-                              ",\n  \"host_wall_ms\": %.3f,"
-                              "\n  \"sim_cycles_per_sec\": %.0f",
+                              ",\n  \"execution\": {"
+                              "\n    \"host_wall_ms\": %.3f,"
+                              "\n    \"sim_cycles_per_sec\": %.0f"
+                              "\n  }",
                               wall_ms,
                               wall_ms > 0.0
                                   ? static_cast<double>(
@@ -353,6 +381,16 @@ main(int argc, char **argv)
                 }
                 std::printf("statistics JSON: %s\n",
                             stats_json_path.c_str());
+            }
+            if (want_metrics) {
+                metrics.writeJsonlFile(metrics_json_path);
+                std::printf("metrics time-series: %s (%llu windows, "
+                            "%llu cycles/window)\n",
+                            metrics_json_path.c_str(),
+                            static_cast<unsigned long long>(
+                                metrics.windowsClosed()),
+                            static_cast<unsigned long long>(
+                                metrics.window()));
             }
             if (!trace_path.empty()) {
                 sink.writeJsonFile(trace_path);

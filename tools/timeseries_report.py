@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Summarize windowed metrics JSONL (sbrpsim --metrics-json).
+
+Usage:
+    tools/timeseries_report.py red-metrics.jsonl
+    tools/timeseries_report.py red-metrics.jsonl --warmup 2
+    tools/timeseries_report.py red-metrics.jsonl --regress 25
+
+Consumes the schema_version 1 metrics time-series (one header record,
+optional folded-drop record, one record per closed window, one totals
+record) and prints:
+
+ - the run header: window size, app/model/design, window count;
+ - a per-window table of the busiest counters (delta per window) and
+   each distribution's windowed p50/p99;
+ - steady-state detection: the earliest post-warmup window from which
+   every later full window's activity rate stays within 25% of the
+   median of the remaining windows — the region cycle-accurate
+   summary statistics should be computed over.
+
+It also re-verifies the invariant the simulator test-enforces, so the
+report doubles as an offline checker: per-window counter deltas and
+distribution deltas (plus the folded ring-overflow base) telescope
+exactly to the end-of-run totals record.
+
+`--warmup N` excludes the first N windows from steady-state and
+regression analysis. `--regress <pct>` additionally fails (exit 1) if
+any distribution's windowed p99 worsens by more than pct% from one
+post-warmup window to the next — a cheap window-over-window latency
+regression gate for CI.
+
+Exits 0 on a clean report, 1 on a broken invariant or a flagged
+regression, 2 on usage errors, an unreadable/truncated/malformed file,
+or a schema version this tool does not understand (a newer simulator
+wrote the document -- update the tool, do not guess at the layout).
+Only uses the Python standard library.
+"""
+
+import sys
+
+from report_common import (read_jsonl_or_exit,
+                           refuse_unknown_schema, run_main)
+
+# The metrics stream revision this tool knows how to read
+# (src/common/schema_versions.hh, kMetrics; `sbrpsim --version`).
+KNOWN_SCHEMA = 1
+
+# A window's activity rate must sit within this fraction of the
+# remaining windows' median to count as steady state.
+STEADY_TOLERANCE = 0.25
+
+
+def die(msg):
+    print(f"timeseries_report: {msg}", file=sys.stderr)
+    return 1
+
+
+def merge_counters(acc, counters):
+    for name, delta in counters.items():
+        acc[name] = acc.get(name, 0) + delta
+
+
+def merge_dists(acc, dists):
+    for name, d in dists.items():
+        slot = acc.setdefault(name, {"count": 0, "sum": 0, "buckets": {}})
+        slot["count"] += d["count"]
+        slot["sum"] += d["sum"]
+        for b, n in d["buckets"].items():
+            slot["buckets"][b] = slot["buckets"].get(b, 0) + n
+
+
+def check_telescoping(windows, dropped, totals):
+    """Windows + folded drop base must reproduce the totals record."""
+    broken = []
+    counters = {}
+    dists = {}
+    if dropped is not None:
+        merge_counters(counters, dropped["counters"])
+        merge_dists(dists, dropped["dists"])
+    for w in windows:
+        merge_counters(counters, w["counters"])
+        merge_dists(dists, w["dists"])
+
+    totals_counters = totals["counters"]
+    for name in sorted(set(counters) | set(totals_counters)):
+        got = counters.get(name, 0)
+        want = totals_counters.get(name, 0)
+        if got != want:
+            broken.append(f"counter '{name}' does not telescope: "
+                          f"window deltas sum to {got}, totals say "
+                          f"{want}")
+    totals_dists = totals["dists"]
+    for name in sorted(set(dists) | set(totals_dists)):
+        got = dists.get(name, {"count": 0, "sum": 0, "buckets": {}})
+        want = totals_dists.get(name, {"count": 0, "sum": 0,
+                                       "buckets": {}})
+        if got["count"] != want["count"] or got["sum"] != want["sum"]:
+            broken.append(f"dist '{name}' does not telescope: window "
+                          f"deltas sum to count={got['count']}/"
+                          f"sum={got['sum']}, totals say "
+                          f"count={want['count']}/sum={want['sum']}")
+            continue
+        got_b = {b: n for b, n in got["buckets"].items() if n}
+        want_b = {b: n for b, n in want["buckets"].items() if n}
+        if got_b != want_b:
+            broken.append(f"dist '{name}': bucket histogram does not "
+                          f"telescope")
+    return broken
+
+
+def window_rate(w):
+    """Activity per cycle: total counter movement in the window."""
+    cycles = w["end"] - w["begin"]
+    if cycles <= 0:
+        return 0.0
+    return sum(abs(v) for v in w["counters"].values()) / cycles
+
+
+def detect_steady_state(windows, warmup):
+    """Earliest window from which rates stay near the tail median."""
+    # The trailing window is usually partial; judge full windows only.
+    full = [w for w in windows[warmup:]
+            if w["end"] - w["begin"] == windows[0]["end"] - windows[0]["begin"]]
+    for start in range(len(full)):
+        tail = full[start:]
+        if len(tail) < 2:
+            break
+        rates = sorted(window_rate(w) for w in tail)
+        median = rates[len(rates) // 2]
+        if median == 0:
+            continue
+        if all(abs(window_rate(w) - median) <= STEADY_TOLERANCE * median
+               for w in tail):
+            return full[start]["index"]
+    return None
+
+
+def main(argv):
+    path = None
+    warmup = 0
+    regress_pct = None
+    rest = argv[1:]
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--warmup" and i + 1 < len(rest):
+            try:
+                warmup = int(rest[i + 1])
+            except ValueError:
+                print("timeseries_report: --warmup expects an integer",
+                      file=sys.stderr)
+                return 2
+            i += 2
+        elif rest[i] == "--regress" and i + 1 < len(rest):
+            try:
+                regress_pct = float(rest[i + 1])
+            except ValueError:
+                print("timeseries_report: --regress expects a percent",
+                      file=sys.stderr)
+                return 2
+            i += 2
+        elif rest[i].startswith("--"):
+            print(f"timeseries_report: unknown option '{rest[i]}'",
+                  file=sys.stderr)
+            return 2
+        elif path is None:
+            path = rest[i]
+            i += 1
+        else:
+            path = None
+            break
+    if path is None:
+        print("usage: timeseries_report.py <metrics.jsonl> "
+              "[--warmup N] [--regress PCT]", file=sys.stderr)
+        return 2
+
+    records = read_jsonl_or_exit("timeseries_report", path,
+                                 producers="metrics streams")
+    if not records or records[0].get("kind") != "metrics_header":
+        return die(f"{path}: not a metrics time-series (no header)")
+    header = records[0]
+    version = header.get("schema_version")
+    if version != KNOWN_SCHEMA:
+        return refuse_unknown_schema("timeseries_report", path,
+                                     "metrics", version, KNOWN_SCHEMA,
+                                     "layout")
+
+    dropped = None
+    windows = []
+    totals = None
+    for rec in records[1:]:
+        kind = rec.get("kind")
+        if kind == "dropped":
+            dropped = rec
+        elif kind == "window":
+            windows.append(rec)
+        elif kind == "totals":
+            totals = rec
+        else:
+            return die(f"{path}: unknown record kind {kind!r}")
+    if totals is None:
+        return die(f"{path}: missing totals record")
+
+    meta = ", ".join(f"{k}={header[k]}" for k in ("app", "model",
+                                                  "design")
+                     if k in header)
+    print(f"{path}: window {header['window']} cycles, "
+          f"{totals['windows']} windows "
+          f"({totals['windows_dropped']} folded), "
+          f"{totals['end_cycle']} cycles total"
+          + (f" [{meta}]" if meta else ""))
+
+    broken = check_telescoping(windows, dropped, totals)
+    for msg in broken:
+        print(f"timeseries_report: {msg}", file=sys.stderr)
+
+    # Busiest counters across the run make the per-window columns.
+    cols = sorted(totals["counters"],
+                  key=lambda n: abs(totals["counters"][n]),
+                  reverse=True)[:6]
+    if windows and cols:
+        print("\nper-window counter deltas (busiest counters):")
+        heads = [c.split(".")[-1][:14] for c in cols]
+        print("  " + f"{'win':>4}  {'cycles':>15}  "
+              + "  ".join(f"{h:>14}" for h in heads))
+        for w in windows:
+            cyc = f"[{w['begin']},{w['end']})"
+            vals = "  ".join(f"{w['counters'].get(c, 0):>14}"
+                             for c in cols)
+            print(f"  {w['index']:>4}  {cyc:>15}  {vals}")
+
+    dist_names = sorted(totals["dists"])
+    if windows and dist_names:
+        print("\nper-window distribution p50/p99:")
+        for name in dist_names:
+            cells = []
+            for w in windows:
+                d = w["dists"].get(name)
+                cells.append(f"{d['p50']}/{d['p99']}" if d else "-")
+            print(f"  {name:<40} " + "  ".join(f"{c:>11}"
+                                               for c in cells))
+
+    steady = detect_steady_state(windows, warmup)
+    if steady is not None:
+        print(f"\nsteady state from window {steady} "
+              f"(rates within {STEADY_TOLERANCE:.0%} of tail median"
+              + (f", first {warmup} windows excluded)" if warmup
+                 else ")"))
+    else:
+        print("\nno steady-state region detected"
+              + (f" (first {warmup} windows excluded)" if warmup
+                 else ""))
+
+    regressed = False
+    if regress_pct is not None:
+        post = windows[warmup:]
+        for prev, cur in zip(post, post[1:]):
+            for name in dist_names:
+                a = prev["dists"].get(name)
+                b = cur["dists"].get(name)
+                if not a or not b or a["p99"] <= 0:
+                    continue
+                growth = 100.0 * (b["p99"] - a["p99"]) / a["p99"]
+                if growth > regress_pct:
+                    print(f"timeseries_report: window "
+                          f"{cur['index']}: '{name}' p99 regressed "
+                          f"{growth:.1f}% over window "
+                          f"{prev['index']} ({a['p99']} -> "
+                          f"{b['p99']}, limit {regress_pct:.1f}%)",
+                          file=sys.stderr)
+                    regressed = True
+
+    if not broken:
+        print("\ntelescoping: OK (windows + folded base == totals)")
+    return 1 if broken or regressed else 0
+
+
+if __name__ == "__main__":
+    run_main(main)

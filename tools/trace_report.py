@@ -38,6 +38,8 @@ import json
 import sys
 from collections import defaultdict
 
+from report_common import refuse_unknown_schema, run_main
+
 # Trace span name -> cycle-ledger category (see src/gpu/cycle_ledger.hh).
 # Prefix matching: stall:odm_dfence and stall:odm_rel_dev both land in
 # odm_stall, mirroring Sm::categoryFor.
@@ -57,12 +59,14 @@ SPAN_TO_LEDGER = [
 CROSSCHECK_REL = 0.10
 CROSSCHECK_ABS = 10000
 
-# The stats-JSON revision this tool knows how to cross-check against
-# (src/common/schema_versions.hh, kStats; `sbrpsim --version`). Older
-# documents without the tag get the "old stats schema?" note; a tagged
-# document with a DIFFERENT version is refused with exit 2 -- the
-# ledger_* counter layout may have changed under us.
-KNOWN_STATS_SCHEMA = 2
+# The stats-JSON revisions this tool knows how to cross-check against
+# (src/common/schema_versions.hh, kStats; `sbrpsim --version`): the
+# ledger_* counter layout is identical in both — version 3 only moved
+# the host wall-clock keys under `execution`. Older documents without
+# the tag get the "old stats schema?" note; a tagged document with a
+# version outside this set is refused with exit 2 -- the ledger_*
+# counter layout may have changed under us.
+KNOWN_STATS_SCHEMAS = (2, 3)
 
 
 def load(path):
@@ -112,14 +116,10 @@ def crosscheck(stall, stats_path):
               file=sys.stderr)
         return 1
     version = stats.get("schema_version")
-    if version is not None and version != KNOWN_STATS_SCHEMA:
-        print(f"trace_report: {stats_path}: stats schema_version "
-              f"{version!r} is not the version this tool understands "
-              f"({KNOWN_STATS_SCHEMA}); it was written by a different "
-              "simulator revision -- update tools/trace_report.py "
-              "rather than guessing at the ledger layout",
-              file=sys.stderr)
-        return 2
+    if version is not None and version not in KNOWN_STATS_SCHEMAS:
+        return refuse_unknown_schema("trace_report", stats_path, "stats",
+                                     version, KNOWN_STATS_SCHEMAS,
+                                     "ledger layout")
     totals = ledger_totals(stats)
     if not totals:
         print("\ncycle-ledger cross-check: no ledger_* counters in "
@@ -331,4 +331,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    run_main(main)
